@@ -1,0 +1,44 @@
+//! The QCDOC ASIC: a functional and timing model of one processing node.
+//!
+//! Each QCDOC node is a single system-on-a-chip (Figure 1 of the paper)
+//! containing an IBM PPC 440 integer core with an attached 64-bit IEEE
+//! floating-point unit (one multiply and one add per cycle — 1 Gflops peak
+//! at 500 MHz), 32 kB instruction and data caches, 4 MB of on-chip EDRAM
+//! behind a custom prefetching controller (8 GB/s to the core), a controller
+//! for external DDR SDRAM (2.6 GB/s, up to 2 GB), the Serial Communications
+//! Unit driving the 6-D mesh (in `qcdoc-scu`), two Ethernet interfaces, and
+//! the Processor Local Bus (PLB) tying it together.
+//!
+//! This crate models the *node-local* parts:
+//!
+//! * [`clock`] — clock domains and cycle/time conversion at the paper's
+//!   operating points (500 MHz design target; 450/420/360 MHz measured);
+//! * [`memory`] — functional node memory (EDRAM + DDR address spaces) with
+//!   access statistics, the storage the SCU DMA engines operate on;
+//! * [`edram`] — the prefetching EDRAM controller's two-stream timing model;
+//! * [`ddr`] — the external DDR controller timing model;
+//! * [`cache`] — a set-associative cache simulator for the 32 kB L1s;
+//! * [`plb`] — Processor Local Bus arbitration (SCU DMA priority);
+//! * [`ppc440`] — the core's floating-point and issue cost model;
+//! * [`ledger`] — operation ledgers: the currency in which workload kernels
+//!   report their work to the timing engine;
+//! * [`node`] — the assembled node: configuration plus per-kernel timing;
+//! * [`blocks`] — the ASIC block inventory and ASCII rendering of Figure 1.
+
+#![warn(missing_docs)]
+
+pub mod blocks;
+pub mod cache;
+pub mod clock;
+pub mod ddr;
+pub mod edram;
+pub mod ledger;
+pub mod memory;
+pub mod node;
+pub mod plb;
+pub mod ppc440;
+
+pub use clock::{Clock, Cycles};
+pub use ledger::KernelLedger;
+pub use memory::{MemRegion, NodeMemory};
+pub use node::{NodeConfig, NodeTiming};

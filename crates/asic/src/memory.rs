@@ -1,0 +1,323 @@
+//! Functional node memory: the EDRAM and DDR address spaces.
+//!
+//! The SCU DMA engines have *direct* access to node memory — "data is not
+//! copied to a different memory location before it is sent" (§2.2) — so the
+//! functional execution engine needs real storage the DMA descriptors can
+//! address. Words are 64 bits, the unit of both the FPU and the mesh
+//! network's normal data transfers.
+//!
+//! Address map (bytes):
+//!
+//! | region | base          | size                    |
+//! |--------|---------------|-------------------------|
+//! | EDRAM  | `0x0000_0000` | 4 MB (on-chip)          |
+//! | DDR    | `0x1000_0000` | configurable, ≤ 2 GB    |
+//!
+//! DDR storage is allocated lazily in 1 MB chunks so thousands of functional
+//! nodes can coexist without reserving gigabytes.
+
+use serde::{Deserialize, Serialize};
+
+/// Which physical memory an address falls in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemRegion {
+    /// The 4 MB on-chip embedded DRAM.
+    Edram,
+    /// The external DDR SDRAM DIMM.
+    Ddr,
+}
+
+/// Base byte address of the EDRAM region.
+pub const EDRAM_BASE: u64 = 0x0000_0000;
+/// Size of the on-chip EDRAM: 4 MB (§2.1).
+pub const EDRAM_SIZE: u64 = 4 * 1024 * 1024;
+/// Base byte address of the DDR region.
+pub const DDR_BASE: u64 = 0x1000_0000;
+/// Maximum external DDR size: 2 GB (§2.1: "up to 2 GBytes of memory per
+/// node can be used").
+pub const DDR_MAX_SIZE: u64 = 2 * 1024 * 1024 * 1024;
+
+/// Word size in bytes (64-bit words everywhere: FPU and mesh transfers).
+pub const WORD_BYTES: u64 = 8;
+
+const DDR_CHUNK_WORDS: usize = 128 * 1024; // 1 MB of u64 words
+
+/// Running access statistics, split by region.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemStats {
+    /// 64-bit words read from EDRAM.
+    pub edram_reads: u64,
+    /// 64-bit words written to EDRAM.
+    pub edram_writes: u64,
+    /// 64-bit words read from DDR.
+    pub ddr_reads: u64,
+    /// 64-bit words written to DDR.
+    pub ddr_writes: u64,
+}
+
+impl MemStats {
+    /// Total bytes moved to or from EDRAM.
+    pub fn edram_bytes(&self) -> u64 {
+        (self.edram_reads + self.edram_writes) * WORD_BYTES
+    }
+
+    /// Total bytes moved to or from DDR.
+    pub fn ddr_bytes(&self) -> u64 {
+        (self.ddr_reads + self.ddr_writes) * WORD_BYTES
+    }
+}
+
+/// Errors raised by functional memory accesses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemError {
+    /// Address is outside both regions.
+    Unmapped {
+        /// The offending byte address.
+        addr: u64,
+    },
+    /// Address is not 8-byte aligned.
+    Unaligned {
+        /// The offending byte address.
+        addr: u64,
+    },
+    /// Address is in the DDR region but beyond the installed DIMM.
+    BeyondDimm {
+        /// The offending byte address.
+        addr: u64,
+        /// Installed DDR bytes.
+        installed: u64,
+    },
+}
+
+impl std::fmt::Display for MemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemError::Unmapped { addr } => write!(f, "unmapped address {addr:#x}"),
+            MemError::Unaligned { addr } => write!(f, "unaligned word access at {addr:#x}"),
+            MemError::BeyondDimm { addr, installed } => {
+                write!(f, "address {addr:#x} beyond installed DDR ({installed} bytes)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// The functional memory of one node.
+#[derive(Debug)]
+pub struct NodeMemory {
+    edram: Vec<u64>,
+    ddr_chunks: Vec<Option<Box<[u64]>>>,
+    ddr_size: u64,
+    stats: MemStats,
+}
+
+impl NodeMemory {
+    /// A node with the given DDR DIMM size in bytes (the 4096-node machine
+    /// mixes 128 MB and 256 MB DIMMs, §4).
+    pub fn new(ddr_bytes: u64) -> NodeMemory {
+        assert!(ddr_bytes <= DDR_MAX_SIZE, "DDR DIMM larger than 2 GB");
+        assert_eq!(ddr_bytes % (DDR_CHUNK_WORDS as u64 * WORD_BYTES), 0, "DDR size must be a multiple of 1 MB");
+        let chunks = (ddr_bytes / (DDR_CHUNK_WORDS as u64 * WORD_BYTES)) as usize;
+        NodeMemory {
+            edram: vec![0; (EDRAM_SIZE / WORD_BYTES) as usize],
+            ddr_chunks: (0..chunks).map(|_| None).collect(),
+            ddr_size: ddr_bytes,
+            stats: MemStats::default(),
+        }
+    }
+
+    /// A node with the paper's common 128 MB DIMM.
+    pub fn with_128mb_dimm() -> NodeMemory {
+        NodeMemory::new(128 * 1024 * 1024)
+    }
+
+    /// Classify a byte address.
+    pub fn region_of(addr: u64) -> Result<MemRegion, MemError> {
+        if addr < EDRAM_BASE + EDRAM_SIZE {
+            Ok(MemRegion::Edram)
+        } else if (DDR_BASE..DDR_BASE + DDR_MAX_SIZE).contains(&addr) {
+            Ok(MemRegion::Ddr)
+        } else {
+            Err(MemError::Unmapped { addr })
+        }
+    }
+
+    /// Installed DDR bytes.
+    pub fn ddr_size(&self) -> u64 {
+        self.ddr_size
+    }
+
+    /// Access statistics so far.
+    pub fn stats(&self) -> MemStats {
+        self.stats
+    }
+
+    /// Reset access statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = MemStats::default();
+    }
+
+    fn check(&self, addr: u64) -> Result<(MemRegion, usize), MemError> {
+        if !addr.is_multiple_of(WORD_BYTES) {
+            return Err(MemError::Unaligned { addr });
+        }
+        match Self::region_of(addr)? {
+            MemRegion::Edram => Ok((MemRegion::Edram, ((addr - EDRAM_BASE) / WORD_BYTES) as usize)),
+            MemRegion::Ddr => {
+                let off = addr - DDR_BASE;
+                if off >= self.ddr_size {
+                    return Err(MemError::BeyondDimm { addr, installed: self.ddr_size });
+                }
+                Ok((MemRegion::Ddr, (off / WORD_BYTES) as usize))
+            }
+        }
+    }
+
+    /// Read one 64-bit word.
+    pub fn read_word(&mut self, addr: u64) -> Result<u64, MemError> {
+        let (region, idx) = self.check(addr)?;
+        Ok(match region {
+            MemRegion::Edram => {
+                self.stats.edram_reads += 1;
+                self.edram[idx]
+            }
+            MemRegion::Ddr => {
+                self.stats.ddr_reads += 1;
+                let (chunk, within) = (idx / DDR_CHUNK_WORDS, idx % DDR_CHUNK_WORDS);
+                match &self.ddr_chunks[chunk] {
+                    Some(c) => c[within],
+                    None => 0,
+                }
+            }
+        })
+    }
+
+    /// Write one 64-bit word.
+    pub fn write_word(&mut self, addr: u64, value: u64) -> Result<(), MemError> {
+        let (region, idx) = self.check(addr)?;
+        match region {
+            MemRegion::Edram => {
+                self.stats.edram_writes += 1;
+                self.edram[idx] = value;
+            }
+            MemRegion::Ddr => {
+                self.stats.ddr_writes += 1;
+                let (chunk, within) = (idx / DDR_CHUNK_WORDS, idx % DDR_CHUNK_WORDS);
+                let c = self.ddr_chunks[chunk]
+                    .get_or_insert_with(|| vec![0u64; DDR_CHUNK_WORDS].into_boxed_slice());
+                c[within] = value;
+            }
+        }
+        Ok(())
+    }
+
+    /// Read a 64-bit float stored at `addr`.
+    pub fn read_f64(&mut self, addr: u64) -> Result<f64, MemError> {
+        Ok(f64::from_bits(self.read_word(addr)?))
+    }
+
+    /// Write a 64-bit float at `addr`.
+    pub fn write_f64(&mut self, addr: u64, value: f64) -> Result<(), MemError> {
+        self.write_word(addr, value.to_bits())
+    }
+
+    /// Read `count` consecutive words starting at `addr`.
+    pub fn read_block(&mut self, addr: u64, count: usize) -> Result<Vec<u64>, MemError> {
+        (0..count)
+            .map(|i| self.read_word(addr + i as u64 * WORD_BYTES))
+            .collect()
+    }
+
+    /// Write consecutive words starting at `addr`.
+    pub fn write_block(&mut self, addr: u64, words: &[u64]) -> Result<(), MemError> {
+        for (i, &w) in words.iter().enumerate() {
+            self.write_word(addr + i as u64 * WORD_BYTES, w)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edram_read_write_roundtrip() {
+        let mut m = NodeMemory::with_128mb_dimm();
+        m.write_word(0x100, 0xDEAD_BEEF).unwrap();
+        assert_eq!(m.read_word(0x100).unwrap(), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn ddr_is_lazily_allocated_and_zeroed() {
+        let mut m = NodeMemory::with_128mb_dimm();
+        assert_eq!(m.read_word(DDR_BASE + 0x10_0000).unwrap(), 0);
+        m.write_word(DDR_BASE + 0x10_0000, 7).unwrap();
+        assert_eq!(m.read_word(DDR_BASE + 0x10_0000).unwrap(), 7);
+        // A different chunk is still zero.
+        assert_eq!(m.read_word(DDR_BASE).unwrap(), 0);
+    }
+
+    #[test]
+    fn stats_split_by_region() {
+        let mut m = NodeMemory::with_128mb_dimm();
+        m.write_word(0x0, 1).unwrap();
+        m.read_word(0x0).unwrap();
+        m.read_word(0x0).unwrap();
+        m.write_word(DDR_BASE, 2).unwrap();
+        let s = m.stats();
+        assert_eq!(s.edram_writes, 1);
+        assert_eq!(s.edram_reads, 2);
+        assert_eq!(s.ddr_writes, 1);
+        assert_eq!(s.ddr_reads, 0);
+        assert_eq!(s.edram_bytes(), 24);
+        assert_eq!(s.ddr_bytes(), 8);
+    }
+
+    #[test]
+    fn unaligned_access_rejected() {
+        let mut m = NodeMemory::with_128mb_dimm();
+        assert_eq!(m.read_word(0x101), Err(MemError::Unaligned { addr: 0x101 }));
+    }
+
+    #[test]
+    fn unmapped_and_beyond_dimm_rejected() {
+        let mut m = NodeMemory::with_128mb_dimm();
+        assert!(matches!(m.read_word(0x0800_0000), Err(MemError::Unmapped { .. })));
+        let beyond = DDR_BASE + 128 * 1024 * 1024;
+        assert!(matches!(m.read_word(beyond), Err(MemError::BeyondDimm { .. })));
+    }
+
+    #[test]
+    fn edram_is_exactly_4mb() {
+        let mut m = NodeMemory::with_128mb_dimm();
+        let last = EDRAM_SIZE - WORD_BYTES;
+        m.write_word(last, 42).unwrap();
+        assert_eq!(m.read_word(last).unwrap(), 42);
+        // One word past EDRAM is a hole before DDR_BASE.
+        assert!(matches!(m.read_word(EDRAM_SIZE), Err(MemError::Unmapped { .. })));
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        let mut m = NodeMemory::with_128mb_dimm();
+        m.write_f64(0x80, -3.25).unwrap();
+        assert_eq!(m.read_f64(0x80).unwrap(), -3.25);
+    }
+
+    #[test]
+    fn block_roundtrip() {
+        let mut m = NodeMemory::with_128mb_dimm();
+        let words = vec![1, 2, 3, 4, 5];
+        m.write_block(0x1000, &words).unwrap();
+        assert_eq!(m.read_block(0x1000, 5).unwrap(), words);
+    }
+
+    #[test]
+    fn region_classification() {
+        assert_eq!(NodeMemory::region_of(0).unwrap(), MemRegion::Edram);
+        assert_eq!(NodeMemory::region_of(DDR_BASE).unwrap(), MemRegion::Ddr);
+        assert!(NodeMemory::region_of(EDRAM_SIZE).is_err());
+    }
+}

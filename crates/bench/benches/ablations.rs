@@ -1,0 +1,112 @@
+//! Design-choice ablations (DESIGN.md §7): what each piece of the QCDOC
+//! architecture buys, measured by switching it off.
+//!
+//! * EDRAM prefetch streams on/off;
+//! * pass-through vs store-and-forward global operations;
+//! * doubled vs single global link sets;
+//! * three-in-the-air vs handshake-per-word link window;
+//! * even/odd preconditioning on/off (the software-side counterpart).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qcdoc_asic::clock::Clock;
+use qcdoc_asic::edram::{EdramConfig, EdramController};
+use qcdoc_lattice::eo::EoWilson;
+use qcdoc_lattice::field::{FermionField, GaugeField, Lattice};
+use qcdoc_lattice::solver::{solve_cgne, CgParams};
+use qcdoc_lattice::wilson::WilsonDirac;
+use qcdoc_scu::global::GlobalTimingConfig;
+use std::hint::black_box;
+
+fn print_ablation_table() {
+    eprintln!("\n=== ablations: what each design choice buys ===");
+
+    // 1. EDRAM prefetch.
+    let on = EdramController::new(EdramConfig::default());
+    let off = EdramController::new(EdramConfig { prefetch: false, ..Default::default() });
+    eprintln!(
+        "EDRAM prefetch        : {:>6.1} B/cycle with, {:>5.1} without  ({:.1}x)",
+        on.effective_bytes_per_cycle(2),
+        off.effective_bytes_per_cycle(2),
+        on.effective_bytes_per_cycle(2) / off.effective_bytes_per_cycle(2)
+    );
+
+    // 2/3. Global operations.
+    let cfg = GlobalTimingConfig::default();
+    let dims = [8usize, 8, 8, 16];
+    let clock = Clock::DESIGN;
+    let best = clock.cycles_to_ns(cfg.global_sum_cycles(&dims, true, true));
+    let no_double = clock.cycles_to_ns(cfg.global_sum_cycles(&dims, false, true));
+    let no_pass = clock.cycles_to_ns(cfg.global_sum_cycles(&dims, true, false));
+    eprintln!(
+        "global sum (8x8x8x16) : {:>6.2} us; single link set {:>5.2} us; store-and-forward {:>5.2} us",
+        best / 1000.0,
+        no_double / 1000.0,
+        no_pass / 1000.0
+    );
+
+    // 4. Link window (handshakes for a 24-word message).
+    eprintln!(
+        "ack window            : 24-word message needs {} round trips at window 3, {} at window 1",
+        24u64.div_ceil(3),
+        24
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_ablation_table();
+
+    // 5. Even/odd preconditioning: measured iteration counts + wall time.
+    let lat = Lattice::new([4, 4, 4, 4]);
+    let gauge = GaugeField::hot(lat, 77);
+    let b = FermionField::gaussian(lat, 78);
+    let params = CgParams { tolerance: 1e-8, max_iterations: 4000 };
+    let full_op = WilsonDirac::new(&gauge, 0.12);
+    let mut x = FermionField::zero(lat);
+    let full_iters = solve_cgne(&full_op, &mut x, &b, params).iterations;
+    let eo = EoWilson::new(&gauge, 0.12);
+    let eo_iters = eo.solve(&b, params).1.iterations;
+    eprintln!(
+        "even/odd precondition : {} CG iterations unpreconditioned, {} preconditioned",
+        full_iters, eo_iters
+    );
+
+    let mut group = c.benchmark_group("ablation_eo_preconditioning");
+    group.sample_size(10);
+    group.bench_function("wilson_cg_full", |bch| {
+        bch.iter(|| {
+            let mut x = FermionField::zero(lat);
+            black_box(solve_cgne(&full_op, &mut x, &b, params).iterations)
+        })
+    });
+    group.bench_function("wilson_cg_eo", |bch| {
+        bch.iter(|| black_box(eo.solve(&b, params).1.iterations))
+    });
+    group.finish();
+
+    // Prefetch ablation as a measured loop.
+    let mut group = c.benchmark_group("ablation_prefetch");
+    for (label, prefetch) in [("on", true), ("off", false)] {
+        group.bench_function(label, |bch| {
+            bch.iter(|| {
+                let mut ctl = EdramController::new(EdramConfig {
+                    prefetch,
+                    ..Default::default()
+                });
+                let mut a = 0u64;
+                let mut bb = 0x100_000u64;
+                let mut cycles = 0u64;
+                for _ in 0..512 {
+                    cycles += ctl.access(a, 128).count();
+                    cycles += ctl.access(bb, 128).count();
+                    a += 128;
+                    bb += 128;
+                }
+                black_box(cycles)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! E9 — booting (§3.1): ≈100 Ethernet/JTAG UDP packets per node for the
+//! boot kernel plus ≈100 for the run kernel, pushed through the Ethernet
+//! tree. Prints packet counts and the modelled boot time per machine size,
+//! then benchmarks the full boot state machine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qcdoc_geometry::TorusShape;
+use qcdoc_host::qdaemon::Qdaemon;
+use std::hint::black_box;
+
+fn machine_for(nodes: usize) -> TorusShape {
+    match nodes {
+        64 => TorusShape::motherboard_64(),
+        128 => TorusShape::new(&[4, 4, 2, 2, 2, 1]),
+        512 => TorusShape::new(&[8, 4, 4, 2, 2, 1]),
+        1024 => TorusShape::rack_1024(),
+        4096 => TorusShape::new(&[8, 8, 4, 4, 2, 2]),
+        12288 => TorusShape::new(&[8, 8, 6, 4, 4, 2]),
+        _ => unreachable!(),
+    }
+}
+
+fn print_series() {
+    eprintln!("\n=== E9: boot cost vs machine size ===");
+    eprintln!("{:>8} {:>14} {:>12} {:>12}", "nodes", "UDP packets", "pkts/node", "boot (s)");
+    for nodes in [64usize, 128, 512, 1024, 4096, 12288] {
+        let mut q = Qdaemon::new(machine_for(nodes));
+        let r = q.boot(&[]);
+        eprintln!(
+            "{:>8} {:>14} {:>12} {:>12.2}",
+            nodes,
+            r.packets_sent,
+            r.packets_sent / nodes as u64,
+            r.boot_seconds
+        );
+    }
+    eprintln!("(paper: ~100 packets for the boot kernel + ~100 for the run kernel per node)");
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let mut group = c.benchmark_group("e9_boot");
+    group.sample_size(10);
+    for nodes in [64usize, 512, 1024] {
+        group.bench_function(format!("nodes_{nodes}"), |b| {
+            b.iter(|| {
+                let mut q = Qdaemon::new(machine_for(nodes));
+                black_box(q.boot(&[]).packets_sent)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! E1 — the §4 benchmark table: CG efficiency for each fermion action at
+//! 4⁴ local volume on 128 nodes.
+//!
+//! Prints the paper-vs-model efficiency table, then measures the real
+//! wall time of each Dirac operator kernel on this host (the *shape* —
+//! clover > Wilson > ASQTAD in flops and the relative kernel costs — is
+//! what transfers; absolute numbers are the host's, not the ASIC's).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qcdoc_core::perf::{DiracPerf, PAPER_EFFICIENCIES};
+use qcdoc_lattice::clover::CloverDirac;
+use qcdoc_lattice::dwf::{DwfDirac, DwfField};
+use qcdoc_lattice::field::{FermionField, GaugeField, Lattice, StaggeredField};
+use qcdoc_lattice::staggered::{AsqtadCoeffs, AsqtadDirac, AsqtadLinks, StaggeredDirac};
+use qcdoc_lattice::wilson::WilsonDirac;
+use std::hint::black_box;
+
+fn print_table() {
+    let perf = DiracPerf::paper_bench();
+    eprintln!("\n=== E1: CG efficiency, 128 nodes, 4^4 local volume, double precision ===");
+    eprint!("{}", perf.render_table());
+    for (action, paper) in PAPER_EFFICIENCIES {
+        let got = perf.evaluate(action).efficiency;
+        eprintln!(
+            "  {:<8} model {:>5.1}%  paper {:>5.1}%",
+            action.name(),
+            100.0 * got,
+            100.0 * paper
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let lat = Lattice::new([4, 4, 4, 4]);
+    let gauge = GaugeField::hot(lat, 1);
+    let psi = FermionField::gaussian(lat, 2);
+    let chi = StaggeredField::gaussian(lat, 3);
+
+    let mut group = c.benchmark_group("e1_dirac_apply_4x4");
+    group.sample_size(20);
+
+    let wilson = WilsonDirac::new(&gauge, 0.12);
+    let mut out = FermionField::zero(lat);
+    group.bench_function("wilson", |b| {
+        b.iter(|| wilson.apply(&mut out, black_box(&psi)))
+    });
+
+    let clover = CloverDirac::new(&gauge, 0.12, 1.0);
+    group.bench_function("clover", |b| {
+        b.iter(|| clover.apply(&mut out, black_box(&psi)))
+    });
+
+    let stag = StaggeredDirac::new(&gauge, 0.1);
+    let mut outs = StaggeredField::zero(lat);
+    group.bench_function("staggered", |b| {
+        b.iter(|| stag.apply(&mut outs, black_box(&chi)))
+    });
+
+    let links = AsqtadLinks::new(&gauge, AsqtadCoeffs::default());
+    let asqtad = AsqtadDirac::new(&links, 0.1);
+    group.bench_function("asqtad", |b| {
+        b.iter(|| asqtad.apply(&mut outs, black_box(&chi)))
+    });
+
+    let dwf = DwfDirac::new(&gauge, 1.8, 0.1, 8);
+    let psid = DwfField::gaussian(lat, 8, 4);
+    let mut outd = DwfField::zero(lat, 8);
+    group.bench_function("dwf_ls8", |b| {
+        b.iter(|| dwf.apply(&mut outd, black_box(&psid)))
+    });
+
+    group.finish();
+
+    // Model evaluation itself (cheap; confirms it is benchmark-grade).
+    let perf = DiracPerf::paper_bench();
+    c.bench_function("e1_model_evaluation", |b| {
+        b.iter(|| {
+            for (action, _) in PAPER_EFFICIENCIES {
+                black_box(perf.evaluate(action));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! E8 — hard scaling (§1, §4): a fixed 32³×64 lattice over 512..8192
+//! nodes, QCDOC vs the commodity-cluster baseline. Prints the series the
+//! `hard_scaling` example plots and benchmarks the two models.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qcdoc_core::baseline::ClusterPerf;
+use qcdoc_core::perf::DiracPerf;
+use qcdoc_lattice::counts::Action;
+use std::hint::black_box;
+
+const GLOBAL: [usize; 4] = [32, 32, 32, 64];
+const CONFIGS: [(usize, [usize; 4]); 5] = [
+    (512, [4, 4, 4, 8]),
+    (1024, [4, 4, 8, 8]),
+    (2048, [4, 8, 8, 8]),
+    (4096, [8, 8, 8, 8]),
+    (8192, [8, 8, 8, 16]),
+];
+
+fn setup(mdims: [usize; 4]) -> DiracPerf {
+    let mut perf = DiracPerf::paper_bench();
+    perf.logical_dims = mdims;
+    perf.local_dims = std::array::from_fn(|a| GLOBAL[a] / mdims[a]);
+    perf
+}
+
+fn print_series() {
+    eprintln!("\n=== E8: hard scaling, fixed 32^3x64 lattice (Wilson CG) ===");
+    eprintln!("{:>8} {:>10} {:>12} {:>14}", "nodes", "local", "qcdoc eff %", "cluster eff %");
+    for (nodes, mdims) in CONFIGS {
+        let perf = setup(mdims);
+        let q = perf.evaluate(Action::Wilson).efficiency;
+        let c = ClusterPerf::matching(&perf).evaluate(Action::Wilson).efficiency;
+        let l = perf.local_dims;
+        eprintln!(
+            "{:>8} {:>10} {:>12.1} {:>14.1}",
+            nodes,
+            format!("{}x{}x{}x{}", l[0], l[1], l[2], l[3]),
+            100.0 * q,
+            100.0 * c
+        );
+    }
+    eprintln!("(QCDOC holds its efficiency down to 4^4 local volume; the cluster decays)");
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    c.bench_function("e8_qcdoc_sweep", |b| {
+        b.iter(|| {
+            for (_, mdims) in CONFIGS {
+                black_box(setup(mdims).evaluate(Action::Wilson));
+            }
+        })
+    });
+    c.bench_function("e8_cluster_sweep", |b| {
+        b.iter(|| {
+            for (_, mdims) in CONFIGS {
+                let perf = setup(mdims);
+                black_box(ClusterPerf::matching(&perf).evaluate(Action::Wilson));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

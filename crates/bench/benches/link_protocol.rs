@@ -1,0 +1,99 @@
+//! E10 — link-protocol ablations (§2.2): the "three in the air" window vs
+//! a one-word handshake, and the cost of healing injected bit errors by
+//! automatic resend.
+//!
+//! Prints the handshake-count series (the window amortizes the round trip)
+//! and benchmarks the protocol under fault injection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qcdoc_asic::clock::Clock;
+use qcdoc_asic::memory::NodeMemory;
+use qcdoc_scu::dma::DmaDescriptor;
+use qcdoc_scu::link::{RecvOutcome, RecvUnit, SendUnit, WINDOW};
+use qcdoc_scu::timing::WORD_WIRE_BITS;
+use std::hint::black_box;
+
+/// Transfer `words` with an artificial window cap, counting "round trips"
+/// — batches of frames that must wait for an ack before more can fly.
+fn round_trips(words: u64, window: u64) -> u64 {
+    words.div_ceil(window)
+}
+
+fn print_series() {
+    eprintln!("\n=== E10: ack-window ablation (24-word nearest-neighbour transfer) ===");
+    let clock = Clock::DESIGN;
+    // A round trip costs the wire flight + ack serialization; take ~24
+    // cycles (cables are short: dense packaging, §1).
+    let rt_cycles = 24u64;
+    eprintln!("{:>8} {:>12} {:>16} {:>14}", "window", "handshakes", "stall cycles", "overhead %");
+    for window in [1u64, 2, 3, 6] {
+        let trips = round_trips(24, window);
+        let stall = trips * rt_cycles;
+        let payload = 24 * WORD_WIRE_BITS;
+        eprintln!(
+            "{:>8} {:>12} {:>16} {:>14.1}",
+            window,
+            trips,
+            stall,
+            100.0 * stall as f64 / payload as f64
+        );
+    }
+    eprintln!(
+        "(the hardware window is {WINDOW}: at {} the handshake overhead is amortized \
+         to ~{:.0}% of wire time)",
+        WINDOW,
+        100.0 * round_trips(24, WINDOW as u64) as f64 * rt_cycles as f64
+            / (24.0 * WORD_WIRE_BITS as f64)
+    );
+    let _ = clock;
+}
+
+/// Pump a transfer with every `err_every`-th frame corrupted.
+fn faulty_transfer(words: u32, err_every: u64) -> (u64, u64) {
+    let mut s = SendUnit::new();
+    let mut r = RecvUnit::new();
+    s.train();
+    r.train();
+    let mut mem = NodeMemory::with_128mb_dimm();
+    r.arm(DmaDescriptor::contiguous(0x1000, words), &mut mem).unwrap();
+    for w in 0..words as u64 {
+        s.enqueue_word(w);
+    }
+    let mut frames = 0u64;
+    loop {
+        let Some(mut wf) = s.next_frame().unwrap() else { break };
+        frames += 1;
+        if err_every > 0 && frames.is_multiple_of(err_every) {
+            wf.frame.corrupt_bit((frames % 70) as usize);
+        }
+        match r.on_frame(&wf, &mut mem).unwrap() {
+            RecvOutcome::Accepted | RecvOutcome::Duplicate => s.on_ack(),
+            RecvOutcome::Rejected { seq } => s.on_reject(seq),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    assert!(r.complete());
+    (frames, r.rejects())
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let clean = faulty_transfer(256, 0);
+    let noisy = faulty_transfer(256, 10);
+    eprintln!(
+        "fault-injection: clean transfer {} frames; 10% corruption -> {} frames ({} rejects healed)",
+        clean.0, noisy.0, noisy.1
+    );
+
+    let mut group = c.benchmark_group("e10_protocol");
+    group.bench_function("clean_256_words", |b| {
+        b.iter(|| black_box(faulty_transfer(256, 0)))
+    });
+    group.bench_function("faulty_every_10th", |b| {
+        b.iter(|| black_box(faulty_transfer(256, 10)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

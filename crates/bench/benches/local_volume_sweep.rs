@@ -1,0 +1,77 @@
+//! E2 — efficiency vs local volume: the EDRAM cliff.
+//!
+//! §4: "For most of the fermion formulations, a 6⁴ local volume still fits
+//! in our 4 Megabytes of imbedded memory. For still larger volumes, when
+//! we must put part of the problem in external DDR DRAM, the performance
+//! figures fall to the range of 30% of peak."
+//!
+//! Prints the efficiency series over local volumes 2⁴..8⁴ (with the
+//! EDRAM-fit flag), plus the prefetch ablation, then benchmarks the EDRAM
+//! controller model under 1..4 interleaved streams.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qcdoc_asic::edram::{EdramConfig, EdramController};
+use qcdoc_core::perf::DiracPerf;
+use qcdoc_lattice::counts::Action;
+use std::hint::black_box;
+
+fn print_series() {
+    eprintln!("\n=== E2: efficiency vs local volume (clover, 450 MHz) ===");
+    eprintln!("{:>8} {:>12} {:>10} {:>10}", "volume", "resident kB", "EDRAM?", "eff %");
+    for l in [2usize, 3, 4, 5, 6, 7, 8] {
+        let mut perf = DiracPerf::paper_bench();
+        perf.local_dims = [l, l, l, l];
+        let r = perf.evaluate(Action::Clover);
+        eprintln!(
+            "{:>7}4 {:>12.0} {:>10} {:>10.1}",
+            l,
+            r.resident_bytes as f64 / 1024.0,
+            if r.fits_edram { "yes" } else { "no" },
+            100.0 * r.efficiency
+        );
+    }
+    // Ablation: disable the prefetch streams — every row pays a page miss.
+    let ctl_on = EdramController::new(EdramConfig::default());
+    let ctl_off = EdramController::new(EdramConfig { prefetch: false, ..Default::default() });
+    eprintln!(
+        "\nprefetch ablation: effective EDRAM rate {} B/cycle with streams, {:.1} without",
+        ctl_on.effective_bytes_per_cycle(2),
+        ctl_off.effective_bytes_per_cycle(2)
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let mut group = c.benchmark_group("e2_edram_streams");
+    for streams in 1..=4usize {
+        group.bench_function(format!("streams_{streams}"), |b| {
+            b.iter(|| {
+                let mut ctl = EdramController::new(EdramConfig::default());
+                let mut addrs: Vec<u64> = (0..streams).map(|s| s as u64 * 0x10_0000).collect();
+                let mut total = 0u64;
+                for _ in 0..256 {
+                    for a in &mut addrs {
+                        total += ctl.access(*a, 128).count();
+                        *a += 128;
+                    }
+                }
+                black_box(total)
+            })
+        });
+    }
+    group.finish();
+
+    // The volume sweep itself.
+    c.bench_function("e2_volume_sweep_model", |b| {
+        b.iter(|| {
+            for l in [2usize, 4, 6, 8] {
+                let mut perf = DiracPerf::paper_bench();
+                perf.local_dims = [l, l, l, l];
+                black_box(perf.evaluate(Action::Clover));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

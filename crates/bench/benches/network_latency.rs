@@ -1,0 +1,88 @@
+//! E4 — mesh latency and bandwidth (§2.2): the 600 ns memory-to-memory
+//! nearest-neighbour transfer, the 24-word message (600 ns + 3.3 µs), the
+//! 1.3 GB/s aggregate, and the crossover against a 5-10 µs-start-up
+//! Ethernet network.
+//!
+//! Prints the transfer-time series vs message size for both networks, then
+//! benchmarks the real link-protocol state machines moving data.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qcdoc_asic::clock::Clock;
+use qcdoc_asic::memory::NodeMemory;
+use qcdoc_scu::dma::DmaDescriptor;
+use qcdoc_scu::link::{RecvOutcome, RecvUnit, SendUnit};
+use qcdoc_scu::timing::{EthernetBaseline, LinkTimingConfig};
+use std::hint::black_box;
+
+fn print_series() {
+    let link = LinkTimingConfig::default();
+    let eth = EthernetBaseline::default();
+    let clock = Clock::DESIGN;
+    eprintln!("\n=== E4: transfer time vs message size (500 MHz) ===");
+    eprintln!("{:>10} {:>12} {:>12} {:>8}", "words", "QCDOC (us)", "Ethernet (us)", "winner");
+    for words in [1u64, 4, 24, 96, 1024, 16384, 1_000_000] {
+        let q = link.transfer_ns(words, clock) / 1000.0;
+        let e = eth.transfer_ns(words * 8) / 1000.0;
+        eprintln!(
+            "{:>10} {:>12.2} {:>12.2} {:>8}",
+            words,
+            q,
+            e,
+            if q < e { "QCDOC" } else { "Ethernet" }
+        );
+    }
+    eprintln!(
+        "single word: {:.0} ns (paper: ~600 ns); 24-word tail: {:.2} us (paper: 3.3 us)",
+        link.transfer_ns(1, clock),
+        (link.transfer_ns(24, clock) - link.transfer_ns(1, clock)) / 1000.0
+    );
+    eprintln!(
+        "aggregate node bandwidth: {:.2} GB/s (paper: 1.3 GB/s)",
+        link.node_bandwidth(clock) / 1e9
+    );
+}
+
+/// Move `words` 64-bit words through the real protocol state machines.
+fn protocol_transfer(words: u32) -> u64 {
+    let mut s = SendUnit::new();
+    let mut r = RecvUnit::new();
+    s.train();
+    r.train();
+    let mut mem = NodeMemory::with_128mb_dimm();
+    r.arm(DmaDescriptor::contiguous(0x1000, words), &mut mem).unwrap();
+    for w in 0..words as u64 {
+        s.enqueue_word(w);
+    }
+    let mut frames = 0u64;
+    while let Some(wf) = s.next_frame().unwrap() {
+        frames += 1;
+        match r.on_frame(&wf, &mut mem).unwrap() {
+            RecvOutcome::Accepted => s.on_ack(),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    frames
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let mut group = c.benchmark_group("e4_protocol_transfer");
+    for words in [1u32, 24, 256, 4096] {
+        group.bench_function(format!("words_{words}"), |b| {
+            b.iter(|| black_box(protocol_transfer(words)))
+        });
+    }
+    group.finish();
+
+    c.bench_function("e4_timing_model", |b| {
+        let link = LinkTimingConfig::default();
+        b.iter(|| {
+            for words in [1u64, 24, 1024] {
+                black_box(link.transfer_cycles(words));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! E6 — software partitioning (§2.2, §3.1): remapping the native 6-D mesh
+//! to every logical rank 1..6 without moving cables, always at dilation 1.
+//!
+//! Prints the remap table for the 1024-node rack, then benchmarks
+//! partition construction, the coordinate maps, and the dilation audit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qcdoc_geometry::{NodeId, Partition, PartitionSpec, TorusShape};
+use std::hint::black_box;
+
+/// Whole-machine grouping folding the trailing axes into the last logical
+/// dimension.
+fn grouping(machine: &TorusShape, rank: usize) -> PartitionSpec {
+    let keep = rank - 1;
+    let mut groups: Vec<Vec<usize>> = (0..keep).map(|a| vec![a]).collect();
+    groups.push((keep..machine.rank()).collect());
+    PartitionSpec {
+        origin: qcdoc_geometry::NodeCoord::ORIGIN,
+        extents: machine.dims().to_vec(),
+        groups,
+    }
+}
+
+fn print_table() {
+    let machine = TorusShape::rack_1024();
+    eprintln!("\n=== E6: software remaps of the 1024-node rack (8x4x4x2x2x2) ===");
+    eprintln!("{:>6} {:>20} {:>10}", "rank", "logical shape", "dilation");
+    for rank in 1..=6usize {
+        let p = Partition::new(&machine, grouping(&machine, rank)).unwrap();
+        eprintln!(
+            "{:>6} {:>20} {:>10}",
+            rank,
+            p.logical_shape().to_string(),
+            p.dilation()
+        );
+        assert_eq!(p.dilation(), 1, "every remap must keep neighbours adjacent");
+    }
+    eprintln!("(no cables moved: the fold is a Gray cycle through the physical mesh)");
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let machine = TorusShape::rack_1024();
+
+    c.bench_function("e6_partition_build_4d", |b| {
+        b.iter(|| black_box(Partition::new(&machine, grouping(&machine, 4)).unwrap()))
+    });
+
+    let p = Partition::new(&machine, grouping(&machine, 4)).unwrap();
+    c.bench_function("e6_logical_to_physical_1024", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for i in 0..1024u32 {
+                acc ^= p.physical_id(NodeId(i)).0;
+            }
+            black_box(acc)
+        })
+    });
+
+    c.bench_function("e6_dilation_audit_1024", |b| {
+        b.iter(|| black_box(p.dilation()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

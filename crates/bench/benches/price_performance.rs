@@ -1,0 +1,75 @@
+//! E3 — the §4 cost accounting and price/performance table.
+//!
+//! Prints the itemized purchase-order breakdown of the 4096-node Columbia
+//! machine, the $/sustained-Megaflops figures at 360/420/450 MHz against
+//! the paper's quotes, and the 12,288-node volume-discount projection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qcdoc_machine::cost::{columbia_4096, CostModel, PricePerformance, PAPER_PRICE_PERF};
+use qcdoc_machine::packaging::MachineAssembly;
+use std::hint::black_box;
+
+fn print_tables() {
+    let assembly = MachineAssembly::new(4096);
+    let b = CostModel::default().breakdown(&assembly);
+    eprintln!("\n=== E3: 4096-node machine cost (paper §4) ===");
+    eprint!("{}", b.render());
+    eprintln!(
+        "paper: hardware ${:.0}, all-in ${:.0}",
+        columbia_4096::QUOTED_TOTAL,
+        columbia_4096::QUOTED_TOTAL_WITH_RND
+    );
+    eprintln!("\n{:>8} {:>10} {:>8}", "clock", "$ / MF", "paper");
+    for (clock, paper) in PAPER_PRICE_PERF {
+        let pp = PricePerformance {
+            clock_mhz: clock,
+            efficiency: 0.45,
+            total_cost: b.total(),
+            nodes: 4096,
+        };
+        eprintln!("{:>5} MHz {:>10.3} {:>8.2}", clock, pp.dollars_per_mflops(), paper);
+    }
+    let big = MachineAssembly::new(12_288);
+    let model = CostModel { volume_discount: 0.93, ..Default::default() };
+    let bb = model.breakdown(&big);
+    let pp = PricePerformance {
+        clock_mhz: 450.0,
+        efficiency: 0.45,
+        total_cost: bb.total(),
+        nodes: 12_288,
+    };
+    eprintln!(
+        "12,288 nodes with 7% volume discount: ${:.3}/MF (paper target: ~$1)",
+        pp.dollars_per_mflops()
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_tables();
+    c.bench_function("e3_cost_breakdown", |b| {
+        let model = CostModel::default();
+        b.iter(|| {
+            for nodes in [64usize, 128, 512, 1024, 4096, 12_288] {
+                let m = MachineAssembly::new(nodes);
+                black_box(model.breakdown(&m).total());
+            }
+        })
+    });
+    c.bench_function("e3_price_performance_sweep", |b| {
+        let breakdown = CostModel::default().breakdown(&MachineAssembly::new(4096));
+        b.iter(|| {
+            for (clock, _) in PAPER_PRICE_PERF {
+                let pp = PricePerformance {
+                    clock_mhz: clock,
+                    efficiency: 0.45,
+                    total_cost: breakdown.total(),
+                    nodes: 4096,
+                };
+                black_box(pp.dollars_per_mflops());
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

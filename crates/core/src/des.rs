@@ -1,0 +1,281 @@
+//! A discrete-event timing engine for iterative stencil workloads.
+//!
+//! The analytic model (`crate::perf`) prices one CG iteration in closed
+//! form; this engine *plays it out*: every node computes, exchanges faces
+//! with its neighbours over links with the real serialization constants,
+//! and joins the machine-wide reduction. Because the dependence structure
+//! is explicit, it answers questions the closed form cannot:
+//!
+//! * §2.2's **self-synchronization**: "if a given node stops communicating
+//!   with its neighbors, the entire machine will shortly become stalled.
+//!   Once the initial blocked link resumes its transfers, the whole
+//!   machine will proceed" — a one-time delay costs the machine that
+//!   delay *once*, not once per iteration;
+//! * "this link-level handshaking also allows one node to get slightly
+//!   behind in a uniform operation over the whole machine, say due to a
+//!   memory refresh" — a short pause on a node with slack is absorbed
+//!   completely;
+//! * a persistently slow node paces the whole machine.
+//!
+//! The engine also cross-checks the analytic model: on a homogeneous
+//! machine the two must agree on the iteration time (asserted in tests).
+
+use qcdoc_scu::timing::LinkTimingConfig;
+use serde::{Deserialize, Serialize};
+
+/// One node's perturbation: extra cycles added to its compute phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Perturbation {
+    /// Node rank.
+    pub node: usize,
+    /// Iteration the delay strikes (`None` = every iteration).
+    pub iteration: Option<usize>,
+    /// Extra cycles.
+    pub extra_cycles: u64,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesConfig {
+    /// Logical 4-D machine extents.
+    pub machine_dims: [usize; 4],
+    /// Baseline compute cycles per node per iteration.
+    pub compute_cycles: u64,
+    /// Per-node compute override (rank → cycles); e.g. a faster node has
+    /// headroom that can absorb a pause.
+    pub compute_override: Vec<(usize, u64)>,
+    /// 64-bit words exchanged per face per iteration.
+    pub face_words: u64,
+    /// Link timing.
+    pub link: LinkTimingConfig,
+    /// Cycles for the machine-wide reduction closing each iteration.
+    pub global_sum_cycles: u64,
+    /// Perturbations to inject.
+    pub perturbations: Vec<Perturbation>,
+}
+
+impl DesConfig {
+    /// A homogeneous machine with no perturbations.
+    pub fn homogeneous(
+        machine_dims: [usize; 4],
+        compute_cycles: u64,
+        face_words: u64,
+        global_sum_cycles: u64,
+    ) -> DesConfig {
+        DesConfig {
+            machine_dims,
+            compute_cycles,
+            compute_override: Vec::new(),
+            face_words,
+            link: LinkTimingConfig::default(),
+            global_sum_cycles,
+            perturbations: Vec::new(),
+        }
+    }
+
+    fn nodes(&self) -> usize {
+        self.machine_dims.iter().product()
+    }
+
+    fn coord(&self, mut rank: usize) -> [usize; 4] {
+        let mut c = [0usize; 4];
+        for a in 0..4 {
+            c[a] = rank % self.machine_dims[a];
+            rank /= self.machine_dims[a];
+        }
+        c
+    }
+
+    fn rank(&self, c: [usize; 4]) -> usize {
+        let d = self.machine_dims;
+        ((c[3] * d[2] + c[2]) * d[1] + c[1]) * d[0] + c[0]
+    }
+
+    fn neighbours(&self, rank: usize) -> Vec<usize> {
+        let c = self.coord(rank);
+        let mut out = Vec::new();
+        for a in 0..4 {
+            let n = self.machine_dims[a];
+            if n <= 1 {
+                continue;
+            }
+            for step in [1, n - 1] {
+                let mut nc = c;
+                nc[a] = (c[a] + step) % n;
+                out.push(self.rank(nc));
+            }
+        }
+        out
+    }
+
+    fn compute_of(&self, rank: usize, iteration: usize) -> u64 {
+        let mut c = self
+            .compute_override
+            .iter()
+            .find(|(r, _)| *r == rank)
+            .map(|&(_, v)| v)
+            .unwrap_or(self.compute_cycles);
+        for p in &self.perturbations {
+            if p.node == rank && p.iteration.is_none_or(|i| i == iteration) {
+                c += p.extra_cycles;
+            }
+        }
+        c
+    }
+}
+
+/// The result of a run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DesResult {
+    /// Cycle at which the whole machine finished all iterations.
+    pub total_cycles: u64,
+    /// Machine-wide finish time of each iteration.
+    pub iteration_finish: Vec<u64>,
+}
+
+impl DesResult {
+    /// Steady-state cycles per iteration (from the last two iterations).
+    pub fn steady_iteration_cycles(&self) -> u64 {
+        match self.iteration_finish.len() {
+            0 => 0,
+            1 => self.iteration_finish[0],
+            n => self.iteration_finish[n - 1] - self.iteration_finish[n - 2],
+        }
+    }
+}
+
+/// Play out `iterations` iterations of compute → face exchange → global
+/// reduction.
+pub fn run(config: &DesConfig, iterations: usize) -> DesResult {
+    let n = config.nodes();
+    let face_cycles = config.link.transfer_cycles(config.face_words).count();
+    let neighbours: Vec<Vec<usize>> = (0..n).map(|r| config.neighbours(r)).collect();
+    let mut ready = vec![0u64; n]; // when each node may start the next iteration
+    let mut finishes = Vec::with_capacity(iterations);
+    for it in 0..iterations {
+        // Compute phase ends per node.
+        let compute_end: Vec<u64> =
+            (0..n).map(|r| ready[r] + config.compute_of(r, it)).collect();
+        // A node has its halo when every neighbour's face has landed; each
+        // face leaves when the neighbour's compute ends.
+        let halo_done: Vec<u64> = (0..n)
+            .map(|r| {
+                neighbours[r]
+                    .iter()
+                    .map(|&m| compute_end[m] + face_cycles)
+                    .chain(std::iter::once(compute_end[r]))
+                    .max()
+                    .expect("nonempty")
+            })
+            .collect();
+        // The dimension-ordered global sum synchronizes the machine: it
+        // completes (everywhere) a fixed latency after the last node joins.
+        let sum_done = halo_done.iter().max().copied().expect("nodes") + config.global_sum_cycles;
+        for r in 0..n {
+            ready[r] = sum_done;
+        }
+        finishes.push(sum_done);
+    }
+    DesResult { total_cycles: *finishes.last().unwrap_or(&0), iteration_finish: finishes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> DesConfig {
+        // 16 nodes, 4^4-local-volume-ish numbers.
+        DesConfig::homogeneous([2, 2, 2, 2], 800_000, 1_536, 3_000)
+    }
+
+    #[test]
+    fn homogeneous_iteration_time_is_compute_plus_face_plus_sum() {
+        let cfg = base();
+        let r = run(&cfg, 5);
+        let face = cfg.link.transfer_cycles(cfg.face_words).count();
+        let expect = cfg.compute_cycles + face + cfg.global_sum_cycles;
+        assert_eq!(r.steady_iteration_cycles(), expect);
+        assert_eq!(r.total_cycles, 5 * expect);
+    }
+
+    #[test]
+    fn agrees_with_analytic_model_without_overlap() {
+        // Configure the analytic model with zero overlap and compare.
+        use crate::perf::{Calibration, DiracPerf};
+        use qcdoc_lattice::counts::Action;
+        let mut perf = DiracPerf::paper_bench();
+        perf.calibration = Calibration {
+            comm_overlap: 0.0,
+            mem_overlap_edram: 0.75,
+            ..Calibration::default()
+        };
+        let report = perf.evaluate(Action::Wilson);
+        // Feed the DES the same pieces: local cycles, per-face words (one
+        // direction's worth — faces move concurrently), and the global sum.
+        let local = report.total_cycles - report.comm_cycles - report.gsum_cycles;
+        let cfg = DesConfig {
+            machine_dims: perf.logical_dims,
+            compute_cycles: local,
+            compute_override: vec![],
+            // comm_cycles covers both operator applications; DES charges
+            // one face exchange per iteration, so hand it the total.
+            face_words: report.comm_cycles / 72,
+            link: perf.machine.link,
+            global_sum_cycles: report.gsum_cycles,
+            perturbations: vec![],
+        };
+        let des = run(&cfg, 3);
+        let rel = (des.steady_iteration_cycles() as f64 - report.total_cycles as f64).abs()
+            / report.total_cycles as f64;
+        assert!(rel < 0.02, "DES {} vs analytic {}", des.steady_iteration_cycles(), report.total_cycles);
+    }
+
+    #[test]
+    fn one_time_stall_costs_the_machine_once() {
+        // §2.2: a blocked link stalls the machine; when it resumes, the
+        // machine proceeds — the delay is paid once, not per iteration.
+        let clean = run(&base(), 10).total_cycles;
+        let mut cfg = base();
+        let delta = 500_000u64;
+        cfg.perturbations.push(Perturbation { node: 5, iteration: Some(2), extra_cycles: delta });
+        let stalled = run(&cfg, 10).total_cycles;
+        assert_eq!(stalled, clean + delta, "a one-time stall must cost exactly itself");
+    }
+
+    #[test]
+    fn persistently_slow_node_paces_the_machine() {
+        let clean = run(&base(), 10).total_cycles;
+        let mut cfg = base();
+        let delta = 50_000u64;
+        cfg.perturbations.push(Perturbation { node: 3, iteration: None, extra_cycles: delta });
+        let slowed = run(&cfg, 10).total_cycles;
+        assert_eq!(slowed, clean + 10 * delta, "every iteration waits for the slow node");
+    }
+
+    #[test]
+    fn short_pause_on_a_node_with_slack_is_absorbed() {
+        // §2.2: "allows one node to get slightly behind … say due to a
+        // memory refresh. Provided the delay … is short enough, the
+        // majority of the machine will not see this pause." Give node 7
+        // headroom (it computes faster), then pause it by less than that
+        // headroom: total time must not change at all.
+        let mut cfg = base();
+        cfg.compute_override.push((7, cfg.compute_cycles - 40_000));
+        let clean = run(&cfg, 10).total_cycles;
+        let mut paused = cfg.clone();
+        paused.perturbations.push(Perturbation { node: 7, iteration: Some(4), extra_cycles: 30_000 });
+        assert_eq!(run(&paused, 10).total_cycles, clean, "refresh pause must be invisible");
+        // But exceeding the headroom shows up.
+        let mut too_long = cfg.clone();
+        too_long.perturbations.push(Perturbation { node: 7, iteration: Some(4), extra_cycles: 60_000 });
+        assert!(run(&too_long, 10).total_cycles > clean);
+    }
+
+    #[test]
+    fn skipping_comm_on_serial_axes() {
+        // Machine extent 1 on every axis: a single node, no faces.
+        let cfg = DesConfig::homogeneous([1, 1, 1, 1], 1000, 999, 7);
+        let r = run(&cfg, 2);
+        assert_eq!(r.steady_iteration_cycles(), 1007);
+    }
+}

@@ -1,0 +1,698 @@
+//! Lattice QCD distributed over the functional machine.
+//!
+//! Each node owns a hyper-rectangular block of the global lattice (§1:
+//! "each processor becomes responsible for the local variables associated
+//! with a space-time hypercube"). A Wilson dslash then needs, from each of
+//! the eight neighbours, the spin-projected half-spinors of the adjacent
+//! face — 12 complex numbers per face site, staged into node memory and
+//! moved by the SCU DMA engines over the real link protocol.
+//!
+//! The arithmetic is ordered so that the distributed operator is **bitwise
+//! identical** to the single-node reference in `qcdoc-lattice`: the same
+//! project → SU(3)-multiply → reconstruct → accumulate sequence runs for
+//! every site, only the *location* of the data differs. That is the
+//! property behind the §4 reproducibility result, and the integration
+//! tests assert it — including under injected link faults, where the
+//! hardware resend makes corruption invisible to the physics.
+
+use crate::comm::{global_sum_f64, COMM_SCRATCH_BASE};
+use crate::functional::NodeCtx;
+use qcdoc_geometry::Axis;
+use qcdoc_lattice::complex::C64;
+use qcdoc_lattice::field::{FermionField, GaugeField, Lattice};
+use qcdoc_lattice::spinor::{HalfSpinor, ProjSign, Spinor};
+use qcdoc_lattice::su3::Su3;
+use qcdoc_scu::dma::DmaDescriptor;
+
+/// Words per half-spinor on the wire (12 complex = 24 × u64).
+const HALF_WORDS: u64 = 24;
+
+/// The block decomposition seen from one node.
+#[derive(Debug, Clone)]
+pub struct BlockGeom {
+    /// The global lattice.
+    pub global: Lattice,
+    /// The local block.
+    pub local: Lattice,
+    /// Logical machine extents (padded to 4 axes).
+    pub mdims: [usize; 4],
+    /// This node's machine coordinate.
+    pub mcoord: [usize; 4],
+}
+
+impl BlockGeom {
+    /// Build the decomposition for this node. The machine's logical rank
+    /// must be ≤ 4 and each global extent divisible by the machine extent.
+    pub fn new(ctx: &NodeCtx, global: Lattice) -> BlockGeom {
+        assert!(ctx.shape.rank() <= 4, "lattice decomposition uses at most 4 machine axes");
+        let mut mdims = [1usize; 4];
+        let mut mcoord = [0usize; 4];
+        for a in 0..ctx.shape.rank() {
+            mdims[a] = ctx.shape.extent(a);
+            mcoord[a] = ctx.coord.get(a);
+        }
+        let gd = global.dims();
+        let mut ld = [0usize; 4];
+        for a in 0..4 {
+            assert_eq!(gd[a] % mdims[a], 0, "lattice extent not divisible on axis {a}");
+            ld[a] = gd[a] / mdims[a];
+        }
+        BlockGeom { global, local: Lattice::new(ld), mdims, mcoord }
+    }
+
+    /// Global site index of a local site.
+    pub fn global_site(&self, local_idx: usize) -> usize {
+        let lc = self.local.coord(local_idx);
+        let ld = self.local.dims();
+        let mut gc = [0usize; 4];
+        for a in 0..4 {
+            gc[a] = self.mcoord[a] * ld[a] + lc[a];
+        }
+        self.global.index(gc)
+    }
+
+    /// Extract this node's gauge block from a global field.
+    pub fn extract_gauge(&self, g: &GaugeField) -> Vec<[Su3; 4]> {
+        assert_eq!(g.lattice(), self.global);
+        self.local
+            .sites()
+            .map(|l| {
+                let gsite = self.global_site(l);
+                [*g.link(gsite, 0), *g.link(gsite, 1), *g.link(gsite, 2), *g.link(gsite, 3)]
+            })
+            .collect()
+    }
+
+    /// Extract this node's fermion block from a global field.
+    pub fn extract_fermion(&self, f: &FermionField) -> Vec<Spinor> {
+        assert_eq!(f.lattice(), self.global);
+        self.local.sites().map(|l| *f.site(self.global_site(l))).collect()
+    }
+
+    /// Number of sites on the face normal to `mu`.
+    pub fn face_sites(&self, mu: usize) -> usize {
+        self.local.volume() / self.local.dims()[mu]
+    }
+
+    /// Dense index of a site within the face normal to `mu` (lexicographic
+    /// over the other axes, x fastest).
+    pub fn face_index(&self, lc: [usize; 4], mu: usize) -> usize {
+        let ld = self.local.dims();
+        let mut idx = 0usize;
+        for a in (0..4).rev() {
+            if a == mu {
+                continue;
+            }
+            idx = idx * ld[a] + lc[a];
+        }
+        idx
+    }
+
+    /// Whether hops along `mu` leave the node (machine spans the axis).
+    pub fn off_node(&self, mu: usize) -> bool {
+        self.mdims[mu] > 1
+    }
+}
+
+/// Staging layout inside EDRAM: 16 slots (8 send + 8 receive, one per
+/// signed direction), sized for the largest face, below the comm scratch.
+fn staging(geom: &BlockGeom, slot: usize) -> u64 {
+    let max_face = (0..4).map(|m| geom.face_sites(m)).max().unwrap() as u64;
+    let slot_bytes = max_face * HALF_WORDS * 8;
+    let total = 16 * slot_bytes;
+    let base = COMM_SCRATCH_BASE - total;
+    base + slot as u64 * slot_bytes
+}
+
+/// Exchange all faces of `psi`: returns, per axis, the half-spinors
+/// arriving from the +μ neighbour (their projected low face) and from the
+/// −μ neighbour (their `U†(1+γ)ψ` high face). Axes the machine does not
+/// span return empty vectors.
+pub fn exchange_faces(
+    ctx: &mut NodeCtx,
+    geom: &BlockGeom,
+    gauge: &[[Su3; 4]],
+    psi: &[Spinor],
+) -> ([Vec<HalfSpinor>; 4], [Vec<HalfSpinor>; 4]) {
+    let ld = geom.local.dims();
+    let mut sends = Vec::new();
+    let mut recvs = Vec::new();
+    for mu in 0..4 {
+        if !geom.off_node(mu) {
+            continue;
+        }
+        let faces = geom.face_sites(mu) as u64;
+        // Pack the low face (x_mu = 0): P− ψ, wanted by the −μ neighbour.
+        let send_lo = staging(geom, 2 * mu);
+        // Pack the high face: U†_μ (1+γ_μ) ψ, wanted by the +μ neighbour.
+        let send_hi = staging(geom, 2 * mu + 1);
+        for l in geom.local.sites() {
+            let lc = geom.local.coord(l);
+            if lc[mu] == 0 {
+                let h = psi[l].project(mu, ProjSign::Minus);
+                let base = send_lo + geom.face_index(lc, mu) as u64 * HALF_WORDS * 8;
+                ctx.mem.write_block(base, &h.to_words()).unwrap();
+            }
+            if lc[mu] == ld[mu] - 1 {
+                let h = psi[l].project(mu, ProjSign::Plus).adj_mul_su3(&gauge[l][mu]);
+                let base = send_hi + geom.face_index(lc, mu) as u64 * HALF_WORDS * 8;
+                ctx.mem.write_block(base, &h.to_words()).unwrap();
+            }
+        }
+        let axis = Axis(mu as u8);
+        // Receives: from +μ (their low face) and from −μ (their high face).
+        let recv_plus = staging(geom, 8 + 2 * mu);
+        let recv_minus = staging(geom, 8 + 2 * mu + 1);
+        ctx.start_recv(axis.plus(), DmaDescriptor::contiguous(recv_plus, (faces * HALF_WORDS) as u32));
+        ctx.start_recv(axis.minus(), DmaDescriptor::contiguous(recv_minus, (faces * HALF_WORDS) as u32));
+        // Sends: low face toward −μ, high face toward +μ.
+        ctx.start_send(axis.minus(), DmaDescriptor::contiguous(send_lo, (faces * HALF_WORDS) as u32));
+        ctx.start_send(axis.plus(), DmaDescriptor::contiguous(send_hi, (faces * HALF_WORDS) as u32));
+        sends.push(axis.plus());
+        sends.push(axis.minus());
+        recvs.push(axis.plus());
+        recvs.push(axis.minus());
+    }
+    ctx.complete(&sends, &recvs);
+    // Unpack.
+    let mut from_plus: [Vec<HalfSpinor>; 4] = Default::default();
+    let mut from_minus: [Vec<HalfSpinor>; 4] = Default::default();
+    for mu in 0..4 {
+        if !geom.off_node(mu) {
+            continue;
+        }
+        let faces = geom.face_sites(mu);
+        let recv_plus = staging(geom, 8 + 2 * mu);
+        let recv_minus = staging(geom, 8 + 2 * mu + 1);
+        for f in 0..faces {
+            let wp: Vec<u64> =
+                ctx.mem.read_block(recv_plus + f as u64 * HALF_WORDS * 8, 24).unwrap();
+            let wm: Vec<u64> =
+                ctx.mem.read_block(recv_minus + f as u64 * HALF_WORDS * 8, 24).unwrap();
+            from_plus[mu].push(HalfSpinor::from_words(&wp.try_into().unwrap()));
+            from_minus[mu].push(HalfSpinor::from_words(&wm.try_into().unwrap()));
+        }
+    }
+    (from_plus, from_minus)
+}
+
+/// Distributed Wilson hopping term on this node's block.
+pub fn dslash_local(
+    ctx: &mut NodeCtx,
+    geom: &BlockGeom,
+    gauge: &[[Su3; 4]],
+    psi: &[Spinor],
+) -> Vec<Spinor> {
+    let (from_plus, from_minus) = exchange_faces(ctx, geom, gauge, psi);
+    let local = geom.local;
+    let ld = local.dims();
+    let mut out = vec![Spinor::ZERO; local.volume()];
+    for l in local.sites() {
+        let lc = local.coord(l);
+        let mut acc = Spinor::ZERO;
+        for mu in 0..4 {
+            // Forward hop: U_mu(x) (1-gamma) psi(x+mu).
+            let hf = if geom.off_node(mu) && lc[mu] == ld[mu] - 1 {
+                from_plus[mu][geom.face_index(lc, mu)]
+            } else {
+                let xf = local.neighbour(l, mu, true);
+                psi[xf].project(mu, ProjSign::Minus)
+            };
+            acc += Spinor::reconstruct(&hf.mul_su3(&gauge[l][mu]), mu, ProjSign::Minus);
+            // Backward hop: U_mu(x-mu)^dag (1+gamma) psi(x-mu).
+            let hb = if geom.off_node(mu) && lc[mu] == 0 {
+                from_minus[mu][geom.face_index(lc, mu)]
+            } else {
+                let xb = local.neighbour(l, mu, false);
+                psi[xb].project(mu, ProjSign::Plus).adj_mul_su3(&gauge[xb][mu])
+            };
+            acc += Spinor::reconstruct(&hb, mu, ProjSign::Plus);
+        }
+        out[l] = acc;
+    }
+    out
+}
+
+/// Distributed Wilson operator `M = 1 − κ D`.
+pub fn wilson_apply(
+    ctx: &mut NodeCtx,
+    geom: &BlockGeom,
+    gauge: &[[Su3; 4]],
+    psi: &[Spinor],
+    kappa: f64,
+) -> Vec<Spinor> {
+    let mut out = dslash_local(ctx, geom, gauge, psi);
+    let mk = C64::real(-kappa);
+    for (o, p) in out.iter_mut().zip(psi) {
+        *o = p.axpy(mk, o);
+    }
+    out
+}
+
+/// Distributed `M† = γ₅ M γ₅`.
+pub fn wilson_apply_dagger(
+    ctx: &mut NodeCtx,
+    geom: &BlockGeom,
+    gauge: &[[Su3; 4]],
+    psi: &[Spinor],
+    kappa: f64,
+) -> Vec<Spinor> {
+    let g5: Vec<Spinor> = psi.iter().map(|s| s.apply_gamma5()).collect();
+    let mid = wilson_apply(ctx, geom, gauge, &g5, kappa);
+    mid.iter().map(|s| s.apply_gamma5()).collect()
+}
+
+/// Block vector helpers with machine-wide reductions.
+fn axpy(x: &mut [Spinor], a: f64, y: &[Spinor]) {
+    let ac = C64::real(a);
+    for (xi, yi) in x.iter_mut().zip(y) {
+        *xi = xi.axpy(ac, yi);
+    }
+}
+
+fn xpay(p: &mut [Spinor], a: f64, r: &[Spinor]) {
+    let ac = C64::real(a);
+    for (pi, ri) in p.iter_mut().zip(r) {
+        *pi = ri.axpy(ac, pi);
+    }
+}
+
+fn local_norm_sqr(x: &[Spinor]) -> f64 {
+    x.iter().map(|s| s.norm_sqr()).sum()
+}
+
+fn local_dot_re(x: &[Spinor], y: &[Spinor]) -> f64 {
+    x.iter().zip(y).map(|(a, b)| a.dot(b).re).sum()
+}
+
+/// Result of a distributed CG solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistCgReport {
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final relative residual.
+    pub final_residual: f64,
+    /// Whether the tolerance was met.
+    pub converged: bool,
+    /// Link-level rejects this node observed (0 on a clean run).
+    pub link_errors: u64,
+}
+
+/// Distributed CGNE for the Wilson operator: solves `M x = b`; `x` starts
+/// zero. The two inner products per iteration are machine-wide
+/// dimension-ordered global sums — the operations §2.2's hardware global
+/// mode exists for.
+pub fn wilson_solve_cg(
+    ctx: &mut NodeCtx,
+    geom: &BlockGeom,
+    gauge: &[[Su3; 4]],
+    b: &[Spinor],
+    kappa: f64,
+    tolerance: f64,
+    max_iterations: usize,
+) -> (Vec<Spinor>, DistCgReport) {
+    let n = b.len();
+    let mut x = vec![Spinor::ZERO; n];
+    // r = M† b (x0 = 0).
+    let mut r = wilson_apply_dagger(ctx, geom, gauge, b, kappa);
+    let bref = global_sum_f64(ctx, local_norm_sqr(&r)).max(f64::MIN_POSITIVE);
+    let mut p = r.clone();
+    let mut rsq = global_sum_f64(ctx, local_norm_sqr(&r));
+    let mut iterations = 0;
+    let mut converged = (rsq / bref).sqrt() <= tolerance;
+    while !converged && iterations < max_iterations {
+        let t = wilson_apply(ctx, geom, gauge, &p, kappa);
+        let q = wilson_apply_dagger(ctx, geom, gauge, &t, kappa);
+        let pq = global_sum_f64(ctx, local_dot_re(&p, &q));
+        if pq <= 0.0 {
+            break;
+        }
+        let alpha = rsq / pq;
+        axpy(&mut x, alpha, &p);
+        axpy(&mut r, -alpha, &q);
+        let new_rsq = global_sum_f64(ctx, local_norm_sqr(&r));
+        iterations += 1;
+        converged = (new_rsq / bref).sqrt() <= tolerance;
+        let beta = new_rsq / rsq;
+        xpay(&mut p, beta, &r);
+        rsq = new_rsq;
+    }
+    let report = DistCgReport {
+        iterations,
+        final_residual: (rsq / bref).sqrt(),
+        converged,
+        link_errors: ctx.link_errors(),
+    };
+    (x, report)
+}
+
+/// Distributed naive staggered dslash. Face payloads are color vectors
+/// (3 complex = 6 words per site): the low face travels raw (the −μ
+/// neighbour multiplies by its own fat/thin link), the high face travels
+/// pre-multiplied by `U†` exactly like the Wilson backward hop.
+pub fn staggered_dslash_local(
+    ctx: &mut NodeCtx,
+    geom: &BlockGeom,
+    gauge: &[[Su3; 4]],
+    chi: &[qcdoc_lattice::colorvec::ColorVec],
+) -> Vec<qcdoc_lattice::colorvec::ColorVec> {
+    use qcdoc_lattice::colorvec::ColorVec;
+    use qcdoc_lattice::staggered::eta;
+    const VEC_WORDS: u64 = 6;
+    let ld = geom.local.dims();
+    // Exchange faces (raw low face, U†-multiplied high face).
+    let mut sends = Vec::new();
+    let mut recvs = Vec::new();
+    for mu in 0..4 {
+        if !geom.off_node(mu) {
+            continue;
+        }
+        let faces = geom.face_sites(mu) as u64;
+        let send_lo = staging(geom, 2 * mu);
+        let send_hi = staging(geom, 2 * mu + 1);
+        for l in geom.local.sites() {
+            let lc = geom.local.coord(l);
+            let pack = |v: &ColorVec| -> [u64; 6] {
+                let mut w = [0u64; 6];
+                for c in 0..3 {
+                    w[2 * c] = v.0[c].re.to_bits();
+                    w[2 * c + 1] = v.0[c].im.to_bits();
+                }
+                w
+            };
+            if lc[mu] == 0 {
+                let base = send_lo + geom.face_index(lc, mu) as u64 * VEC_WORDS * 8;
+                ctx.mem.write_block(base, &pack(&chi[l])).unwrap();
+            }
+            if lc[mu] == ld[mu] - 1 {
+                let v = gauge[l][mu].adj_mul_vec(&chi[l]);
+                let base = send_hi + geom.face_index(lc, mu) as u64 * VEC_WORDS * 8;
+                ctx.mem.write_block(base, &pack(&v)).unwrap();
+            }
+        }
+        let axis = Axis(mu as u8);
+        let recv_plus = staging(geom, 8 + 2 * mu);
+        let recv_minus = staging(geom, 8 + 2 * mu + 1);
+        ctx.start_recv(axis.plus(), DmaDescriptor::contiguous(recv_plus, (faces * VEC_WORDS) as u32));
+        ctx.start_recv(axis.minus(), DmaDescriptor::contiguous(recv_minus, (faces * VEC_WORDS) as u32));
+        ctx.start_send(axis.minus(), DmaDescriptor::contiguous(send_lo, (faces * VEC_WORDS) as u32));
+        ctx.start_send(axis.plus(), DmaDescriptor::contiguous(send_hi, (faces * VEC_WORDS) as u32));
+        sends.push(axis.plus());
+        sends.push(axis.minus());
+        recvs.push(axis.plus());
+        recvs.push(axis.minus());
+    }
+    ctx.complete(&sends, &recvs);
+    let unpack = |ctx: &mut NodeCtx, base: u64, f: usize| -> ColorVec {
+        let w: Vec<u64> = ctx.mem.read_block(base + f as u64 * VEC_WORDS * 8, 6).unwrap();
+        let mut v = ColorVec::ZERO;
+        for c in 0..3 {
+            v.0[c] = C64::new(f64::from_bits(w[2 * c]), f64::from_bits(w[2 * c + 1]));
+        }
+        v
+    };
+    let mut out = vec![ColorVec::ZERO; chi.len()];
+    for l in geom.local.sites() {
+        let lc = geom.local.coord(l);
+        // Staggered phases depend on the *global* coordinate.
+        let gc = geom.global.coord(geom.global_site(l));
+        let mut acc = ColorVec::ZERO;
+        for mu in 0..4 {
+            let phase = eta(gc, mu) * 0.5;
+            let fwd = if geom.off_node(mu) && lc[mu] == ld[mu] - 1 {
+                unpack(ctx, staging(geom, 8 + 2 * mu), geom.face_index(lc, mu))
+            } else {
+                *chi.get(geom.local.neighbour(l, mu, true)).expect("local site")
+            };
+            acc += gauge[l][mu].mul_vec(&fwd) * phase;
+            let bwd = if geom.off_node(mu) && lc[mu] == 0 {
+                unpack(ctx, staging(geom, 8 + 2 * mu + 1), geom.face_index(lc, mu))
+            } else {
+                let xb = geom.local.neighbour(l, mu, false);
+                gauge[xb][mu].adj_mul_vec(&chi[xb])
+            };
+            acc -= bwd * phase;
+        }
+        out[l] = acc;
+    }
+    out
+}
+
+/// Distributed clover operator: the hopping term needs the same halo
+/// exchange as Wilson; the clover term `A(x)` is strictly site-local, so
+/// each node applies its own precomputed blocks. `clover` must be built on
+/// the *global* gauge field (the field-strength leaves reach one site out,
+/// which the global construction handles; each node then extracts its
+/// sites' blocks).
+pub fn clover_apply(
+    ctx: &mut NodeCtx,
+    geom: &BlockGeom,
+    gauge: &[[Su3; 4]],
+    clover: &qcdoc_lattice::clover::CloverDirac<'_>,
+    psi: &[Spinor],
+    kappa: f64,
+) -> Vec<Spinor> {
+    let hop = dslash_local(ctx, geom, gauge, psi);
+    let mut out = vec![Spinor::ZERO; psi.len()];
+    let mk = C64::real(-kappa);
+    for l in geom.local.sites() {
+        let gsite = geom.global_site(l);
+        let t = clover.site_term(gsite);
+        // Apply the two chirality blocks (same arithmetic as the
+        // single-node CloverDirac::apply_clover_term).
+        let s = &psi[l];
+        let mut o = Spinor::ZERO;
+        for row in 0..6 {
+            let (rs, rc) = (row / 3, row % 3);
+            let mut up = C64::ZERO;
+            let mut lo = C64::ZERO;
+            for col in 0..6 {
+                let (cs, cc) = (col / 3, col % 3);
+                up = up.madd(t.upper[row][col], s.0[cs].0[cc]);
+                lo = lo.madd(t.lower[row][col], s.0[cs + 2].0[cc]);
+            }
+            o.0[rs].0[rc] = up;
+            o.0[rs + 2].0[rc] = lo;
+        }
+        out[l] = o.axpy(mk, &hop[l]);
+    }
+    out
+}
+
+/// Bitwise fingerprint of a spinor block.
+pub fn block_fingerprint(block: &[Spinor]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for sp in block {
+        for s in 0..4 {
+            for c in 0..3 {
+                for bits in [sp.0[s].0[c].re.to_bits(), sp.0[s].0[c].im.to_bits()] {
+                    h ^= bits;
+                    h = h.wrapping_mul(0x100000001B3);
+                }
+            }
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functional::{Fault, FaultPlan, FunctionalMachine};
+    use qcdoc_geometry::TorusShape;
+    use qcdoc_lattice::wilson::WilsonDirac;
+
+    const KAPPA: f64 = 0.12;
+
+    fn reference_dslash(global: Lattice, gauge: &GaugeField, psi: &FermionField) -> FermionField {
+        let d = WilsonDirac::new(gauge, KAPPA);
+        let mut out = FermionField::zero(global);
+        d.dslash(&mut out, psi);
+        out
+    }
+
+    #[test]
+    fn distributed_dslash_is_bitwise_identical_to_reference() {
+        let global = Lattice::new([4, 4, 4, 4]);
+        let gauge = GaugeField::hot(global, 314);
+        let psi = FermionField::gaussian(global, 315);
+        let reference = reference_dslash(global, &gauge, &psi);
+        let shape = TorusShape::new(&[2, 2, 2]);
+        let machine = FunctionalMachine::new(shape);
+        let results = machine.run(|ctx| {
+            let geom = BlockGeom::new(ctx, global);
+            let lg = geom.extract_gauge(&gauge);
+            let lp = geom.extract_fermion(&psi);
+            let out = dslash_local(ctx, &geom, &lg, &lp);
+            // Compare against the reference block, bit for bit.
+            let mut identical = true;
+            for l in geom.local.sites() {
+                let want = reference.site(geom.global_site(l));
+                for s in 0..4 {
+                    for c in 0..3 {
+                        identical &= out[l].0[s].0[c].re.to_bits()
+                            == want.0[s].0[c].re.to_bits()
+                            && out[l].0[s].0[c].im.to_bits() == want.0[s].0[c].im.to_bits();
+                    }
+                }
+            }
+            identical
+        });
+        assert!(results.iter().all(|&ok| ok), "distributed dslash diverged from reference");
+    }
+
+    #[test]
+    fn distributed_dslash_survives_link_faults_bitwise() {
+        // E7 in miniature: corrupt frames on two links; the hardware
+        // resend must make the result bit-identical anyway.
+        let global = Lattice::new([4, 4, 2, 2]);
+        let gauge = GaugeField::hot(global, 50);
+        let psi = FermionField::gaussian(global, 51);
+        let reference = reference_dslash(global, &gauge, &psi);
+        let plan = FaultPlan {
+            faults: vec![
+                Fault { node: 0, link: 0, frame_index: 3, bit: 17 },
+                Fault { node: 1, link: 1, frame_index: 7, bit: 40 },
+            ],
+        };
+        let machine = FunctionalMachine::new(TorusShape::new(&[2, 2])).with_faults(plan);
+        let results = machine.run(|ctx| {
+            let geom = BlockGeom::new(ctx, global);
+            let lg = geom.extract_gauge(&gauge);
+            let lp = geom.extract_fermion(&psi);
+            let out = dslash_local(ctx, &geom, &lg, &lp);
+            let mut identical = true;
+            for l in geom.local.sites() {
+                let want = reference.site(geom.global_site(l));
+                for s in 0..4 {
+                    for c in 0..3 {
+                        identical &=
+                            out[l].0[s].0[c].re.to_bits() == want.0[s].0[c].re.to_bits();
+                    }
+                }
+            }
+            (identical, ctx.link_errors())
+        });
+        assert!(results.iter().all(|(ok, _)| *ok));
+        let total_errors: u64 = results.iter().map(|(_, e)| e).sum();
+        assert!(total_errors >= 2, "both injected faults must be detected, got {total_errors}");
+    }
+
+    #[test]
+    fn distributed_staggered_is_bitwise_identical_to_reference() {
+        use qcdoc_lattice::field::StaggeredField;
+        use qcdoc_lattice::staggered::StaggeredDirac;
+        let global = Lattice::new([4, 4, 2, 2]);
+        let gauge = GaugeField::hot(global, 600);
+        let chi = StaggeredField::gaussian(global, 601);
+        let op = StaggeredDirac::new(&gauge, 0.1);
+        let mut reference = StaggeredField::zero(global);
+        op.dslash(&mut reference, &chi);
+        let machine = FunctionalMachine::new(TorusShape::new(&[2, 2]));
+        let results = machine.run(|ctx| {
+            let geom = BlockGeom::new(ctx, global);
+            let lg = geom.extract_gauge(&gauge);
+            let lc: Vec<_> =
+                geom.local.sites().map(|l| *chi.site(geom.global_site(l))).collect();
+            let out = staggered_dslash_local(ctx, &geom, &lg, &lc);
+            geom.local.sites().all(|l| {
+                let want = reference.site(geom.global_site(l));
+                (0..3).all(|c| {
+                    out[l].0[c].re.to_bits() == want.0[c].re.to_bits()
+                        && out[l].0[c].im.to_bits() == want.0[c].im.to_bits()
+                })
+            })
+        });
+        assert!(results.iter().all(|&ok| ok), "distributed staggered diverged from reference");
+    }
+
+    #[test]
+    fn distributed_clover_is_bitwise_identical_to_reference() {
+        let global = Lattice::new([4, 4, 2, 2]);
+        let gauge = GaugeField::hot(global, 500);
+        let psi = FermionField::gaussian(global, 501);
+        let clover = qcdoc_lattice::clover::CloverDirac::new(&gauge, KAPPA, 1.0);
+        let mut reference = FermionField::zero(global);
+        clover.apply(&mut reference, &psi);
+        let machine = FunctionalMachine::new(TorusShape::new(&[2, 2]));
+        let results = machine.run(|ctx| {
+            let geom = BlockGeom::new(ctx, global);
+            let lg = geom.extract_gauge(&gauge);
+            let lp = geom.extract_fermion(&psi);
+            let out = clover_apply(ctx, &geom, &lg, &clover, &lp, KAPPA);
+            geom.local.sites().all(|l| {
+                let want = reference.site(geom.global_site(l));
+                (0..4).all(|s| {
+                    (0..3).all(|c| {
+                        out[l].0[s].0[c].re.to_bits() == want.0[s].0[c].re.to_bits()
+                            && out[l].0[s].0[c].im.to_bits() == want.0[s].0[c].im.to_bits()
+                    })
+                })
+            })
+        });
+        assert!(results.iter().all(|&ok| ok), "distributed clover diverged from reference");
+    }
+
+    #[test]
+    fn distributed_cg_converges_and_matches_reference_solution() {
+        let global = Lattice::new([4, 4, 2, 2]);
+        let gauge = GaugeField::hot(global, 60);
+        let b = FermionField::gaussian(global, 61);
+        // Reference solve.
+        let op = WilsonDirac::new(&gauge, KAPPA);
+        let mut xref = FermionField::zero(global);
+        let _ = qcdoc_lattice::solver::solve_cgne(
+            &op,
+            &mut xref,
+            &b,
+            qcdoc_lattice::solver::CgParams { tolerance: 1e-10, max_iterations: 5000 },
+        );
+        let machine = FunctionalMachine::new(TorusShape::new(&[2, 2]));
+        let results = machine.run(|ctx| {
+            let geom = BlockGeom::new(ctx, global);
+            let lg = geom.extract_gauge(&gauge);
+            let lb = geom.extract_fermion(&b);
+            let (x, report) = wilson_solve_cg(ctx, &geom, &lg, &lb, KAPPA, 1e-10, 5000);
+            // Distance to the reference solution block.
+            let mut dist = 0.0;
+            let mut norm = 0.0;
+            for l in geom.local.sites() {
+                let want = xref.site(geom.global_site(l));
+                let mut d = x[l];
+                d = d.axpy(C64::real(-1.0), want);
+                dist += d.norm_sqr();
+                norm += want.norm_sqr();
+            }
+            (report, dist, norm)
+        });
+        for (report, dist, norm) in &results {
+            assert!(report.converged, "distributed CG did not converge: {report:?}");
+            assert_eq!(report.link_errors, 0, "clean run must see no link errors");
+            assert!(
+                dist / norm < 1e-12,
+                "distributed solution differs from reference: {}",
+                dist / norm
+            );
+        }
+    }
+
+    #[test]
+    fn distributed_cg_is_bit_reproducible_across_runs() {
+        let global = Lattice::new([4, 2, 2, 2]);
+        let gauge = GaugeField::hot(global, 70);
+        let b = FermionField::gaussian(global, 71);
+        let run = || {
+            let machine = FunctionalMachine::new(TorusShape::new(&[2, 2]));
+            machine.run(|ctx| {
+                let geom = BlockGeom::new(ctx, global);
+                let lg = geom.extract_gauge(&gauge);
+                let lb = geom.extract_fermion(&b);
+                let (x, r) = wilson_solve_cg(ctx, &geom, &lg, &lb, KAPPA, 1e-8, 2000);
+                (block_fingerprint(&x), r.iterations)
+            })
+        };
+        let a = run();
+        let c = run();
+        assert_eq!(a, c, "the same solve must be bit-identical across runs");
+    }
+}

@@ -1,0 +1,154 @@
+//! Axes and signed link directions of the six-dimensional mesh.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the six axes of the physical QCDOC torus.
+///
+/// The paper labels the physics directions `x, y, z, t` (plus a fifth for
+/// domain-wall fermions); the machine axes are purely topological, so we
+/// simply number them 0..6. [`Axis::PHYSICS_NAMES`] supplies conventional
+/// names when a 4-D partition is mapped onto physics coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Axis(pub u8);
+
+impl Axis {
+    /// All six machine axes in order.
+    pub const ALL: [Axis; 6] = [Axis(0), Axis(1), Axis(2), Axis(3), Axis(4), Axis(5)];
+
+    /// Conventional physics names for the first five logical axes.
+    pub const PHYSICS_NAMES: [&'static str; 5] = ["x", "y", "z", "t", "s"];
+
+    /// Axis index as usize, for array indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The positive-sense direction along this axis.
+    #[inline]
+    pub fn plus(self) -> Direction {
+        Direction { axis: self, negative: false }
+    }
+
+    /// The negative-sense direction along this axis.
+    #[inline]
+    pub fn minus(self) -> Direction {
+        Direction { axis: self, negative: true }
+    }
+}
+
+impl fmt::Display for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "axis{}", self.0)
+    }
+}
+
+/// A signed link direction: one of the 12 nearest-neighbour links of a node.
+///
+/// QCDOC supports concurrent sends and receives on each of these, so the SCU
+/// manages `2 × 12 = 24` independent uni-directional channels per node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Direction {
+    /// The axis this direction runs along.
+    pub axis: Axis,
+    /// `true` for the minus sense, `false` for the plus sense.
+    pub negative: bool,
+}
+
+impl Direction {
+    /// All 12 directions: plus then minus for each axis.
+    pub fn all() -> impl Iterator<Item = Direction> {
+        Axis::ALL
+            .into_iter()
+            .flat_map(|a| [a.plus(), a.minus()])
+    }
+
+    /// The opposite direction (same axis, flipped sense).
+    #[inline]
+    pub fn opposite(self) -> Direction {
+        Direction { axis: self.axis, negative: !self.negative }
+    }
+
+    /// Dense index in `0..12`: `2 * axis + (negative as usize)`.
+    ///
+    /// Used to index per-link state tables in the SCU.
+    #[inline]
+    pub fn link_index(self) -> usize {
+        2 * self.axis.index() + usize::from(self.negative)
+    }
+
+    /// Inverse of [`Direction::link_index`].
+    #[inline]
+    pub fn from_link_index(idx: usize) -> Direction {
+        assert!(idx < 12, "link index {idx} out of range");
+        Direction { axis: Axis((idx / 2) as u8), negative: idx % 2 == 1 }
+    }
+
+    /// Signed unit step along the axis: `+1` or `-1`.
+    #[inline]
+    pub fn step(self) -> isize {
+        if self.negative {
+            -1
+        } else {
+            1
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.axis, if self.negative { "-" } else { "+" })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_directions() {
+        let dirs: Vec<_> = Direction::all().collect();
+        assert_eq!(dirs.len(), 12);
+        // All distinct.
+        for (i, a) in dirs.iter().enumerate() {
+            for b in &dirs[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn opposite_is_involution() {
+        for d in Direction::all() {
+            assert_eq!(d.opposite().opposite(), d);
+            assert_ne!(d.opposite(), d);
+            assert_eq!(d.opposite().axis, d.axis);
+        }
+    }
+
+    #[test]
+    fn link_index_roundtrip() {
+        for d in Direction::all() {
+            assert_eq!(Direction::from_link_index(d.link_index()), d);
+        }
+        let mut seen = [false; 12];
+        for d in Direction::all() {
+            assert!(!seen[d.link_index()], "duplicate link index");
+            seen[d.link_index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn step_signs() {
+        assert_eq!(Axis(0).plus().step(), 1);
+        assert_eq!(Axis(0).minus().step(), -1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn link_index_bound() {
+        let _ = Direction::from_link_index(12);
+    }
+}

@@ -1,0 +1,407 @@
+//! Software partitioning of the physical 6-D mesh into logical machines.
+//!
+//! A [`PartitionSpec`] selects a sub-box of the physical torus and groups its
+//! axes into logical dimensions. Each group is folded into a ring with a
+//! [`FoldCycle`](crate::fold::FoldCycle), so the logical machine is itself a
+//! torus of rank 1..=6 whose nearest-neighbour hops are all physical
+//! nearest-neighbour hops (unit dilation). This is the software realisation
+//! of §2.2's "lower-dimensional partitions of the machine … without moving
+//! cables" and of the qdaemon's remapping service (§3.1: "a user requests
+//! that the qdaemon remap their partition to a dimensionality between one
+//! and six, before program execution begins").
+
+use crate::fold::{FoldCycle, FoldError};
+use crate::{Direction, NodeCoord, NodeId, TorusShape};
+use serde::{Deserialize, Serialize};
+
+/// Selection of a sub-box of the physical machine plus an axis grouping.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionSpec {
+    /// Origin of the sub-box in physical coordinates.
+    pub origin: NodeCoord,
+    /// Extent of the sub-box along each physical axis (must divide into the
+    /// machine; `extent[a] == machine extent` means the full axis is used).
+    pub extents: Vec<usize>,
+    /// Logical axis groups: each inner vec lists physical axis indices, in
+    /// fold order. Every non-degenerate physical axis must appear in exactly
+    /// one group.
+    pub groups: Vec<Vec<usize>>,
+}
+
+impl PartitionSpec {
+    /// The whole machine folded to a logical torus with the given grouping.
+    pub fn whole_machine(machine: &TorusShape, groups: &[&[usize]]) -> PartitionSpec {
+        PartitionSpec {
+            origin: NodeCoord::ORIGIN,
+            extents: machine.dims().to_vec(),
+            groups: groups.iter().map(|g| g.to_vec()).collect(),
+        }
+    }
+
+    /// The whole machine kept at its native rank (identity grouping).
+    pub fn native(machine: &TorusShape) -> PartitionSpec {
+        let groups = (0..machine.rank()).map(|a| vec![a]).collect();
+        PartitionSpec {
+            origin: NodeCoord::ORIGIN,
+            extents: machine.dims().to_vec(),
+            groups,
+        }
+    }
+}
+
+/// Why a partition could not be constructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionError {
+    /// The sub-box does not fit inside the machine.
+    OutOfBounds {
+        /// Physical axis where the violation occurred.
+        axis: usize,
+    },
+    /// A physical axis with extent > 1 was not assigned to any group, or was
+    /// assigned twice.
+    BadAxisCover {
+        /// The offending physical axis.
+        axis: usize,
+    },
+    /// A single-axis group uses only part of the physical axis, so its ring
+    /// cannot close with unit dilation.
+    PartialSingleAxis {
+        /// The offending physical axis.
+        axis: usize,
+    },
+    /// A fold inside a group failed.
+    Fold(FoldError),
+    /// The grouping produced a logical rank outside 1..=6.
+    BadRank {
+        /// The offending rank.
+        rank: usize,
+    },
+}
+
+impl std::fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartitionError::OutOfBounds { axis } => {
+                write!(f, "partition sub-box exceeds machine extent on axis {axis}")
+            }
+            PartitionError::BadAxisCover { axis } => {
+                write!(f, "physical axis {axis} must appear in exactly one group")
+            }
+            PartitionError::PartialSingleAxis { axis } => write!(
+                f,
+                "single-axis group on axis {axis} does not span the full physical extent; \
+                 the logical ring cannot close"
+            ),
+            PartitionError::Fold(e) => write!(f, "fold error: {e}"),
+            PartitionError::BadRank { rank } => {
+                write!(f, "logical rank {rank} outside 1..=6")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+impl From<FoldError> for PartitionError {
+    fn from(e: FoldError) -> Self {
+        PartitionError::Fold(e)
+    }
+}
+
+/// A validated logical machine carved out of the physical torus.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partition {
+    machine: TorusShape,
+    spec: PartitionSpec,
+    logical: TorusShape,
+    folds: Vec<FoldCycle>,
+}
+
+impl Partition {
+    /// Validate `spec` against `machine` and build the partition.
+    pub fn new(machine: &TorusShape, spec: PartitionSpec) -> Result<Partition, PartitionError> {
+        // Sub-box bounds.
+        for axis in 0..machine.rank() {
+            let ext = spec.extents.get(axis).copied().unwrap_or(1);
+            if spec.origin.get(axis) + ext > machine.extent(axis) {
+                return Err(PartitionError::OutOfBounds { axis });
+            }
+        }
+        // Axis cover: every axis with sub-extent > 1 in exactly one group;
+        // no axis in more than one group.
+        let mut count = vec![0usize; machine.rank()];
+        for g in &spec.groups {
+            for &a in g {
+                if a >= machine.rank() {
+                    return Err(PartitionError::BadAxisCover { axis: a });
+                }
+                count[a] += 1;
+            }
+        }
+        for axis in 0..machine.rank() {
+            let needed = spec.extents[axis] > 1;
+            if (needed && count[axis] != 1) || (!needed && count[axis] > 1) {
+                return Err(PartitionError::BadAxisCover { axis });
+            }
+        }
+        let rank = spec.groups.len();
+        if rank == 0 || rank > 6 {
+            return Err(PartitionError::BadRank { rank });
+        }
+        // Single-axis groups must span the full physical extent (their ring
+        // closes through the torus wrap). Multi-axis groups fold via Gray
+        // cycles, which never use wrap links, so sub-boxes are fine.
+        let mut folds = Vec::with_capacity(rank);
+        let mut logical_dims = Vec::with_capacity(rank);
+        for g in &spec.groups {
+            let nontrivial: Vec<usize> =
+                g.iter().copied().filter(|&a| spec.extents[a] > 1).collect();
+            if let [axis] = nontrivial[..] {
+                // The ring of a group with exactly one non-degenerate axis
+                // closes through the torus wrap, which only exists if the
+                // group spans the full physical extent.
+                if spec.extents[axis] != machine.extent(axis) {
+                    return Err(PartitionError::PartialSingleAxis { axis });
+                }
+            } else if let Some(&top) = nontrivial.last() {
+                // A multi-axis fold closes through the wrap of its top axis
+                // (the Gray cycle ends at (0,…,0,r_top−1)). That hop is a
+                // plain box edge when the top extent is 2; otherwise the
+                // group must span the full physical extent of the top axis
+                // so the wrap cable is inside the partition.
+                if spec.extents[top] != 2 && spec.extents[top] != machine.extent(top) {
+                    return Err(PartitionError::PartialSingleAxis { axis: top });
+                }
+            }
+            let dims: Vec<usize> = g.iter().map(|&a| spec.extents[a]).collect();
+            let fold = FoldCycle::new(&dims)?;
+            logical_dims.push(fold.len());
+            folds.push(fold);
+        }
+        Ok(Partition {
+            machine: machine.clone(),
+            logical: TorusShape::new(&logical_dims),
+            spec,
+            folds,
+        })
+    }
+
+    /// The logical torus shape of this partition.
+    pub fn logical_shape(&self) -> &TorusShape {
+        &self.logical
+    }
+
+    /// The physical machine this partition lives in.
+    pub fn machine_shape(&self) -> &TorusShape {
+        &self.machine
+    }
+
+    /// The spec this partition was built from.
+    pub fn spec(&self) -> &PartitionSpec {
+        &self.spec
+    }
+
+    /// Number of nodes in the partition.
+    pub fn node_count(&self) -> usize {
+        self.logical.node_count()
+    }
+
+    /// Physical coordinate of the node at logical coordinate `lc`.
+    pub fn physical_of(&self, lc: NodeCoord) -> NodeCoord {
+        let mut pc = self.spec.origin;
+        for (li, (group, fold)) in self.spec.groups.iter().zip(&self.folds).enumerate() {
+            let within = fold.coord_at(lc.get(li));
+            for (&axis, &off) in group.iter().zip(&within) {
+                pc.set(axis, self.spec.origin.get(axis) + off);
+            }
+        }
+        pc
+    }
+
+    /// Logical coordinate of the node at physical coordinate `pc`, if it is
+    /// inside the partition.
+    pub fn logical_of(&self, pc: NodeCoord) -> Option<NodeCoord> {
+        // Bounds check.
+        for axis in 0..self.machine.rank() {
+            let rel = pc.get(axis).checked_sub(self.spec.origin.get(axis))?;
+            if rel >= self.spec.extents[axis] {
+                return None;
+            }
+        }
+        let mut lc = NodeCoord::ORIGIN;
+        for (li, (group, fold)) in self.spec.groups.iter().zip(&self.folds).enumerate() {
+            let within: Vec<usize> = group
+                .iter()
+                .map(|&a| pc.get(a) - self.spec.origin.get(a))
+                .collect();
+            lc.set(li, fold.pos_of(&within));
+        }
+        Some(lc)
+    }
+
+    /// Physical node id of the logical node `id` (rank in the logical shape).
+    pub fn physical_id(&self, id: NodeId) -> NodeId {
+        self.machine.rank_of(self.physical_of(self.logical.coord_of(id)))
+    }
+
+    /// Logical coordinate of the neighbour of `lc` in logical direction `d`.
+    pub fn logical_neighbour(&self, lc: NodeCoord, d: Direction) -> NodeCoord {
+        self.logical.neighbour(lc, d)
+    }
+
+    /// Maximum physical hop distance between any pair of logical
+    /// nearest-neighbours — the *dilation* of the embedding. A valid QCDOC
+    /// partition always has dilation 1.
+    pub fn dilation(&self) -> usize {
+        let mut worst = 0;
+        for lc in self.logical.coords() {
+            for axis in 0..self.logical.rank() {
+                for dir in [crate::Axis(axis as u8).plus(), crate::Axis(axis as u8).minus()] {
+                    if self.logical.extent(axis) == 1 {
+                        continue;
+                    }
+                    let nb = self.logical_neighbour(lc, dir);
+                    let d = self.machine.distance(self.physical_of(lc), self.physical_of(nb));
+                    worst = worst.max(d);
+                }
+            }
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Axis;
+
+    fn rack() -> TorusShape {
+        TorusShape::rack_1024()
+    }
+
+    #[test]
+    fn native_partition_is_identity() {
+        let m = rack();
+        let p = Partition::new(&m, PartitionSpec::native(&m)).unwrap();
+        assert_eq!(p.logical_shape(), &m);
+        for id in 0..64 {
+            assert_eq!(p.physical_id(NodeId(id)), NodeId(id));
+        }
+        assert_eq!(p.dilation(), 1);
+    }
+
+    #[test]
+    fn rack_folds_to_4d() {
+        // 8x4x4x2x2x2 -> logical 8x4x4x8 by folding the last three axes.
+        let m = rack();
+        let spec = PartitionSpec::whole_machine(&m, &[&[0], &[1], &[2], &[3, 4, 5]]);
+        let p = Partition::new(&m, spec).unwrap();
+        assert_eq!(p.logical_shape().dims(), &[8, 4, 4, 8]);
+        assert_eq!(p.node_count(), 1024);
+        assert_eq!(p.dilation(), 1, "fold must preserve nearest-neighbour adjacency");
+    }
+
+    #[test]
+    fn rack_folds_to_1d_ring() {
+        let m = rack();
+        let spec = PartitionSpec::whole_machine(&m, &[&[0, 1, 2, 3, 4, 5]]);
+        let p = Partition::new(&m, spec).unwrap();
+        assert_eq!(p.logical_shape().dims(), &[1024]);
+        assert_eq!(p.dilation(), 1);
+    }
+
+    #[test]
+    fn logical_physical_bijection() {
+        let m = rack();
+        let spec = PartitionSpec::whole_machine(&m, &[&[0], &[1, 2], &[3, 4, 5]]);
+        let p = Partition::new(&m, spec).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for lc in p.logical_shape().coords() {
+            let pc = p.physical_of(lc);
+            assert!(seen.insert(pc), "physical node mapped twice");
+            assert_eq!(p.logical_of(pc), Some(lc));
+        }
+        assert_eq!(seen.len(), 1024);
+    }
+
+    #[test]
+    fn sub_box_partition() {
+        // Half the rack along axis 0, folded 4D; multi-axis groups avoid
+        // wrap links so the sub-box closes fine.
+        let m = rack();
+        let mut origin = NodeCoord::ORIGIN;
+        origin.set(0, 4);
+        let spec = PartitionSpec {
+            origin,
+            extents: vec![4, 4, 4, 2, 2, 2],
+            groups: vec![vec![0, 3], vec![1], vec![2], vec![4, 5]],
+        };
+        let p = Partition::new(&m, spec).unwrap();
+        assert_eq!(p.logical_shape().dims(), &[8, 4, 4, 4]);
+        assert_eq!(p.node_count(), 512);
+        assert_eq!(p.dilation(), 1);
+        // Node outside the sub-box is not in the partition.
+        assert_eq!(p.logical_of(NodeCoord::ORIGIN), None);
+    }
+
+    #[test]
+    fn partial_single_axis_rejected() {
+        let m = rack();
+        let spec = PartitionSpec {
+            origin: NodeCoord::ORIGIN,
+            extents: vec![4, 4, 4, 2, 2, 2], // axis 0 is half of 8
+            groups: vec![vec![0], vec![1], vec![2], vec![3, 4, 5]],
+        };
+        assert_eq!(
+            Partition::new(&m, spec),
+            Err(PartitionError::PartialSingleAxis { axis: 0 })
+        );
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let m = rack();
+        let mut origin = NodeCoord::ORIGIN;
+        origin.set(1, 2);
+        let spec = PartitionSpec {
+            origin,
+            extents: vec![8, 4, 4, 2, 2, 2], // origin 2 + extent 4 > 4
+            groups: vec![vec![0], vec![1], vec![2], vec![3, 4, 5]],
+        };
+        assert_eq!(Partition::new(&m, spec), Err(PartitionError::OutOfBounds { axis: 1 }));
+    }
+
+    #[test]
+    fn double_cover_rejected() {
+        let m = rack();
+        let spec = PartitionSpec {
+            origin: NodeCoord::ORIGIN,
+            extents: m.dims().to_vec(),
+            groups: vec![vec![0, 1], vec![1, 2], vec![3, 4, 5]],
+        };
+        assert_eq!(Partition::new(&m, spec), Err(PartitionError::BadAxisCover { axis: 1 }));
+    }
+
+    #[test]
+    fn missing_axis_rejected() {
+        let m = rack();
+        let spec = PartitionSpec {
+            origin: NodeCoord::ORIGIN,
+            extents: m.dims().to_vec(),
+            groups: vec![vec![0], vec![1], vec![2], vec![3, 4]], // axis 5 missing
+        };
+        assert_eq!(Partition::new(&m, spec), Err(PartitionError::BadAxisCover { axis: 5 }));
+    }
+
+    #[test]
+    fn neighbour_in_folded_axis_is_physical_neighbour() {
+        let m = rack();
+        let spec = PartitionSpec::whole_machine(&m, &[&[0], &[1], &[2], &[3, 4, 5]]);
+        let p = Partition::new(&m, spec).unwrap();
+        let t_axis = Axis(3);
+        for lc in p.logical_shape().coords() {
+            let nb = p.logical_neighbour(lc, t_axis.plus());
+            assert_eq!(m.distance(p.physical_of(lc), p.physical_of(nb)), 1);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests for torus geometry invariants.
+
+use proptest::prelude::*;
+use qcdoc_geometry::fold::FoldCycle;
+use qcdoc_geometry::{
+    Direction, LatticeMapping, NodeCoord, NodeId, Partition, PartitionSpec, TorusShape,
+};
+
+/// Strategy: a torus shape of rank 1..=6 with small even-ish extents.
+fn torus_shape() -> impl Strategy<Value = TorusShape> {
+    prop::collection::vec(prop_oneof![Just(1usize), Just(2), Just(3), Just(4), Just(6)], 1..=6)
+        .prop_map(|dims| TorusShape::new(&dims))
+}
+
+/// Strategy: a torus with all-even extents (foldable).
+fn even_torus_shape() -> impl Strategy<Value = TorusShape> {
+    prop::collection::vec(prop_oneof![Just(2usize), Just(4), Just(8)], 2..=6)
+        .prop_map(|dims| TorusShape::new(&dims))
+}
+
+proptest! {
+    #[test]
+    fn rank_coord_roundtrip(shape in torus_shape(), seed in 0usize..10_000) {
+        let n = shape.node_count();
+        let id = NodeId((seed % n) as u32);
+        prop_assert_eq!(shape.rank_of(shape.coord_of(id)), id);
+    }
+
+    #[test]
+    fn neighbour_is_involution_via_opposite(shape in torus_shape(), seed in 0usize..10_000) {
+        let id = NodeId((seed % shape.node_count()) as u32);
+        let c = shape.coord_of(id);
+        for d in Direction::all() {
+            if d.axis.index() >= shape.rank() {
+                continue;
+            }
+            let back = shape.neighbour(shape.neighbour(c, d), d.opposite());
+            prop_assert_eq!(back, c);
+        }
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_triangle(shape in torus_shape(), s1 in 0usize..10_000, s2 in 0usize..10_000, s3 in 0usize..10_000) {
+        let n = shape.node_count();
+        let a = shape.coord_of(NodeId((s1 % n) as u32));
+        let b = shape.coord_of(NodeId((s2 % n) as u32));
+        let c = shape.coord_of(NodeId((s3 % n) as u32));
+        prop_assert_eq!(shape.distance(a, b), shape.distance(b, a));
+        prop_assert!(shape.distance(a, c) <= shape.distance(a, b) + shape.distance(b, c));
+        prop_assert_eq!(shape.distance(a, a), 0);
+    }
+
+    #[test]
+    fn neighbour_distance_is_at_most_one(shape in torus_shape(), seed in 0usize..10_000) {
+        let c = shape.coord_of(NodeId((seed % shape.node_count()) as u32));
+        for axis in 0..shape.rank() {
+            let d = qcdoc_geometry::Axis(axis as u8).plus();
+            let nb = shape.neighbour(c, d);
+            prop_assert!(shape.distance(c, nb) <= 1);
+        }
+    }
+
+    #[test]
+    fn fold_is_bijective(dims in prop::collection::vec(prop_oneof![Just(2usize), Just(4)], 1..=4)) {
+        let f = FoldCycle::new(&dims).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..f.len() {
+            let c = f.coord_at(i);
+            prop_assert_eq!(f.pos_of(&c), i);
+            prop_assert!(seen.insert(c));
+        }
+        prop_assert_eq!(seen.len(), f.len());
+    }
+
+    #[test]
+    fn full_machine_fold_has_unit_dilation(shape in even_torus_shape(), split in 1usize..6) {
+        // Group the axes into two contiguous groups at `split`.
+        let rank = shape.rank();
+        let cut = split.min(rank.saturating_sub(1)).max(1);
+        if cut >= rank {
+            return Ok(());
+        }
+        let g0: Vec<usize> = (0..cut).collect();
+        let g1: Vec<usize> = (cut..rank).collect();
+        let spec = PartitionSpec {
+            origin: NodeCoord::ORIGIN,
+            extents: shape.dims().to_vec(),
+            groups: vec![g0, g1],
+        };
+        let p = Partition::new(&shape, spec).unwrap();
+        prop_assert_eq!(p.node_count(), shape.node_count());
+        prop_assert_eq!(p.dilation(), 1);
+    }
+
+    #[test]
+    fn partition_is_bijective(shape in even_torus_shape()) {
+        let spec = PartitionSpec::whole_machine(
+            &shape,
+            &[&(0..shape.rank()).collect::<Vec<_>>()[..]],
+        );
+        let p = Partition::new(&shape, spec).unwrap();
+        let mut phys = std::collections::HashSet::new();
+        for lc in p.logical_shape().coords() {
+            let pc = p.physical_of(lc);
+            prop_assert_eq!(p.logical_of(pc), Some(lc));
+            prop_assert!(phys.insert(pc));
+        }
+        prop_assert_eq!(phys.len(), shape.node_count());
+    }
+
+    #[test]
+    fn mapping_owner_consistent(lx in 1usize..4, lt in 1usize..4, mx in 1usize..4, mt in 1usize..4) {
+        let machine = TorusShape::new(&[mx, mt]);
+        let global = [lx * mx, lt * mt];
+        let m = LatticeMapping::new(&global, &machine).unwrap();
+        // Each node owns exactly local().sites() sites.
+        let mut counts = std::collections::HashMap::new();
+        for x in 0..global[0] {
+            for t in 0..global[1] {
+                *counts.entry(m.owner(&[x, t])).or_insert(0usize) += 1;
+            }
+        }
+        prop_assert_eq!(counts.len(), machine.node_count());
+        for &c in counts.values() {
+            prop_assert_eq!(c, m.local().sites());
+        }
+    }
+}

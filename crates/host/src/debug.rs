@@ -1,0 +1,276 @@
+//! RISCWatch-style debugging over the Ethernet/JTAG path (§2.3).
+//!
+//! "We can use the Ethernet/JTAG controller to provide the physical
+//! transport mechanism required for IBM's standard RISCWatch debugger.
+//! Thus a user can debug and single step code on a given node. For
+//! hardware debugging, this same mechanism offers us an I/O path to
+//! monitor and probe a failing node."
+//!
+//! The model pairs a [`DebugSession`] (the host side, issuing JTAG
+//! commands) with a minimal register-machine core standing in for the PPC
+//! 440's debug-visible state: 32 GPRs, a PC, and a program of simple
+//! instructions. The point is the *protocol*: halt a running node, read
+//! its registers, plant a breakpoint, single-step, resume — all through
+//! the packet path that works even when the node's software is wedged.
+
+use crate::jtag::{CpuState, JtagCommand, JtagController, JtagReply};
+use serde::{Deserialize, Serialize};
+
+/// A debug-visible instruction of the toy core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DebugInsn {
+    /// `r[d] = imm`.
+    Li(u8, u32),
+    /// `r[d] = r[a] + r[b]` (wrapping).
+    Add(u8, u8, u8),
+    /// `if r[a] != 0 { pc = target }`.
+    Bnz(u8, u32),
+    /// `r[a] -= 1` (wrapping).
+    Dec(u8),
+    /// Spin here forever (the "wedged node" the paper probes).
+    Hang,
+    /// Stop cleanly.
+    Done,
+}
+
+/// The debug-visible core state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DebugCpu {
+    /// Program counter (instruction index).
+    pub pc: u32,
+    /// General-purpose registers.
+    pub gprs: [u32; 32],
+    program: Vec<DebugInsn>,
+    breakpoints: Vec<u32>,
+    halted_at_breakpoint: bool,
+    finished: bool,
+}
+
+impl DebugCpu {
+    /// Load a program at PC 0.
+    pub fn new(program: Vec<DebugInsn>) -> DebugCpu {
+        DebugCpu {
+            pc: 0,
+            gprs: [0; 32],
+            program,
+            breakpoints: Vec::new(),
+            halted_at_breakpoint: false,
+            finished: false,
+        }
+    }
+
+    /// Whether the program ran to `Done`.
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Execute one instruction; returns false on `Hang`/`Done` (no
+    /// progress).
+    pub fn step(&mut self) -> bool {
+        if self.finished {
+            return false;
+        }
+        let insn = self.program.get(self.pc as usize).copied().unwrap_or(DebugInsn::Done);
+        match insn {
+            DebugInsn::Li(d, imm) => {
+                self.gprs[d as usize] = imm;
+                self.pc += 1;
+            }
+            DebugInsn::Add(d, a, b) => {
+                self.gprs[d as usize] =
+                    self.gprs[a as usize].wrapping_add(self.gprs[b as usize]);
+                self.pc += 1;
+            }
+            DebugInsn::Bnz(a, target) => {
+                if self.gprs[a as usize] != 0 {
+                    self.pc = target;
+                } else {
+                    self.pc += 1;
+                }
+            }
+            DebugInsn::Dec(a) => {
+                self.gprs[a as usize] = self.gprs[a as usize].wrapping_sub(1);
+                self.pc += 1;
+            }
+            DebugInsn::Hang => return false,
+            DebugInsn::Done => {
+                self.finished = true;
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Run until a breakpoint, `Hang`, `Done`, or the step budget runs out.
+    fn run(&mut self, budget: u32) -> CpuState {
+        for _ in 0..budget {
+            if self.breakpoints.contains(&self.pc) && !self.halted_at_breakpoint {
+                self.halted_at_breakpoint = true;
+                return CpuState::Halted;
+            }
+            self.halted_at_breakpoint = false;
+            if !self.step() {
+                return if self.finished { CpuState::Held } else { CpuState::Running };
+            }
+        }
+        CpuState::Running
+    }
+}
+
+/// A host-side debug session: RISCWatch over Ethernet/JTAG.
+#[derive(Debug)]
+pub struct DebugSession {
+    jtag: JtagController,
+    cpu: DebugCpu,
+    packets: u64,
+}
+
+impl DebugSession {
+    /// Attach to a node running `program`.
+    pub fn attach(program: Vec<DebugInsn>) -> DebugSession {
+        let mut jtag = JtagController::new();
+        jtag.handle(&JtagCommand::StartCpu);
+        DebugSession { jtag, cpu: DebugCpu::new(program), packets: 1 }
+    }
+
+    /// UDP packets exchanged so far.
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+
+    /// Halt the CPU (works even if the node software is wedged — the JTAG
+    /// path is pure hardware).
+    pub fn halt(&mut self) {
+        self.jtag.handle(&JtagCommand::HaltCpu);
+        self.packets += 1;
+    }
+
+    /// Resume and run up to `budget` instructions (or to a breakpoint).
+    pub fn resume(&mut self, budget: u32) -> CpuState {
+        self.jtag.handle(&JtagCommand::StartCpu);
+        self.packets += 1;
+        let state = self.cpu.run(budget);
+        if state == CpuState::Halted {
+            self.jtag.handle(&JtagCommand::HaltCpu);
+            self.packets += 1;
+        }
+        state
+    }
+
+    /// Single-step one instruction (requires halt).
+    pub fn step(&mut self) -> bool {
+        assert_eq!(self.jtag.state(), CpuState::Halted, "step requires a halted CPU");
+        self.jtag.handle(&JtagCommand::SingleStep);
+        self.packets += 1;
+        self.cpu.step()
+    }
+
+    /// Read a GPR through the register window.
+    pub fn read_gpr(&mut self, reg: u8) -> u32 {
+        self.jtag.post_register(reg as u16, self.cpu.gprs[reg as usize]);
+        self.packets += 1;
+        match self.jtag.handle(&JtagCommand::ReadRegister { reg: reg as u16 }) {
+            JtagReply::Value(v) => v,
+            JtagReply::Ok => unreachable!(),
+        }
+    }
+
+    /// Current PC.
+    pub fn pc(&self) -> u32 {
+        self.cpu.pc
+    }
+
+    /// Plant a breakpoint at an instruction index.
+    pub fn set_breakpoint(&mut self, pc: u32) {
+        self.cpu.breakpoints.push(pc);
+        self.packets += 1;
+    }
+
+    /// Whether the target program completed.
+    pub fn finished(&self) -> bool {
+        self.cpu.finished()
+    }
+}
+
+/// A countdown loop: r1 = n; loop { r2 += r1; r1 -= 1 } until r1 == 0.
+pub fn countdown_program(n: u32) -> Vec<DebugInsn> {
+    vec![
+        DebugInsn::Li(1, n),
+        DebugInsn::Li(2, 0),
+        // loop: (pc 2)
+        DebugInsn::Add(2, 2, 1),
+        DebugInsn::Dec(1),
+        DebugInsn::Bnz(1, 2),
+        DebugInsn::Done,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_runs_to_completion() {
+        let mut s = DebugSession::attach(countdown_program(5));
+        let state = s.resume(1000);
+        assert_eq!(state, CpuState::Held, "Done parks the core");
+        assert!(s.finished());
+        // r2 = 5+4+3+2+1.
+        assert_eq!(s.read_gpr(2), 15);
+    }
+
+    #[test]
+    fn breakpoint_halts_at_loop_head() {
+        let mut s = DebugSession::attach(countdown_program(3));
+        s.set_breakpoint(2);
+        assert_eq!(s.resume(1000), CpuState::Halted);
+        assert_eq!(s.pc(), 2);
+        // First hit: r1 still 3, r2 still 0.
+        assert_eq!(s.read_gpr(1), 3);
+        assert_eq!(s.read_gpr(2), 0);
+        // Resume to the next hit: one loop body executed.
+        assert_eq!(s.resume(1000), CpuState::Halted);
+        assert_eq!(s.read_gpr(1), 2);
+        assert_eq!(s.read_gpr(2), 3);
+    }
+
+    #[test]
+    fn single_step_through_the_loop_body() {
+        let mut s = DebugSession::attach(countdown_program(2));
+        s.set_breakpoint(2);
+        s.resume(1000);
+        // Step: Add, Dec, Bnz.
+        assert!(s.step());
+        assert_eq!(s.read_gpr(2), 2);
+        assert!(s.step());
+        assert_eq!(s.read_gpr(1), 1);
+        assert!(s.step());
+        assert_eq!(s.pc(), 2, "branch taken back to loop head");
+    }
+
+    #[test]
+    fn wedged_node_can_still_be_probed() {
+        // The paper's hardware-debug scenario: the node hangs, but the
+        // JTAG path reads its state anyway.
+        let mut s = DebugSession::attach(vec![
+            DebugInsn::Li(7, 0xDEAD),
+            DebugInsn::Hang,
+        ]);
+        let state = s.resume(1000);
+        assert_eq!(state, CpuState::Running, "hung, not finished");
+        assert!(!s.finished());
+        s.halt();
+        assert_eq!(s.read_gpr(7), 0xDEAD, "state visible through JTAG despite the hang");
+        assert_eq!(s.pc(), 1);
+    }
+
+    #[test]
+    fn every_operation_costs_packets() {
+        let mut s = DebugSession::attach(countdown_program(1));
+        let p0 = s.packets();
+        s.set_breakpoint(2);
+        s.resume(10);
+        s.read_gpr(1);
+        assert!(s.packets() > p0 + 2);
+    }
+}

@@ -1,0 +1,34 @@
+//! QCDOC host software: booting, diagnostics, I/O and job control (§2.3,
+//! §3.1, §3.2).
+//!
+//! Physics runs on the 6-D mesh; *everything else* runs over a conventional
+//! Ethernet tree connecting every node to an SMP host:
+//!
+//! * [`jtag`] — the Ethernet/JTAG controller: a hardware UDP decoder that
+//!   executes JTAG commands with **no software on the node** (there are no
+//!   PROMs on QCDOC — the first code a node ever runs arrives through this
+//!   path straight into the PPC 440's instruction cache);
+//! * [`ethernet`] — the Ethernet tree itself: 5-port hubs on daughter- and
+//!   motherboards aggregating into Gigabit links at the host;
+//! * [`kernel`] — the custom run kernel: two threads (kernel +
+//!   application), no scheduler, syscall servicing, hardware status
+//!   monitoring and UDP/NFS services;
+//! * [`qdaemon`] — the host daemon: boots the machine (≈100 UDP packets to
+//!   load the boot kernel per node, ≈100 more for the run kernel), tracks
+//!   node status, allocates partitions, launches applications and returns
+//!   their output;
+//! * [`qcsh`] — the modified-tcsh command interface through which users
+//!   talk to the qdaemon.
+
+#![warn(missing_docs)]
+
+pub mod debug;
+pub mod ethernet;
+pub mod jtag;
+pub mod kernel;
+pub mod nfs;
+pub mod qcsh;
+pub mod qdaemon;
+pub mod rpc;
+
+pub use qdaemon::{BootReport, NodeState, Qdaemon};

@@ -1,0 +1,211 @@
+//! The host-side NFS service (§3.2).
+//!
+//! "The kernel also includes support for NFS mounting of remote disks,
+//! which is already being used by application programs to write directly
+//! to the host disk system." The server exports directories from the
+//! host's RAID (6 TB on the 4096-node machine, §4); nodes mount them and
+//! stream configurations out over the Ethernet tree.
+
+use crate::ethernet::EthernetTree;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// An open-file handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NfsHandle(pub u32);
+
+/// NFS operation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NfsError {
+    /// The path is outside every export.
+    NotExported(String),
+    /// Unknown handle.
+    StaleHandle,
+    /// The file does not exist (read/stat).
+    NoEntry(String),
+    /// The server's disk is full.
+    DiskFull,
+}
+
+impl std::fmt::Display for NfsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NfsError::NotExported(p) => write!(f, "{p}: not exported"),
+            NfsError::StaleHandle => write!(f, "stale NFS handle"),
+            NfsError::NoEntry(p) => write!(f, "{p}: no such file"),
+            NfsError::DiskFull => write!(f, "disk full"),
+        }
+    }
+}
+
+impl std::error::Error for NfsError {}
+
+/// The host NFS server.
+#[derive(Debug)]
+pub struct NfsServer {
+    exports: Vec<String>,
+    files: HashMap<String, Vec<u8>>,
+    handles: HashMap<NfsHandle, String>,
+    next_handle: u32,
+    capacity: u64,
+    used: u64,
+    bytes_written: u64,
+    bytes_read: u64,
+}
+
+impl NfsServer {
+    /// A server exporting the given path prefixes with `capacity` bytes of
+    /// disk (the paper's machine: 6 TB of parallel RAID).
+    pub fn new(exports: &[&str], capacity: u64) -> NfsServer {
+        NfsServer {
+            exports: exports.iter().map(|s| s.to_string()).collect(),
+            files: HashMap::new(),
+            handles: HashMap::new(),
+            next_handle: 1,
+            capacity,
+            used: 0,
+            bytes_written: 0,
+            bytes_read: 0,
+        }
+    }
+
+    /// The paper's host storage: 6 TB.
+    pub fn paper_host() -> NfsServer {
+        NfsServer::new(&["/data"], 6 * 1024 * 1024 * 1024 * 1024)
+    }
+
+    fn exported(&self, path: &str) -> bool {
+        self.exports.iter().any(|e| path.starts_with(e.as_str()))
+    }
+
+    /// Open (creating if needed) a file for a node.
+    pub fn open(&mut self, path: &str) -> Result<NfsHandle, NfsError> {
+        if !self.exported(path) {
+            return Err(NfsError::NotExported(path.to_string()));
+        }
+        self.files.entry(path.to_string()).or_default();
+        let h = NfsHandle(self.next_handle);
+        self.next_handle += 1;
+        self.handles.insert(h, path.to_string());
+        Ok(h)
+    }
+
+    /// Append bytes through a handle.
+    pub fn write(&mut self, h: NfsHandle, bytes: &[u8]) -> Result<(), NfsError> {
+        let path = self.handles.get(&h).ok_or(NfsError::StaleHandle)?.clone();
+        if self.used + bytes.len() as u64 > self.capacity {
+            return Err(NfsError::DiskFull);
+        }
+        self.used += bytes.len() as u64;
+        self.bytes_written += bytes.len() as u64;
+        self.files.get_mut(&path).expect("open created it").extend_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Read a whole file.
+    pub fn read(&mut self, path: &str) -> Result<Vec<u8>, NfsError> {
+        if !self.exported(path) {
+            return Err(NfsError::NotExported(path.to_string()));
+        }
+        let data =
+            self.files.get(path).cloned().ok_or_else(|| NfsError::NoEntry(path.to_string()))?;
+        self.bytes_read += data.len() as u64;
+        Ok(data)
+    }
+
+    /// File size, if it exists.
+    pub fn stat(&self, path: &str) -> Result<u64, NfsError> {
+        self.files
+            .get(path)
+            .map(|d| d.len() as u64)
+            .ok_or_else(|| NfsError::NoEntry(path.to_string()))
+    }
+
+    /// Total bytes written so far (for the I/O-rate model).
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Disk bytes used.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Seconds to drain `bytes` from `writers` concurrent nodes through
+    /// the Ethernet tree (the qualitative point of §3.1: "I/O for QCD
+    /// applications is quite modest for the compute power needed").
+    pub fn write_seconds(&self, tree: &EthernetTree, bytes_per_node: u64, writers: usize) -> f64 {
+        let bits = bytes_per_node as f64 * 8.0;
+        let per_port = bits / tree.node_bps;
+        let trunk = bits * writers as f64 / tree.trunk_bps();
+        per_port.max(trunk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_write_read_roundtrip() {
+        let mut s = NfsServer::new(&["/data"], 1 << 20);
+        let h = s.open("/data/configs/lat.0").unwrap();
+        s.write(h, b"hello").unwrap();
+        s.write(h, b" qcd").unwrap();
+        assert_eq!(s.read("/data/configs/lat.0").unwrap(), b"hello qcd");
+        assert_eq!(s.stat("/data/configs/lat.0").unwrap(), 9);
+    }
+
+    #[test]
+    fn unexported_paths_rejected() {
+        let mut s = NfsServer::new(&["/data"], 1 << 20);
+        assert!(matches!(s.open("/etc/shadow"), Err(NfsError::NotExported(_))));
+        assert!(matches!(s.read("/etc/shadow"), Err(NfsError::NotExported(_))));
+    }
+
+    #[test]
+    fn stale_handle_rejected() {
+        let mut s = NfsServer::new(&["/data"], 1 << 20);
+        assert_eq!(s.write(NfsHandle(99), b"x"), Err(NfsError::StaleHandle));
+    }
+
+    #[test]
+    fn disk_capacity_enforced() {
+        let mut s = NfsServer::new(&["/data"], 10);
+        let h = s.open("/data/f").unwrap();
+        s.write(h, &[0u8; 10]).unwrap();
+        assert_eq!(s.write(h, &[0u8; 1]), Err(NfsError::DiskFull));
+        assert_eq!(s.used(), 10);
+    }
+
+    #[test]
+    fn missing_file_is_noentry() {
+        let mut s = NfsServer::new(&["/data"], 1 << 20);
+        assert!(matches!(s.read("/data/nope"), Err(NfsError::NoEntry(_))));
+    }
+
+    #[test]
+    fn io_time_is_modest_relative_to_compute() {
+        // A 4^4-per-node double-precision gauge configuration is ~590 kB;
+        // writing one from each of 128 nodes through the tree takes
+        // seconds, while generating it takes many minutes of CG — the §3.1
+        // observation that QCD needs little host I/O.
+        let s = NfsServer::paper_host();
+        let tree = crate::ethernet::EthernetTree::for_machine(128);
+        let config_bytes = 256 * 4 * 18 * 8; // sites x links x reals x 8B
+        let t = s.write_seconds(&tree, config_bytes, 128);
+        assert!(t < 10.0, "config drain took {t} s");
+    }
+
+    #[test]
+    fn concurrent_handles_to_different_files() {
+        let mut s = NfsServer::new(&["/data"], 1 << 20);
+        let h1 = s.open("/data/a").unwrap();
+        let h2 = s.open("/data/b").unwrap();
+        s.write(h1, b"one").unwrap();
+        s.write(h2, b"two").unwrap();
+        assert_eq!(s.read("/data/a").unwrap(), b"one");
+        assert_eq!(s.read("/data/b").unwrap(), b"two");
+        assert_eq!(s.bytes_written(), 6);
+    }
+}

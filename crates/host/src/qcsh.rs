@@ -1,0 +1,227 @@
+//! The qcsh command interface (§3.1).
+//!
+//! "The command line interface to QCDOC is a modified UNIX tcsh, which we
+//! call the qcsh. The qcsh runs with the UID of the application programmer,
+//! gathers commands to send to the qdaemon and manages the returning data
+//! stream. A subprocess of the qcsh is also available to the qdaemon, so
+//! the qdaemon can request files on the host to be opened and they will
+//! have the permissions and protections of the application programmer."
+
+use crate::qdaemon::Qdaemon;
+use qcdoc_geometry::PartitionSpec;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A parsed qcsh command.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Command {
+    /// `qboot` — boot the machine.
+    Boot,
+    /// `qpartition <rank>` — request a partition remapped to `rank`
+    /// dimensions (whole machine, axes folded from the top).
+    Partition {
+        /// Requested logical rank (1..=6).
+        rank: usize,
+    },
+    /// `qstat` — node census.
+    Status,
+    /// `qfree <id>` — release a partition.
+    Free {
+        /// Partition id.
+        id: u32,
+    },
+    /// `qcat <id>` — print the job output of a partition.
+    Cat {
+        /// Partition id.
+        id: u32,
+    },
+}
+
+/// Parse a command line.
+pub fn parse(line: &str) -> Result<Command, String> {
+    let mut words = line.split_whitespace();
+    match words.next() {
+        Some("qboot") => Ok(Command::Boot),
+        Some("qpartition") => {
+            let rank: usize = words
+                .next()
+                .ok_or("qpartition needs a rank")?
+                .parse()
+                .map_err(|e| format!("bad rank: {e}"))?;
+            if !(1..=6).contains(&rank) {
+                return Err(format!("rank {rank} outside 1..=6"));
+            }
+            Ok(Command::Partition { rank })
+        }
+        Some("qstat") => Ok(Command::Status),
+        Some("qfree") => {
+            let id = words.next().ok_or("qfree needs an id")?.parse().map_err(|e| format!("{e}"))?;
+            Ok(Command::Free { id })
+        }
+        Some("qcat") => {
+            let id = words.next().ok_or("qcat needs an id")?.parse().map_err(|e| format!("{e}"))?;
+            Ok(Command::Cat { id })
+        }
+        Some(other) => Err(format!("unknown command: {other}")),
+        None => Err("empty command".into()),
+    }
+}
+
+/// A user session: runs with the programmer's UID, and the qdaemon opens
+/// host files through it with that user's permissions.
+#[derive(Debug)]
+pub struct Qcsh {
+    uid: u32,
+    /// Host paths this user may open (the permission model).
+    allowed_paths: Vec<String>,
+    /// Files opened on behalf of the qdaemon.
+    open_files: HashMap<String, Vec<u8>>,
+}
+
+impl Qcsh {
+    /// A session for user `uid` with access to the given path prefixes.
+    pub fn new(uid: u32, allowed_paths: &[&str]) -> Qcsh {
+        Qcsh {
+            uid,
+            allowed_paths: allowed_paths.iter().map(|s| s.to_string()).collect(),
+            open_files: HashMap::new(),
+        }
+    }
+
+    /// The session's UID.
+    pub fn uid(&self) -> u32 {
+        self.uid
+    }
+
+    /// Execute a command against the qdaemon, returning the textual reply.
+    pub fn execute(&mut self, q: &mut Qdaemon, cmd: &Command) -> String {
+        match cmd {
+            Command::Boot => {
+                let report = q.boot(&[]);
+                format!(
+                    "booted {} nodes ({} faulty) in {:.2} s, machine {}",
+                    report.booted,
+                    report.faulty.len(),
+                    report.boot_seconds,
+                    report.detected_shape
+                )
+            }
+            Command::Partition { rank } => {
+                let machine = q.machine().clone();
+                // Fold the trailing axes into the last logical dimension.
+                let keep = rank - 1;
+                let mut groups: Vec<Vec<usize>> = (0..keep).map(|a| vec![a]).collect();
+                groups.push((keep..machine.rank()).collect());
+                let spec = PartitionSpec {
+                    origin: qcdoc_geometry::NodeCoord::ORIGIN,
+                    extents: machine.dims().to_vec(),
+                    groups,
+                };
+                match q.allocate(spec) {
+                    Ok(id) => {
+                        let shape = q.partition(id).unwrap().logical_shape().clone();
+                        format!("partition {id}: {shape}")
+                    }
+                    Err(e) => format!("error: {e}"),
+                }
+            }
+            Command::Status => {
+                let (ready, busy, faulty, unbooted) = q.census();
+                format!("ready {ready} busy {busy} faulty {faulty} unbooted {unbooted}")
+            }
+            Command::Free { id } => {
+                q.release(*id);
+                format!("partition {id} released")
+            }
+            Command::Cat { id } => match q.job_output(*id) {
+                Some(out) => String::from_utf8_lossy(out).into_owned(),
+                None => format!("error: no partition {id}"),
+            },
+        }
+    }
+
+    /// Open a host file on behalf of the qdaemon — succeeds only under the
+    /// user's permitted prefixes.
+    pub fn open_for_daemon(&mut self, path: &str) -> Result<(), String> {
+        if self.allowed_paths.iter().any(|p| path.starts_with(p.as_str())) {
+            self.open_files.insert(path.to_string(), Vec::new());
+            Ok(())
+        } else {
+            Err(format!("uid {}: permission denied: {path}", self.uid))
+        }
+    }
+
+    /// Write into a file previously opened for the daemon.
+    pub fn write_for_daemon(&mut self, path: &str, bytes: &[u8]) -> Result<(), String> {
+        match self.open_files.get_mut(path) {
+            Some(f) => {
+                f.extend_from_slice(bytes);
+                Ok(())
+            }
+            None => Err(format!("{path} not open")),
+        }
+    }
+
+    /// Contents of a file written through this session.
+    pub fn file(&self, path: &str) -> Option<&[u8]> {
+        self.open_files.get(path).map(|v| v.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcdoc_geometry::TorusShape;
+
+    fn machine() -> TorusShape {
+        TorusShape::new(&[4, 2, 2, 2, 1, 1])
+    }
+
+    #[test]
+    fn parse_commands() {
+        assert_eq!(parse("qboot"), Ok(Command::Boot));
+        assert_eq!(parse("qpartition 4"), Ok(Command::Partition { rank: 4 }));
+        assert_eq!(parse("qstat"), Ok(Command::Status));
+        assert_eq!(parse("qfree 2"), Ok(Command::Free { id: 2 }));
+        assert_eq!(parse("qcat 0"), Ok(Command::Cat { id: 0 }));
+        assert!(parse("qpartition 9").is_err());
+        assert!(parse("rm -rf /").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn boot_then_partition_session() {
+        let mut q = Qdaemon::new(machine());
+        let mut sh = Qcsh::new(1001, &["/home/physics"]);
+        let boot_reply = sh.execute(&mut q, &Command::Boot);
+        assert!(boot_reply.contains("booted 32 nodes"));
+        let part_reply = sh.execute(&mut q, &Command::Partition { rank: 4 });
+        assert!(part_reply.starts_with("partition 0:"), "{part_reply}");
+        let stat = sh.execute(&mut q, &Command::Status);
+        assert_eq!(stat, "ready 0 busy 32 faulty 0 unbooted 0");
+        sh.execute(&mut q, &Command::Free { id: 0 });
+        let stat = sh.execute(&mut q, &Command::Status);
+        assert_eq!(stat, "ready 32 busy 0 faulty 0 unbooted 0");
+    }
+
+    #[test]
+    fn job_output_through_qcat() {
+        let mut q = Qdaemon::new(machine());
+        let mut sh = Qcsh::new(1001, &[]);
+        sh.execute(&mut q, &Command::Boot);
+        sh.execute(&mut q, &Command::Partition { rank: 6 });
+        q.return_output(0, b"sweep 1: plaquette 0.5812\n");
+        let out = sh.execute(&mut q, &Command::Cat { id: 0 });
+        assert!(out.contains("plaquette"));
+    }
+
+    #[test]
+    fn daemon_file_access_uses_user_permissions() {
+        let mut sh = Qcsh::new(1001, &["/home/physics"]);
+        assert!(sh.open_for_daemon("/home/physics/configs/lat.0").is_ok());
+        assert!(sh.open_for_daemon("/etc/passwd").is_err());
+        sh.write_for_daemon("/home/physics/configs/lat.0", b"binary").unwrap();
+        assert_eq!(sh.file("/home/physics/configs/lat.0"), Some(&b"binary"[..]));
+        assert!(sh.write_for_daemon("/never/opened", b"x").is_err());
+    }
+}

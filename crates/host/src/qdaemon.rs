@@ -1,0 +1,374 @@
+//! The qdaemon — the host-side manager of the machine (§3.1).
+//!
+//! "Our primary host software is called the qdaemon. This software is
+//! responsible for booting QCDOC, coordinating the initialization of the
+//! various networks, keeping track of the status of the nodes (including
+//! hardware problems), allocating user partitions of QCDOC, loading and
+//! starting execution of applications, and returning application output to
+//! the user."
+//!
+//! The boot sequence per node (§3.1): ≈100 UDP packets through the
+//! Ethernet/JTAG path load the boot kernel straight into the I-cache; the
+//! boot kernel runs hardware tests and brings up the standard Ethernet
+//! controller; ≈100 more packets load the run kernel, which trains the SCU
+//! links and determines the machine's six-dimensional size. From then on
+//! host↔node traffic uses RPC.
+
+use crate::ethernet::{EthernetTree, BOOT_PACKET_BYTES};
+use crate::jtag::{JtagCommand, JtagController};
+use crate::kernel::{KernelPhase, RunKernel};
+use qcdoc_geometry::{NodeId, Partition, PartitionError, PartitionSpec, TorusShape};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Boot-packet counts from §3.1.
+pub const BOOT_KERNEL_PACKETS: u64 = 100;
+/// Run-kernel load is "also taking about 100 UDP packets".
+pub const RUN_KERNEL_PACKETS: u64 = 100;
+
+/// Per-node status as tracked by the qdaemon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeState {
+    /// Powered but not yet booted.
+    PoweredOn,
+    /// Boot kernel loaded and hardware-tested.
+    BootKernel,
+    /// Run kernel up; links trained; node idle.
+    Ready,
+    /// Assigned to a partition and running a job.
+    Busy {
+        /// The owning partition.
+        partition: u32,
+    },
+    /// Hardware fault detected (kept out of allocations).
+    Faulty,
+}
+
+/// The result of booting the machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BootReport {
+    /// Nodes booted successfully.
+    pub booted: usize,
+    /// Nodes marked faulty during hardware test.
+    pub faulty: Vec<u32>,
+    /// Total UDP packets sent.
+    pub packets_sent: u64,
+    /// Modelled wall-clock boot time in seconds (Ethernet capacity model).
+    pub boot_seconds: f64,
+    /// The detected six-dimensional machine size.
+    pub detected_shape: TorusShape,
+}
+
+/// An allocated partition and its job state.
+#[derive(Debug)]
+struct Allocation {
+    partition: Partition,
+    job_output: Vec<u8>,
+}
+
+/// The host daemon.
+#[derive(Debug)]
+pub struct Qdaemon {
+    machine: TorusShape,
+    jtag: Vec<JtagController>,
+    kernels: Vec<RunKernel>,
+    states: Vec<NodeState>,
+    allocations: HashMap<u32, Allocation>,
+    next_partition_id: u32,
+    ethernet: EthernetTree,
+    packets_sent: u64,
+}
+
+impl Qdaemon {
+    /// A daemon managing a machine of the given shape, all nodes powered
+    /// on but unbooted.
+    pub fn new(machine: TorusShape) -> Qdaemon {
+        let n = machine.node_count();
+        Qdaemon {
+            ethernet: EthernetTree::for_machine(n),
+            jtag: (0..n).map(|_| JtagController::new()).collect(),
+            kernels: (0..n).map(|_| RunKernel::new()).collect(),
+            states: vec![NodeState::PoweredOn; n],
+            allocations: HashMap::new(),
+            next_partition_id: 0,
+            machine,
+            packets_sent: 0,
+        }
+    }
+
+    /// The machine shape.
+    pub fn machine(&self) -> &TorusShape {
+        &self.machine
+    }
+
+    /// State of one node.
+    pub fn node_state(&self, node: NodeId) -> NodeState {
+        self.states[node.index()]
+    }
+
+    /// Boot the whole machine. `faulty` lists nodes whose hardware test
+    /// fails (fault injection for tests; empty on a healthy machine).
+    pub fn boot(&mut self, faulty: &[u32]) -> BootReport {
+        let n = self.machine.node_count();
+        // Phase 1: boot kernel via Ethernet/JTAG into each I-cache.
+        for node in 0..n {
+            for i in 0..BOOT_KERNEL_PACKETS {
+                self.jtag[node].handle(&JtagCommand::WriteICache {
+                    addr: (i * 4) as u32,
+                    data: 0x6000_0000 | i as u32,
+                });
+                self.packets_sent += 1;
+            }
+            self.jtag[node].handle(&JtagCommand::StartCpu);
+            self.packets_sent += 1;
+        }
+        // Boot kernel runs hardware tests.
+        let mut bad = Vec::new();
+        for node in 0..n {
+            if faulty.contains(&(node as u32)) {
+                self.states[node] = NodeState::Faulty;
+                bad.push(node as u32);
+                continue;
+            }
+            self.states[node] = NodeState::BootKernel;
+        }
+        // Phase 2: run kernel over standard Ethernet; SCU init.
+        for node in 0..n {
+            if self.states[node] != NodeState::BootKernel {
+                continue;
+            }
+            self.packets_sent += RUN_KERNEL_PACKETS;
+            self.kernels[node].finish_hardware_test();
+            self.states[node] = NodeState::Ready;
+        }
+        // Timing: both kernel loads ride the Ethernet capacity model.
+        let bytes_per_node =
+            (BOOT_KERNEL_PACKETS + RUN_KERNEL_PACKETS + 1) * BOOT_PACKET_BYTES;
+        let boot_seconds = self.ethernet.broadcast_seconds(bytes_per_node);
+        BootReport {
+            booted: n - bad.len(),
+            faulty: bad,
+            packets_sent: self.packets_sent,
+            boot_seconds,
+            detected_shape: self.machine.clone(),
+        }
+    }
+
+    /// Allocate a partition: validates the spec, checks every member node
+    /// is `Ready`, and marks them busy. Returns the partition id.
+    pub fn allocate(&mut self, spec: PartitionSpec) -> Result<u32, AllocError> {
+        let partition = Partition::new(&self.machine, spec).map_err(AllocError::Partition)?;
+        // Collect member nodes.
+        let members: Vec<NodeId> = (0..partition.node_count())
+            .map(|i| partition.physical_id(NodeId(i as u32)))
+            .collect();
+        for &m in &members {
+            match self.states[m.index()] {
+                NodeState::Ready => {}
+                other => return Err(AllocError::NodeUnavailable { node: m.0, state: other }),
+            }
+        }
+        let id = self.next_partition_id;
+        self.next_partition_id += 1;
+        for &m in &members {
+            self.states[m.index()] = NodeState::Busy { partition: id };
+        }
+        self.allocations.insert(id, Allocation { partition, job_output: Vec::new() });
+        Ok(id)
+    }
+
+    /// The partition object for an allocation.
+    pub fn partition(&self, id: u32) -> Option<&Partition> {
+        self.allocations.get(&id).map(|a| &a.partition)
+    }
+
+    /// Append job output returned from a node (RPC path).
+    pub fn return_output(&mut self, id: u32, bytes: &[u8]) {
+        if let Some(a) = self.allocations.get_mut(&id) {
+            a.job_output.extend_from_slice(bytes);
+        }
+    }
+
+    /// The output stream of a partition's job.
+    pub fn job_output(&self, id: u32) -> Option<&[u8]> {
+        self.allocations.get(&id).map(|a| a.job_output.as_slice())
+    }
+
+    /// Release a partition; member nodes return to `Ready`.
+    pub fn release(&mut self, id: u32) {
+        if let Some(a) = self.allocations.remove(&id) {
+            for i in 0..a.partition.node_count() {
+                let m = a.partition.physical_id(NodeId(i as u32));
+                self.states[m.index()] = NodeState::Ready;
+            }
+        }
+    }
+
+    /// Mark a node faulty (e.g. after a checksum mismatch report).
+    pub fn mark_faulty(&mut self, node: NodeId) {
+        self.states[node.index()] = NodeState::Faulty;
+    }
+
+    /// Count of nodes in each state: (ready, busy, faulty, unbooted).
+    pub fn census(&self) -> (usize, usize, usize, usize) {
+        let mut ready = 0;
+        let mut busy = 0;
+        let mut faulty = 0;
+        let mut unbooted = 0;
+        for s in &self.states {
+            match s {
+                NodeState::Ready => ready += 1,
+                NodeState::Busy { .. } => busy += 1,
+                NodeState::Faulty => faulty += 1,
+                _ => unbooted += 1,
+            }
+        }
+        (ready, busy, faulty, unbooted)
+    }
+
+    /// Run kernel of a node (for job wiring in `qcdoc-core`).
+    pub fn kernel_mut(&mut self, node: NodeId) -> &mut RunKernel {
+        &mut self.kernels[node.index()]
+    }
+
+    /// Whether a node's kernel is idle and ready for a job.
+    pub fn node_idle(&self, node: NodeId) -> bool {
+        self.kernels[node.index()].phase() == KernelPhase::Idle
+    }
+}
+
+/// Allocation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllocError {
+    /// The partition spec was invalid.
+    Partition(PartitionError),
+    /// A member node is not in the `Ready` state.
+    NodeUnavailable {
+        /// The node.
+        node: u32,
+        /// Its current state.
+        state: NodeState,
+    },
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocError::Partition(e) => write!(f, "invalid partition: {e}"),
+            AllocError::NodeUnavailable { node, state } => {
+                write!(f, "node {node} unavailable ({state:?})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcdoc_geometry::NodeCoord;
+
+    fn small_machine() -> TorusShape {
+        TorusShape::new(&[4, 2, 2, 2, 1, 1])
+    }
+
+    #[test]
+    fn boot_counts_match_paper() {
+        let mut q = Qdaemon::new(small_machine());
+        let report = q.boot(&[]);
+        assert_eq!(report.booted, 32);
+        // ~100 JTAG packets + StartCpu + ~100 run-kernel packets per node.
+        assert_eq!(report.packets_sent, 32 * (BOOT_KERNEL_PACKETS + 1 + RUN_KERNEL_PACKETS));
+        assert!(report.boot_seconds > 0.0);
+        let (ready, busy, faulty, unbooted) = q.census();
+        assert_eq!((ready, busy, faulty, unbooted), (32, 0, 0, 0));
+    }
+
+    #[test]
+    fn faulty_nodes_are_quarantined() {
+        let mut q = Qdaemon::new(small_machine());
+        let report = q.boot(&[3, 17]);
+        assert_eq!(report.booted, 30);
+        assert_eq!(report.faulty, vec![3, 17]);
+        assert_eq!(q.node_state(NodeId(3)), NodeState::Faulty);
+        // Allocating the whole machine must fail on the faulty node.
+        let spec = PartitionSpec::native(q.machine());
+        let err = q.allocate(spec).unwrap_err();
+        assert!(matches!(err, AllocError::NodeUnavailable { .. }));
+    }
+
+    #[test]
+    fn allocate_remap_and_release() {
+        let mut q = Qdaemon::new(small_machine());
+        q.boot(&[]);
+        // Remap the whole 6-D machine to 4-D, per §3.1.
+        let spec = PartitionSpec::whole_machine(
+            q.machine(),
+            &[&[0], &[1], &[2], &[3, 4, 5]],
+        );
+        let id = q.allocate(spec).unwrap();
+        assert_eq!(q.partition(id).unwrap().logical_shape().dims(), &[4, 2, 2, 2]);
+        let (ready, busy, _, _) = q.census();
+        assert_eq!((ready, busy), (0, 32));
+        q.release(id);
+        let (ready, busy, _, _) = q.census();
+        assert_eq!((ready, busy), (32, 0));
+    }
+
+    #[test]
+    fn two_disjoint_partitions() {
+        let mut q = Qdaemon::new(small_machine());
+        q.boot(&[]);
+        // Split along axis 0: two 2x2x2x2 sub-boxes, each folded to 4-D.
+        let mk = |x0: usize| PartitionSpec {
+            origin: {
+                let mut c = NodeCoord::ORIGIN;
+                c.set(0, x0);
+                c
+            },
+            extents: vec![2, 2, 2, 2, 1, 1],
+            groups: vec![vec![0], vec![1], vec![2], vec![3]],
+        };
+        // Sub-extent 2 of an axis-4 machine: single-axis groups need full
+        // extent... axis 0 has extent 4, so group [0] with extent 2 fails;
+        // use a fold pairing axes 0 and 3 instead.
+        let mk_ok = |x0: usize| PartitionSpec {
+            origin: {
+                let mut c = NodeCoord::ORIGIN;
+                c.set(0, x0);
+                c
+            },
+            extents: vec![2, 2, 2, 2, 1, 1],
+            groups: vec![vec![0, 3], vec![1], vec![2]],
+        };
+        let _ = mk; // the failing shape is exercised below
+        assert!(q.allocate(mk(0)).is_err(), "partial single axis must fail");
+        let a = q.allocate(mk_ok(0)).unwrap();
+        let b = q.allocate(mk_ok(2)).unwrap();
+        assert_ne!(a, b);
+        let (ready, busy, _, _) = q.census();
+        assert_eq!((ready, busy), (0, 32));
+        // No double allocation.
+        assert!(q.allocate(mk_ok(0)).is_err());
+    }
+
+    #[test]
+    fn job_output_round_trip() {
+        let mut q = Qdaemon::new(small_machine());
+        q.boot(&[]);
+        let id = q.allocate(PartitionSpec::native(q.machine())).unwrap();
+        q.return_output(id, b"CG converged in 213 iterations\n");
+        assert_eq!(q.job_output(id).unwrap(), b"CG converged in 213 iterations\n");
+    }
+
+    #[test]
+    fn boot_time_grows_with_machine() {
+        let mut small = Qdaemon::new(TorusShape::new(&[4, 2, 2, 2, 1, 1]));
+        let mut big = Qdaemon::new(TorusShape::new(&[8, 8, 6, 4, 4, 2]));
+        assert_eq!(big.machine().node_count(), 12288);
+        let rs = small.boot(&[]);
+        let rb = big.boot(&[]);
+        assert!(rb.boot_seconds > rs.boot_seconds);
+    }
+}

@@ -1,0 +1,274 @@
+//! The host↔node RPC protocol (§3.1).
+//!
+//! "At this point, QCDOC is ready for applications to run. All subsequent
+//! communications between the host and nodes uses the RPC protocol."
+//!
+//! UDP-framed request/response with sequence numbers: the qdaemon side
+//! retries on loss, the node side deduplicates on the sequence number so a
+//! retried request executes at most once. Calls mirror what the qdaemon
+//! actually does after boot: launch applications, poll status, collect
+//! output, and ask the kernel for its hardware report.
+
+use crate::kernel::{HardwareStatus, KernelPhase, RunKernel, Syscall};
+use bytes::{Buf, BufMut, BytesMut};
+use serde::{Deserialize, Serialize};
+
+/// An RPC call from the qdaemon to a node's run kernel.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RpcCall {
+    /// Launch the application thread.
+    Launch,
+    /// Poll the kernel phase.
+    Poll,
+    /// Collect (and clear) buffered application output.
+    CollectOutput,
+    /// Request the end-of-run hardware status.
+    HardwareReport,
+}
+
+/// The node's reply.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RpcReply {
+    /// Acknowledged with no payload.
+    Ok,
+    /// The kernel phase.
+    Phase(KernelPhase),
+    /// Output bytes.
+    Output(Vec<u8>),
+    /// Hardware status triple (link errors, ECC corrections, checksums ok).
+    Hardware(u64, u64, bool),
+    /// The call could not be serviced in the current phase.
+    Busy,
+}
+
+/// A framed request on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RpcRequest {
+    /// Sequence number (dedup + retry matching).
+    pub seq: u32,
+    /// The call.
+    pub call: RpcCall,
+}
+
+/// Encode a request as a UDP payload.
+pub fn encode_request(req: &RpcRequest) -> Vec<u8> {
+    let mut b = BytesMut::new();
+    b.put_u32(req.seq);
+    match req.call {
+        RpcCall::Launch => b.put_u8(1),
+        RpcCall::Poll => b.put_u8(2),
+        RpcCall::CollectOutput => b.put_u8(3),
+        RpcCall::HardwareReport => b.put_u8(4),
+    }
+    b.to_vec()
+}
+
+/// Decode a request payload.
+pub fn decode_request(payload: &[u8]) -> Option<RpcRequest> {
+    let mut buf = payload;
+    if buf.len() < 5 {
+        return None;
+    }
+    let seq = buf.get_u32();
+    let call = match buf.get_u8() {
+        1 => RpcCall::Launch,
+        2 => RpcCall::Poll,
+        3 => RpcCall::CollectOutput,
+        4 => RpcCall::HardwareReport,
+        _ => return None,
+    };
+    Some(RpcRequest { seq, call })
+}
+
+/// The node-side RPC server: executes calls against the run kernel,
+/// deduplicating retries by sequence number.
+#[derive(Debug)]
+pub struct RpcServer {
+    kernel: RunKernel,
+    last_seq: Option<u32>,
+    last_reply: Option<RpcReply>,
+    duplicates: u64,
+}
+
+impl RpcServer {
+    /// Wrap a booted kernel.
+    pub fn new(kernel: RunKernel) -> RpcServer {
+        RpcServer { kernel, last_seq: None, last_reply: None, duplicates: 0 }
+    }
+
+    /// Kernel access (the application model drives syscalls through this).
+    pub fn kernel_mut(&mut self) -> &mut RunKernel {
+        &mut self.kernel
+    }
+
+    /// Retried requests seen.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Execute one request; a repeat of the last sequence number returns
+    /// the cached reply without re-executing (at-most-once semantics).
+    pub fn handle(&mut self, req: &RpcRequest) -> RpcReply {
+        if self.last_seq == Some(req.seq) {
+            self.duplicates += 1;
+            return self.last_reply.clone().expect("cached reply");
+        }
+        let reply = match req.call {
+            RpcCall::Launch => {
+                if self.kernel.phase() == KernelPhase::Idle {
+                    self.kernel.launch();
+                    RpcReply::Ok
+                } else {
+                    RpcReply::Busy
+                }
+            }
+            RpcCall::Poll => RpcReply::Phase(self.kernel.phase()),
+            RpcCall::CollectOutput => RpcReply::Output(self.kernel.output().to_vec()),
+            RpcCall::HardwareReport => {
+                let HardwareStatus { link_errors, ecc_corrections, checksums_ok } =
+                    self.kernel.hardware_status();
+                RpcReply::Hardware(link_errors, ecc_corrections, checksums_ok)
+            }
+        };
+        self.last_seq = Some(req.seq);
+        self.last_reply = Some(reply.clone());
+        reply
+    }
+}
+
+/// The host-side client: sequences requests and retries through a lossy
+/// channel.
+#[derive(Debug, Default)]
+pub struct RpcClient {
+    next_seq: u32,
+    retries: u64,
+}
+
+impl RpcClient {
+    /// A fresh client.
+    pub fn new() -> RpcClient {
+        RpcClient::default()
+    }
+
+    /// Total retransmissions performed.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Issue `call` through `transport`, which returns `None` to model a
+    /// lost datagram; retries up to `max_retries` times with the same
+    /// sequence number.
+    pub fn call<F>(
+        &mut self,
+        server: &mut RpcServer,
+        call: RpcCall,
+        max_retries: u32,
+        mut transport: F,
+    ) -> Option<RpcReply>
+    where
+        F: FnMut(u32) -> bool,
+    {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let req = RpcRequest { seq, call };
+        for attempt in 0..=max_retries {
+            if attempt > 0 {
+                self.retries += 1;
+            }
+            // Encode/decode through the real framing each attempt.
+            let wire = encode_request(&req);
+            let decoded = decode_request(&wire).expect("self-framed request");
+            if transport(attempt) {
+                return Some(server.handle(&decoded));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn booted_server() -> RpcServer {
+        let mut k = RunKernel::new();
+        k.finish_hardware_test();
+        RpcServer::new(k)
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        for call in [RpcCall::Launch, RpcCall::Poll, RpcCall::CollectOutput, RpcCall::HardwareReport] {
+            let req = RpcRequest { seq: 77, call: call.clone() };
+            assert_eq!(decode_request(&encode_request(&req)), Some(req));
+        }
+        assert_eq!(decode_request(&[1, 2]), None);
+        assert_eq!(decode_request(&[0, 0, 0, 1, 99]), None);
+    }
+
+    #[test]
+    fn launch_poll_collect_cycle() {
+        let mut server = booted_server();
+        let mut client = RpcClient::new();
+        let ok = |_: u32| true;
+        assert_eq!(client.call(&mut server, RpcCall::Launch, 0, ok), Some(RpcReply::Ok));
+        assert_eq!(
+            client.call(&mut server, RpcCall::Poll, 0, ok),
+            Some(RpcReply::Phase(KernelPhase::Running))
+        );
+        server.kernel_mut().syscall(Syscall::WriteOutput(b"42".to_vec()));
+        server.kernel_mut().syscall(Syscall::Exit { code: 0 });
+        assert_eq!(
+            client.call(&mut server, RpcCall::CollectOutput, 0, ok),
+            Some(RpcReply::Output(b"42".to_vec()))
+        );
+        assert_eq!(
+            client.call(&mut server, RpcCall::Poll, 0, ok),
+            Some(RpcReply::Phase(KernelPhase::Finished))
+        );
+    }
+
+    #[test]
+    fn launch_twice_is_busy() {
+        let mut server = booted_server();
+        let mut client = RpcClient::new();
+        let ok = |_: u32| true;
+        assert_eq!(client.call(&mut server, RpcCall::Launch, 0, ok), Some(RpcReply::Ok));
+        assert_eq!(client.call(&mut server, RpcCall::Launch, 0, ok), Some(RpcReply::Busy));
+    }
+
+    #[test]
+    fn lost_datagrams_are_retried_and_deduplicated() {
+        let mut server = booted_server();
+        let mut client = RpcClient::new();
+        // Drop the first two attempts.
+        let reply = client.call(&mut server, RpcCall::Launch, 5, |attempt| attempt >= 2);
+        assert_eq!(reply, Some(RpcReply::Ok));
+        assert_eq!(client.retries(), 2);
+        // Executed exactly once: a duplicate Launch (same seq, as if the
+        // reply were lost and the request retried late) returns the cached
+        // Ok instead of Busy.
+        let dup = RpcRequest { seq: 0, call: RpcCall::Launch };
+        assert_eq!(server.handle(&dup), RpcReply::Ok);
+        assert_eq!(server.duplicates(), 1);
+    }
+
+    #[test]
+    fn exhausted_retries_report_loss() {
+        let mut server = booted_server();
+        let mut client = RpcClient::new();
+        let reply = client.call(&mut server, RpcCall::Poll, 3, |_| false);
+        assert_eq!(reply, None);
+        assert_eq!(client.retries(), 3);
+    }
+
+    #[test]
+    fn hardware_report_carries_kernel_status() {
+        let mut server = booted_server();
+        server.kernel_mut().record_link_error();
+        server.kernel_mut().record_checksum_result(true);
+        let mut client = RpcClient::new();
+        let reply = client.call(&mut server, RpcCall::HardwareReport, 0, |_| true);
+        assert_eq!(reply, Some(RpcReply::Hardware(1, 0, true)));
+    }
+}

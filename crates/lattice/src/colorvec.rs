@@ -1,0 +1,137 @@
+//! Three-component complex color vectors — the fundamental representation
+//! of SU(3), and the per-site degree of freedom of staggered fermions.
+
+use crate::complex::C64;
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+/// A color-3 vector.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ColorVec(pub [C64; 3]);
+
+impl ColorVec {
+    /// The zero vector.
+    pub const ZERO: ColorVec = ColorVec([C64::ZERO; 3]);
+
+    /// Basis vector `e_i`.
+    pub fn basis(i: usize) -> ColorVec {
+        let mut v = ColorVec::ZERO;
+        v.0[i] = C64::ONE;
+        v
+    }
+
+    /// Hermitian inner product `⟨self, rhs⟩ = Σ conj(self_i) rhs_i`.
+    pub fn dot(&self, rhs: &ColorVec) -> C64 {
+        let mut acc = C64::ZERO;
+        for c in 0..3 {
+            acc += self.0[c].conj() * rhs.0[c];
+        }
+        acc
+    }
+
+    /// Squared L2 norm.
+    pub fn norm_sqr(&self) -> f64 {
+        self.0.iter().map(|z| z.norm_sqr()).sum()
+    }
+
+    /// Scale by a complex factor.
+    pub fn scale(&self, s: C64) -> ColorVec {
+        ColorVec([self.0[0] * s, self.0[1] * s, self.0[2] * s])
+    }
+
+    /// `self + s * rhs`.
+    pub fn axpy(&self, s: C64, rhs: &ColorVec) -> ColorVec {
+        ColorVec([
+            self.0[0].madd(s, rhs.0[0]),
+            self.0[1].madd(s, rhs.0[1]),
+            self.0[2].madd(s, rhs.0[2]),
+        ])
+    }
+}
+
+impl Add for ColorVec {
+    type Output = ColorVec;
+    fn add(self, rhs: ColorVec) -> ColorVec {
+        ColorVec([self.0[0] + rhs.0[0], self.0[1] + rhs.0[1], self.0[2] + rhs.0[2]])
+    }
+}
+
+impl AddAssign for ColorVec {
+    fn add_assign(&mut self, rhs: ColorVec) {
+        for c in 0..3 {
+            self.0[c] += rhs.0[c];
+        }
+    }
+}
+
+impl Sub for ColorVec {
+    type Output = ColorVec;
+    fn sub(self, rhs: ColorVec) -> ColorVec {
+        ColorVec([self.0[0] - rhs.0[0], self.0[1] - rhs.0[1], self.0[2] - rhs.0[2]])
+    }
+}
+
+impl SubAssign for ColorVec {
+    fn sub_assign(&mut self, rhs: ColorVec) {
+        for c in 0..3 {
+            self.0[c] -= rhs.0[c];
+        }
+    }
+}
+
+impl Neg for ColorVec {
+    type Output = ColorVec;
+    fn neg(self) -> ColorVec {
+        ColorVec([-self.0[0], -self.0[1], -self.0[2]])
+    }
+}
+
+impl Mul<f64> for ColorVec {
+    type Output = ColorVec;
+    fn mul(self, rhs: f64) -> ColorVec {
+        ColorVec([self.0[0] * rhs, self.0[1] * rhs, self.0[2] * rhs])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basis_orthonormal() {
+        for i in 0..3 {
+            for j in 0..3 {
+                let d = ColorVec::basis(i).dot(&ColorVec::basis(j));
+                let expect = if i == j { C64::ONE } else { C64::ZERO };
+                assert_eq!(d, expect);
+            }
+        }
+    }
+
+    #[test]
+    fn dot_is_conjugate_symmetric() {
+        let a = ColorVec([C64::new(1.0, 2.0), C64::new(-1.0, 0.5), C64::new(0.0, 1.0)]);
+        let b = ColorVec([C64::new(2.0, -1.0), C64::new(0.5, 0.5), C64::new(1.0, 0.0)]);
+        let ab = a.dot(&b);
+        let ba = b.dot(&a);
+        assert!((ab - ba.conj()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn norm_matches_self_dot() {
+        let a = ColorVec([C64::new(3.0, 0.0), C64::new(0.0, 4.0), C64::ZERO]);
+        assert_eq!(a.norm_sqr(), 25.0);
+        assert!((a.dot(&a).re - 25.0).abs() < 1e-14);
+        assert!(a.dot(&a).im.abs() < 1e-14);
+    }
+
+    #[test]
+    fn axpy_matches_expanded() {
+        let a = ColorVec::basis(0);
+        let b = ColorVec::basis(1);
+        let s = C64::new(0.0, 2.0);
+        let r = a.axpy(s, &b);
+        assert_eq!(r.0[0], C64::ONE);
+        assert_eq!(r.0[1], C64::new(0.0, 2.0));
+    }
+}

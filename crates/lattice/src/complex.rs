@@ -1,0 +1,247 @@
+//! Double-precision complex arithmetic.
+//!
+//! Implemented locally (rather than pulling in a numerics crate) so the
+//! operation counts feeding the performance model are exactly the ones the
+//! code performs: a complex multiply is 4 real multiplies and 2 adds — 3
+//! FMAs and 1 multiply on the PPC 440's FPU.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+/// The imaginary unit.
+pub const I: C64 = C64 { re: 0.0, im: 1.0 };
+
+impl C64 {
+    /// Zero.
+    pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+
+    /// Construct from parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> C64 {
+        C64 { re, im }
+    }
+
+    /// A real number.
+    #[inline]
+    pub const fn real(re: f64) -> C64 {
+        C64 { re, im: 0.0 }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> C64 {
+        C64 { re: self.re, im: -self.im }
+    }
+
+    /// Squared modulus.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Argument in radians.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// `e^{iθ}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> C64 {
+        C64 { re: r * theta.cos(), im: r * theta.sin() }
+    }
+
+    /// Multiply by `i`.
+    #[inline]
+    pub fn mul_i(self) -> C64 {
+        C64 { re: -self.im, im: self.re }
+    }
+
+    /// Multiply by `-i`.
+    #[inline]
+    pub fn mul_neg_i(self) -> C64 {
+        C64 { re: self.im, im: -self.re }
+    }
+
+    /// Fused `self + a * b`.
+    #[inline]
+    pub fn madd(self, a: C64, b: C64) -> C64 {
+        C64 {
+            re: self.re + a.re * b.re - a.im * b.im,
+            im: self.im + a.re * b.im + a.im * b.re,
+        }
+    }
+
+    /// `self * conj(rhs)`.
+    #[inline]
+    pub fn mul_conj(self, rhs: C64) -> C64 {
+        C64 {
+            re: self.re * rhs.re + self.im * rhs.im,
+            im: self.im * rhs.re - self.re * rhs.im,
+        }
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    #[inline]
+    fn add(self, rhs: C64) -> C64 {
+        C64 { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+}
+
+impl AddAssign for C64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: C64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    #[inline]
+    fn sub(self, rhs: C64) -> C64 {
+        C64 { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+}
+
+impl SubAssign for C64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: C64) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        C64 {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl MulAssign for C64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: C64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: f64) -> C64 {
+        C64 { re: self.re * rhs, im: self.im * rhs }
+    }
+}
+
+impl Div for C64 {
+    type Output = C64;
+    #[inline]
+    fn div(self, rhs: C64) -> C64 {
+        let d = rhs.norm_sqr();
+        C64 {
+            re: (self.re * rhs.re + self.im * rhs.im) / d,
+            im: (self.im * rhs.re - self.re * rhs.im) / d,
+        }
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    #[inline]
+    fn neg(self) -> C64 {
+        C64 { re: -self.re, im: -self.im }
+    }
+}
+
+impl fmt::Display for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: C64, b: C64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = C64::new(1.0, 2.0);
+        let b = C64::new(3.0, -1.0);
+        assert_eq!(a + b, C64::new(4.0, 1.0));
+        assert_eq!(a - b, C64::new(-2.0, 3.0));
+        assert_eq!(a * b, C64::new(5.0, 5.0));
+        assert!(close(a * b / b, a));
+    }
+
+    #[test]
+    fn conjugation_and_norm() {
+        let a = C64::new(3.0, 4.0);
+        assert_eq!(a.conj(), C64::new(3.0, -4.0));
+        assert_eq!(a.norm_sqr(), 25.0);
+        assert_eq!(a.abs(), 5.0);
+        assert!(close(a * a.conj(), C64::real(25.0)));
+    }
+
+    #[test]
+    fn i_multiplication_shortcuts() {
+        let a = C64::new(2.0, -3.0);
+        assert_eq!(a.mul_i(), a * I);
+        assert_eq!(a.mul_neg_i(), a * -I);
+        assert_eq!(I * I, -C64::ONE);
+    }
+
+    #[test]
+    fn madd_matches_expanded_form() {
+        let acc = C64::new(0.5, 0.5);
+        let a = C64::new(1.5, -2.0);
+        let b = C64::new(-0.25, 3.0);
+        assert!(close(acc.madd(a, b), acc + a * b));
+    }
+
+    #[test]
+    fn mul_conj_matches_expanded_form() {
+        let a = C64::new(1.0, 2.0);
+        let b = C64::new(-2.0, 0.5);
+        assert!(close(a.mul_conj(b), a * b.conj()));
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = C64::from_polar(2.0, 0.7);
+        assert!((z.abs() - 2.0).abs() < 1e-12);
+        assert!((z.arg() - 0.7).abs() < 1e-12);
+    }
+}

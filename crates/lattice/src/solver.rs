@@ -1,0 +1,416 @@
+//! Conjugate gradient on the normal equations — "the conjugate gradient
+//! solvers that dominate our calculations" (abstract).
+//!
+//! The Dirac operators are non-Hermitian, so we solve `M x = b` through the
+//! Hermitian positive-definite normal equations `M†M x = M†b`. Each
+//! iteration costs two operator applications, three vector updates and two
+//! global reductions — the two inner products whose latency motivates the
+//! SCU's hardware global sums (§2.2).
+
+use crate::complex::C64;
+use crate::dwf::{DwfDirac, DwfField};
+use crate::field::{FermionField, StaggeredField};
+use crate::staggered::{AsqtadDirac, StaggeredDirac};
+use crate::wilson::WilsonDirac;
+use serde::{Deserialize, Serialize};
+
+/// Vector-space operations CG needs from a field type.
+pub trait KrylovVector: Clone {
+    /// Hermitian inner product in a deterministic (site-order) association.
+    fn dot(&self, rhs: &Self) -> C64;
+    /// Squared L2 norm.
+    fn norm_sqr(&self) -> f64;
+    /// `self += a · rhs`.
+    fn axpy(&mut self, a: C64, rhs: &Self);
+    /// `self = a · self + rhs`.
+    fn xpay(&mut self, a: C64, rhs: &Self);
+    /// Set to zero.
+    fn fill_zero(&mut self);
+}
+
+impl KrylovVector for FermionField {
+    fn dot(&self, rhs: &Self) -> C64 {
+        FermionField::dot(self, rhs)
+    }
+    fn norm_sqr(&self) -> f64 {
+        FermionField::norm_sqr(self)
+    }
+    fn axpy(&mut self, a: C64, rhs: &Self) {
+        FermionField::axpy(self, a, rhs)
+    }
+    fn xpay(&mut self, a: C64, rhs: &Self) {
+        FermionField::xpay(self, a, rhs)
+    }
+    fn fill_zero(&mut self) {
+        self.scale(C64::ZERO)
+    }
+}
+
+impl KrylovVector for StaggeredField {
+    fn dot(&self, rhs: &Self) -> C64 {
+        StaggeredField::dot(self, rhs)
+    }
+    fn norm_sqr(&self) -> f64 {
+        StaggeredField::norm_sqr(self)
+    }
+    fn axpy(&mut self, a: C64, rhs: &Self) {
+        StaggeredField::axpy(self, a, rhs)
+    }
+    fn xpay(&mut self, a: C64, rhs: &Self) {
+        StaggeredField::xpay(self, a, rhs)
+    }
+    fn fill_zero(&mut self) {
+        let z = C64::ZERO;
+        for i in self.lattice().sites() {
+            *self.site_mut(i) = self.site(i).scale(z);
+        }
+    }
+}
+
+impl KrylovVector for DwfField {
+    fn dot(&self, rhs: &Self) -> C64 {
+        DwfField::dot(self, rhs)
+    }
+    fn norm_sqr(&self) -> f64 {
+        DwfField::norm_sqr(self)
+    }
+    fn axpy(&mut self, a: C64, rhs: &Self) {
+        DwfField::axpy(self, a, rhs)
+    }
+    fn xpay(&mut self, a: C64, rhs: &Self) {
+        DwfField::xpay(self, a, rhs)
+    }
+    fn fill_zero(&mut self) {
+        let lat = self.lattice();
+        let ls = self.ls();
+        *self = DwfField::zero(lat, ls);
+    }
+}
+
+/// A Dirac operator usable by the CG driver.
+pub trait DiracOperator {
+    /// The field type the operator acts on.
+    type Field: KrylovVector;
+    /// `out = M inp`.
+    fn apply(&self, out: &mut Self::Field, inp: &Self::Field);
+    /// `out = M† inp`.
+    fn apply_dagger(&self, out: &mut Self::Field, inp: &Self::Field);
+    /// Human-readable name (for reports).
+    fn name(&self) -> &'static str;
+}
+
+impl DiracOperator for WilsonDirac<'_> {
+    type Field = FermionField;
+    fn apply(&self, out: &mut FermionField, inp: &FermionField) {
+        WilsonDirac::apply(self, out, inp)
+    }
+    fn apply_dagger(&self, out: &mut FermionField, inp: &FermionField) {
+        WilsonDirac::apply_dagger(self, out, inp)
+    }
+    fn name(&self) -> &'static str {
+        "wilson"
+    }
+}
+
+impl DiracOperator for crate::clover::CloverDirac<'_> {
+    type Field = FermionField;
+    fn apply(&self, out: &mut FermionField, inp: &FermionField) {
+        crate::clover::CloverDirac::apply(self, out, inp)
+    }
+    fn apply_dagger(&self, out: &mut FermionField, inp: &FermionField) {
+        crate::clover::CloverDirac::apply_dagger(self, out, inp)
+    }
+    fn name(&self) -> &'static str {
+        "clover"
+    }
+}
+
+impl DiracOperator for StaggeredDirac<'_> {
+    type Field = StaggeredField;
+    fn apply(&self, out: &mut StaggeredField, inp: &StaggeredField) {
+        StaggeredDirac::apply(self, out, inp)
+    }
+    fn apply_dagger(&self, out: &mut StaggeredField, inp: &StaggeredField) {
+        StaggeredDirac::apply_dagger(self, out, inp)
+    }
+    fn name(&self) -> &'static str {
+        "staggered"
+    }
+}
+
+impl DiracOperator for AsqtadDirac<'_> {
+    type Field = StaggeredField;
+    fn apply(&self, out: &mut StaggeredField, inp: &StaggeredField) {
+        AsqtadDirac::apply(self, out, inp)
+    }
+    fn apply_dagger(&self, out: &mut StaggeredField, inp: &StaggeredField) {
+        AsqtadDirac::apply_dagger(self, out, inp)
+    }
+    fn name(&self) -> &'static str {
+        "asqtad"
+    }
+}
+
+impl DiracOperator for DwfDirac<'_> {
+    type Field = DwfField;
+    fn apply(&self, out: &mut DwfField, inp: &DwfField) {
+        DwfDirac::apply(self, out, inp)
+    }
+    fn apply_dagger(&self, out: &mut DwfField, inp: &DwfField) {
+        DwfDirac::apply_dagger(self, out, inp)
+    }
+    fn name(&self) -> &'static str {
+        "dwf"
+    }
+}
+
+/// Stopping criteria for CG.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CgParams {
+    /// Target relative residual `‖M†(b − Mx)‖ / ‖M†b‖`.
+    pub tolerance: f64,
+    /// Iteration cap.
+    pub max_iterations: usize,
+}
+
+impl Default for CgParams {
+    fn default() -> Self {
+        CgParams { tolerance: 1e-8, max_iterations: 2000 }
+    }
+}
+
+/// The outcome of a CG solve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CgReport {
+    /// Operator name.
+    pub operator: String,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Whether the tolerance was reached.
+    pub converged: bool,
+    /// Relative residual history (one entry per iteration).
+    pub residuals: Vec<f64>,
+    /// Final relative residual.
+    pub final_residual: f64,
+    /// Total operator applications (M or M†).
+    pub operator_applications: usize,
+    /// Global reductions performed (the inner products).
+    pub global_reductions: usize,
+}
+
+/// Solve `M x = b` by CG on `M†M x = M†b`. `x` carries the initial guess
+/// and receives the solution.
+///
+/// ```
+/// use qcdoc_lattice::field::{FermionField, GaugeField, Lattice};
+/// use qcdoc_lattice::solver::{solve_cgne, CgParams};
+/// use qcdoc_lattice::wilson::WilsonDirac;
+///
+/// let lat = Lattice::new([2, 2, 2, 2]);
+/// let gauge = GaugeField::hot(lat, 1);
+/// let op = WilsonDirac::new(&gauge, 0.1);
+/// let b = FermionField::gaussian(lat, 2);
+/// let mut x = FermionField::zero(lat);
+/// let report = solve_cgne(&op, &mut x, &b, CgParams::default());
+/// assert!(report.converged);
+/// ```
+pub fn solve_cgne<Op: DiracOperator>(
+    op: &Op,
+    x: &mut Op::Field,
+    b: &Op::Field,
+    params: CgParams,
+) -> CgReport {
+    let mut applications = 0usize;
+    let mut reductions = 0usize;
+
+    // r = M†(b − Mx).
+    let mut t = b.clone();
+    op.apply(&mut t, x);
+    applications += 1;
+    let mut bmx = b.clone();
+    bmx.axpy(C64::real(-1.0), &t);
+    let mut r = b.clone();
+    op.apply_dagger(&mut r, &bmx);
+    applications += 1;
+
+    // Reference scale: ‖M†b‖².
+    let mut mdag_b = b.clone();
+    op.apply_dagger(&mut mdag_b, b);
+    applications += 1;
+    let bref = mdag_b.norm_sqr().max(f64::MIN_POSITIVE);
+    reductions += 1;
+
+    let mut p = r.clone();
+    let mut rsq = r.norm_sqr();
+    reductions += 1;
+
+    let mut residuals = Vec::new();
+    let mut converged = (rsq / bref).sqrt() <= params.tolerance;
+    let mut iterations = 0usize;
+
+    while !converged && iterations < params.max_iterations {
+        // q = M†M p.
+        op.apply(&mut t, &p);
+        let mut q = p.clone();
+        op.apply_dagger(&mut q, &t);
+        applications += 2;
+
+        let pq = p.dot(&q).re;
+        reductions += 1;
+        if pq <= 0.0 {
+            // Operator lost positivity (numerically singular system).
+            break;
+        }
+        let alpha = rsq / pq;
+        x.axpy(C64::real(alpha), &p);
+        r.axpy(C64::real(-alpha), &q);
+        let new_rsq = r.norm_sqr();
+        reductions += 1;
+
+        iterations += 1;
+        let rel = (new_rsq / bref).sqrt();
+        residuals.push(rel);
+        converged = rel <= params.tolerance;
+
+        let beta = new_rsq / rsq;
+        p.xpay(C64::real(beta), &r);
+        rsq = new_rsq;
+    }
+
+    CgReport {
+        operator: op.name().to_string(),
+        iterations,
+        converged,
+        final_residual: residuals.last().copied().unwrap_or((rsq / bref).sqrt()),
+        residuals,
+        operator_applications: applications,
+        global_reductions: reductions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::{GaugeField, Lattice};
+    use crate::staggered::{AsqtadCoeffs, AsqtadLinks};
+
+    fn lat() -> Lattice {
+        Lattice::new([4, 4, 4, 4])
+    }
+
+    fn residual_of<Op: DiracOperator>(op: &Op, x: &Op::Field, b: &Op::Field) -> f64 {
+        let mut mx = b.clone();
+        op.apply(&mut mx, x);
+        let mut r = b.clone();
+        r.axpy(C64::real(-1.0), &mx);
+        (r.norm_sqr() / b.norm_sqr()).sqrt()
+    }
+
+    #[test]
+    fn wilson_cg_converges_and_solves() {
+        let gauge = GaugeField::hot(lat(), 100);
+        let op = WilsonDirac::new(&gauge, 0.12);
+        let b = FermionField::gaussian(lat(), 101);
+        let mut x = FermionField::zero(lat());
+        let report = solve_cgne(&op, &mut x, &b, CgParams::default());
+        assert!(report.converged, "CG did not converge: {:?}", report.final_residual);
+        assert!(residual_of(&op, &x, &b) < 1e-6);
+        assert_eq!(report.operator_applications, 3 + 2 * report.iterations);
+        // Two reductions per iteration plus setup.
+        assert_eq!(report.global_reductions, 2 + 2 * report.iterations);
+    }
+
+    #[test]
+    fn clover_cg_converges() {
+        let gauge = GaugeField::hot(lat(), 102);
+        let op = crate::clover::CloverDirac::new(&gauge, 0.12, 1.0);
+        let b = FermionField::gaussian(lat(), 103);
+        let mut x = FermionField::zero(lat());
+        let report = solve_cgne(&op, &mut x, &b, CgParams::default());
+        assert!(report.converged);
+        assert!(residual_of(&op, &x, &b) < 1e-6);
+    }
+
+    #[test]
+    fn staggered_cg_converges() {
+        let gauge = GaugeField::hot(lat(), 104);
+        let op = StaggeredDirac::new(&gauge, 0.2);
+        let b = StaggeredField::gaussian(lat(), 105);
+        let mut x = StaggeredField::zero(lat());
+        let report = solve_cgne(&op, &mut x, &b, CgParams::default());
+        assert!(report.converged);
+        assert!(residual_of(&op, &x, &b) < 1e-6);
+    }
+
+    #[test]
+    fn asqtad_cg_converges() {
+        let gauge = GaugeField::hot(lat(), 106);
+        let links = AsqtadLinks::new(&gauge, AsqtadCoeffs::default());
+        let op = AsqtadDirac::new(&links, 0.2);
+        let b = StaggeredField::gaussian(lat(), 107);
+        let mut x = StaggeredField::zero(lat());
+        let report = solve_cgne(&op, &mut x, &b, CgParams::default());
+        assert!(report.converged);
+        assert!(residual_of(&op, &x, &b) < 1e-6);
+    }
+
+    #[test]
+    fn dwf_cg_converges() {
+        let small = Lattice::new([2, 2, 2, 4]);
+        let gauge = GaugeField::hot(small, 108);
+        let op = crate::dwf::DwfDirac::new(&gauge, 1.8, 0.1, 4);
+        let b = crate::dwf::DwfField::gaussian(small, 4, 109);
+        let mut x = crate::dwf::DwfField::zero(small, 4);
+        let report = solve_cgne(&op, &mut x, &b, CgParams::default());
+        assert!(report.converged, "final residual {}", report.final_residual);
+        assert!(residual_of(&op, &x, &b) < 1e-6);
+    }
+
+    #[test]
+    fn residual_history_is_monotone_overall() {
+        // CG residuals can locally oscillate, but the trend must fall by
+        // orders of magnitude from start to finish.
+        let gauge = GaugeField::hot(lat(), 110);
+        let op = WilsonDirac::new(&gauge, 0.12);
+        let b = FermionField::gaussian(lat(), 111);
+        let mut x = FermionField::zero(lat());
+        let report = solve_cgne(&op, &mut x, &b, CgParams::default());
+        assert!(report.residuals.first().unwrap() / report.residuals.last().unwrap() > 1e4);
+    }
+
+    #[test]
+    fn solver_is_bit_deterministic() {
+        let gauge = GaugeField::hot(lat(), 112);
+        let op = WilsonDirac::new(&gauge, 0.12);
+        let b = FermionField::gaussian(lat(), 113);
+        let mut x1 = FermionField::zero(lat());
+        let r1 = solve_cgne(&op, &mut x1, &b, CgParams::default());
+        let mut x2 = FermionField::zero(lat());
+        let r2 = solve_cgne(&op, &mut x2, &b, CgParams::default());
+        assert_eq!(x1.fingerprint(), x2.fingerprint(), "bitwise reproducibility");
+        assert_eq!(r1.iterations, r2.iterations);
+    }
+
+    #[test]
+    fn nonzero_initial_guess_accepted() {
+        let gauge = GaugeField::hot(lat(), 114);
+        let op = WilsonDirac::new(&gauge, 0.1);
+        let b = FermionField::gaussian(lat(), 115);
+        let mut x = FermionField::gaussian(lat(), 116);
+        let report = solve_cgne(&op, &mut x, &b, CgParams::default());
+        assert!(report.converged);
+        assert!(residual_of(&op, &x, &b) < 1e-6);
+    }
+
+    #[test]
+    fn max_iterations_respected() {
+        let gauge = GaugeField::hot(lat(), 117);
+        let op = WilsonDirac::new(&gauge, 0.12);
+        let b = FermionField::gaussian(lat(), 118);
+        let mut x = FermionField::zero(lat());
+        let report =
+            solve_cgne(&op, &mut x, &b, CgParams { tolerance: 1e-30, max_iterations: 5 });
+        assert!(!report.converged);
+        assert_eq!(report.iterations, 5);
+    }
+}

@@ -1,0 +1,341 @@
+//! Dirac 4-spinors, half-spinors, and the Wilson spin-projection trick.
+//!
+//! A site of a Wilson-type fermion field is a 4-spinor: four spin
+//! components, each a color-3 vector (24 reals). The hopping term applies
+//! `(1 ∓ γ_μ)`, a rank-2 projector, so only a *half-spinor* (two spin
+//! components, 12 reals) needs the SU(3) multiplication and — crucially for
+//! the machine — only the half-spinor crosses the mesh to the neighbouring
+//! node. The projection/reconstruction identities follow from the
+//! permutation-phase structure of the gamma basis (see [`crate::gamma`]).
+
+use crate::colorvec::ColorVec;
+use crate::complex::C64;
+use crate::gamma::{Gamma, GAMMA, GAMMA5};
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// A full 4-spinor: spin × color.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Spinor(pub [ColorVec; 4]);
+
+/// The two independent spin components of a projected spinor.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct HalfSpinor(pub [ColorVec; 2]);
+
+/// Projection sign: `(1 − γ_μ)` for hops in the +μ direction, `(1 + γ_μ)`
+/// for hops in −μ (Wilson convention).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProjSign {
+    /// `(1 − γ_μ)`.
+    Minus,
+    /// `(1 + γ_μ)`.
+    Plus,
+}
+
+impl Spinor {
+    /// The zero spinor.
+    pub const ZERO: Spinor = Spinor([ColorVec::ZERO; 4]);
+
+    /// Hermitian inner product.
+    pub fn dot(&self, rhs: &Spinor) -> C64 {
+        let mut acc = C64::ZERO;
+        for s in 0..4 {
+            acc += self.0[s].dot(&rhs.0[s]);
+        }
+        acc
+    }
+
+    /// Squared norm.
+    pub fn norm_sqr(&self) -> f64 {
+        self.0.iter().map(|c| c.norm_sqr()).sum()
+    }
+
+    /// Scale by a complex factor.
+    pub fn scale(&self, s: C64) -> Spinor {
+        Spinor([self.0[0].scale(s), self.0[1].scale(s), self.0[2].scale(s), self.0[3].scale(s)])
+    }
+
+    /// `self + a * rhs`.
+    pub fn axpy(&self, a: C64, rhs: &Spinor) -> Spinor {
+        Spinor([
+            self.0[0].axpy(a, &rhs.0[0]),
+            self.0[1].axpy(a, &rhs.0[1]),
+            self.0[2].axpy(a, &rhs.0[2]),
+            self.0[3].axpy(a, &rhs.0[3]),
+        ])
+    }
+
+    /// Apply a gamma matrix (sparse table form).
+    pub fn apply_gamma(&self, g: &Gamma) -> Spinor {
+        let mut out = Spinor::ZERO;
+        for r in 0..4 {
+            out.0[r] = self.0[g.col[r]].scale(g.phase[r]);
+        }
+        out
+    }
+
+    /// Apply γ_5.
+    pub fn apply_gamma5(&self) -> Spinor {
+        self.apply_gamma(&GAMMA5)
+    }
+
+    /// Project `(1 ∓ γ_μ) ψ` down to its two independent spin components.
+    pub fn project(&self, mu: usize, sign: ProjSign) -> HalfSpinor {
+        let g = &GAMMA[mu];
+        let mut h = HalfSpinor::default();
+        for s in 0..2 {
+            let gpart = self.0[g.col[s]].scale(g.phase[s]);
+            h.0[s] = match sign {
+                ProjSign::Minus => self.0[s] - gpart,
+                ProjSign::Plus => self.0[s] + gpart,
+            };
+        }
+        h
+    }
+
+    /// Multiply each spin component of a half-spinor by `u`, then rebuild
+    /// the full `(1 ∓ γ_μ)`-projected spinor.
+    pub fn reconstruct(h: &HalfSpinor, mu: usize, sign: ProjSign) -> Spinor {
+        let g = &GAMMA[mu];
+        let mut out = Spinor::ZERO;
+        out.0[0] = h.0[0];
+        out.0[1] = h.0[1];
+        for r in 2..4 {
+            // Row r of (1 ∓ γ_μ)ψ equals ∓ phase[r] · h[col[r]]
+            // (see the derivation in crate::gamma's docs/tests).
+            let src = h.0[g.col[r]].scale(g.phase[r]);
+            out.0[r] = match sign {
+                ProjSign::Minus => -src,
+                ProjSign::Plus => src,
+            };
+        }
+        out
+    }
+}
+
+impl HalfSpinor {
+    /// Apply an SU(3) matrix to both spin components.
+    pub fn mul_su3(&self, u: &crate::su3::Su3) -> HalfSpinor {
+        HalfSpinor([u.mul_vec(&self.0[0]), u.mul_vec(&self.0[1])])
+    }
+
+    /// Apply the adjoint of an SU(3) matrix to both spin components.
+    pub fn adj_mul_su3(&self, u: &crate::su3::Su3) -> HalfSpinor {
+        HalfSpinor([u.adj_mul_vec(&self.0[0]), u.adj_mul_vec(&self.0[1])])
+    }
+
+    /// Flatten to 12 complex numbers (the wire format of a face exchange).
+    pub fn to_words(&self) -> [u64; 24] {
+        let mut out = [0u64; 24];
+        let mut k = 0;
+        for s in 0..2 {
+            for c in 0..3 {
+                out[k] = self.0[s].0[c].re.to_bits();
+                out[k + 1] = self.0[s].0[c].im.to_bits();
+                k += 2;
+            }
+        }
+        out
+    }
+
+    /// Inverse of [`HalfSpinor::to_words`].
+    pub fn from_words(words: &[u64; 24]) -> HalfSpinor {
+        let mut h = HalfSpinor::default();
+        let mut k = 0;
+        for s in 0..2 {
+            for c in 0..3 {
+                h.0[s].0[c] =
+                    C64::new(f64::from_bits(words[k]), f64::from_bits(words[k + 1]));
+                k += 2;
+            }
+        }
+        h
+    }
+}
+
+impl Add for Spinor {
+    type Output = Spinor;
+    fn add(self, rhs: Spinor) -> Spinor {
+        Spinor([
+            self.0[0] + rhs.0[0],
+            self.0[1] + rhs.0[1],
+            self.0[2] + rhs.0[2],
+            self.0[3] + rhs.0[3],
+        ])
+    }
+}
+
+impl AddAssign for Spinor {
+    fn add_assign(&mut self, rhs: Spinor) {
+        for s in 0..4 {
+            self.0[s] += rhs.0[s];
+        }
+    }
+}
+
+impl Sub for Spinor {
+    type Output = Spinor;
+    fn sub(self, rhs: Spinor) -> Spinor {
+        Spinor([
+            self.0[0] - rhs.0[0],
+            self.0[1] - rhs.0[1],
+            self.0[2] - rhs.0[2],
+            self.0[3] - rhs.0[3],
+        ])
+    }
+}
+
+impl Neg for Spinor {
+    type Output = Spinor;
+    fn neg(self) -> Spinor {
+        Spinor([-self.0[0], -self.0[1], -self.0[2], -self.0[3]])
+    }
+}
+
+impl Mul<f64> for Spinor {
+    type Output = Spinor;
+    fn mul(self, rhs: f64) -> Spinor {
+        Spinor([self.0[0] * rhs, self.0[1] * rhs, self.0[2] * rhs, self.0[3] * rhs])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SiteRng;
+    use crate::su3::Su3;
+
+    fn random_spinor(seed: u64) -> Spinor {
+        let mut rng = SiteRng::new(seed, 99);
+        let mut s = Spinor::ZERO;
+        for sp in 0..4 {
+            for c in 0..3 {
+                s.0[sp].0[c] = C64::new(rng.normal(), rng.normal());
+            }
+        }
+        s
+    }
+
+    fn random_su3(seed: u64) -> Su3 {
+        let mut rng = SiteRng::new(seed, 5);
+        let mut m = Su3::ZERO;
+        for r in 0..3 {
+            for c in 0..3 {
+                m.0[r][c] = C64::new(rng.uniform() - 0.5, rng.uniform() - 0.5);
+            }
+        }
+        m.reunitarize()
+    }
+
+    /// Dense application of (1 ∓ γ_μ) for cross-checking the projection
+    /// trick.
+    fn one_mp_gamma(psi: &Spinor, mu: usize, sign: ProjSign) -> Spinor {
+        let g = psi.apply_gamma(&GAMMA[mu]);
+        match sign {
+            ProjSign::Minus => *psi - g,
+            ProjSign::Plus => *psi + g,
+        }
+    }
+
+    #[test]
+    fn projection_reconstruction_identity() {
+        for mu in 0..4 {
+            for sign in [ProjSign::Minus, ProjSign::Plus] {
+                let psi = random_spinor(mu as u64);
+                let direct = one_mp_gamma(&psi, mu, sign);
+                let via_half = Spinor::reconstruct(&psi.project(mu, sign), mu, sign);
+                for s in 0..4 {
+                    for c in 0..3 {
+                        assert!(
+                            (direct.0[s].0[c] - via_half.0[s].0[c]).abs() < 1e-13,
+                            "mu={mu} sign={sign:?} s={s} c={c}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn projection_commutes_with_su3() {
+        // U acts on color only, so project → U → reconstruct must equal
+        // U ⊗ (1 ∓ γ_μ) applied densely.
+        let u = random_su3(3);
+        let psi = random_spinor(17);
+        for mu in 0..4 {
+            let h = psi.project(mu, ProjSign::Minus).mul_su3(&u);
+            let fast = Spinor::reconstruct(&h, mu, ProjSign::Minus);
+            let mut slow = one_mp_gamma(&psi, mu, ProjSign::Minus);
+            for s in 0..4 {
+                slow.0[s] = u.mul_vec(&slow.0[s]);
+            }
+            for s in 0..4 {
+                for c in 0..3 {
+                    assert!((fast.0[s].0[c] - slow.0[s].0[c]).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn projector_sum_is_two_psi() {
+        // (1−γ)ψ + (1+γ)ψ = 2ψ.
+        let psi = random_spinor(7);
+        for mu in 0..4 {
+            let a = Spinor::reconstruct(&psi.project(mu, ProjSign::Minus), mu, ProjSign::Minus);
+            let b = Spinor::reconstruct(&psi.project(mu, ProjSign::Plus), mu, ProjSign::Plus);
+            let sum = a + b;
+            let twice = psi * 2.0;
+            for s in 0..4 {
+                for c in 0..3 {
+                    assert!((sum.0[s].0[c] - twice.0[s].0[c]).abs() < 1e-13);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gamma5_is_involution_on_spinors() {
+        let psi = random_spinor(11);
+        let twice = psi.apply_gamma5().apply_gamma5();
+        for s in 0..4 {
+            for c in 0..3 {
+                assert!((twice.0[s].0[c] - psi.0[s].0[c]).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn words_roundtrip_is_bit_exact() {
+        let psi = random_spinor(23);
+        let h = psi.project(2, ProjSign::Plus);
+        let back = HalfSpinor::from_words(&h.to_words());
+        for s in 0..2 {
+            for c in 0..3 {
+                assert_eq!(h.0[s].0[c].re.to_bits(), back.0[s].0[c].re.to_bits());
+                assert_eq!(h.0[s].0[c].im.to_bits(), back.0[s].0[c].im.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn dot_and_norm_consistent() {
+        let psi = random_spinor(31);
+        assert!((psi.dot(&psi).re - psi.norm_sqr()).abs() < 1e-10);
+        assert!(psi.dot(&psi).im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn axpy_matches_manual() {
+        let a = random_spinor(1);
+        let b = random_spinor(2);
+        let s = C64::new(0.5, -1.5);
+        let fast = a.axpy(s, &b);
+        for sp in 0..4 {
+            for c in 0..3 {
+                let manual = a.0[sp].0[c] + s * b.0[sp].0[c];
+                assert!((fast.0[sp].0[c] - manual).abs() < 1e-13);
+            }
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests on the lattice algebra and operators.
+
+use proptest::prelude::*;
+use qcdoc_lattice::complex::C64;
+use qcdoc_lattice::field::{FermionField, GaugeField, Lattice};
+use qcdoc_lattice::rng::SiteRng;
+use qcdoc_lattice::solver::{solve_cgne, CgParams};
+use qcdoc_lattice::spinor::ProjSign;
+use qcdoc_lattice::su3::Su3;
+use qcdoc_lattice::wilson::WilsonDirac;
+
+fn arb_c64() -> impl Strategy<Value = C64> {
+    (-3.0f64..3.0, -3.0f64..3.0).prop_map(|(re, im)| C64::new(re, im))
+}
+
+fn arb_su3(seed: u64) -> Su3 {
+    let mut rng = SiteRng::new(seed, 1);
+    let mut m = Su3::ZERO;
+    for r in 0..3 {
+        for c in 0..3 {
+            m.0[r][c] = C64::new(rng.uniform() - 0.5, rng.uniform() - 0.5);
+        }
+    }
+    m.reunitarize()
+}
+
+proptest! {
+    #[test]
+    fn complex_field_axioms(a in arb_c64(), b in arb_c64(), c in arb_c64()) {
+        let assoc = (a * b) * c - a * (b * c);
+        prop_assert!(assoc.abs() < 1e-12);
+        let dist = a * (b + c) - (a * b + a * c);
+        prop_assert!(dist.abs() < 1e-12);
+        let comm = a * b - b * a;
+        prop_assert!(comm.abs() < 1e-13);
+    }
+
+    #[test]
+    fn conj_is_multiplicative(a in arb_c64(), b in arb_c64()) {
+        let lhs = (a * b).conj();
+        let rhs = a.conj() * b.conj();
+        prop_assert!((lhs - rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn su3_closure_and_unitarity(s1 in 0u64..1000, s2 in 0u64..1000) {
+        let a = arb_su3(s1);
+        let b = arb_su3(s2.wrapping_add(7777));
+        let c = a * b;
+        prop_assert!(c.unitarity_error() < 1e-11);
+        prop_assert!((c.det() - C64::ONE).abs() < 1e-11);
+        // Reunitarization is (numerically) idempotent on group elements.
+        prop_assert!(c.reunitarize().distance(&c) < 1e-11);
+    }
+
+    #[test]
+    fn trace_cyclic(s1 in 0u64..500, s2 in 0u64..500) {
+        let a = arb_su3(s1);
+        let b = arb_su3(s2.wrapping_add(31337));
+        let t1 = (a * b).trace();
+        let t2 = (b * a).trace();
+        prop_assert!((t1 - t2).abs() < 1e-11);
+    }
+
+    #[test]
+    fn projection_halves_degrees_of_freedom(seed in 0u64..200, mu in 0usize..4) {
+        // (1 ∓ γ_μ) applied twice equals 2 × (1 ∓ γ_μ) — projector up to
+        // the conventional factor 2.
+        let lat = Lattice::new([2, 2, 2, 2]);
+        let f = FermionField::gaussian(lat, seed);
+        let psi = *f.site(0);
+        for sign in [ProjSign::Minus, ProjSign::Plus] {
+            let once = qcdoc_lattice::spinor::Spinor::reconstruct(&psi.project(mu, sign), mu, sign);
+            let twice = qcdoc_lattice::spinor::Spinor::reconstruct(&once.project(mu, sign), mu, sign);
+            for s in 0..4 {
+                for c in 0..3 {
+                    let expect = once.0[s].0[c] * 2.0;
+                    prop_assert!((twice.0[s].0[c] - expect).abs() < 1e-11);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wilson_operator_is_gamma5_hermitian(seed in 0u64..50) {
+        let lat = Lattice::new([2, 2, 2, 4]);
+        let gauge = GaugeField::hot(lat, seed);
+        let op = WilsonDirac::new(&gauge, 0.11);
+        let u = FermionField::gaussian(lat, seed.wrapping_add(1));
+        let v = FermionField::gaussian(lat, seed.wrapping_add(2));
+        let mut mv = FermionField::zero(lat);
+        op.apply(&mut mv, &v);
+        let mut mdu = FermionField::zero(lat);
+        op.apply_dagger(&mut mdu, &u);
+        let a = u.dot(&mv);
+        let b = mdu.dot(&v);
+        prop_assert!((a - b).abs() < 1e-8 * a.abs().max(1.0));
+    }
+
+    #[test]
+    fn cg_solves_arbitrary_rhs(seed in 0u64..20) {
+        let lat = Lattice::new([2, 2, 2, 4]);
+        let gauge = GaugeField::hot(lat, seed);
+        let op = WilsonDirac::new(&gauge, 0.10);
+        let b = FermionField::gaussian(lat, seed.wrapping_add(100));
+        let mut x = FermionField::zero(lat);
+        let report = solve_cgne(&op, &mut x, &b, CgParams::default());
+        prop_assert!(report.converged);
+        // Verify M x ≈ b.
+        let mut mx = FermionField::zero(lat);
+        op.apply(&mut mx, &x);
+        mx.axpy(C64::real(-1.0), &b);
+        prop_assert!((mx.norm_sqr() / b.norm_sqr()).sqrt() < 1e-6);
+    }
+
+    #[test]
+    fn site_rng_streams_do_not_collide(s1 in 0u64..100_000, s2 in 0u64..100_000) {
+        prop_assume!(s1 != s2);
+        let mut a = SiteRng::new(7, s1);
+        let mut b = SiteRng::new(7, s2);
+        // First draws differing is the practical non-collision property.
+        prop_assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,28 @@
+//! QCDOC physical machines: packaging, power, footprint and cost.
+//!
+//! The paper's §2.4 describes the packaging hierarchy (two-node
+//! daughterboards → 64-node motherboards → 8-motherboard crates →
+//! 1024-node water-cooled racks) and §4 itemizes, to the dollar, the
+//! purchase orders of the 4096-node Columbia machine and derives the
+//! headline price/performance: "$1.29 per sustained Megaflops for 360 MHz
+//! operation, $1.10 … for 420 MHz … and $1.03 … for 450 MHz", approaching
+//! $1/MF at the 12,288-node scale.
+//!
+//! * [`packaging`] — the structural models behind Figures 3–5;
+//! * [`cost`] — the purchase-order cost model and the price/performance
+//!   calculator (experiment E3);
+//! * [`catalog`] — the machines the paper mentions, from the 64-node
+//!   bring-up box to the three 12,288-node installations;
+//! * [`schematic`] — the Figure 2 network schematic as data + ASCII.
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod cost;
+pub mod packaging;
+pub mod schematic;
+pub mod wiring;
+
+pub use catalog::MachineSpec;
+pub use cost::{CostModel, PricePerformance};
+pub use packaging::MachineAssembly;

@@ -1,0 +1,244 @@
+//! Global sums and broadcasts: the SCU's pass-through global mode.
+//!
+//! §2.2 "Global operations": in global mode the SCU routes incoming link
+//! data straight out to any combination of the other 11 links (and to local
+//! memory), forwarding after only **8 bits** have arrived instead of
+//! assembling the full 64-bit word — cutting per-hop latency by almost an
+//! order of magnitude relative to store-and-forward. The global
+//! functionality is **doubled**: two disjoint link sets can run concurrent
+//! global operations, which lets a sum travel both ways round each ring and
+//! halves the hop count, "effectively halving the size of the machine".
+//!
+//! A 4-D global sum is dimension-ordered: every node sends its word around
+//! the x ring and accumulates the `Nx − 1` words it receives; then the same
+//! along y, z, t. Total hops `Nx+Ny+Nz+Nt−4`, or `Nx/2+Ny/2+Nz/2+Nt/2` in
+//! doubled mode — both formulas straight from the paper.
+//!
+//! [`dimension_ordered_sum`] is the *functional* algorithm with a fixed,
+//! node-independent accumulation order, so every node computes bitwise the
+//! same result — the property behind the machine-wide bit-reproducibility
+//! of §4.
+
+use qcdoc_asic::clock::Cycles;
+use qcdoc_geometry::TorusShape;
+use serde::{Deserialize, Serialize};
+
+/// Hop count of a dimension-ordered global sum or broadcast over a logical
+/// torus with the given extents.
+///
+/// Single mode: `Σ (N_i − 1)`. Doubled mode (two disjoint global link
+/// sets, words travelling both ways round each ring): `Σ ⌈N_i / 2⌉`,
+/// clamped below the single-mode count for tiny extents.
+pub fn dimension_sum_hops(dims: &[usize], doubled: bool) -> usize {
+    if doubled {
+        dims.iter().map(|&n| (n / 2).max(usize::from(n > 1))).sum()
+    } else {
+        dims.iter().map(|&n| n - 1).sum()
+    }
+}
+
+/// Timing parameters of the global pass-through path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GlobalTimingConfig {
+    /// SCU pipeline cycles added per hop on top of the forwarding
+    /// granularity.
+    pub hop_pipeline_cycles: u64,
+    /// Bits that must arrive before a pass-through hop forwards (8 on the
+    /// ASIC).
+    pub passthrough_bits: u64,
+}
+
+impl Default for GlobalTimingConfig {
+    fn default() -> Self {
+        GlobalTimingConfig { hop_pipeline_cycles: 4, passthrough_bits: 8 }
+    }
+}
+
+impl GlobalTimingConfig {
+    /// Per-hop latency with pass-through forwarding.
+    pub fn passthrough_hop_cycles(&self) -> u64 {
+        self.passthrough_bits + self.hop_pipeline_cycles
+    }
+
+    /// Per-hop latency if each node assembled the whole 72-bit frame before
+    /// forwarding (the ablation case the paper argues against).
+    pub fn store_forward_hop_cycles(&self) -> u64 {
+        crate::timing::WORD_WIRE_BITS + self.hop_pipeline_cycles
+    }
+
+    /// Latency of a global operation spanning `hops` hops: the leading
+    /// edge pays the per-hop latency at each hop, and the tail of the
+    /// 72-bit frame drains behind it at the serial rate.
+    pub fn operation_cycles(&self, hops: usize, passthrough: bool) -> Cycles {
+        let per_hop =
+            if passthrough { self.passthrough_hop_cycles() } else { self.store_forward_hop_cycles() };
+        let tail = if passthrough {
+            crate::timing::WORD_WIRE_BITS - self.passthrough_bits
+        } else {
+            0
+        };
+        Cycles(hops as u64 * per_hop + tail)
+    }
+
+    /// Latency of a dimension-ordered global sum over `dims`.
+    pub fn global_sum_cycles(&self, dims: &[usize], doubled: bool, passthrough: bool) -> Cycles {
+        // Each axis is a separate pass: leading-edge latency per axis.
+        let mut total = Cycles::ZERO;
+        for &n in dims {
+            let hops = dimension_sum_hops(&[n], doubled);
+            total += self.operation_cycles(hops, passthrough);
+        }
+        total
+    }
+}
+
+/// The dimension-ordered global sum as the hardware performs it, with the
+/// canonical accumulation order (ascending coordinate along each axis).
+///
+/// `values[rank]` is node `rank`'s contribution. Returns the per-node
+/// results, which are bitwise identical across nodes — see
+/// [`all_nodes_agree`].
+pub fn dimension_ordered_sum(shape: &TorusShape, values: &[f64]) -> Vec<f64> {
+    assert_eq!(values.len(), shape.node_count(), "one contribution per node");
+    let mut current = values.to_vec();
+    for axis in 0..shape.rank() {
+        let mut next = vec![0.0f64; current.len()];
+        for c in shape.coords() {
+            // Accumulate over the whole ring through `c` along `axis`, in
+            // ascending-coordinate order — the same order on every node of
+            // the ring, which is what makes the result node-independent.
+            let mut acc = 0.0f64;
+            let mut probe = c;
+            for x in 0..shape.extent(axis) {
+                probe.set(axis, x);
+                acc += current[shape.rank_of(probe).index()];
+            }
+            next[shape.rank_of(c).index()] = acc;
+        }
+        current = next;
+    }
+    current
+}
+
+/// Broadcast from `root`: every node ends with the root's word. Functional
+/// model of the pass-through broadcast tree.
+pub fn broadcast(shape: &TorusShape, values: &[u64], root: usize) -> Vec<u64> {
+    assert_eq!(values.len(), shape.node_count());
+    vec![values[root]; values.len()]
+}
+
+/// Whether all per-node results of a global operation agree bitwise.
+pub fn all_nodes_agree(results: &[f64]) -> bool {
+    results.windows(2).all(|w| w[0].to_bits() == w[1].to_bits())
+}
+
+/// The two disjoint link sets of the doubled global mode: along each axis,
+/// set 0 uses the plus links and set 1 the minus links. Returns the link
+/// indices (0..12) in each set for a machine of the given rank.
+pub fn doubled_link_sets(rank: usize) -> (Vec<usize>, Vec<usize>) {
+    let plus = (0..rank).map(|a| 2 * a).collect();
+    let minus = (0..rank).map(|a| 2 * a + 1).collect();
+    (plus, minus)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_hop_formulas() {
+        // 4-D machine Nx=Ny=Nz=8, Nt=16: single mode Nx+Ny+Nz+Nt-4 = 36.
+        assert_eq!(dimension_sum_hops(&[8, 8, 8, 16], false), 36);
+        // Doubled mode: Nx/2+Ny/2+Nz/2+Nt/2 = 20.
+        assert_eq!(dimension_sum_hops(&[8, 8, 8, 16], true), 20);
+    }
+
+    #[test]
+    fn doubled_mode_halves_hops_for_even_extents() {
+        for dims in [vec![4usize, 4, 4, 4], vec![8, 4, 4, 2, 2, 2]] {
+            let single = dimension_sum_hops(&dims, false);
+            let doubled = dimension_sum_hops(&dims, true);
+            assert!(doubled < single);
+            let expect: usize = dims.iter().map(|&n| n / 2).sum();
+            assert_eq!(doubled, expect);
+        }
+    }
+
+    #[test]
+    fn passthrough_beats_store_and_forward() {
+        let cfg = GlobalTimingConfig::default();
+        assert!(cfg.passthrough_hop_cycles() < cfg.store_forward_hop_cycles());
+        let hops = 36;
+        let fast = cfg.operation_cycles(hops, true);
+        let slow = cfg.operation_cycles(hops, false);
+        assert!(
+            fast.count() * 4 < slow.count(),
+            "pass-through {fast} vs store-and-forward {slow}"
+        );
+    }
+
+    #[test]
+    fn sum_equals_total_on_every_node() {
+        let shape = TorusShape::new(&[4, 2, 2]);
+        let values: Vec<f64> = (0..16).map(|i| (i as f64) * 0.5 + 1.0).collect();
+        let result = dimension_ordered_sum(&shape, &values);
+        let expect: f64 = values.iter().sum();
+        // Dimension-ordered association may differ from linear summation
+        // for general floats; for these values both are exact.
+        for (i, &r) in result.iter().enumerate() {
+            assert_eq!(r, expect, "node {i}");
+        }
+        assert!(all_nodes_agree(&result));
+    }
+
+    #[test]
+    fn sum_is_bitwise_identical_across_nodes_for_rough_floats() {
+        // Values chosen so rounding *does* occur: agreement must still be
+        // bitwise because every node accumulates in the same order.
+        let shape = TorusShape::new(&[4, 4]);
+        let values: Vec<f64> =
+            (0..16).map(|i| 1.0e16 / (i as f64 + 1.0) + 1.0e-3 * i as f64).collect();
+        let result = dimension_ordered_sum(&shape, &values);
+        assert!(all_nodes_agree(&result), "nodes disagree bitwise");
+    }
+
+    #[test]
+    fn sum_is_deterministic_across_runs() {
+        let shape = TorusShape::new(&[2, 4, 2]);
+        let values: Vec<f64> = (0..16).map(|i| (i as f64).sin() * 1e10).collect();
+        let a = dimension_ordered_sum(&shape, &values);
+        let b = dimension_ordered_sum(&shape, &values);
+        assert_eq!(
+            a.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            b.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn broadcast_replicates_root() {
+        let shape = TorusShape::new(&[2, 2]);
+        let values = vec![10, 20, 30, 40];
+        assert_eq!(broadcast(&shape, &values, 2), vec![30, 30, 30, 30]);
+    }
+
+    #[test]
+    fn doubled_link_sets_are_disjoint_and_cover_axes() {
+        let (plus, minus) = doubled_link_sets(6);
+        assert_eq!(plus.len(), 6);
+        assert_eq!(minus.len(), 6);
+        for p in &plus {
+            assert!(!minus.contains(p));
+        }
+        let mut all: Vec<usize> = plus.iter().chain(minus.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn global_sum_latency_scales_with_machine_size() {
+        let cfg = GlobalTimingConfig::default();
+        let small = cfg.global_sum_cycles(&[4, 4, 4, 4], true, true);
+        let big = cfg.global_sum_cycles(&[8, 8, 8, 16], true, true);
+        assert!(big > small);
+    }
+}

@@ -1,0 +1,250 @@
+//! HSSL link bring-up: the bit-serial training protocol.
+//!
+//! §2.2: "When powered on and released from reset, these HSSL controllers
+//! transmit a known byte sequence between the sender and receiver on the
+//! link, establishing optimal times for sampling the incoming bit stream
+//! and determining where the byte boundaries are. Once trained, the HSSL
+//! controllers exchange so-called idle bytes when data transmission is not
+//! being done."
+//!
+//! The model: the transmitter repeats a training byte whose eight
+//! rotations are pairwise distinct, so a receiver watching the raw bit
+//! stream can identify the byte boundary unambiguously from any phase.
+//! After a run of consecutive aligned pattern bytes the receiver locks;
+//! from then on it delivers framed bytes (idle bytes are consumed
+//! silently).
+
+use serde::{Deserialize, Serialize};
+
+/// The training byte. Its eight rotations are pairwise distinct (see
+/// tests), making the byte boundary unambiguous.
+pub const TRAINING_PATTERN: u8 = 0b0001_1101;
+
+/// The idle byte exchanged after training when no data flows.
+pub const IDLE_BYTE: u8 = 0b0000_0000;
+
+/// Consecutive aligned pattern bytes required to declare lock.
+pub const LOCK_THRESHOLD: u32 = 4;
+
+/// Receiver training state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HsslState {
+    /// Searching the bit stream for the training pattern.
+    Hunting,
+    /// Locked to a byte boundary; delivering framed bytes.
+    Locked,
+}
+
+/// The transmitter side: emits training bits until told to go live.
+#[derive(Debug, Clone)]
+pub struct HsslTransmitter {
+    bit_index: u32,
+}
+
+impl Default for HsslTransmitter {
+    fn default() -> Self {
+        HsslTransmitter::new()
+    }
+}
+
+impl HsslTransmitter {
+    /// Fresh out of reset.
+    pub fn new() -> HsslTransmitter {
+        HsslTransmitter { bit_index: 0 }
+    }
+
+    /// Next training bit (MSB first).
+    pub fn next_training_bit(&mut self) -> bool {
+        let bit = (TRAINING_PATTERN >> (7 - (self.bit_index % 8))) & 1 == 1;
+        self.bit_index += 1;
+        bit
+    }
+
+    /// Serialize one byte of live data into bits (MSB first).
+    pub fn serialize_byte(byte: u8) -> [bool; 8] {
+        std::array::from_fn(|i| (byte >> (7 - i)) & 1 == 1)
+    }
+}
+
+/// The receiver side: consumes a raw bit stream, finds the byte boundary,
+/// then frames bytes.
+#[derive(Debug, Clone)]
+pub struct HsslReceiver {
+    window: u8,
+    bits_in_window: u32,
+    consecutive: u32,
+    state: HsslState,
+    bits_to_lock: Option<u64>,
+    bits_seen: u64,
+}
+
+impl Default for HsslReceiver {
+    fn default() -> Self {
+        HsslReceiver::new()
+    }
+}
+
+impl HsslReceiver {
+    /// Fresh out of reset, hunting.
+    pub fn new() -> HsslReceiver {
+        HsslReceiver {
+            window: 0,
+            bits_in_window: 0,
+            consecutive: 0,
+            state: HsslState::Hunting,
+            bits_to_lock: None,
+            bits_seen: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> HsslState {
+        self.state
+    }
+
+    /// How many raw bits it took to achieve lock.
+    pub fn bits_to_lock(&self) -> Option<u64> {
+        self.bits_to_lock
+    }
+
+    /// Feed one raw bit. While hunting, returns `None`; once locked,
+    /// returns a byte every eighth bit (idle bytes filtered out).
+    pub fn on_bit(&mut self, bit: bool) -> Option<u8> {
+        self.bits_seen += 1;
+        self.window = (self.window << 1) | u8::from(bit);
+        match self.state {
+            HsslState::Hunting => {
+                // Slide bit by bit until the window holds the pattern,
+                // then demand LOCK_THRESHOLD whole aligned repeats.
+                self.bits_in_window += 1;
+                if self.bits_in_window >= 8 && self.window == TRAINING_PATTERN {
+                    self.consecutive += 1;
+                    self.bits_in_window = 0; // aligned: count whole bytes now
+                    if self.consecutive >= LOCK_THRESHOLD {
+                        self.state = HsslState::Locked;
+                        self.bits_to_lock = Some(self.bits_seen);
+                        self.bits_in_window = 0;
+                    }
+                } else if self.bits_in_window >= 8 && self.bits_in_window.is_multiple_of(8) {
+                    // A whole misaligned/corrupt byte: restart the run but
+                    // keep sliding.
+                    self.consecutive = 0;
+                }
+                None
+            }
+            HsslState::Locked => {
+                self.bits_in_window += 1;
+                if self.bits_in_window == 8 {
+                    self.bits_in_window = 0;
+                    let byte = self.window;
+                    if byte == IDLE_BYTE || byte == TRAINING_PATTERN {
+                        None // idles and residual training bytes are consumed
+                    } else {
+                        Some(byte)
+                    }
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// Bring up one direction of a link: run the transmitter's training
+/// sequence through a wire with `phase_offset` bits of skew until the
+/// receiver locks. Returns bits consumed.
+pub fn train_link(phase_offset: u32) -> u64 {
+    let mut tx = HsslTransmitter::new();
+    let mut rx = HsslReceiver::new();
+    // Skew: the receiver misses the first `phase_offset` bits.
+    for _ in 0..phase_offset {
+        let _ = tx.next_training_bit();
+    }
+    for _ in 0..10_000 {
+        let bit = tx.next_training_bit();
+        rx.on_bit(bit);
+        if rx.state() == HsslState::Locked {
+            return rx.bits_to_lock().unwrap();
+        }
+    }
+    panic!("link failed to train");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn training_pattern_rotations_are_distinct() {
+        let rotations: Vec<u8> = (0..8).map(|r| TRAINING_PATTERN.rotate_left(r)).collect();
+        for (i, a) in rotations.iter().enumerate() {
+            for b in &rotations[i + 1..] {
+                assert_ne!(a, b, "pattern is rotation-ambiguous");
+            }
+        }
+    }
+
+    #[test]
+    fn locks_at_any_phase_offset() {
+        for phase in 0..8 {
+            let bits = train_link(phase);
+            assert!(bits <= 8 * (LOCK_THRESHOLD as u64 + 2), "phase {phase}: {bits} bits");
+        }
+    }
+
+    #[test]
+    fn delivers_data_bytes_after_lock() {
+        let mut tx = HsslTransmitter::new();
+        let mut rx = HsslReceiver::new();
+        while rx.state() != HsslState::Locked {
+            rx.on_bit(tx.next_training_bit());
+        }
+        // Go live: send 0xA7 then an idle then 0x3C.
+        let mut out = Vec::new();
+        for byte in [0xA7u8, IDLE_BYTE, 0x3C] {
+            for bit in HsslTransmitter::serialize_byte(byte) {
+                if let Some(b) = rx.on_bit(bit) {
+                    out.push(b);
+                }
+            }
+        }
+        assert_eq!(out, vec![0xA7, 0x3C], "idle byte must be consumed silently");
+    }
+
+    #[test]
+    fn garbage_does_not_lock() {
+        let mut rx = HsslReceiver::new();
+        // A stuck-at-zero wire never locks.
+        for _ in 0..10_000 {
+            assert_eq!(rx.on_bit(false), None);
+        }
+        assert_eq!(rx.state(), HsslState::Hunting);
+    }
+
+    #[test]
+    fn noise_then_training_still_locks() {
+        let mut rx = HsslReceiver::new();
+        // Some noise first (alternating bits), then the proper sequence.
+        for i in 0..37 {
+            rx.on_bit(i % 2 == 0);
+        }
+        let mut tx = HsslTransmitter::new();
+        let mut locked = false;
+        for _ in 0..10_000 {
+            rx.on_bit(tx.next_training_bit());
+            if rx.state() == HsslState::Locked {
+                locked = true;
+                break;
+            }
+        }
+        assert!(locked);
+    }
+
+    #[test]
+    fn serialize_byte_msb_first() {
+        let bits = HsslTransmitter::serialize_byte(0b1000_0001);
+        assert!(bits[0]);
+        assert!(bits[7]);
+        assert!(!bits[1] && !bits[6]);
+    }
+}

@@ -1,0 +1,649 @@
+//! Link-level protocol state machines: one send unit and one receive unit
+//! per direction.
+//!
+//! The observable guarantees (§2.2) implemented here:
+//!
+//! * every data packet is acknowledged; up to **three words** may be in the
+//!   air before an acknowledgement arrives, amortising the round trip;
+//! * a detected bit error causes an **automatic hardware resend** — the
+//!   sender rewinds to the rejected word (go-back-N over the FIFO wire);
+//! * an unprogrammed receiver (**idle receive**) holds up to three words
+//!   *without acknowledging them*, stalling the sender until the receive
+//!   DMA is armed — so there is no required temporal ordering between a
+//!   send on one node and the matching receive on its neighbour;
+//! * both ends keep **checksums** over the data words, compared at the end
+//!   of a calculation as final confirmation that no corrupted data slipped
+//!   through.
+//!
+//! The simulated wire is FIFO and carries [`Frame`]s tagged with a sequence
+//! number. The real hardware needs no sequence numbers — the synchronous
+//! bit-serial wire provides the ordering, and nacks return before the next
+//! frame completes — but an executor that delivers frames as discrete
+//! events does, so the tag travels as simulation metadata outside the
+//! 72-bit wire accounting.
+
+use crate::dma::{DmaDescriptor, DmaEngine};
+use crate::packet::{Frame, Packet};
+use qcdoc_asic::memory::NodeMemory;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Maximum unacknowledged data words per link: the "three in the air"
+/// protocol (§2.2).
+pub const WINDOW: usize = 3;
+
+/// Capacity of the idle-receive holding register, in words (§2.2).
+pub const IDLE_HOLD: usize = 3;
+
+/// Link protocol failures that are *not* handled by the hardware resend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinkError {
+    /// An operation was attempted before HSSL training completed.
+    NotTrained,
+    /// A memory access performed by the receive DMA failed.
+    Memory(String),
+}
+
+impl std::fmt::Display for LinkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinkError::NotTrained => write!(f, "link not trained"),
+            LinkError::Memory(e) => write!(f, "receive DMA memory fault: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+/// Order-sensitive checksum over the data words of one link end.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkChecksum(u64);
+
+impl LinkChecksum {
+    /// Fold one word into the checksum.
+    pub fn update(&mut self, word: u64) {
+        self.0 = self.0.wrapping_mul(0x100000001B3).wrapping_add(word);
+    }
+
+    /// The checksum value.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+/// A frame on the simulated wire, tagged with its data-sequence number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireFrame {
+    /// Sequence number of the data word (metadata; see module docs).
+    pub seq: u64,
+    /// The framed packet.
+    pub frame: Frame,
+}
+
+/// The send unit of one direction.
+#[derive(Debug, Clone)]
+pub struct SendUnit {
+    trained: bool,
+    /// Unacknowledged data packets (front = oldest), each with its seq.
+    window: VecDeque<(u64, Packet)>,
+    /// How many of the window entries have been put on the wire.
+    in_flight: usize,
+    /// Data packets waiting behind the window.
+    queue: VecDeque<Packet>,
+    /// Supervisor packets wait here and take priority over normal data.
+    supervisor_queue: VecDeque<u64>,
+    /// Partition-interrupt bytes: fire-and-forget, highest urgency.
+    irq_queue: VecDeque<u8>,
+    next_seq: u64,
+    checksum: LinkChecksum,
+    sent_words: u64,
+    resends: u64,
+}
+
+impl Default for SendUnit {
+    fn default() -> Self {
+        SendUnit::new()
+    }
+}
+
+impl SendUnit {
+    /// A fresh, untrained send unit.
+    pub fn new() -> SendUnit {
+        SendUnit {
+            trained: false,
+            window: VecDeque::with_capacity(WINDOW),
+            in_flight: 0,
+            queue: VecDeque::new(),
+            supervisor_queue: VecDeque::new(),
+            irq_queue: VecDeque::new(),
+            next_seq: 0,
+            checksum: LinkChecksum::default(),
+            sent_words: 0,
+            resends: 0,
+        }
+    }
+
+    /// Complete HSSL training.
+    pub fn train(&mut self) {
+        self.trained = true;
+    }
+
+    /// Whether training completed.
+    pub fn trained(&self) -> bool {
+        self.trained
+    }
+
+    /// Queue a normal 64-bit data word.
+    pub fn enqueue_word(&mut self, word: u64) {
+        self.checksum.update(word);
+        self.queue.push_back(Packet::Normal(word));
+    }
+
+    /// Queue a supervisor packet (priority over normal data).
+    pub fn enqueue_supervisor(&mut self, word: u64) {
+        self.checksum.update(word);
+        self.supervisor_queue.push_back(word);
+    }
+
+    /// Queue a partition-interrupt byte.
+    pub fn enqueue_irq(&mut self, bits: u8) {
+        self.irq_queue.push_back(bits);
+    }
+
+    /// Produce the next frame to transmit, or `None` if the unit is idle or
+    /// stalled on the acknowledgement window.
+    pub fn next_frame(&mut self) -> Result<Option<WireFrame>, LinkError> {
+        if !self.trained {
+            return Err(LinkError::NotTrained);
+        }
+        // Partition interrupts bypass the data window entirely.
+        if let Some(bits) = self.irq_queue.pop_front() {
+            return Ok(Some(WireFrame {
+                seq: u64::MAX, // not part of the data sequence
+                frame: Frame::encode(Packet::PartitionIrq(bits)),
+            }));
+        }
+        // Retransmission of a window entry not currently in flight
+        // (rewound by a reject).
+        if self.in_flight < self.window.len() {
+            let (seq, pkt) = self.window[self.in_flight];
+            self.in_flight += 1;
+            // Fresh packets enter the window already in flight, so reaching
+            // here always means a go-back retransmission.
+            self.resends += 1;
+            return Ok(Some(WireFrame { seq, frame: Frame::encode(pkt) }));
+        }
+        // New data: supervisor first, then normal, if the window has room.
+        if self.window.len() >= WINDOW {
+            return Ok(None);
+        }
+        let pkt = if let Some(w) = self.supervisor_queue.pop_front() {
+            Packet::Supervisor(w)
+        } else if let Some(p) = self.queue.pop_front() {
+            p
+        } else {
+            return Ok(None);
+        };
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.sent_words += 1;
+        self.window.push_back((seq, pkt));
+        self.in_flight += 1;
+        Ok(Some(WireFrame { seq, frame: Frame::encode(pkt) }))
+    }
+
+    /// The neighbour acknowledged the oldest outstanding word.
+    pub fn on_ack(&mut self) {
+        let popped = self.window.pop_front();
+        debug_assert!(popped.is_some(), "ack with empty window");
+        self.in_flight = self.in_flight.saturating_sub(1);
+    }
+
+    /// The neighbour rejected the word with sequence `seq` (corrupt frame):
+    /// rewind so everything from `seq` on is retransmitted (go-back-N).
+    pub fn on_reject(&mut self, seq: u64) {
+        let pos = self.window.iter().position(|&(s, _)| s == seq);
+        if let Some(pos) = pos {
+            self.in_flight = pos;
+        }
+    }
+
+    /// Whether the normal-data staging queue is empty.
+    pub fn queue_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Number of unacknowledged words in the window.
+    pub fn window_len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// True when data is queued but the window is full and fully in flight.
+    pub fn stalled(&self) -> bool {
+        self.window.len() >= WINDOW
+            && self.in_flight == self.window.len()
+            && !(self.queue.is_empty() && self.supervisor_queue.is_empty())
+    }
+
+    /// Whether every queued word has been sent and acknowledged.
+    pub fn drained(&self) -> bool {
+        self.window.is_empty()
+            && self.queue.is_empty()
+            && self.supervisor_queue.is_empty()
+            && self.irq_queue.is_empty()
+    }
+
+    /// End-of-run checksum of all data words queued on this end.
+    pub fn checksum(&self) -> LinkChecksum {
+        self.checksum
+    }
+
+    /// Number of go-back retransmissions performed.
+    pub fn resends(&self) -> u64 {
+        self.resends
+    }
+
+    /// Total distinct data words sent.
+    pub fn sent_words(&self) -> u64 {
+        self.sent_words
+    }
+}
+
+/// What the receive unit did with an incoming frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecvOutcome {
+    /// Data word consumed; an acknowledgement should be returned.
+    Accepted,
+    /// Data word held in the idle-receive register; **no acknowledgement**
+    /// (the sender will stall once the window fills — §2.2).
+    Held,
+    /// Frame corrupt or out of sequence; a reject for `seq` should be
+    /// returned so the sender rewinds.
+    Rejected {
+        /// The sequence number the receiver expected.
+        seq: u64,
+    },
+    /// Duplicate of an already-accepted word (late retransmission); re-ack
+    /// without consuming.
+    Duplicate,
+    /// A supervisor word: deliver to the SCU register and raise a CPU
+    /// interrupt.
+    Supervisor(u64),
+    /// A partition-interrupt byte for the flood-forwarding logic.
+    PartitionIrq(u8),
+}
+
+/// The receive unit of one direction.
+#[derive(Debug, Clone)]
+pub struct RecvUnit {
+    trained: bool,
+    expected_seq: u64,
+    hold: VecDeque<u64>,
+    dma: Option<DmaEngine>,
+    checksum: LinkChecksum,
+    received_words: u64,
+    rejects: u64,
+    /// Acks owed for words accepted from the hold buffer when the DMA was
+    /// armed late.
+    pending_acks: u64,
+}
+
+impl Default for RecvUnit {
+    fn default() -> Self {
+        RecvUnit::new()
+    }
+}
+
+impl RecvUnit {
+    /// A fresh, untrained receive unit in idle-receive mode.
+    pub fn new() -> RecvUnit {
+        RecvUnit {
+            trained: false,
+            expected_seq: 0,
+            hold: VecDeque::with_capacity(IDLE_HOLD),
+            dma: None,
+            checksum: LinkChecksum::default(),
+            received_words: 0,
+            rejects: 0,
+            pending_acks: 0,
+        }
+    }
+
+    /// Complete HSSL training.
+    pub fn train(&mut self) {
+        self.trained = true;
+    }
+
+    /// Whether training completed.
+    pub fn trained(&self) -> bool {
+        self.trained
+    }
+
+    /// Arm the receive DMA with a destination descriptor. Words parked in
+    /// the idle-receive register drain to memory immediately and their
+    /// withheld acknowledgements become [`RecvUnit::take_pending_acks`].
+    pub fn arm(&mut self, desc: DmaDescriptor, mem: &mut NodeMemory) -> Result<(), LinkError> {
+        let mut engine = DmaEngine::start(desc);
+        while let Some(word) = self.hold.pop_front() {
+            let addr = engine
+                .next_address()
+                .expect("descriptor shorter than idle-receive hold");
+            mem.write_word(addr, word).map_err(|e| LinkError::Memory(e.to_string()))?;
+            self.pending_acks += 1;
+        }
+        self.dma = Some(engine);
+        Ok(())
+    }
+
+    /// Whether the armed receive descriptor has been fully written.
+    pub fn complete(&self) -> bool {
+        self.dma.as_ref().is_some_and(|d| d.done())
+    }
+
+    /// Whether the unit is in idle-receive mode (no DMA armed).
+    pub fn idle(&self) -> bool {
+        self.dma.is_none()
+    }
+
+    /// Acknowledgements released by a late [`RecvUnit::arm`].
+    pub fn take_pending_acks(&mut self) -> u64 {
+        std::mem::take(&mut self.pending_acks)
+    }
+
+    /// Process one incoming frame.
+    pub fn on_frame(
+        &mut self,
+        wf: &WireFrame,
+        mem: &mut NodeMemory,
+    ) -> Result<RecvOutcome, LinkError> {
+        if !self.trained {
+            return Err(LinkError::NotTrained);
+        }
+        let pkt = match wf.frame.decode() {
+            Ok(p) => p,
+            Err(_) => {
+                // Bit error detected by parity or the distance-3 type
+                // codes: automatic resend.
+                self.rejects += 1;
+                return Ok(RecvOutcome::Rejected { seq: self.expected_seq });
+            }
+        };
+        match pkt {
+            Packet::PartitionIrq(bits) => Ok(RecvOutcome::PartitionIrq(bits)),
+            Packet::Idle | Packet::Train(_) | Packet::Ack => Ok(RecvOutcome::Duplicate),
+            Packet::Normal(word) | Packet::Supervisor(word) => {
+                if wf.seq < self.expected_seq {
+                    // Late retransmission of something already accepted.
+                    return Ok(RecvOutcome::Duplicate);
+                }
+                if wf.seq > self.expected_seq {
+                    // Gap after a rejected frame: rewind the sender.
+                    self.rejects += 1;
+                    return Ok(RecvOutcome::Rejected { seq: self.expected_seq });
+                }
+                if let Packet::Supervisor(_) = pkt {
+                    self.expected_seq += 1;
+                    self.received_words += 1;
+                    self.checksum.update(word);
+                    return Ok(RecvOutcome::Supervisor(word));
+                }
+                match &mut self.dma {
+                    Some(engine) if !engine.done() => {
+                        let addr = engine.next_address().expect("checked not done");
+                        mem.write_word(addr, word)
+                            .map_err(|e| LinkError::Memory(e.to_string()))?;
+                        self.expected_seq += 1;
+                        self.received_words += 1;
+                        self.checksum.update(word);
+                        Ok(RecvOutcome::Accepted)
+                    }
+                    _ => {
+                        // Idle receive: hold without acknowledging.
+                        if self.hold.len() < IDLE_HOLD {
+                            self.hold.push_back(word);
+                            self.expected_seq += 1;
+                            self.received_words += 1;
+                            self.checksum.update(word);
+                            Ok(RecvOutcome::Held)
+                        } else {
+                            // The window should have stalled the sender
+                            // before a fourth unacknowledged word.
+                            self.rejects += 1;
+                            Ok(RecvOutcome::Rejected { seq: self.expected_seq })
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// End-of-run checksum of all data words accepted on this end.
+    pub fn checksum(&self) -> LinkChecksum {
+        self.checksum
+    }
+
+    /// Total distinct data words accepted.
+    pub fn received_words(&self) -> u64 {
+        self.received_words
+    }
+
+    /// Number of frames rejected (each one forced a hardware resend).
+    pub fn rejects(&self) -> u64 {
+        self.rejects
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trained_pair() -> (SendUnit, RecvUnit) {
+        let mut s = SendUnit::new();
+        let mut r = RecvUnit::new();
+        s.train();
+        r.train();
+        (s, r)
+    }
+
+    fn mem() -> NodeMemory {
+        NodeMemory::with_128mb_dimm()
+    }
+
+    /// Drive send/recv to completion over a perfect wire, returning acks
+    /// seen.
+    fn pump(s: &mut SendUnit, r: &mut RecvUnit, m: &mut NodeMemory) -> u64 {
+        let mut acks = 0;
+        loop {
+            match s.next_frame().unwrap() {
+                Some(wf) => match r.on_frame(&wf, m).unwrap() {
+                    RecvOutcome::Accepted | RecvOutcome::Duplicate => {
+                        s.on_ack();
+                        acks += 1;
+                    }
+                    RecvOutcome::Held => {}
+                    RecvOutcome::Rejected { seq } => s.on_reject(seq),
+                    RecvOutcome::Supervisor(_) | RecvOutcome::PartitionIrq(_) => {
+                        acks += 1;
+                        s.on_ack();
+                    }
+                },
+                None => break,
+            }
+        }
+        acks
+    }
+
+    #[test]
+    fn untrained_link_refuses_traffic() {
+        let mut s = SendUnit::new();
+        s.enqueue_word(1);
+        assert_eq!(s.next_frame(), Err(LinkError::NotTrained));
+    }
+
+    #[test]
+    fn simple_transfer_lands_in_memory() {
+        let (mut s, mut r) = trained_pair();
+        let mut m = mem();
+        r.arm(DmaDescriptor::contiguous(0x1000, 4), &mut m).unwrap();
+        for w in [10, 20, 30, 40] {
+            s.enqueue_word(w);
+        }
+        pump(&mut s, &mut r, &mut m);
+        assert!(r.complete());
+        assert_eq!(m.read_block(0x1000, 4).unwrap(), vec![10, 20, 30, 40]);
+        assert!(s.drained());
+        assert_eq!(s.checksum(), r.checksum(), "end-of-run checksums must agree");
+    }
+
+    #[test]
+    fn window_stalls_at_three_unacked() {
+        let (mut s, mut r) = trained_pair();
+        let mut m = mem();
+        for w in 0..10 {
+            s.enqueue_word(w);
+        }
+        // Receiver is idle (unarmed): words are held, no acks — after three
+        // frames the sender must stall. This is the idle-receive blocking
+        // behaviour of §2.2.
+        let mut sent = 0;
+        while let Some(wf) = s.next_frame().unwrap() {
+            assert_eq!(r.on_frame(&wf, &mut m).unwrap(), RecvOutcome::Held);
+            sent += 1;
+            assert!(sent <= WINDOW, "sender exceeded the three-in-the-air window");
+        }
+        assert_eq!(sent, 3);
+        assert!(s.stalled());
+    }
+
+    #[test]
+    fn arming_late_releases_held_words_and_acks() {
+        let (mut s, mut r) = trained_pair();
+        let mut m = mem();
+        for w in [7, 8, 9, 10, 11] {
+            s.enqueue_word(w);
+        }
+        // Send until stalled (3 held words, no acks).
+        while let Some(wf) = s.next_frame().unwrap() {
+            r.on_frame(&wf, &mut m).unwrap();
+        }
+        // Now the application on the receiving node posts its receive.
+        r.arm(DmaDescriptor::contiguous(0x2000, 5), &mut m).unwrap();
+        let released = r.take_pending_acks();
+        assert_eq!(released, 3);
+        for _ in 0..released {
+            s.on_ack();
+        }
+        pump(&mut s, &mut r, &mut m);
+        assert_eq!(m.read_block(0x2000, 5).unwrap(), vec![7, 8, 9, 10, 11]);
+        assert_eq!(s.checksum(), r.checksum());
+    }
+
+    #[test]
+    fn corrupt_frame_triggers_resend_and_checksums_still_agree() {
+        let (mut s, mut r) = trained_pair();
+        let mut m = mem();
+        r.arm(DmaDescriptor::contiguous(0x3000, 4), &mut m).unwrap();
+        for w in [100, 200, 300, 400] {
+            s.enqueue_word(w);
+        }
+        let mut corrupted = false;
+        loop {
+            match s.next_frame().unwrap() {
+                Some(mut wf) => {
+                    if !corrupted && wf.seq == 1 {
+                        wf.frame.corrupt_bit(20);
+                        corrupted = true;
+                    }
+                    match r.on_frame(&wf, &mut m).unwrap() {
+                        RecvOutcome::Accepted | RecvOutcome::Duplicate => s.on_ack(),
+                        RecvOutcome::Held => {}
+                        RecvOutcome::Rejected { seq } => s.on_reject(seq),
+                        _ => unreachable!(),
+                    }
+                }
+                None => break,
+            }
+        }
+        assert!(corrupted);
+        assert!(r.rejects() >= 1);
+        assert_eq!(m.read_block(0x3000, 4).unwrap(), vec![100, 200, 300, 400]);
+        assert_eq!(s.checksum(), r.checksum(), "resend must leave data intact");
+    }
+
+    #[test]
+    fn supervisor_takes_priority_over_normal_data() {
+        let (mut s, mut r) = trained_pair();
+        let mut m = mem();
+        r.arm(DmaDescriptor::contiguous(0x100, 2), &mut m).unwrap();
+        s.enqueue_word(1);
+        s.enqueue_word(2);
+        s.enqueue_supervisor(0xFEED);
+        let wf = s.next_frame().unwrap().unwrap();
+        match r.on_frame(&wf, &mut m).unwrap() {
+            RecvOutcome::Supervisor(w) => assert_eq!(w, 0xFEED),
+            other => panic!("expected supervisor first, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partition_irq_bypasses_data_window() {
+        let (mut s, mut r) = trained_pair();
+        let mut m = mem();
+        // Fill and stall the data window.
+        for w in 0..5 {
+            s.enqueue_word(w);
+        }
+        while let Some(wf) = s.next_frame().unwrap() {
+            r.on_frame(&wf, &mut m).unwrap();
+        }
+        assert!(s.stalled());
+        // An interrupt still gets through.
+        s.enqueue_irq(0b0000_0001);
+        let wf = s.next_frame().unwrap().expect("irq must bypass the stalled window");
+        assert_eq!(r.on_frame(&wf, &mut m).unwrap(), RecvOutcome::PartitionIrq(1));
+    }
+
+    #[test]
+    fn duplicate_after_rewind_is_reacked_not_rewritten() {
+        let (mut s, mut r) = trained_pair();
+        let mut m = mem();
+        r.arm(DmaDescriptor::contiguous(0x500, 2), &mut m).unwrap();
+        s.enqueue_word(42);
+        s.enqueue_word(43);
+        let wf0 = s.next_frame().unwrap().unwrap();
+        assert_eq!(r.on_frame(&wf0, &mut m).unwrap(), RecvOutcome::Accepted);
+        // Deliver the same frame again (late retransmission).
+        assert_eq!(r.on_frame(&wf0, &mut m).unwrap(), RecvOutcome::Duplicate);
+        assert_eq!(r.received_words(), 1);
+    }
+
+    #[test]
+    fn out_of_sequence_frame_is_rejected() {
+        let (mut s, mut r) = trained_pair();
+        let mut m = mem();
+        r.arm(DmaDescriptor::contiguous(0x600, 3), &mut m).unwrap();
+        for w in [1, 2, 3] {
+            s.enqueue_word(w);
+        }
+        let wf0 = s.next_frame().unwrap().unwrap();
+        let wf1 = s.next_frame().unwrap().unwrap();
+        // Drop wf0; deliver wf1 first.
+        assert_eq!(r.on_frame(&wf1, &mut m).unwrap(), RecvOutcome::Rejected { seq: 0 });
+        s.on_reject(0);
+        // Sender rewinds and retransmits from seq 0.
+        let again = s.next_frame().unwrap().unwrap();
+        assert_eq!(again.seq, 0);
+        assert_eq!(again.frame, wf0.frame);
+    }
+
+    #[test]
+    fn checksum_is_order_sensitive() {
+        let mut a = LinkChecksum::default();
+        let mut b = LinkChecksum::default();
+        a.update(1);
+        a.update(2);
+        b.update(2);
+        b.update(1);
+        assert_ne!(a.value(), b.value());
+    }
+}

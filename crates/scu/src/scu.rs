@@ -1,0 +1,463 @@
+//! The per-node Serial Communications Unit: 12 send and 12 receive units,
+//! the supervisor mailbox, and the partition-interrupt forwarding logic.
+//!
+//! Each uni-directional wire leaving the node multiplexes three things:
+//! data frames produced by the send unit of that direction, and
+//! acknowledgements / rejects for the data arriving on the paired opposite
+//! wire. The functional execution engine (in `qcdoc-core`) moves
+//! [`WireMsg`]s between paired SCUs; everything protocol-level lives here.
+
+use crate::dma::{DmaDescriptor, DmaEngine, StoredInstructions};
+use crate::link::{LinkError, RecvOutcome, RecvUnit, SendUnit, WireFrame};
+use qcdoc_asic::memory::NodeMemory;
+use std::collections::VecDeque;
+
+/// Number of link directions per node.
+pub const LINKS: usize = 12;
+
+/// One message on a uni-directional wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireMsg {
+    /// A framed data/supervisor/interrupt packet.
+    Data(WireFrame),
+    /// Acknowledgement of the oldest outstanding word on the reverse
+    /// direction.
+    Ack,
+    /// Reject: ask the sender to rewind to sequence `seq`.
+    Reject(u64),
+}
+
+/// Events the SCU raises to the node's CPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScuEvent {
+    /// A supervisor packet arrived (§2.2: "the arrival of the supervisor
+    /// packet causes an interrupt to be received by the neighbor's CPU").
+    SupervisorInterrupt(u64),
+    /// A partition interrupt with these bits was newly observed.
+    PartitionInterrupt(u8),
+}
+
+/// The SCU of one node.
+#[derive(Debug)]
+pub struct Scu {
+    send: Vec<SendUnit>,
+    recv: Vec<RecvUnit>,
+    send_dma: Vec<Option<DmaEngine>>,
+    stored: StoredInstructions,
+    supervisor_inbox: VecDeque<u64>,
+    /// Bits of partition interrupts already seen (forwarded once each,
+    /// §2.2: "its SCU forwards this packet on to all of its neighbors if
+    /// the packet contains an interrupt which had not been previously
+    /// sent").
+    irq_seen: u8,
+    outgoing_acks: [u64; LINKS],
+    outgoing_rejects: [Option<u64>; LINKS],
+}
+
+impl Default for Scu {
+    fn default() -> Self {
+        Scu::new()
+    }
+}
+
+impl Scu {
+    /// A fresh SCU with all links untrained.
+    pub fn new() -> Scu {
+        Scu {
+            send: (0..LINKS).map(|_| SendUnit::new()).collect(),
+            recv: (0..LINKS).map(|_| RecvUnit::new()).collect(),
+            send_dma: (0..LINKS).map(|_| None).collect(),
+            stored: StoredInstructions::default(),
+            supervisor_inbox: VecDeque::new(),
+            irq_seen: 0,
+            outgoing_acks: [0; LINKS],
+            outgoing_rejects: [None; LINKS],
+        }
+    }
+
+    /// Complete HSSL training on every link (run-kernel initialization).
+    pub fn train_all(&mut self) {
+        for s in &mut self.send {
+            s.train();
+        }
+        for r in &mut self.recv {
+            r.train();
+        }
+    }
+
+    /// Access the send unit of a direction (for statistics/checksums).
+    pub fn send_unit(&self, link: usize) -> &SendUnit {
+        &self.send[link]
+    }
+
+    /// Access the receive unit of a direction.
+    pub fn recv_unit(&self, link: usize) -> &RecvUnit {
+        &self.recv[link]
+    }
+
+    /// The stored-DMA-instruction bank.
+    pub fn stored_instructions(&mut self) -> &mut StoredInstructions {
+        &mut self.stored
+    }
+
+    /// Begin a send: the DMA engine walks `desc` and feeds the send unit.
+    /// Words are fetched from memory by the DMA as the link drains them
+    /// (zero-copy: the descriptor points straight at the physics arrays).
+    pub fn start_send(&mut self, link: usize, desc: DmaDescriptor) {
+        debug_assert!(self.send_dma[link].as_ref().is_none_or(|d| d.done()), "send DMA busy");
+        self.send_dma[link] = Some(DmaEngine::start(desc));
+    }
+
+    /// Restart the stored send descriptor for `link` — the single-write
+    /// restart of §3.3.
+    pub fn restart_send(&mut self, link: usize) {
+        let desc = self.stored.send(link).expect("no stored send descriptor");
+        self.start_send(link, desc);
+    }
+
+    /// Arm a receive: drains any idle-receive words and releases their
+    /// acknowledgements onto the reverse wire.
+    pub fn start_recv(
+        &mut self,
+        link: usize,
+        desc: DmaDescriptor,
+        mem: &mut NodeMemory,
+    ) -> Result<(), LinkError> {
+        self.recv[link].arm(desc, mem)?;
+        self.outgoing_acks[link] += self.recv[link].take_pending_acks();
+        Ok(())
+    }
+
+    /// Restart the stored receive descriptor for `link`.
+    pub fn restart_recv(&mut self, link: usize, mem: &mut NodeMemory) -> Result<(), LinkError> {
+        let desc = self.stored.recv(link).expect("no stored recv descriptor");
+        self.start_recv(link, desc, mem)
+    }
+
+    /// Send a supervisor word to the neighbour in direction `link`.
+    pub fn send_supervisor(&mut self, link: usize, word: u64) {
+        self.send[link].enqueue_supervisor(word);
+    }
+
+    /// Raise a partition interrupt originating at this node: mark it seen
+    /// and forward on every link.
+    pub fn raise_partition_irq(&mut self, bits: u8) {
+        let new = bits & !self.irq_seen;
+        if new == 0 {
+            return;
+        }
+        self.irq_seen |= new;
+        for s in &mut self.send {
+            s.enqueue_irq(new);
+        }
+    }
+
+    /// Partition-interrupt bits observed so far.
+    pub fn partition_irq_state(&self) -> u8 {
+        self.irq_seen
+    }
+
+    /// Clear partition-interrupt state (new global-clock epoch).
+    pub fn clear_partition_irq(&mut self) {
+        self.irq_seen = 0;
+    }
+
+    /// Pop the oldest supervisor word, if any.
+    pub fn take_supervisor(&mut self) -> Option<u64> {
+        self.supervisor_inbox.pop_front()
+    }
+
+    /// Produce the next message to transmit toward direction `link`.
+    /// Control traffic (rejects, then acks) outranks data.
+    pub fn tx_next(&mut self, link: usize, mem: &mut NodeMemory) -> Result<Option<WireMsg>, LinkError> {
+        if let Some(seq) = self.outgoing_rejects[link].take() {
+            return Ok(Some(WireMsg::Reject(seq)));
+        }
+        if self.outgoing_acks[link] > 0 {
+            self.outgoing_acks[link] -= 1;
+            return Ok(Some(WireMsg::Ack));
+        }
+        // Feed the send unit from its DMA engine: stage exactly one word,
+        // and only when it can go straight onto the wire (queue empty and
+        // window not full) — the DMA fetches lazily as the link drains.
+        if self.send[link].queue_empty()
+            && self.send[link].window_len() < crate::link::WINDOW
+        {
+            if let Some(engine) = self.send_dma[link].as_mut() {
+                if let Some(addr) = engine.peek() {
+                    let word =
+                        mem.read_word(addr).map_err(|e| LinkError::Memory(e.to_string()))?;
+                    engine.next_address();
+                    self.send[link].enqueue_word(word);
+                }
+            }
+        }
+        self.send[link].next_frame().map(|f| f.map(WireMsg::Data))
+    }
+
+    /// Whether this direction has anything left to transmit.
+    pub fn tx_pending(&self, link: usize) -> bool {
+        self.outgoing_rejects[link].is_some()
+            || self.outgoing_acks[link] > 0
+            || !self.send[link].drained()
+            || self.send_dma[link].as_ref().is_some_and(|d| !d.done())
+    }
+
+    /// Handle a message arriving *from* direction `link`.
+    pub fn rx(
+        &mut self,
+        link: usize,
+        msg: WireMsg,
+        mem: &mut NodeMemory,
+    ) -> Result<Option<ScuEvent>, LinkError> {
+        match msg {
+            WireMsg::Ack => {
+                self.send[link].on_ack();
+                Ok(None)
+            }
+            WireMsg::Reject(seq) => {
+                self.send[link].on_reject(seq);
+                Ok(None)
+            }
+            WireMsg::Data(wf) => match self.recv[link].on_frame(&wf, mem)? {
+                RecvOutcome::Accepted | RecvOutcome::Duplicate => {
+                    self.outgoing_acks[link] += 1;
+                    Ok(None)
+                }
+                RecvOutcome::Held => Ok(None),
+                RecvOutcome::Rejected { seq } => {
+                    self.outgoing_rejects[link] = Some(seq);
+                    Ok(None)
+                }
+                RecvOutcome::Supervisor(word) => {
+                    self.outgoing_acks[link] += 1;
+                    self.supervisor_inbox.push_back(word);
+                    Ok(Some(ScuEvent::SupervisorInterrupt(word)))
+                }
+                RecvOutcome::PartitionIrq(bits) => {
+                    let new = bits & !self.irq_seen;
+                    if new == 0 {
+                        return Ok(None);
+                    }
+                    self.irq_seen |= new;
+                    // Forward to every link except the one it came from.
+                    for (i, s) in self.send.iter_mut().enumerate() {
+                        if i != link {
+                            s.enqueue_irq(new);
+                        }
+                    }
+                    Ok(Some(ScuEvent::PartitionInterrupt(new)))
+                }
+            },
+        }
+    }
+
+    /// Whether the send side of `link` has delivered and acked everything.
+    pub fn send_complete(&self, link: usize) -> bool {
+        self.send[link].drained() && self.send_dma[link].as_ref().is_none_or(|d| d.done())
+    }
+
+    /// Whether the armed receive of `link` has fully landed in memory.
+    pub fn recv_complete(&self, link: usize) -> bool {
+        self.recv[link].complete()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trained() -> (Scu, NodeMemory) {
+        let mut s = Scu::new();
+        s.train_all();
+        (s, NodeMemory::with_128mb_dimm())
+    }
+
+    /// Shuttle messages between two SCUs over the paired directions
+    /// `a_to_b` (on node A) and its reverse `b_to_a` (on node B) until both
+    /// sides go quiet. Returns the number of wire messages moved.
+    fn pump_pair(
+        a: &mut Scu,
+        am: &mut NodeMemory,
+        b: &mut Scu,
+        bm: &mut NodeMemory,
+        a_dir: usize,
+        b_dir: usize,
+    ) -> usize {
+        let mut moved = 0;
+        loop {
+            let mut progressed = false;
+            if let Some(msg) = a.tx_next(a_dir, am).unwrap() {
+                b.rx(b_dir, msg, bm).unwrap();
+                moved += 1;
+                progressed = true;
+            }
+            if let Some(msg) = b.tx_next(b_dir, bm).unwrap() {
+                a.rx(a_dir, msg, am).unwrap();
+                moved += 1;
+                progressed = true;
+            }
+            if !progressed {
+                break;
+            }
+        }
+        moved
+    }
+
+    #[test]
+    fn dma_to_dma_transfer() {
+        let (mut a, mut am) = trained();
+        let (mut b, mut bm) = trained();
+        am.write_block(0x1000, &[11, 22, 33, 44]).unwrap();
+        a.start_send(0, DmaDescriptor::contiguous(0x1000, 4));
+        b.start_recv(1, DmaDescriptor::contiguous(0x2000, 4), &mut bm).unwrap();
+        pump_pair(&mut a, &mut am, &mut b, &mut bm, 0, 1);
+        assert!(a.send_complete(0));
+        assert!(b.recv_complete(1));
+        assert_eq!(bm.read_block(0x2000, 4).unwrap(), vec![11, 22, 33, 44]);
+        assert_eq!(
+            a.send_unit(0).checksum(),
+            b.recv_unit(1).checksum(),
+            "link checksums must agree at end of run"
+        );
+    }
+
+    #[test]
+    fn send_before_recv_is_fine_idle_receive() {
+        // §2.2: "there need be no temporal ordering between software
+        // issuing a send on one node and a receive on another."
+        let (mut a, mut am) = trained();
+        let (mut b, mut bm) = trained();
+        am.write_block(0x0, &[1, 2, 3, 4, 5, 6]).unwrap();
+        a.start_send(4, DmaDescriptor::contiguous(0x0, 6));
+        // Pump without a receive armed: sender stalls after 3 held words.
+        pump_pair(&mut a, &mut am, &mut b, &mut bm, 4, 5);
+        assert!(!a.send_complete(4));
+        // Now the receiver posts its buffer; everything drains.
+        b.start_recv(5, DmaDescriptor::contiguous(0x8000, 6), &mut bm).unwrap();
+        pump_pair(&mut a, &mut am, &mut b, &mut bm, 4, 5);
+        assert!(a.send_complete(4));
+        assert!(b.recv_complete(5));
+        assert_eq!(bm.read_block(0x8000, 6).unwrap(), vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn strided_gather_scatter() {
+        // Gather every other word on the sender, land contiguously on the
+        // receiver — the lattice face-exchange pattern.
+        let (mut a, mut am) = trained();
+        let (mut b, mut bm) = trained();
+        for i in 0..8u64 {
+            am.write_word(0x100 + i * 8, 100 + i).unwrap();
+        }
+        let gather = DmaDescriptor { start: 0x100, block_words: 1, stride_words: 2, blocks: 4 };
+        a.start_send(2, gather);
+        b.start_recv(3, DmaDescriptor::contiguous(0x900, 4), &mut bm).unwrap();
+        pump_pair(&mut a, &mut am, &mut b, &mut bm, 2, 3);
+        assert_eq!(bm.read_block(0x900, 4).unwrap(), vec![100, 102, 104, 106]);
+    }
+
+    #[test]
+    fn supervisor_interrupt_delivery() {
+        let (mut a, mut am) = trained();
+        let (mut b, mut bm) = trained();
+        a.send_supervisor(7, 0xCAFE);
+        let mut event = None;
+        while let Some(msg) = a.tx_next(7, &mut am).unwrap() {
+            if let Some(e) = b.rx(6, msg, &mut bm).unwrap() {
+                event = Some(e);
+            }
+            while let Some(back) = b.tx_next(6, &mut bm).unwrap() {
+                a.rx(7, back, &mut am).unwrap();
+            }
+        }
+        assert_eq!(event, Some(ScuEvent::SupervisorInterrupt(0xCAFE)));
+        assert_eq!(b.take_supervisor(), Some(0xCAFE));
+        assert_eq!(b.take_supervisor(), None);
+    }
+
+    #[test]
+    fn partition_irq_forwards_once() {
+        let (mut a, mut am) = trained();
+        let (mut b, mut bm) = trained();
+        a.raise_partition_irq(0b0000_0100);
+        // Deliver on one wire; B should see the event once and mark it.
+        let mut events = 0;
+        while let Some(msg) = a.tx_next(0, &mut am).unwrap() {
+            if b.rx(1, msg, &mut bm).unwrap().is_some() {
+                events += 1;
+            }
+        }
+        assert_eq!(events, 1);
+        assert_eq!(b.partition_irq_state(), 0b100);
+        // B now forwards on all links except link 1 (where it came from).
+        assert!(!b.tx_pending(1) || b.tx_pending(0));
+        let mut fwd_dirs = 0;
+        for d in 0..LINKS {
+            if d == 1 {
+                continue;
+            }
+            if b.tx_next(d, &mut bm).unwrap().is_some() {
+                fwd_dirs += 1;
+            }
+        }
+        assert_eq!(fwd_dirs, 11, "forward on all links except the arrival one");
+        // A second identical interrupt is suppressed.
+        a.raise_partition_irq(0b100);
+        assert!(a.tx_next(0, &mut am).unwrap().is_none());
+    }
+
+    #[test]
+    fn stored_instruction_restart_repeats_transfer() {
+        let (mut a, mut am) = trained();
+        let (mut b, mut bm) = trained();
+        a.stored_instructions().store_send(0, DmaDescriptor::contiguous(0x40, 2));
+        b.stored_instructions().store_recv(1, DmaDescriptor::contiguous(0x80, 2));
+        for round in 0..3u64 {
+            am.write_block(0x40, &[round * 10, round * 10 + 1]).unwrap();
+            a.restart_send(0);
+            b.restart_recv(1, &mut bm).unwrap();
+            pump_pair(&mut a, &mut am, &mut b, &mut bm, 0, 1);
+            assert_eq!(
+                bm.read_block(0x80, 2).unwrap(),
+                vec![round * 10, round * 10 + 1],
+                "round {round}"
+            );
+        }
+    }
+
+    #[test]
+    fn tx_pending_tracks_all_traffic_classes() {
+        let (mut a, mut am) = trained();
+        assert!(!a.tx_pending(0), "fresh SCU is quiet");
+        // Data pending via DMA.
+        am.write_word(0x0, 1).unwrap();
+        a.start_send(0, DmaDescriptor::contiguous(0x0, 1));
+        assert!(a.tx_pending(0));
+        // Drain it against an armed peer.
+        let (mut b, mut bm) = trained();
+        b.start_recv(1, DmaDescriptor::contiguous(0x100, 1), &mut bm).unwrap();
+        pump_pair(&mut a, &mut am, &mut b, &mut bm, 0, 1);
+        assert!(!a.tx_pending(0));
+        // Supervisor word makes it pending again.
+        a.send_supervisor(0, 5);
+        assert!(a.tx_pending(0));
+    }
+
+    #[test]
+    fn bidirectional_concurrent_transfers() {
+        // QCDOC supports concurrent sends and receives to each neighbour
+        // (§2.2): run both directions of the same axis at once.
+        let (mut a, mut am) = trained();
+        let (mut b, mut bm) = trained();
+        am.write_block(0x0, &[1, 2, 3]).unwrap();
+        bm.write_block(0x0, &[9, 8, 7]).unwrap();
+        a.start_send(0, DmaDescriptor::contiguous(0x0, 3));
+        b.start_send(1, DmaDescriptor::contiguous(0x0, 3));
+        a.start_recv(0, DmaDescriptor::contiguous(0x500, 3), &mut am).unwrap();
+        b.start_recv(1, DmaDescriptor::contiguous(0x500, 3), &mut bm).unwrap();
+        pump_pair(&mut a, &mut am, &mut b, &mut bm, 0, 1);
+        assert_eq!(am.read_block(0x500, 3).unwrap(), vec![9, 8, 7]);
+        assert_eq!(bm.read_block(0x500, 3).unwrap(), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,179 @@
+//! Link timing constants and closed-form transfer times.
+//!
+//! The physical link is bit-serial at the processor clock (§2.2). A framed
+//! normal word is 72 bits (8-bit header + 64-bit payload), so at the 500 MHz
+//! design clock:
+//!
+//! * one direction moves `64/72 × 500 Mbit/s ≈ 55.6 MB/s` of payload;
+//! * all 24 channels together move `24 × 55.6 ≈ 1.33 GB/s` — the paper's
+//!   "total bandwidth is 1.3 GBytes/second at 500 MHz";
+//! * the 23 words after the first of a 24-word transfer take
+//!   `23 × 72 × 2 ns = 3.3 µs` — the paper's figure exactly;
+//! * the fixed memory-to-memory path (send DMA fetch, SCU pipeline,
+//!   serialization of the first word, receiver synchronization, receive DMA
+//!   store) totals 300 cycles = **600 ns** at 500 MHz.
+
+use crate::packet::Packet;
+use qcdoc_asic::clock::{Clock, Cycles};
+use serde::{Deserialize, Serialize};
+
+/// Wire bits of a framed normal data word.
+pub const WORD_WIRE_BITS: u64 = 72;
+
+/// Fixed per-transfer pipeline costs, in link cycles. The split is a model
+/// choice; the sum (300 cycles) is calibrated to the paper's 600 ns at
+/// 500 MHz.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkTimingConfig {
+    /// Send-side DMA fetch from local memory + SCU injection.
+    pub send_dma_cycles: u64,
+    /// Receiver bit synchronization and SCU pipeline.
+    pub sync_cycles: u64,
+    /// Receive-side DMA store to local memory.
+    pub recv_dma_cycles: u64,
+}
+
+impl Default for LinkTimingConfig {
+    fn default() -> Self {
+        LinkTimingConfig { send_dma_cycles: 75, sync_cycles: 78, recv_dma_cycles: 75 }
+    }
+}
+
+impl LinkTimingConfig {
+    /// Total fixed path in cycles, excluding first-word serialization.
+    pub fn fixed_cycles(&self) -> u64 {
+        self.send_dma_cycles + self.sync_cycles + self.recv_dma_cycles
+    }
+
+    /// Memory-to-memory latency of a single-word nearest-neighbour
+    /// transfer.
+    pub fn first_word_cycles(&self) -> Cycles {
+        Cycles(self.fixed_cycles() + WORD_WIRE_BITS)
+    }
+
+    /// Memory-to-memory time for a transfer of `words` 64-bit words: the
+    /// first word pays the full path; later words stream behind it at the
+    /// serialization rate.
+    pub fn transfer_cycles(&self, words: u64) -> Cycles {
+        if words == 0 {
+            return Cycles::ZERO;
+        }
+        self.first_word_cycles() + Cycles((words - 1) * WORD_WIRE_BITS)
+    }
+
+    /// Transfer time in nanoseconds at a given clock.
+    pub fn transfer_ns(&self, words: u64, clock: Clock) -> f64 {
+        clock.cycles_to_ns(self.transfer_cycles(words))
+    }
+
+    /// Payload bandwidth of one uni-directional channel, bytes/second.
+    pub fn channel_bandwidth(&self, clock: Clock) -> f64 {
+        8.0 * clock.hz() as f64 / WORD_WIRE_BITS as f64
+    }
+
+    /// Aggregate payload bandwidth of all 24 channels, bytes/second.
+    pub fn node_bandwidth(&self, clock: Clock) -> f64 {
+        24.0 * self.channel_bandwidth(clock)
+    }
+}
+
+/// Baseline: a commodity-cluster network of the era, the paper's explicit
+/// comparison — "times of 5-10 µs just to begin a transfer when using
+/// standard networks like Ethernet" (§2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EthernetBaseline {
+    /// Start-up (software + NIC) latency in nanoseconds.
+    pub startup_ns: f64,
+    /// Payload bandwidth in bytes/second (gigabit Ethernet).
+    pub bytes_per_sec: f64,
+}
+
+impl Default for EthernetBaseline {
+    fn default() -> Self {
+        // Mid-band of the paper's 5-10 us, gigabit wire rate.
+        EthernetBaseline { startup_ns: 7_500.0, bytes_per_sec: 125.0e6 }
+    }
+}
+
+impl EthernetBaseline {
+    /// Transfer time in nanoseconds for `bytes` of payload.
+    pub fn transfer_ns(&self, bytes: u64) -> f64 {
+        self.startup_ns + bytes as f64 / self.bytes_per_sec * 1e9
+    }
+}
+
+/// Serialization cycles for an arbitrary packet.
+pub fn wire_cycles(pkt: Packet) -> Cycles {
+    Cycles(pkt.wire_bits())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: LinkTimingConfig =
+        LinkTimingConfig { send_dma_cycles: 75, sync_cycles: 78, recv_dma_cycles: 75 };
+
+    #[test]
+    fn first_word_is_600ns_at_design_clock() {
+        let ns = Clock::DESIGN.cycles_to_ns(T.first_word_cycles());
+        assert!((ns - 600.0).abs() < 1e-9, "first word latency {ns} ns");
+    }
+
+    #[test]
+    fn twenty_four_word_transfer_matches_paper() {
+        // §2.2: "for transfers as small as 24, 64 bit words … the latency of
+        // 600 ns for the first word is still small compared to the 3.3 µs
+        // time for the remaining 23 words."
+        let total = T.transfer_ns(24, Clock::DESIGN);
+        let first = Clock::DESIGN.cycles_to_ns(T.first_word_cycles());
+        let tail = total - first;
+        assert!((tail - 3_312.0).abs() < 1.0, "23-word tail {tail} ns");
+    }
+
+    #[test]
+    fn aggregate_bandwidth_is_1_3_gbytes() {
+        let bw = T.node_bandwidth(Clock::DESIGN);
+        assert!((bw - 1.333e9).abs() < 0.01e9, "aggregate {bw} B/s");
+    }
+
+    #[test]
+    fn qcdoc_beats_ethernet_on_small_transfers() {
+        // The crossover the mesh was designed for: a 24-word (192-byte)
+        // message takes ~3.9 us on QCDOC but the Ethernet baseline pays
+        // 7.5 us before the first byte moves.
+        let eth = EthernetBaseline::default();
+        let qcdoc = T.transfer_ns(24, Clock::DESIGN);
+        assert!(qcdoc < eth.transfer_ns(192));
+        assert!(qcdoc < eth.startup_ns);
+    }
+
+    #[test]
+    fn ethernet_wins_on_huge_transfers() {
+        // Per-channel QCDOC bandwidth is ~55 MB/s; gigabit Ethernet is
+        // 125 MB/s, so single-link bulk transfers eventually favour the
+        // commodity network — latency, not bandwidth, is QCDOC's edge.
+        let eth = EthernetBaseline::default();
+        let words = 1_000_000u64;
+        assert!(T.transfer_ns(words, Clock::DESIGN) > eth.transfer_ns(words * 8));
+    }
+
+    #[test]
+    fn zero_word_transfer_is_free() {
+        assert_eq!(T.transfer_cycles(0), Cycles::ZERO);
+    }
+
+    #[test]
+    fn slower_clock_stretches_latency() {
+        let at_360 = T.transfer_ns(1, Clock::SAFE_360);
+        let at_500 = T.transfer_ns(1, Clock::DESIGN);
+        assert!((at_360 / at_500 - 500.0 / 360.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wire_cycles_by_packet_kind() {
+        assert_eq!(wire_cycles(Packet::Normal(0)), Cycles(72));
+        assert_eq!(wire_cycles(Packet::PartitionIrq(0)), Cycles(16));
+        assert_eq!(wire_cycles(Packet::Ack), Cycles(8));
+    }
+}

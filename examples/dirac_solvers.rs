@@ -1,0 +1,117 @@
+//! The §4 benchmark suite: CG solves with all four fermion
+//! discretizations on one gauge configuration, with residual histories,
+//! flop ledgers, and the sustained-efficiency table (experiment E1).
+//!
+//! ```text
+//! cargo run --release --example dirac_solvers
+//! ```
+
+use qcdoc::core::perf::{DiracPerf, Precision, PAPER_EFFICIENCIES};
+use qcdoc::lattice::clover::CloverDirac;
+use qcdoc::lattice::counts::{operator_counts, Action};
+use qcdoc::lattice::dwf::{DwfDirac, DwfField};
+use qcdoc::lattice::field::{FermionField, GaugeField, Lattice, StaggeredField};
+use qcdoc::lattice::gauge::{average_plaquette, evolve, EvolveParams};
+use qcdoc::lattice::solver::{solve_cgne, CgParams, CgReport};
+use qcdoc::lattice::staggered::{AsqtadCoeffs, AsqtadDirac, AsqtadLinks, StaggeredDirac};
+use qcdoc::lattice::wilson::WilsonDirac;
+
+fn show(report: &CgReport) {
+    let first = report.residuals.first().copied().unwrap_or(1.0);
+    println!(
+        "  {:<10} {:>5} iterations, residual {:.2e} -> {:.2e}, {} operator applications",
+        report.operator, report.iterations, first, report.final_residual, report.operator_applications
+    );
+}
+
+fn main() {
+    // A mildly thermalized quenched configuration (not free field, not
+    // random noise).
+    let lat = Lattice::new([4, 4, 4, 4]);
+    let mut gauge = GaugeField::hot(lat, 1);
+    evolve(&mut gauge, EvolveParams::default(), 11, 5);
+    println!(
+        "configuration: 4^4 quenched, beta = 5.7, plaquette = {:.4}\n",
+        average_plaquette(&gauge)
+    );
+
+    let params = CgParams { tolerance: 1e-8, max_iterations: 4000 };
+
+    println!("CG on the normal equations, double precision:");
+    // Naive Wilson.
+    let wilson = WilsonDirac::new(&gauge, 0.12);
+    let b = FermionField::gaussian(lat, 100);
+    let mut x = FermionField::zero(lat);
+    show(&solve_cgne(&wilson, &mut x, &b, params));
+
+    // Clover-improved Wilson.
+    let clover = CloverDirac::new(&gauge, 0.12, 1.0);
+    let mut x = FermionField::zero(lat);
+    show(&solve_cgne(&clover, &mut x, &b, params));
+
+    // Naive staggered and ASQTAD.
+    let bs = StaggeredField::gaussian(lat, 101);
+    let stag = StaggeredDirac::new(&gauge, 0.1);
+    let mut xs = StaggeredField::zero(lat);
+    show(&solve_cgne(&stag, &mut xs, &bs, params));
+
+    let links = AsqtadLinks::new(&gauge, AsqtadCoeffs::default());
+    let asqtad = AsqtadDirac::new(&links, 0.1);
+    let mut xs = StaggeredField::zero(lat);
+    show(&solve_cgne(&asqtad, &mut xs, &bs, params));
+
+    // Domain wall fermions (Ls = 8).
+    let dwf = DwfDirac::new(&gauge, 1.8, 0.1, 8);
+    let bd = DwfField::gaussian(lat, 8, 102);
+    let mut xd = DwfField::zero(lat, 8);
+    show(&solve_cgne(&dwf, &mut xd, &bd, params));
+
+    // Per-site operation ledgers (the machine model's inputs).
+    println!("\nper-site operation ledgers (one operator application):");
+    println!(
+        "  {:<10} {:>7} {:>12} {:>10} {:>6}",
+        "action", "flops", "bytes", "face B", "halo"
+    );
+    for action in [
+        Action::Wilson,
+        Action::Clover,
+        Action::Staggered,
+        Action::Asqtad,
+        Action::Dwf { ls: 8 },
+    ] {
+        let c = operator_counts(action);
+        println!(
+            "  {:<10} {:>7} {:>12} {:>10} {:>6}",
+            action.name(),
+            c.flops,
+            c.read_bytes + c.write_bytes,
+            c.face_bytes,
+            c.halo_depth
+        );
+    }
+
+    // The paper's efficiency table (E1).
+    println!("\nsustained efficiency model (128 nodes, 4^4 local volume, 450 MHz, double):");
+    let perf = DiracPerf::paper_bench();
+    print!("{}", perf.render_table());
+    println!("paper (§4): Wilson 40%, ASQTAD 38%, clover 46.5%");
+    for (action, paper) in PAPER_EFFICIENCIES {
+        let got = perf.evaluate(action).efficiency;
+        println!(
+            "  {:<10} model {:>5.1}%  paper {:>5.1}%  (delta {:+.1} pp)",
+            action.name(),
+            100.0 * got,
+            100.0 * paper,
+            100.0 * (got - paper)
+        );
+    }
+
+    // Single precision is "slightly higher" (§4).
+    let mut sp = DiracPerf::paper_bench();
+    sp.precision = Precision::Single;
+    println!(
+        "\nsingle precision Wilson: {:.1}% (double: {:.1}%) — \"slightly higher\" per §4",
+        100.0 * sp.evaluate(Action::Wilson).efficiency,
+        100.0 * DiracPerf::paper_bench().evaluate(Action::Wilson).efficiency
+    );
+}

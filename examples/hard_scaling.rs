@@ -1,0 +1,59 @@
+//! Hard scaling (experiment E8): a fixed 32³×64 lattice spread over ever
+//! more nodes — the regime QCDOC was designed for (§1) — compared against
+//! a commodity Ethernet cluster with identical node compute power.
+//!
+//! §4: "A 4⁴ local volume is a reasonable size for machines with a peak
+//! speed of 10 Teraflops and translates into a 32³×64 lattice size for a
+//! 8,192 node machine."
+//!
+//! ```text
+//! cargo run --release --example hard_scaling
+//! ```
+
+use qcdoc::core::baseline::ClusterPerf;
+use qcdoc::core::perf::{DiracPerf, Precision};
+use qcdoc::lattice::counts::Action;
+
+const GLOBAL: [usize; 4] = [32, 32, 32, 64];
+
+fn main() {
+    // Machine partitions of the fixed lattice, 512 to 8192 nodes.
+    let configs: [( usize, [usize; 4]); 5] = [
+        (512, [4, 4, 4, 8]),
+        (1024, [4, 4, 8, 8]),
+        (2048, [4, 8, 8, 8]),
+        (4096, [8, 8, 8, 8]),
+        (8192, [8, 8, 8, 16]),
+    ];
+    println!("hard scaling on a fixed {GLOBAL:?} lattice (Wilson CG, double precision, 450 MHz)\n");
+    println!(
+        "{:>6} {:>10} {:>10} {:>12} {:>12} {:>14} {:>14}",
+        "nodes", "local", "EDRAM?", "qcdoc eff", "cluster eff", "qcdoc Tflops", "cluster Tflops"
+    );
+    for (nodes, mdims) in configs {
+        let local: [usize; 4] = std::array::from_fn(|a| GLOBAL[a] / mdims[a]);
+        let mut perf = DiracPerf::paper_bench();
+        perf.logical_dims = mdims;
+        perf.local_dims = local;
+        perf.precision = Precision::Double;
+        let q = perf.evaluate(Action::Wilson);
+        let c = ClusterPerf::matching(&perf).evaluate(Action::Wilson);
+        let peak_node = perf.machine.node.clock.peak_flops();
+        println!(
+            "{:>6} {:>10} {:>10} {:>11.1}% {:>11.1}% {:>14.2} {:>14.2}",
+            nodes,
+            format!("{}x{}x{}x{}", local[0], local[1], local[2], local[3]),
+            if q.fits_edram { "yes" } else { "no" },
+            100.0 * q.efficiency,
+            100.0 * c.efficiency,
+            nodes as f64 * peak_node * q.efficiency / 1e12,
+            nodes as f64 * peak_node * c.efficiency / 1e12,
+        );
+    }
+    println!(
+        "\nthe cluster's message start-up cost (5-10 us, §2.2) stops amortizing as the local\n\
+         volume shrinks; QCDOC's 600 ns zero-copy path and 24 concurrent links keep scaling.\n\
+         (12,288-node machines use lattices with a divisible time extent; the paper's own\n\
+         32^3x64 example stops at 8,192 nodes.)"
+    );
+}

@@ -1,0 +1,89 @@
+//! The machine room: assemble the 4096-node Columbia QCDOC, print the
+//! packaging tree (Figures 3–5), the network schematic (Figure 2), the
+//! itemized purchase-order cost, and the price/performance table
+//! (experiments E3, E11, F2–F5).
+//!
+//! ```text
+//! cargo run --release --example machine_room [--schematic]
+//! ```
+
+use qcdoc::machine::catalog;
+use qcdoc::machine::cost::{columbia_4096, CostModel, PricePerformance, PAPER_PRICE_PERF};
+use qcdoc::machine::packaging::MachineAssembly;
+use qcdoc::machine::schematic;
+
+fn main() {
+    let schematic_only = std::env::args().any(|a| a == "--schematic");
+
+    let spec = catalog::by_name("columbia-4096").expect("catalog entry");
+    println!("=== {} ({} nodes, native mesh {}) ===\n", spec.name, spec.nodes, spec.shape);
+
+    if schematic_only {
+        print!("{}", schematic::render(&spec.shape));
+        return;
+    }
+
+    // Packaging (Figures 3-5).
+    let assembly = MachineAssembly::new(spec.nodes);
+    print!("{}", assembly.render_tree());
+
+    // Network schematic (Figure 2) for one motherboard's worth.
+    println!();
+    print!("{}", schematic::render(&qcdoc::geometry::TorusShape::motherboard_64()));
+
+    // Cost (the §4 purchase orders).
+    println!("\n=== itemized cost (Columbia purchase orders, §4) ===");
+    let breakdown = CostModel::default().breakdown(&assembly);
+    print!("{}", breakdown.render());
+    println!(
+        "paper quotes: hardware ${:.0}, with prorated R&D ${:.0}",
+        columbia_4096::QUOTED_TOTAL,
+        columbia_4096::QUOTED_TOTAL_WITH_RND
+    );
+
+    // Price/performance at the three §4 operating points.
+    println!("\n=== price/performance (45% sustained CG efficiency) ===");
+    println!("{:>8} {:>16} {:>12} {:>10}", "clock", "sustained MF", "$ / MF", "paper");
+    for (clock, paper) in PAPER_PRICE_PERF {
+        let pp = PricePerformance {
+            clock_mhz: clock,
+            efficiency: 0.45,
+            total_cost: breakdown.total(),
+            nodes: spec.nodes,
+        };
+        println!(
+            "{:>5} MHz {:>16.0} {:>12.3} {:>10.2}",
+            clock,
+            pp.sustained_mflops(),
+            pp.dollars_per_mflops(),
+            paper
+        );
+    }
+
+    // The 12,288-node projection (§4: volume discount -> ~$1/MF).
+    println!("\n=== 12,288-node projection (7% volume discount on boards) ===");
+    let big = MachineAssembly::new(12_288);
+    let model = CostModel { volume_discount: 0.93, ..Default::default() };
+    let b = model.breakdown(&big);
+    let pp = PricePerformance {
+        clock_mhz: 450.0,
+        efficiency: 0.45,
+        total_cost: b.total(),
+        nodes: big.nodes,
+    };
+    println!(
+        "{} nodes: total ${:.0}, sustained {:.1} Tflops-equivalent, ${:.3}/MF (target: ~$1)",
+        big.nodes,
+        b.total(),
+        pp.sustained_mflops() / 1e6,
+        pp.dollars_per_mflops()
+    );
+
+    // Power and floor space for the full installation.
+    println!(
+        "\npower: {:.1} kW; footprint: {:.0} ft²; peak {:.2} Tflops at 500 MHz",
+        big.power_watts() / 1000.0,
+        big.footprint_sqft(),
+        big.peak_flops(500.0) / 1e12
+    );
+}

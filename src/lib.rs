@@ -1,0 +1,38 @@
+//! # qcdoc — a software twin of the QCDOC supercomputer
+//!
+//! Facade crate re-exporting the full QCDOC reproduction stack:
+//!
+//! * [`geometry`] — 6-D torus coordinates, folding, software partitioning;
+//! * [`asic`] — the node ASIC model (PPC 440 cost model, caches, prefetching
+//!   EDRAM, DDR controller);
+//! * [`scu`] — the Serial Communications Unit: link protocol, DMA engines,
+//!   supervisor and partition interrupts, pass-through global operations;
+//! * [`lattice`] — the lattice QCD workload suite (SU(3) algebra, gauge
+//!   evolution, Wilson / clover / staggered-ASQTAD / domain-wall Dirac
+//!   operators, conjugate-gradient solvers);
+//! * [`host`] — qdaemon host software, Ethernet/JTAG boot, run kernel;
+//! * [`machine`] — packaging hierarchy, power, footprint, and cost model;
+//! * [`core`] — the integrated machine: functional (threads-as-nodes) and
+//!   timing (discrete-event) engines, the communications API, and the
+//!   performance model that regenerates the paper's evaluation numbers.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use qcdoc::core::MachineConfig;
+//!
+//! // A 16-node machine at the paper's benchmark clock.
+//! let config = MachineConfig::new(&[2, 2, 2, 2, 1, 1]).with_clock_mhz(450);
+//! assert_eq!(config.node_count(), 16);
+//! ```
+
+pub use qcdoc_asic as asic;
+pub use qcdoc_core as core;
+pub use qcdoc_geometry as geometry;
+pub use qcdoc_host as host;
+pub use qcdoc_lattice as lattice;
+pub use qcdoc_machine as machine;
+pub use qcdoc_scu as scu;

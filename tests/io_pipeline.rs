@@ -1,0 +1,79 @@
+//! The production I/O loop: evolve a configuration, write it in the NERSC
+//! archive format through the NFS path to the host RAID, read it back,
+//! and keep computing — with corruption caught by the format's checksum.
+
+use qcdoc::host::nfs::NfsServer;
+use qcdoc::lattice::eo::EoWilson;
+use qcdoc::lattice::field::{FermionField, GaugeField, Lattice};
+use qcdoc::lattice::gauge::{average_plaquette, evolve, EvolveParams};
+use qcdoc::lattice::io::{read_config, write_config, IoError};
+use qcdoc::lattice::solver::CgParams;
+
+#[test]
+fn evolve_write_nfs_read_solve() {
+    // Evolve.
+    let lat = Lattice::new([4, 4, 2, 2]);
+    let mut gauge = GaugeField::hot(lat, 808);
+    evolve(&mut gauge, EvolveParams::default(), 5, 3);
+    let plaq = average_plaquette(&gauge);
+
+    // Write through NFS to the host.
+    let mut nfs = NfsServer::paper_host();
+    let handle = nfs.open("/data/ensembles/b5p7/lat.3").unwrap();
+    let bytes = write_config(&gauge);
+    nfs.write(handle, &bytes).unwrap();
+    assert_eq!(nfs.stat("/data/ensembles/b5p7/lat.3").unwrap(), bytes.len() as u64);
+
+    // Read back on "another job" and verify bit identity.
+    let restored = read_config(&nfs.read("/data/ensembles/b5p7/lat.3").unwrap()).unwrap();
+    assert_eq!(restored.fingerprint(), gauge.fingerprint());
+    assert!((average_plaquette(&restored) - plaq).abs() < 1e-15);
+
+    // Continue the physics on the restored configuration.
+    let eo = EoWilson::new(&restored, 0.12);
+    let b = FermionField::gaussian(lat, 809);
+    let (_, report) = eo.solve(&b, CgParams::default());
+    assert!(report.converged);
+}
+
+#[test]
+fn disk_corruption_is_caught_before_physics() {
+    let lat = Lattice::new([2, 2, 2, 4]);
+    let mut gauge = GaugeField::hot(lat, 4242);
+    evolve(&mut gauge, EvolveParams::default(), 9, 2);
+    let mut nfs = NfsServer::paper_host();
+    let h = nfs.open("/data/lat.bad").unwrap();
+    let mut bytes = write_config(&gauge);
+    // A disk/network bit flip in the payload.
+    let n = bytes.len();
+    bytes[n - 333] ^= 0x08;
+    nfs.write(h, &bytes).unwrap();
+    match read_config(&nfs.read("/data/lat.bad").unwrap()) {
+        Err(IoError::Checksum { .. }) => {}
+        other => panic!("corruption must be caught, got {other:?}"),
+    }
+}
+
+#[test]
+fn ensemble_of_configurations_on_one_export() {
+    // A short ensemble stream: N configurations written and individually
+    // restorable.
+    let lat = Lattice::new([2, 2, 2, 2]);
+    let mut gauge = GaugeField::hot(lat, 31);
+    let mut nfs = NfsServer::paper_host();
+    let mut fingerprints = Vec::new();
+    for k in 0..4 {
+        evolve(&mut gauge, EvolveParams::default(), 100 + k, 2);
+        let path = format!("/data/stream/lat.{k}");
+        let h = nfs.open(&path).unwrap();
+        nfs.write(h, &write_config(&gauge)).unwrap();
+        fingerprints.push(gauge.fingerprint());
+    }
+    for k in 0..4 {
+        let restored = read_config(&nfs.read(&format!("/data/stream/lat.{k}")).unwrap()).unwrap();
+        assert_eq!(restored.fingerprint(), fingerprints[k as usize], "config {k}");
+    }
+    // Configurations are distinct.
+    fingerprints.dedup();
+    assert_eq!(fingerprints.len(), 4);
+}

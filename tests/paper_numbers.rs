@@ -1,0 +1,157 @@
+//! Paper-conformance suite: every headline number of the QCDOC paper,
+//! checked across crates in one place. Each test cites the section it
+//! reproduces; EXPERIMENTS.md records the same mapping.
+
+use qcdoc::asic::clock::Clock;
+use qcdoc::core::perf::{DiracPerf, Precision, PAPER_EFFICIENCIES};
+use qcdoc::lattice::counts::Action;
+use qcdoc::machine::cost::{columbia_4096, CostModel, PricePerformance, PAPER_PRICE_PERF};
+use qcdoc::machine::packaging::MachineAssembly;
+use qcdoc::scu::global::dimension_sum_hops;
+use qcdoc::scu::timing::{EthernetBaseline, LinkTimingConfig};
+
+/// Abstract: "Each node has a peak speed of 1 Gigaflops and two 12,288
+/// node, 10+ Teraflops machines are to be completed in the fall of 2004."
+#[test]
+fn abstract_peak_speeds() {
+    assert_eq!(Clock::DESIGN.peak_flops(), 1.0e9);
+    let machine = MachineAssembly::new(12_288);
+    assert!(machine.peak_flops(500.0) >= 10.0e12);
+}
+
+/// §2.1: EDRAM port runs at 8 GB/s; DDR at 2.6 GB/s, up to 2 GB.
+#[test]
+fn section_2_1_memory_bandwidths() {
+    let edram_bps =
+        qcdoc::asic::edram::PORT_BYTES_PER_CYCLE as f64 * Clock::DESIGN.hz() as f64;
+    assert_eq!(edram_bps, 8.0e9);
+    assert_eq!(qcdoc::asic::ddr::DDR_BYTES_PER_SEC, 2.6e9);
+    assert_eq!(qcdoc::asic::memory::DDR_MAX_SIZE, 2 << 30);
+}
+
+/// §2.2: 600 ns memory-to-memory latency; 24-word transfer = 600 ns +
+/// 3.3 µs; 1.3 GB/s aggregate; Ethernet needs 5-10 µs just to start.
+#[test]
+fn section_2_2_link_numbers() {
+    let link = LinkTimingConfig::default();
+    let c = Clock::DESIGN;
+    assert!((link.transfer_ns(1, c) - 600.0).abs() < 1.0);
+    let tail = link.transfer_ns(24, c) - link.transfer_ns(1, c);
+    assert!((tail - 3300.0).abs() < 50.0, "24-word tail {tail} ns");
+    let agg = link.node_bandwidth(c);
+    assert!((agg - 1.3e9).abs() < 0.05e9, "aggregate {agg}");
+    let eth = EthernetBaseline::default();
+    assert!(eth.startup_ns >= 5_000.0 && eth.startup_ns <= 10_000.0);
+}
+
+/// §2.2 global operations: hops = Nx+Ny+Nz+Nt−4, halved in doubled mode.
+#[test]
+fn section_2_2_global_sum_hops() {
+    // The 8192-node example machine of §4: 8x8x8x16.
+    assert_eq!(dimension_sum_hops(&[8, 8, 8, 16], false), 8 + 8 + 8 + 16 - 4);
+    assert_eq!(dimension_sum_hops(&[8, 8, 8, 16], true), 4 + 4 + 4 + 8);
+}
+
+/// §2.4: packaging arithmetic — 2 nodes/daughterboard, 64-node
+/// motherboards, 1024-node water-cooled racks at ~1 Tflops under ~10 kW,
+/// 10,000 nodes in ~60 ft².
+#[test]
+fn section_2_4_packaging() {
+    let m = MachineAssembly::new(4096);
+    assert_eq!(m.daughterboards(), 2048);
+    assert_eq!(m.motherboards(), 64);
+    assert_eq!(m.racks(), 4);
+    let rack = MachineAssembly::new(1024);
+    assert!((rack.peak_flops(500.0) - 1.024e12).abs() < 1e9);
+    assert!(rack.power_watts() <= 10_500.0);
+    assert!((MachineAssembly::new(10_000).footprint_sqft() - 60.0).abs() < 1.0);
+}
+
+/// §3.1: ~100 boot-kernel packets + ~100 run-kernel packets per node.
+#[test]
+fn section_3_1_boot_packets() {
+    let mut q = qcdoc::host::qdaemon::Qdaemon::new(qcdoc::geometry::TorusShape::motherboard_64());
+    let r = q.boot(&[]);
+    let per_node = r.packets_sent / 64;
+    assert!((195..=210).contains(&per_node), "{per_node} packets/node");
+}
+
+/// §4: CG efficiencies — Wilson 40%, ASQTAD 38%, clover 46.5% at 4⁴ local
+/// volume; DWF at least clover; single precision slightly higher.
+#[test]
+fn section_4_efficiencies() {
+    let perf = DiracPerf::paper_bench();
+    for (action, paper) in PAPER_EFFICIENCIES {
+        let got = perf.evaluate(action).efficiency;
+        assert!((got - paper).abs() < 0.025, "{}: {got:.3} vs {paper}", action.name());
+    }
+    let dwf = perf.evaluate(Action::Dwf { ls: 8 }).efficiency;
+    assert!(dwf >= perf.evaluate(Action::Clover).efficiency - 0.01);
+    let mut sp = DiracPerf::paper_bench();
+    sp.precision = Precision::Single;
+    assert!(sp.evaluate(Action::Wilson).efficiency > perf.evaluate(Action::Wilson).efficiency);
+}
+
+/// §4: 6⁴ fits the EDRAM, 8⁴ spills to DDR and lands near 30% of peak.
+#[test]
+fn section_4_edram_cliff() {
+    let mut perf = DiracPerf::paper_bench();
+    perf.local_dims = [6, 6, 6, 6];
+    assert!(perf.evaluate(Action::Wilson).fits_edram);
+    perf.local_dims = [8, 8, 8, 8];
+    let r = perf.evaluate(Action::Wilson);
+    assert!(!r.fits_edram);
+    assert!((0.26..0.36).contains(&r.efficiency), "{}", r.efficiency);
+}
+
+/// §4: "the 768 cables for the mesh network" — derived, not assumed: 256
+/// motherboard-face adjacencies of the 4096-node machine at three cables
+/// per 32-link face bundle.
+#[test]
+fn section_4_cable_count() {
+    let spec = qcdoc::machine::catalog::by_name("columbia-4096").unwrap();
+    let w = qcdoc::machine::wiring::wiring(&spec.shape);
+    assert_eq!(w.cables, 768);
+}
+
+/// §4: the itemized 4096-node machine cost and the three price/performance
+/// operating points ($1.29 / $1.10 / $1.03 per sustained MF).
+#[test]
+fn section_4_cost_and_price_performance() {
+    let b = CostModel::default().breakdown(&MachineAssembly::new(4096));
+    assert!((b.hardware_total() - columbia_4096::QUOTED_TOTAL).abs() / columbia_4096::QUOTED_TOTAL < 0.002);
+    assert!(
+        (b.total() - columbia_4096::QUOTED_TOTAL_WITH_RND).abs()
+            / columbia_4096::QUOTED_TOTAL_WITH_RND
+            < 0.002
+    );
+    for (clock, paper) in PAPER_PRICE_PERF {
+        let pp = PricePerformance {
+            clock_mhz: clock,
+            efficiency: 0.45,
+            total_cost: columbia_4096::QUOTED_TOTAL_WITH_RND,
+            nodes: 4096,
+        };
+        assert!((pp.dollars_per_mflops() - paper).abs() < 0.005, "{clock} MHz");
+    }
+}
+
+/// §4: "a 4⁴ local volume … translates into a 32³×64 lattice size for a
+/// 8,192 node machine."
+#[test]
+fn section_4_lattice_decomposition() {
+    let machine = qcdoc::geometry::TorusShape::new(&[8, 8, 8, 16]);
+    assert_eq!(machine.node_count(), 8192);
+    let m = qcdoc::geometry::LatticeMapping::new(&[32, 32, 32, 64], &machine).unwrap();
+    assert_eq!(m.local().dims(), &[4, 4, 4, 4]);
+}
+
+/// §4: clock ladder — 450 MHz benchmarks on buffered DIMMs; unbuffered
+/// memory reliable at 360, then 420 after controller tuning.
+#[test]
+fn section_4_clock_ladder() {
+    use qcdoc::asic::ddr::DimmKind;
+    assert_eq!(DimmKind::Buffered.max_clock().mhz(), 450);
+    assert_eq!(DimmKind::Unbuffered { tuned: false }.max_clock().mhz(), 360);
+    assert_eq!(DimmKind::Unbuffered { tuned: true }.max_clock().mhz(), 420);
+}
