@@ -110,9 +110,20 @@ pub fn render_diagram() -> String {
     // Row of core-side blocks, the bus, then peripherals.
     let core_side = ["PPC 440", "FPU64", "EDRAM prefetch ctl", "EDRAM 4MB"];
     let bus = "PLB";
-    let periph = ["DDR ctl", "SCU", "HSSL x24", "Ethernet 100Mb", "Ethernet/JTAG", "Global tree", "Boot/debug"];
+    let periph = [
+        "DDR ctl",
+        "SCU",
+        "HSSL x24",
+        "Ethernet 100Mb",
+        "Ethernet/JTAG",
+        "Global tree",
+        "Boot/debug",
+    ];
     let boxed = |name: &str| -> String {
-        let b = inv.iter().find(|b| b.name == name).expect("block in inventory");
+        let b = inv
+            .iter()
+            .find(|b| b.name == name)
+            .expect("block in inventory");
         let pad = format!(" {} ", b.name);
         match b.provenance {
             Provenance::Custom => format!("[#{pad}#]"),
@@ -145,7 +156,10 @@ pub fn render_datasheet() -> String {
             Provenance::IbmMacro => "IBM",
             Provenance::Custom => "custom",
         };
-        out.push_str(&format!("{:<20} {:<10} {}\n", b.name, origin, b.description));
+        out.push_str(&format!(
+            "{:<20} {:<10} {}\n",
+            b.name, origin, b.description
+        ));
     }
     out
 }
@@ -157,18 +171,32 @@ mod tests {
     #[test]
     fn inventory_matches_figure_1_split() {
         let inv = inventory();
-        let custom: Vec<_> =
-            inv.iter().filter(|b| b.provenance == Provenance::Custom).collect();
-        let ibm: Vec<_> =
-            inv.iter().filter(|b| b.provenance == Provenance::IbmMacro).collect();
+        let custom: Vec<_> = inv
+            .iter()
+            .filter(|b| b.provenance == Provenance::Custom)
+            .collect();
+        let ibm: Vec<_> = inv
+            .iter()
+            .filter(|b| b.provenance == Provenance::IbmMacro)
+            .collect();
         // The paper's shaded (custom) set: SCU, EDRAM prefetch controller,
         // Ethernet/JTAG, global tree, boot/debug glue.
         assert!(custom.iter().any(|b| b.name == "SCU"));
         assert!(custom.iter().any(|b| b.name == "EDRAM prefetch ctl"));
         assert!(custom.iter().any(|b| b.name == "Ethernet/JTAG"));
         // The IBM macro set: core, FPU, PLB, EDRAM array, DDR, HSSL, Ethernet.
-        for name in ["PPC 440", "FPU64", "PLB", "EDRAM 4MB", "DDR ctl", "HSSL x24"] {
-            assert!(ibm.iter().any(|b| b.name == name), "{name} should be an IBM macro");
+        for name in [
+            "PPC 440",
+            "FPU64",
+            "PLB",
+            "EDRAM 4MB",
+            "DDR ctl",
+            "HSSL x24",
+        ] {
+            assert!(
+                ibm.iter().any(|b| b.name == name),
+                "{name} should be an IBM macro"
+            );
         }
     }
 

@@ -27,7 +27,11 @@ impl CacheConfig {
     /// geometry (modelled as 8-way here; the timing-relevant property is
     /// capacity and line size).
     pub fn ppc440_l1() -> CacheConfig {
-        CacheConfig { capacity: 32 * 1024, line: 32, ways: 8 }
+        CacheConfig {
+            capacity: 32 * 1024,
+            line: 32,
+            ways: 8,
+        }
     }
 
     /// Number of sets.
@@ -69,11 +73,22 @@ pub struct Cache {
 impl Cache {
     /// An empty cache with the given geometry.
     pub fn new(config: CacheConfig) -> Cache {
-        assert!(config.line.is_power_of_two() && config.capacity.is_multiple_of(config.line * config.ways));
+        assert!(
+            config.line.is_power_of_two()
+                && config.capacity.is_multiple_of(config.line * config.ways)
+        );
         let total_lines = config.capacity / config.line;
         Cache {
             config,
-            lines: vec![Line { tag: 0, valid: false, dirty: false, stamp: 0 }; total_lines],
+            lines: vec![
+                Line {
+                    tag: 0,
+                    valid: false,
+                    dirty: false,
+                    stamp: 0
+                };
+                total_lines
+            ],
             clock: 0,
             hits: 0,
             misses: 0,
@@ -138,7 +153,12 @@ impl Cache {
         if evicted_dirty {
             self.writebacks += 1;
         }
-        *victim = Line { tag, valid: true, dirty: write, stamp: self.clock };
+        *victim = Line {
+            tag,
+            valid: true,
+            dirty: write,
+            stamp: self.clock,
+        };
         if evicted_dirty {
             Access::MissWriteback
         } else {
@@ -161,7 +181,11 @@ mod tests {
 
     fn small() -> Cache {
         // 1 kB, 32 B lines, 2-way: 16 sets.
-        Cache::new(CacheConfig { capacity: 1024, line: 32, ways: 2 })
+        Cache::new(CacheConfig {
+            capacity: 1024,
+            line: 32,
+            ways: 2,
+        })
     }
 
     #[test]
@@ -215,7 +239,11 @@ mod tests {
         }
         // First pass misses one access per 32-byte line (1 in 4 at stride
         // 8), second pass hits everything: 7/8 overall.
-        assert!((c.hit_rate() - 0.875).abs() < 1e-12, "hit rate {}", c.hit_rate());
+        assert!(
+            (c.hit_rate() - 0.875).abs() < 1e-12,
+            "hit rate {}",
+            c.hit_rate()
+        );
     }
 
     #[test]

@@ -81,7 +81,11 @@ impl DdrController {
             "clock {clock} exceeds the reliable limit {} for this DIMM flavour",
             config.dimm.max_clock()
         );
-        DdrController { config, clock, bursts: 0 }
+        DdrController {
+            config,
+            clock,
+            bursts: 0,
+        }
     }
 
     /// Peak bytes transferred per processor cycle.
@@ -123,13 +127,19 @@ mod tests {
 
     #[test]
     fn ddr_is_three_times_slower_than_edram_at_design_clock() {
-        let cfg = DdrConfig { dimm: DimmKind::Buffered, ..Default::default() };
+        let cfg = DdrConfig {
+            dimm: DimmKind::Buffered,
+            ..Default::default()
+        };
         // Evaluate the ratio at 450 (buffered limit); the paper's 3x figure
         // is quoted at the 500 MHz design point, same ratio of rates.
         let ddr = DdrController::new(cfg, Clock::BENCH_450);
         let edram_rate = crate::edram::PORT_BYTES_PER_CYCLE as f64;
         let ratio = edram_rate / ddr.bytes_per_cycle();
-        assert!(ratio > 2.5 && ratio < 3.5, "EDRAM/DDR ratio {ratio} out of band");
+        assert!(
+            ratio > 2.5 && ratio < 3.5,
+            "EDRAM/DDR ratio {ratio} out of band"
+        );
     }
 
     #[test]
@@ -147,20 +157,32 @@ mod tests {
     #[test]
     fn dimm_flavours_limit_clock() {
         assert_eq!(DimmKind::Buffered.max_clock(), Clock::BENCH_450);
-        assert_eq!(DimmKind::Unbuffered { tuned: false }.max_clock(), Clock::SAFE_360);
-        assert_eq!(DimmKind::Unbuffered { tuned: true }.max_clock(), Clock::TUNED_420);
+        assert_eq!(
+            DimmKind::Unbuffered { tuned: false }.max_clock(),
+            Clock::SAFE_360
+        );
+        assert_eq!(
+            DimmKind::Unbuffered { tuned: true }.max_clock(),
+            Clock::TUNED_420
+        );
     }
 
     #[test]
     #[should_panic(expected = "exceeds the reliable limit")]
     fn untuned_unbuffered_rejects_420() {
-        let cfg = DdrConfig { dimm: DimmKind::Unbuffered { tuned: false }, ..Default::default() };
+        let cfg = DdrConfig {
+            dimm: DimmKind::Unbuffered { tuned: false },
+            ..Default::default()
+        };
         let _ = DdrController::new(cfg, Clock::TUNED_420);
     }
 
     #[test]
     fn tuned_unbuffered_accepts_420() {
-        let cfg = DdrConfig { dimm: DimmKind::Unbuffered { tuned: true }, ..Default::default() };
+        let cfg = DdrConfig {
+            dimm: DimmKind::Unbuffered { tuned: true },
+            ..Default::default()
+        };
         let c = DdrController::new(cfg, Clock::TUNED_420);
         assert!(c.bytes_per_cycle() > 0.0);
     }

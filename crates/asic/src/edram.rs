@@ -33,7 +33,11 @@ pub struct EdramConfig {
 
 impl Default for EdramConfig {
     fn default() -> Self {
-        EdramConfig { streams: 2, page_miss_cycles: 11, prefetch: true }
+        EdramConfig {
+            streams: 2,
+            page_miss_cycles: 11,
+            prefetch: true,
+        }
     }
 }
 
@@ -163,7 +167,10 @@ mod tests {
 
     #[test]
     fn prefetch_off_always_misses() {
-        let mut c = EdramController::new(EdramConfig { prefetch: false, ..Default::default() });
+        let mut c = EdramController::new(EdramConfig {
+            prefetch: false,
+            ..Default::default()
+        });
         let mut a = 0u64;
         for _ in 0..10 {
             c.access(a, 128);
@@ -175,7 +182,11 @@ mod tests {
     #[test]
     fn streaming_rate_is_16_bytes_per_cycle() {
         assert_eq!(EdramController::streaming_cycles(160), Cycles(10));
-        assert_eq!(EdramController::streaming_cycles(8), Cycles(1), "partial beat rounds up");
+        assert_eq!(
+            EdramController::streaming_cycles(8),
+            Cycles(1),
+            "partial beat rounds up"
+        );
     }
 
     #[test]

@@ -152,14 +152,23 @@ mod tests {
 
     #[test]
     fn fma_counts_two_flops_one_issue() {
-        let l = KernelLedger { fmadds: 10, fadds: 3, fmuls: 2, ..Default::default() };
+        let l = KernelLedger {
+            fmadds: 10,
+            fadds: 3,
+            fmuls: 2,
+            ..Default::default()
+        };
         assert_eq!(l.flops(), 25);
         assert_eq!(l.fpu_ops(), 15);
     }
 
     #[test]
     fn scaling_multiplies_everything() {
-        let mut l = KernelLedger { fmadds: 2, global_sums: 1, ..Default::default() };
+        let mut l = KernelLedger {
+            fmadds: 2,
+            global_sums: 1,
+            ..Default::default()
+        };
         l.send_bytes[3] = 100;
         l.transfers[3] = 1;
         let s = l.scaled(5);
@@ -171,9 +180,15 @@ mod tests {
 
     #[test]
     fn addition_accumulates() {
-        let mut a = KernelLedger { edram_read_bytes: 64, ..Default::default() };
+        let mut a = KernelLedger {
+            edram_read_bytes: 64,
+            ..Default::default()
+        };
         a.recv_bytes[0] = 8;
-        let mut b = KernelLedger { edram_read_bytes: 36, ..Default::default() };
+        let mut b = KernelLedger {
+            edram_read_bytes: 36,
+            ..Default::default()
+        };
         b.recv_bytes[0] = 4;
         let c = a + b;
         assert_eq!(c.edram_read_bytes, 100);
@@ -190,9 +205,16 @@ mod tests {
 
     #[test]
     fn arithmetic_intensity() {
-        let l = KernelLedger { fmadds: 8, edram_read_bytes: 8, ..Default::default() };
+        let l = KernelLedger {
+            fmadds: 8,
+            edram_read_bytes: 8,
+            ..Default::default()
+        };
         assert_eq!(l.flops_per_byte(), 2.0);
-        let pure = KernelLedger { fmadds: 8, ..Default::default() };
+        let pure = KernelLedger {
+            fmadds: 8,
+            ..Default::default()
+        };
         assert!(pure.flops_per_byte().is_infinite());
     }
 }

@@ -95,7 +95,10 @@ impl std::fmt::Display for MemError {
             MemError::Unmapped { addr } => write!(f, "unmapped address {addr:#x}"),
             MemError::Unaligned { addr } => write!(f, "unaligned word access at {addr:#x}"),
             MemError::BeyondDimm { addr, installed } => {
-                write!(f, "address {addr:#x} beyond installed DDR ({installed} bytes)")
+                write!(
+                    f,
+                    "address {addr:#x} beyond installed DDR ({installed} bytes)"
+                )
             }
         }
     }
@@ -117,7 +120,11 @@ impl NodeMemory {
     /// mixes 128 MB and 256 MB DIMMs, §4).
     pub fn new(ddr_bytes: u64) -> NodeMemory {
         assert!(ddr_bytes <= DDR_MAX_SIZE, "DDR DIMM larger than 2 GB");
-        assert_eq!(ddr_bytes % (DDR_CHUNK_WORDS as u64 * WORD_BYTES), 0, "DDR size must be a multiple of 1 MB");
+        assert_eq!(
+            ddr_bytes % (DDR_CHUNK_WORDS as u64 * WORD_BYTES),
+            0,
+            "DDR size must be a multiple of 1 MB"
+        );
         let chunks = (ddr_bytes / (DDR_CHUNK_WORDS as u64 * WORD_BYTES)) as usize;
         NodeMemory {
             edram: vec![0; (EDRAM_SIZE / WORD_BYTES) as usize],
@@ -163,11 +170,17 @@ impl NodeMemory {
             return Err(MemError::Unaligned { addr });
         }
         match Self::region_of(addr)? {
-            MemRegion::Edram => Ok((MemRegion::Edram, ((addr - EDRAM_BASE) / WORD_BYTES) as usize)),
+            MemRegion::Edram => Ok((
+                MemRegion::Edram,
+                ((addr - EDRAM_BASE) / WORD_BYTES) as usize,
+            )),
             MemRegion::Ddr => {
                 let off = addr - DDR_BASE;
                 if off >= self.ddr_size {
-                    return Err(MemError::BeyondDimm { addr, installed: self.ddr_size });
+                    return Err(MemError::BeyondDimm {
+                        addr,
+                        installed: self.ddr_size,
+                    });
                 }
                 Ok((MemRegion::Ddr, (off / WORD_BYTES) as usize))
             }
@@ -210,6 +223,15 @@ impl NodeMemory {
             }
         }
         Ok(())
+    }
+
+    /// Flip bit `bit` (0..64) of the word at `addr` — an injected EDRAM or
+    /// DDR soft error. Returns the word value after the flip.
+    pub fn flip_bit(&mut self, addr: u64, bit: u32) -> Result<u64, MemError> {
+        assert!(bit < 64, "bit index {bit} outside a 64-bit word");
+        let flipped = self.read_word(addr)? ^ (1u64 << bit);
+        self.write_word(addr, flipped)?;
+        Ok(flipped)
     }
 
     /// Read a 64-bit float stored at `addr`.
@@ -284,9 +306,15 @@ mod tests {
     #[test]
     fn unmapped_and_beyond_dimm_rejected() {
         let mut m = NodeMemory::with_128mb_dimm();
-        assert!(matches!(m.read_word(0x0800_0000), Err(MemError::Unmapped { .. })));
+        assert!(matches!(
+            m.read_word(0x0800_0000),
+            Err(MemError::Unmapped { .. })
+        ));
         let beyond = DDR_BASE + 128 * 1024 * 1024;
-        assert!(matches!(m.read_word(beyond), Err(MemError::BeyondDimm { .. })));
+        assert!(matches!(
+            m.read_word(beyond),
+            Err(MemError::BeyondDimm { .. })
+        ));
     }
 
     #[test]
@@ -296,7 +324,10 @@ mod tests {
         m.write_word(last, 42).unwrap();
         assert_eq!(m.read_word(last).unwrap(), 42);
         // One word past EDRAM is a hole before DDR_BASE.
-        assert!(matches!(m.read_word(EDRAM_SIZE), Err(MemError::Unmapped { .. })));
+        assert!(matches!(
+            m.read_word(EDRAM_SIZE),
+            Err(MemError::Unmapped { .. })
+        ));
     }
 
     #[test]

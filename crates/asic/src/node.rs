@@ -129,7 +129,12 @@ impl Node {
         let local = Cycles(
             (serial.count() as f64 * (1.0 - w) + overlapped.count() as f64 * w).round() as u64,
         );
-        NodeTiming { fpu, edram, ddr, local }
+        NodeTiming {
+            fpu,
+            edram,
+            ddr,
+            local,
+        }
     }
 
     /// Sustained fraction of peak for a kernel with no network time.
@@ -164,7 +169,11 @@ mod tests {
 
     #[test]
     fn compute_bound_kernel_tracks_fpu() {
-        let l = KernelLedger { fmadds: 100_000, edram_read_bytes: 1_000, ..Default::default() };
+        let l = KernelLedger {
+            fmadds: 100_000,
+            edram_read_bytes: 1_000,
+            ..Default::default()
+        };
         let t = node().kernel_timing(&l, 1);
         assert!(!t.memory_bound());
         assert!(t.local >= t.fpu);

@@ -32,11 +32,18 @@ pub enum PlbMaster {
 
 impl PlbMaster {
     /// All masters, highest priority first.
-    pub const PRIORITY: [PlbMaster; 4] =
-        [PlbMaster::ScuDma, PlbMaster::Cpu, PlbMaster::DdrMaintenance, PlbMaster::Ethernet];
+    pub const PRIORITY: [PlbMaster; 4] = [
+        PlbMaster::ScuDma,
+        PlbMaster::Cpu,
+        PlbMaster::DdrMaintenance,
+        PlbMaster::Ethernet,
+    ];
 
     fn rank(self) -> usize {
-        Self::PRIORITY.iter().position(|&m| m == self).expect("master in table")
+        Self::PRIORITY
+            .iter()
+            .position(|&m| m == self)
+            .expect("master in table")
     }
 }
 
@@ -53,7 +60,11 @@ pub struct PlbConfig {
 
 impl Default for PlbConfig {
     fn default() -> Self {
-        PlbConfig { bytes_per_beat: 16, arbitration_cycles: 3, max_burst_beats: 8 }
+        PlbConfig {
+            bytes_per_beat: 16,
+            arbitration_cycles: 3,
+            max_burst_beats: 8,
+        }
     }
 }
 
@@ -77,7 +88,12 @@ pub struct Plb {
 impl Plb {
     /// An idle bus.
     pub fn new(config: PlbConfig) -> Plb {
-        Plb { config, queue: Vec::new(), grants: 0, busy_cycles: 0 }
+        Plb {
+            config,
+            queue: Vec::new(),
+            grants: 0,
+            busy_cycles: 0,
+        }
     }
 
     /// Post a transfer request.
@@ -85,7 +101,10 @@ impl Plb {
         if bytes == 0 {
             return;
         }
-        self.queue.push(Request { master, bytes_left: bytes });
+        self.queue.push(Request {
+            master,
+            bytes_left: bytes,
+        });
     }
 
     /// Total grants issued.
@@ -148,7 +167,9 @@ mod tests {
         assert_eq!(done.len(), 1);
         // 1024 B = 8 bursts of 128 B; each burst 3 + 8 cycles.
         assert_eq!(done[0].1, Cycles(8 * 11));
-        assert!((Plb::new(PlbConfig::default()).solo_bytes_per_cycle() - 128.0 / 11.0).abs() < 1e-12);
+        assert!(
+            (Plb::new(PlbConfig::default()).solo_bytes_per_cycle() - 128.0 / 11.0).abs() < 1e-12
+        );
     }
 
     #[test]
@@ -174,7 +195,11 @@ mod tests {
         shared.request(PlbMaster::Ethernet, 512);
         let done = shared.run_until_idle();
         let t_cpu = done.iter().find(|(m, _)| *m == PlbMaster::Cpu).unwrap().1;
-        let t_eth = done.iter().find(|(m, _)| *m == PlbMaster::Ethernet).unwrap().1;
+        let t_eth = done
+            .iter()
+            .find(|(m, _)| *m == PlbMaster::Ethernet)
+            .unwrap()
+            .1;
         // CPU outranks Ethernet, so it is unaffected; Ethernet waits.
         assert_eq!(t_cpu, t_solo);
         assert!(t_eth > t_cpu);

@@ -35,7 +35,10 @@ impl Default for CoreConfig {
         // memory-bound rather than issue-bound at 4^4 local volume: a small
         // per-instruction overhead representing unpaired loads and loop code
         // that cannot dual-issue with the FPU.
-        CoreConfig { issue_overhead: 0.18, loop_overhead_cycles: 20 }
+        CoreConfig {
+            issue_overhead: 0.18,
+            loop_overhead_cycles: 20,
+        }
     }
 }
 
@@ -101,8 +104,15 @@ mod tests {
     fn pure_fma_stream_beats_mixed_ops() {
         // The same flop count as FMAs issues in half the cycles of
         // adds+muls.
-        let fmas = KernelLedger { fmadds: 1000, ..Default::default() };
-        let mixed = KernelLedger { fadds: 1000, fmuls: 1000, ..Default::default() };
+        let fmas = KernelLedger {
+            fmadds: 1000,
+            ..Default::default()
+        };
+        let mixed = KernelLedger {
+            fadds: 1000,
+            fmuls: 1000,
+            ..Default::default()
+        };
         assert_eq!(fmas.flops(), mixed.flops());
         let c = core();
         assert!(c.fpu_cycles(&fmas) < c.fpu_cycles(&mixed));
@@ -112,10 +122,16 @@ mod tests {
     #[test]
     fn zero_overhead_core_reaches_peak_on_fmas() {
         let ideal = Ppc440::new(
-            CoreConfig { issue_overhead: 0.0, loop_overhead_cycles: 0 },
+            CoreConfig {
+                issue_overhead: 0.0,
+                loop_overhead_cycles: 0,
+            },
             Clock::DESIGN,
         );
-        let l = KernelLedger { fmadds: 1_000, ..Default::default() };
+        let l = KernelLedger {
+            fmadds: 1_000,
+            ..Default::default()
+        };
         assert_eq!(ideal.fpu_cycles(&l), Cycles(1_000));
         assert!((ideal.issue_efficiency(&l) - 1.0).abs() < 1e-12);
     }
@@ -123,15 +139,25 @@ mod tests {
     #[test]
     fn loop_overhead_charged_per_loop() {
         let c = core();
-        let l = KernelLedger { fmadds: 100, ..Default::default() };
+        let l = KernelLedger {
+            fmadds: 100,
+            ..Default::default()
+        };
         let one = c.kernel_cycles(&l, 1);
         let ten = c.kernel_cycles(&l, 10);
-        assert_eq!(ten - one, Cycles(9 * CoreConfig::default().loop_overhead_cycles));
+        assert_eq!(
+            ten - one,
+            Cycles(9 * CoreConfig::default().loop_overhead_cycles)
+        );
     }
 
     #[test]
     fn issue_efficiency_bounded() {
-        let l = KernelLedger { fmadds: 500, fadds: 100, ..Default::default() };
+        let l = KernelLedger {
+            fmadds: 500,
+            fadds: 100,
+            ..Default::default()
+        };
         let e = core().issue_efficiency(&l);
         assert!(e > 0.0 && e <= 1.0);
     }

@@ -22,7 +22,10 @@ fn print_ablation_table() {
 
     // 1. EDRAM prefetch.
     let on = EdramController::new(EdramConfig::default());
-    let off = EdramController::new(EdramConfig { prefetch: false, ..Default::default() });
+    let off = EdramController::new(EdramConfig {
+        prefetch: false,
+        ..Default::default()
+    });
     eprintln!(
         "EDRAM prefetch        : {:>6.1} B/cycle with, {:>5.1} without  ({:.1}x)",
         on.effective_bytes_per_cycle(2),
@@ -59,7 +62,10 @@ fn bench(c: &mut Criterion) {
     let lat = Lattice::new([4, 4, 4, 4]);
     let gauge = GaugeField::hot(lat, 77);
     let b = FermionField::gaussian(lat, 78);
-    let params = CgParams { tolerance: 1e-8, max_iterations: 4000 };
+    let params = CgParams {
+        tolerance: 1e-8,
+        max_iterations: 4000,
+    };
     let full_op = WilsonDirac::new(&gauge, 0.12);
     let mut x = FermionField::zero(lat);
     let full_iters = solve_cgne(&full_op, &mut x, &b, params).iterations;

@@ -22,7 +22,10 @@ fn machine_for(nodes: usize) -> TorusShape {
 
 fn print_series() {
     eprintln!("\n=== E9: boot cost vs machine size ===");
-    eprintln!("{:>8} {:>14} {:>12} {:>12}", "nodes", "UDP packets", "pkts/node", "boot (s)");
+    eprintln!(
+        "{:>8} {:>14} {:>12} {:>12}",
+        "nodes", "UDP packets", "pkts/node", "boot (s)"
+    );
     for nodes in [64usize, 128, 512, 1024, 4096, 12288] {
         let mut q = Qdaemon::new(machine_for(nodes));
         let r = q.boot(&[]);

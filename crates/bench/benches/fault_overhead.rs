@@ -1,0 +1,93 @@
+//! Overhead of the fault-injection machinery itself.
+//!
+//! The injection hooks sit on every simulated wire, so they must be cheap
+//! when idle: an empty plan's tap is a couple of table lookups per frame.
+//! These benches price (a) the per-frame tap with and without scheduled
+//! faults, (b) the per-iteration keyed Poisson draw the timing engine
+//! uses, and (c) a whole functional-machine shift clean versus faulted.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use qcdoc_core::des::{run_with_faults, DesConfig};
+use qcdoc_core::functional::FunctionalMachine;
+use qcdoc_fault::{FaultClock, FaultEvent, FaultPlan, NodeTap};
+use qcdoc_geometry::{Axis, TorusShape};
+use qcdoc_scu::dma::DmaDescriptor;
+use qcdoc_scu::link::{WireFrame, WireTap};
+use qcdoc_scu::packet::{Frame, Packet};
+use std::sync::Arc;
+
+fn tap_per_frame(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault_overhead");
+    group.sample_size(20);
+    let empty = Arc::new(FaultClock::resolve(&FaultPlan::new(0), 16, 8));
+    let noisy = Arc::new(FaultClock::resolve(
+        &FaultPlan::new(7).with_event(FaultEvent::bit_error_rate(3, 0, 0.01)),
+        16,
+        8,
+    ));
+    for (label, clock) in [
+        ("tap_1k_frames_empty_plan", empty),
+        ("tap_1k_frames_ber_plan", noisy),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut tap = NodeTap::new(Arc::clone(&clock), 3);
+                for seq in 0..1_000u64 {
+                    let mut wf = WireFrame {
+                        seq,
+                        frame: Frame::encode(Packet::Normal(seq)),
+                    };
+                    black_box(tap.on_frame(0, &mut wf));
+                }
+                tap.injected()[0]
+            })
+        });
+    }
+    group.finish();
+}
+
+fn des_draws(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault_overhead");
+    group.sample_size(20);
+    let cfg = DesConfig::homogeneous([2, 2, 2, 2], 800_000, 1_536, 3_000);
+    let clean = FaultPlan::new(1);
+    let faulty = FaultPlan::new(1).with_event(FaultEvent::bit_error_rate(5, 0, 0.001));
+    group.bench_function("des_16n_20it_clean", |b| {
+        b.iter(|| run_with_faults(black_box(&cfg), 20, &clean).0.total_cycles)
+    });
+    group.bench_function("des_16n_20it_ber", |b| {
+        b.iter(|| run_with_faults(black_box(&cfg), 20, &faulty).0.total_cycles)
+    });
+    group.finish();
+}
+
+fn functional_shift(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault_overhead");
+    group.sample_size(10);
+    let shift = |plan: FaultPlan| {
+        let machine = FunctionalMachine::new(TorusShape::new(&[4])).with_faults(plan);
+        machine.run(|ctx| {
+            for i in 0..64u64 {
+                ctx.mem
+                    .write_word(0x100 + i * 8, ctx.id.0 as u64 + i)
+                    .unwrap();
+            }
+            ctx.shift(
+                Axis(0).plus(),
+                DmaDescriptor::contiguous(0x100, 64),
+                DmaDescriptor::contiguous(0x4000, 64),
+            );
+            ctx.mem.read_word(0x4000).unwrap()
+        })
+    };
+    group.bench_function("functional_ring4_shift64_clean", |b| {
+        b.iter(|| shift(FaultPlan::new(0)))
+    });
+    group.bench_function("functional_ring4_shift64_bitflip", |b| {
+        b.iter(|| shift(FaultPlan::new(0).with_event(FaultEvent::bit_flip(1, 0, 9, 33))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, tap_per_frame, des_draws, functional_shift);
+criterion_main!(benches);

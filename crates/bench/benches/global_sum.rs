@@ -19,7 +19,13 @@ fn print_series() {
         "{:>16} {:>8} {:>8} {:>14} {:>14} {:>16}",
         "machine", "hops", "hops/2", "pass-thru (us)", "doubled (us)", "store-fwd (us)"
     );
-    for dims in [[4usize, 4, 4, 2], [4, 4, 4, 8], [8, 8, 8, 8], [8, 8, 8, 16], [8, 8, 8, 24]] {
+    for dims in [
+        [4usize, 4, 4, 2],
+        [4, 4, 4, 8],
+        [8, 8, 8, 8],
+        [8, 8, 8, 16],
+        [8, 8, 8, 24],
+    ] {
         let single = dimension_sum_hops(&dims, false);
         let doubled = dimension_sum_hops(&dims, true);
         let t_pass = clock.cycles_to_ns(cfg.global_sum_cycles(&dims, false, true)) / 1000.0;
@@ -52,7 +58,11 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e5_functional_global_sum");
     group.sample_size(10);
     for dims in [vec![4usize], vec![2, 2, 2], vec![4, 2, 2]] {
-        let label = dims.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("x");
+        let label = dims
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("x");
         group.bench_function(format!("machine_{label}"), |b| {
             let shape = TorusShape::new(&dims);
             b.iter(|| {

@@ -26,11 +26,16 @@ fn setup(mdims: [usize; 4]) -> DiracPerf {
 
 fn print_series() {
     eprintln!("\n=== E8: hard scaling, fixed 32^3x64 lattice (Wilson CG) ===");
-    eprintln!("{:>8} {:>10} {:>12} {:>14}", "nodes", "local", "qcdoc eff %", "cluster eff %");
+    eprintln!(
+        "{:>8} {:>10} {:>12} {:>14}",
+        "nodes", "local", "qcdoc eff %", "cluster eff %"
+    );
     for (nodes, mdims) in CONFIGS {
         let perf = setup(mdims);
         let q = perf.evaluate(Action::Wilson).efficiency;
-        let c = ClusterPerf::matching(&perf).evaluate(Action::Wilson).efficiency;
+        let c = ClusterPerf::matching(&perf)
+            .evaluate(Action::Wilson)
+            .efficiency;
         let l = perf.local_dims;
         eprintln!(
             "{:>8} {:>10} {:>12.1} {:>14.1}",

@@ -25,7 +25,10 @@ fn print_series() {
     // A round trip costs the wire flight + ack serialization; take ~24
     // cycles (cables are short: dense packaging, §1).
     let rt_cycles = 24u64;
-    eprintln!("{:>8} {:>12} {:>16} {:>14}", "window", "handshakes", "stall cycles", "overhead %");
+    eprintln!(
+        "{:>8} {:>12} {:>16} {:>14}",
+        "window", "handshakes", "stall cycles", "overhead %"
+    );
     for window in [1u64, 2, 3, 6] {
         let trips = round_trips(24, window);
         let stall = trips * rt_cycles;
@@ -55,19 +58,19 @@ fn faulty_transfer(words: u32, err_every: u64) -> (u64, u64) {
     s.train();
     r.train();
     let mut mem = NodeMemory::with_128mb_dimm();
-    r.arm(DmaDescriptor::contiguous(0x1000, words), &mut mem).unwrap();
+    r.arm(DmaDescriptor::contiguous(0x1000, words), &mut mem)
+        .unwrap();
     for w in 0..words as u64 {
         s.enqueue_word(w);
     }
     let mut frames = 0u64;
-    loop {
-        let Some(mut wf) = s.next_frame().unwrap() else { break };
+    while let Some(mut wf) = s.next_frame().unwrap() {
         frames += 1;
         if err_every > 0 && frames.is_multiple_of(err_every) {
             wf.frame.corrupt_bit((frames % 70) as usize);
         }
         match r.on_frame(&wf, &mut mem).unwrap() {
-            RecvOutcome::Accepted | RecvOutcome::Duplicate => s.on_ack(),
+            RecvOutcome::Accepted | RecvOutcome::Duplicate => s.on_ack(wf.seq),
             RecvOutcome::Rejected { seq } => s.on_reject(seq),
             other => panic!("unexpected {other:?}"),
         }

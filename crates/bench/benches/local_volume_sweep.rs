@@ -17,7 +17,10 @@ use std::hint::black_box;
 
 fn print_series() {
     eprintln!("\n=== E2: efficiency vs local volume (clover, 450 MHz) ===");
-    eprintln!("{:>8} {:>12} {:>10} {:>10}", "volume", "resident kB", "EDRAM?", "eff %");
+    eprintln!(
+        "{:>8} {:>12} {:>10} {:>10}",
+        "volume", "resident kB", "EDRAM?", "eff %"
+    );
     for l in [2usize, 3, 4, 5, 6, 7, 8] {
         let mut perf = DiracPerf::paper_bench();
         perf.local_dims = [l, l, l, l];
@@ -32,7 +35,10 @@ fn print_series() {
     }
     // Ablation: disable the prefetch streams — every row pays a page miss.
     let ctl_on = EdramController::new(EdramConfig::default());
-    let ctl_off = EdramController::new(EdramConfig { prefetch: false, ..Default::default() });
+    let ctl_off = EdramController::new(EdramConfig {
+        prefetch: false,
+        ..Default::default()
+    });
     eprintln!(
         "\nprefetch ablation: effective EDRAM rate {} B/cycle with streams, {:.1} without",
         ctl_on.effective_bytes_per_cycle(2),

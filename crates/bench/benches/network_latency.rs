@@ -19,7 +19,10 @@ fn print_series() {
     let eth = EthernetBaseline::default();
     let clock = Clock::DESIGN;
     eprintln!("\n=== E4: transfer time vs message size (500 MHz) ===");
-    eprintln!("{:>10} {:>12} {:>12} {:>8}", "words", "QCDOC (us)", "Ethernet (us)", "winner");
+    eprintln!(
+        "{:>10} {:>12} {:>12} {:>8}",
+        "words", "QCDOC (us)", "Ethernet (us)", "winner"
+    );
     for words in [1u64, 4, 24, 96, 1024, 16384, 1_000_000] {
         let q = link.transfer_ns(words, clock) / 1000.0;
         let e = eth.transfer_ns(words * 8) / 1000.0;
@@ -49,7 +52,8 @@ fn protocol_transfer(words: u32) -> u64 {
     s.train();
     r.train();
     let mut mem = NodeMemory::with_128mb_dimm();
-    r.arm(DmaDescriptor::contiguous(0x1000, words), &mut mem).unwrap();
+    r.arm(DmaDescriptor::contiguous(0x1000, words), &mut mem)
+        .unwrap();
     for w in 0..words as u64 {
         s.enqueue_word(w);
     }
@@ -57,7 +61,7 @@ fn protocol_transfer(words: u32) -> u64 {
     while let Some(wf) = s.next_frame().unwrap() {
         frames += 1;
         match r.on_frame(&wf, &mut mem).unwrap() {
-            RecvOutcome::Accepted => s.on_ack(),
+            RecvOutcome::Accepted => s.on_ack(wf.seq),
             other => panic!("unexpected {other:?}"),
         }
     }

@@ -27,10 +27,18 @@ fn print_tables() {
             total_cost: b.total(),
             nodes: 4096,
         };
-        eprintln!("{:>5} MHz {:>10.3} {:>8.2}", clock, pp.dollars_per_mflops(), paper);
+        eprintln!(
+            "{:>5} MHz {:>10.3} {:>8.2}",
+            clock,
+            pp.dollars_per_mflops(),
+            paper
+        );
     }
     let big = MachineAssembly::new(12_288);
-    let model = CostModel { volume_discount: 0.93, ..Default::default() };
+    let model = CostModel {
+        volume_discount: 0.93,
+        ..Default::default()
+    };
     let bb = model.breakdown(&big);
     let pp = PricePerformance {
         clock_mhz: 450.0,

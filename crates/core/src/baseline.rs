@@ -41,7 +41,10 @@ pub struct ClusterReport {
 impl ClusterPerf {
     /// A cluster matching the given QCDOC workload description.
     pub fn matching(perf: &DiracPerf) -> ClusterPerf {
-        ClusterPerf { perf: perf.clone(), network: EthernetBaseline::default() }
+        ClusterPerf {
+            perf: perf.clone(),
+            network: EthernetBaseline::default(),
+        }
     }
 
     /// Evaluate the cluster model for one action.
@@ -69,8 +72,8 @@ impl ClusterPerf {
         let (mem, mo) = if resident as u64 <= EDRAM_SIZE {
             (bytes / PORT_BYTES_PER_CYCLE as f64, cal.mem_overlap_edram)
         } else {
-            let ddr_bpc = qcdoc_asic::ddr::DDR_BYTES_PER_SEC / clock.hz() as f64
-                * cal.ddr_stream_efficiency;
+            let ddr_bpc =
+                qcdoc_asic::ddr::DDR_BYTES_PER_SEC / clock.hz() as f64 * cal.ddr_stream_efficiency;
             (bytes / ddr_bpc, cal.mem_overlap_ddr)
         };
         let local = fpu.max(mem) + (1.0 - mo) * fpu.min(mem);
@@ -85,11 +88,8 @@ impl ClusterPerf {
             let face_sites = p.local_sites() / p.local_dims[axis] as u64;
             // Two directions per axis, two operator applications.
             messages += 4;
-            net_bytes += 4.0
-                * face_sites as f64
-                * op.face_bytes as f64
-                * op.halo_depth as f64
-                * bscale;
+            net_bytes +=
+                4.0 * face_sites as f64 * op.face_bytes as f64 * op.halo_depth as f64 * bscale;
         }
         let net_ns = messages as f64 * self.network.startup_ns
             + net_bytes / self.network.bytes_per_sec * 1e9;
@@ -99,8 +99,7 @@ impl ClusterPerf {
         // per iteration.
         let nodes: usize = p.logical_dims.iter().product();
         let tree_depth = (nodes as f64).log2().ceil();
-        let gsum_cycles =
-            2.0 * 2.0 * tree_depth * self.network.startup_ns / clock.period_ns();
+        let gsum_cycles = 2.0 * 2.0 * tree_depth * self.network.startup_ns / clock.period_ns();
 
         let total = local + net_cycles + gsum_cycles;
         let flops_iter = sites * (2.0 * op.flops as f64 + la.flops as f64);
@@ -120,7 +119,9 @@ mod tests {
     fn qcdoc_beats_cluster_at_paper_volume() {
         let perf = DiracPerf::paper_bench();
         let qcdoc = perf.evaluate(Action::Wilson).efficiency;
-        let cluster = ClusterPerf::matching(&perf).evaluate(Action::Wilson).efficiency;
+        let cluster = ClusterPerf::matching(&perf)
+            .evaluate(Action::Wilson)
+            .efficiency;
         assert!(
             qcdoc > 1.35 * cluster,
             "qcdoc {qcdoc:.3} should dominate the cluster {cluster:.3} at 4^4"
@@ -152,7 +153,11 @@ mod tests {
         let mut perf = DiracPerf::paper_bench();
         perf.local_dims = [2, 2, 2, 2];
         let r = ClusterPerf::matching(&perf).evaluate(Action::Wilson);
-        assert!(r.network_fraction > 0.6, "network fraction {:.2}", r.network_fraction);
+        assert!(
+            r.network_fraction > 0.6,
+            "network fraction {:.2}",
+            r.network_fraction
+        );
     }
 
     #[test]
@@ -162,7 +167,9 @@ mod tests {
         let mut perf = DiracPerf::paper_bench();
         perf.local_dims = [16, 16, 16, 16];
         let q = perf.evaluate(Action::Wilson).efficiency;
-        let c = ClusterPerf::matching(&perf).evaluate(Action::Wilson).efficiency;
+        let c = ClusterPerf::matching(&perf)
+            .evaluate(Action::Wilson)
+            .efficiency;
         assert!(c / q > 0.6, "large-volume ratio {:.2}", c / q);
     }
 }

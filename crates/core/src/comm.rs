@@ -107,14 +107,17 @@ mod tests {
     #[test]
     fn global_sum_matches_closed_form_bitwise() {
         let shape = TorusShape::new(&[4, 2, 2]);
-        let values: Vec<f64> =
-            (0..16).map(|i| 1.0e15 / (i as f64 + 1.0) + 1e-3 * i as f64).collect();
+        let values: Vec<f64> = (0..16)
+            .map(|i| 1.0e15 / (i as f64 + 1.0) + 1e-3 * i as f64)
+            .collect();
         let expected = dimension_ordered_sum(&shape, &values);
         let machine = FunctionalMachine::new(shape);
-        let results = machine.run(|ctx| global_sum_f64(ctx, {
-            let i = ctx.id.0 as usize;
-            1.0e15 / (i as f64 + 1.0) + 1e-3 * i as f64
-        }));
+        let results = machine.run(|ctx| {
+            global_sum_f64(ctx, {
+                let i = ctx.id.0 as usize;
+                1.0e15 / (i as f64 + 1.0) + 1e-3 * i as f64
+            })
+        });
         assert!(all_nodes_agree(&results), "nodes disagree: {results:?}");
         for (got, want) in results.iter().zip(&expected) {
             assert_eq!(got.to_bits(), want.to_bits(), "functional vs closed form");
@@ -160,9 +163,7 @@ mod tests {
     #[test]
     fn vector_sum_sums_each_component() {
         let machine = FunctionalMachine::new(TorusShape::new(&[4]));
-        let results = machine.run(|ctx| {
-            global_sum_vec(ctx, &[1.0, ctx.id.0 as f64])
-        });
+        let results = machine.run(|ctx| global_sum_vec(ctx, &[1.0, ctx.id.0 as f64]));
         for r in &results {
             assert_eq!(r[0], 4.0);
             assert_eq!(r[1], 6.0); // 0+1+2+3

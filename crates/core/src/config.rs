@@ -2,9 +2,9 @@
 
 use qcdoc_asic::clock::Clock;
 use qcdoc_asic::node::NodeConfig;
+use qcdoc_geometry::TorusShape;
 use qcdoc_scu::global::GlobalTimingConfig;
 use qcdoc_scu::timing::LinkTimingConfig;
-use qcdoc_geometry::TorusShape;
 use serde::{Deserialize, Serialize};
 
 /// Everything needed to instantiate a QCDOC machine (physical shape plus

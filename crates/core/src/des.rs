@@ -79,8 +79,8 @@ impl DesConfig {
 
     fn coord(&self, mut rank: usize) -> [usize; 4] {
         let mut c = [0usize; 4];
-        for a in 0..4 {
-            c[a] = rank % self.machine_dims[a];
+        for (a, ca) in c.iter_mut().enumerate() {
+            *ca = rank % self.machine_dims[a];
             rank /= self.machine_dims[a];
         }
         c
@@ -154,8 +154,9 @@ pub fn run(config: &DesConfig, iterations: usize) -> DesResult {
     let mut finishes = Vec::with_capacity(iterations);
     for it in 0..iterations {
         // Compute phase ends per node.
-        let compute_end: Vec<u64> =
-            (0..n).map(|r| ready[r] + config.compute_of(r, it)).collect();
+        let compute_end: Vec<u64> = (0..n)
+            .map(|r| ready[r] + config.compute_of(r, it))
+            .collect();
         // A node has its halo when every neighbour's face has landed; each
         // face leaves when the neighbour's compute ends.
         let halo_done: Vec<u64> = (0..n)
@@ -171,12 +172,127 @@ pub fn run(config: &DesConfig, iterations: usize) -> DesResult {
         // The dimension-ordered global sum synchronizes the machine: it
         // completes (everywhere) a fixed latency after the last node joins.
         let sum_done = halo_done.iter().max().copied().expect("nodes") + config.global_sum_cycles;
-        for r in 0..n {
-            ready[r] = sum_done;
-        }
+        ready.fill(sum_done);
         finishes.push(sum_done);
     }
-    DesResult { total_cycles: *finishes.last().unwrap_or(&0), iteration_finish: finishes }
+    DesResult {
+        total_cycles: *finishes.last().unwrap_or(&0),
+        iteration_finish: finishes,
+    }
+}
+
+/// Incoming faces of `rank`: `(sender, sender_link, receiver_link)` per
+/// spanning axis and direction, using the `Direction::link_index`
+/// convention (plus = `2a`, minus = `2a + 1`).
+fn incoming_faces(config: &DesConfig, rank: usize) -> Vec<(usize, usize, usize)> {
+    let c = config.coord(rank);
+    let mut out = Vec::new();
+    for a in 0..4 {
+        let n = config.machine_dims[a];
+        if n <= 1 {
+            continue;
+        }
+        // The -a neighbour sends toward +a on its plus link (2a); the +a
+        // neighbour sends toward -a on its minus link (2a + 1). A frame
+        // sent on link `l` lands on the receiver's opposite link.
+        let mut minus = c;
+        minus[a] = (c[a] + n - 1) % n;
+        out.push((config.rank(minus), 2 * a, 2 * a + 1));
+        let mut plus = c;
+        plus[a] = (c[a] + 1) % n;
+        out.push((config.rank(plus), 2 * a + 1, 2 * a));
+    }
+    out
+}
+
+/// Play out `iterations` iterations under a fault plan, returning both the
+/// timing result and the machine-health ledger a host sweep would read.
+///
+/// Fault semantics in the timing domain:
+///
+/// * **Bit errors** (scheduled flips and sustained error rates) cost wire
+///   time: each corrupted frame triggers a go-back-N rewind, so the face
+///   effectively carries `WINDOW` extra words per error. The error count
+///   per `(node, link, iteration)` is a deterministic seeded draw.
+/// * **Stalls** delay one link's face by the scheduled cycles — the
+///   self-synchronization story of §2.2 plays out from there.
+/// * **Node pauses** extend the node's compute phase.
+/// * **Dead links and node crashes** are fatal: the machine self-stalls
+///   (§2.2 — "the entire machine will shortly become stalled"), so the run
+///   stops at the iteration the fault strikes and reports it in the
+///   ledger instead of hanging. `DesResult::iteration_finish` is then
+///   shorter than `iterations`.
+///
+/// The DES moves no payload bytes, so link checksums stay zero and
+/// `checksum_ok` stays `None`; word counts, injected-error counts, stall
+/// time, liveness, and the fingerprint are all fully deterministic.
+pub fn run_with_faults(
+    config: &DesConfig,
+    iterations: usize,
+    plan: &qcdoc_fault::FaultPlan,
+) -> (DesResult, qcdoc_fault::HealthLedger) {
+    use qcdoc_fault::{FaultClock, HealthLedger, Liveness};
+    use qcdoc_scu::link::WINDOW;
+
+    let n = config.nodes();
+    let wired = 2 * config.machine_dims.iter().filter(|&&d| d > 1).count();
+    let clock = FaultClock::resolve(plan, n as u32, wired.max(2));
+    let mut ledger = HealthLedger::new(n);
+    let incoming: Vec<Vec<(usize, usize, usize)>> =
+        (0..n).map(|r| incoming_faces(config, r)).collect();
+
+    // The iteration at which an unrecoverable fault stops the machine.
+    let mut fatal_at = usize::MAX;
+    for r in 0..n {
+        if let Some(it) = clock.crash_iteration(r as u32) {
+            fatal_at = fatal_at.min(it);
+            ledger.node_mut(r as u32).liveness = Liveness::Crashed { iteration: it };
+        }
+        for l in 0..12 {
+            if let Some(from_seq) = clock.link_dead_from(r as u32, l) {
+                let words = config.face_words.max(1);
+                fatal_at = fatal_at.min((from_seq / words) as usize);
+                ledger.node_mut(r as u32).links[l].dead = true;
+            }
+        }
+        ledger.node_mut(r as u32).mem_flips = clock.mem_faults(r as u32).len() as u64;
+    }
+
+    let mut ready = vec![0u64; n];
+    let mut finishes = Vec::with_capacity(iterations.min(fatal_at));
+    for it in 0..iterations.min(fatal_at) {
+        let compute_end: Vec<u64> = (0..n)
+            .map(|r| ready[r] + config.compute_of(r, it) + clock.pause_cycles(r as u32, it))
+            .collect();
+        let mut halo_done = compute_end.clone();
+        for r in 0..n {
+            for &(m, send_link, recv_link) in &incoming[r] {
+                let errors = clock.wire_errors(m as u32, send_link, it, config.face_words);
+                let effective = config.face_words + errors * WINDOW as u64;
+                let stall = clock.stall_cycles(m as u32, send_link, it);
+                let face = config.link.transfer_cycles(effective).count() + stall;
+                halo_done[r] = halo_done[r].max(compute_end[m] + face);
+                let mh = ledger.node_mut(m as u32);
+                mh.links[send_link].sent_words += config.face_words;
+                mh.links[send_link].injected += errors;
+                mh.links[send_link].resends += errors * WINDOW as u64;
+                mh.links[send_link].stall_cycles += stall;
+                let rh = ledger.node_mut(r as u32);
+                rh.links[recv_link].received_words += config.face_words;
+                rh.links[recv_link].rejects += errors;
+            }
+        }
+        let sum_done = halo_done.iter().max().copied().expect("nodes") + config.global_sum_cycles;
+        ready.iter_mut().for_each(|t| *t = sum_done);
+        finishes.push(sum_done);
+    }
+    (
+        DesResult {
+            total_cycles: *finishes.last().unwrap_or(&0),
+            iteration_finish: finishes,
+        },
+        ledger,
+    )
 }
 
 #[cfg(test)]
@@ -227,7 +343,12 @@ mod tests {
         let des = run(&cfg, 3);
         let rel = (des.steady_iteration_cycles() as f64 - report.total_cycles as f64).abs()
             / report.total_cycles as f64;
-        assert!(rel < 0.02, "DES {} vs analytic {}", des.steady_iteration_cycles(), report.total_cycles);
+        assert!(
+            rel < 0.02,
+            "DES {} vs analytic {}",
+            des.steady_iteration_cycles(),
+            report.total_cycles
+        );
     }
 
     #[test]
@@ -237,9 +358,17 @@ mod tests {
         let clean = run(&base(), 10).total_cycles;
         let mut cfg = base();
         let delta = 500_000u64;
-        cfg.perturbations.push(Perturbation { node: 5, iteration: Some(2), extra_cycles: delta });
+        cfg.perturbations.push(Perturbation {
+            node: 5,
+            iteration: Some(2),
+            extra_cycles: delta,
+        });
         let stalled = run(&cfg, 10).total_cycles;
-        assert_eq!(stalled, clean + delta, "a one-time stall must cost exactly itself");
+        assert_eq!(
+            stalled,
+            clean + delta,
+            "a one-time stall must cost exactly itself"
+        );
     }
 
     #[test]
@@ -247,9 +376,17 @@ mod tests {
         let clean = run(&base(), 10).total_cycles;
         let mut cfg = base();
         let delta = 50_000u64;
-        cfg.perturbations.push(Perturbation { node: 3, iteration: None, extra_cycles: delta });
+        cfg.perturbations.push(Perturbation {
+            node: 3,
+            iteration: None,
+            extra_cycles: delta,
+        });
         let slowed = run(&cfg, 10).total_cycles;
-        assert_eq!(slowed, clean + 10 * delta, "every iteration waits for the slow node");
+        assert_eq!(
+            slowed,
+            clean + 10 * delta,
+            "every iteration waits for the slow node"
+        );
     }
 
     #[test]
@@ -263,11 +400,23 @@ mod tests {
         cfg.compute_override.push((7, cfg.compute_cycles - 40_000));
         let clean = run(&cfg, 10).total_cycles;
         let mut paused = cfg.clone();
-        paused.perturbations.push(Perturbation { node: 7, iteration: Some(4), extra_cycles: 30_000 });
-        assert_eq!(run(&paused, 10).total_cycles, clean, "refresh pause must be invisible");
+        paused.perturbations.push(Perturbation {
+            node: 7,
+            iteration: Some(4),
+            extra_cycles: 30_000,
+        });
+        assert_eq!(
+            run(&paused, 10).total_cycles,
+            clean,
+            "refresh pause must be invisible"
+        );
         // But exceeding the headroom shows up.
         let mut too_long = cfg.clone();
-        too_long.perturbations.push(Perturbation { node: 7, iteration: Some(4), extra_cycles: 60_000 });
+        too_long.perturbations.push(Perturbation {
+            node: 7,
+            iteration: Some(4),
+            extra_cycles: 60_000,
+        });
         assert!(run(&too_long, 10).total_cycles > clean);
     }
 
@@ -277,5 +426,85 @@ mod tests {
         let cfg = DesConfig::homogeneous([1, 1, 1, 1], 1000, 999, 7);
         let r = run(&cfg, 2);
         assert_eq!(r.steady_iteration_cycles(), 1007);
+    }
+
+    mod faults {
+        use super::*;
+        use qcdoc_fault::{FaultEvent, FaultPlan, Liveness};
+
+        #[test]
+        fn empty_plan_matches_the_plain_run() {
+            let cfg = base();
+            let (faulty, ledger) = run_with_faults(&cfg, 5, &FaultPlan::new(1));
+            assert_eq!(faulty, run(&cfg, 5));
+            assert_eq!(ledger.total_injected(), 0);
+            assert!(ledger.unhealthy_nodes().is_empty());
+            // Word accounting: every node exchanges one face per spanning
+            // direction per iteration.
+            assert_eq!(ledger.nodes[0].links[0].sent_words, 5 * cfg.face_words);
+            assert_eq!(ledger.nodes[0].links[1].received_words, 5 * cfg.face_words);
+        }
+
+        #[test]
+        fn sustained_error_rate_costs_wire_time_deterministically() {
+            let cfg = base();
+            let clean = run(&cfg, 20).total_cycles;
+            let plan = FaultPlan::new(7).with_event(FaultEvent::bit_error_rate(5, 0, 0.02));
+            let (a, la) = run_with_faults(&cfg, 20, &plan);
+            let (b, lb) = run_with_faults(&cfg, 20, &plan);
+            assert_eq!(a, b, "same seed must give identical timing");
+            assert_eq!(la.fingerprint(), lb.fingerprint(), "same seed, same ledger");
+            assert!(
+                la.total_injected() > 0,
+                "a 2% BER over 20 iterations must fire"
+            );
+            assert_eq!(la.total_resends(), la.total_injected() * 3);
+            assert!(a.total_cycles > clean, "resends must cost cycles");
+            // A different seed draws a different error pattern.
+            let (_, lc) = run_with_faults(
+                &cfg,
+                20,
+                &FaultPlan::new(8).with_event(FaultEvent::bit_error_rate(5, 0, 0.02)),
+            );
+            assert_ne!(la.fingerprint(), lc.fingerprint());
+        }
+
+        #[test]
+        fn dead_link_stops_the_run_and_is_reported() {
+            let cfg = base();
+            // The wire dies mid-run: iteration 3 of the word schedule.
+            let from_seq = 3 * cfg.face_words;
+            let plan = FaultPlan::new(0).with_event(FaultEvent::dead_link(2, 1, from_seq));
+            let (r, ledger) = run_with_faults(&cfg, 10, &plan);
+            assert_eq!(
+                r.iteration_finish.len(),
+                3,
+                "the machine stalls at iteration 3"
+            );
+            assert_eq!(ledger.dead_links(), vec![(2, 1)]);
+            assert_eq!(ledger.unhealthy_nodes(), vec![2]);
+        }
+
+        #[test]
+        fn crash_and_pause_semantics() {
+            let cfg = base();
+            let crash = FaultPlan::new(0).with_event(FaultEvent::node_crash(4, 2));
+            let (r, ledger) = run_with_faults(&cfg, 10, &crash);
+            assert_eq!(r.iteration_finish.len(), 2);
+            assert_eq!(ledger.nodes[4].liveness, Liveness::Crashed { iteration: 2 });
+            // A one-iteration pause behaves exactly like a Perturbation.
+            let pause = FaultPlan::new(0).with_event(FaultEvent::node_pause(5, Some(1), 40_000));
+            let (p, _) = run_with_faults(&cfg, 10, &pause);
+            assert_eq!(p.total_cycles, run(&cfg, 10).total_cycles + 40_000);
+        }
+
+        #[test]
+        fn link_stall_is_paid_once() {
+            let cfg = base();
+            let plan = FaultPlan::new(0).with_event(FaultEvent::stall(1, 0, 2, 75_000));
+            let (r, ledger) = run_with_faults(&cfg, 10, &plan);
+            assert_eq!(r.total_cycles, run(&cfg, 10).total_cycles + 75_000);
+            assert_eq!(ledger.nodes[1].links[0].stall_cycles, 75_000);
+        }
     }
 }

@@ -44,7 +44,10 @@ impl BlockGeom {
     /// Build the decomposition for this node. The machine's logical rank
     /// must be ≤ 4 and each global extent divisible by the machine extent.
     pub fn new(ctx: &NodeCtx, global: Lattice) -> BlockGeom {
-        assert!(ctx.shape.rank() <= 4, "lattice decomposition uses at most 4 machine axes");
+        assert!(
+            ctx.shape.rank() <= 4,
+            "lattice decomposition uses at most 4 machine axes"
+        );
         let mut mdims = [1usize; 4];
         let mut mcoord = [0usize; 4];
         for a in 0..ctx.shape.rank() {
@@ -54,10 +57,19 @@ impl BlockGeom {
         let gd = global.dims();
         let mut ld = [0usize; 4];
         for a in 0..4 {
-            assert_eq!(gd[a] % mdims[a], 0, "lattice extent not divisible on axis {a}");
+            assert_eq!(
+                gd[a] % mdims[a],
+                0,
+                "lattice extent not divisible on axis {a}"
+            );
             ld[a] = gd[a] / mdims[a];
         }
-        BlockGeom { global, local: Lattice::new(ld), mdims, mcoord }
+        BlockGeom {
+            global,
+            local: Lattice::new(ld),
+            mdims,
+            mcoord,
+        }
     }
 
     /// Global site index of a local site.
@@ -78,7 +90,12 @@ impl BlockGeom {
             .sites()
             .map(|l| {
                 let gsite = self.global_site(l);
-                [*g.link(gsite, 0), *g.link(gsite, 1), *g.link(gsite, 2), *g.link(gsite, 3)]
+                [
+                    *g.link(gsite, 0),
+                    *g.link(gsite, 1),
+                    *g.link(gsite, 2),
+                    *g.link(gsite, 3),
+                ]
             })
             .collect()
     }
@@ -86,7 +103,10 @@ impl BlockGeom {
     /// Extract this node's fermion block from a global field.
     pub fn extract_fermion(&self, f: &FermionField) -> Vec<Spinor> {
         assert_eq!(f.lattice(), self.global);
-        self.local.sites().map(|l| *f.site(self.global_site(l))).collect()
+        self.local
+            .sites()
+            .map(|l| *f.site(self.global_site(l)))
+            .collect()
     }
 
     /// Number of sites on the face normal to `mu`.
@@ -154,7 +174,9 @@ pub fn exchange_faces(
                 ctx.mem.write_block(base, &h.to_words()).unwrap();
             }
             if lc[mu] == ld[mu] - 1 {
-                let h = psi[l].project(mu, ProjSign::Plus).adj_mul_su3(&gauge[l][mu]);
+                let h = psi[l]
+                    .project(mu, ProjSign::Plus)
+                    .adj_mul_su3(&gauge[l][mu]);
                 let base = send_hi + geom.face_index(lc, mu) as u64 * HALF_WORDS * 8;
                 ctx.mem.write_block(base, &h.to_words()).unwrap();
             }
@@ -163,11 +185,23 @@ pub fn exchange_faces(
         // Receives: from +μ (their low face) and from −μ (their high face).
         let recv_plus = staging(geom, 8 + 2 * mu);
         let recv_minus = staging(geom, 8 + 2 * mu + 1);
-        ctx.start_recv(axis.plus(), DmaDescriptor::contiguous(recv_plus, (faces * HALF_WORDS) as u32));
-        ctx.start_recv(axis.minus(), DmaDescriptor::contiguous(recv_minus, (faces * HALF_WORDS) as u32));
+        ctx.start_recv(
+            axis.plus(),
+            DmaDescriptor::contiguous(recv_plus, (faces * HALF_WORDS) as u32),
+        );
+        ctx.start_recv(
+            axis.minus(),
+            DmaDescriptor::contiguous(recv_minus, (faces * HALF_WORDS) as u32),
+        );
         // Sends: low face toward −μ, high face toward +μ.
-        ctx.start_send(axis.minus(), DmaDescriptor::contiguous(send_lo, (faces * HALF_WORDS) as u32));
-        ctx.start_send(axis.plus(), DmaDescriptor::contiguous(send_hi, (faces * HALF_WORDS) as u32));
+        ctx.start_send(
+            axis.minus(),
+            DmaDescriptor::contiguous(send_lo, (faces * HALF_WORDS) as u32),
+        );
+        ctx.start_send(
+            axis.plus(),
+            DmaDescriptor::contiguous(send_hi, (faces * HALF_WORDS) as u32),
+        );
         sends.push(axis.plus());
         sends.push(axis.minus());
         recvs.push(axis.plus());
@@ -185,10 +219,14 @@ pub fn exchange_faces(
         let recv_plus = staging(geom, 8 + 2 * mu);
         let recv_minus = staging(geom, 8 + 2 * mu + 1);
         for f in 0..faces {
-            let wp: Vec<u64> =
-                ctx.mem.read_block(recv_plus + f as u64 * HALF_WORDS * 8, 24).unwrap();
-            let wm: Vec<u64> =
-                ctx.mem.read_block(recv_minus + f as u64 * HALF_WORDS * 8, 24).unwrap();
+            let wp: Vec<u64> = ctx
+                .mem
+                .read_block(recv_plus + f as u64 * HALF_WORDS * 8, 24)
+                .unwrap();
+            let wm: Vec<u64> = ctx
+                .mem
+                .read_block(recv_minus + f as u64 * HALF_WORDS * 8, 24)
+                .unwrap();
             from_plus[mu].push(HalfSpinor::from_words(&wp.try_into().unwrap()));
             from_minus[mu].push(HalfSpinor::from_words(&wm.try_into().unwrap()));
         }
@@ -224,7 +262,9 @@ pub fn dslash_local(
                 from_minus[mu][geom.face_index(lc, mu)]
             } else {
                 let xb = local.neighbour(l, mu, false);
-                psi[xb].project(mu, ProjSign::Plus).adj_mul_su3(&gauge[xb][mu])
+                psi[xb]
+                    .project(mu, ProjSign::Plus)
+                    .adj_mul_su3(&gauge[xb][mu])
             };
             acc += Spinor::reconstruct(&hb, mu, ProjSign::Plus);
         }
@@ -393,10 +433,22 @@ pub fn staggered_dslash_local(
         let axis = Axis(mu as u8);
         let recv_plus = staging(geom, 8 + 2 * mu);
         let recv_minus = staging(geom, 8 + 2 * mu + 1);
-        ctx.start_recv(axis.plus(), DmaDescriptor::contiguous(recv_plus, (faces * VEC_WORDS) as u32));
-        ctx.start_recv(axis.minus(), DmaDescriptor::contiguous(recv_minus, (faces * VEC_WORDS) as u32));
-        ctx.start_send(axis.minus(), DmaDescriptor::contiguous(send_lo, (faces * VEC_WORDS) as u32));
-        ctx.start_send(axis.plus(), DmaDescriptor::contiguous(send_hi, (faces * VEC_WORDS) as u32));
+        ctx.start_recv(
+            axis.plus(),
+            DmaDescriptor::contiguous(recv_plus, (faces * VEC_WORDS) as u32),
+        );
+        ctx.start_recv(
+            axis.minus(),
+            DmaDescriptor::contiguous(recv_minus, (faces * VEC_WORDS) as u32),
+        );
+        ctx.start_send(
+            axis.minus(),
+            DmaDescriptor::contiguous(send_lo, (faces * VEC_WORDS) as u32),
+        );
+        ctx.start_send(
+            axis.plus(),
+            DmaDescriptor::contiguous(send_hi, (faces * VEC_WORDS) as u32),
+        );
         sends.push(axis.plus());
         sends.push(axis.minus());
         recvs.push(axis.plus());
@@ -404,7 +456,10 @@ pub fn staggered_dslash_local(
     }
     ctx.complete(&sends, &recvs);
     let unpack = |ctx: &mut NodeCtx, base: u64, f: usize| -> ColorVec {
-        let w: Vec<u64> = ctx.mem.read_block(base + f as u64 * VEC_WORDS * 8, 6).unwrap();
+        let w: Vec<u64> = ctx
+            .mem
+            .read_block(base + f as u64 * VEC_WORDS * 8, 6)
+            .unwrap();
         let mut v = ColorVec::ZERO;
         for c in 0..3 {
             v.0[c] = C64::new(f64::from_bits(w[2 * c]), f64::from_bits(w[2 * c + 1]));
@@ -422,7 +477,8 @@ pub fn staggered_dslash_local(
             let fwd = if geom.off_node(mu) && lc[mu] == ld[mu] - 1 {
                 unpack(ctx, staging(geom, 8 + 2 * mu), geom.face_index(lc, mu))
             } else {
-                *chi.get(geom.local.neighbour(l, mu, true)).expect("local site")
+                *chi.get(geom.local.neighbour(l, mu, true))
+                    .expect("local site")
             };
             acc += gauge[l][mu].mul_vec(&fwd) * phase;
             let bwd = if geom.off_node(mu) && lc[mu] == 0 {
@@ -498,7 +554,7 @@ pub fn block_fingerprint(block: &[Spinor]) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::functional::{Fault, FaultPlan, FunctionalMachine};
+    use crate::functional::{FaultEvent, FaultPlan, FunctionalMachine};
     use qcdoc_geometry::TorusShape;
     use qcdoc_lattice::wilson::WilsonDirac;
 
@@ -530,15 +586,17 @@ mod tests {
                 let want = reference.site(geom.global_site(l));
                 for s in 0..4 {
                     for c in 0..3 {
-                        identical &= out[l].0[s].0[c].re.to_bits()
-                            == want.0[s].0[c].re.to_bits()
+                        identical &= out[l].0[s].0[c].re.to_bits() == want.0[s].0[c].re.to_bits()
                             && out[l].0[s].0[c].im.to_bits() == want.0[s].0[c].im.to_bits();
                     }
                 }
             }
             identical
         });
-        assert!(results.iter().all(|&ok| ok), "distributed dslash diverged from reference");
+        assert!(
+            results.iter().all(|&ok| ok),
+            "distributed dslash diverged from reference"
+        );
     }
 
     #[test]
@@ -549,12 +607,9 @@ mod tests {
         let gauge = GaugeField::hot(global, 50);
         let psi = FermionField::gaussian(global, 51);
         let reference = reference_dslash(global, &gauge, &psi);
-        let plan = FaultPlan {
-            faults: vec![
-                Fault { node: 0, link: 0, frame_index: 3, bit: 17 },
-                Fault { node: 1, link: 1, frame_index: 7, bit: 40 },
-            ],
-        };
+        let plan = FaultPlan::new(0)
+            .with_event(FaultEvent::bit_flip(0, 0, 3, 17))
+            .with_event(FaultEvent::bit_flip(1, 1, 7, 40));
         let machine = FunctionalMachine::new(TorusShape::new(&[2, 2])).with_faults(plan);
         let results = machine.run(|ctx| {
             let geom = BlockGeom::new(ctx, global);
@@ -566,8 +621,7 @@ mod tests {
                 let want = reference.site(geom.global_site(l));
                 for s in 0..4 {
                     for c in 0..3 {
-                        identical &=
-                            out[l].0[s].0[c].re.to_bits() == want.0[s].0[c].re.to_bits();
+                        identical &= out[l].0[s].0[c].re.to_bits() == want.0[s].0[c].re.to_bits();
                     }
                 }
             }
@@ -575,7 +629,10 @@ mod tests {
         });
         assert!(results.iter().all(|(ok, _)| *ok));
         let total_errors: u64 = results.iter().map(|(_, e)| e).sum();
-        assert!(total_errors >= 2, "both injected faults must be detected, got {total_errors}");
+        assert!(
+            total_errors >= 2,
+            "both injected faults must be detected, got {total_errors}"
+        );
     }
 
     #[test]
@@ -592,8 +649,11 @@ mod tests {
         let results = machine.run(|ctx| {
             let geom = BlockGeom::new(ctx, global);
             let lg = geom.extract_gauge(&gauge);
-            let lc: Vec<_> =
-                geom.local.sites().map(|l| *chi.site(geom.global_site(l))).collect();
+            let lc: Vec<_> = geom
+                .local
+                .sites()
+                .map(|l| *chi.site(geom.global_site(l)))
+                .collect();
             let out = staggered_dslash_local(ctx, &geom, &lg, &lc);
             geom.local.sites().all(|l| {
                 let want = reference.site(geom.global_site(l));
@@ -603,7 +663,10 @@ mod tests {
                 })
             })
         });
-        assert!(results.iter().all(|&ok| ok), "distributed staggered diverged from reference");
+        assert!(
+            results.iter().all(|&ok| ok),
+            "distributed staggered diverged from reference"
+        );
     }
 
     #[test]
@@ -630,7 +693,10 @@ mod tests {
                 })
             })
         });
-        assert!(results.iter().all(|&ok| ok), "distributed clover diverged from reference");
+        assert!(
+            results.iter().all(|&ok| ok),
+            "distributed clover diverged from reference"
+        );
     }
 
     #[test]
@@ -645,7 +711,10 @@ mod tests {
             &op,
             &mut xref,
             &b,
-            qcdoc_lattice::solver::CgParams { tolerance: 1e-10, max_iterations: 5000 },
+            qcdoc_lattice::solver::CgParams {
+                tolerance: 1e-10,
+                max_iterations: 5000,
+            },
         );
         let machine = FunctionalMachine::new(TorusShape::new(&[2, 2]));
         let results = machine.run(|ctx| {
@@ -666,7 +735,10 @@ mod tests {
             (report, dist, norm)
         });
         for (report, dist, norm) in &results {
-            assert!(report.converged, "distributed CG did not converge: {report:?}");
+            assert!(
+                report.converged,
+                "distributed CG did not converge: {report:?}"
+            );
             assert_eq!(report.link_errors, 0, "clean run must see no link errors");
             assert!(
                 dist / norm < 1e-12,

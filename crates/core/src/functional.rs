@@ -7,39 +7,35 @@
 //! checksums, partition-interrupt flooding — is the real `qcdoc-scu` state
 //! machine; this module only moves messages and schedules threads.
 //!
-//! Fault injection: a [`FaultPlan`] flips chosen bits of chosen frames in
-//! flight, exercising the automatic-resend path end to end (experiments
-//! E7/E10).
+//! Fault injection: a seeded [`FaultPlan`] (from `qcdoc-fault`) corrupts
+//! chosen frames in flight through a per-node [`NodeTap`], exercising the
+//! automatic-resend path end to end; [`FunctionalMachine::run_with_health`]
+//! additionally returns the machine-wide [`HealthLedger`] a host would
+//! read out over its diagnostics tree.
 
 use parking_lot::Mutex;
 use qcdoc_asic::memory::NodeMemory;
+use qcdoc_fault::{FaultClock, Liveness, NodeHealth, NodeTap};
+pub use qcdoc_fault::{FaultEvent, FaultPlan, HealthLedger};
 use qcdoc_geometry::{Axis, Direction, NodeCoord, NodeId, TorusShape};
 use qcdoc_scu::dma::DmaDescriptor;
+use qcdoc_scu::link::WireTap;
 use qcdoc_scu::scu::{Scu, ScuEvent, WireMsg};
+use qcdoc_scu::WireVerdict;
 use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
-/// A single injected fault: flip `bit` of the `frame_index`-th data frame
-/// node `node` transmits on `link`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Fault {
-    /// Logical node rank of the sender.
-    pub node: u32,
-    /// Link index (0..12) the frame leaves on.
-    pub link: usize,
-    /// Which data frame on that link to corrupt (0-based).
-    pub frame_index: u64,
-    /// Which bit of the frame to flip.
-    pub bit: usize,
-}
+/// The channel ends owned by one node: senders for its 12 outgoing wires
+/// and receivers for its 12 incoming ones.
+type NodeWires = (Vec<Option<Sender<WireMsg>>>, Vec<Option<Receiver<WireMsg>>>);
 
-/// The set of faults to inject during a run.
-#[derive(Debug, Clone, Default)]
-pub struct FaultPlan {
-    /// The faults.
-    pub faults: Vec<Fault>,
-}
+/// Idle pump rounds in [`NodeCtx::complete`] before a node declares its
+/// transfer wedged (a dead wire never delivers the data or the ack). At
+/// the post-yield backoff of 20 µs per round this is roughly a second of
+/// real silence — far beyond any healthy transfer on an oversubscribed
+/// host, and short enough that a dead-link run still fails fast.
+const WEDGE_IDLE_SPINS: u32 = 50_000;
 
 /// One node's execution context: its memory, SCU, and wires.
 pub struct NodeCtx {
@@ -55,9 +51,9 @@ pub struct NodeCtx {
     tx: Vec<Option<Sender<WireMsg>>>,
     rx: Vec<Option<Receiver<WireMsg>>>,
     events: Vec<ScuEvent>,
-    faults: Arc<FaultPlan>,
-    data_frames_sent: [u64; 12],
-    link_errors: u64,
+    tap: NodeTap,
+    wedged: bool,
+    mem_flips: u64,
 }
 
 impl NodeCtx {
@@ -106,11 +102,12 @@ impl NodeCtx {
     /// Link-level rejects observed by this node's receive units (each one
     /// forced a hardware resend).
     pub fn link_errors(&self) -> u64 {
-        let mut total = 0;
-        for l in 0..12 {
-            total += self.scu.recv_unit(l).rejects();
-        }
-        total + self.link_errors
+        (0..12).map(|l| self.scu.recv_unit(l).rejects()).sum()
+    }
+
+    /// Whether a transfer on this node gave up waiting on a silent wire.
+    pub fn wedged(&self) -> bool {
+        self.wedged
     }
 
     /// One pump of every wire: transmit until each link stalls on its ack
@@ -127,19 +124,24 @@ impl NodeCtx {
                 .tx_next(link, &mut self.mem)
                 .expect("send DMA memory fault")
             {
-                if let WireMsg::Data(wf) = &mut msg {
-                    let idx = self.data_frames_sent[link];
-                    self.data_frames_sent[link] += 1;
-                    for f in &self.faults.faults {
-                        if f.node == self.id.0 && f.link == link && f.frame_index == idx {
-                            let bits = wf.frame.wire_bits() as usize;
-                            wf.frame.corrupt_bit(f.bit % bits);
+                let verdict = match &mut msg {
+                    WireMsg::Data(wf) => self.tap.on_frame(link, wf),
+                    // Acks and rejects have no frame, but a dead wire
+                    // swallows them all the same.
+                    _ => {
+                        if self.tap.clock().drop_frame(self.id.0, link, u64::MAX) {
+                            WireVerdict::Drop
+                        } else {
+                            WireVerdict::Deliver
                         }
                     }
+                };
+                if verdict == WireVerdict::Deliver {
+                    // Unbounded channel: never blocks the thread
+                    // (backpressure is the protocol's ack window, not the
+                    // transport).
+                    let _ = self.tx[link].as_ref().unwrap().send(msg);
                 }
-                // Unbounded channel: never blocks the thread (backpressure
-                // is the protocol's ack window, not the transport).
-                let _ = self.tx[link].as_ref().unwrap().send(msg);
                 moved = true;
             }
         }
@@ -162,7 +164,16 @@ impl NodeCtx {
     /// Pump until the given sends and receives complete. Spins with
     /// `yield` at first, then backs off to short sleeps so a waiting node
     /// doesn't starve the nodes doing real work on an oversubscribed host.
+    ///
+    /// A wire that has gone permanently silent (dead link, crashed
+    /// neighbour) would leave this loop spinning forever; after
+    /// [`WEDGE_IDLE_SPINS`] idle rounds the node gives up, marks itself
+    /// wedged, and returns so the run can finish and report the failure
+    /// through the health ledger instead of hanging.
     pub fn complete(&mut self, sends: &[Direction], recvs: &[Direction]) {
+        if self.wedged {
+            return;
+        }
         let mut idle_spins = 0u32;
         loop {
             let moved = self.progress();
@@ -175,6 +186,10 @@ impl NodeCtx {
                 idle_spins = 0;
             } else {
                 idle_spins += 1;
+                if idle_spins >= WEDGE_IDLE_SPINS {
+                    self.wedged = true;
+                    return;
+                }
             }
             if idle_spins < 256 {
                 std::thread::yield_now();
@@ -205,12 +220,47 @@ impl NodeCtx {
     pub fn recv_checksum(&self, dir: Direction) -> u64 {
         self.scu.recv_unit(dir.link_index()).checksum().value()
     }
+
+    /// Read every SCU counter and checksum into a [`NodeHealth`] record —
+    /// the per-node readout the host's diagnostics sweep collects.
+    fn health_snapshot(&self) -> NodeHealth {
+        let clock = self.tap.clock();
+        let mut health = NodeHealth {
+            node: self.id.0,
+            liveness: if self.wedged {
+                Liveness::Wedged
+            } else if let Some(iteration) = clock.crash_iteration(self.id.0) {
+                Liveness::Crashed { iteration }
+            } else {
+                Liveness::Alive
+            },
+            links: Vec::with_capacity(12),
+            mem_flips: self.mem_flips,
+        };
+        for link in 0..12 {
+            let send = self.scu.send_unit(link);
+            let recv = self.scu.recv_unit(link);
+            health.links.push(qcdoc_fault::LinkHealth {
+                sent_words: send.sent_words(),
+                received_words: recv.received_words(),
+                resends: send.resends(),
+                rejects: recv.rejects(),
+                injected: self.tap.injected()[link],
+                stall_cycles: 0,
+                dead: clock.link_dead_from(self.id.0, link).is_some(),
+                send_checksum: send.checksum().value(),
+                recv_checksum: recv.checksum().value(),
+                checksum_ok: None,
+            });
+        }
+        health
+    }
 }
 
 /// The functional machine.
 pub struct FunctionalMachine {
     shape: TorusShape,
-    faults: Arc<FaultPlan>,
+    faults: FaultPlan,
     ddr_bytes: u64,
 }
 
@@ -219,14 +269,15 @@ impl FunctionalMachine {
     pub fn new(shape: TorusShape) -> FunctionalMachine {
         FunctionalMachine {
             shape,
-            faults: Arc::new(FaultPlan::default()),
+            faults: FaultPlan::default(),
             ddr_bytes: 128 * 1024 * 1024,
         }
     }
 
-    /// Install a fault plan.
+    /// Install a fault plan (compiled against this machine when a run
+    /// starts).
     pub fn with_faults(mut self, plan: FaultPlan) -> FunctionalMachine {
-        self.faults = Arc::new(plan);
+        self.faults = plan;
         self
     }
 
@@ -242,36 +293,67 @@ impl FunctionalMachine {
         F: Fn(&mut NodeCtx) -> R + Sync,
         R: Send,
     {
+        self.run_inner(app).into_iter().map(|(r, _)| r).collect()
+    }
+
+    /// Like [`FunctionalMachine::run`], but also collect every node's SCU
+    /// counters and checksums into a finalized [`HealthLedger`] — the
+    /// software analogue of the host sweeping its Ethernet/JTAG tree after
+    /// a job.
+    pub fn run_with_health<F, R>(&self, app: F) -> (Vec<R>, HealthLedger)
+    where
+        F: Fn(&mut NodeCtx) -> R + Sync,
+        R: Send,
+    {
+        let mut ledger = HealthLedger::new(self.shape.node_count());
+        let mut results = Vec::with_capacity(self.shape.node_count());
+        for (node, (r, health)) in self.run_inner(app).into_iter().enumerate() {
+            results.push(r);
+            *ledger.node_mut(node as u32) = health;
+        }
+        ledger.finalize(&self.shape);
+        (results, ledger)
+    }
+
+    fn run_inner<F, R>(&self, app: F) -> Vec<(R, NodeHealth)>
+    where
+        F: Fn(&mut NodeCtx) -> R + Sync,
+        R: Send,
+    {
         let n = self.shape.node_count();
         // Build one channel per (node, outgoing direction); the receiver
         // half goes to the neighbour's opposite-direction slot.
         let mut txs: Vec<Vec<Option<Sender<WireMsg>>>> = (0..n).map(|_| vec![None; 12]).collect();
-        let mut rxs: Vec<Vec<Option<Receiver<WireMsg>>>> =
-            (0..n).map(|_| vec![None; 12]).collect();
-        for node in 0..n {
+        let mut rxs: Vec<Vec<Option<Receiver<WireMsg>>>> = (0..n).map(|_| vec![None; 12]).collect();
+        for (node, tx_row) in txs.iter_mut().enumerate() {
             let coord = self.shape.coord_of(NodeId(node as u32));
             for axis in 0..self.shape.rank() {
                 for dir in [Axis(axis as u8).plus(), Axis(axis as u8).minus()] {
                     let (s, r) = unbounded();
                     let nb = self.shape.rank_of(self.shape.neighbour(coord, dir));
-                    txs[node][dir.link_index()] = Some(s);
+                    tx_row[dir.link_index()] = Some(s);
                     rxs[nb.index()][dir.opposite().link_index()] = Some(r);
                 }
             }
         }
-        let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let clock = Arc::new(FaultClock::resolve(
+            &self.faults,
+            n as u32,
+            2 * self.shape.rank(),
+        ));
+        let results: Vec<Mutex<Option<(R, NodeHealth)>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
         // Nodes that finish keep pumping the wires until *everyone* has
         // finished — otherwise a neighbour could stall waiting for an ack
         // from a thread that already exited.
         let done = std::sync::atomic::AtomicUsize::new(0);
         std::thread::scope(|scope| {
-            let mut pairs: Vec<(Vec<Option<Sender<WireMsg>>>, Vec<Option<Receiver<WireMsg>>>)> =
-                txs.drain(..).zip(rxs.drain(..)).collect();
+            let mut pairs: Vec<NodeWires> = txs.drain(..).zip(rxs.drain(..)).collect();
             for (node, (tx, rx)) in pairs.drain(..).enumerate().rev() {
                 let app = &app;
                 let results = &results;
                 let done = &done;
-                let faults = Arc::clone(&self.faults);
+                let clock = Arc::clone(&clock);
                 let shape = self.shape.clone();
                 let ddr = self.ddr_bytes;
                 scope.spawn(move || {
@@ -286,12 +368,21 @@ impl FunctionalMachine {
                         tx,
                         rx,
                         events: Vec::new(),
-                        faults,
-                        data_frames_sent: [0; 12],
-                        link_errors: 0,
+                        tap: NodeTap::new(Arc::clone(&clock), node as u32),
+                        wedged: false,
+                        mem_flips: 0,
                     };
+                    // Memory soft errors strike before the application
+                    // touches its data (flips outside the address map are
+                    // silently out of range, like a flip in unused DRAM).
+                    for (addr, bit) in clock.mem_faults(node as u32) {
+                        if ctx.mem.flip_bit(addr, bit).is_ok() {
+                            ctx.mem_flips += 1;
+                        }
+                    }
                     let r = app(&mut ctx);
-                    *results[node].lock() = Some(r);
+                    let snapshot = ctx.health_snapshot();
+                    *results[node].lock() = Some((r, snapshot));
                     done.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
                     let mut spins = 0u32;
                     while done.load(std::sync::atomic::Ordering::SeqCst) < n {
@@ -306,13 +397,17 @@ impl FunctionalMachine {
                 });
             }
         });
-        results.into_iter().map(|m| m.into_inner().expect("node produced no result")).collect()
+        results
+            .into_iter()
+            .map(|m| m.into_inner().expect("node produced no result"))
+            .collect()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qcdoc_fault::FaultEvent;
 
     fn ring4() -> TorusShape {
         TorusShape::new(&[4])
@@ -349,7 +444,10 @@ mod tests {
                 &[Axis(0).plus(), Axis(1).plus()],
                 &[Axis(0).minus(), Axis(1).minus()],
             );
-            (ctx.mem.read_word(0x300).unwrap(), ctx.mem.read_word(0x308).unwrap())
+            (
+                ctx.mem.read_word(0x300).unwrap(),
+                ctx.mem.read_word(0x308).unwrap(),
+            )
         });
         // Node (x,y) receives from (x-1,y) on x and (x,y-1) on y.
         let shape = TorusShape::new(&[2, 2]);
@@ -363,13 +461,13 @@ mod tests {
 
     #[test]
     fn injected_fault_is_healed_by_resend() {
-        let plan = FaultPlan {
-            faults: vec![Fault { node: 1, link: 0, frame_index: 2, bit: 30 }],
-        };
+        let plan = FaultPlan::new(0).with_event(FaultEvent::bit_flip(1, 0, 2, 30));
         let machine = FunctionalMachine::new(ring4()).with_faults(plan);
         let results = machine.run(|ctx| {
             for i in 0..8u64 {
-                ctx.mem.write_word(0x100 + i * 8, ctx.id.0 as u64 * 100 + i).unwrap();
+                ctx.mem
+                    .write_word(0x100 + i * 8, ctx.id.0 as u64 * 100 + i)
+                    .unwrap();
             }
             ctx.shift(
                 Axis(0).plus(),
@@ -421,7 +519,10 @@ mod tests {
             ctx.take_events()
         });
         assert!(results[1].contains(&ScuEvent::SupervisorInterrupt(0xFEED_F00D)));
-        assert!(results[2].is_empty(), "supervisor packets are point-to-point");
+        assert!(
+            results[2].is_empty(),
+            "supervisor packets are point-to-point"
+        );
     }
 
     #[test]
@@ -460,6 +561,64 @@ mod tests {
             (first.len(), second.len())
         });
         assert_eq!(results[1], (1, 0), "take_events must drain");
+    }
+
+    #[test]
+    fn health_ledger_records_injection_and_clean_checksums() {
+        let plan = FaultPlan::new(42).with_event(FaultEvent::bit_flip(1, 0, 2, 30));
+        let machine = FunctionalMachine::new(ring4()).with_faults(plan);
+        let (results, ledger) = machine.run_with_health(|ctx| {
+            for i in 0..8u64 {
+                ctx.mem
+                    .write_word(0x100 + i * 8, ctx.id.0 as u64 * 100 + i)
+                    .unwrap();
+            }
+            ctx.shift(
+                Axis(0).plus(),
+                DmaDescriptor::contiguous(0x100, 8),
+                DmaDescriptor::contiguous(0x400, 8),
+            );
+            ctx.mem.read_block(0x400, 8).unwrap()
+        });
+        assert_eq!(results[2], (0..8).map(|i| 100 + i).collect::<Vec<_>>());
+        // The recoverable corruption shows up in the ledger...
+        assert_eq!(ledger.total_injected(), 1);
+        assert_eq!(ledger.nodes[1].links[0].injected, 1);
+        assert!(ledger.total_resends() >= 1);
+        // ...while every end-of-run checksum pairing still agrees: the
+        // resend healed the wire before the payload landed.
+        assert!(ledger.all_checksums_ok());
+        assert!(ledger.unhealthy_nodes().is_empty());
+        assert_eq!(ledger.nodes[0].links[0].sent_words, 8);
+        assert_eq!(ledger.nodes[1].links[1].received_words, 8);
+    }
+
+    #[test]
+    fn dead_link_wedges_instead_of_hanging() {
+        // Node 1's +x wire dies before the transfer starts: node 2 never
+        // receives, node 1 never gets acked. Both must give up and report
+        // rather than spin forever.
+        let plan = FaultPlan::new(0).with_event(FaultEvent::dead_link(1, 0, 0));
+        let machine = FunctionalMachine::new(ring4()).with_faults(plan);
+        let (_, ledger) = machine.run_with_health(|ctx| {
+            ctx.mem.write_word(0x100, ctx.id.0 as u64).unwrap();
+            ctx.shift(
+                Axis(0).plus(),
+                DmaDescriptor::contiguous(0x100, 1),
+                DmaDescriptor::contiguous(0x200, 1),
+            );
+        });
+        assert_eq!(ledger.dead_links(), vec![(1, 0)]);
+        assert_eq!(ledger.nodes[1].liveness, qcdoc_fault::Liveness::Wedged);
+        let unhealthy = ledger.unhealthy_nodes();
+        assert!(
+            unhealthy.contains(&1),
+            "the dead wire's node must be flagged: {unhealthy:?}"
+        );
+        assert!(
+            !ledger.all_checksums_ok(),
+            "undelivered words must break the checksum pairing"
+        );
     }
 
     #[test]

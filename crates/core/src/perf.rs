@@ -178,22 +178,21 @@ impl DiracPerf {
         let fpu_cycles = sites * (op_instr + la_instr) * (1.0 + cal.issue_overhead);
 
         // --- Local memory time.
-        let bytes_per_site = 2.0 * (op.read_bytes + op.write_bytes) as f64
-            + (la.read_bytes + la.write_bytes) as f64;
+        let bytes_per_site =
+            2.0 * (op.read_bytes + op.write_bytes) as f64 + (la.read_bytes + la.write_bytes) as f64;
         let bytes = sites * bytes_per_site * bscale;
         let resident = (sites * op.resident_bytes as f64 * bscale) as u64;
         let fits_edram = resident <= EDRAM_SIZE;
         let (mem_cycles, mem_overlap) = if fits_edram {
             (bytes / PORT_BYTES_PER_CYCLE as f64, cal.mem_overlap_edram)
         } else {
-            let ddr_bpc = qcdoc_asic::ddr::DDR_BYTES_PER_SEC / clock.hz() as f64
-                * cal.ddr_stream_efficiency;
+            let ddr_bpc =
+                qcdoc_asic::ddr::DDR_BYTES_PER_SEC / clock.hz() as f64 * cal.ddr_stream_efficiency;
             (bytes / ddr_bpc, cal.mem_overlap_ddr)
         };
 
         // --- Local combined time (prefetch overlap).
-        let local = fpu_cycles.max(mem_cycles)
-            + (1.0 - mem_overlap) * fpu_cycles.min(mem_cycles);
+        let local = fpu_cycles.max(mem_cycles) + (1.0 - mem_overlap) * fpu_cycles.min(mem_cycles);
 
         // --- Mesh time: worst direction, both operator applications. The
         // twelve links run concurrently, so only the busiest direction
@@ -220,9 +219,8 @@ impl DiracPerf {
         let gsum = 2.0 * (hw + cal.global_sum_sw_cycles as f64);
 
         // --- Combine: comm partially overlaps local work.
-        let total = local.max(comm_cycles)
-            + (1.0 - cal.comm_overlap) * local.min(comm_cycles)
-            + gsum;
+        let total =
+            local.max(comm_cycles) + (1.0 - cal.comm_overlap) * local.min(comm_cycles) + gsum;
 
         let flops_iter = (sites * (2.0 * op.flops as f64 + la.flops as f64)) as u64;
         let efficiency = flops_iter as f64 / (2.0 * total);
@@ -252,7 +250,10 @@ impl DiracPerf {
     /// (it carries no s-dependence), so the 4-D comm and gauge traffic are
     /// unchanged while flops and spinor traffic divide by `s_nodes`.
     pub fn evaluate_dwf_5d(&self, ls: u32, s_nodes: usize) -> EfficiencyReport {
-        assert!(s_nodes >= 1 && (ls as usize).is_multiple_of(s_nodes), "Ls must divide over s_nodes");
+        assert!(
+            s_nodes >= 1 && (ls as usize).is_multiple_of(s_nodes),
+            "Ls must divide over s_nodes"
+        );
         let local_ls = ls / s_nodes as u32;
         let mut report = self.evaluate(Action::Dwf { ls: local_ls });
         if s_nodes > 1 {
@@ -291,10 +292,15 @@ impl DiracPerf {
 
     /// Evaluate the paper's three benchmark actions plus domain wall.
     pub fn evaluate_suite(&self) -> Vec<EfficiencyReport> {
-        [Action::Wilson, Action::Asqtad, Action::Clover, Action::Dwf { ls: 8 }]
-            .into_iter()
-            .map(|a| self.evaluate(a))
-            .collect()
+        [
+            Action::Wilson,
+            Action::Asqtad,
+            Action::Clover,
+            Action::Dwf { ls: 8 },
+        ]
+        .into_iter()
+        .map(|a| self.evaluate(a))
+        .collect()
     }
 
     /// Render the §4 benchmark table.
@@ -353,7 +359,10 @@ mod tests {
         let w = perf.evaluate(Action::Wilson).efficiency;
         let a = perf.evaluate(Action::Asqtad).efficiency;
         let c = perf.evaluate(Action::Clover).efficiency;
-        assert!(c > w && w > a, "clover {c:.3} > wilson {w:.3} > asqtad {a:.3}");
+        assert!(
+            c > w && w > a,
+            "clover {c:.3} > wilson {w:.3} > asqtad {a:.3}"
+        );
     }
 
     #[test]

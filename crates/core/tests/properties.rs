@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use qcdoc_core::comm::global_sum_f64;
-use qcdoc_core::functional::{Fault, FaultPlan, FunctionalMachine};
+use qcdoc_core::functional::{FaultEvent, FaultPlan, FunctionalMachine};
 use qcdoc_geometry::{Axis, TorusShape};
 use qcdoc_scu::dma::DmaDescriptor;
 use qcdoc_scu::global::dimension_ordered_sum;
@@ -30,17 +30,11 @@ proptest! {
     ) {
         let shape = TorusShape::new(&dims);
         let n = shape.node_count() as u32;
-        let plan = FaultPlan {
-            faults: faults
-                .iter()
-                .map(|&(node, frame, bit)| Fault {
-                    node: node % n,
-                    link: 0, // axis-0 plus direction
-                    frame_index: frame,
-                    bit,
-                })
-                .collect(),
-        };
+        let mut plan = FaultPlan::new(0);
+        for &(node, seq, bit) in &faults {
+            // Link 0 is the axis-0 plus direction.
+            plan = plan.with_event(FaultEvent::bit_flip(node % n, 0, seq, bit));
+        }
         let machine = FunctionalMachine::new(shape.clone()).with_faults(plan);
         let w = words;
         let results = machine.run(move |ctx| {
@@ -61,6 +55,41 @@ proptest! {
             let want: Vec<u64> = (0..words as u64).map(|i| from * 1_000 + i).collect();
             prop_assert_eq!(got, &want, "node {}", rank);
         }
+    }
+
+    #[test]
+    fn same_seed_gives_identical_payloads_and_ledger(
+        seed in 0u64..1_000,
+        words in 1u32..16,
+    ) {
+        // A sustained error rate drawn from `seed`: two runs must agree on
+        // every payload bit and on the health-ledger fingerprint, and a
+        // fault-free run must agree on the payloads (recoverable faults
+        // are invisible to the application).
+        let shape = TorusShape::new(&[4]);
+        let plan = FaultPlan::new(seed).with_event(FaultEvent::bit_error_rate(1, 0, 0.05));
+        let run = |p: FaultPlan| {
+            let machine = FunctionalMachine::new(shape.clone()).with_faults(p);
+            let w = words;
+            machine.run_with_health(move |ctx| {
+                for i in 0..w as u64 {
+                    ctx.mem.write_word(0x100 + i * 8, ctx.id.0 as u64 * 777 + i).unwrap();
+                }
+                ctx.shift(
+                    Axis(0).plus(),
+                    DmaDescriptor::contiguous(0x100, w),
+                    DmaDescriptor::contiguous(0x4000, w),
+                );
+                ctx.mem.read_block(0x4000, w as usize).unwrap()
+            })
+        };
+        let (pa, la) = run(plan.clone());
+        let (pb, lb) = run(plan);
+        let (clean, _) = run(FaultPlan::default());
+        prop_assert_eq!(&pa, &pb, "same seed, same payloads");
+        prop_assert_eq!(la.fingerprint(), lb.fingerprint(), "same seed, same ledger");
+        prop_assert_eq!(&pa, &clean, "recoverable faults must not change payloads");
+        prop_assert!(la.all_checksums_ok());
     }
 
     #[test]

@@ -1,0 +1,286 @@
+//! The machine-health ledger: what the host's diagnostics path reads out.
+
+use qcdoc_geometry::{Axis, NodeId, TorusShape};
+use serde::{Deserialize, Serialize};
+
+/// Number of wire directions per node.
+const LINKS: usize = 12;
+
+/// Whether a node survived the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Liveness {
+    /// The node ran to completion.
+    #[default]
+    Alive,
+    /// The node went dark at `iteration` (scheduled crash).
+    Crashed {
+        /// Iteration the node stopped responding.
+        iteration: usize,
+    },
+    /// The node never completed — its run wedged waiting on a wire.
+    Wedged,
+}
+
+/// End-of-run health of one wire direction of one node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct LinkHealth {
+    /// Data words this node pushed into the send unit.
+    pub sent_words: u64,
+    /// Data words accepted by this node's receive unit.
+    pub received_words: u64,
+    /// Go-back-N retransmissions the send unit performed.
+    pub resends: u64,
+    /// Frames the receive unit rejected (parity or type-code damage).
+    pub rejects: u64,
+    /// Frames the fault machinery corrupted on this wire (deterministic).
+    pub injected: u64,
+    /// Extra cycles the wire withheld traffic (timing engine only).
+    pub stall_cycles: u64,
+    /// Whether the wire was scheduled dead at any point.
+    pub dead: bool,
+    /// End-of-run checksum of everything sent on this wire.
+    pub send_checksum: u64,
+    /// End-of-run checksum of everything received on this wire.
+    pub recv_checksum: u64,
+    /// Verdict after pairing with the neighbour's opposite wire; `None`
+    /// until [`HealthLedger::finalize`] runs or when the wire is unwired.
+    pub checksum_ok: Option<bool>,
+}
+
+/// End-of-run health of one node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeHealth {
+    /// Logical node rank.
+    pub node: u32,
+    /// Whether the node survived.
+    pub liveness: Liveness,
+    /// Per-wire health, indexed by `Direction::link_index` (0..12).
+    pub links: Vec<LinkHealth>,
+    /// Memory soft errors injected into this node before the run.
+    pub mem_flips: u64,
+}
+
+impl NodeHealth {
+    fn new(node: u32) -> NodeHealth {
+        NodeHealth {
+            node,
+            liveness: Liveness::Alive,
+            links: vec![LinkHealth::default(); LINKS],
+            mem_flips: 0,
+        }
+    }
+}
+
+/// Machine-wide health report, aggregated from every node's SCU counters.
+///
+/// This is the software analogue of the paper's end-of-run diagnostics
+/// sweep: the host walks the Ethernet/JTAG tree, reads each node's link
+/// checksums and error counters, and pairs each send checksum with the
+/// receiving neighbour's. A mismatch means a corruption slipped past the
+/// per-frame parity — exactly the failure the paper's checksums exist to
+/// catch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthLedger {
+    /// Per-node reports, indexed by rank.
+    pub nodes: Vec<NodeHealth>,
+}
+
+impl HealthLedger {
+    /// An empty ledger for `node_count` nodes.
+    pub fn new(node_count: usize) -> HealthLedger {
+        HealthLedger {
+            nodes: (0..node_count as u32).map(NodeHealth::new).collect(),
+        }
+    }
+
+    /// Mutable access to one node's report.
+    pub fn node_mut(&mut self, node: u32) -> &mut NodeHealth {
+        &mut self.nodes[node as usize]
+    }
+
+    /// Pair every wired send checksum with the receiving neighbour's
+    /// checksum on the opposite wire, filling in `checksum_ok`. A wire
+    /// whose axis is outside `shape.rank()` stays `None` (unwired).
+    pub fn finalize(&mut self, shape: &TorusShape) {
+        assert_eq!(
+            self.nodes.len(),
+            shape.node_count(),
+            "ledger/shape size mismatch"
+        );
+        let verdicts: Vec<(usize, usize, bool)> = self
+            .nodes
+            .iter()
+            .flat_map(|nh| {
+                let coord = shape.coord_of(NodeId(nh.node));
+                (0..shape.rank())
+                    .flat_map(move |a| [Axis(a as u8).plus(), Axis(a as u8).minus()])
+                    .map(move |d| (nh, coord, d))
+            })
+            .map(|(nh, coord, d)| {
+                let nb = shape.rank_of(shape.neighbour(coord, d)).index();
+                let sent = nh.links[d.link_index()].send_checksum;
+                let got = self.nodes[nb].links[d.opposite().link_index()].recv_checksum;
+                (nh.node as usize, d.link_index(), sent == got)
+            })
+            .collect();
+        for (node, link, ok) in verdicts {
+            self.nodes[node].links[link].checksum_ok = Some(ok);
+        }
+    }
+
+    /// Total go-back-N retransmissions across the machine.
+    pub fn total_resends(&self) -> u64 {
+        self.nodes
+            .iter()
+            .flat_map(|n| &n.links)
+            .map(|l| l.resends)
+            .sum()
+    }
+
+    /// Total frames the fault machinery corrupted (deterministic).
+    pub fn total_injected(&self) -> u64 {
+        self.nodes
+            .iter()
+            .flat_map(|n| &n.links)
+            .map(|l| l.injected)
+            .sum()
+    }
+
+    /// Every wire scheduled dead, as `(node, link_index)`.
+    pub fn dead_links(&self) -> Vec<(u32, usize)> {
+        self.nodes
+            .iter()
+            .flat_map(|n| {
+                n.links
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, l)| l.dead)
+                    .map(|(i, _)| (n.node, i))
+            })
+            .collect()
+    }
+
+    /// Nodes that did not finish healthy: crashed, wedged, any dead wire,
+    /// a failed checksum pairing, or an injected memory error.
+    pub fn unhealthy_nodes(&self) -> Vec<u32> {
+        self.nodes
+            .iter()
+            .filter(|n| {
+                n.liveness != Liveness::Alive
+                    || n.mem_flips > 0
+                    || n.links
+                        .iter()
+                        .any(|l| l.dead || l.checksum_ok == Some(false))
+            })
+            .map(|n| n.node)
+            .collect()
+    }
+
+    /// Whether every finalized checksum pairing agreed.
+    pub fn all_checksums_ok(&self) -> bool {
+        self.nodes
+            .iter()
+            .flat_map(|n| &n.links)
+            .all(|l| l.checksum_ok != Some(false))
+    }
+
+    /// FNV-1a digest of the ledger's *deterministic* fields: word counts,
+    /// injected-fault counts, stall time, dead flags, checksums, liveness,
+    /// and memory flips. Resend/reject counters are excluded — with a
+    /// threaded execution engine they depend on scheduling (an ack that
+    /// arrives a frame later causes an extra, harmless rewind) while
+    /// everything hashed here does not. Two same-seed runs must produce
+    /// equal fingerprints.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        let mut eat = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x100_0000_01B3);
+            }
+        };
+        for n in &self.nodes {
+            eat(u64::from(n.node));
+            eat(match n.liveness {
+                Liveness::Alive => 0,
+                Liveness::Crashed { iteration } => 1 + ((iteration as u64) << 8),
+                Liveness::Wedged => 2,
+            });
+            eat(n.mem_flips);
+            for l in &n.links {
+                eat(l.sent_words);
+                eat(l.received_words);
+                eat(l.injected);
+                eat(l.stall_cycles);
+                eat(u64::from(l.dead));
+                eat(l.send_checksum);
+                eat(l.recv_checksum);
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape2() -> TorusShape {
+        TorusShape::new(&[2])
+    }
+
+    #[test]
+    fn finalize_pairs_opposite_wires() {
+        // Two nodes on a 1-D ring of 2: node 0's +x wire (link 0) feeds
+        // node 1's -x receive wire (link 1), and vice versa.
+        let shape = shape2();
+        let mut ledger = HealthLedger::new(2);
+        ledger.node_mut(0).links[0].send_checksum = 0xAAAA;
+        ledger.node_mut(1).links[1].recv_checksum = 0xAAAA;
+        ledger.node_mut(1).links[0].send_checksum = 0xBBBB;
+        ledger.node_mut(0).links[1].recv_checksum = 0xBEEF; // mismatch
+        ledger.finalize(&shape);
+        assert_eq!(ledger.nodes[0].links[0].checksum_ok, Some(true));
+        assert_eq!(ledger.nodes[1].links[0].checksum_ok, Some(false));
+        assert_eq!(
+            ledger.nodes[0].links[2].checksum_ok, None,
+            "unwired axis stays None"
+        );
+        assert!(!ledger.all_checksums_ok());
+        assert_eq!(ledger.unhealthy_nodes(), vec![1]);
+    }
+
+    #[test]
+    fn fingerprint_ignores_resends_but_sees_everything_else() {
+        let mut a = HealthLedger::new(2);
+        a.node_mut(0).links[0].sent_words = 100;
+        a.node_mut(0).links[0].injected = 3;
+        let mut b = a.clone();
+        b.node_mut(1).links[5].resends = 40;
+        b.node_mut(0).links[0].rejects = 2;
+        assert_eq!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "resends/rejects are scheduling noise"
+        );
+        b.node_mut(0).links[0].injected = 4;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let mut c = a.clone();
+        c.node_mut(1).liveness = Liveness::Wedged;
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn rollups() {
+        let mut ledger = HealthLedger::new(3);
+        ledger.node_mut(0).links[0].resends = 2;
+        ledger.node_mut(2).links[7].resends = 5;
+        ledger.node_mut(1).links[3].dead = true;
+        ledger.node_mut(2).links[7].injected = 9;
+        ledger.node_mut(2).mem_flips = 1;
+        assert_eq!(ledger.total_resends(), 7);
+        assert_eq!(ledger.total_injected(), 9);
+        assert_eq!(ledger.dead_links(), vec![(1, 3)]);
+        assert_eq!(ledger.unhealthy_nodes(), vec![1, 2]);
+    }
+}

@@ -1,0 +1,230 @@
+//! The declarative fault schedule: what breaks, where, and when.
+
+use serde::{Deserialize, Serialize};
+
+/// Which node an event strikes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeSelect {
+    /// A fixed logical node rank.
+    Node(u32),
+    /// Drawn from the plan's seed when the plan is compiled.
+    Random,
+}
+
+/// Which of a node's 12 wire directions an event strikes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinkSelect {
+    /// A fixed link index (`Direction::link_index`, 0..12).
+    Link(usize),
+    /// Drawn from the plan's seed among the machine's wired links.
+    Random,
+}
+
+/// The failure mode of one scheduled event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Flip `burst` adjacent bits starting at `first_bit` of the frame
+    /// carrying data word `seq`, on its first transmission.
+    BitFlip {
+        /// Data sequence number of the corrupted word.
+        seq: u64,
+        /// First flipped bit (taken modulo the frame's wire bits).
+        first_bit: usize,
+        /// Number of adjacent bits flipped (1 = a single-bit error).
+        burst: usize,
+    },
+    /// Corrupt each fresh data word with probability `rate` (one random
+    /// bit per corrupted word) — a sustained per-word bit-error rate.
+    BitErrorRate {
+        /// Per-word corruption probability.
+        rate: f64,
+    },
+    /// The link withholds its traffic for `cycles` extra at `iteration`
+    /// (observed by the timing engine).
+    Stall {
+        /// Iteration the stall strikes.
+        iteration: usize,
+        /// Extra cycles the link's face transfer takes.
+        cycles: u64,
+    },
+    /// The wire drops every frame from data word `from_seq` on, forever.
+    DeadLink {
+        /// First dropped data sequence number (0 = dead from the start).
+        from_seq: u64,
+    },
+    /// The node computes for `cycles` extra — a memory refresh, an
+    /// interrupt, a slow part (observed by the timing engine).
+    NodePause {
+        /// Iteration the pause strikes (`None` = every iteration).
+        iteration: Option<usize>,
+        /// Extra compute cycles.
+        cycles: u64,
+    },
+    /// The node goes dark at `iteration`: nothing more leaves any of its
+    /// wires, and the timing engine sees it stop.
+    NodeCrash {
+        /// Iteration the crash strikes.
+        iteration: usize,
+    },
+    /// Flip `bit` of the 64-bit word at byte address `addr` in the node's
+    /// EDRAM/DDR before the run starts — a memory soft error.
+    MemBitFlip {
+        /// Byte address of the afflicted word.
+        addr: u64,
+        /// Bit within the word (0..64).
+        bit: u32,
+    },
+}
+
+/// One scheduled fault: a failure mode aimed at a node and wire.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Target node.
+    pub node: NodeSelect,
+    /// Target wire direction (ignored by node-scoped kinds).
+    pub link: LinkSelect,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+impl FaultEvent {
+    /// A single-bit flip of data word `seq` leaving `node` on `link`.
+    pub fn bit_flip(node: u32, link: usize, seq: u64, bit: usize) -> FaultEvent {
+        FaultEvent {
+            node: NodeSelect::Node(node),
+            link: LinkSelect::Link(link),
+            kind: FaultKind::BitFlip {
+                seq,
+                first_bit: bit,
+                burst: 1,
+            },
+        }
+    }
+
+    /// A burst of `burst` adjacent flipped bits in one frame.
+    pub fn burst(node: u32, link: usize, seq: u64, first_bit: usize, burst: usize) -> FaultEvent {
+        FaultEvent {
+            node: NodeSelect::Node(node),
+            link: LinkSelect::Link(link),
+            kind: FaultKind::BitFlip {
+                seq,
+                first_bit,
+                burst,
+            },
+        }
+    }
+
+    /// A sustained per-word bit-error rate on one wire.
+    pub fn bit_error_rate(node: u32, link: usize, rate: f64) -> FaultEvent {
+        FaultEvent {
+            node: NodeSelect::Node(node),
+            link: LinkSelect::Link(link),
+            kind: FaultKind::BitErrorRate { rate },
+        }
+    }
+
+    /// A sustained bit-error rate on a wire drawn from the seed.
+    pub fn random_bit_error_rate(rate: f64) -> FaultEvent {
+        FaultEvent {
+            node: NodeSelect::Random,
+            link: LinkSelect::Random,
+            kind: FaultKind::BitErrorRate { rate },
+        }
+    }
+
+    /// A one-iteration link stall.
+    pub fn stall(node: u32, link: usize, iteration: usize, cycles: u64) -> FaultEvent {
+        FaultEvent {
+            node: NodeSelect::Node(node),
+            link: LinkSelect::Link(link),
+            kind: FaultKind::Stall { iteration, cycles },
+        }
+    }
+
+    /// A permanently dead wire from data word `from_seq` on.
+    pub fn dead_link(node: u32, link: usize, from_seq: u64) -> FaultEvent {
+        FaultEvent {
+            node: NodeSelect::Node(node),
+            link: LinkSelect::Link(link),
+            kind: FaultKind::DeadLink { from_seq },
+        }
+    }
+
+    /// A node pause (`iteration = None` slows the node every iteration).
+    pub fn node_pause(node: u32, iteration: Option<usize>, cycles: u64) -> FaultEvent {
+        FaultEvent {
+            node: NodeSelect::Node(node),
+            link: LinkSelect::Link(0),
+            kind: FaultKind::NodePause { iteration, cycles },
+        }
+    }
+
+    /// A node crash at `iteration`.
+    pub fn node_crash(node: u32, iteration: usize) -> FaultEvent {
+        FaultEvent {
+            node: NodeSelect::Node(node),
+            link: LinkSelect::Link(0),
+            kind: FaultKind::NodeCrash { iteration },
+        }
+    }
+
+    /// A memory soft error in `node`'s address space.
+    pub fn mem_bit_flip(node: u32, addr: u64, bit: u32) -> FaultEvent {
+        FaultEvent {
+            node: NodeSelect::Node(node),
+            link: LinkSelect::Link(0),
+            kind: FaultKind::MemBitFlip { addr, bit },
+        }
+    }
+}
+
+/// A seeded, declarative schedule of faults.
+///
+/// The plan is pure data; nothing random happens until it is compiled
+/// into a [`crate::FaultClock`] against a concrete machine, at which point
+/// every `Random` target is resolved from `seed`. Two plans with the same
+/// seed and events always produce the same injected fault stream.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed for every random draw the plan implies.
+    pub seed: u64,
+    /// The scheduled events.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given seed.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            events: Vec::new(),
+        }
+    }
+
+    /// Add an event (builder style).
+    pub fn with_event(mut self, event: FaultEvent) -> FaultPlan {
+        self.events.push(event);
+        self
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_events() {
+        let plan = FaultPlan::new(7)
+            .with_event(FaultEvent::bit_flip(1, 0, 2, 30))
+            .with_event(FaultEvent::dead_link(3, 1, 0));
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.events.len(), 2);
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::new(0).is_empty());
+    }
+}

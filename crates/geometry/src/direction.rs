@@ -28,13 +28,19 @@ impl Axis {
     /// The positive-sense direction along this axis.
     #[inline]
     pub fn plus(self) -> Direction {
-        Direction { axis: self, negative: false }
+        Direction {
+            axis: self,
+            negative: false,
+        }
     }
 
     /// The negative-sense direction along this axis.
     #[inline]
     pub fn minus(self) -> Direction {
-        Direction { axis: self, negative: true }
+        Direction {
+            axis: self,
+            negative: true,
+        }
     }
 }
 
@@ -59,15 +65,16 @@ pub struct Direction {
 impl Direction {
     /// All 12 directions: plus then minus for each axis.
     pub fn all() -> impl Iterator<Item = Direction> {
-        Axis::ALL
-            .into_iter()
-            .flat_map(|a| [a.plus(), a.minus()])
+        Axis::ALL.into_iter().flat_map(|a| [a.plus(), a.minus()])
     }
 
     /// The opposite direction (same axis, flipped sense).
     #[inline]
     pub fn opposite(self) -> Direction {
-        Direction { axis: self.axis, negative: !self.negative }
+        Direction {
+            axis: self.axis,
+            negative: !self.negative,
+        }
     }
 
     /// Dense index in `0..12`: `2 * axis + (negative as usize)`.
@@ -82,7 +89,10 @@ impl Direction {
     #[inline]
     pub fn from_link_index(idx: usize) -> Direction {
         assert!(idx < 12, "link index {idx} out of range");
-        Direction { axis: Axis((idx / 2) as u8), negative: idx % 2 == 1 }
+        Direction {
+            axis: Axis((idx / 2) as u8),
+            negative: idx % 2 == 1,
+        }
     }
 
     /// Signed unit step along the axis: `+1` or `-1`.

@@ -71,7 +71,10 @@ impl FoldCycle {
                 return Err(FoldError::OddExtent { extent: odd });
             }
         }
-        Ok(FoldCycle { dims: dims.to_vec(), len: dims.iter().product() })
+        Ok(FoldCycle {
+            dims: dims.to_vec(),
+            len: dims.iter().product(),
+        })
     }
 
     /// Length of the cycle (= product of extents).
@@ -100,7 +103,11 @@ impl FoldCycle {
     /// sub-sequence is traversed in reverse, so consecutive positions differ
     /// by exactly ±1 in exactly one digit.
     pub fn coord_at(&self, pos: usize) -> Vec<usize> {
-        assert!(pos < self.len, "fold position {pos} out of range {}", self.len);
+        assert!(
+            pos < self.len,
+            "fold position {pos} out of range {}",
+            self.len
+        );
         let k = self.dims.len();
         let mut digits = vec![0usize; k];
         let mut idx = pos;
@@ -131,7 +138,11 @@ impl FoldCycle {
             debug_assert!(coord[j] < self.dims[j], "coordinate out of bounds");
             let level_total = total * self.dims[j];
             let fwd = coord[j] * total + idx;
-            let reversed = if j + 1 < coord.len() { coord[j + 1] % 2 == 1 } else { false };
+            let reversed = if j + 1 < coord.len() {
+                coord[j + 1] % 2 == 1
+            } else {
+                false
+            };
             idx = if reversed { level_total - 1 - fwd } else { fwd };
             total = level_total;
         }
@@ -179,7 +190,13 @@ mod tests {
 
     #[test]
     fn cycle_is_hamiltonian_and_closes() {
-        for dims in [vec![4, 2], vec![2, 2, 2], vec![8, 4], vec![4, 2, 2], vec![2, 4, 2, 2]] {
+        for dims in [
+            vec![4, 2],
+            vec![2, 2, 2],
+            vec![8, 4],
+            vec![4, 2, 2],
+            vec![2, 4, 2, 2],
+        ] {
             let f = FoldCycle::new(&dims).unwrap();
             let n = f.len();
             let mut seen = vec![false; n];
@@ -211,7 +228,10 @@ mod tests {
             for i in 0..n - 1 {
                 let a = f.coord_at(i);
                 let b = f.coord_at(i + 1);
-                assert!(box_adjacent(&a, &b), "{dims:?}: interior step {i} used a wrap");
+                assert!(
+                    box_adjacent(&a, &b),
+                    "{dims:?}: interior step {i} used a wrap"
+                );
             }
             // Closing step: all digits equal except the top one, which goes
             // from r_top - 1 back to 0.
@@ -226,7 +246,13 @@ mod tests {
 
     #[test]
     fn pos_of_inverts_coord_at() {
-        for dims in [vec![4, 2], vec![2, 2, 2], vec![6, 2], vec![3], vec![1, 4, 2]] {
+        for dims in [
+            vec![4, 2],
+            vec![2, 2, 2],
+            vec![6, 2],
+            vec![3],
+            vec![1, 4, 2],
+        ] {
             let f = FoldCycle::new(&dims).unwrap();
             for i in 0..f.len() {
                 assert_eq!(f.pos_of(&f.coord_at(i)), i, "dims {dims:?} pos {i}");
@@ -256,8 +282,14 @@ mod tests {
 
     #[test]
     fn odd_multi_axis_fold_rejected() {
-        assert_eq!(FoldCycle::new(&[3, 3]), Err(FoldError::OddExtent { extent: 3 }));
-        assert_eq!(FoldCycle::new(&[4, 3]), Err(FoldError::OddExtent { extent: 3 }));
+        assert_eq!(
+            FoldCycle::new(&[3, 3]),
+            Err(FoldError::OddExtent { extent: 3 })
+        );
+        assert_eq!(
+            FoldCycle::new(&[4, 3]),
+            Err(FoldError::OddExtent { extent: 3 })
+        );
     }
 
     #[test]

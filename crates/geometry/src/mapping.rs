@@ -21,7 +21,9 @@ impl LocalVolume {
     /// A local volume with the given per-axis extents.
     pub fn new(dims: &[usize]) -> LocalVolume {
         assert!(!dims.is_empty() && dims.iter().all(|&d| d >= 1));
-        LocalVolume { dims: dims.to_vec() }
+        LocalVolume {
+            dims: dims.to_vec(),
+        }
     }
 
     /// The canonical `4^4` local volume of the paper's 128-node benchmarks.
@@ -84,7 +86,10 @@ impl std::fmt::Display for MappingError {
                 write!(f, "lattice rank {lattice} != machine rank {machine}")
             }
             MappingError::NotDivisible { axis } => {
-                write!(f, "lattice extent not divisible by machine extent on axis {axis}")
+                write!(
+                    f,
+                    "lattice extent not divisible by machine extent on axis {axis}"
+                )
             }
         }
     }
@@ -110,11 +115,11 @@ impl LatticeMapping {
             });
         }
         let mut local = Vec::with_capacity(global.len());
-        for axis in 0..global.len() {
-            if !global[axis].is_multiple_of(machine.extent(axis)) {
+        for (axis, &extent) in global.iter().enumerate() {
+            if !extent.is_multiple_of(machine.extent(axis)) {
                 return Err(MappingError::NotDivisible { axis });
             }
-            local.push(global[axis] / machine.extent(axis));
+            local.push(extent / machine.extent(axis));
         }
         Ok(LatticeMapping {
             global: global.to_vec(),
@@ -147,9 +152,9 @@ impl LatticeMapping {
     pub fn owner(&self, site: &[usize]) -> NodeCoord {
         assert_eq!(site.len(), self.global.len());
         let mut c = NodeCoord::ORIGIN;
-        for axis in 0..site.len() {
-            debug_assert!(site[axis] < self.global[axis]);
-            c.set(axis, site[axis] / self.local.dims()[axis]);
+        for (axis, &s) in site.iter().enumerate() {
+            debug_assert!(s < self.global[axis]);
+            c.set(axis, s / self.local.dims()[axis]);
         }
         c
     }
@@ -223,7 +228,10 @@ mod tests {
         let machine = TorusShape::new(&[2, 2]);
         assert_eq!(
             LatticeMapping::new(&[8, 8, 8], &machine),
-            Err(MappingError::RankMismatch { lattice: 3, machine: 2 })
+            Err(MappingError::RankMismatch {
+                lattice: 3,
+                machine: 2
+            })
         );
     }
 

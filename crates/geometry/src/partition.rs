@@ -138,9 +138,9 @@ impl Partition {
                 count[a] += 1;
             }
         }
-        for axis in 0..machine.rank() {
+        for (axis, &covered) in count.iter().enumerate() {
             let needed = spec.extents[axis] > 1;
-            if (needed && count[axis] != 1) || (!needed && count[axis] > 1) {
+            if (needed && covered != 1) || (!needed && covered > 1) {
                 return Err(PartitionError::BadAxisCover { axis });
             }
         }
@@ -241,7 +241,8 @@ impl Partition {
 
     /// Physical node id of the logical node `id` (rank in the logical shape).
     pub fn physical_id(&self, id: NodeId) -> NodeId {
-        self.machine.rank_of(self.physical_of(self.logical.coord_of(id)))
+        self.machine
+            .rank_of(self.physical_of(self.logical.coord_of(id)))
     }
 
     /// Logical coordinate of the neighbour of `lc` in logical direction `d`.
@@ -256,12 +257,17 @@ impl Partition {
         let mut worst = 0;
         for lc in self.logical.coords() {
             for axis in 0..self.logical.rank() {
-                for dir in [crate::Axis(axis as u8).plus(), crate::Axis(axis as u8).minus()] {
+                for dir in [
+                    crate::Axis(axis as u8).plus(),
+                    crate::Axis(axis as u8).minus(),
+                ] {
                     if self.logical.extent(axis) == 1 {
                         continue;
                     }
                     let nb = self.logical_neighbour(lc, dir);
-                    let d = self.machine.distance(self.physical_of(lc), self.physical_of(nb));
+                    let d = self
+                        .machine
+                        .distance(self.physical_of(lc), self.physical_of(nb));
                     worst = worst.max(d);
                 }
             }
@@ -298,7 +304,11 @@ mod tests {
         let p = Partition::new(&m, spec).unwrap();
         assert_eq!(p.logical_shape().dims(), &[8, 4, 4, 8]);
         assert_eq!(p.node_count(), 1024);
-        assert_eq!(p.dilation(), 1, "fold must preserve nearest-neighbour adjacency");
+        assert_eq!(
+            p.dilation(),
+            1,
+            "fold must preserve nearest-neighbour adjacency"
+        );
     }
 
     #[test]
@@ -368,7 +378,10 @@ mod tests {
             extents: vec![8, 4, 4, 2, 2, 2], // origin 2 + extent 4 > 4
             groups: vec![vec![0], vec![1], vec![2], vec![3, 4, 5]],
         };
-        assert_eq!(Partition::new(&m, spec), Err(PartitionError::OutOfBounds { axis: 1 }));
+        assert_eq!(
+            Partition::new(&m, spec),
+            Err(PartitionError::OutOfBounds { axis: 1 })
+        );
     }
 
     #[test]
@@ -379,7 +392,10 @@ mod tests {
             extents: m.dims().to_vec(),
             groups: vec![vec![0, 1], vec![1, 2], vec![3, 4, 5]],
         };
-        assert_eq!(Partition::new(&m, spec), Err(PartitionError::BadAxisCover { axis: 1 }));
+        assert_eq!(
+            Partition::new(&m, spec),
+            Err(PartitionError::BadAxisCover { axis: 1 })
+        );
     }
 
     #[test]
@@ -390,7 +406,10 @@ mod tests {
             extents: m.dims().to_vec(),
             groups: vec![vec![0], vec![1], vec![2], vec![3, 4]], // axis 5 missing
         };
-        assert_eq!(Partition::new(&m, spec), Err(PartitionError::BadAxisCover { axis: 5 }));
+        assert_eq!(
+            Partition::new(&m, spec),
+            Err(PartitionError::BadAxisCover { axis: 5 })
+        );
     }
 
     #[test]

@@ -34,7 +34,9 @@ impl TorusShape {
             dims.len()
         );
         assert!(dims.iter().all(|&d| d >= 1), "torus extents must be >= 1");
-        TorusShape { dims: dims.to_vec() }
+        TorusShape {
+            dims: dims.to_vec(),
+        }
     }
 
     /// The canonical 1024-node rack shape from §4: `8×4×4×2×2×2`.
@@ -96,10 +98,18 @@ impl TorusShape {
     /// wrapping around the torus.
     pub fn neighbour(&self, c: NodeCoord, d: Direction) -> NodeCoord {
         let axis = d.axis.index();
-        assert!(axis < self.rank(), "direction {d} outside torus rank {}", self.rank());
+        assert!(
+            axis < self.rank(),
+            "direction {d} outside torus rank {}",
+            self.rank()
+        );
         let ext = self.dims[axis];
         let cur = c.get(axis);
-        let next = if d.negative { (cur + ext - 1) % ext } else { (cur + 1) % ext };
+        let next = if d.negative {
+            (cur + ext - 1) % ext
+        } else {
+            (cur + 1) % ext
+        };
         let mut out = c;
         out.set(axis, next);
         out

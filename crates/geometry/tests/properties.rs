@@ -8,8 +8,11 @@ use qcdoc_geometry::{
 
 /// Strategy: a torus shape of rank 1..=6 with small even-ish extents.
 fn torus_shape() -> impl Strategy<Value = TorusShape> {
-    prop::collection::vec(prop_oneof![Just(1usize), Just(2), Just(3), Just(4), Just(6)], 1..=6)
-        .prop_map(|dims| TorusShape::new(&dims))
+    prop::collection::vec(
+        prop_oneof![Just(1usize), Just(2), Just(3), Just(4), Just(6)],
+        1..=6,
+    )
+    .prop_map(|dims| TorusShape::new(&dims))
 }
 
 /// Strategy: a torus with all-even extents (foldable).

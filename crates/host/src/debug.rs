@@ -70,15 +70,18 @@ impl DebugCpu {
         if self.finished {
             return false;
         }
-        let insn = self.program.get(self.pc as usize).copied().unwrap_or(DebugInsn::Done);
+        let insn = self
+            .program
+            .get(self.pc as usize)
+            .copied()
+            .unwrap_or(DebugInsn::Done);
         match insn {
             DebugInsn::Li(d, imm) => {
                 self.gprs[d as usize] = imm;
                 self.pc += 1;
             }
             DebugInsn::Add(d, a, b) => {
-                self.gprs[d as usize] =
-                    self.gprs[a as usize].wrapping_add(self.gprs[b as usize]);
+                self.gprs[d as usize] = self.gprs[a as usize].wrapping_add(self.gprs[b as usize]);
                 self.pc += 1;
             }
             DebugInsn::Bnz(a, target) => {
@@ -110,7 +113,11 @@ impl DebugCpu {
             }
             self.halted_at_breakpoint = false;
             if !self.step() {
-                return if self.finished { CpuState::Held } else { CpuState::Running };
+                return if self.finished {
+                    CpuState::Held
+                } else {
+                    CpuState::Running
+                };
             }
         }
         CpuState::Running
@@ -130,7 +137,11 @@ impl DebugSession {
     pub fn attach(program: Vec<DebugInsn>) -> DebugSession {
         let mut jtag = JtagController::new();
         jtag.handle(&JtagCommand::StartCpu);
-        DebugSession { jtag, cpu: DebugCpu::new(program), packets: 1 }
+        DebugSession {
+            jtag,
+            cpu: DebugCpu::new(program),
+            packets: 1,
+        }
     }
 
     /// UDP packets exchanged so far.
@@ -159,7 +170,11 @@ impl DebugSession {
 
     /// Single-step one instruction (requires halt).
     pub fn step(&mut self) -> bool {
-        assert_eq!(self.jtag.state(), CpuState::Halted, "step requires a halted CPU");
+        assert_eq!(
+            self.jtag.state(),
+            CpuState::Halted,
+            "step requires a halted CPU"
+        );
         self.jtag.handle(&JtagCommand::SingleStep);
         self.packets += 1;
         self.cpu.step()
@@ -167,9 +182,13 @@ impl DebugSession {
 
     /// Read a GPR through the register window.
     pub fn read_gpr(&mut self, reg: u8) -> u32 {
-        self.jtag.post_register(reg as u16, self.cpu.gprs[reg as usize]);
+        self.jtag
+            .post_register(reg as u16, self.cpu.gprs[reg as usize]);
         self.packets += 1;
-        match self.jtag.handle(&JtagCommand::ReadRegister { reg: reg as u16 }) {
+        match self
+            .jtag
+            .handle(&JtagCommand::ReadRegister { reg: reg as u16 })
+        {
             JtagReply::Value(v) => v,
             JtagReply::Ok => unreachable!(),
         }
@@ -252,15 +271,16 @@ mod tests {
     fn wedged_node_can_still_be_probed() {
         // The paper's hardware-debug scenario: the node hangs, but the
         // JTAG path reads its state anyway.
-        let mut s = DebugSession::attach(vec![
-            DebugInsn::Li(7, 0xDEAD),
-            DebugInsn::Hang,
-        ]);
+        let mut s = DebugSession::attach(vec![DebugInsn::Li(7, 0xDEAD), DebugInsn::Hang]);
         let state = s.resume(1000);
         assert_eq!(state, CpuState::Running, "hung, not finished");
         assert!(!s.finished());
         s.halt();
-        assert_eq!(s.read_gpr(7), 0xDEAD, "state visible through JTAG despite the hang");
+        assert_eq!(
+            s.read_gpr(7),
+            0xDEAD,
+            "state visible through JTAG despite the hang"
+        );
         assert_eq!(s.pc(), 1);
     }
 

@@ -185,7 +185,10 @@ pub fn decode(payload: &[u8]) -> Option<JtagCommand> {
             if buf.len() < 8 {
                 return None;
             }
-            JtagCommand::WriteICache { addr: buf.get_u32(), data: buf.get_u32() }
+            JtagCommand::WriteICache {
+                addr: buf.get_u32(),
+                data: buf.get_u32(),
+            }
         }
         2 => {
             if buf.len() < 2 {
@@ -210,7 +213,13 @@ mod tests {
         let mut c = JtagController::new();
         assert_eq!(c.state(), CpuState::Held);
         // First packet works with no prior setup — the no-PROM boot path.
-        assert_eq!(c.handle(&JtagCommand::WriteICache { addr: 0, data: 0x6000_0000 }), JtagReply::Ok);
+        assert_eq!(
+            c.handle(&JtagCommand::WriteICache {
+                addr: 0,
+                data: 0x6000_0000
+            }),
+            JtagReply::Ok
+        );
         assert_eq!(c.loaded_words(), 1);
     }
 
@@ -218,7 +227,10 @@ mod tests {
     fn boot_load_then_start() {
         let mut c = JtagController::new();
         for i in 0..100u32 {
-            c.handle(&JtagCommand::WriteICache { addr: i * 4, data: i });
+            c.handle(&JtagCommand::WriteICache {
+                addr: i * 4,
+                data: i,
+            });
         }
         assert_eq!(c.loaded_words(), 100);
         c.handle(&JtagCommand::StartCpu);
@@ -251,13 +263,19 @@ mod tests {
     fn register_read_returns_posted_value() {
         let mut c = JtagController::new();
         c.post_register(7, 0xABCD);
-        assert_eq!(c.handle(&JtagCommand::ReadRegister { reg: 7 }), JtagReply::Value(0xABCD));
+        assert_eq!(
+            c.handle(&JtagCommand::ReadRegister { reg: 7 }),
+            JtagReply::Value(0xABCD)
+        );
     }
 
     #[test]
     fn encode_decode_roundtrip() {
         for cmd in [
-            JtagCommand::WriteICache { addr: 0x100, data: 0xDEAD_BEEF },
+            JtagCommand::WriteICache {
+                addr: 0x100,
+                data: 0xDEAD_BEEF,
+            },
             JtagCommand::ReadRegister { reg: 5 },
             JtagCommand::StartCpu,
             JtagCommand::HaltCpu,

@@ -94,7 +94,10 @@ impl RunKernel {
             output: Vec::new(),
             nfs_handles: 0,
             nfs_written: 0,
-            status: HardwareStatus { checksums_ok: true, ..Default::default() },
+            status: HardwareStatus {
+                checksums_ok: true,
+                ..Default::default()
+            },
             exit_code: None,
             syscalls_serviced: 0,
         }
@@ -116,7 +119,11 @@ impl RunKernel {
     /// Service one syscall: control passes to the kernel thread and back —
     /// the only "scheduling" the kernel does (§3.2).
     pub fn syscall(&mut self, call: Syscall) -> Option<u32> {
-        assert_eq!(self.phase, KernelPhase::Running, "syscall outside application");
+        assert_eq!(
+            self.phase,
+            KernelPhase::Running,
+            "syscall outside application"
+        );
         self.active = ActiveThread::Kernel;
         self.syscalls_serviced += 1;
         let ret = match call {
@@ -195,7 +202,10 @@ impl RunKernel {
         self.active = ActiveThread::Kernel;
         self.output.clear();
         self.exit_code = None;
-        self.status = HardwareStatus { checksums_ok: true, ..Default::default() };
+        self.status = HardwareStatus {
+            checksums_ok: true,
+            ..Default::default()
+        };
     }
 }
 
@@ -234,8 +244,15 @@ mod tests {
         let mut k = RunKernel::new();
         k.finish_hardware_test();
         k.launch();
-        let h = k.syscall(Syscall::NfsOpen { path: "/host/configs/lat.0".into() }).unwrap();
-        k.syscall(Syscall::NfsWrite { handle: h, bytes: vec![0u8; 4096] });
+        let h = k
+            .syscall(Syscall::NfsOpen {
+                path: "/host/configs/lat.0".into(),
+            })
+            .unwrap();
+        k.syscall(Syscall::NfsWrite {
+            handle: h,
+            bytes: vec![0u8; 4096],
+        });
         assert_eq!(k.nfs_written(), 4096);
     }
 

@@ -98,7 +98,10 @@ impl NfsServer {
         }
         self.used += bytes.len() as u64;
         self.bytes_written += bytes.len() as u64;
-        self.files.get_mut(&path).expect("open created it").extend_from_slice(bytes);
+        self.files
+            .get_mut(&path)
+            .expect("open created it")
+            .extend_from_slice(bytes);
         Ok(())
     }
 
@@ -107,8 +110,11 @@ impl NfsServer {
         if !self.exported(path) {
             return Err(NfsError::NotExported(path.to_string()));
         }
-        let data =
-            self.files.get(path).cloned().ok_or_else(|| NfsError::NoEntry(path.to_string()))?;
+        let data = self
+            .files
+            .get(path)
+            .cloned()
+            .ok_or_else(|| NfsError::NoEntry(path.to_string()))?;
         self.bytes_read += data.len() as u64;
         Ok(data)
     }
@@ -159,8 +165,14 @@ mod tests {
     #[test]
     fn unexported_paths_rejected() {
         let mut s = NfsServer::new(&["/data"], 1 << 20);
-        assert!(matches!(s.open("/etc/shadow"), Err(NfsError::NotExported(_))));
-        assert!(matches!(s.read("/etc/shadow"), Err(NfsError::NotExported(_))));
+        assert!(matches!(
+            s.open("/etc/shadow"),
+            Err(NfsError::NotExported(_))
+        ));
+        assert!(matches!(
+            s.read("/etc/shadow"),
+            Err(NfsError::NotExported(_))
+        ));
     }
 
     #[test]

@@ -55,11 +55,19 @@ pub fn parse(line: &str) -> Result<Command, String> {
         }
         Some("qstat") => Ok(Command::Status),
         Some("qfree") => {
-            let id = words.next().ok_or("qfree needs an id")?.parse().map_err(|e| format!("{e}"))?;
+            let id = words
+                .next()
+                .ok_or("qfree needs an id")?
+                .parse()
+                .map_err(|e| format!("{e}"))?;
             Ok(Command::Free { id })
         }
         Some("qcat") => {
-            let id = words.next().ok_or("qcat needs an id")?.parse().map_err(|e| format!("{e}"))?;
+            let id = words
+                .next()
+                .ok_or("qcat needs an id")?
+                .parse()
+                .map_err(|e| format!("{e}"))?;
             Ok(Command::Cat { id })
         }
         Some(other) => Err(format!("unknown command: {other}")),
@@ -143,7 +151,11 @@ impl Qcsh {
     /// Open a host file on behalf of the qdaemon — succeeds only under the
     /// user's permitted prefixes.
     pub fn open_for_daemon(&mut self, path: &str) -> Result<(), String> {
-        if self.allowed_paths.iter().any(|p| path.starts_with(p.as_str())) {
+        if self
+            .allowed_paths
+            .iter()
+            .any(|p| path.starts_with(p.as_str()))
+        {
             self.open_files.insert(path.to_string(), Vec::new());
             Ok(())
         } else {
@@ -220,7 +232,8 @@ mod tests {
         let mut sh = Qcsh::new(1001, &["/home/physics"]);
         assert!(sh.open_for_daemon("/home/physics/configs/lat.0").is_ok());
         assert!(sh.open_for_daemon("/etc/passwd").is_err());
-        sh.write_for_daemon("/home/physics/configs/lat.0", b"binary").unwrap();
+        sh.write_for_daemon("/home/physics/configs/lat.0", b"binary")
+            .unwrap();
         assert_eq!(sh.file("/home/physics/configs/lat.0"), Some(&b"binary"[..]));
         assert!(sh.write_for_daemon("/never/opened", b"x").is_err());
     }

@@ -142,8 +142,7 @@ impl Qdaemon {
             self.states[node] = NodeState::Ready;
         }
         // Timing: both kernel loads ride the Ethernet capacity model.
-        let bytes_per_node =
-            (BOOT_KERNEL_PACKETS + RUN_KERNEL_PACKETS + 1) * BOOT_PACKET_BYTES;
+        let bytes_per_node = (BOOT_KERNEL_PACKETS + RUN_KERNEL_PACKETS + 1) * BOOT_PACKET_BYTES;
         let boot_seconds = self.ethernet.broadcast_seconds(bytes_per_node);
         BootReport {
             booted: n - bad.len(),
@@ -165,7 +164,12 @@ impl Qdaemon {
         for &m in &members {
             match self.states[m.index()] {
                 NodeState::Ready => {}
-                other => return Err(AllocError::NodeUnavailable { node: m.0, state: other }),
+                other => {
+                    return Err(AllocError::NodeUnavailable {
+                        node: m.0,
+                        state: other,
+                    })
+                }
             }
         }
         let id = self.next_partition_id;
@@ -173,7 +177,13 @@ impl Qdaemon {
         for &m in &members {
             self.states[m.index()] = NodeState::Busy { partition: id };
         }
-        self.allocations.insert(id, Allocation { partition, job_output: Vec::new() });
+        self.allocations.insert(
+            id,
+            Allocation {
+                partition,
+                job_output: Vec::new(),
+            },
+        );
         Ok(id)
     }
 
@@ -209,6 +219,41 @@ impl Qdaemon {
         self.states[node.index()] = NodeState::Faulty;
     }
 
+    /// Ingest an end-of-run machine-health sweep (§2.2 / §3.1): the
+    /// daemon walks the ledger the way it would walk the Ethernet/JTAG
+    /// tree after a job, quarantines every node the ledger flags (dead
+    /// link, crash, wedge, checksum mismatch, memory error) so later
+    /// allocations route around it, and prices the sweep itself on the
+    /// Ethernet capacity model.
+    pub fn ingest_health(&mut self, ledger: &qcdoc_fault::HealthLedger) -> HealthReport {
+        let unhealthy = ledger.unhealthy_nodes();
+        let mut quarantined = Vec::new();
+        for &node in &unhealthy {
+            if self.states[node as usize] != NodeState::Faulty {
+                self.mark_faulty(NodeId(node));
+                quarantined.push(node);
+            }
+        }
+        let checksum_mismatches = ledger
+            .nodes
+            .iter()
+            .flat_map(|n| &n.links)
+            .filter(|l| l.checksum_ok == Some(false))
+            .count();
+        // Each node reports 12 links × 9 counters/checksums (8 bytes each)
+        // plus a small per-node header, collected over the same tree that
+        // carried the boot kernels.
+        let readout_bytes = 12 * 9 * 8 + 16;
+        HealthReport {
+            quarantined,
+            total_resends: ledger.total_resends(),
+            total_injected: ledger.total_injected(),
+            dead_links: ledger.dead_links(),
+            checksum_mismatches,
+            sweep_seconds: self.ethernet.broadcast_seconds(readout_bytes),
+        }
+    }
+
     /// Count of nodes in each state: (ready, busy, faulty, unbooted).
     pub fn census(&self) -> (usize, usize, usize, usize) {
         let mut ready = 0;
@@ -234,6 +279,30 @@ impl Qdaemon {
     /// Whether a node's kernel is idle and ready for a job.
     pub fn node_idle(&self, node: NodeId) -> bool {
         self.kernels[node.index()].phase() == KernelPhase::Idle
+    }
+}
+
+/// The daemon's digest of an end-of-run machine-health sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthReport {
+    /// Nodes newly quarantined by this sweep.
+    pub quarantined: Vec<u32>,
+    /// Machine-wide go-back-N retransmission count.
+    pub total_resends: u64,
+    /// Machine-wide injected-corruption count (fault-injection runs).
+    pub total_injected: u64,
+    /// Every wire reported dead, as `(node, link_index)`.
+    pub dead_links: Vec<(u32, usize)>,
+    /// Link-checksum pairings that disagreed at end of run.
+    pub checksum_mismatches: usize,
+    /// Modelled wall-clock time of the sweep over the Ethernet tree.
+    pub sweep_seconds: f64,
+}
+
+impl HealthReport {
+    /// Whether the sweep found nothing wrong at all.
+    pub fn clean(&self) -> bool {
+        self.quarantined.is_empty() && self.dead_links.is_empty() && self.checksum_mismatches == 0
     }
 }
 
@@ -279,7 +348,10 @@ mod tests {
         let report = q.boot(&[]);
         assert_eq!(report.booted, 32);
         // ~100 JTAG packets + StartCpu + ~100 run-kernel packets per node.
-        assert_eq!(report.packets_sent, 32 * (BOOT_KERNEL_PACKETS + 1 + RUN_KERNEL_PACKETS));
+        assert_eq!(
+            report.packets_sent,
+            32 * (BOOT_KERNEL_PACKETS + 1 + RUN_KERNEL_PACKETS)
+        );
         assert!(report.boot_seconds > 0.0);
         let (ready, busy, faulty, unbooted) = q.census();
         assert_eq!((ready, busy, faulty, unbooted), (32, 0, 0, 0));
@@ -303,12 +375,12 @@ mod tests {
         let mut q = Qdaemon::new(small_machine());
         q.boot(&[]);
         // Remap the whole 6-D machine to 4-D, per §3.1.
-        let spec = PartitionSpec::whole_machine(
-            q.machine(),
-            &[&[0], &[1], &[2], &[3, 4, 5]],
-        );
+        let spec = PartitionSpec::whole_machine(q.machine(), &[&[0], &[1], &[2], &[3, 4, 5]]);
         let id = q.allocate(spec).unwrap();
-        assert_eq!(q.partition(id).unwrap().logical_shape().dims(), &[4, 2, 2, 2]);
+        assert_eq!(
+            q.partition(id).unwrap().logical_shape().dims(),
+            &[4, 2, 2, 2]
+        );
         let (ready, busy, _, _) = q.census();
         assert_eq!((ready, busy), (0, 32));
         q.release(id);
@@ -359,7 +431,51 @@ mod tests {
         q.boot(&[]);
         let id = q.allocate(PartitionSpec::native(q.machine())).unwrap();
         q.return_output(id, b"CG converged in 213 iterations\n");
-        assert_eq!(q.job_output(id).unwrap(), b"CG converged in 213 iterations\n");
+        assert_eq!(
+            q.job_output(id).unwrap(),
+            b"CG converged in 213 iterations\n"
+        );
+    }
+
+    #[test]
+    fn health_sweep_quarantines_flagged_nodes() {
+        use qcdoc_fault::{HealthLedger, Liveness};
+        let mut q = Qdaemon::new(small_machine());
+        q.boot(&[]);
+        let mut ledger = HealthLedger::new(32);
+        ledger.node_mut(6).links[2].dead = true;
+        ledger.node_mut(9).liveness = Liveness::Wedged;
+        ledger.node_mut(9).links[0].resends = 4;
+        let report = q.ingest_health(&ledger);
+        assert_eq!(report.quarantined, vec![6, 9]);
+        assert_eq!(report.dead_links, vec![(6, 2)]);
+        assert_eq!(report.total_resends, 4);
+        assert!(report.sweep_seconds > 0.0);
+        assert!(!report.clean());
+        assert_eq!(q.node_state(NodeId(6)), NodeState::Faulty);
+        assert_eq!(q.node_state(NodeId(9)), NodeState::Faulty);
+        // A full-machine allocation now routes into the failure, so it is
+        // refused; the census shows the quarantine.
+        assert!(q.allocate(PartitionSpec::native(q.machine())).is_err());
+        let (ready, _, faulty, _) = q.census();
+        assert_eq!((ready, faulty), (30, 2));
+        // Re-ingesting the same ledger quarantines nothing new.
+        assert!(q.ingest_health(&ledger).quarantined.is_empty());
+    }
+
+    #[test]
+    fn clean_sweep_reports_clean() {
+        let mut q = Qdaemon::new(small_machine());
+        q.boot(&[]);
+        let mut ledger = qcdoc_fault::HealthLedger::new(32);
+        // Healed corruption: resends happened but nothing is flagged.
+        ledger.node_mut(3).links[1].resends = 2;
+        ledger.node_mut(3).links[1].injected = 2;
+        let report = q.ingest_health(&ledger);
+        assert!(report.clean());
+        assert_eq!(report.total_injected, 2);
+        let (ready, _, faulty, _) = q.census();
+        assert_eq!((ready, faulty), (32, 0));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! actually does after boot: launch applications, poll status, collect
 //! output, and ask the kernel for its hardware report.
 
-use crate::kernel::{HardwareStatus, KernelPhase, RunKernel, Syscall};
+use crate::kernel::{HardwareStatus, KernelPhase, RunKernel};
 use bytes::{Buf, BufMut, BytesMut};
 use serde::{Deserialize, Serialize};
 
@@ -93,7 +93,12 @@ pub struct RpcServer {
 impl RpcServer {
     /// Wrap a booted kernel.
     pub fn new(kernel: RunKernel) -> RpcServer {
-        RpcServer { kernel, last_seq: None, last_reply: None, duplicates: 0 }
+        RpcServer {
+            kernel,
+            last_seq: None,
+            last_reply: None,
+            duplicates: 0,
+        }
     }
 
     /// Kernel access (the application model drives syscalls through this).
@@ -125,8 +130,11 @@ impl RpcServer {
             RpcCall::Poll => RpcReply::Phase(self.kernel.phase()),
             RpcCall::CollectOutput => RpcReply::Output(self.kernel.output().to_vec()),
             RpcCall::HardwareReport => {
-                let HardwareStatus { link_errors, ecc_corrections, checksums_ok } =
-                    self.kernel.hardware_status();
+                let HardwareStatus {
+                    link_errors,
+                    ecc_corrections,
+                    checksums_ok,
+                } = self.kernel.hardware_status();
                 RpcReply::Hardware(link_errors, ecc_corrections, checksums_ok)
             }
         };
@@ -189,6 +197,7 @@ impl RpcClient {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kernel::Syscall;
 
     fn booted_server() -> RpcServer {
         let mut k = RunKernel::new();
@@ -198,8 +207,16 @@ mod tests {
 
     #[test]
     fn frame_roundtrip() {
-        for call in [RpcCall::Launch, RpcCall::Poll, RpcCall::CollectOutput, RpcCall::HardwareReport] {
-            let req = RpcRequest { seq: 77, call: call.clone() };
+        for call in [
+            RpcCall::Launch,
+            RpcCall::Poll,
+            RpcCall::CollectOutput,
+            RpcCall::HardwareReport,
+        ] {
+            let req = RpcRequest {
+                seq: 77,
+                call: call.clone(),
+            };
             assert_eq!(decode_request(&encode_request(&req)), Some(req));
         }
         assert_eq!(decode_request(&[1, 2]), None);
@@ -211,12 +228,17 @@ mod tests {
         let mut server = booted_server();
         let mut client = RpcClient::new();
         let ok = |_: u32| true;
-        assert_eq!(client.call(&mut server, RpcCall::Launch, 0, ok), Some(RpcReply::Ok));
+        assert_eq!(
+            client.call(&mut server, RpcCall::Launch, 0, ok),
+            Some(RpcReply::Ok)
+        );
         assert_eq!(
             client.call(&mut server, RpcCall::Poll, 0, ok),
             Some(RpcReply::Phase(KernelPhase::Running))
         );
-        server.kernel_mut().syscall(Syscall::WriteOutput(b"42".to_vec()));
+        server
+            .kernel_mut()
+            .syscall(Syscall::WriteOutput(b"42".to_vec()));
         server.kernel_mut().syscall(Syscall::Exit { code: 0 });
         assert_eq!(
             client.call(&mut server, RpcCall::CollectOutput, 0, ok),
@@ -233,8 +255,14 @@ mod tests {
         let mut server = booted_server();
         let mut client = RpcClient::new();
         let ok = |_: u32| true;
-        assert_eq!(client.call(&mut server, RpcCall::Launch, 0, ok), Some(RpcReply::Ok));
-        assert_eq!(client.call(&mut server, RpcCall::Launch, 0, ok), Some(RpcReply::Busy));
+        assert_eq!(
+            client.call(&mut server, RpcCall::Launch, 0, ok),
+            Some(RpcReply::Ok)
+        );
+        assert_eq!(
+            client.call(&mut server, RpcCall::Launch, 0, ok),
+            Some(RpcReply::Busy)
+        );
     }
 
     #[test]
@@ -248,7 +276,10 @@ mod tests {
         // Executed exactly once: a duplicate Launch (same seq, as if the
         // reply were lost and the request retried late) returns the cached
         // Ok instead of Busy.
-        let dup = RpcRequest { seq: 0, call: RpcCall::Launch };
+        let dup = RpcRequest {
+            seq: 0,
+            call: RpcCall::Launch,
+        };
         assert_eq!(server.handle(&dup), RpcReply::Ok);
         assert_eq!(server.duplicates(), 1);
     }

@@ -27,8 +27,8 @@ pub struct CloverSite {
 impl CloverSite {
     fn identity() -> CloverSite {
         let mut b = [[C64::ZERO; 6]; 6];
-        for i in 0..6 {
-            b[i][i] = C64::ONE;
+        for (i, row) in b.iter_mut().enumerate() {
+            row[i] = C64::ONE;
         }
         CloverSite { upper: b, lower: b }
     }
@@ -112,7 +112,11 @@ impl<'a> CloverDirac<'a> {
             }
             terms.push(site);
         }
-        CloverDirac { wilson: WilsonDirac::new(gauge, kappa), terms, csw }
+        CloverDirac {
+            wilson: WilsonDirac::new(gauge, kappa),
+            terms,
+            csw,
+        }
     }
 
     /// The clover coefficient.

@@ -52,7 +52,11 @@ impl ColorVec {
 impl Add for ColorVec {
     type Output = ColorVec;
     fn add(self, rhs: ColorVec) -> ColorVec {
-        ColorVec([self.0[0] + rhs.0[0], self.0[1] + rhs.0[1], self.0[2] + rhs.0[2]])
+        ColorVec([
+            self.0[0] + rhs.0[0],
+            self.0[1] + rhs.0[1],
+            self.0[2] + rhs.0[2],
+        ])
     }
 }
 
@@ -67,7 +71,11 @@ impl AddAssign for ColorVec {
 impl Sub for ColorVec {
     type Output = ColorVec;
     fn sub(self, rhs: ColorVec) -> ColorVec {
-        ColorVec([self.0[0] - rhs.0[0], self.0[1] - rhs.0[1], self.0[2] - rhs.0[2]])
+        ColorVec([
+            self.0[0] - rhs.0[0],
+            self.0[1] - rhs.0[1],
+            self.0[2] - rhs.0[2],
+        ])
     }
 }
 

@@ -42,7 +42,10 @@ impl C64 {
     /// Complex conjugate.
     #[inline]
     pub fn conj(self) -> C64 {
-        C64 { re: self.re, im: -self.im }
+        C64 {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared modulus.
@@ -66,19 +69,28 @@ impl C64 {
     /// `e^{iθ}`.
     #[inline]
     pub fn from_polar(r: f64, theta: f64) -> C64 {
-        C64 { re: r * theta.cos(), im: r * theta.sin() }
+        C64 {
+            re: r * theta.cos(),
+            im: r * theta.sin(),
+        }
     }
 
     /// Multiply by `i`.
     #[inline]
     pub fn mul_i(self) -> C64 {
-        C64 { re: -self.im, im: self.re }
+        C64 {
+            re: -self.im,
+            im: self.re,
+        }
     }
 
     /// Multiply by `-i`.
     #[inline]
     pub fn mul_neg_i(self) -> C64 {
-        C64 { re: self.im, im: -self.re }
+        C64 {
+            re: self.im,
+            im: -self.re,
+        }
     }
 
     /// Fused `self + a * b`.
@@ -104,7 +116,10 @@ impl Add for C64 {
     type Output = C64;
     #[inline]
     fn add(self, rhs: C64) -> C64 {
-        C64 { re: self.re + rhs.re, im: self.im + rhs.im }
+        C64 {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
     }
 }
 
@@ -120,7 +135,10 @@ impl Sub for C64 {
     type Output = C64;
     #[inline]
     fn sub(self, rhs: C64) -> C64 {
-        C64 { re: self.re - rhs.re, im: self.im - rhs.im }
+        C64 {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
     }
 }
 
@@ -154,7 +172,10 @@ impl Mul<f64> for C64 {
     type Output = C64;
     #[inline]
     fn mul(self, rhs: f64) -> C64 {
-        C64 { re: self.re * rhs, im: self.im * rhs }
+        C64 {
+            re: self.re * rhs,
+            im: self.im * rhs,
+        }
     }
 }
 
@@ -174,7 +195,10 @@ impl Neg for C64 {
     type Output = C64;
     #[inline]
     fn neg(self) -> C64 {
-        C64 { re: -self.re, im: -self.im }
+        C64 {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 

@@ -238,7 +238,10 @@ mod tests {
         let a = operator_counts(Action::Dwf { ls: 8 });
         let b = operator_counts(Action::Dwf { ls: 16 });
         assert_eq!(b.flops, 2 * a.flops);
-        assert!(b.read_bytes < 2 * a.read_bytes, "gauge reads amortize across slices");
+        assert!(
+            b.read_bytes < 2 * a.read_bytes,
+            "gauge reads amortize across slices"
+        );
     }
 
     #[test]

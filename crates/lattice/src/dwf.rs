@@ -36,7 +36,9 @@ impl DwfField {
     /// The zero field with `ls` slices.
     pub fn zero(lat: Lattice, ls: usize) -> DwfField {
         assert!(ls >= 2, "domain walls need Ls >= 2");
-        DwfField { slices: (0..ls).map(|_| FermionField::zero(lat)).collect() }
+        DwfField {
+            slices: (0..ls).map(|_| FermionField::zero(lat)).collect(),
+        }
     }
 
     /// Gaussian random field, deterministic per (slice, site).
@@ -156,8 +158,7 @@ impl<'a> DwfDirac<'a> {
                 let down = if s > 0 {
                     chiral_project(inp.slice(s - 1).site(x), true)
                 } else {
-                    chiral_project(inp.slice(self.ls - 1).site(x), true)
-                        .scale(C64::real(-self.mf))
+                    chiral_project(inp.slice(self.ls - 1).site(x), true).scale(C64::real(-self.mf))
                 };
                 acc = acc - up - down;
                 *o.site_mut(x) = acc;

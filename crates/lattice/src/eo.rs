@@ -33,7 +33,10 @@ pub struct EoLayout {
 impl EoLayout {
     /// Build the layout for a lattice (requires an even volume).
     pub fn new(lat: Lattice) -> EoLayout {
-        assert!(lat.volume().is_multiple_of(2), "even/odd split needs even volume");
+        assert!(
+            lat.volume().is_multiple_of(2),
+            "even/odd split needs even volume"
+        );
         let mut site_of = [Vec::new(), Vec::new()];
         let mut eo_of = vec![(0usize, 0usize); lat.volume()];
         for x in lat.sites() {
@@ -41,7 +44,11 @@ impl EoLayout {
             eo_of[x] = (p, site_of[p].len());
             site_of[p].push(x);
         }
-        EoLayout { lat, site_of, eo_of }
+        EoLayout {
+            lat,
+            site_of,
+            eo_of,
+        }
     }
 
     /// The lattice.
@@ -99,7 +106,9 @@ pub struct EoField {
 impl EoField {
     /// The zero half-field.
     pub fn zero(half_volume: usize) -> EoField {
-        EoField { data: vec![Spinor::ZERO; half_volume] }
+        EoField {
+            data: vec![Spinor::ZERO; half_volume],
+        }
     }
 
     /// Site accessor.
@@ -152,7 +161,11 @@ pub struct EoWilson<'a> {
 impl<'a> EoWilson<'a> {
     /// Build from a gauge field and hopping parameter.
     pub fn new(gauge: &'a GaugeField, kappa: f64) -> EoWilson<'a> {
-        EoWilson { gauge, layout: EoLayout::new(gauge.lattice()), kappa }
+        EoWilson {
+            gauge,
+            layout: EoLayout::new(gauge.lattice()),
+            kappa,
+        }
     }
 
     /// The layout.
@@ -171,12 +184,15 @@ impl<'a> EoWilson<'a> {
             for mu in 0..4 {
                 let xf = lat.neighbour(x, mu, true);
                 let (_, df) = self.layout.eo(xf);
-                let hf = inp.data[df].project(mu, ProjSign::Minus).mul_su3(self.gauge.link(x, mu));
+                let hf = inp.data[df]
+                    .project(mu, ProjSign::Minus)
+                    .mul_su3(self.gauge.link(x, mu));
                 acc += Spinor::reconstruct(&hf, mu, ProjSign::Minus);
                 let xb = lat.neighbour(x, mu, false);
                 let (_, db) = self.layout.eo(xb);
-                let hb =
-                    inp.data[db].project(mu, ProjSign::Plus).adj_mul_su3(self.gauge.link(xb, mu));
+                let hb = inp.data[db]
+                    .project(mu, ProjSign::Plus)
+                    .adj_mul_su3(self.gauge.link(xb, mu));
                 acc += Spinor::reconstruct(&hb, mu, ProjSign::Plus);
             }
             out.data[d] = acc;
@@ -299,7 +315,10 @@ mod tests {
         let gauge = GaugeField::hot(lat(), 4);
         let b = FermionField::gaussian(lat(), 5);
         let kappa = 0.12;
-        let params = CgParams { tolerance: 1e-10, max_iterations: 4000 };
+        let params = CgParams {
+            tolerance: 1e-10,
+            max_iterations: 4000,
+        };
         // Unpreconditioned.
         let d = WilsonDirac::new(&gauge, kappa);
         let mut x_full = FermionField::zero(lat());

@@ -44,8 +44,8 @@ impl Lattice {
     /// Coordinate of a site index.
     pub fn coord(&self, mut idx: usize) -> [usize; 4] {
         let mut c = [0usize; 4];
-        for d in 0..4 {
-            c[d] = idx % self.dims[d];
+        for (d, cd) in c.iter_mut().enumerate() {
+            *cd = idx % self.dims[d];
             idx /= self.dims[d];
         }
         debug_assert_eq!(idx, 0);
@@ -57,7 +57,11 @@ impl Lattice {
     pub fn neighbour(&self, idx: usize, mu: usize, forward: bool) -> usize {
         let mut c = self.coord(idx);
         let ext = self.dims[mu];
-        c[mu] = if forward { (c[mu] + 1) % ext } else { (c[mu] + ext - 1) % ext };
+        c[mu] = if forward {
+            (c[mu] + 1) % ext
+        } else {
+            (c[mu] + ext - 1) % ext
+        };
         self.index(c)
     }
 
@@ -83,7 +87,10 @@ pub struct GaugeField {
 impl GaugeField {
     /// The free (unit-link) configuration.
     pub fn unit(lat: Lattice) -> GaugeField {
-        GaugeField { lat, links: vec![[Su3::IDENTITY; 4]; lat.volume()] }
+        GaugeField {
+            lat,
+            links: vec![[Su3::IDENTITY; 4]; lat.volume()],
+        }
     }
 
     /// A "hot" start: links drawn independently and site-deterministically,
@@ -170,7 +177,10 @@ pub struct FermionField {
 impl FermionField {
     /// The zero field.
     pub fn zero(lat: Lattice) -> FermionField {
-        FermionField { lat, data: vec![Spinor::ZERO; lat.volume()] }
+        FermionField {
+            lat,
+            data: vec![Spinor::ZERO; lat.volume()],
+        }
     }
 
     /// A Gaussian random field, site-deterministic.
@@ -276,7 +286,10 @@ pub struct StaggeredField {
 impl StaggeredField {
     /// The zero field.
     pub fn zero(lat: Lattice) -> StaggeredField {
-        StaggeredField { lat, data: vec![ColorVec::ZERO; lat.volume()] }
+        StaggeredField {
+            lat,
+            data: vec![ColorVec::ZERO; lat.volume()],
+        }
     }
 
     /// A Gaussian random field, site-deterministic.

@@ -27,18 +27,32 @@ pub struct Gamma {
 /// γ_0 … γ_3 (x, y, z, t) in the DeGrand–Rossi basis.
 pub const GAMMA: [Gamma; 4] = [
     // γ_x
-    Gamma { col: [3, 2, 1, 0], phase: [I, I, NEG_I, NEG_I] },
+    Gamma {
+        col: [3, 2, 1, 0],
+        phase: [I, I, NEG_I, NEG_I],
+    },
     // γ_y
-    Gamma { col: [3, 2, 1, 0], phase: [NEG_ONE, ONE, ONE, NEG_ONE] },
+    Gamma {
+        col: [3, 2, 1, 0],
+        phase: [NEG_ONE, ONE, ONE, NEG_ONE],
+    },
     // γ_z
-    Gamma { col: [2, 3, 0, 1], phase: [I, NEG_I, NEG_I, I] },
+    Gamma {
+        col: [2, 3, 0, 1],
+        phase: [I, NEG_I, NEG_I, I],
+    },
     // γ_t
-    Gamma { col: [2, 3, 0, 1], phase: [ONE, ONE, ONE, ONE] },
+    Gamma {
+        col: [2, 3, 0, 1],
+        phase: [ONE, ONE, ONE, ONE],
+    },
 ];
 
 /// γ_5 = γ_x γ_y γ_z γ_t — diagonal (+1, +1, −1, −1) in this basis.
-pub const GAMMA5: Gamma =
-    Gamma { col: [0, 1, 2, 3], phase: [ONE, ONE, NEG_ONE, NEG_ONE] };
+pub const GAMMA5: Gamma = Gamma {
+    col: [0, 1, 2, 3],
+    phase: [ONE, ONE, NEG_ONE, NEG_ONE],
+};
 
 impl Gamma {
     /// Dense 4×4 form.
@@ -83,6 +97,7 @@ pub fn sigma(mu: usize, nu: usize) -> [[C64; 4]; 4] {
 }
 
 #[cfg(test)]
+#[allow(clippy::needless_range_loop)]
 mod tests {
     use super::*;
 
@@ -133,7 +148,11 @@ mod tests {
                 let gm = GAMMA[mu].dense();
                 let gn = GAMMA[nu].dense();
                 let anti = add(&matmul4(&gm, &gn), &matmul4(&gn, &gm));
-                let expect = if mu == nu { scaled(&identity(), 2.0) } else { [[C64::ZERO; 4]; 4] };
+                let expect = if mu == nu {
+                    scaled(&identity(), 2.0)
+                } else {
+                    [[C64::ZERO; 4]; 4]
+                };
                 assert!(dense_eq(&anti, &expect, 1e-14), "mu={mu} nu={nu}");
             }
         }

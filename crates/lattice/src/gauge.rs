@@ -27,7 +27,8 @@ pub fn average_plaquette(gauge: &GaugeField) -> f64 {
             for nu in (mu + 1)..4 {
                 let xpm = lat.neighbour(x, mu, true);
                 let xpn = lat.neighbour(x, nu, true);
-                let p = *gauge.link(x, mu) * *gauge.link(xpm, nu)
+                let p = *gauge.link(x, mu)
+                    * *gauge.link(xpm, nu)
                     * gauge.link(xpn, mu).adjoint()
                     * gauge.link(x, nu).adjoint();
                 acc += p.trace().re / 3.0;
@@ -52,10 +53,10 @@ pub fn staple_sum(gauge: &GaugeField, x: usize, mu: usize) -> Su3 {
         let xmn = lat.neighbour(x, nu, false);
         let xmn_pm = lat.neighbour(xmn, mu, true);
         // Upper: U_nu(x+mu) U_mu(x+nu)^† U_nu(x)^†.
-        s = s + *gauge.link(xpm, nu) * gauge.link(xpn, mu).adjoint()
-            * gauge.link(x, nu).adjoint();
+        s = s + *gauge.link(xpm, nu) * gauge.link(xpn, mu).adjoint() * gauge.link(x, nu).adjoint();
         // Lower: U_nu(x+mu-nu)^† U_mu(x-nu)^† U_nu(x-nu).
-        s = s + gauge.link(xmn_pm, nu).adjoint() * gauge.link(xmn, mu).adjoint()
+        s = s + gauge.link(xmn_pm, nu).adjoint()
+            * gauge.link(xmn, mu).adjoint()
             * *gauge.link(xmn, nu);
     }
     s
@@ -80,7 +81,11 @@ pub struct EvolveParams {
 
 impl Default for EvolveParams {
     fn default() -> Self {
-        EvolveParams { beta: 5.7, or_per_hb: 1, reunit_interval: 10 }
+        EvolveParams {
+            beta: 5.7,
+            or_per_hb: 1,
+            reunit_interval: 10,
+        }
     }
 }
 
@@ -107,14 +112,7 @@ fn kp_sample_x0(alpha: f64, rng: &mut SiteRng) -> f64 {
 }
 
 /// One SU(2)-subgroup heatbath hit on `U_μ(x)`.
-fn su2_heatbath_hit(
-    u: &mut Su3,
-    staple: &Su3,
-    beta: f64,
-    p: usize,
-    q: usize,
-    rng: &mut SiteRng,
-) {
+fn su2_heatbath_hit(u: &mut Su3, staple: &Su3, beta: f64, p: usize, q: usize, rng: &mut SiteRng) {
     let w = *u * *staple;
     let (va, vb, k) = w.su2_project(p, q);
     if k < 1e-12 {
@@ -195,12 +193,7 @@ pub fn overrelax_sweep(gauge: &mut GaugeField) {
 
 /// Run `sweeps` combined (heatbath + OR) sweeps; returns the plaquette
 /// history, one entry per sweep.
-pub fn evolve(
-    gauge: &mut GaugeField,
-    params: EvolveParams,
-    seed: u64,
-    sweeps: usize,
-) -> Vec<f64> {
+pub fn evolve(gauge: &mut GaugeField, params: EvolveParams, seed: u64, sweeps: usize) -> Vec<f64> {
     let mut history = Vec::with_capacity(sweeps);
     for sweep in 0..sweeps {
         heatbath_sweep(gauge, params.beta, seed, sweep as u64);
@@ -234,7 +227,10 @@ mod tests {
     fn hot_plaquette_is_small() {
         let g = GaugeField::hot(lat(), 1);
         let p = average_plaquette(&g);
-        assert!(p.abs() < 0.2, "random links should have tiny plaquette, got {p}");
+        assert!(
+            p.abs() < 0.2,
+            "random links should have tiny plaquette, got {p}"
+        );
     }
 
     #[test]
@@ -261,8 +257,15 @@ mod tests {
     #[test]
     fn high_beta_stays_ordered() {
         let mut g = GaugeField::unit(lat());
-        let history =
-            evolve(&mut g, EvolveParams { beta: 100.0, ..Default::default() }, 3, 5);
+        let history = evolve(
+            &mut g,
+            EvolveParams {
+                beta: 100.0,
+                ..Default::default()
+            },
+            3,
+            5,
+        );
         assert!(*history.last().unwrap() > 0.95);
     }
 
@@ -292,7 +295,11 @@ mod tests {
         let mut g2 = GaugeField::hot(small, 42);
         evolve(&mut g1, EvolveParams::default(), 1234, 6);
         evolve(&mut g2, EvolveParams::default(), 1234, 6);
-        assert_eq!(g1.fingerprint(), g2.fingerprint(), "evolution must be bit-identical");
+        assert_eq!(
+            g1.fingerprint(),
+            g2.fingerprint(),
+            "evolution must be bit-identical"
+        );
     }
 
     #[test]
@@ -308,7 +315,15 @@ mod tests {
     #[test]
     fn links_stay_in_su3() {
         let mut g = GaugeField::hot(lat(), 13);
-        evolve(&mut g, EvolveParams { reunit_interval: 1, ..Default::default() }, 77, 5);
+        evolve(
+            &mut g,
+            EvolveParams {
+                reunit_interval: 1,
+                ..Default::default()
+            },
+            77,
+            5,
+        );
         assert!(g.max_unitarity_error() < 1e-10);
         // Spot-check determinants.
         for x in [0, 100, 200] {

@@ -35,7 +35,10 @@ impl std::fmt::Display for IoError {
             IoError::BadHeader(k) => write!(f, "bad header: {k}"),
             IoError::Truncated => write!(f, "data shorter than the header geometry"),
             IoError::Checksum { computed, recorded } => {
-                write!(f, "checksum mismatch: data {computed:#010x}, header {recorded:#010x}")
+                write!(
+                    f,
+                    "checksum mismatch: data {computed:#010x}, header {recorded:#010x}"
+                )
             }
             IoError::Plaquette => write!(f, "plaquette mismatch (corrupt data)"),
         }
@@ -141,7 +144,10 @@ pub fn read_config(bytes: &[u8]) -> Result<GaugeField, IoError> {
     let payload = &payload[..expect_len];
     let computed = nersc_checksum(payload);
     if computed != recorded_checksum {
-        return Err(IoError::Checksum { computed, recorded: recorded_checksum });
+        return Err(IoError::Checksum {
+            computed,
+            recorded: recorded_checksum,
+        });
     }
     let mut gauge = GaugeField::unit(lat);
     let mut off = 0usize;
@@ -192,7 +198,13 @@ mod tests {
     fn header_is_human_readable() {
         let bytes = write_config(&config());
         let text = String::from_utf8_lossy(&bytes[..300]);
-        for needle in ["BEGIN_HEADER", "DIMENSION_1 = 2", "DIMENSION_4 = 4", "PLAQUETTE", "IEEE64BIG"] {
+        for needle in [
+            "BEGIN_HEADER",
+            "DIMENSION_1 = 2",
+            "DIMENSION_4 = 4",
+            "PLAQUETTE",
+            "IEEE64BIG",
+        ] {
             assert!(text.contains(needle), "{text}");
         }
     }

@@ -35,10 +35,10 @@ pub mod dwf;
 pub mod eo;
 pub mod field;
 pub mod gamma;
+pub mod gauge;
 pub mod io;
 pub mod measure;
 pub mod multishift;
-pub mod gauge;
 pub mod rng;
 pub mod solver;
 pub mod spinor;

@@ -29,11 +29,7 @@ pub struct Propagator {
 }
 
 /// Compute the Wilson propagator from a point source at site 0.
-pub fn point_propagator(
-    gauge: &GaugeField,
-    kappa: f64,
-    params: CgParams,
-) -> Propagator {
+pub fn point_propagator(gauge: &GaugeField, kappa: f64, params: CgParams) -> Propagator {
     let lat = gauge.lattice();
     let op = WilsonDirac::new(gauge, kappa);
     let mut columns = Vec::with_capacity(12);
@@ -109,7 +105,10 @@ mod tests {
         let prop = point_propagator(
             &gauge,
             0.11,
-            CgParams { tolerance: 1e-9, max_iterations: 4000 },
+            CgParams {
+                tolerance: 1e-9,
+                max_iterations: 4000,
+            },
         );
         (gauge, prop)
     }
@@ -169,7 +168,7 @@ mod tests {
         let gauge = GaugeField::unit(lat);
         let prop = point_propagator(&gauge, 0.1, CgParams::default());
         let corr = pion_correlator(&prop);
-        let mut manual = vec![0.0; 4];
+        let mut manual = [0.0; 4];
         for col in &prop.columns {
             for (t, v) in timeslice_norms(col).into_iter().enumerate() {
                 manual[t] += v;

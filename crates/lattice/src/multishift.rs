@@ -36,7 +36,10 @@ pub fn solve_multishift<Op: DiracOperator>(
     max_iterations: usize,
 ) -> (Vec<Op::Field>, MultishiftReport) {
     assert!(!shifts.is_empty(), "need at least one shift");
-    assert!(shifts.iter().all(|&s| s >= 0.0), "shifts must be non-negative");
+    assert!(
+        shifts.iter().all(|&s| s >= 0.0),
+        "shifts must be non-negative"
+    );
     let ns = shifts.len();
 
     // Base system: the smallest shift (best conditioned is the largest,
@@ -95,7 +98,11 @@ pub fn solve_multishift<Op: DiracOperator>(
             let den = beta * alpha_prev * (zeta_prev[i] - zeta[i])
                 + zeta_prev[i] * beta_prev * (1.0 - rel[i] * beta);
             zeta_next[i] = if den.abs() < 1e-300 { 0.0 } else { numer / den };
-            beta_s[i] = if zeta[i].abs() < 1e-300 { 0.0 } else { beta * zeta_next[i] / zeta[i] };
+            beta_s[i] = if zeta[i].abs() < 1e-300 {
+                0.0
+            } else {
+                beta * zeta_next[i] / zeta[i]
+            };
         }
         // x_i -= beta_i p_i ; base residual update r += beta q.
         for i in 0..ns {
@@ -146,12 +153,7 @@ mod tests {
     /// The shifted normal operator for the staggered action: `M†M + σ`
     /// with `M = m + D` gives `m² − D² + σ` — so a solve at shift σ equals
     /// a plain solve at mass `sqrt(m² + σ)`.
-    fn residual_of(
-        op: &StaggeredDirac,
-        shift: f64,
-        x: &StaggeredField,
-        b: &StaggeredField,
-    ) -> f64 {
+    fn residual_of(op: &StaggeredDirac, shift: f64, x: &StaggeredField, b: &StaggeredField) -> f64 {
         let mut t = b.clone();
         op.apply(&mut t, x);
         let mut q = b.clone();
@@ -204,7 +206,10 @@ mod tests {
         let (xs, _) = solve_multishift(&op, &b, &shifts, 1e-9, 4000);
         let r_small = residual_of(&op, 0.0, &xs[0], &b);
         let r_big = residual_of(&op, 2.0, &xs[1], &b);
-        assert!(r_big <= r_small * 10.0, "r_big {r_big} vs r_small {r_small}");
+        assert!(
+            r_big <= r_small * 10.0,
+            "r_big {r_big} vs r_small {r_small}"
+        );
     }
 
     #[test]

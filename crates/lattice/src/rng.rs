@@ -28,7 +28,10 @@ pub struct SiteRng {
 impl SiteRng {
     /// Stream for global site `site` under master seed `seed`.
     pub fn new(seed: u64, site: u64) -> SiteRng {
-        SiteRng { key: mix(seed ^ mix(site.wrapping_mul(0xA24BAED4963EE407))), counter: 0 }
+        SiteRng {
+            key: mix(seed ^ mix(site.wrapping_mul(0xA24BAED4963EE407))),
+            counter: 0,
+        }
     }
 
     /// Next raw 64-bit draw.

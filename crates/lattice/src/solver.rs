@@ -175,7 +175,10 @@ pub struct CgParams {
 
 impl Default for CgParams {
     fn default() -> Self {
-        CgParams { tolerance: 1e-8, max_iterations: 2000 }
+        CgParams {
+            tolerance: 1e-8,
+            max_iterations: 2000,
+        }
     }
 }
 
@@ -313,7 +316,11 @@ mod tests {
         let b = FermionField::gaussian(lat(), 101);
         let mut x = FermionField::zero(lat());
         let report = solve_cgne(&op, &mut x, &b, CgParams::default());
-        assert!(report.converged, "CG did not converge: {:?}", report.final_residual);
+        assert!(
+            report.converged,
+            "CG did not converge: {:?}",
+            report.final_residual
+        );
         assert!(residual_of(&op, &x, &b) < 1e-6);
         assert_eq!(report.operator_applications, 3 + 2 * report.iterations);
         // Two reductions per iteration plus setup.
@@ -387,7 +394,11 @@ mod tests {
         let r1 = solve_cgne(&op, &mut x1, &b, CgParams::default());
         let mut x2 = FermionField::zero(lat());
         let r2 = solve_cgne(&op, &mut x2, &b, CgParams::default());
-        assert_eq!(x1.fingerprint(), x2.fingerprint(), "bitwise reproducibility");
+        assert_eq!(
+            x1.fingerprint(),
+            x2.fingerprint(),
+            "bitwise reproducibility"
+        );
         assert_eq!(r1.iterations, r2.iterations);
     }
 
@@ -408,8 +419,15 @@ mod tests {
         let op = WilsonDirac::new(&gauge, 0.12);
         let b = FermionField::gaussian(lat(), 118);
         let mut x = FermionField::zero(lat());
-        let report =
-            solve_cgne(&op, &mut x, &b, CgParams { tolerance: 1e-30, max_iterations: 5 });
+        let report = solve_cgne(
+            &op,
+            &mut x,
+            &b,
+            CgParams {
+                tolerance: 1e-30,
+                max_iterations: 5,
+            },
+        );
         assert!(!report.converged);
         assert_eq!(report.iterations, 5);
     }

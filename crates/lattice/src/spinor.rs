@@ -52,7 +52,12 @@ impl Spinor {
 
     /// Scale by a complex factor.
     pub fn scale(&self, s: C64) -> Spinor {
-        Spinor([self.0[0].scale(s), self.0[1].scale(s), self.0[2].scale(s), self.0[3].scale(s)])
+        Spinor([
+            self.0[0].scale(s),
+            self.0[1].scale(s),
+            self.0[2].scale(s),
+            self.0[3].scale(s),
+        ])
     }
 
     /// `self + a * rhs`.
@@ -144,8 +149,7 @@ impl HalfSpinor {
         let mut k = 0;
         for s in 0..2 {
             for c in 0..3 {
-                h.0[s].0[c] =
-                    C64::new(f64::from_bits(words[k]), f64::from_bits(words[k + 1]));
+                h.0[s].0[c] = C64::new(f64::from_bits(words[k]), f64::from_bits(words[k + 1]));
                 k += 2;
             }
         }
@@ -195,7 +199,12 @@ impl Neg for Spinor {
 impl Mul<f64> for Spinor {
     type Output = Spinor;
     fn mul(self, rhs: f64) -> Spinor {
-        Spinor([self.0[0] * rhs, self.0[1] * rhs, self.0[2] * rhs, self.0[3] * rhs])
+        Spinor([
+            self.0[0] * rhs,
+            self.0[1] * rhs,
+            self.0[2] * rhs,
+            self.0[3] * rhs,
+        ])
     }
 }
 

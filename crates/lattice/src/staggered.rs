@@ -101,7 +101,11 @@ impl Default for AsqtadCoeffs {
         // thin link and its six staples; the Naik coefficient is −1/24 ×
         // the rescaled one-link normalization, here folded to match the
         // standard c_Naik = −1/24 convention after the 9/8 rescale.
-        AsqtadCoeffs { one_link: 5.0 / 8.0, staple3: 1.0 / 16.0, naik: -1.0 / 24.0 }
+        AsqtadCoeffs {
+            one_link: 5.0 / 8.0,
+            staple3: 1.0 / 16.0,
+            naik: -1.0 / 24.0,
+        }
     }
 }
 
@@ -131,12 +135,13 @@ impl AsqtadLinks {
                     // Upper staple: x -> x+nu -> x+nu+mu -> x+mu.
                     let xpn = lat.neighbour(x, nu, true);
                     let xpm = lat.neighbour(x, mu, true);
-                    let up = *gauge.link(x, nu) * *gauge.link(xpn, mu)
-                        * gauge.link(xpm, nu).adjoint();
+                    let up =
+                        *gauge.link(x, nu) * *gauge.link(xpn, mu) * gauge.link(xpm, nu).adjoint();
                     // Lower staple: x -> x-nu -> x-nu+mu -> x+mu.
                     let xmn = lat.neighbour(x, nu, false);
                     let xmn_pm = lat.neighbour(xmn, mu, true);
-                    let down = gauge.link(xmn, nu).adjoint() * *gauge.link(xmn, mu)
+                    let down = gauge.link(xmn, nu).adjoint()
+                        * *gauge.link(xmn, mu)
                         * *gauge.link(xmn_pm, nu);
                     f = f + (up + down).scale(C64::real(coeffs.staple3));
                 }

@@ -23,9 +23,21 @@ impl Su3 {
 
     /// The identity.
     pub const IDENTITY: Su3 = Su3([
-        [C64 { re: 1.0, im: 0.0 }, C64 { re: 0.0, im: 0.0 }, C64 { re: 0.0, im: 0.0 }],
-        [C64 { re: 0.0, im: 0.0 }, C64 { re: 1.0, im: 0.0 }, C64 { re: 0.0, im: 0.0 }],
-        [C64 { re: 0.0, im: 0.0 }, C64 { re: 0.0, im: 0.0 }, C64 { re: 1.0, im: 0.0 }],
+        [
+            C64 { re: 1.0, im: 0.0 },
+            C64 { re: 0.0, im: 0.0 },
+            C64 { re: 0.0, im: 0.0 },
+        ],
+        [
+            C64 { re: 0.0, im: 0.0 },
+            C64 { re: 1.0, im: 0.0 },
+            C64 { re: 0.0, im: 0.0 },
+        ],
+        [
+            C64 { re: 0.0, im: 0.0 },
+            C64 { re: 0.0, im: 0.0 },
+            C64 { re: 1.0, im: 0.0 },
+        ],
     ]);
 
     /// Hermitian conjugate (adjoint).
@@ -231,7 +243,11 @@ mod tests {
         for seed in 0..20 {
             let u = random_su3(seed);
             assert!(u.unitarity_error() < 1e-12, "seed {seed}");
-            assert!((u.det() - C64::ONE).abs() < 1e-12, "seed {seed}: det {}", u.det());
+            assert!(
+                (u.det() - C64::ONE).abs() < 1e-12,
+                "seed {seed}: det {}",
+                u.det()
+            );
         }
     }
 
@@ -254,7 +270,11 @@ mod tests {
     #[test]
     fn adj_mul_vec_matches_explicit_adjoint() {
         let u = random_su3(4);
-        let v = ColorVec([C64::new(1.0, -1.0), C64::new(0.5, 2.0), C64::new(-2.0, 0.25)]);
+        let v = ColorVec([
+            C64::new(1.0, -1.0),
+            C64::new(0.5, 2.0),
+            C64::new(-2.0, 0.25),
+        ]);
         let fast = u.adj_mul_vec(&v);
         let slow = u.adjoint().mul_vec(&v);
         for c in 0..3 {

@@ -50,12 +50,17 @@ impl<'a> WilsonDirac<'a> {
             for mu in 0..4 {
                 // Forward: U_mu(x) (1-gamma_mu) psi(x+mu).
                 let xf = lat.neighbour(x, mu, true);
-                let hf = inp.site(xf).project(mu, ProjSign::Minus).mul_su3(self.gauge.link(x, mu));
+                let hf = inp
+                    .site(xf)
+                    .project(mu, ProjSign::Minus)
+                    .mul_su3(self.gauge.link(x, mu));
                 acc += Spinor::reconstruct(&hf, mu, ProjSign::Minus);
                 // Backward: U_mu(x-mu)^dag (1+gamma_mu) psi(x-mu).
                 let xb = lat.neighbour(x, mu, false);
-                let hb =
-                    inp.site(xb).project(mu, ProjSign::Plus).adj_mul_su3(self.gauge.link(xb, mu));
+                let hb = inp
+                    .site(xb)
+                    .project(mu, ProjSign::Plus)
+                    .adj_mul_su3(self.gauge.link(xb, mu));
                 acc += Spinor::reconstruct(&hb, mu, ProjSign::Plus);
             }
             *out.site_mut(x) = acc;

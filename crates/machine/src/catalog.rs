@@ -103,7 +103,10 @@ mod tests {
 
     #[test]
     fn three_production_machines() {
-        let prod: Vec<_> = catalog().into_iter().filter(|m| m.nodes == 12_288).collect();
+        let prod: Vec<_> = catalog()
+            .into_iter()
+            .filter(|m| m.nodes == 12_288)
+            .collect();
         assert_eq!(prod.len(), 3, "RBRC, UKQCD and US LGT machines");
         let sites: Vec<_> = prod.iter().map(|m| m.site).collect();
         assert!(sites.contains(&Site::Rbrc));

@@ -186,16 +186,26 @@ mod tests {
         // by ~0.1% ("awaiting final accounting"); we require agreement to
         // that tolerance.
         let rel = (b.hardware_total() - c::QUOTED_TOTAL).abs() / c::QUOTED_TOTAL;
-        assert!(rel < 0.002, "hardware total {} vs quoted {}", b.hardware_total(), c::QUOTED_TOTAL);
+        assert!(
+            rel < 0.002,
+            "hardware total {} vs quoted {}",
+            b.hardware_total(),
+            c::QUOTED_TOTAL
+        );
     }
 
     #[test]
     fn rnd_proration_matches_quote() {
         let b = CostModel::default().breakdown(&columbia());
         assert!((b.rnd_share - columbia_4096::RND_PRORATED).abs() < 0.01);
-        let rel =
-            (b.total() - columbia_4096::QUOTED_TOTAL_WITH_RND).abs() / columbia_4096::QUOTED_TOTAL_WITH_RND;
-        assert!(rel < 0.002, "total {} vs quoted {}", b.total(), columbia_4096::QUOTED_TOTAL_WITH_RND);
+        let rel = (b.total() - columbia_4096::QUOTED_TOTAL_WITH_RND).abs()
+            / columbia_4096::QUOTED_TOTAL_WITH_RND;
+        assert!(
+            rel < 0.002,
+            "total {} vs quoted {}",
+            b.total(),
+            columbia_4096::QUOTED_TOTAL_WITH_RND
+        );
     }
 
     #[test]
@@ -223,7 +233,10 @@ mod tests {
         // §4: "This should put us very close to our targeted $1 per
         // sustained Megaflops" for the 12,288-node machines. A modest ~7%
         // parts discount at 3x volume does it at 450 MHz.
-        let mut model = CostModel { volume_discount: 0.93, ..Default::default() };
+        let mut model = CostModel {
+            volume_discount: 0.93,
+            ..Default::default()
+        };
         model.host_per_4096_nodes = columbia_4096::HOST_AND_IO; // scales with nodes
         let m = MachineAssembly::new(12_288);
         let b = model.breakdown(&m);

@@ -95,7 +95,8 @@ impl MachineAssembly {
     /// photographs).
     pub fn render_tree(&self) -> String {
         let mut s = String::new();
-        s.push_str(&format!("machine: {} nodes, {:.1} kW, {:.0} ft², peak {:.1} Tflops @500 MHz\n",
+        s.push_str(&format!(
+            "machine: {} nodes, {:.1} kW, {:.0} ft², peak {:.1} Tflops @500 MHz\n",
             self.nodes,
             self.power_watts() / 1000.0,
             self.footprint_sqft(),
@@ -106,7 +107,11 @@ impl MachineAssembly {
             self.racks(),
             NODES_PER_RACK
         ));
-        s.push_str(&format!("   └─ {} crate(s) ({} motherboards each)\n", self.crates(), MOTHERBOARDS_PER_CRATE));
+        s.push_str(&format!(
+            "   └─ {} crate(s) ({} motherboards each)\n",
+            self.crates(),
+            MOTHERBOARDS_PER_CRATE
+        ));
         s.push_str(&format!(
             "      └─ {} motherboard(s) [Fig 4: {}\"×{}\", 64 nodes as a 2^6 hypercube, 48 V in]\n",
             self.motherboards(),
@@ -130,7 +135,10 @@ mod tests {
 
     #[test]
     fn hierarchy_arithmetic() {
-        assert_eq!(NODES_PER_DAUGHTERBOARD * DAUGHTERBOARDS_PER_MOTHERBOARD, NODES_PER_MOTHERBOARD);
+        assert_eq!(
+            NODES_PER_DAUGHTERBOARD * DAUGHTERBOARDS_PER_MOTHERBOARD,
+            NODES_PER_MOTHERBOARD
+        );
         assert_eq!(
             NODES_PER_MOTHERBOARD * MOTHERBOARDS_PER_CRATE * CRATES_PER_RACK,
             NODES_PER_RACK

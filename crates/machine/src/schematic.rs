@@ -76,7 +76,10 @@ pub fn full_schematic(shape: &TorusShape) -> Vec<Edge> {
     let nodes = shape.node_count();
     let hubs = nodes.div_ceil(2) as u32;
     for n in 0..nodes {
-        edges.push(Edge::NodeToHub { node: NodeId(n as u32), hub: n as u32 / 2 });
+        edges.push(Edge::NodeToHub {
+            node: NodeId(n as u32),
+            hub: n as u32 / 2,
+        });
     }
     for h in 0..hubs {
         edges.push(Edge::HubToHost { hub: h });
@@ -91,10 +94,22 @@ pub fn full_schematic(shape: &TorusShape) -> Vec<Edge> {
 /// legend).
 pub fn render(shape: &TorusShape) -> String {
     let edges = full_schematic(shape);
-    let mesh = edges.iter().filter(|e| matches!(e, Edge::Mesh { .. })).count();
-    let eth = edges.iter().filter(|e| matches!(e, Edge::NodeToHub { .. })).count();
-    let trunks = edges.iter().filter(|e| matches!(e, Edge::HubToHost { .. })).count();
-    let disks = edges.iter().filter(|e| matches!(e, Edge::HostToDisk { .. })).count();
+    let mesh = edges
+        .iter()
+        .filter(|e| matches!(e, Edge::Mesh { .. }))
+        .count();
+    let eth = edges
+        .iter()
+        .filter(|e| matches!(e, Edge::NodeToHub { .. }))
+        .count();
+    let trunks = edges
+        .iter()
+        .filter(|e| matches!(e, Edge::HubToHost { .. }))
+        .count();
+    let disks = edges
+        .iter()
+        .filter(|e| matches!(e, Edge::HostToDisk { .. }))
+        .count();
     let mut s = String::new();
     s.push_str("            Figure 2: QCDOC networks\n\n");
     s.push_str("  CPU0 ── CPU1 ── … ── CPUn-1      SCU mesh links (red)\n");
@@ -138,7 +153,10 @@ mod tests {
         // external cables are a small fraction of all mesh edges.
         let shape = TorusShape::rack_1024();
         let edges = mesh_edges(&shape);
-        assert!(edges.len() > 768 / 4, "total mesh edges exceed external cables per rack");
+        assert!(
+            edges.len() > 768 / 4,
+            "total mesh edges exceed external cables per rack"
+        );
     }
 
     #[test]
@@ -150,7 +168,10 @@ mod tests {
         assert!(edges.iter().any(|e| matches!(e, Edge::HubToHost { .. })));
         assert!(edges.iter().any(|e| matches!(e, Edge::HostToDisk { .. })));
         // Every node has exactly one Ethernet drop.
-        let drops = edges.iter().filter(|e| matches!(e, Edge::NodeToHub { .. })).count();
+        let drops = edges
+            .iter()
+            .filter(|e| matches!(e, Edge::NodeToHub { .. }))
+            .count();
         assert_eq!(drops, 64);
     }
 

@@ -50,7 +50,10 @@ pub fn wiring(machine: &TorusShape) -> Wiring {
             if e == 1 {
                 1
             } else {
-                assert!(e % 2 == 0, "machine extent {e} not board-divisible on axis {a}");
+                assert!(
+                    e.is_multiple_of(2),
+                    "machine extent {e} not board-divisible on axis {a}"
+                );
                 e / 2
             }
         })
@@ -88,12 +91,16 @@ pub fn wiring(machine: &TorusShape) -> Wiring {
         // separate physical connections between the same board pair).
         let g = grid[a];
         if g > 1 {
-            let others: usize =
-                (0..rank).filter(|&b| b != a).map(|b| grid[b]).product();
+            let others: usize = (0..rank).filter(|&b| b != a).map(|b| grid[b]).product();
             faces += g * others;
         }
     }
-    Wiring { onboard_links: onboard, external_links: external, faces, cables: faces * CABLES_PER_FACE }
+    Wiring {
+        onboard_links: onboard,
+        external_links: external,
+        faces,
+        cables: faces * CABLES_PER_FACE,
+    }
 }
 
 #[cfg(test)]

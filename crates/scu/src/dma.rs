@@ -44,7 +44,12 @@ pub struct DmaDescriptor {
 impl DmaDescriptor {
     /// A simple contiguous transfer of `words` 64-bit words.
     pub fn contiguous(start: u64, words: u32) -> DmaDescriptor {
-        DmaDescriptor { start, block_words: words, stride_words: words, blocks: 1 }
+        DmaDescriptor {
+            start,
+            block_words: words,
+            stride_words: words,
+            blocks: 1,
+        }
     }
 
     /// Total number of words the descriptor covers.
@@ -167,7 +172,12 @@ mod tests {
     fn strided_addresses_walk_blocks() {
         // 3 blocks of 2 words, stride 8 words: the pattern of a lattice
         // face gather.
-        let d = DmaDescriptor { start: 0, block_words: 2, stride_words: 8, blocks: 3 };
+        let d = DmaDescriptor {
+            start: 0,
+            block_words: 2,
+            stride_words: 8,
+            blocks: 3,
+        };
         let addrs: Vec<u64> = d.addresses().collect();
         assert_eq!(addrs, vec![0, 8, 64, 72, 128, 136]);
         assert_eq!(d.total_words(), 6);
@@ -206,10 +216,21 @@ mod tests {
         // The "single write restarts the transfer" path: engines built from
         // the same stored descriptor walk identical addresses.
         let mut s = StoredInstructions::default();
-        let d = DmaDescriptor { start: 0x40, block_words: 3, stride_words: 5, blocks: 2 };
+        let d = DmaDescriptor {
+            start: 0x40,
+            block_words: 3,
+            stride_words: 5,
+            blocks: 2,
+        };
         s.store_send(7, d);
-        let a: Vec<u64> = DmaEngine::start(s.send(7).unwrap()).descriptor().addresses().collect();
-        let b: Vec<u64> = DmaEngine::start(s.send(7).unwrap()).descriptor().addresses().collect();
+        let a: Vec<u64> = DmaEngine::start(s.send(7).unwrap())
+            .descriptor()
+            .addresses()
+            .collect();
+        let b: Vec<u64> = DmaEngine::start(s.send(7).unwrap())
+            .descriptor()
+            .addresses()
+            .collect();
         assert_eq!(a, b);
     }
 }

@@ -50,7 +50,10 @@ pub struct GlobalTimingConfig {
 
 impl Default for GlobalTimingConfig {
     fn default() -> Self {
-        GlobalTimingConfig { hop_pipeline_cycles: 4, passthrough_bits: 8 }
+        GlobalTimingConfig {
+            hop_pipeline_cycles: 4,
+            passthrough_bits: 8,
+        }
     }
 }
 
@@ -70,8 +73,11 @@ impl GlobalTimingConfig {
     /// edge pays the per-hop latency at each hop, and the tail of the
     /// 72-bit frame drains behind it at the serial rate.
     pub fn operation_cycles(&self, hops: usize, passthrough: bool) -> Cycles {
-        let per_hop =
-            if passthrough { self.passthrough_hop_cycles() } else { self.store_forward_hop_cycles() };
+        let per_hop = if passthrough {
+            self.passthrough_hop_cycles()
+        } else {
+            self.store_forward_hop_cycles()
+        };
         let tail = if passthrough {
             crate::timing::WORD_WIRE_BITS - self.passthrough_bits
         } else {
@@ -99,7 +105,11 @@ impl GlobalTimingConfig {
 /// results, which are bitwise identical across nodes — see
 /// [`all_nodes_agree`].
 pub fn dimension_ordered_sum(shape: &TorusShape, values: &[f64]) -> Vec<f64> {
-    assert_eq!(values.len(), shape.node_count(), "one contribution per node");
+    assert_eq!(
+        values.len(),
+        shape.node_count(),
+        "one contribution per node"
+    );
     let mut current = values.to_vec();
     for axis in 0..shape.rank() {
         let mut next = vec![0.0f64; current.len()];
@@ -196,8 +206,9 @@ mod tests {
         // Values chosen so rounding *does* occur: agreement must still be
         // bitwise because every node accumulates in the same order.
         let shape = TorusShape::new(&[4, 4]);
-        let values: Vec<f64> =
-            (0..16).map(|i| 1.0e16 / (i as f64 + 1.0) + 1.0e-3 * i as f64).collect();
+        let values: Vec<f64> = (0..16)
+            .map(|i| 1.0e16 / (i as f64 + 1.0) + 1.0e-3 * i as f64)
+            .collect();
         let result = dimension_ordered_sum(&shape, &values);
         assert!(all_nodes_agree(&result), "nodes disagree bitwise");
     }

@@ -188,7 +188,10 @@ mod tests {
     fn locks_at_any_phase_offset() {
         for phase in 0..8 {
             let bits = train_link(phase);
-            assert!(bits <= 8 * (LOCK_THRESHOLD as u64 + 2), "phase {phase}: {bits} bits");
+            assert!(
+                bits <= 8 * (LOCK_THRESHOLD as u64 + 2),
+                "phase {phase}: {bits} bits"
+            );
         }
     }
 

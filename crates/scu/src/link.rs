@@ -80,6 +80,38 @@ pub struct WireFrame {
     pub frame: Frame,
 }
 
+/// What a [`WireTap`] decided about one outgoing frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireVerdict {
+    /// Put the frame (possibly corrupted in place) on the wire.
+    Deliver,
+    /// The frame vanishes — a dead wire or a crashed node.
+    Drop,
+}
+
+/// Fault-injection hook on the simulated wire.
+///
+/// An execution engine calls the tap for every outgoing frame of a link
+/// *after* the send unit produced it and *before* the frame reaches the
+/// neighbour, mirroring where physical bit errors strike. The tap may
+/// corrupt the frame in place (exercising the parity-reject and go-back-N
+/// resend machinery of [`SendUnit`]/[`RecvUnit`] for real) or drop it
+/// entirely (a dead link). The no-fault engine uses [`NullTap`].
+pub trait WireTap {
+    /// Inspect, corrupt, or drop the frame leaving on `link`.
+    fn on_frame(&mut self, link: usize, wf: &mut WireFrame) -> WireVerdict;
+}
+
+/// The default tap: every frame travels untouched.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullTap;
+
+impl WireTap for NullTap {
+    fn on_frame(&mut self, _link: usize, _wf: &mut WireFrame) -> WireVerdict {
+        WireVerdict::Deliver
+    }
+}
+
 /// The send unit of one direction.
 #[derive(Debug, Clone)]
 pub struct SendUnit {
@@ -171,7 +203,10 @@ impl SendUnit {
             // Fresh packets enter the window already in flight, so reaching
             // here always means a go-back retransmission.
             self.resends += 1;
-            return Ok(Some(WireFrame { seq, frame: Frame::encode(pkt) }));
+            return Ok(Some(WireFrame {
+                seq,
+                frame: Frame::encode(pkt),
+            }));
         }
         // New data: supervisor first, then normal, if the window has room.
         if self.window.len() >= WINDOW {
@@ -189,14 +224,23 @@ impl SendUnit {
         self.sent_words += 1;
         self.window.push_back((seq, pkt));
         self.in_flight += 1;
-        Ok(Some(WireFrame { seq, frame: Frame::encode(pkt) }))
+        Ok(Some(WireFrame {
+            seq,
+            frame: Frame::encode(pkt),
+        }))
     }
 
-    /// The neighbour acknowledged the oldest outstanding word.
-    pub fn on_ack(&mut self) {
-        let popped = self.window.pop_front();
-        debug_assert!(popped.is_some(), "ack with empty window");
-        self.in_flight = self.in_flight.saturating_sub(1);
+    /// The neighbour acknowledged every word up to and including `seq`
+    /// (cumulative, go-back-N). A rewind storm makes the receiver accept
+    /// some words twice (duplicates of frames resent after a reject), so
+    /// the same word can be acknowledged more than once; keying the ack by
+    /// sequence number makes the repeats harmless no-ops instead of
+    /// popping a later, still-unacknowledged word off the window.
+    pub fn on_ack(&mut self, seq: u64) {
+        while self.window.front().is_some_and(|&(s, _)| s <= seq) {
+            self.window.pop_front();
+            self.in_flight = self.in_flight.saturating_sub(1);
+        }
     }
 
     /// The neighbour rejected the word with sequence `seq` (corrupt frame):
@@ -278,14 +322,14 @@ pub enum RecvOutcome {
 pub struct RecvUnit {
     trained: bool,
     expected_seq: u64,
-    hold: VecDeque<u64>,
+    hold: VecDeque<(u64, u64)>,
     dma: Option<DmaEngine>,
     checksum: LinkChecksum,
     received_words: u64,
     rejects: u64,
-    /// Acks owed for words accepted from the hold buffer when the DMA was
-    /// armed late.
-    pending_acks: u64,
+    /// Sequence numbers of words accepted from the hold buffer when the
+    /// DMA was armed late; their acks are owed to the sender.
+    pending_acks: Vec<u64>,
 }
 
 impl Default for RecvUnit {
@@ -305,7 +349,7 @@ impl RecvUnit {
             checksum: LinkChecksum::default(),
             received_words: 0,
             rejects: 0,
-            pending_acks: 0,
+            pending_acks: Vec::new(),
         }
     }
 
@@ -324,12 +368,13 @@ impl RecvUnit {
     /// withheld acknowledgements become [`RecvUnit::take_pending_acks`].
     pub fn arm(&mut self, desc: DmaDescriptor, mem: &mut NodeMemory) -> Result<(), LinkError> {
         let mut engine = DmaEngine::start(desc);
-        while let Some(word) = self.hold.pop_front() {
+        while let Some((seq, word)) = self.hold.pop_front() {
             let addr = engine
                 .next_address()
                 .expect("descriptor shorter than idle-receive hold");
-            mem.write_word(addr, word).map_err(|e| LinkError::Memory(e.to_string()))?;
-            self.pending_acks += 1;
+            mem.write_word(addr, word)
+                .map_err(|e| LinkError::Memory(e.to_string()))?;
+            self.pending_acks.push(seq);
         }
         self.dma = Some(engine);
         Ok(())
@@ -346,7 +391,7 @@ impl RecvUnit {
     }
 
     /// Acknowledgements released by a late [`RecvUnit::arm`].
-    pub fn take_pending_acks(&mut self) -> u64 {
+    pub fn take_pending_acks(&mut self) -> Vec<u64> {
         std::mem::take(&mut self.pending_acks)
     }
 
@@ -365,7 +410,9 @@ impl RecvUnit {
                 // Bit error detected by parity or the distance-3 type
                 // codes: automatic resend.
                 self.rejects += 1;
-                return Ok(RecvOutcome::Rejected { seq: self.expected_seq });
+                return Ok(RecvOutcome::Rejected {
+                    seq: self.expected_seq,
+                });
             }
         };
         match pkt {
@@ -379,7 +426,9 @@ impl RecvUnit {
                 if wf.seq > self.expected_seq {
                     // Gap after a rejected frame: rewind the sender.
                     self.rejects += 1;
-                    return Ok(RecvOutcome::Rejected { seq: self.expected_seq });
+                    return Ok(RecvOutcome::Rejected {
+                        seq: self.expected_seq,
+                    });
                 }
                 if let Packet::Supervisor(_) = pkt {
                     self.expected_seq += 1;
@@ -400,7 +449,7 @@ impl RecvUnit {
                     _ => {
                         // Idle receive: hold without acknowledging.
                         if self.hold.len() < IDLE_HOLD {
-                            self.hold.push_back(word);
+                            self.hold.push_back((wf.seq, word));
                             self.expected_seq += 1;
                             self.received_words += 1;
                             self.checksum.update(word);
@@ -409,7 +458,9 @@ impl RecvUnit {
                             // The window should have stalled the sender
                             // before a fourth unacknowledged word.
                             self.rejects += 1;
-                            Ok(RecvOutcome::Rejected { seq: self.expected_seq })
+                            Ok(RecvOutcome::Rejected {
+                                seq: self.expected_seq,
+                            })
                         }
                     }
                 }
@@ -445,6 +496,66 @@ mod tests {
         (s, r)
     }
 
+    #[test]
+    fn duplicate_acks_from_a_rewind_storm_are_no_ops() {
+        // The interleaving that livelocks an unkeyed-ack protocol: the
+        // receiver rejects a corrupt frame once per delivery attempt, and
+        // the second (stale) reject reaches the sender after it already
+        // resent the window — so the whole volley goes out twice, the
+        // receiver acks the duplicates too, and the sender sees six acks
+        // for three words. Seq-keyed cumulative acks make the extra three
+        // pop nothing; an unkeyed ack would pop an empty window.
+        let (mut s, mut r) = trained_pair();
+        let mut m = mem();
+        r.arm(DmaDescriptor::contiguous(0x6000, 3), &mut m).unwrap();
+        for w in [5, 6, 7] {
+            s.enqueue_word(w);
+        }
+        // First volley fills the window; frame 0 is corrupted in flight.
+        let mut first: Vec<WireFrame> = Vec::new();
+        while let Some(wf) = s.next_frame().unwrap() {
+            first.push(wf);
+        }
+        assert_eq!(first.len(), WINDOW);
+        first[0].frame.corrupt_bit(17);
+        // The receiver rejects all three: parity on frame 0, then a
+        // sequence gap for frames 1 and 2.
+        for wf in &first {
+            assert!(matches!(
+                r.on_frame(wf, &mut m).unwrap(),
+                RecvOutcome::Rejected { seq: 0 }
+            ));
+        }
+        // The first reject rewinds and the volley is resent ...
+        s.on_reject(0);
+        let second: Vec<WireFrame> = std::iter::from_fn(|| s.next_frame().unwrap()).collect();
+        assert_eq!(second.len(), WINDOW);
+        // ... and the second, stale reject lands only now, rewinding again
+        // and producing a duplicate volley.
+        s.on_reject(0);
+        let third: Vec<WireFrame> = std::iter::from_fn(|| s.next_frame().unwrap()).collect();
+        assert_eq!(third.len(), WINDOW);
+        // The receiver accepts the clean volley and acks the duplicate one
+        // as well (it cannot know the sender already heard the first acks).
+        let mut acks = Vec::new();
+        for wf in second.iter().chain(&third) {
+            match r.on_frame(wf, &mut m).unwrap() {
+                RecvOutcome::Accepted | RecvOutcome::Duplicate => acks.push(wf.seq),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(acks, vec![0, 1, 2, 0, 1, 2]);
+        for seq in acks {
+            s.on_ack(seq);
+        }
+        assert!(r.complete());
+        assert_eq!(m.read_block(0x6000, 3).unwrap(), vec![5, 6, 7]);
+        assert_eq!(s.window_len(), 0, "every word acknowledged exactly once");
+        assert_eq!(r.rejects(), 3);
+        assert_eq!(s.resends(), 6);
+        assert_eq!(s.checksum(), r.checksum());
+    }
+
     fn mem() -> NodeMemory {
         NodeMemory::with_128mb_dimm()
     }
@@ -453,21 +564,18 @@ mod tests {
     /// seen.
     fn pump(s: &mut SendUnit, r: &mut RecvUnit, m: &mut NodeMemory) -> u64 {
         let mut acks = 0;
-        loop {
-            match s.next_frame().unwrap() {
-                Some(wf) => match r.on_frame(&wf, m).unwrap() {
-                    RecvOutcome::Accepted | RecvOutcome::Duplicate => {
-                        s.on_ack();
-                        acks += 1;
-                    }
-                    RecvOutcome::Held => {}
-                    RecvOutcome::Rejected { seq } => s.on_reject(seq),
-                    RecvOutcome::Supervisor(_) | RecvOutcome::PartitionIrq(_) => {
-                        acks += 1;
-                        s.on_ack();
-                    }
-                },
-                None => break,
+        while let Some(wf) = s.next_frame().unwrap() {
+            match r.on_frame(&wf, m).unwrap() {
+                RecvOutcome::Accepted | RecvOutcome::Duplicate => {
+                    s.on_ack(wf.seq);
+                    acks += 1;
+                }
+                RecvOutcome::Held => {}
+                RecvOutcome::Rejected { seq } => s.on_reject(seq),
+                RecvOutcome::Supervisor(_) | RecvOutcome::PartitionIrq(_) => {
+                    acks += 1;
+                    s.on_ack(wf.seq);
+                }
             }
         }
         acks
@@ -492,7 +600,11 @@ mod tests {
         assert!(r.complete());
         assert_eq!(m.read_block(0x1000, 4).unwrap(), vec![10, 20, 30, 40]);
         assert!(s.drained());
-        assert_eq!(s.checksum(), r.checksum(), "end-of-run checksums must agree");
+        assert_eq!(
+            s.checksum(),
+            r.checksum(),
+            "end-of-run checksums must agree"
+        );
     }
 
     #[test]
@@ -509,7 +621,10 @@ mod tests {
         while let Some(wf) = s.next_frame().unwrap() {
             assert_eq!(r.on_frame(&wf, &mut m).unwrap(), RecvOutcome::Held);
             sent += 1;
-            assert!(sent <= WINDOW, "sender exceeded the three-in-the-air window");
+            assert!(
+                sent <= WINDOW,
+                "sender exceeded the three-in-the-air window"
+            );
         }
         assert_eq!(sent, 3);
         assert!(s.stalled());
@@ -529,9 +644,9 @@ mod tests {
         // Now the application on the receiving node posts its receive.
         r.arm(DmaDescriptor::contiguous(0x2000, 5), &mut m).unwrap();
         let released = r.take_pending_acks();
-        assert_eq!(released, 3);
-        for _ in 0..released {
-            s.on_ack();
+        assert_eq!(released.len(), 3);
+        for seq in released {
+            s.on_ack(seq);
         }
         pump(&mut s, &mut r, &mut m);
         assert_eq!(m.read_block(0x2000, 5).unwrap(), vec![7, 8, 9, 10, 11]);
@@ -547,21 +662,16 @@ mod tests {
             s.enqueue_word(w);
         }
         let mut corrupted = false;
-        loop {
-            match s.next_frame().unwrap() {
-                Some(mut wf) => {
-                    if !corrupted && wf.seq == 1 {
-                        wf.frame.corrupt_bit(20);
-                        corrupted = true;
-                    }
-                    match r.on_frame(&wf, &mut m).unwrap() {
-                        RecvOutcome::Accepted | RecvOutcome::Duplicate => s.on_ack(),
-                        RecvOutcome::Held => {}
-                        RecvOutcome::Rejected { seq } => s.on_reject(seq),
-                        _ => unreachable!(),
-                    }
-                }
-                None => break,
+        while let Some(mut wf) = s.next_frame().unwrap() {
+            if !corrupted && wf.seq == 1 {
+                wf.frame.corrupt_bit(20);
+                corrupted = true;
+            }
+            match r.on_frame(&wf, &mut m).unwrap() {
+                RecvOutcome::Accepted | RecvOutcome::Duplicate => s.on_ack(wf.seq),
+                RecvOutcome::Held => {}
+                RecvOutcome::Rejected { seq } => s.on_reject(seq),
+                _ => unreachable!(),
             }
         }
         assert!(corrupted);
@@ -599,8 +709,14 @@ mod tests {
         assert!(s.stalled());
         // An interrupt still gets through.
         s.enqueue_irq(0b0000_0001);
-        let wf = s.next_frame().unwrap().expect("irq must bypass the stalled window");
-        assert_eq!(r.on_frame(&wf, &mut m).unwrap(), RecvOutcome::PartitionIrq(1));
+        let wf = s
+            .next_frame()
+            .unwrap()
+            .expect("irq must bypass the stalled window");
+        assert_eq!(
+            r.on_frame(&wf, &mut m).unwrap(),
+            RecvOutcome::PartitionIrq(1)
+        );
     }
 
     #[test]
@@ -628,12 +744,121 @@ mod tests {
         let wf0 = s.next_frame().unwrap().unwrap();
         let wf1 = s.next_frame().unwrap().unwrap();
         // Drop wf0; deliver wf1 first.
-        assert_eq!(r.on_frame(&wf1, &mut m).unwrap(), RecvOutcome::Rejected { seq: 0 });
+        assert_eq!(
+            r.on_frame(&wf1, &mut m).unwrap(),
+            RecvOutcome::Rejected { seq: 0 }
+        );
         s.on_reject(0);
         // Sender rewinds and retransmits from seq 0.
         let again = s.next_frame().unwrap().unwrap();
         assert_eq!(again.seq, 0);
         assert_eq!(again.frame, wf0.frame);
+    }
+
+    #[test]
+    fn tap_injected_bit_error_rewinds_sender_and_still_delivers() {
+        // A WireTap flips one payload bit of the frame carrying word seq 2
+        // on its first transmission. The receiver's parity check must
+        // reject it, the sender must rewind (go-back-N), and the retry —
+        // which the tap leaves alone — must land every word intact with
+        // agreeing end-of-run checksums.
+        struct FlipOnce {
+            hit: bool,
+        }
+        impl WireTap for FlipOnce {
+            fn on_frame(&mut self, _link: usize, wf: &mut WireFrame) -> WireVerdict {
+                if !self.hit && wf.seq == 2 {
+                    wf.frame.corrupt_bit(33);
+                    self.hit = true;
+                }
+                WireVerdict::Deliver
+            }
+        }
+        let (mut s, mut r) = trained_pair();
+        let mut m = mem();
+        let mut tap = FlipOnce { hit: false };
+        r.arm(DmaDescriptor::contiguous(0x4000, 6), &mut m).unwrap();
+        for w in [11, 22, 33, 44, 55, 66] {
+            s.enqueue_word(w);
+        }
+        while let Some(mut wf) = s.next_frame().unwrap() {
+            if tap.on_frame(0, &mut wf) == WireVerdict::Drop {
+                continue;
+            }
+            match r.on_frame(&wf, &mut m).unwrap() {
+                RecvOutcome::Accepted | RecvOutcome::Duplicate => s.on_ack(wf.seq),
+                RecvOutcome::Held => {}
+                RecvOutcome::Rejected { seq } => s.on_reject(seq),
+                _ => unreachable!(),
+            }
+        }
+        assert!(tap.hit, "the tap must have fired");
+        assert!(s.resends() >= 1, "the sender must have rewound");
+        assert!(
+            r.rejects() >= 1,
+            "the receiver must have rejected the frame"
+        );
+        assert_eq!(
+            m.read_block(0x4000, 6).unwrap(),
+            vec![11, 22, 33, 44, 55, 66]
+        );
+        assert_eq!(s.checksum(), r.checksum(), "healed run must checksum clean");
+    }
+
+    #[test]
+    fn undetected_double_flip_is_caught_only_by_end_of_run_checksums() {
+        // §2.2's layered defence: two flipped payload bits in the *same*
+        // parity class (bits 8 and 10 are both even-position bits of the
+        // first payload byte) cancel in the parity check, so the frame
+        // decodes "successfully" into a wrong word and no resend fires.
+        // The end-of-run checksum comparison is what catches it.
+        let (mut s, mut r) = trained_pair();
+        let mut m = mem();
+        r.arm(DmaDescriptor::contiguous(0x5000, 4), &mut m).unwrap();
+        for w in [1000, 2000, 3000, 4000] {
+            s.enqueue_word(w);
+        }
+        let mut corrupted = false;
+        while let Some(mut wf) = s.next_frame().unwrap() {
+            if !corrupted && wf.seq == 1 {
+                wf.frame.corrupt_bit(8);
+                wf.frame.corrupt_bit(10);
+                assert!(wf.frame.decode().is_ok(), "double flip must evade parity");
+                corrupted = true;
+            }
+            match r.on_frame(&wf, &mut m).unwrap() {
+                RecvOutcome::Accepted | RecvOutcome::Duplicate => s.on_ack(wf.seq),
+                RecvOutcome::Held => {}
+                RecvOutcome::Rejected { seq } => s.on_reject(seq),
+                _ => unreachable!(),
+            }
+        }
+        assert!(corrupted);
+        assert_eq!(
+            r.rejects(),
+            0,
+            "the corruption must go undetected in flight"
+        );
+        let landed = m.read_block(0x5000, 4).unwrap();
+        assert_ne!(landed[1], 2000, "the wrong word must have landed");
+        assert_eq!(landed[0], 1000);
+        assert_ne!(
+            s.checksum(),
+            r.checksum(),
+            "only the end-of-run checksum comparison exposes the corruption"
+        );
+    }
+
+    #[test]
+    fn null_tap_delivers_everything() {
+        let mut tap = NullTap;
+        let mut wf = WireFrame {
+            seq: 0,
+            frame: Frame::encode(Packet::Normal(9)),
+        };
+        let before = wf.clone();
+        assert_eq!(tap.on_frame(3, &mut wf), WireVerdict::Deliver);
+        assert_eq!(wf, before, "NullTap must not touch the frame");
     }
 
     #[test]

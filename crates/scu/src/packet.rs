@@ -190,7 +190,14 @@ mod tests {
     use super::*;
 
     fn all_codes() -> [u8; 6] {
-        [code::IDLE, code::NORMAL, code::SUPERVISOR, code::PART_IRQ, code::ACK, code::TRAIN]
+        [
+            code::IDLE,
+            code::NORMAL,
+            code::SUPERVISOR,
+            code::PART_IRQ,
+            code::ACK,
+            code::TRAIN,
+        ]
     }
 
     #[test]
@@ -234,7 +241,10 @@ mod tests {
         for bit in 8..72 {
             let mut f = f0.clone();
             f.corrupt_bit(bit);
-            assert!(f.decode().is_err(), "payload bit {bit} corruption undetected");
+            assert!(
+                f.decode().is_err(),
+                "payload bit {bit} corruption undetected"
+            );
         }
     }
 
@@ -265,7 +275,9 @@ mod tests {
 
     #[test]
     fn truncated_frame_rejected() {
-        let f = Frame { bytes: vec![code::NORMAL << 2, 1, 2, 3] };
+        let f = Frame {
+            bytes: vec![code::NORMAL << 2, 1, 2, 3],
+        };
         assert_eq!(f.decode(), Err(FrameError::Truncated));
         let empty = Frame { bytes: vec![] };
         assert_eq!(empty.decode(), Err(FrameError::Truncated));

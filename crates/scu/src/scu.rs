@@ -20,9 +20,9 @@ pub const LINKS: usize = 12;
 pub enum WireMsg {
     /// A framed data/supervisor/interrupt packet.
     Data(WireFrame),
-    /// Acknowledgement of the oldest outstanding word on the reverse
-    /// direction.
-    Ack,
+    /// Acknowledgement of every data word up to and including `seq` on
+    /// the reverse direction (cumulative, so a duplicate ack is a no-op).
+    Ack(u64),
     /// Reject: ask the sender to rewind to sequence `seq`.
     Reject(u64),
 }
@@ -50,7 +50,7 @@ pub struct Scu {
     /// the packet contains an interrupt which had not been previously
     /// sent").
     irq_seen: u8,
-    outgoing_acks: [u64; LINKS],
+    outgoing_acks: [VecDeque<u64>; LINKS],
     outgoing_rejects: [Option<u64>; LINKS],
 }
 
@@ -70,7 +70,7 @@ impl Scu {
             stored: StoredInstructions::default(),
             supervisor_inbox: VecDeque::new(),
             irq_seen: 0,
-            outgoing_acks: [0; LINKS],
+            outgoing_acks: std::array::from_fn(|_| VecDeque::new()),
             outgoing_rejects: [None; LINKS],
         }
     }
@@ -104,7 +104,10 @@ impl Scu {
     /// Words are fetched from memory by the DMA as the link drains them
     /// (zero-copy: the descriptor points straight at the physics arrays).
     pub fn start_send(&mut self, link: usize, desc: DmaDescriptor) {
-        debug_assert!(self.send_dma[link].as_ref().is_none_or(|d| d.done()), "send DMA busy");
+        debug_assert!(
+            self.send_dma[link].as_ref().is_none_or(|d| d.done()),
+            "send DMA busy"
+        );
         self.send_dma[link] = Some(DmaEngine::start(desc));
     }
 
@@ -124,7 +127,7 @@ impl Scu {
         mem: &mut NodeMemory,
     ) -> Result<(), LinkError> {
         self.recv[link].arm(desc, mem)?;
-        self.outgoing_acks[link] += self.recv[link].take_pending_acks();
+        self.outgoing_acks[link].extend(self.recv[link].take_pending_acks());
         Ok(())
     }
 
@@ -169,24 +172,26 @@ impl Scu {
 
     /// Produce the next message to transmit toward direction `link`.
     /// Control traffic (rejects, then acks) outranks data.
-    pub fn tx_next(&mut self, link: usize, mem: &mut NodeMemory) -> Result<Option<WireMsg>, LinkError> {
+    pub fn tx_next(
+        &mut self,
+        link: usize,
+        mem: &mut NodeMemory,
+    ) -> Result<Option<WireMsg>, LinkError> {
         if let Some(seq) = self.outgoing_rejects[link].take() {
             return Ok(Some(WireMsg::Reject(seq)));
         }
-        if self.outgoing_acks[link] > 0 {
-            self.outgoing_acks[link] -= 1;
-            return Ok(Some(WireMsg::Ack));
+        if let Some(seq) = self.outgoing_acks[link].pop_front() {
+            return Ok(Some(WireMsg::Ack(seq)));
         }
         // Feed the send unit from its DMA engine: stage exactly one word,
         // and only when it can go straight onto the wire (queue empty and
         // window not full) — the DMA fetches lazily as the link drains.
-        if self.send[link].queue_empty()
-            && self.send[link].window_len() < crate::link::WINDOW
-        {
+        if self.send[link].queue_empty() && self.send[link].window_len() < crate::link::WINDOW {
             if let Some(engine) = self.send_dma[link].as_mut() {
                 if let Some(addr) = engine.peek() {
-                    let word =
-                        mem.read_word(addr).map_err(|e| LinkError::Memory(e.to_string()))?;
+                    let word = mem
+                        .read_word(addr)
+                        .map_err(|e| LinkError::Memory(e.to_string()))?;
                     engine.next_address();
                     self.send[link].enqueue_word(word);
                 }
@@ -198,7 +203,7 @@ impl Scu {
     /// Whether this direction has anything left to transmit.
     pub fn tx_pending(&self, link: usize) -> bool {
         self.outgoing_rejects[link].is_some()
-            || self.outgoing_acks[link] > 0
+            || !self.outgoing_acks[link].is_empty()
             || !self.send[link].drained()
             || self.send_dma[link].as_ref().is_some_and(|d| !d.done())
     }
@@ -211,8 +216,8 @@ impl Scu {
         mem: &mut NodeMemory,
     ) -> Result<Option<ScuEvent>, LinkError> {
         match msg {
-            WireMsg::Ack => {
-                self.send[link].on_ack();
+            WireMsg::Ack(seq) => {
+                self.send[link].on_ack(seq);
                 Ok(None)
             }
             WireMsg::Reject(seq) => {
@@ -221,7 +226,11 @@ impl Scu {
             }
             WireMsg::Data(wf) => match self.recv[link].on_frame(&wf, mem)? {
                 RecvOutcome::Accepted | RecvOutcome::Duplicate => {
-                    self.outgoing_acks[link] += 1;
+                    // Out-of-band frames (partition irqs ride seq u64::MAX)
+                    // never enter the data window and must not be acked.
+                    if wf.seq != u64::MAX {
+                        self.outgoing_acks[link].push_back(wf.seq);
+                    }
                     Ok(None)
                 }
                 RecvOutcome::Held => Ok(None),
@@ -230,7 +239,7 @@ impl Scu {
                     Ok(None)
                 }
                 RecvOutcome::Supervisor(word) => {
-                    self.outgoing_acks[link] += 1;
+                    self.outgoing_acks[link].push_back(wf.seq);
                     self.supervisor_inbox.push_back(word);
                     Ok(Some(ScuEvent::SupervisorInterrupt(word)))
                 }
@@ -310,7 +319,8 @@ mod tests {
         let (mut b, mut bm) = trained();
         am.write_block(0x1000, &[11, 22, 33, 44]).unwrap();
         a.start_send(0, DmaDescriptor::contiguous(0x1000, 4));
-        b.start_recv(1, DmaDescriptor::contiguous(0x2000, 4), &mut bm).unwrap();
+        b.start_recv(1, DmaDescriptor::contiguous(0x2000, 4), &mut bm)
+            .unwrap();
         pump_pair(&mut a, &mut am, &mut b, &mut bm, 0, 1);
         assert!(a.send_complete(0));
         assert!(b.recv_complete(1));
@@ -334,7 +344,8 @@ mod tests {
         pump_pair(&mut a, &mut am, &mut b, &mut bm, 4, 5);
         assert!(!a.send_complete(4));
         // Now the receiver posts its buffer; everything drains.
-        b.start_recv(5, DmaDescriptor::contiguous(0x8000, 6), &mut bm).unwrap();
+        b.start_recv(5, DmaDescriptor::contiguous(0x8000, 6), &mut bm)
+            .unwrap();
         pump_pair(&mut a, &mut am, &mut b, &mut bm, 4, 5);
         assert!(a.send_complete(4));
         assert!(b.recv_complete(5));
@@ -350,9 +361,15 @@ mod tests {
         for i in 0..8u64 {
             am.write_word(0x100 + i * 8, 100 + i).unwrap();
         }
-        let gather = DmaDescriptor { start: 0x100, block_words: 1, stride_words: 2, blocks: 4 };
+        let gather = DmaDescriptor {
+            start: 0x100,
+            block_words: 1,
+            stride_words: 2,
+            blocks: 4,
+        };
         a.start_send(2, gather);
-        b.start_recv(3, DmaDescriptor::contiguous(0x900, 4), &mut bm).unwrap();
+        b.start_recv(3, DmaDescriptor::contiguous(0x900, 4), &mut bm)
+            .unwrap();
         pump_pair(&mut a, &mut am, &mut b, &mut bm, 2, 3);
         assert_eq!(bm.read_block(0x900, 4).unwrap(), vec![100, 102, 104, 106]);
     }
@@ -411,8 +428,10 @@ mod tests {
     fn stored_instruction_restart_repeats_transfer() {
         let (mut a, mut am) = trained();
         let (mut b, mut bm) = trained();
-        a.stored_instructions().store_send(0, DmaDescriptor::contiguous(0x40, 2));
-        b.stored_instructions().store_recv(1, DmaDescriptor::contiguous(0x80, 2));
+        a.stored_instructions()
+            .store_send(0, DmaDescriptor::contiguous(0x40, 2));
+        b.stored_instructions()
+            .store_recv(1, DmaDescriptor::contiguous(0x80, 2));
         for round in 0..3u64 {
             am.write_block(0x40, &[round * 10, round * 10 + 1]).unwrap();
             a.restart_send(0);
@@ -436,7 +455,8 @@ mod tests {
         assert!(a.tx_pending(0));
         // Drain it against an armed peer.
         let (mut b, mut bm) = trained();
-        b.start_recv(1, DmaDescriptor::contiguous(0x100, 1), &mut bm).unwrap();
+        b.start_recv(1, DmaDescriptor::contiguous(0x100, 1), &mut bm)
+            .unwrap();
         pump_pair(&mut a, &mut am, &mut b, &mut bm, 0, 1);
         assert!(!a.tx_pending(0));
         // Supervisor word makes it pending again.
@@ -454,8 +474,10 @@ mod tests {
         bm.write_block(0x0, &[9, 8, 7]).unwrap();
         a.start_send(0, DmaDescriptor::contiguous(0x0, 3));
         b.start_send(1, DmaDescriptor::contiguous(0x0, 3));
-        a.start_recv(0, DmaDescriptor::contiguous(0x500, 3), &mut am).unwrap();
-        b.start_recv(1, DmaDescriptor::contiguous(0x500, 3), &mut bm).unwrap();
+        a.start_recv(0, DmaDescriptor::contiguous(0x500, 3), &mut am)
+            .unwrap();
+        b.start_recv(1, DmaDescriptor::contiguous(0x500, 3), &mut bm)
+            .unwrap();
         pump_pair(&mut a, &mut am, &mut b, &mut bm, 0, 1);
         assert_eq!(am.read_block(0x500, 3).unwrap(), vec![9, 8, 7]);
         assert_eq!(bm.read_block(0x500, 3).unwrap(), vec![1, 2, 3]);

@@ -35,7 +35,11 @@ pub struct LinkTimingConfig {
 
 impl Default for LinkTimingConfig {
     fn default() -> Self {
-        LinkTimingConfig { send_dma_cycles: 75, sync_cycles: 78, recv_dma_cycles: 75 }
+        LinkTimingConfig {
+            send_dma_cycles: 75,
+            sync_cycles: 78,
+            recv_dma_cycles: 75,
+        }
     }
 }
 
@@ -91,7 +95,10 @@ pub struct EthernetBaseline {
 impl Default for EthernetBaseline {
     fn default() -> Self {
         // Mid-band of the paper's 5-10 us, gigabit wire rate.
-        EthernetBaseline { startup_ns: 7_500.0, bytes_per_sec: 125.0e6 }
+        EthernetBaseline {
+            startup_ns: 7_500.0,
+            bytes_per_sec: 125.0e6,
+        }
     }
 }
 
@@ -111,8 +118,11 @@ pub fn wire_cycles(pkt: Packet) -> Cycles {
 mod tests {
     use super::*;
 
-    const T: LinkTimingConfig =
-        LinkTimingConfig { send_dma_cycles: 75, sync_cycles: 78, recv_dma_cycles: 75 };
+    const T: LinkTimingConfig = LinkTimingConfig {
+        send_dma_cycles: 75,
+        sync_cycles: 78,
+        recv_dma_cycles: 75,
+    };
 
     #[test]
     fn first_word_is_600ns_at_design_clock() {

@@ -69,7 +69,7 @@ proptest! {
             }
             frame_no += 1;
             match r.on_frame(&wf, &mut mem).unwrap() {
-                RecvOutcome::Accepted | RecvOutcome::Duplicate => s.on_ack(),
+                RecvOutcome::Accepted | RecvOutcome::Duplicate => s.on_ack(wf.seq),
                 RecvOutcome::Held => {}
                 RecvOutcome::Rejected { seq } => s.on_reject(seq),
                 other => prop_assert!(false, "unexpected outcome {:?}", other),
@@ -113,7 +113,7 @@ proptest! {
         }
         while let Some(wf) = s.next_frame().unwrap() {
             match r.on_frame(&wf, &mut mem).unwrap() {
-                RecvOutcome::Accepted => s.on_ack(),
+                RecvOutcome::Accepted => s.on_ack(wf.seq),
                 other => prop_assert!(false, "unexpected {:?}", other),
             }
         }

@@ -18,7 +18,10 @@ fn main() {
 
     let clock = Clock::DESIGN;
     let link = LinkTimingConfig::default();
-    println!("\nsubsystem headline numbers at the {} design point:", clock);
+    println!(
+        "\nsubsystem headline numbers at the {} design point:",
+        clock
+    );
     println!(
         "  FPU            : 1 multiply + 1 add per cycle  = {:.1} Gflops peak",
         clock.peak_flops() / 1e9
@@ -29,7 +32,10 @@ fn main() {
         PORT_BYTES_PER_CYCLE,
         PORT_BYTES_PER_CYCLE as f64 * clock.hz() as f64 / 1e9
     );
-    println!("  DDR            : 2.6 GB/s external, up to {} GB", DDR_MAX_SIZE / (1 << 30));
+    println!(
+        "  DDR            : 2.6 GB/s external, up to {} GB",
+        DDR_MAX_SIZE / (1 << 30)
+    );
     println!(
         "  mesh link      : bit-serial at {} -> {:.1} MB/s payload per direction",
         clock,

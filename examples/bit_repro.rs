@@ -15,7 +15,7 @@
 //! ```
 
 use qcdoc::core::distributed::{block_fingerprint, wilson_solve_cg, BlockGeom};
-use qcdoc::core::functional::{Fault, FaultPlan, FunctionalMachine};
+use qcdoc::core::functional::{FaultEvent, FaultPlan, FunctionalMachine};
 use qcdoc::geometry::TorusShape;
 use qcdoc::lattice::field::{FermionField, GaugeField, Lattice};
 use qcdoc::lattice::gauge::{average_plaquette, evolve, EvolveParams};
@@ -61,18 +61,23 @@ fn main() {
     };
 
     let clean = solve(FaultPlan::default());
-    let noisy = solve(FaultPlan {
-        faults: vec![
-            Fault { node: 0, link: 0, frame_index: 5, bit: 13 },
-            Fault { node: 1, link: 2, frame_index: 40, bit: 60 },
-            Fault { node: 3, link: 1, frame_index: 100, bit: 7 },
-        ],
-    });
+    let noisy = solve(
+        FaultPlan::new(2003)
+            .with_event(FaultEvent::bit_flip(0, 0, 5, 13))
+            .with_event(FaultEvent::bit_flip(1, 2, 40, 60))
+            .with_event(FaultEvent::bit_flip(3, 1, 100, 7)),
+    );
 
     let clean_errors: u64 = clean.iter().map(|r| r.2).sum();
     let noisy_errors: u64 = noisy.iter().map(|r| r.2).sum();
-    println!("  clean run : {} iterations, {} link errors", clean[0].1, clean_errors);
-    println!("  faulty run: {} iterations, {} link errors (injected 3 bit flips)", noisy[0].1, noisy_errors);
+    println!(
+        "  clean run : {} iterations, {} link errors",
+        clean[0].1, clean_errors
+    );
+    println!(
+        "  faulty run: {} iterations, {} link errors (injected 3 bit flips)",
+        noisy[0].1, noisy_errors
+    );
 
     for (node, (c, n)) in clean.iter().zip(&noisy).enumerate() {
         assert_eq!(c.0, n.0, "node {node} solution diverged under faults");

@@ -20,7 +20,11 @@ fn show(report: &CgReport) {
     let first = report.residuals.first().copied().unwrap_or(1.0);
     println!(
         "  {:<10} {:>5} iterations, residual {:.2e} -> {:.2e}, {} operator applications",
-        report.operator, report.iterations, first, report.final_residual, report.operator_applications
+        report.operator,
+        report.iterations,
+        first,
+        report.final_residual,
+        report.operator_applications
     );
 }
 
@@ -35,7 +39,10 @@ fn main() {
         average_plaquette(&gauge)
     );
 
-    let params = CgParams { tolerance: 1e-8, max_iterations: 4000 };
+    let params = CgParams {
+        tolerance: 1e-8,
+        max_iterations: 4000,
+    };
 
     println!("CG on the normal equations, double precision:");
     // Naive Wilson.

@@ -1,0 +1,71 @@
+//! Fault sweep: sustained Dslash throughput versus link bit-error rate.
+//!
+//! §2.2 argues the machine can afford its automatic parity-resend because
+//! real HSSL error rates are tiny: each corrupted frame costs one
+//! go-back-N rewind (a window's worth of words), so throughput degrades
+//! gracefully with the error rate instead of falling off a cliff. This
+//! example plays that out on the timing engine: a 256-node machine runs a
+//! Wilson-Dslash-shaped workload while one link's bit-error rate sweeps
+//! from 0 (the healthy machine) up to rates no real cable would survive,
+//! and we watch the sustained per-node Gflops respond.
+//!
+//! ```text
+//! cargo run --release --example fault_sweep
+//! ```
+
+use qcdoc::core::des::{run_with_faults, DesConfig};
+use qcdoc::core::perf::DiracPerf;
+use qcdoc::fault::{FaultEvent, FaultPlan};
+use qcdoc::lattice::counts::Action;
+
+fn main() {
+    // Price one CG iteration with the paper-benchmark machine, then hand
+    // the same pieces to the DES (as in the engine's cross-check test).
+    let perf = DiracPerf::paper_bench();
+    let report = perf.evaluate(Action::Wilson);
+    let local = report.total_cycles - report.comm_cycles - report.gsum_cycles;
+    let cfg = DesConfig {
+        machine_dims: perf.logical_dims,
+        compute_cycles: local,
+        compute_override: vec![],
+        face_words: report.comm_cycles / 72,
+        link: perf.machine.link,
+        global_sum_cycles: report.gsum_cycles,
+        perturbations: vec![],
+    };
+    const ITERS: usize = 50;
+    let clock_hz = perf.machine.node.clock.hz() as f64;
+    let nodes: usize = perf.logical_dims.iter().product();
+    println!(
+        "{} nodes, Wilson Dslash, {} iterations; {:.3} Gflops/node on clean links\n",
+        nodes, ITERS, report.sustained_gflops_per_node
+    );
+    println!(
+        "{:>12}  {:>10}  {:>10}  {:>14}  {:>9}",
+        "BER/word", "errors", "resent wds", "Gflops/node", "slowdown"
+    );
+
+    let clean = run_with_faults(&cfg, ITERS, &FaultPlan::new(2004))
+        .0
+        .total_cycles;
+    for rate in [0.0, 1e-6, 1e-4, 1e-3, 1e-2, 5e-2, 2e-1] {
+        let plan = FaultPlan::new(2004).with_event(FaultEvent::bit_error_rate(5, 0, rate));
+        let (result, ledger) = run_with_faults(&cfg, ITERS, &plan);
+        let seconds = result.total_cycles as f64 / clock_hz;
+        let gflops = report.flops_per_iteration as f64 * ITERS as f64 / seconds / 1e9;
+        println!(
+            "{:>12.0e}  {:>10}  {:>10}  {:>14.3}  {:>8.2}%",
+            rate,
+            ledger.total_injected(),
+            ledger.total_resends(),
+            gflops,
+            100.0 * (result.total_cycles as f64 / clean as f64 - 1.0),
+        );
+    }
+
+    println!(
+        "\nEach error rewinds the three-in-the-air window, so even a 1e-2 per-word\n\
+         error rate on one wire barely moves machine throughput — while the same\n\
+         sweep's health ledger pins every corrupted word to the guilty link."
+    );
+}

@@ -18,7 +18,7 @@ const GLOBAL: [usize; 4] = [32, 32, 32, 64];
 
 fn main() {
     // Machine partitions of the fixed lattice, 512 to 8192 nodes.
-    let configs: [( usize, [usize; 4]); 5] = [
+    let configs: [(usize, [usize; 4]); 5] = [
         (512, [4, 4, 4, 8]),
         (1024, [4, 4, 8, 8]),
         (2048, [4, 8, 8, 8]),

@@ -16,7 +16,10 @@ fn main() {
     let schematic_only = std::env::args().any(|a| a == "--schematic");
 
     let spec = catalog::by_name("columbia-4096").expect("catalog entry");
-    println!("=== {} ({} nodes, native mesh {}) ===\n", spec.name, spec.nodes, spec.shape);
+    println!(
+        "=== {} ({} nodes, native mesh {}) ===\n",
+        spec.name, spec.nodes, spec.shape
+    );
 
     if schematic_only {
         print!("{}", schematic::render(&spec.shape));
@@ -29,7 +32,10 @@ fn main() {
 
     // Network schematic (Figure 2) for one motherboard's worth.
     println!();
-    print!("{}", schematic::render(&qcdoc::geometry::TorusShape::motherboard_64()));
+    print!(
+        "{}",
+        schematic::render(&qcdoc::geometry::TorusShape::motherboard_64())
+    );
 
     // Cost (the §4 purchase orders).
     println!("\n=== itemized cost (Columbia purchase orders, §4) ===");
@@ -43,7 +49,10 @@ fn main() {
 
     // Price/performance at the three §4 operating points.
     println!("\n=== price/performance (45% sustained CG efficiency) ===");
-    println!("{:>8} {:>16} {:>12} {:>10}", "clock", "sustained MF", "$ / MF", "paper");
+    println!(
+        "{:>8} {:>16} {:>12} {:>10}",
+        "clock", "sustained MF", "$ / MF", "paper"
+    );
     for (clock, paper) in PAPER_PRICE_PERF {
         let pp = PricePerformance {
             clock_mhz: clock,
@@ -63,7 +72,10 @@ fn main() {
     // The 12,288-node projection (§4: volume discount -> ~$1/MF).
     println!("\n=== 12,288-node projection (7% volume discount on boards) ===");
     let big = MachineAssembly::new(12_288);
-    let model = CostModel { volume_discount: 0.93, ..Default::default() };
+    let model = CostModel {
+        volume_discount: 0.93,
+        ..Default::default()
+    };
     let b = model.breakdown(&big);
     let pp = PricePerformance {
         clock_mhz: 450.0,

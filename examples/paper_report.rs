@@ -11,10 +11,10 @@ use qcdoc::core::baseline::ClusterPerf;
 use qcdoc::core::perf::{DiracPerf, Precision, PAPER_EFFICIENCIES};
 use qcdoc::host::qdaemon::Qdaemon;
 use qcdoc::lattice::counts::Action;
+use qcdoc::machine::catalog;
 use qcdoc::machine::cost::{columbia_4096, CostModel, PricePerformance, PAPER_PRICE_PERF};
 use qcdoc::machine::packaging::MachineAssembly;
 use qcdoc::machine::wiring::wiring;
-use qcdoc::machine::catalog;
 use qcdoc::scu::global::dimension_sum_hops;
 use qcdoc::scu::timing::LinkTimingConfig;
 
@@ -28,15 +28,30 @@ fn main() {
     println!("  {:-<46} {:->16} {:->18}", "", "", "");
 
     // §2.1 / abstract.
-    row("node peak speed", "1 Gflops", &format!("{:.1} Gflops", Clock::DESIGN.peak_flops() / 1e9));
+    row(
+        "node peak speed",
+        "1 Gflops",
+        &format!("{:.1} Gflops", Clock::DESIGN.peak_flops() / 1e9),
+    );
     row(
         "12,288-node peak",
         "10+ Tflops",
-        &format!("{:.2} Tflops", MachineAssembly::new(12_288).peak_flops(500.0) / 1e12),
+        &format!(
+            "{:.2} Tflops",
+            MachineAssembly::new(12_288).peak_flops(500.0) / 1e12
+        ),
     );
     let edram_bw = qcdoc::asic::edram::PORT_BYTES_PER_CYCLE as f64 * Clock::DESIGN.hz() as f64;
-    row("EDRAM bandwidth", "8 GB/s", &format!("{:.1} GB/s", edram_bw / 1e9));
-    row("DDR bandwidth", "2.6 GB/s", &format!("{:.1} GB/s", qcdoc::asic::ddr::DDR_BYTES_PER_SEC / 1e9));
+    row(
+        "EDRAM bandwidth",
+        "8 GB/s",
+        &format!("{:.1} GB/s", edram_bw / 1e9),
+    );
+    row(
+        "DDR bandwidth",
+        "2.6 GB/s",
+        &format!("{:.1} GB/s", qcdoc::asic::ddr::DDR_BYTES_PER_SEC / 1e9),
+    );
 
     // §2.2 link numbers.
     let link = LinkTimingConfig::default();
@@ -46,7 +61,11 @@ fn main() {
         &format!("{:.0} ns", link.transfer_ns(1, Clock::DESIGN)),
     );
     let tail = link.transfer_ns(24, Clock::DESIGN) - link.transfer_ns(1, Clock::DESIGN);
-    row("24-word transfer tail", "3.3 us", &format!("{:.2} us", tail / 1000.0));
+    row(
+        "24-word transfer tail",
+        "3.3 us",
+        &format!("{:.2} us", tail / 1000.0),
+    );
     row(
         "aggregate node bandwidth",
         "1.3 GB/s",
@@ -94,7 +113,12 @@ fn main() {
     row(
         "single precision",
         "slightly higher",
-        &format!("+{:.1} pp", 100.0 * (sp.evaluate(Action::Wilson).efficiency - perf.evaluate(Action::Wilson).efficiency)),
+        &format!(
+            "+{:.1} pp",
+            100.0
+                * (sp.evaluate(Action::Wilson).efficiency
+                    - perf.evaluate(Action::Wilson).efficiency)
+        ),
     );
     let mut big = DiracPerf::paper_bench();
     big.local_dims = [8, 8, 8, 8];
@@ -131,14 +155,20 @@ fn main() {
         );
     }
     let w = wiring(&catalog::by_name("columbia-4096").unwrap().shape);
-    row("mesh cables (4096 nodes)", "768", &format!("{} ({} faces x 3)", w.cables, w.faces));
+    row(
+        "mesh cables (4096 nodes)",
+        "768",
+        &format!("{} ({} faces x 3)", w.cables, w.faces),
+    );
 
     // Hard scaling headline.
     let mut hs = DiracPerf::paper_bench();
     hs.logical_dims = [8, 8, 8, 16];
     hs.local_dims = [4, 4, 4, 4];
     let qe = hs.evaluate(Action::Wilson).efficiency;
-    let ce = ClusterPerf::matching(&hs).evaluate(Action::Wilson).efficiency;
+    let ce = ClusterPerf::matching(&hs)
+        .evaluate(Action::Wilson)
+        .efficiency;
     row(
         "8192-node hard scaling (32^3x64)",
         "mesh >> cluster",

@@ -16,7 +16,10 @@ use qcdoc::lattice::solver::CgParams;
 fn main() {
     // Generate and archive a configuration.
     let lat = Lattice::new([4, 4, 4, 8]);
-    println!("thermalizing a {:?} quenched lattice at beta = 5.7 ...", lat.dims());
+    println!(
+        "thermalizing a {:?} quenched lattice at beta = 5.7 ...",
+        lat.dims()
+    );
     let mut gauge = GaugeField::hot(lat, 42);
     let history = evolve(&mut gauge, EvolveParams::default(), 7, 10);
     println!(
@@ -45,7 +48,10 @@ fn main() {
     let prop = point_propagator(
         &restored,
         0.11,
-        CgParams { tolerance: 1e-8, max_iterations: 4000 },
+        CgParams {
+            tolerance: 1e-8,
+            max_iterations: 4000,
+        },
     );
     let total_iters: usize = prop.reports.iter().map(|r| r.iterations).sum();
     println!(

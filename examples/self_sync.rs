@@ -44,7 +44,11 @@ fn main() {
 
     // A persistently slow node paces everyone.
     let mut slow = base.clone();
-    slow.perturbations.push(Perturbation { node: 3, iteration: None, extra_cycles: 50_000 });
+    slow.perturbations.push(Perturbation {
+        node: 3,
+        iteration: None,
+        extra_cycles: 50_000,
+    });
     let r_slow = run(&slow, ITERS);
     println!(
         "node 3 slower by 50 kcycles every iteration:\n\
@@ -59,7 +63,11 @@ fn main() {
     fast.compute_override.push((42, 900_000 - 60_000)); // node 42 has headroom
     let with_headroom = run(&fast, ITERS).total_cycles;
     let mut refresh = fast.clone();
-    refresh.perturbations.push(Perturbation { node: 42, iteration: Some(9), extra_cycles: 40_000 });
+    refresh.perturbations.push(Perturbation {
+        node: 42,
+        iteration: Some(9),
+        extra_cycles: 40_000,
+    });
     let r_refresh = run(&refresh, ITERS).total_cycles;
     println!(
         "a 40 kcycle DRAM-refresh pause on a node with 60 kcycles of slack:\n\

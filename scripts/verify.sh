@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Verification gate: formatting, lints-as-errors, and the test suites.
+# Run from anywhere; operates on the repository this script lives in.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy (workspace, all targets, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test (tier-1: root package)"
+cargo test -q
+
+echo "== cargo test (workspace)"
+cargo test -q --workspace
+
+echo "verify: all green"

@@ -1,0 +1,145 @@
+//! Offline shim for `bytes`: the subset the SCU frame codec and host RPC
+//! layer use — `BytesMut` as a growable byte buffer, big-endian
+//! `BufMut::put_*` writers, and `Buf::get_*` readers over `&[u8]` cursors.
+
+use std::ops::Deref;
+
+/// Growable byte buffer, a thin wrapper over `Vec<u8>`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// A buffer with `capacity` bytes reserved.
+    pub fn with_capacity(capacity: usize) -> BytesMut {
+        BytesMut {
+            inner: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Append every byte of `src`.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+/// Write-side cursor operations (big-endian, like the real crate).
+pub trait BufMut {
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Append a big-endian u16.
+    fn put_u16(&mut self, v: u16);
+    /// Append a big-endian u32.
+    fn put_u32(&mut self, v: u32);
+    /// Append a big-endian u64.
+    fn put_u64(&mut self, v: u64);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.inner.push(v);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.inner.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.inner.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.inner.extend_from_slice(&v.to_be_bytes());
+    }
+}
+
+/// Read-side cursor operations over a shrinking slice. The `get_*`
+/// methods panic when too few bytes remain (callers bounds-check first,
+/// matching the real crate's contract).
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+    /// Consume one byte.
+    fn get_u8(&mut self) -> u8;
+    /// Consume a big-endian u16.
+    fn get_u16(&mut self) -> u16;
+    /// Consume a big-endian u32.
+    fn get_u32(&mut self) -> u32;
+    /// Consume a big-endian u64.
+    fn get_u64(&mut self) -> u64;
+}
+
+macro_rules! impl_get_be {
+    ($name:ident, $t:ty) => {
+        fn $name(&mut self) -> $t {
+            const N: usize = std::mem::size_of::<$t>();
+            let (head, rest) = self.split_at(N);
+            let v = <$t>::from_be_bytes(head.try_into().expect("sized slice"));
+            *self = rest;
+            v
+        }
+    };
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let (first, rest) = self.split_first().expect("get_u8 on empty buffer");
+        *self = rest;
+        *first
+    }
+
+    impl_get_be!(get_u16, u16);
+    impl_get_be!(get_u32, u32);
+    impl_get_be!(get_u64, u64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut b = BytesMut::new();
+        b.put_u8(0xAB);
+        b.put_u16(0x0102);
+        b.put_u32(0x0304_0506);
+        b.put_u64(0x0102_0304_0506_0708);
+        b.extend_from_slice(&[1, 2]);
+        assert_eq!(b.len(), 17);
+        let mut cur: &[u8] = &b;
+        assert_eq!(cur.remaining(), 17);
+        assert_eq!(cur.get_u8(), 0xAB);
+        assert_eq!(cur.get_u16(), 0x0102);
+        assert_eq!(cur.get_u32(), 0x0304_0506);
+        assert_eq!(cur.get_u64(), 0x0102_0304_0506_0708);
+        assert_eq!(cur, &[1, 2]);
+    }
+}

@@ -1,0 +1,140 @@
+//! Offline shim for `criterion`: the API surface the workspace benches use
+//! (`Criterion`, `benchmark_group`, `bench_function`, `Bencher::iter`,
+//! `sample_size`, the `criterion_group!`/`criterion_main!` macros), backed
+//! by a plain wall-clock loop. It reports a mean ns/iter per benchmark on
+//! stdout and does no statistics, plotting, or baseline storage — the
+//! point is that `cargo bench` compiles and runs offline, not that the
+//! numbers are publication-grade.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+const DEFAULT_SAMPLES: usize = 10;
+
+/// Entry point handed to each registered benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Run a single benchmark outside any group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Criterion {
+        run_one(&id.into(), DEFAULT_SAMPLES, f);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            samples: DEFAULT_SAMPLES,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.into()), self.samples, f);
+        self
+    }
+
+    /// End the group. (No-op in the shim; exists for API compatibility.)
+    pub fn finish(self) {}
+}
+
+/// Timing harness passed to each benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Mean nanoseconds per iteration measured by the last `iter` call.
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Time `routine`, storing the mean time per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed call to warm caches and fault in lazy state.
+        black_box(routine());
+        // Scale the timed batch so fast routines aren't all-noise.
+        let probe = Instant::now();
+        black_box(routine());
+        let once_ns = probe.elapsed().as_nanos().max(1);
+        let iters = (1_000_000 / once_ns).clamp(1, 1_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+}
+
+fn run_one(id: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut means = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher::default();
+        f(&mut b);
+        means.push(b.mean_ns);
+    }
+    let mean = means.iter().sum::<f64>() / means.len().max(1) as f64;
+    println!("bench {id:<48} {mean:>14.1} ns/iter ({samples} samples)");
+}
+
+/// Bundle benchmark functions into one callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Produce a `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_function_run() {
+        let mut c = Criterion::default();
+        c.bench_function("direct", |b| b.iter(|| 1u64 + 1));
+        let mut group = c.benchmark_group("grouped");
+        group.sample_size(2);
+        group.bench_function(format!("fmt_{}", 3), |b| b.iter(|| black_box(3u64) * 2));
+        group.finish();
+    }
+}

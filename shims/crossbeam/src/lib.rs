@@ -1,0 +1,145 @@
+//! Offline shim for `crossbeam`: the `channel` module only. Unlike
+//! `std::sync::mpsc`, crossbeam channels are multi-consumer and both ends
+//! are `Clone`, so the shim implements a small mpmc queue over
+//! `Mutex<VecDeque>` + `Condvar` rather than re-exporting std.
+
+/// Multi-producer multi-consumer channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: Mutex<usize>,
+    }
+
+    /// The sending half of a channel. Cloning adds a producer.
+    pub struct Sender<T>(Arc<Shared<T>>);
+
+    /// The receiving half of a channel. Cloning adds a consumer; each
+    /// message is delivered to exactly one receiver.
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    /// Error returned by [`Sender::send`]; carries the unsent value.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is drained
+    /// and every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message is currently queued.
+        Empty,
+        /// The channel is drained and every sender has been dropped.
+        Disconnected,
+    }
+
+    /// An unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: Mutex::new(1),
+        });
+        (Sender(Arc::clone(&shared)), Receiver(shared))
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            *self.0.senders.lock().unwrap() += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            *self.0.senders.lock().unwrap() -= 1;
+            // Wake blocked receivers so they can observe disconnection.
+            self.0.ready.notify_all();
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Queue `value`. Never blocks; the error variant exists only for
+        /// API compatibility and is not produced by the shim.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.queue.lock().unwrap().push_back(value);
+            self.0.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Pop the oldest queued message, if any.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut queue = self.0.queue.lock().unwrap();
+            if let Some(value) = queue.pop_front() {
+                return Ok(value);
+            }
+            if *self.0.senders.lock().unwrap() == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Block until a message arrives or every sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut queue = self.0.queue.lock().unwrap();
+            loop {
+                if let Some(value) = queue.pop_front() {
+                    return Ok(value);
+                }
+                if *self.0.senders.lock().unwrap() == 0 {
+                    return Err(RecvError);
+                }
+                queue = self.0.ready.wait(queue).unwrap();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, TryRecvError};
+
+    #[test]
+    fn send_and_try_recv() {
+        let (tx, rx) = unbounded();
+        tx.send(7u64).unwrap();
+        assert_eq!(rx.try_recv().unwrap(), 7);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn both_ends_clone_and_disconnect() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        let rx2 = rx.clone();
+        tx2.send(1u32).unwrap();
+        drop(tx);
+        drop(tx2);
+        assert_eq!(rx2.try_recv().unwrap(), 1);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn recv_blocks_until_send() {
+        let (tx, rx) = unbounded();
+        let handle = std::thread::spawn(move || rx.recv().unwrap());
+        tx.send(42u8).unwrap();
+        assert_eq!(handle.join().unwrap(), 42);
+    }
+}

@@ -1,0 +1,125 @@
+//! Test execution: deterministic per-test RNG, case loop, and the
+//! failure/rejection plumbing behind `prop_assert!`/`prop_assume!`.
+
+/// Runner configuration (shim of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // Upstream defaults to 256; the shim trades coverage for CI time.
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property does not hold for the drawn inputs.
+    Fail(String),
+    /// The inputs were rejected by `prop_assume!`; draw fresh ones.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given reason.
+    pub fn fail(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejection with the given reason.
+    pub fn reject(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+/// Deterministic generator handed to strategies (SplitMix64 core).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator seeded from the test name, so every run of a given
+    /// test draws the same inputs.
+    pub fn for_test(name: &str) -> TestRng {
+        // FNV-1a over the name, folded into a fixed session seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            state: h ^ 0x9CD0_C0DE_5EED_2026,
+        }
+    }
+
+    /// The next 64 random bits.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A value uniform in `[0, bound)`. `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0)");
+        self.next() % bound
+    }
+
+    /// A float uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Execute `case` until `config.cases` cases pass, panicking on the first
+/// failure. Rejected cases are skipped and retried with fresh draws, up to
+/// a global attempt cap.
+pub fn run(
+    name: &str,
+    config: &ProptestConfig,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let mut rng = TestRng::for_test(name);
+    let max_attempts = (config.cases as u64).saturating_mul(20).max(64);
+    let mut passed: u32 = 0;
+    let mut rejected: u64 = 0;
+
+    for attempt in 0..max_attempts {
+        if passed >= config.cases {
+            return;
+        }
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => rejected += 1,
+            Err(TestCaseError::Fail(reason)) => {
+                panic!(
+                    "property `{name}` failed at case {} (attempt {attempt}): {reason}",
+                    passed + 1
+                );
+            }
+        }
+    }
+
+    if passed < config.cases {
+        panic!(
+            "property `{name}` rejected too many inputs: {passed}/{} cases passed, \
+             {rejected} rejections in {max_attempts} attempts",
+            config.cases
+        );
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline shim for `serde`: the `Serialize`/`Deserialize` trait names and
+//! (behind the `derive` feature) no-op derive macros with the same names.
+//!
+//! The derives expand to nothing, so no type actually implements these
+//! traits — which is fine, because nothing in the workspace takes a
+//! `T: Serialize` bound or serializes through serde.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

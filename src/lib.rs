@@ -10,6 +10,9 @@
 //! * [`lattice`] — the lattice QCD workload suite (SU(3) algebra, gauge
 //!   evolution, Wilson / clover / staggered-ASQTAD / domain-wall Dirac
 //!   operators, conjugate-gradient solvers);
+//! * [`fault`] — deterministic, seeded fault injection (link bit errors,
+//!   stalls, dead links, node crashes, memory soft errors) and the
+//!   machine-wide health ledger the host diagnostics path reads out;
 //! * [`host`] — qdaemon host software, Ethernet/JTAG boot, run kernel;
 //! * [`machine`] — packaging hierarchy, power, footprint, and cost model;
 //! * [`core`] — the integrated machine: functional (threads-as-nodes) and
@@ -31,6 +34,7 @@
 
 pub use qcdoc_asic as asic;
 pub use qcdoc_core as core;
+pub use qcdoc_fault as fault;
 pub use qcdoc_geometry as geometry;
 pub use qcdoc_host as host;
 pub use qcdoc_lattice as lattice;

@@ -39,15 +39,24 @@ fn boot_partition_run_return_output() {
         let norm = global_sum_f64(ctx, x.iter().map(|s| s.norm_sqr()).sum());
         (report.converged, report.iterations, norm)
     });
-    assert!(results.iter().all(|r| r.0), "all nodes must agree the solve converged");
+    assert!(
+        results.iter().all(|r| r.0),
+        "all nodes must agree the solve converged"
+    );
     let iters = results[0].1;
-    assert!(results.iter().all(|r| r.1 == iters), "iteration counts must agree");
+    assert!(
+        results.iter().all(|r| r.1 == iters),
+        "iteration counts must agree"
+    );
     // The global norm is a machine-wide reduction: identical on all nodes.
     let norm_bits = results[0].2.to_bits();
     assert!(results.iter().all(|r| r.2.to_bits() == norm_bits));
 
     // Return output to the host and release.
-    qdaemon.return_output(id, format!("CG converged in {iters} iterations\n").as_bytes());
+    qdaemon.return_output(
+        id,
+        format!("CG converged in {iters} iterations\n").as_bytes(),
+    );
     assert!(String::from_utf8_lossy(qdaemon.job_output(id).unwrap()).contains("converged"));
     qdaemon.release(id);
     let (ready, busy, _, _) = qdaemon.census();
@@ -79,9 +88,14 @@ fn faulty_node_blocks_whole_machine_allocation_but_not_subbox() {
     let machine_shape = TorusShape::new(&[4, 2, 2, 2, 1, 1]);
     let mut qdaemon = Qdaemon::new(machine_shape.clone());
     qdaemon.boot(&[31]); // last node faulty
-    assert_eq!(qdaemon.node_state(qcdoc::geometry::NodeId(31)), NodeState::Faulty);
+    assert_eq!(
+        qdaemon.node_state(qcdoc::geometry::NodeId(31)),
+        NodeState::Faulty
+    );
     // Whole machine fails…
-    assert!(qdaemon.allocate(PartitionSpec::native(&machine_shape)).is_err());
+    assert!(qdaemon
+        .allocate(PartitionSpec::native(&machine_shape))
+        .is_err());
     // …but a sub-box avoiding the faulty node allocates fine.
     let spec = PartitionSpec {
         origin: NodeCoord::ORIGIN,

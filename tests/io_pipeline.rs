@@ -22,7 +22,10 @@ fn evolve_write_nfs_read_solve() {
     let handle = nfs.open("/data/ensembles/b5p7/lat.3").unwrap();
     let bytes = write_config(&gauge);
     nfs.write(handle, &bytes).unwrap();
-    assert_eq!(nfs.stat("/data/ensembles/b5p7/lat.3").unwrap(), bytes.len() as u64);
+    assert_eq!(
+        nfs.stat("/data/ensembles/b5p7/lat.3").unwrap(),
+        bytes.len() as u64
+    );
 
     // Read back on "another job" and verify bit identity.
     let restored = read_config(&nfs.read("/data/ensembles/b5p7/lat.3").unwrap()).unwrap();
@@ -71,7 +74,11 @@ fn ensemble_of_configurations_on_one_export() {
     }
     for k in 0..4 {
         let restored = read_config(&nfs.read(&format!("/data/stream/lat.{k}")).unwrap()).unwrap();
-        assert_eq!(restored.fingerprint(), fingerprints[k as usize], "config {k}");
+        assert_eq!(
+            restored.fingerprint(),
+            fingerprints[k as usize],
+            "config {k}"
+        );
     }
     // Configurations are distinct.
     fingerprints.dedup();

@@ -22,8 +22,7 @@ fn abstract_peak_speeds() {
 /// §2.1: EDRAM port runs at 8 GB/s; DDR at 2.6 GB/s, up to 2 GB.
 #[test]
 fn section_2_1_memory_bandwidths() {
-    let edram_bps =
-        qcdoc::asic::edram::PORT_BYTES_PER_CYCLE as f64 * Clock::DESIGN.hz() as f64;
+    let edram_bps = qcdoc::asic::edram::PORT_BYTES_PER_CYCLE as f64 * Clock::DESIGN.hz() as f64;
     assert_eq!(edram_bps, 8.0e9);
     assert_eq!(qcdoc::asic::ddr::DDR_BYTES_PER_SEC, 2.6e9);
     assert_eq!(qcdoc::asic::memory::DDR_MAX_SIZE, 2 << 30);
@@ -48,7 +47,10 @@ fn section_2_2_link_numbers() {
 #[test]
 fn section_2_2_global_sum_hops() {
     // The 8192-node example machine of §4: 8x8x8x16.
-    assert_eq!(dimension_sum_hops(&[8, 8, 8, 16], false), 8 + 8 + 8 + 16 - 4);
+    assert_eq!(
+        dimension_sum_hops(&[8, 8, 8, 16], false),
+        8 + 8 + 8 + 16 - 4
+    );
     assert_eq!(dimension_sum_hops(&[8, 8, 8, 16], true), 4 + 4 + 4 + 8);
 }
 
@@ -83,7 +85,11 @@ fn section_4_efficiencies() {
     let perf = DiracPerf::paper_bench();
     for (action, paper) in PAPER_EFFICIENCIES {
         let got = perf.evaluate(action).efficiency;
-        assert!((got - paper).abs() < 0.025, "{}: {got:.3} vs {paper}", action.name());
+        assert!(
+            (got - paper).abs() < 0.025,
+            "{}: {got:.3} vs {paper}",
+            action.name()
+        );
     }
     let dwf = perf.evaluate(Action::Dwf { ls: 8 }).efficiency;
     assert!(dwf >= perf.evaluate(Action::Clover).efficiency - 0.01);
@@ -119,7 +125,10 @@ fn section_4_cable_count() {
 #[test]
 fn section_4_cost_and_price_performance() {
     let b = CostModel::default().breakdown(&MachineAssembly::new(4096));
-    assert!((b.hardware_total() - columbia_4096::QUOTED_TOTAL).abs() / columbia_4096::QUOTED_TOTAL < 0.002);
+    assert!(
+        (b.hardware_total() - columbia_4096::QUOTED_TOTAL).abs() / columbia_4096::QUOTED_TOTAL
+            < 0.002
+    );
     assert!(
         (b.total() - columbia_4096::QUOTED_TOTAL_WITH_RND).abs()
             / columbia_4096::QUOTED_TOTAL_WITH_RND
@@ -132,7 +141,10 @@ fn section_4_cost_and_price_performance() {
             total_cost: columbia_4096::QUOTED_TOTAL_WITH_RND,
             nodes: 4096,
         };
-        assert!((pp.dollars_per_mflops() - paper).abs() < 0.005, "{clock} MHz");
+        assert!(
+            (pp.dollars_per_mflops() - paper).abs() < 0.005,
+            "{clock} MHz"
+        );
     }
 }
 

@@ -26,7 +26,10 @@ fn fold_to_rank(machine: &TorusShape, rank: usize) -> Partition {
 #[test]
 fn every_remap_rank_has_unit_dilation() {
     // The rack (1024 nodes) and the bench machine, remapped to ranks 1..6.
-    for machine in [TorusShape::rack_1024(), TorusShape::new(&[4, 4, 2, 2, 2, 1])] {
+    for machine in [
+        TorusShape::rack_1024(),
+        TorusShape::new(&[4, 4, 2, 2, 2, 1]),
+    ] {
         for rank in 1..=machine.rank() {
             let p = fold_to_rank(&machine, rank);
             assert_eq!(p.node_count(), machine.node_count());

@@ -6,7 +6,7 @@
 //! errors on the SCU links were reported."
 
 use qcdoc::core::distributed::{block_fingerprint, dslash_local, wilson_solve_cg, BlockGeom};
-use qcdoc::core::functional::{Fault, FaultPlan, FunctionalMachine};
+use qcdoc::core::functional::{FaultEvent, FaultPlan, FunctionalMachine};
 use qcdoc::geometry::TorusShape;
 use qcdoc::lattice::field::{FermionField, GaugeField, Lattice};
 use qcdoc::lattice::gauge::{evolve, EvolveParams};
@@ -17,7 +17,10 @@ fn gauge_evolution_rerun_is_bit_identical() {
     let run = || {
         let mut g = GaugeField::hot(lat, 777);
         let history = evolve(&mut g, EvolveParams::default(), 2004, 8);
-        (g.fingerprint(), history.iter().map(|p| p.to_bits()).collect::<Vec<_>>())
+        (
+            g.fingerprint(),
+            history.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+        )
     };
     let (f1, h1) = run();
     let (f2, h2) = run();
@@ -41,12 +44,11 @@ fn distributed_solve_identical_with_and_without_injected_faults() {
         })
     };
     let clean = solve(FaultPlan::default());
-    let noisy = solve(FaultPlan {
-        faults: vec![
-            Fault { node: 0, link: 0, frame_index: 11, bit: 8 },
-            Fault { node: 2, link: 3, frame_index: 70, bit: 33 },
-        ],
-    });
+    let noisy = solve(
+        FaultPlan::new(13)
+            .with_event(FaultEvent::bit_flip(0, 0, 11, 8))
+            .with_event(FaultEvent::bit_flip(2, 3, 70, 33)),
+    );
     // Clean run reports no hardware errors (the paper's observation).
     assert!(clean.iter().all(|r| r.2 == 0));
     // Faulty run detects and heals them; physics identical in all bits.
@@ -67,7 +69,11 @@ fn decomposition_does_not_change_dslash_bits() {
     let mut reference = FermionField::zero(global);
     qcdoc::lattice::wilson::WilsonDirac::new(&gauge, 0.1).dslash(&mut reference, &psi);
 
-    for shape in [TorusShape::new(&[2, 2]), TorusShape::new(&[2, 2, 2]), TorusShape::new(&[4])] {
+    for shape in [
+        TorusShape::new(&[2, 2]),
+        TorusShape::new(&[2, 2, 2]),
+        TorusShape::new(&[4]),
+    ] {
         let machine = FunctionalMachine::new(shape.clone());
         let ok = machine.run(|ctx| {
             let geom = BlockGeom::new(ctx, global);
@@ -84,7 +90,10 @@ fn decomposition_does_not_change_dslash_bits() {
                 })
             })
         });
-        assert!(ok.iter().all(|&x| x), "shape {shape} diverged from reference");
+        assert!(
+            ok.iter().all(|&x| x),
+            "shape {shape} diverged from reference"
+        );
     }
 }
 
@@ -94,13 +103,13 @@ fn link_checksums_agree_after_a_noisy_run() {
     // conclusion of a calculation, these checksums can be compared."
     use qcdoc::geometry::Axis;
     use qcdoc::scu::dma::DmaDescriptor;
-    let plan = FaultPlan {
-        faults: vec![Fault { node: 0, link: 0, frame_index: 1, bit: 25 }],
-    };
+    let plan = FaultPlan::new(0).with_event(FaultEvent::bit_flip(0, 0, 1, 25));
     let machine = FunctionalMachine::new(TorusShape::new(&[2])).with_faults(plan);
     let results = machine.run(|ctx| {
         for i in 0..16u64 {
-            ctx.mem.write_word(0x100 + i * 8, ctx.id.0 as u64 * 1000 + i).unwrap();
+            ctx.mem
+                .write_word(0x100 + i * 8, ctx.id.0 as u64 * 1000 + i)
+                .unwrap();
         }
         ctx.shift(
             Axis(0).plus(),
@@ -109,10 +118,23 @@ fn link_checksums_agree_after_a_noisy_run() {
         );
         // Report this node's send checksum (toward +x) and receive checksum
         // (from -x): on a 2-ring they pair up across the two nodes.
-        (ctx.send_checksum(Axis(0).plus()), ctx.recv_checksum(Axis(0).minus()), ctx.link_errors())
+        (
+            ctx.send_checksum(Axis(0).plus()),
+            ctx.recv_checksum(Axis(0).minus()),
+            ctx.link_errors(),
+        )
     });
     // Node 0's send pairs with node 1's receive and vice versa.
-    assert_eq!(results[0].0, results[1].1, "node0 -> node1 checksum mismatch");
-    assert_eq!(results[1].0, results[0].1, "node1 -> node0 checksum mismatch");
-    assert!(results.iter().map(|r| r.2).sum::<u64>() >= 1, "the fault must be seen");
+    assert_eq!(
+        results[0].0, results[1].1,
+        "node0 -> node1 checksum mismatch"
+    );
+    assert_eq!(
+        results[1].0, results[0].1,
+        "node1 -> node0 checksum mismatch"
+    );
+    assert!(
+        results.iter().map(|r| r.2).sum::<u64>() >= 1,
+        "the fault must be seen"
+    );
 }
