@@ -1,0 +1,124 @@
+//! Cost of the telemetry layer on the Dslash hot loop.
+//!
+//! The observability contract is "compile-out-cheap": with telemetry
+//! disabled every hook is a single branch on `NodeTelemetry::is_enabled`,
+//! so the instrumented solver must run at raw-operator speed. The smoke
+//! check times an 8⁴ Wilson `M†M` hot loop bare versus with the disabled
+//! hooks interleaved exactly as `solve_cgne_traced` places them, takes the
+//! minimum over several repetitions (minimum, not mean — the floor is the
+//! honest cost on a noisy machine) and asserts the disabled path stays
+//! within 5%. The criterion group then prices all three flavours: raw,
+//! disabled hooks, and live spans into a ring sink.
+
+use criterion::{black_box, criterion_group, Criterion};
+use qcdoc_lattice::field::{FermionField, GaugeField, Lattice};
+use qcdoc_lattice::wilson::WilsonDirac;
+use qcdoc_telemetry::{NodeTelemetry, Phase};
+use std::time::Instant;
+
+const ITERS: usize = 30;
+
+fn workload() -> (GaugeField, FermionField) {
+    let lat = Lattice::new([8, 8, 8, 8]);
+    (GaugeField::hot(lat, 42), FermionField::gaussian(lat, 43))
+}
+
+/// The raw hot loop: `ITERS` normal-equation operator applications.
+fn dslash_raw(op: &WilsonDirac<'_>, p: &FermionField) -> f64 {
+    let mut t = p.clone();
+    let mut q = p.clone();
+    for _ in 0..ITERS {
+        op.apply(&mut t, black_box(p));
+        op.apply_dagger(&mut q, &t);
+    }
+    q.norm_sqr()
+}
+
+/// The same loop with telemetry hooks placed as the traced solver places
+/// them: a span around the pair of applications, a clock advance, a
+/// counter bump.
+fn dslash_hooked(op: &WilsonDirac<'_>, p: &FermionField, telem: &mut NodeTelemetry) -> f64 {
+    let mut t = p.clone();
+    let mut q = p.clone();
+    let apply_cycles = 1320 * p.lattice().volume() as u64 / 2;
+    for _ in 0..ITERS {
+        let token = telem.begin();
+        op.apply(&mut t, black_box(p));
+        op.apply_dagger(&mut q, &t);
+        telem.advance(2 * apply_cycles);
+        telem.end_with(token, "bench.apply", Phase::Compute, 2);
+        telem.counter_add("solver_iterations", 1);
+    }
+    q.norm_sqr()
+}
+
+/// Minimum wall time of `f` over `reps` runs, in seconds.
+fn min_seconds<F: FnMut() -> f64>(mut f: F, reps: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// The acceptance gate: disabled telemetry adds < 5% to the hot loop.
+fn smoke_check() {
+    let (gauge, p) = workload();
+    let op = WilsonDirac::new(&gauge, 0.12);
+    // Warm-up: touch both paths once before timing anything.
+    black_box(dslash_raw(&op, &p));
+    black_box(dslash_hooked(&op, &p, &mut NodeTelemetry::disabled(0)));
+    let mut verdict = None;
+    for attempt in 1..=3 {
+        let raw = min_seconds(|| dslash_raw(&op, &p), 7);
+        let disabled = min_seconds(
+            || {
+                let mut telem = NodeTelemetry::disabled(0);
+                dslash_hooked(&op, &p, &mut telem)
+            },
+            7,
+        );
+        let ratio = disabled / raw;
+        println!(
+            "telemetry_overhead smoke attempt {attempt}: raw {:.1} ms, disabled {:.1} ms, ratio {ratio:.4}",
+            raw * 1e3,
+            disabled * 1e3,
+        );
+        if ratio < 1.05 {
+            verdict = Some(ratio);
+            break;
+        }
+    }
+    let ratio = verdict.expect("disabled telemetry exceeded 5% overhead in 3 attempts");
+    println!("telemetry_overhead smoke PASS: NullSink path ratio {ratio:.4} < 1.05");
+}
+
+fn overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(10);
+    let (gauge, p) = workload();
+    let op = WilsonDirac::new(&gauge, 0.12);
+    group.bench_function("dslash_8x8x8x8_raw", |b| b.iter(|| dslash_raw(&op, &p)));
+    group.bench_function("dslash_8x8x8x8_disabled_hooks", |b| {
+        b.iter(|| {
+            let mut telem = NodeTelemetry::disabled(0);
+            dslash_hooked(&op, &p, &mut telem)
+        })
+    });
+    group.bench_function("dslash_8x8x8x8_ring_spans", |b| {
+        b.iter(|| {
+            let mut telem = NodeTelemetry::with_ring(0, 1 << 12);
+            dslash_hooked(&op, &p, &mut telem)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, overhead);
+
+fn main() {
+    smoke_check();
+    benches();
+}

@@ -13,6 +13,7 @@
 use crate::functional::NodeCtx;
 use qcdoc_geometry::Axis;
 use qcdoc_scu::dma::DmaDescriptor;
+use qcdoc_telemetry::Phase;
 
 /// Comm scratch area: the top 64 kB of EDRAM are reserved for staging
 /// buffers (the application owns the rest).
@@ -24,6 +25,25 @@ const GSUM_RECV: u64 = COMM_SCRATCH_BASE + 8;
 /// Dimension-ordered global sum of one `f64` per node. Every node returns
 /// the same bit pattern.
 pub fn global_sum_f64(ctx: &mut NodeCtx, value: f64) -> f64 {
+    if !ctx.telem.is_enabled() {
+        return global_sum_inner(ctx, value);
+    }
+    // The ring shifts inside the sum are comms on the wire, but the §4
+    // decomposition charges them to the global-sum term: reclassify every
+    // nested span while the sum runs.
+    let token = ctx.telem.begin();
+    let prev = ctx.telem.set_phase_override(Some(Phase::GlobalSum));
+    let result = global_sum_inner(ctx, value);
+    ctx.telem.set_phase_override(prev);
+    let cycles = ctx
+        .telem
+        .end_with(token, "comm.global_sum", Phase::GlobalSum, 0);
+    ctx.telem.counter_add("comm_global_sums", 1);
+    ctx.telem.observe("comm_global_sum_cycles", cycles);
+    result
+}
+
+fn global_sum_inner(ctx: &mut NodeCtx, value: f64) -> f64 {
     let mut acc = value;
     let rank = ctx.shape.rank();
     for axis in 0..rank {

@@ -21,6 +21,7 @@
 //! machine the two must agree on the iteration time (asserted in tests).
 
 use qcdoc_scu::timing::LinkTimingConfig;
+use qcdoc_telemetry::{MetricsRegistry, Phase, Span, TraceSink};
 use serde::{Deserialize, Serialize};
 
 /// One node's perturbation: extra cycles added to its compute phase.
@@ -231,6 +232,36 @@ pub fn run_with_faults(
     iterations: usize,
     plan: &qcdoc_fault::FaultPlan,
 ) -> (DesResult, qcdoc_fault::HealthLedger) {
+    run_traced(config, iterations, plan, None)
+}
+
+/// Telemetry hooks for a traced DES run: spans land in `sink`, aggregate
+/// counters and the health-ledger readout land in `metrics`.
+pub struct DesTelemetry<'a> {
+    /// Receives one compute/comms/global-sum span per node per iteration.
+    pub sink: &'a mut dyn TraceSink,
+    /// Receives `des_*` series plus the ledger's gauge export.
+    pub metrics: &'a mut MetricsRegistry,
+}
+
+impl std::fmt::Debug for DesTelemetry<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DesTelemetry").finish_non_exhaustive()
+    }
+}
+
+/// [`run_with_faults`] with cycle-stamped tracing: each iteration of each
+/// node decomposes into a `des.compute` span (ready → compute end), a
+/// `des.comms` span (compute end → halo complete) and a `des.gsum` span
+/// (halo complete → reduction done) — the §4 efficiency decomposition,
+/// played out on the event clock. Timing and ledger are bit-identical to
+/// the untraced run.
+pub fn run_traced(
+    config: &DesConfig,
+    iterations: usize,
+    plan: &qcdoc_fault::FaultPlan,
+    mut telemetry: Option<DesTelemetry<'_>>,
+) -> (DesResult, qcdoc_fault::HealthLedger) {
     use qcdoc_fault::{FaultClock, HealthLedger, Liveness};
     use qcdoc_scu::link::WINDOW;
 
@@ -283,16 +314,42 @@ pub fn run_with_faults(
             }
         }
         let sum_done = halo_done.iter().max().copied().expect("nodes") + config.global_sum_cycles;
+        if let Some(t) = telemetry.as_mut() {
+            for r in 0..n {
+                for (name, phase, begin, end) in [
+                    ("des.compute", Phase::Compute, ready[r], compute_end[r]),
+                    ("des.comms", Phase::Comms, compute_end[r], halo_done[r]),
+                    ("des.gsum", Phase::GlobalSum, halo_done[r], sum_done),
+                ] {
+                    t.sink.record(Span {
+                        name,
+                        node: r as u32,
+                        phase,
+                        begin,
+                        end,
+                        depth: 0,
+                        arg: it as u64,
+                    });
+                }
+            }
+            t.metrics.counter_add("des_iterations", &[], 1);
+            let prev = finishes.last().copied().unwrap_or(0);
+            t.metrics
+                .observe("des_iteration_cycles", &[], sum_done - prev);
+        }
         ready.iter_mut().for_each(|t| *t = sum_done);
         finishes.push(sum_done);
     }
-    (
-        DesResult {
-            total_cycles: *finishes.last().unwrap_or(&0),
-            iteration_finish: finishes,
-        },
-        ledger,
-    )
+    let result = DesResult {
+        total_cycles: *finishes.last().unwrap_or(&0),
+        iteration_finish: finishes,
+    };
+    if let Some(t) = telemetry.as_mut() {
+        t.metrics
+            .gauge_set("des_total_cycles", &[], result.total_cycles as f64);
+        ledger.export_metrics(t.metrics);
+    }
+    (result, ledger)
 }
 
 #[cfg(test)]
@@ -496,6 +553,44 @@ mod tests {
             let pause = FaultPlan::new(0).with_event(FaultEvent::node_pause(5, Some(1), 40_000));
             let (p, _) = run_with_faults(&cfg, 10, &pause);
             assert_eq!(p.total_cycles, run(&cfg, 10).total_cycles + 40_000);
+        }
+
+        #[test]
+        fn traced_run_matches_untraced_and_partitions_the_clock() {
+            use qcdoc_telemetry::{MetricsRegistry, RingSink};
+            let cfg = base();
+            let plan = FaultPlan::new(7).with_event(FaultEvent::bit_error_rate(5, 0, 0.02));
+            let (plain, ledger) = run_with_faults(&cfg, 6, &plan);
+            let mut sink = RingSink::new(1 << 16);
+            let mut metrics = MetricsRegistry::new();
+            let (traced, tledger) = run_traced(
+                &cfg,
+                6,
+                &plan,
+                Some(DesTelemetry {
+                    sink: &mut sink,
+                    metrics: &mut metrics,
+                }),
+            );
+            assert_eq!(plain, traced, "tracing must not perturb the timing");
+            assert_eq!(ledger.fingerprint(), tledger.fingerprint());
+            let spans = sink.drain();
+            assert_eq!(spans.len(), 3 * 16 * 6, "3 spans per node per iteration");
+            // Per node, the spans tile [0, total_cycles] with no gaps.
+            let mut clock = [0u64; 16];
+            for s in &spans {
+                assert_eq!(s.begin, clock[s.node as usize], "gap in node timeline");
+                assert!(s.end >= s.begin);
+                clock[s.node as usize] = s.end;
+            }
+            assert!(clock.iter().all(|&c| c == traced.total_cycles));
+            assert_eq!(metrics.counter("des_iterations", &[]), 6);
+            assert_eq!(
+                metrics.gauge("des_total_cycles", &[]),
+                Some(traced.total_cycles as f64)
+            );
+            // The ledger export rode along.
+            assert!(metrics.gauge("machine_total_resends", &[]).is_some());
         }
 
         #[test]

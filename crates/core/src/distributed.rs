@@ -23,9 +23,30 @@ use qcdoc_lattice::field::{FermionField, GaugeField, Lattice};
 use qcdoc_lattice::spinor::{HalfSpinor, ProjSign, Spinor};
 use qcdoc_lattice::su3::Su3;
 use qcdoc_scu::dma::DmaDescriptor;
+use qcdoc_telemetry::Phase;
 
 /// Words per half-spinor on the wire (12 complex = 24 × u64).
 const HALF_WORDS: u64 = 24;
+
+/// Wilson hopping-term floating-point operations per site (§4: the
+/// familiar 1320-flop dslash figure — 8 directions of SU(3) half-spinor
+/// multiply, project and reconstruct).
+const WILSON_FLOPS_PER_SITE: u64 = 1320;
+
+/// Naive staggered floating-point operations per site (8 SU(3)
+/// colour-vector multiplies plus phase/accumulate arithmetic).
+const STAGGERED_FLOPS_PER_SITE: u64 = 570;
+
+/// Clover-term floating-point operations per site (two dense 6×6 complex
+/// matrix–vector products).
+const CLOVER_FLOPS_PER_SITE: u64 = 576;
+
+/// Logical compute cycles for `sites` lattice sites at `flops` per site,
+/// assuming the paper's two floating-point operations per cycle (one
+/// fused multiply-add per clock, §3.1).
+fn compute_cycles(sites: usize, flops: u64) -> u64 {
+    (sites as u64 * flops) / 2
+}
 
 /// The block decomposition seen from one node.
 #[derive(Debug, Clone)]
@@ -242,6 +263,7 @@ pub fn dslash_local(
     psi: &[Spinor],
 ) -> Vec<Spinor> {
     let (from_plus, from_minus) = exchange_faces(ctx, geom, gauge, psi);
+    let token = ctx.telem.begin();
     let local = geom.local;
     let ld = local.dims();
     let mut out = vec![Spinor::ZERO; local.volume()];
@@ -270,6 +292,15 @@ pub fn dslash_local(
         }
         out[l] = acc;
     }
+    ctx.telem
+        .advance(compute_cycles(local.volume(), WILSON_FLOPS_PER_SITE));
+    ctx.telem.end_with(
+        token,
+        "dslash.compute",
+        Phase::Compute,
+        local.volume() as u64,
+    );
+    ctx.telem.counter_add("dslash_applications", 1);
     out
 }
 
@@ -376,7 +407,12 @@ pub fn wilson_solve_cg(
         let beta = new_rsq / rsq;
         xpay(&mut p, beta, &r);
         rsq = new_rsq;
+        ctx.telem.counter_add("cg_iterations", 1);
     }
+    ctx.telem
+        .gauge_set("cg_final_residual", (rsq / bref).sqrt());
+    ctx.telem
+        .gauge_set("cg_converged", if converged { 1.0 } else { 0.0 });
     let report = DistCgReport {
         iterations,
         final_residual: (rsq / bref).sqrt(),
@@ -466,6 +502,7 @@ pub fn staggered_dslash_local(
         }
         v
     };
+    let token = ctx.telem.begin();
     let mut out = vec![ColorVec::ZERO; chi.len()];
     for l in geom.local.sites() {
         let lc = geom.local.coord(l);
@@ -491,6 +528,17 @@ pub fn staggered_dslash_local(
         }
         out[l] = acc;
     }
+    ctx.telem.advance(compute_cycles(
+        geom.local.volume(),
+        STAGGERED_FLOPS_PER_SITE,
+    ));
+    ctx.telem.end_with(
+        token,
+        "staggered.compute",
+        Phase::Compute,
+        geom.local.volume() as u64,
+    );
+    ctx.telem.counter_add("dslash_applications", 1);
     out
 }
 
@@ -509,6 +557,7 @@ pub fn clover_apply(
     kappa: f64,
 ) -> Vec<Spinor> {
     let hop = dslash_local(ctx, geom, gauge, psi);
+    let token = ctx.telem.begin();
     let mut out = vec![Spinor::ZERO; psi.len()];
     let mk = C64::real(-kappa);
     for l in geom.local.sites() {
@@ -532,6 +581,14 @@ pub fn clover_apply(
         }
         out[l] = o.axpy(mk, &hop[l]);
     }
+    ctx.telem
+        .advance(compute_cycles(geom.local.volume(), CLOVER_FLOPS_PER_SITE));
+    ctx.telem.end_with(
+        token,
+        "clover.compute",
+        Phase::Compute,
+        geom.local.volume() as u64,
+    );
     out
 }
 

@@ -21,7 +21,9 @@ use qcdoc_geometry::{Axis, Direction, NodeCoord, NodeId, TorusShape};
 use qcdoc_scu::dma::DmaDescriptor;
 use qcdoc_scu::link::WireTap;
 use qcdoc_scu::scu::{Scu, ScuEvent, WireMsg};
+use qcdoc_scu::timing::LinkTimingConfig;
 use qcdoc_scu::WireVerdict;
+use qcdoc_telemetry::{MachineTelemetry, MetricsRegistry, NodeTelemetry, Phase, Span};
 use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -37,6 +39,31 @@ type NodeWires = (Vec<Option<Sender<WireMsg>>>, Vec<Option<Receiver<WireMsg>>>);
 /// host, and short enough that a dead-link run still fails fast.
 const WEDGE_IDLE_SPINS: u32 = 50_000;
 
+/// Telemetry knobs for a [`FunctionalMachine`] run.
+///
+/// The functional engine has no global clock of its own (threads run at
+/// host speed), so each node's telemetry clock is advanced by the *link
+/// timing model*: a completed transfer of `w` words costs
+/// `link.transfer_cycles(w)` logical cycles, the slowest armed link
+/// setting the pace — which is exactly how the paper's §4 efficiency
+/// model charges communication time.
+#[derive(Debug, Clone, Copy)]
+pub struct TelemetryConfig {
+    /// Per-node span ring-buffer capacity (bounded memory).
+    pub ring_capacity: usize,
+    /// Link timing used to convert word counts into logical cycles.
+    pub link: LinkTimingConfig,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            ring_capacity: 65_536,
+            link: LinkTimingConfig::default(),
+        }
+    }
+}
+
 /// One node's execution context: its memory, SCU, and wires.
 pub struct NodeCtx {
     /// Logical rank.
@@ -47,6 +74,9 @@ pub struct NodeCtx {
     pub shape: TorusShape,
     /// Node memory (EDRAM + DDR) — the SCU DMA engines address this.
     pub mem: NodeMemory,
+    /// Per-node telemetry handle (disabled unless the machine was built
+    /// with [`FunctionalMachine::with_telemetry`]).
+    pub telem: NodeTelemetry,
     scu: Scu,
     tx: Vec<Option<Sender<WireMsg>>>,
     rx: Vec<Option<Receiver<WireMsg>>>,
@@ -54,6 +84,11 @@ pub struct NodeCtx {
     tap: NodeTap,
     wedged: bool,
     mem_flips: u64,
+    /// Words armed per link since the last accounted completion, used to
+    /// charge the telemetry clock with modeled transfer cycles.
+    armed_send_words: [u64; 12],
+    armed_recv_words: [u64; 12],
+    link_timing: LinkTimingConfig,
 }
 
 impl NodeCtx {
@@ -69,11 +104,13 @@ impl NodeCtx {
 
     /// Start a DMA send toward `dir`.
     pub fn start_send(&mut self, dir: Direction, desc: DmaDescriptor) {
+        self.armed_send_words[dir.link_index()] += desc.total_words();
         self.scu.start_send(dir.link_index(), desc);
     }
 
     /// Arm a DMA receive for traffic arriving from `dir`.
     pub fn start_recv(&mut self, dir: Direction, desc: DmaDescriptor) {
+        self.armed_recv_words[dir.link_index()] += desc.total_words();
         self.scu
             .start_recv(dir.link_index(), desc, &mut self.mem)
             .expect("receive DMA arm failed");
@@ -171,6 +208,38 @@ impl NodeCtx {
     /// wedged, and returns so the run can finish and report the failure
     /// through the health ledger instead of hanging.
     pub fn complete(&mut self, sends: &[Direction], recvs: &[Direction]) {
+        if !self.telem.is_enabled() {
+            self.complete_inner(sends, recvs);
+            return;
+        }
+        let token = self.telem.begin();
+        self.complete_inner(sends, recvs);
+        // Charge the logical clock with the modeled wire time: parallel
+        // links overlap, so the slowest one sets the pace (§4's comms
+        // term), while counters see every word moved.
+        let mut send_words = 0u64;
+        let mut recv_words = 0u64;
+        let mut wire_cycles = 0u64;
+        for d in sends {
+            let w = std::mem::take(&mut self.armed_send_words[d.link_index()]);
+            send_words += w;
+            wire_cycles = wire_cycles.max(self.link_timing.transfer_cycles(w).count());
+        }
+        for d in recvs {
+            let w = std::mem::take(&mut self.armed_recv_words[d.link_index()]);
+            recv_words += w;
+            wire_cycles = wire_cycles.max(self.link_timing.transfer_cycles(w).count());
+        }
+        self.telem.advance(wire_cycles);
+        self.telem.counter_add("dma_send_words", send_words);
+        self.telem.counter_add("dma_recv_words", recv_words);
+        self.telem
+            .counter_add("dma_bytes", (send_words + recv_words) * 8);
+        self.telem
+            .end_with(token, "scu.complete", Phase::Comms, send_words + recv_words);
+    }
+
+    fn complete_inner(&mut self, sends: &[Direction], recvs: &[Direction]) {
         if self.wedged {
             return;
         }
@@ -237,19 +306,18 @@ impl NodeCtx {
             links: Vec::with_capacity(12),
             mem_flips: self.mem_flips,
         };
-        for link in 0..12 {
-            let send = self.scu.send_unit(link);
-            let recv = self.scu.recv_unit(link);
+        let stats = self.scu.stats();
+        for (link, ls) in stats.links.iter().enumerate() {
             health.links.push(qcdoc_fault::LinkHealth {
-                sent_words: send.sent_words(),
-                received_words: recv.received_words(),
-                resends: send.resends(),
-                rejects: recv.rejects(),
+                sent_words: ls.sent_words,
+                received_words: ls.received_words,
+                resends: ls.resends,
+                rejects: ls.rejects,
                 injected: self.tap.injected()[link],
                 stall_cycles: 0,
                 dead: clock.link_dead_from(self.id.0, link).is_some(),
-                send_checksum: send.checksum().value(),
-                recv_checksum: recv.checksum().value(),
+                send_checksum: ls.send_checksum,
+                recv_checksum: ls.recv_checksum,
                 checksum_ok: None,
             });
         }
@@ -262,6 +330,7 @@ pub struct FunctionalMachine {
     shape: TorusShape,
     faults: FaultPlan,
     ddr_bytes: u64,
+    telemetry: Option<TelemetryConfig>,
 }
 
 impl FunctionalMachine {
@@ -271,6 +340,7 @@ impl FunctionalMachine {
             shape,
             faults: FaultPlan::default(),
             ddr_bytes: 128 * 1024 * 1024,
+            telemetry: None,
         }
     }
 
@@ -278,6 +348,14 @@ impl FunctionalMachine {
     /// starts).
     pub fn with_faults(mut self, plan: FaultPlan) -> FunctionalMachine {
         self.faults = plan;
+        self
+    }
+
+    /// Enable telemetry: every node gets a cycle clock, a span ring and a
+    /// local metrics registry, collected by
+    /// [`FunctionalMachine::run_with_telemetry`].
+    pub fn with_telemetry(mut self, cfg: TelemetryConfig) -> FunctionalMachine {
+        self.telemetry = Some(cfg);
         self
     }
 
@@ -293,7 +371,7 @@ impl FunctionalMachine {
         F: Fn(&mut NodeCtx) -> R + Sync,
         R: Send,
     {
-        self.run_inner(app).into_iter().map(|(r, _)| r).collect()
+        self.run_inner(app).into_iter().map(|(r, _, _)| r).collect()
     }
 
     /// Like [`FunctionalMachine::run`], but also collect every node's SCU
@@ -307,7 +385,7 @@ impl FunctionalMachine {
     {
         let mut ledger = HealthLedger::new(self.shape.node_count());
         let mut results = Vec::with_capacity(self.shape.node_count());
-        for (node, (r, health)) in self.run_inner(app).into_iter().enumerate() {
+        for (node, (r, health, _)) in self.run_inner(app).into_iter().enumerate() {
             results.push(r);
             *ledger.node_mut(node as u32) = health;
         }
@@ -315,7 +393,29 @@ impl FunctionalMachine {
         (results, ledger)
     }
 
-    fn run_inner<F, R>(&self, app: F) -> Vec<(R, NodeHealth)>
+    /// Like [`FunctionalMachine::run_with_health`], but additionally
+    /// collect every node's metrics (stamped with `node="N"` labels) and
+    /// cycle-stamped spans. The finalized ledger is also exported into the
+    /// returned registry, so metrics and health present one view.
+    pub fn run_with_telemetry<F, R>(&self, app: F) -> (Vec<R>, HealthLedger, MachineTelemetry)
+    where
+        F: Fn(&mut NodeCtx) -> R + Sync,
+        R: Send,
+    {
+        let mut ledger = HealthLedger::new(self.shape.node_count());
+        let mut telemetry = MachineTelemetry::new();
+        let mut results = Vec::with_capacity(self.shape.node_count());
+        for (node, (r, health, (metrics, spans))) in self.run_inner(app).into_iter().enumerate() {
+            results.push(r);
+            *ledger.node_mut(node as u32) = health;
+            telemetry.absorb_node(node as u32, metrics, spans);
+        }
+        ledger.finalize(&self.shape);
+        ledger.export_metrics(&mut telemetry.metrics);
+        (results, ledger, telemetry)
+    }
+
+    fn run_inner<F, R>(&self, app: F) -> Vec<(R, NodeHealth, (MetricsRegistry, Vec<Span>))>
     where
         F: Fn(&mut NodeCtx) -> R + Sync,
         R: Send,
@@ -341,8 +441,9 @@ impl FunctionalMachine {
             n as u32,
             2 * self.shape.rank(),
         ));
-        let results: Vec<Mutex<Option<(R, NodeHealth)>>> =
-            (0..n).map(|_| Mutex::new(None)).collect();
+        type NodeOutput<R> = (R, NodeHealth, (MetricsRegistry, Vec<Span>));
+        let results: Vec<Mutex<Option<NodeOutput<R>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let telemetry = self.telemetry;
         // Nodes that finish keep pumping the wires until *everyone* has
         // finished — otherwise a neighbour could stall waiting for an ack
         // from a thread that already exited.
@@ -364,6 +465,10 @@ impl FunctionalMachine {
                         coord: shape.coord_of(NodeId(node as u32)),
                         shape,
                         mem: NodeMemory::new(ddr),
+                        telem: match telemetry {
+                            Some(cfg) => NodeTelemetry::with_ring(node as u32, cfg.ring_capacity),
+                            None => NodeTelemetry::disabled(node as u32),
+                        },
                         scu,
                         tx,
                         rx,
@@ -371,6 +476,9 @@ impl FunctionalMachine {
                         tap: NodeTap::new(Arc::clone(&clock), node as u32),
                         wedged: false,
                         mem_flips: 0,
+                        armed_send_words: [0; 12],
+                        armed_recv_words: [0; 12],
+                        link_timing: telemetry.map(|c| c.link).unwrap_or_default(),
                     };
                     // Memory soft errors strike before the application
                     // touches its data (flips outside the address map are
@@ -381,8 +489,22 @@ impl FunctionalMachine {
                         }
                     }
                     let r = app(&mut ctx);
+                    if ctx.telem.is_enabled() {
+                        // EDRAM-vs-DDR hit gauges: the end-of-run memory
+                        // profile the §4 model needs to locate data.
+                        let ms = ctx.mem.stats();
+                        ctx.telem
+                            .gauge_set("node_mem_edram_reads", ms.edram_reads as f64);
+                        ctx.telem
+                            .gauge_set("node_mem_edram_writes", ms.edram_writes as f64);
+                        ctx.telem
+                            .gauge_set("node_mem_ddr_reads", ms.ddr_reads as f64);
+                        ctx.telem
+                            .gauge_set("node_mem_ddr_writes", ms.ddr_writes as f64);
+                    }
                     let snapshot = ctx.health_snapshot();
-                    *results[node].lock() = Some((r, snapshot));
+                    let parts = ctx.telem.take_parts();
+                    *results[node].lock() = Some((r, snapshot, parts));
                     done.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
                     let mut spins = 0u32;
                     while done.load(std::sync::atomic::Ordering::SeqCst) < n {

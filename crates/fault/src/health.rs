@@ -1,6 +1,7 @@
 //! The machine-health ledger: what the host's diagnostics path reads out.
 
 use qcdoc_geometry::{Axis, NodeId, TorusShape};
+use qcdoc_telemetry::MetricsRegistry;
 use serde::{Deserialize, Serialize};
 
 /// Number of wire directions per node.
@@ -184,6 +185,68 @@ impl HealthLedger {
             .all(|l| l.checksum_ok != Some(false))
     }
 
+    /// Publish the ledger into a [`MetricsRegistry`] — the single view the
+    /// host daemon serves from `Qdaemon::scrape()`.
+    ///
+    /// Everything is exported as *gauges* holding absolute end-of-run
+    /// values (the same convention as `ScuStats::export_metrics` in
+    /// `qcdoc-scu`, with identical `scu_link_*` series names), so
+    /// re-ingesting the same ledger is idempotent and per-wire counters
+    /// are never double-counted between the two sources.
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        for n in &self.nodes {
+            let node_labels = [("node", n.node.to_string())];
+            reg.gauge_set(
+                "node_liveness",
+                &node_labels,
+                match n.liveness {
+                    Liveness::Alive => 0.0,
+                    Liveness::Crashed { .. } => 1.0,
+                    Liveness::Wedged => 2.0,
+                },
+            );
+            reg.gauge_set("node_mem_flips", &node_labels, n.mem_flips as f64);
+            for (link, l) in n.links.iter().enumerate() {
+                let active = l.sent_words > 0
+                    || l.received_words > 0
+                    || l.resends > 0
+                    || l.rejects > 0
+                    || l.injected > 0
+                    || l.stall_cycles > 0
+                    || l.dead;
+                if !active {
+                    continue;
+                }
+                let labels = [("node", n.node.to_string()), ("link", link.to_string())];
+                reg.gauge_set("scu_link_sent_words", &labels, l.sent_words as f64);
+                reg.gauge_set("scu_link_received_words", &labels, l.received_words as f64);
+                reg.gauge_set("scu_link_resends", &labels, l.resends as f64);
+                reg.gauge_set("scu_link_rejects", &labels, l.rejects as f64);
+                reg.gauge_set("scu_link_injected", &labels, l.injected as f64);
+                reg.gauge_set("scu_link_stall_cycles", &labels, l.stall_cycles as f64);
+                reg.gauge_set("scu_link_dead", &labels, u64::from(l.dead) as f64);
+                if let Some(ok) = l.checksum_ok {
+                    reg.gauge_set("scu_link_checksum_ok", &labels, u64::from(ok) as f64);
+                }
+            }
+        }
+        let mismatches = self
+            .nodes
+            .iter()
+            .flat_map(|n| &n.links)
+            .filter(|l| l.checksum_ok == Some(false))
+            .count();
+        reg.gauge_set("machine_total_resends", &[], self.total_resends() as f64);
+        reg.gauge_set("machine_total_injected", &[], self.total_injected() as f64);
+        reg.gauge_set("machine_dead_links", &[], self.dead_links().len() as f64);
+        reg.gauge_set("machine_checksum_mismatches", &[], mismatches as f64);
+        reg.gauge_set(
+            "machine_unhealthy_nodes",
+            &[],
+            self.unhealthy_nodes().len() as f64,
+        );
+    }
+
     /// FNV-1a digest of the ledger's *deterministic* fields: word counts,
     /// injected-fault counts, stall time, dead flags, checksums, liveness,
     /// and memory flips. Resend/reject counters are excluded — with a
@@ -268,6 +331,35 @@ mod tests {
         let mut c = a.clone();
         c.node_mut(1).liveness = Liveness::Wedged;
         assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn export_metrics_is_idempotent_and_sparse() {
+        let mut ledger = HealthLedger::new(2);
+        ledger.node_mut(0).links[0].sent_words = 10;
+        ledger.node_mut(0).links[0].resends = 3;
+        ledger.node_mut(1).liveness = Liveness::Wedged;
+        ledger.node_mut(1).mem_flips = 2;
+        let mut reg = MetricsRegistry::new();
+        ledger.export_metrics(&mut reg);
+        let once = reg.clone();
+        ledger.export_metrics(&mut reg); // re-ingest must not double-count
+        assert_eq!(reg, once);
+        let l0 = [("node", "0".to_string()), ("link", "0".to_string())];
+        assert_eq!(reg.gauge("scu_link_resends", &l0), Some(3.0));
+        assert_eq!(
+            reg.gauge("node_liveness", &[("node", "1".to_string())]),
+            Some(2.0)
+        );
+        assert_eq!(
+            reg.gauge("node_mem_flips", &[("node", "1".to_string())]),
+            Some(2.0)
+        );
+        assert_eq!(reg.gauge("machine_total_resends", &[]), Some(3.0));
+        assert_eq!(reg.gauge("machine_unhealthy_nodes", &[]), Some(1.0));
+        // Idle wires are skipped: only node 0 link 0 has scu_link_ series.
+        let l5 = [("node", "1".to_string()), ("link", "5".to_string())];
+        assert_eq!(reg.gauge("scu_link_sent_words", &l5), None);
     }
 
     #[test]

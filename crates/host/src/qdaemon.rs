@@ -18,6 +18,7 @@ use crate::ethernet::{EthernetTree, BOOT_PACKET_BYTES};
 use crate::jtag::{JtagCommand, JtagController};
 use crate::kernel::{KernelPhase, RunKernel};
 use qcdoc_geometry::{NodeId, Partition, PartitionError, PartitionSpec, TorusShape};
+use qcdoc_telemetry::MetricsRegistry;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -77,6 +78,7 @@ pub struct Qdaemon {
     next_partition_id: u32,
     ethernet: EthernetTree,
     packets_sent: u64,
+    metrics: MetricsRegistry,
 }
 
 impl Qdaemon {
@@ -93,6 +95,7 @@ impl Qdaemon {
             next_partition_id: 0,
             machine,
             packets_sent: 0,
+            metrics: MetricsRegistry::new(),
         }
     }
 
@@ -144,6 +147,10 @@ impl Qdaemon {
         // Timing: both kernel loads ride the Ethernet capacity model.
         let bytes_per_node = (BOOT_KERNEL_PACKETS + RUN_KERNEL_PACKETS + 1) * BOOT_PACKET_BYTES;
         let boot_seconds = self.ethernet.broadcast_seconds(bytes_per_node);
+        self.metrics
+            .gauge_set("qdaemon_boot_packets", &[], self.packets_sent as f64);
+        self.metrics
+            .gauge_set("qdaemon_boot_seconds", &[], boot_seconds);
         BootReport {
             booted: n - bad.len(),
             faulty: bad,
@@ -244,6 +251,11 @@ impl Qdaemon {
         // plus a small per-node header, collected over the same tree that
         // carried the boot kernels.
         let readout_bytes = 12 * 9 * 8 + 16;
+        // Fold the ledger readout into the daemon's registry: the export
+        // uses absolute gauges, so re-ingesting a sweep never double-counts
+        // and the scrape shows one consistent view of the machine.
+        ledger.export_metrics(&mut self.metrics);
+        self.metrics.counter_add("qdaemon_health_sweeps", &[], 1);
         HealthReport {
             quarantined,
             total_resends: ledger.total_resends(),
@@ -269,6 +281,41 @@ impl Qdaemon {
             }
         }
         (ready, busy, faulty, unbooted)
+    }
+
+    /// Merge an application-side telemetry snapshot (e.g. the registry a
+    /// [`qcdoc_telemetry::MachineTelemetry`] run produced) into the
+    /// daemon's machine-wide view. Counters add, gauges take the incoming
+    /// value, histograms merge — the same series the health sweep writes
+    /// (all gauges) therefore stay consistent rather than double-counting.
+    pub fn ingest_metrics(&mut self, snapshot: &MetricsRegistry) {
+        self.metrics.merge(snapshot);
+    }
+
+    /// One Prometheus-style scrape of everything the daemon knows: the
+    /// node-state census, boot statistics, every ingested health-sweep
+    /// gauge and every ingested application metric (§3.1 — "keeping track
+    /// of the status of the nodes (including hardware problems)").
+    pub fn scrape(&mut self) -> String {
+        let (ready, busy, faulty, unbooted) = self.census();
+        for (state, count) in [
+            ("ready", ready),
+            ("busy", busy),
+            ("faulty", faulty),
+            ("unbooted", unbooted),
+        ] {
+            self.metrics.gauge_set(
+                "qdaemon_nodes",
+                &[("state", state.to_string())],
+                count as f64,
+            );
+        }
+        qcdoc_telemetry::prometheus_text(&self.metrics)
+    }
+
+    /// Read-only view of the daemon's metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// Run kernel of a node (for job wiring in `qcdoc-core`).
@@ -476,6 +523,38 @@ mod tests {
         assert_eq!(report.total_injected, 2);
         let (ready, _, faulty, _) = q.census();
         assert_eq!((ready, faulty), (32, 0));
+    }
+
+    #[test]
+    fn scrape_reports_census_boot_and_health_in_one_view() {
+        use qcdoc_fault::HealthLedger;
+        let mut q = Qdaemon::new(small_machine());
+        q.boot(&[]);
+        let mut ledger = HealthLedger::new(32);
+        ledger.node_mut(3).links[1].resends = 4;
+        ledger.node_mut(3).links[1].injected = 4;
+        q.ingest_health(&ledger);
+        let first = q.scrape();
+        assert!(first.contains("qdaemon_nodes{state=\"ready\"} 32"));
+        assert!(first.contains("qdaemon_boot_packets"));
+        assert!(first.contains("machine_total_resends 4"));
+        assert!(first.contains("scu_link_resends{link=\"1\",node=\"3\"} 4"));
+        // Re-ingesting the same sweep must not double-count: the gauges
+        // are absolute, so the scrape is byte-identical.
+        q.ingest_health(&ledger);
+        let second = q.scrape();
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("qdaemon_health_sweeps"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&first), strip(&second));
+        // Application metrics merge into the same view.
+        let mut app = MetricsRegistry::new();
+        app.counter_add("cg_iterations", &[("node", "0".into())], 213);
+        q.ingest_metrics(&app);
+        assert!(q.scrape().contains("cg_iterations{node=\"0\"} 213"));
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::dwf::{DwfDirac, DwfField};
 use crate::field::{FermionField, StaggeredField};
 use crate::staggered::{AsqtadDirac, StaggeredDirac};
 use crate::wilson::WilsonDirac;
+use qcdoc_telemetry::{NodeTelemetry, Phase};
 use serde::{Deserialize, Serialize};
 
 /// Vector-space operations CG needs from a field type.
@@ -223,10 +224,64 @@ pub fn solve_cgne<Op: DiracOperator>(
     b: &Op::Field,
     params: CgParams,
 ) -> CgReport {
+    let mut telem = NodeTelemetry::disabled(0);
+    solve_cgne_traced(op, x, b, params, &mut telem, &SolverCosts::unit())
+}
+
+/// Logical cycle prices the traced solver charges per phase. The solver's
+/// arithmetic is identical whatever the prices — they only scale the span
+/// durations on the telemetry clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolverCosts {
+    /// Cycles per operator application (`M` or `M†`).
+    pub apply_cycles: u64,
+    /// Cycles per block-vector update pass (axpy/xpay).
+    pub linalg_cycles: u64,
+    /// Cycles per global reduction (inner product or norm).
+    pub reduction_cycles: u64,
+}
+
+impl SolverCosts {
+    /// One cycle per phase — spans then simply count events.
+    pub fn unit() -> SolverCosts {
+        SolverCosts {
+            apply_cycles: 1,
+            linalg_cycles: 1,
+            reduction_cycles: 1,
+        }
+    }
+
+    /// Price the phases from flop counts at the machine's two
+    /// floating-point operations per cycle, plus an explicit reduction
+    /// latency (the network round, not arithmetic).
+    pub fn from_counts(apply_flops: u64, linalg_flops: u64, reduction_cycles: u64) -> SolverCosts {
+        SolverCosts {
+            apply_cycles: apply_flops / 2,
+            linalg_cycles: linalg_flops / 2,
+            reduction_cycles,
+        }
+    }
+}
+
+/// [`solve_cgne`] with cycle-stamped tracing: each iteration decomposes
+/// into `solver.apply` (two operator applications), `solver.reduce` (the
+/// inner products) and `solver.linalg` (vector updates) spans, with
+/// `solver_*` counters and gauges in the node's registry. The arithmetic
+/// — and therefore the solution and report — is bit-identical to the
+/// untraced entry point.
+pub fn solve_cgne_traced<Op: DiracOperator>(
+    op: &Op,
+    x: &mut Op::Field,
+    b: &Op::Field,
+    params: CgParams,
+    telem: &mut NodeTelemetry,
+    costs: &SolverCosts,
+) -> CgReport {
     let mut applications = 0usize;
     let mut reductions = 0usize;
 
     // r = M†(b − Mx).
+    let setup = telem.begin();
     let mut t = b.clone();
     op.apply(&mut t, x);
     applications += 1;
@@ -240,12 +295,18 @@ pub fn solve_cgne<Op: DiracOperator>(
     let mut mdag_b = b.clone();
     op.apply_dagger(&mut mdag_b, b);
     applications += 1;
+    telem.advance(3 * costs.apply_cycles + costs.linalg_cycles);
+    telem.end_with(setup, "solver.setup", Phase::Compute, 3);
+
+    let reduce = telem.begin();
     let bref = mdag_b.norm_sqr().max(f64::MIN_POSITIVE);
     reductions += 1;
 
     let mut p = r.clone();
     let mut rsq = r.norm_sqr();
     reductions += 1;
+    telem.advance(2 * costs.reduction_cycles);
+    telem.end_with(reduce, "solver.reduce", Phase::GlobalSum, 2);
 
     let mut residuals = Vec::new();
     let mut converged = (rsq / bref).sqrt() <= params.tolerance;
@@ -253,38 +314,60 @@ pub fn solve_cgne<Op: DiracOperator>(
 
     while !converged && iterations < params.max_iterations {
         // q = M†M p.
+        let apply = telem.begin();
         op.apply(&mut t, &p);
         let mut q = p.clone();
         op.apply_dagger(&mut q, &t);
         applications += 2;
+        telem.advance(2 * costs.apply_cycles);
+        telem.end_with(apply, "solver.apply", Phase::Compute, 2);
 
+        let reduce = telem.begin();
         let pq = p.dot(&q).re;
         reductions += 1;
+        telem.advance(costs.reduction_cycles);
+        telem.end_with(reduce, "solver.reduce", Phase::GlobalSum, 1);
         if pq <= 0.0 {
             // Operator lost positivity (numerically singular system).
             break;
         }
+        let linalg = telem.begin();
         let alpha = rsq / pq;
         x.axpy(C64::real(alpha), &p);
         r.axpy(C64::real(-alpha), &q);
+        telem.advance(2 * costs.linalg_cycles);
+        telem.end_with(linalg, "solver.linalg", Phase::Compute, 2);
+
+        let reduce = telem.begin();
         let new_rsq = r.norm_sqr();
         reductions += 1;
+        telem.advance(costs.reduction_cycles);
+        telem.end_with(reduce, "solver.reduce", Phase::GlobalSum, 1);
 
         iterations += 1;
         let rel = (new_rsq / bref).sqrt();
         residuals.push(rel);
         converged = rel <= params.tolerance;
 
+        let linalg = telem.begin();
         let beta = new_rsq / rsq;
         p.xpay(C64::real(beta), &r);
         rsq = new_rsq;
+        telem.advance(costs.linalg_cycles);
+        telem.end_with(linalg, "solver.linalg", Phase::Compute, 1);
+        telem.counter_add("solver_iterations", 1);
     }
 
+    let final_residual = residuals.last().copied().unwrap_or((rsq / bref).sqrt());
+    telem.counter_add("solver_operator_applications", applications as u64);
+    telem.counter_add("solver_global_reductions", reductions as u64);
+    telem.gauge_set("solver_final_residual", final_residual);
+    telem.gauge_set("solver_converged", if converged { 1.0 } else { 0.0 });
     CgReport {
         operator: op.name().to_string(),
         iterations,
         converged,
-        final_residual: residuals.last().copied().unwrap_or((rsq / bref).sqrt()),
+        final_residual,
         residuals,
         operator_applications: applications,
         global_reductions: reductions,
@@ -400,6 +483,49 @@ mod tests {
             "bitwise reproducibility"
         );
         assert_eq!(r1.iterations, r2.iterations);
+    }
+
+    #[test]
+    fn traced_solver_is_bit_identical_and_counts_phases() {
+        let gauge = GaugeField::hot(lat(), 112);
+        let op = WilsonDirac::new(&gauge, 0.12);
+        let b = FermionField::gaussian(lat(), 113);
+        let mut x1 = FermionField::zero(lat());
+        let plain = solve_cgne(&op, &mut x1, &b, CgParams::default());
+        let mut x2 = FermionField::zero(lat());
+        let mut telem = NodeTelemetry::with_ring(0, 1 << 16);
+        let traced = solve_cgne_traced(
+            &op,
+            &mut x2,
+            &b,
+            CgParams::default(),
+            &mut telem,
+            &SolverCosts::from_counts(1320, 48, 600),
+        );
+        assert_eq!(x1.fingerprint(), x2.fingerprint(), "tracing changed bits");
+        assert_eq!(plain, traced);
+        let m = telem.metrics();
+        assert_eq!(
+            m.counter("solver_iterations", &[]) as usize,
+            traced.iterations
+        );
+        assert_eq!(
+            m.counter("solver_operator_applications", &[]) as usize,
+            3 + 2 * traced.iterations
+        );
+        assert_eq!(
+            m.counter("solver_global_reductions", &[]) as usize,
+            2 + 2 * traced.iterations
+        );
+        assert_eq!(m.gauge("solver_converged", &[]), Some(1.0));
+        // Spans partition the telemetry clock with no gaps.
+        let (_, spans) = telem.take_parts();
+        let mut clock = 0u64;
+        for s in &spans {
+            assert_eq!(s.begin, clock, "gap in the solver timeline");
+            clock = s.end;
+        }
+        assert!(clock > 0);
     }
 
     #[test]

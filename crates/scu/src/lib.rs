@@ -40,9 +40,11 @@ pub mod hssl;
 pub mod link;
 pub mod packet;
 pub mod scu;
+pub mod stats;
 pub mod timing;
 
 pub use dma::DmaDescriptor;
 pub use link::{LinkError, NullTap, RecvUnit, SendUnit, WireTap, WireVerdict};
 pub use packet::{Frame, Packet};
 pub use scu::{Scu, ScuEvent};
+pub use stats::{LinkStats, ScuStats};

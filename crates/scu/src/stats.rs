@@ -1,0 +1,143 @@
+//! Per-link statistics readout: the SCU's contribution to the diagnostics
+//! view the host daemon scrapes over the Ethernet/JTAG network (§2.2).
+//!
+//! [`Scu::stats`] snapshots every link's protocol counters;
+//! [`ScuStats::export_metrics`] publishes them into a
+//! [`MetricsRegistry`] under the same series names the fault subsystem's
+//! `HealthLedger` uses, so the two sources present one consistent view.
+
+use crate::scu::{Scu, LINKS};
+use qcdoc_telemetry::MetricsRegistry;
+
+/// Protocol counters of one link direction (send + receive unit pair).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Distinct data words the send unit put on the wire.
+    pub sent_words: u64,
+    /// Distinct data words the receive unit accepted.
+    pub received_words: u64,
+    /// Go-back retransmissions performed by the send unit.
+    pub resends: u64,
+    /// Frames the receive unit rejected (each forced a resend).
+    pub rejects: u64,
+    /// End-of-run checksum over words sent on this direction.
+    pub send_checksum: u64,
+    /// End-of-run checksum over words received on this direction.
+    pub recv_checksum: u64,
+}
+
+/// Snapshot of all 12 link directions of one node's SCU.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScuStats {
+    /// One entry per link direction.
+    pub links: [LinkStats; LINKS],
+}
+
+impl Scu {
+    /// Snapshot the protocol counters of every link direction.
+    pub fn stats(&self) -> ScuStats {
+        let mut stats = ScuStats::default();
+        for (link, entry) in stats.links.iter_mut().enumerate() {
+            let s = self.send_unit(link);
+            let r = self.recv_unit(link);
+            *entry = LinkStats {
+                sent_words: s.sent_words(),
+                received_words: r.received_words(),
+                resends: s.resends(),
+                rejects: r.rejects(),
+                send_checksum: s.checksum().value(),
+                recv_checksum: r.checksum().value(),
+            };
+        }
+        stats
+    }
+}
+
+impl ScuStats {
+    /// Total words moved over all links (sent + received).
+    pub fn total_words(&self) -> u64 {
+        self.links
+            .iter()
+            .map(|l| l.sent_words + l.received_words)
+            .sum()
+    }
+
+    /// Total resends over all links.
+    pub fn total_resends(&self) -> u64 {
+        self.links.iter().map(|l| l.resends).sum()
+    }
+
+    /// Publish per-link gauges for node `node` into `reg`. Links with no
+    /// activity are skipped to keep the registry sparse. Gauges (not
+    /// counters) so a re-export of the same snapshot is idempotent.
+    pub fn export_metrics(&self, node: u32, reg: &mut MetricsRegistry) {
+        for (link, l) in self.links.iter().enumerate() {
+            if l.sent_words == 0 && l.received_words == 0 && l.resends == 0 && l.rejects == 0 {
+                continue;
+            }
+            let labels = [("node", node.to_string()), ("link", link.to_string())];
+            reg.gauge_set("scu_link_sent_words", &labels, l.sent_words as f64);
+            reg.gauge_set("scu_link_received_words", &labels, l.received_words as f64);
+            reg.gauge_set("scu_link_resends", &labels, l.resends as f64);
+            reg.gauge_set("scu_link_rejects", &labels, l.rejects as f64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dma::DmaDescriptor;
+    use qcdoc_asic::memory::NodeMemory;
+
+    #[test]
+    fn stats_snapshot_counts_a_transfer() {
+        let mut a = Scu::new();
+        let mut b = Scu::new();
+        a.train_all();
+        b.train_all();
+        let mut am = NodeMemory::with_128mb_dimm();
+        let mut bm = NodeMemory::with_128mb_dimm();
+        am.write_block(0x1000, &[1, 2, 3, 4]).unwrap();
+        a.start_send(0, DmaDescriptor::contiguous(0x1000, 4));
+        b.start_recv(1, DmaDescriptor::contiguous(0x2000, 4), &mut bm)
+            .unwrap();
+        loop {
+            let mut progressed = false;
+            if let Some(msg) = a.tx_next(0, &mut am).unwrap() {
+                b.rx(1, msg, &mut bm).unwrap();
+                progressed = true;
+            }
+            if let Some(msg) = b.tx_next(1, &mut bm).unwrap() {
+                a.rx(0, msg, &mut am).unwrap();
+                progressed = true;
+            }
+            if !progressed {
+                break;
+            }
+        }
+        let sa = a.stats();
+        let sb = b.stats();
+        assert_eq!(sa.links[0].sent_words, 4);
+        assert_eq!(sb.links[1].received_words, 4);
+        assert_eq!(sa.links[0].resends, 0);
+        assert_eq!(sa.links[0].send_checksum, sb.links[1].recv_checksum);
+        assert_eq!(sa.total_words(), 4);
+        assert_eq!(sb.total_words(), 4);
+    }
+
+    #[test]
+    fn export_skips_idle_links_and_is_idempotent() {
+        let mut stats = ScuStats::default();
+        stats.links[3].sent_words = 7;
+        stats.links[3].resends = 2;
+        let mut reg = MetricsRegistry::new();
+        stats.export_metrics(5, &mut reg);
+        stats.export_metrics(5, &mut reg); // re-export must not double
+        let labels = [("node", "5".to_string()), ("link", "3".to_string())];
+        assert_eq!(reg.gauge("scu_link_sent_words", &labels), Some(7.0));
+        assert_eq!(reg.gauge("scu_link_resends", &labels), Some(2.0));
+        // Only link 3 was active: 4 series for it, nothing else.
+        assert_eq!(reg.len(), 4);
+    }
+}

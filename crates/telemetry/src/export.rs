@@ -1,0 +1,300 @@
+//! Exporters: Chrome `chrome://tracing` JSON, Prometheus-style text, and
+//! a compact JSON summary for `BENCH_telemetry.json`-style artifacts.
+//!
+//! All output is hand-rolled (the crate is zero-dep) and strictly ordered,
+//! so identical inputs yield byte-identical strings.
+
+use crate::metrics::{MetricValue, MetricsRegistry};
+use crate::trace::{Phase, Span};
+
+/// Escape a string for embedding inside a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render an `f64` the way JSON wants it: finite, with a decimal point or
+/// exponent so it round-trips as a float.
+fn json_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_string();
+    }
+    let s = format!("{v}");
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+/// Serialize spans as a Chrome trace (`chrome://tracing` / Perfetto).
+///
+/// Each span becomes a complete (`"ph":"X"`) event with `pid` = node id,
+/// `ts`/`dur` in integer logical cycles (we declare them as nanoseconds —
+/// the viewer only needs a consistent unit).
+pub fn chrome_trace(spans: &[Span]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":{},\"tid\":0,\
+             \"ts\":{},\"dur\":{},\"args\":{{\"depth\":{},\"arg\":{}}}}}",
+            json_escape(s.name),
+            s.phase.name(),
+            s.node,
+            s.begin,
+            s.cycles(),
+            s.depth,
+            s.arg,
+        ));
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Serialize a registry as Prometheus text exposition format.
+///
+/// Series are emitted in the registry's deterministic order, with one
+/// `# TYPE` line per metric name. Histograms expand into `_bucket`
+/// (non-empty buckets only), `_sum` and `_count` series.
+pub fn prometheus_text(reg: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    let mut last_name: Option<&str> = None;
+    for (key, value) in reg.iter() {
+        if last_name != Some(key.name.as_str()) {
+            out.push_str(&format!("# TYPE {} {}\n", key.name, value.type_name()));
+            last_name = Some(key.name.as_str());
+        }
+        let labels = render_labels(&key.labels, None);
+        match value {
+            MetricValue::Counter(c) => out.push_str(&format!("{}{} {}\n", key.name, labels, c)),
+            MetricValue::Gauge(g) => {
+                out.push_str(&format!("{}{} {}\n", key.name, labels, fmt_gauge(*g)))
+            }
+            MetricValue::Histogram(h) => {
+                for (bound, count) in h.nonzero_buckets() {
+                    let le = render_labels(&key.labels, Some(("le", &bound.to_string())));
+                    out.push_str(&format!("{}_bucket{} {}\n", key.name, le, count));
+                }
+                out.push_str(&format!("{}_sum{} {}\n", key.name, labels, h.sum()));
+                out.push_str(&format!("{}_count{} {}\n", key.name, labels, h.count()));
+            }
+        }
+    }
+    out
+}
+
+fn fmt_gauge(g: f64) -> String {
+    if g.is_finite() {
+        format!("{g}")
+    } else if g.is_nan() {
+        "NaN".to_string()
+    } else if g > 0.0 {
+        "+Inf".to_string()
+    } else {
+        "-Inf".to_string()
+    }
+}
+
+fn render_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    if labels.is_empty() && extra.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", k, json_escape(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{}=\"{}\"", k, json_escape(v)));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+/// Aggregate depth-0 spans per phase: `(phase, span_count, total_cycles)`.
+///
+/// Only depth-0 spans count — nested spans live inside an enclosing
+/// depth-0 span and would double count its cycles.
+pub fn phase_summary(spans: &[Span]) -> Vec<(Phase, u64, u64)> {
+    Phase::ALL
+        .iter()
+        .filter_map(|&phase| {
+            let mut n = 0u64;
+            let mut cycles = 0u64;
+            for s in spans.iter().filter(|s| s.depth == 0 && s.phase == phase) {
+                n += 1;
+                cycles += s.cycles();
+            }
+            (n > 0).then_some((phase, n, cycles))
+        })
+        .collect()
+}
+
+/// Serialize metrics plus a phase breakdown as one JSON document — the
+/// schema behind `BENCH_telemetry.json`.
+pub fn summary_json(reg: &MetricsRegistry, spans: &[Span]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"qcdoc-telemetry-v1\",\n  \"metrics\": [\n");
+    let entries: Vec<String> = reg
+        .iter()
+        .map(|(key, value)| {
+            let labels: Vec<String> = key
+                .labels
+                .iter()
+                .map(|(k, v)| format!("\"{}\": \"{}\"", json_escape(k), json_escape(v)))
+                .collect();
+            let value_json = match value {
+                MetricValue::Counter(c) => format!("\"type\": \"counter\", \"value\": {c}"),
+                MetricValue::Gauge(g) => {
+                    format!("\"type\": \"gauge\", \"value\": {}", json_f64(*g))
+                }
+                MetricValue::Histogram(h) => format!(
+                    "\"type\": \"histogram\", \"count\": {}, \"sum\": {}",
+                    h.count(),
+                    h.sum()
+                ),
+            };
+            format!(
+                "    {{\"name\": \"{}\", \"labels\": {{{}}}, {}}}",
+                json_escape(&key.name),
+                labels.join(", "),
+                value_json
+            )
+        })
+        .collect();
+    out.push_str(&entries.join(",\n"));
+    out.push_str("\n  ],\n  \"phases\": [\n");
+    let phases: Vec<String> = phase_summary(spans)
+        .into_iter()
+        .map(|(phase, n, cycles)| {
+            format!(
+                "    {{\"phase\": \"{}\", \"spans\": {}, \"cycles\": {}}}",
+                phase.name(),
+                n,
+                cycles
+            )
+        })
+        .collect();
+    out.push_str(&phases.join(",\n"));
+    out.push_str(&format!("\n  ],\n  \"spans_total\": {}\n}}\n", spans.len()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &'static str, phase: Phase, begin: u64, end: u64, depth: u32) -> Span {
+        Span {
+            name,
+            node: 1,
+            phase,
+            begin,
+            end,
+            depth,
+            arg: 7,
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_shape() {
+        let spans = [
+            span("dslash.compute", Phase::Compute, 0, 100, 0),
+            span("scu.shift", Phase::Comms, 100, 140, 0),
+        ];
+        let json = chrome_trace(&spans);
+        assert!(json.starts_with("{\"displayTimeUnit\""));
+        assert!(json.contains("\"name\":\"dslash.compute\""));
+        assert!(json.contains("\"cat\":\"compute\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"pid\":1"));
+        assert!(json.contains("\"ts\":100,\"dur\":40"));
+        assert!(json.ends_with("]}\n"));
+        // Braces/brackets balance.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn chrome_trace_empty_input() {
+        assert_eq!(
+            chrome_trace(&[]),
+            "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[]}\n"
+        );
+    }
+
+    #[test]
+    fn prometheus_counters_gauges_histograms() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add("resends", &[("node", "2".to_string())], 5);
+        reg.gauge_set("gflops", &[], 3.5);
+        reg.observe("latency", &[], 3);
+        reg.observe("latency", &[], 3);
+        let text = prometheus_text(&reg);
+        assert!(text.contains("# TYPE resends counter\n"));
+        assert!(text.contains("resends{node=\"2\"} 5\n"));
+        assert!(text.contains("# TYPE gflops gauge\n"));
+        assert!(text.contains("gflops 3.5\n"));
+        assert!(text.contains("latency_bucket{le=\"3\"} 2\n"));
+        assert!(text.contains("latency_sum 6\n"));
+        assert!(text.contains("latency_count 2\n"));
+    }
+
+    #[test]
+    fn phase_summary_ignores_nested_spans() {
+        let spans = [
+            span("outer", Phase::Compute, 0, 100, 0),
+            span("inner", Phase::Compute, 10, 20, 1),
+            span("sum", Phase::GlobalSum, 100, 130, 0),
+        ];
+        let summary = phase_summary(&spans);
+        assert_eq!(
+            summary,
+            vec![(Phase::Compute, 1, 100), (Phase::GlobalSum, 1, 30)]
+        );
+    }
+
+    #[test]
+    fn summary_json_has_schema_and_phases() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add("iters", &[], 10);
+        reg.gauge_set("residual", &[], 1e-8);
+        let spans = [span("s", Phase::Comms, 0, 50, 0)];
+        let json = summary_json(&reg, &spans);
+        assert!(json.contains("\"schema\": \"qcdoc-telemetry-v1\""));
+        assert!(json.contains("\"name\": \"iters\""));
+        assert!(json.contains("\"value\": 10"));
+        assert!(json.contains("0.00000001"));
+        assert!(json.contains("\"phase\": \"comms\", \"spans\": 1, \"cycles\": 50"));
+        assert!(json.contains("\"spans_total\": 1"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn json_f64_round_trips_as_float() {
+        assert_eq!(json_f64(2.0), "2.0");
+        assert_eq!(json_f64(2.5), "2.5");
+        assert_eq!(json_f64(f64::NAN), "null");
+    }
+}

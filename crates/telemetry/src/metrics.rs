@@ -1,0 +1,340 @@
+//! The machine-wide metrics registry: named counters, gauges and
+//! histograms with arbitrary (typically per-node, per-link) labels.
+//!
+//! Everything is keyed through [`BTreeMap`]s so iteration order — and
+//! therefore every exporter's output — is fully deterministic: two runs
+//! that record the same values produce byte-identical dumps.
+
+use std::collections::BTreeMap;
+
+/// A metric identity: name plus a sorted label set.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// Metric name, e.g. `scu_link_resends`.
+    pub name: String,
+    /// Label pairs, kept sorted by key so equal label sets compare equal.
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    /// Build a key from a name and unsorted label pairs.
+    pub fn new(name: &str, labels: &[(&str, String)]) -> MetricKey {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect();
+        labels.sort();
+        MetricKey {
+            name: name.to_string(),
+            labels,
+        }
+    }
+}
+
+/// A power-of-two-bucketed histogram of `u64` observations.
+///
+/// Bucket `i` (for `i > 0`) holds values `v` with `2^(i-1) <= v < 2^i`;
+/// bucket 0 holds zeros. 65 buckets cover the whole `u64` range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&mut self, v: u64) {
+        let idx = (64 - v.leading_zeros()) as usize;
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Non-empty buckets as `(upper_bound_inclusive, count)` pairs in
+    /// ascending bound order. Bucket 0 reports bound 0.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let bound = if i == 0 {
+                    0
+                } else if i == 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << i) - 1
+                };
+                (bound, c)
+            })
+            .collect()
+    }
+
+    fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+}
+
+/// One metric's current value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonically increasing count.
+    Counter(u64),
+    /// Last-write-wins instantaneous value. Ledger readouts use gauges so
+    /// re-ingesting the same report is idempotent.
+    Gauge(f64),
+    /// Distribution of observations (boxed: the bucket array is large
+    /// relative to the other variants).
+    Histogram(Box<Histogram>),
+}
+
+impl MetricValue {
+    /// The Prometheus type name of this value.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// The registry: a deterministic map from [`MetricKey`] to value.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    entries: BTreeMap<MetricKey, MetricValue>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Whether no metric has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of distinct (name, labels) series.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Add `v` to a counter, creating it at zero first if needed.
+    ///
+    /// Panics if the series already exists with a different type — mixing
+    /// types under one name is a programming error, not a runtime state.
+    pub fn counter_add(&mut self, name: &str, labels: &[(&str, String)], v: u64) {
+        match self
+            .entries
+            .entry(MetricKey::new(name, labels))
+            .or_insert(MetricValue::Counter(0))
+        {
+            MetricValue::Counter(c) => *c += v,
+            other => panic!("metric {name} is a {}, not a counter", other.type_name()),
+        }
+    }
+
+    /// Set a gauge to `v` (last write wins).
+    pub fn gauge_set(&mut self, name: &str, labels: &[(&str, String)], v: f64) {
+        match self
+            .entries
+            .entry(MetricKey::new(name, labels))
+            .or_insert(MetricValue::Gauge(v))
+        {
+            MetricValue::Gauge(g) => *g = v,
+            other => panic!("metric {name} is a {}, not a gauge", other.type_name()),
+        }
+    }
+
+    /// Record one observation into a histogram series.
+    pub fn observe(&mut self, name: &str, labels: &[(&str, String)], v: u64) {
+        match self
+            .entries
+            .entry(MetricKey::new(name, labels))
+            .or_insert_with(|| MetricValue::Histogram(Box::default()))
+        {
+            MetricValue::Histogram(h) => h.observe(v),
+            other => panic!("metric {name} is a {}, not a histogram", other.type_name()),
+        }
+    }
+
+    /// Current value of a counter (0 when absent).
+    pub fn counter(&self, name: &str, labels: &[(&str, String)]) -> u64 {
+        match self.entries.get(&MetricKey::new(name, labels)) {
+            Some(MetricValue::Counter(c)) => *c,
+            _ => 0,
+        }
+    }
+
+    /// Current value of a gauge, if present.
+    pub fn gauge(&self, name: &str, labels: &[(&str, String)]) -> Option<f64> {
+        match self.entries.get(&MetricKey::new(name, labels)) {
+            Some(MetricValue::Gauge(g)) => Some(*g),
+            _ => None,
+        }
+    }
+
+    /// A histogram series, if present.
+    pub fn histogram(&self, name: &str, labels: &[(&str, String)]) -> Option<&Histogram> {
+        match self.entries.get(&MetricKey::new(name, labels)) {
+            Some(MetricValue::Histogram(h)) => Some(h.as_ref()),
+            _ => None,
+        }
+    }
+
+    /// Iterate all series in deterministic (name, labels) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&MetricKey, &MetricValue)> {
+        self.entries.iter()
+    }
+
+    /// Merge `other` into `self`: counters add, gauges overwrite,
+    /// histograms accumulate.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (key, value) in &other.entries {
+            match (self.entries.get_mut(key), value) {
+                (None, v) => {
+                    self.entries.insert(key.clone(), v.clone());
+                }
+                (Some(MetricValue::Counter(a)), MetricValue::Counter(b)) => *a += b,
+                (Some(MetricValue::Gauge(a)), MetricValue::Gauge(b)) => *a = *b,
+                (Some(MetricValue::Histogram(a)), MetricValue::Histogram(b)) => a.merge(b),
+                (Some(existing), incoming) => panic!(
+                    "metric {} type mismatch on merge: {} vs {}",
+                    key.name,
+                    existing.type_name(),
+                    incoming.type_name()
+                ),
+            }
+        }
+    }
+
+    /// Merge `other` with an extra label stamped on every incoming series —
+    /// how per-node registries gain their `node="N"` label at aggregation.
+    pub fn merge_labeled(&mut self, other: &MetricsRegistry, label: &str, value: &str) {
+        let mut stamped = MetricsRegistry::new();
+        for (key, v) in &other.entries {
+            let mut labels = key.labels.clone();
+            labels.push((label.to_string(), value.to_string()));
+            labels.sort();
+            stamped.entries.insert(
+                MetricKey {
+                    name: key.name.clone(),
+                    labels,
+                },
+                v.clone(),
+            );
+        }
+        self.merge(&stamped);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(n: u32) -> [(&'static str, String); 1] {
+        [("node", n.to_string())]
+    }
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add("words", &node(3), 5);
+        reg.counter_add("words", &node(3), 2);
+        assert_eq!(reg.counter("words", &node(3)), 7);
+        assert_eq!(reg.counter("words", &node(4)), 0);
+        assert_eq!(reg.counter("missing", &[]), 0);
+    }
+
+    #[test]
+    fn gauges_last_write_wins() {
+        let mut reg = MetricsRegistry::new();
+        reg.gauge_set("temp", &[], 1.5);
+        reg.gauge_set("temp", &[], 2.5);
+        assert_eq!(reg.gauge("temp", &[]), Some(2.5));
+        assert_eq!(reg.gauge("absent", &[]), None);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 2, 3, 4, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1010);
+        // 0 → bucket 0; 1 → (1); 2,3 → (3); 4 → (7); 1000 → (1023).
+        assert_eq!(
+            h.nonzero_buckets(),
+            vec![(0, 1), (1, 1), (3, 2), (7, 1), (1023, 1)]
+        );
+    }
+
+    #[test]
+    fn label_order_is_canonical() {
+        let a = MetricKey::new("m", &[("b", "2".into()), ("a", "1".into())]);
+        let b = MetricKey::new("m", &[("a", "1".into()), ("b", "2".into())]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn merge_semantics() {
+        let mut a = MetricsRegistry::new();
+        a.counter_add("c", &[], 1);
+        a.gauge_set("g", &[], 1.0);
+        a.observe("h", &[], 4);
+        let mut b = MetricsRegistry::new();
+        b.counter_add("c", &[], 2);
+        b.gauge_set("g", &[], 9.0);
+        b.observe("h", &[], 4);
+        a.merge(&b);
+        assert_eq!(a.counter("c", &[]), 3);
+        assert_eq!(a.gauge("g", &[]), Some(9.0));
+        assert_eq!(a.histogram("h", &[]).unwrap().count(), 2);
+    }
+
+    #[test]
+    fn merge_labeled_stamps_every_series() {
+        let mut node_local = MetricsRegistry::new();
+        node_local.counter_add("dma_bytes", &[], 64);
+        let mut machine = MetricsRegistry::new();
+        machine.merge_labeled(&node_local, "node", "5");
+        assert_eq!(machine.counter("dma_bytes", &node(5)), 64);
+        assert_eq!(machine.counter("dma_bytes", &[]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn type_confusion_panics() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add("x", &[], 1);
+        reg.gauge_set("x", &[], 1.0);
+    }
+}

@@ -9,14 +9,20 @@
 //! from 0 (the healthy machine) up to rates no real cable would survive,
 //! and we watch the sustained per-node Gflops respond.
 //!
+//! Every sweep point runs through the traced engine, so the whole
+//! BER-vs-throughput curve lands in one telemetry registry (gauges
+//! labelled by `ber`) and is written to `BENCH_telemetry.json` via the
+//! standard summary exporter — the file a host-side dashboard would scrape.
+//!
 //! ```text
 //! cargo run --release --example fault_sweep
 //! ```
 
-use qcdoc::core::des::{run_with_faults, DesConfig};
+use qcdoc::core::des::{run_traced, DesConfig, DesTelemetry};
 use qcdoc::core::perf::DiracPerf;
 use qcdoc::fault::{FaultEvent, FaultPlan};
 use qcdoc::lattice::counts::Action;
+use qcdoc::telemetry::{summary_json, MetricsRegistry, RingSink, TraceSink};
 
 fn main() {
     // Price one CG iteration with the paper-benchmark machine, then hand
@@ -45,24 +51,57 @@ fn main() {
         "BER/word", "errors", "resent wds", "Gflops/node", "slowdown"
     );
 
-    let clean = run_with_faults(&cfg, ITERS, &FaultPlan::new(2004))
-        .0
-        .total_cycles;
+    // One registry accumulates the whole sweep; each point stamps its
+    // series with a `ber` label. Spans are kept for the clean run only —
+    // enough to see the compute/comms/global-sum decomposition without a
+    // seven-fold trace.
+    let mut sweep = MetricsRegistry::new();
+    let mut clean_spans = Vec::new();
+    let mut clean_cycles = 0u64;
     for rate in [0.0, 1e-6, 1e-4, 1e-3, 1e-2, 5e-2, 2e-1] {
         let plan = FaultPlan::new(2004).with_event(FaultEvent::bit_error_rate(5, 0, rate));
-        let (result, ledger) = run_with_faults(&cfg, ITERS, &plan);
+        let mut sink = RingSink::new(3 * nodes * ITERS);
+        let mut metrics = MetricsRegistry::new();
+        let (result, ledger) = run_traced(
+            &cfg,
+            ITERS,
+            &plan,
+            Some(DesTelemetry {
+                sink: &mut sink,
+                metrics: &mut metrics,
+            }),
+        );
+        if rate == 0.0 {
+            clean_spans = sink.drain();
+            clean_cycles = result.total_cycles;
+        }
         let seconds = result.total_cycles as f64 / clock_hz;
         let gflops = report.flops_per_iteration as f64 * ITERS as f64 / seconds / 1e9;
+        let slowdown = 100.0 * (result.total_cycles as f64 / clean_cycles as f64 - 1.0);
+        let ber = [("ber", format!("{rate:e}"))];
+        sweep.gauge_set("fault_sweep_gflops_per_node", &ber, gflops);
+        sweep.gauge_set("fault_sweep_injected", &ber, ledger.total_injected() as f64);
+        sweep.gauge_set("fault_sweep_resends", &ber, ledger.total_resends() as f64);
+        sweep.gauge_set("fault_sweep_slowdown_pct", &ber, slowdown);
+        sweep.gauge_set("fault_sweep_total_cycles", &ber, result.total_cycles as f64);
         println!(
             "{:>12.0e}  {:>10}  {:>10}  {:>14.3}  {:>8.2}%",
             rate,
             ledger.total_injected(),
             ledger.total_resends(),
             gflops,
-            100.0 * (result.total_cycles as f64 / clean as f64 - 1.0),
+            slowdown,
         );
     }
 
+    let json = summary_json(&sweep, &clean_spans);
+    std::fs::write("BENCH_telemetry.json", &json).expect("write BENCH_telemetry.json");
+    println!(
+        "\nWrote BENCH_telemetry.json ({} bytes): the BER-vs-throughput curve as\n\
+         `ber`-labelled gauges plus the clean run's compute/comms/global-sum\n\
+         phase decomposition.",
+        json.len()
+    );
     println!(
         "\nEach error rewinds the three-in-the-air window, so even a 1e-2 per-word\n\
          error rate on one wire barely moves machine throughput — while the same\n\

@@ -16,4 +16,10 @@ cargo test -q
 echo "== cargo test (workspace)"
 cargo test -q --workspace
 
+echo "== telemetry: trace determinism"
+cargo test -q -p qcdoc-telemetry --test determinism
+
+echo "== telemetry: overhead smoke (NullSink path < 5% on the Dslash hot loop)"
+cargo bench -p qcdoc-bench --bench telemetry_overhead
+
 echo "verify: all green"

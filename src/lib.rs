@@ -13,6 +13,9 @@
 //! * [`fault`] — deterministic, seeded fault injection (link bit errors,
 //!   stalls, dead links, node crashes, memory soft errors) and the
 //!   machine-wide health ledger the host diagnostics path reads out;
+//! * [`telemetry`] — machine-wide observability: cycle-stamped span
+//!   tracing, a metrics registry, and Chrome-trace / Prometheus / JSON
+//!   exporters (the software face of §2.2's diagnostics network);
 //! * [`host`] — qdaemon host software, Ethernet/JTAG boot, run kernel;
 //! * [`machine`] — packaging hierarchy, power, footprint, and cost model;
 //! * [`core`] — the integrated machine: functional (threads-as-nodes) and
@@ -40,3 +43,4 @@ pub use qcdoc_host as host;
 pub use qcdoc_lattice as lattice;
 pub use qcdoc_machine as machine;
 pub use qcdoc_scu as scu;
+pub use qcdoc_telemetry as telemetry;
