@@ -1,0 +1,111 @@
+//! Cost of checkpointing on the CG solver.
+//!
+//! The self-healing contract mirrors the telemetry one: resilience must be
+//! free when it isn't used. `solve_cgne_checkpointed` with the interval set
+//! to 0 runs the very same loop as the raw solver — the only addition is a
+//! `interval > 0` branch per iteration — so it must hold raw-CG speed. The
+//! smoke check asserts that (minimum-of-several timing, 5% gate), and the
+//! criterion group then prices the real thing: raw CG, checkpoint-disabled
+//! CG, periodic in-memory checkpoints, and periodic checkpoints serialized
+//! through the NERSC-style archive writer.
+
+use criterion::{black_box, criterion_group, Criterion};
+use qcdoc_lattice::checkpoint::{write_checkpoint, CgCheckpoint};
+use qcdoc_lattice::field::{FermionField, GaugeField, Lattice};
+use qcdoc_lattice::solver::{solve_cgne, solve_cgne_checkpointed, CgParams};
+use qcdoc_lattice::wilson::WilsonDirac;
+use std::time::Instant;
+
+fn workload() -> (GaugeField, FermionField) {
+    let lat = Lattice::new([4, 4, 4, 4]);
+    (GaugeField::hot(lat, 42), FermionField::gaussian(lat, 43))
+}
+
+fn params() -> CgParams {
+    CgParams {
+        tolerance: 1e-10,
+        max_iterations: 25,
+    }
+}
+
+fn cg_raw(op: &WilsonDirac<'_>, b: &FermionField) -> f64 {
+    let mut x = FermionField::zero(b.lattice());
+    let report = solve_cgne(op, &mut x, black_box(b), params());
+    report.final_residual
+}
+
+fn cg_checkpointed(op: &WilsonDirac<'_>, b: &FermionField, interval: usize) -> f64 {
+    let mut x = FermionField::zero(b.lattice());
+    let mut sink: Vec<CgCheckpoint> = Vec::new();
+    let report = solve_cgne_checkpointed(op, &mut x, black_box(b), params(), interval, &mut sink);
+    black_box(sink.len());
+    report.final_residual
+}
+
+/// Minimum wall time of `f` over `reps` runs, in seconds.
+fn min_seconds<F: FnMut() -> f64>(mut f: F, reps: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// The acceptance gate: checkpoint-disabled CG stays within 5% of raw CG.
+fn smoke_check() {
+    let (gauge, b) = workload();
+    let op = WilsonDirac::new(&gauge, 0.12);
+    black_box(cg_raw(&op, &b));
+    black_box(cg_checkpointed(&op, &b, 0));
+    let mut verdict = None;
+    for attempt in 1..=3 {
+        let raw = min_seconds(|| cg_raw(&op, &b), 7);
+        let disabled = min_seconds(|| cg_checkpointed(&op, &b, 0), 7);
+        let ratio = disabled / raw;
+        println!(
+            "recovery_overhead smoke attempt {attempt}: raw {:.1} ms, interval-0 {:.1} ms, ratio {ratio:.4}",
+            raw * 1e3,
+            disabled * 1e3,
+        );
+        if ratio < 1.05 {
+            verdict = Some(ratio);
+            break;
+        }
+    }
+    let ratio = verdict.expect("checkpoint-disabled CG exceeded 5% overhead in 3 attempts");
+    println!("recovery_overhead smoke PASS: interval-0 ratio {ratio:.4} < 1.05");
+}
+
+fn overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recovery_overhead");
+    group.sample_size(10);
+    let (gauge, b) = workload();
+    let op = WilsonDirac::new(&gauge, 0.12);
+    group.bench_function("cg_4x4x4x4_raw", |bch| bch.iter(|| cg_raw(&op, &b)));
+    group.bench_function("cg_4x4x4x4_checkpoint_disabled", |bch| {
+        bch.iter(|| cg_checkpointed(&op, &b, 0))
+    });
+    group.bench_function("cg_4x4x4x4_checkpoint_every_5", |bch| {
+        bch.iter(|| cg_checkpointed(&op, &b, 5))
+    });
+    group.bench_function("cg_4x4x4x4_checkpoint_every_5_archived", |bch| {
+        bch.iter(|| {
+            let mut x = FermionField::zero(b.lattice());
+            let mut sink: Vec<CgCheckpoint> = Vec::new();
+            let report = solve_cgne_checkpointed(&op, &mut x, &b, params(), 5, &mut sink);
+            let bytes: usize = sink.iter().map(|ck| write_checkpoint(ck).len()).sum();
+            black_box(bytes);
+            report.final_residual
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, overhead);
+
+fn main() {
+    smoke_check();
+    benches();
+}

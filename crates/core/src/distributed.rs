@@ -17,7 +17,8 @@
 
 use crate::comm::{global_sum_f64, COMM_SCRATCH_BASE};
 use crate::functional::NodeCtx;
-use qcdoc_geometry::Axis;
+use qcdoc_geometry::{Axis, NodeId, TorusShape};
+use qcdoc_lattice::checkpoint::CgCheckpoint;
 use qcdoc_lattice::complex::C64;
 use qcdoc_lattice::field::{FermionField, GaugeField, Lattice};
 use qcdoc_lattice::spinor::{HalfSpinor, ProjSign, Spinor};
@@ -65,15 +66,23 @@ impl BlockGeom {
     /// Build the decomposition for this node. The machine's logical rank
     /// must be ≤ 4 and each global extent divisible by the machine extent.
     pub fn new(ctx: &NodeCtx, global: Lattice) -> BlockGeom {
+        BlockGeom::for_node(&ctx.shape, ctx.id, global)
+    }
+
+    /// Ctx-free decomposition for any node of a shape — what a host-side
+    /// recovery planner uses to place per-node blocks into a global
+    /// checkpoint without running on the machine.
+    pub fn for_node(shape: &TorusShape, node: NodeId, global: Lattice) -> BlockGeom {
         assert!(
-            ctx.shape.rank() <= 4,
+            shape.rank() <= 4,
             "lattice decomposition uses at most 4 machine axes"
         );
+        let coord = shape.coord_of(node);
         let mut mdims = [1usize; 4];
         let mut mcoord = [0usize; 4];
-        for a in 0..ctx.shape.rank() {
-            mdims[a] = ctx.shape.extent(a);
-            mcoord[a] = ctx.coord.get(a);
+        for a in 0..shape.rank() {
+            mdims[a] = shape.extent(a);
+            mcoord[a] = coord.get(a);
         }
         let gd = global.dims();
         let mut ld = [0usize; 4];
@@ -420,6 +429,227 @@ pub fn wilson_solve_cg(
         link_errors: ctx.link_errors(),
     };
     (x, report)
+}
+
+/// Loop-carried CG state handed into [`wilson_cg_segment`] when resuming
+/// from a checkpoint: the three block vectors plus the scalar recurrence.
+#[derive(Debug, Clone)]
+pub struct CgResume<'a> {
+    /// Solution block.
+    pub x: &'a [Spinor],
+    /// Residual block.
+    pub r: &'a [Spinor],
+    /// Search-direction block.
+    pub p: &'a [Spinor],
+    /// `‖r‖²` (exact bits from the checkpoint).
+    pub rsq: f64,
+    /// Reference scale `‖M†b‖²`.
+    pub bref: f64,
+    /// Iterations already completed.
+    pub iterations: usize,
+}
+
+/// The state a CG segment hands back: everything needed to checkpoint or
+/// continue, plus whether the segment ended by wedging on dead hardware.
+#[derive(Debug, Clone)]
+pub struct CgSegmentOut {
+    /// Solution block after this segment.
+    pub x: Vec<Spinor>,
+    /// Residual block.
+    pub r: Vec<Spinor>,
+    /// Search-direction block.
+    pub p: Vec<Spinor>,
+    /// `‖r‖²` after this segment.
+    pub rsq: f64,
+    /// Reference scale.
+    pub bref: f64,
+    /// Total iterations completed (across all segments).
+    pub iterations: usize,
+    /// Relative residuals of the iterations this segment performed.
+    pub new_residuals: Vec<f64>,
+    /// Whether the tolerance is met.
+    pub converged: bool,
+    /// Whether this node gave up on a silent wire mid-segment; the state
+    /// above is then garbage and the segment must be discarded.
+    pub wedged: bool,
+}
+
+/// One bounded segment of the distributed Wilson CGNE: at most
+/// `segment_iters` iterations, starting fresh (`resume = None`, exactly
+/// [`wilson_solve_cg`]'s setup sequence) or from restored checkpoint
+/// state. Chaining segments is **bit-identical** to one uninterrupted
+/// solve — the same dimension-ordered global sums run in the same order,
+/// only control returns to the caller between segments.
+#[allow(clippy::too_many_arguments)]
+pub fn wilson_cg_segment(
+    ctx: &mut NodeCtx,
+    geom: &BlockGeom,
+    gauge: &[[Su3; 4]],
+    b: &[Spinor],
+    kappa: f64,
+    tolerance: f64,
+    max_iterations: usize,
+    resume: Option<CgResume<'_>>,
+    segment_iters: usize,
+) -> CgSegmentOut {
+    let n = b.len();
+    let mut iterations;
+    let (mut x, mut r, mut p, mut rsq, bref) = match resume {
+        None => {
+            iterations = 0;
+            let x = vec![Spinor::ZERO; n];
+            let r = wilson_apply_dagger(ctx, geom, gauge, b, kappa);
+            let bref = global_sum_f64(ctx, local_norm_sqr(&r)).max(f64::MIN_POSITIVE);
+            let p = r.clone();
+            let rsq = global_sum_f64(ctx, local_norm_sqr(&r));
+            (x, r, p, rsq, bref)
+        }
+        Some(res) => {
+            iterations = res.iterations;
+            (
+                res.x.to_vec(),
+                res.r.to_vec(),
+                res.p.to_vec(),
+                res.rsq,
+                res.bref,
+            )
+        }
+    };
+    let mut new_residuals = Vec::new();
+    let mut converged = (rsq / bref).sqrt() <= tolerance;
+    let mut done_here = 0usize;
+    while !ctx.wedged() && !converged && iterations < max_iterations && done_here < segment_iters {
+        let t = wilson_apply(ctx, geom, gauge, &p, kappa);
+        let q = wilson_apply_dagger(ctx, geom, gauge, &t, kappa);
+        let pq = global_sum_f64(ctx, local_dot_re(&p, &q));
+        if ctx.wedged() {
+            break;
+        }
+        if pq <= 0.0 {
+            break;
+        }
+        let alpha = rsq / pq;
+        axpy(&mut x, alpha, &p);
+        axpy(&mut r, -alpha, &q);
+        let new_rsq = global_sum_f64(ctx, local_norm_sqr(&r));
+        if ctx.wedged() {
+            break;
+        }
+        iterations += 1;
+        done_here += 1;
+        let rel = (new_rsq / bref).sqrt();
+        new_residuals.push(rel);
+        converged = rel <= tolerance;
+        let beta = new_rsq / rsq;
+        xpay(&mut p, beta, &r);
+        rsq = new_rsq;
+        ctx.telem.counter_add("cg_iterations", 1);
+    }
+    CgSegmentOut {
+        x,
+        r,
+        p,
+        rsq,
+        bref,
+        iterations,
+        new_residuals,
+        converged,
+        wedged: ctx.wedged(),
+    }
+}
+
+fn pack_spinor(sp: &Spinor, out: &mut [u64]) {
+    let mut i = 0;
+    for s in 0..4 {
+        for c in 0..3 {
+            out[i] = sp.0[s].0[c].re.to_bits();
+            out[i + 1] = sp.0[s].0[c].im.to_bits();
+            i += 2;
+        }
+    }
+}
+
+fn unpack_spinor(words: &[u64]) -> Spinor {
+    let mut sp = Spinor::ZERO;
+    let mut i = 0;
+    for s in 0..4 {
+        for c in 0..3 {
+            sp.0[s].0[c] = C64::new(f64::from_bits(words[i]), f64::from_bits(words[i + 1]));
+            i += 2;
+        }
+    }
+    sp
+}
+
+/// Words per spinor in a checkpoint payload (matches
+/// `FermionField::to_bits`: spin-major, then color, re before im).
+const SPINOR_WORDS: usize = 24;
+
+/// Gather per-node segment outputs into one global [`CgCheckpoint`], in
+/// the exact bit layout `FermionField::to_bits` uses — so the checkpoint
+/// is portable across machine shapes (and down to a single-node resume).
+/// `prior_residuals` carries the history from before this segment; the
+/// scalars are taken from node 0 (the global sums make them identical on
+/// every node).
+pub fn assemble_checkpoint(
+    shape: &TorusShape,
+    global: Lattice,
+    outs: &[CgSegmentOut],
+    prior_residuals: &[f64],
+) -> CgCheckpoint {
+    assert_eq!(outs.len(), shape.node_count());
+    let words = global.volume() * SPINOR_WORDS;
+    let mut x = vec![0u64; words];
+    let mut r = vec![0u64; words];
+    let mut p = vec![0u64; words];
+    for (node, out) in outs.iter().enumerate() {
+        let geom = BlockGeom::for_node(shape, NodeId(node as u32), global);
+        for l in geom.local.sites() {
+            let g = geom.global_site(l) * SPINOR_WORDS;
+            pack_spinor(&out.x[l], &mut x[g..g + SPINOR_WORDS]);
+            pack_spinor(&out.r[l], &mut r[g..g + SPINOR_WORDS]);
+            pack_spinor(&out.p[l], &mut p[g..g + SPINOR_WORDS]);
+        }
+    }
+    let head = &outs[0];
+    let mut residuals = prior_residuals.to_vec();
+    residuals.extend_from_slice(&head.new_residuals);
+    CgCheckpoint {
+        operator: "wilson".into(),
+        iterations: head.iterations,
+        converged: head.converged,
+        rsq: head.rsq,
+        bref: head.bref,
+        residuals,
+        // Deterministic functions of the iteration count for the
+        // distributed recurrence: one M† in setup, M and M† per iteration;
+        // two setup reductions, two per iteration.
+        applications: 1 + 2 * head.iterations,
+        reductions: 2 + 2 * head.iterations,
+        x,
+        r,
+        p,
+    }
+}
+
+/// Extract this node's `(x, r, p)` blocks from a global checkpoint — the
+/// inverse of [`assemble_checkpoint`] for an arbitrary (possibly
+/// different) machine shape.
+pub fn resume_blocks(
+    geom: &BlockGeom,
+    ckpt: &CgCheckpoint,
+) -> (Vec<Spinor>, Vec<Spinor>, Vec<Spinor>) {
+    assert_eq!(ckpt.x.len(), geom.global.volume() * SPINOR_WORDS);
+    let mut x = Vec::with_capacity(geom.local.volume());
+    let mut r = Vec::with_capacity(geom.local.volume());
+    let mut p = Vec::with_capacity(geom.local.volume());
+    for l in geom.local.sites() {
+        let g = geom.global_site(l) * SPINOR_WORDS;
+        x.push(unpack_spinor(&ckpt.x[g..g + SPINOR_WORDS]));
+        r.push(unpack_spinor(&ckpt.r[g..g + SPINOR_WORDS]));
+        p.push(unpack_spinor(&ckpt.p[g..g + SPINOR_WORDS]));
+    }
+    (x, r, p)
 }
 
 /// Distributed naive staggered dslash. Face payloads are color vectors
@@ -823,5 +1053,68 @@ mod tests {
         let a = run();
         let c = run();
         assert_eq!(a, c, "the same solve must be bit-identical across runs");
+    }
+
+    #[test]
+    fn segmented_cg_with_checkpoints_matches_the_uninterrupted_solve() {
+        let global = Lattice::new([4, 2, 2, 2]);
+        let gauge = GaugeField::hot(global, 70);
+        let b = FermionField::gaussian(global, 71);
+        let shape = TorusShape::new(&[2, 2]);
+        let machine = FunctionalMachine::new(shape.clone());
+        let reference = machine.run(|ctx| {
+            let geom = BlockGeom::new(ctx, global);
+            let lg = geom.extract_gauge(&gauge);
+            let lb = geom.extract_fermion(&b);
+            let (x, r) = wilson_solve_cg(ctx, &geom, &lg, &lb, KAPPA, 1e-8, 2000);
+            (block_fingerprint(&x), r.iterations)
+        });
+        // The same solve, 7 iterations at a time, with the state passed
+        // between segments through the byte-serialized checkpoint.
+        let mut ckpt: Option<CgCheckpoint> = None;
+        for _ in 0..100 {
+            let machine = FunctionalMachine::new(shape.clone());
+            let carried = ckpt.clone();
+            let outs = machine.run(|ctx| {
+                let geom = BlockGeom::new(ctx, global);
+                let lg = geom.extract_gauge(&gauge);
+                let lb = geom.extract_fermion(&b);
+                match carried.as_ref() {
+                    None => wilson_cg_segment(ctx, &geom, &lg, &lb, KAPPA, 1e-8, 2000, None, 7),
+                    Some(k) => {
+                        let (x, r, p) = resume_blocks(&geom, k);
+                        let resume = CgResume {
+                            x: &x,
+                            r: &r,
+                            p: &p,
+                            rsq: k.rsq,
+                            bref: k.bref,
+                            iterations: k.iterations,
+                        };
+                        wilson_cg_segment(ctx, &geom, &lg, &lb, KAPPA, 1e-8, 2000, Some(resume), 7)
+                    }
+                }
+            });
+            assert!(outs.iter().all(|o| !o.wedged));
+            let prior: Vec<f64> = ckpt.map(|k| k.residuals).unwrap_or_default();
+            let next = assemble_checkpoint(&shape, global, &outs, &prior);
+            // Persist through bytes each segment, like a crashed run would.
+            let bytes = qcdoc_lattice::checkpoint::write_checkpoint(&next);
+            let restored = qcdoc_lattice::checkpoint::read_checkpoint(&bytes).unwrap();
+            assert_eq!(restored.digest(), next.digest());
+            let done = outs[0].converged;
+            ckpt = Some(restored);
+            if done {
+                for (node, out) in outs.iter().enumerate() {
+                    assert_eq!(
+                        (block_fingerprint(&out.x), out.iterations),
+                        reference[node],
+                        "segmented solve diverged on node {node}"
+                    );
+                }
+                return;
+            }
+        }
+        panic!("segmented solve did not converge in 100 segments");
     }
 }

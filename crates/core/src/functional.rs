@@ -22,7 +22,7 @@ use qcdoc_scu::dma::DmaDescriptor;
 use qcdoc_scu::link::WireTap;
 use qcdoc_scu::scu::{Scu, ScuEvent, WireMsg};
 use qcdoc_scu::timing::LinkTimingConfig;
-use qcdoc_scu::WireVerdict;
+use qcdoc_scu::{RetryPolicy, WireVerdict};
 use qcdoc_telemetry::{MachineTelemetry, MetricsRegistry, NodeTelemetry, Phase, Span};
 use std::sync::Arc;
 
@@ -89,6 +89,7 @@ pub struct NodeCtx {
     armed_send_words: [u64; 12],
     armed_recv_words: [u64; 12],
     link_timing: LinkTimingConfig,
+    wedge_spins: u32,
 }
 
 impl NodeCtx {
@@ -102,14 +103,23 @@ impl NodeCtx {
         axis < self.shape.rank() && self.shape.extent(axis) > 1
     }
 
-    /// Start a DMA send toward `dir`.
+    /// Start a DMA send toward `dir`. A wedged node refuses: its units
+    /// were abandoned mid-transfer when the watchdog fired, and re-arming
+    /// them would corrupt protocol state the health readout still needs.
     pub fn start_send(&mut self, dir: Direction, desc: DmaDescriptor) {
+        if self.wedged {
+            return;
+        }
         self.armed_send_words[dir.link_index()] += desc.total_words();
         self.scu.start_send(dir.link_index(), desc);
     }
 
-    /// Arm a DMA receive for traffic arriving from `dir`.
+    /// Arm a DMA receive for traffic arriving from `dir` (no-op once the
+    /// node has wedged, like [`NodeCtx::start_send`]).
     pub fn start_recv(&mut self, dir: Direction, desc: DmaDescriptor) {
+        if self.wedged {
+            return;
+        }
         self.armed_recv_words[dir.link_index()] += desc.total_words();
         self.scu
             .start_recv(dir.link_index(), desc, &mut self.mem)
@@ -255,7 +265,7 @@ impl NodeCtx {
                 idle_spins = 0;
             } else {
                 idle_spins += 1;
-                if idle_spins >= WEDGE_IDLE_SPINS {
+                if idle_spins >= self.wedge_spins {
                     self.wedged = true;
                     return;
                 }
@@ -319,6 +329,8 @@ impl NodeCtx {
                 send_checksum: ls.send_checksum,
                 recv_checksum: ls.recv_checksum,
                 checksum_ok: None,
+                backoff_waits: ls.backoff_waits,
+                retry_exhausted: ls.retry_exhausted,
             });
         }
         health
@@ -331,6 +343,8 @@ pub struct FunctionalMachine {
     faults: FaultPlan,
     ddr_bytes: u64,
     telemetry: Option<TelemetryConfig>,
+    retry_policy: RetryPolicy,
+    wedge_spins: u32,
 }
 
 impl FunctionalMachine {
@@ -341,6 +355,8 @@ impl FunctionalMachine {
             faults: FaultPlan::default(),
             ddr_bytes: 128 * 1024 * 1024,
             telemetry: None,
+            retry_policy: RetryPolicy::default(),
+            wedge_spins: WEDGE_IDLE_SPINS,
         }
     }
 
@@ -348,6 +364,22 @@ impl FunctionalMachine {
     /// starts).
     pub fn with_faults(mut self, plan: FaultPlan) -> FunctionalMachine {
         self.faults = plan;
+        self
+    }
+
+    /// Install a link retry policy on every send unit: a bounded budget of
+    /// consecutive no-progress rewinds (with exponential backoff) after
+    /// which a link declares itself dead instead of resending forever.
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> FunctionalMachine {
+        self.retry_policy = policy;
+        self
+    }
+
+    /// Override the wedge watchdog: idle pump rounds a node waits on a
+    /// silent wire before giving up. Recovery tests use a short timeout so
+    /// a deliberately killed node fails in milliseconds, not a second.
+    pub fn with_wedge_timeout(mut self, spins: u32) -> FunctionalMachine {
+        self.wedge_spins = spins.max(1);
         self
     }
 
@@ -362,6 +394,14 @@ impl FunctionalMachine {
     /// The logical shape.
     pub fn shape(&self) -> &TorusShape {
         &self.shape
+    }
+
+    /// Swap the fabric under the machine — a recovery repartition: later
+    /// runs use the replacement shape and fault plan, keeping the retry
+    /// policy, wedge timeout and telemetry configuration.
+    pub(crate) fn replace_fabric(&mut self, shape: TorusShape, faults: FaultPlan) {
+        self.shape = shape;
+        self.faults = faults;
     }
 
     /// Run `app` on every node concurrently; returns per-node results in
@@ -446,8 +486,16 @@ impl FunctionalMachine {
         let telemetry = self.telemetry;
         // Nodes that finish keep pumping the wires until *everyone* has
         // finished — otherwise a neighbour could stall waiting for an ack
-        // from a thread that already exited.
+        // from a thread that already exited. The count must rise even when
+        // an application panics, or the surviving nodes pump forever and
+        // the panic never surfaces; the guard counts on unwind too.
         let done = std::sync::atomic::AtomicUsize::new(0);
+        struct DoneGuard<'a>(&'a std::sync::atomic::AtomicUsize);
+        impl Drop for DoneGuard<'_> {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            }
+        }
         std::thread::scope(|scope| {
             let mut pairs: Vec<NodeWires> = txs.drain(..).zip(rxs.drain(..)).collect();
             for (node, (tx, rx)) in pairs.drain(..).enumerate().rev() {
@@ -457,9 +505,13 @@ impl FunctionalMachine {
                 let clock = Arc::clone(&clock);
                 let shape = self.shape.clone();
                 let ddr = self.ddr_bytes;
+                let retry_policy = self.retry_policy;
+                let wedge_spins = self.wedge_spins;
                 scope.spawn(move || {
+                    let done_guard = DoneGuard(done);
                     let mut scu = Scu::new();
                     scu.train_all();
+                    scu.set_retry_policy(retry_policy);
                     let mut ctx = NodeCtx {
                         id: NodeId(node as u32),
                         coord: shape.coord_of(NodeId(node as u32)),
@@ -479,6 +531,7 @@ impl FunctionalMachine {
                         armed_send_words: [0; 12],
                         armed_recv_words: [0; 12],
                         link_timing: telemetry.map(|c| c.link).unwrap_or_default(),
+                        wedge_spins,
                     };
                     // Memory soft errors strike before the application
                     // touches its data (flips outside the address map are
@@ -505,7 +558,7 @@ impl FunctionalMachine {
                     let snapshot = ctx.health_snapshot();
                     let parts = ctx.telem.take_parts();
                     *results[node].lock() = Some((r, snapshot, parts));
-                    done.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    drop(done_guard);
                     let mut spins = 0u32;
                     while done.load(std::sync::atomic::Ordering::SeqCst) < n {
                         ctx.progress();
@@ -741,6 +794,98 @@ mod tests {
             !ledger.all_checksums_ok(),
             "undelivered words must break the checksum pairing"
         );
+    }
+
+    #[test]
+    fn stuck_link_exhausts_its_retry_budget_and_escalates() {
+        // Node 1's +x transmitter goes bad from the first frame: every
+        // transmission — resends included — is corrupted, so unlimited
+        // retries would resend forever. A bounded budget kills the link
+        // after a deterministic number of rewinds, the wedge watchdog
+        // unblocks both endpoints, and the ledger pins the blame on node
+        // 1's hardware (not on the wedged bystanders).
+        let plan = FaultPlan::new(7).with_event(FaultEvent::stuck_link(1, 0, 0));
+        let policy = RetryPolicy::bounded(4, 2, 64);
+        let machine = FunctionalMachine::new(ring4())
+            .with_faults(plan)
+            .with_retry_policy(policy)
+            .with_wedge_timeout(10_000);
+        let (_, ledger) = machine.run_with_health(|ctx| {
+            for i in 0..4u64 {
+                ctx.mem
+                    .write_word(0x100 + i * 8, ctx.id.0 as u64 + i)
+                    .unwrap();
+            }
+            ctx.shift(
+                Axis(0).plus(),
+                DmaDescriptor::contiguous(0x100, 4),
+                DmaDescriptor::contiguous(0x200, 4),
+            );
+        });
+        let bad = &ledger.nodes[1].links[0];
+        assert!(bad.retry_exhausted, "the budget must exhaust");
+        assert!(
+            bad.resends <= 5 * 3,
+            "bounded resends per delivered word, got {}",
+            bad.resends
+        );
+        let culprits = ledger.culprit_nodes();
+        assert_eq!(culprits, vec![1], "hardware evidence points at node 1 only");
+        // Collateral wedges still show up as unhealthy, but not as culprits.
+        assert!(ledger.unhealthy_nodes().contains(&2));
+    }
+
+    #[test]
+    fn short_wedge_timeout_fails_fast() {
+        let plan = FaultPlan::new(0).with_event(FaultEvent::dead_link(1, 0, 0));
+        let machine = FunctionalMachine::new(ring4())
+            .with_faults(plan)
+            .with_wedge_timeout(2_000);
+        let start = std::time::Instant::now();
+        let (_, ledger) = machine.run_with_health(|ctx| {
+            ctx.mem.write_word(0x100, ctx.id.0 as u64).unwrap();
+            ctx.shift(
+                Axis(0).plus(),
+                DmaDescriptor::contiguous(0x100, 1),
+                DmaDescriptor::contiguous(0x200, 1),
+            );
+        });
+        assert_eq!(ledger.nodes[1].liveness, qcdoc_fault::Liveness::Wedged);
+        // 2k spins at ≤20 µs each is well under a second even on a busy host.
+        assert!(start.elapsed() < std::time::Duration::from_secs(30));
+    }
+
+    #[test]
+    fn wedged_node_refuses_new_transfers_instead_of_panicking() {
+        // A real application keeps issuing collectives after a wedge (it
+        // only checks `wedged()` at its own loop boundaries). Arming fresh
+        // DMA onto units abandoned mid-transfer used to blow up in the
+        // idle-receive drain; a wedged node must go silent instead, so the
+        // run still terminates and the ledger still reads out.
+        let plan = FaultPlan::new(0).with_event(FaultEvent::dead_link(1, 0, 1));
+        let machine = FunctionalMachine::new(ring4())
+            .with_faults(plan)
+            .with_wedge_timeout(2_000);
+        let (results, ledger) = machine.run_with_health(|ctx| {
+            // Three rounds of 4-word shifts: the wire dies during the
+            // first, the later rounds re-arm every unit regardless.
+            for round in 0..3u64 {
+                for i in 0..4u64 {
+                    ctx.mem
+                        .write_word(0x100 + i * 8, round + ctx.id.0 as u64)
+                        .unwrap();
+                }
+                ctx.shift(
+                    Axis(0).plus(),
+                    DmaDescriptor::contiguous(0x100, 4),
+                    DmaDescriptor::contiguous(0x200, 4),
+                );
+            }
+            ctx.wedged()
+        });
+        assert!(results.iter().any(|&w| w), "somebody must have wedged");
+        assert_eq!(ledger.dead_links(), vec![(1, 0)]);
+        assert!(ledger.culprit_nodes().contains(&1));
     }
 
     #[test]

@@ -18,7 +18,10 @@
 //!   sustained-efficiency figures (40% Wilson / 38% ASQTAD / 46.5% clover
 //!   at 4⁴ local volume, ~30% when spilling to DDR);
 //! * [`baseline`] — the commodity-cluster comparison the paper argues
-//!   against (5–10 µs message start-up), for the hard-scaling experiment.
+//!   against (5–10 µs message start-up), for the hard-scaling experiment;
+//! * [`recovery`] — quarantine-and-resume orchestration: segmented runs,
+//!   health-ledger sweeps, repartition around broken hardware, and
+//!   bit-identical resume from checkpointed state.
 
 #![warn(missing_docs)]
 
@@ -29,7 +32,9 @@ pub mod des;
 pub mod distributed;
 pub mod functional;
 pub mod perf;
+pub mod recovery;
 
 pub use config::MachineConfig;
 pub use functional::FunctionalMachine;
 pub use perf::{DiracPerf, EfficiencyReport, Precision};
+pub use recovery::{RecoveryConfig, RecoveryError, RecoveryReport, Replacement, SegmentVerdict};

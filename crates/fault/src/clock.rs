@@ -35,6 +35,7 @@ pub struct FaultClock {
     error_rates: Vec<(u32, usize, f64)>,
     stalls: Vec<(u32, usize, usize, u64)>,
     dead_links: Vec<(u32, usize, u64)>,
+    stuck_links: Vec<(u32, usize, u64)>,
     pauses: Vec<(u32, Option<usize>, u64)>,
     crashes: Vec<(u32, usize)>,
     mem_flips: Vec<(u32, u64, u32)>,
@@ -53,6 +54,7 @@ impl FaultClock {
             error_rates: Vec::new(),
             stalls: Vec::new(),
             dead_links: Vec::new(),
+            stuck_links: Vec::new(),
             pauses: Vec::new(),
             crashes: Vec::new(),
             mem_flips: Vec::new(),
@@ -85,6 +87,9 @@ impl FaultClock {
                 }
                 FaultKind::DeadLink { from_seq } => {
                     clock.dead_links.push((node, link, from_seq));
+                }
+                FaultKind::StuckLink { from_seq } => {
+                    clock.stuck_links.push((node, link, from_seq));
                 }
                 FaultKind::NodePause { iteration, cycles } => {
                     clock.pauses.push((node, iteration, cycles));
@@ -217,10 +222,38 @@ impl FaultClock {
             .min()
     }
 
-    /// Whether the plan contains an unrecoverable fault (dead link or
-    /// node crash) anywhere in the machine.
+    /// The first corrupted sequence number of `node`'s `link`, if the
+    /// transmitter is scheduled to break.
+    pub fn link_stuck_from(&self, node: u32, link: usize) -> Option<u64> {
+        self.stuck_links
+            .iter()
+            .filter(|&&(n, l, _)| n == node && l == link)
+            .map(|&(_, _, from)| from)
+            .min()
+    }
+
+    /// Corrupt a frame crossing a stuck transmitter — resends included.
+    /// Returns whether the frame was touched. The flipped bit is keyed by
+    /// the sequence number alone, so every retransmission of a word is
+    /// corrupted identically: the defining property of a broken driver,
+    /// and the one the go-back-N resend cannot heal.
+    pub fn corrupt_stuck(&self, node: u32, link: usize, wf: &mut WireFrame) -> bool {
+        let Some(from) = self.link_stuck_from(node, link) else {
+            return false;
+        };
+        if wf.seq < from {
+            return false;
+        }
+        let bits = wf.frame.wire_bits();
+        let draw = self.key(0x57C4, node, link, wf.seq);
+        wf.frame.corrupt_bit((draw % bits) as usize);
+        true
+    }
+
+    /// Whether the plan contains an unrecoverable fault (dead link, stuck
+    /// transmitter, or node crash) anywhere in the machine.
     pub fn has_fatal(&self) -> bool {
-        !self.dead_links.is_empty() || !self.crashes.is_empty()
+        !self.dead_links.is_empty() || !self.stuck_links.is_empty() || !self.crashes.is_empty()
     }
 
     /// Memory soft errors scheduled for `node` (byte address, bit).
@@ -285,6 +318,12 @@ impl WireTap for NodeTap {
         }
         // Partition interrupts travel outside the data sequence.
         if wf.seq == u64::MAX {
+            return WireVerdict::Deliver;
+        }
+        // A stuck transmitter mangles every transmission, fresh or resent
+        // (so the count below is per-attempt, not per-word).
+        if self.clock.corrupt_stuck(self.node, link, wf) {
+            self.injected[link] += 1;
             return WireVerdict::Deliver;
         }
         if wf.seq >= self.fresh[link] {
@@ -415,6 +454,30 @@ mod tests {
         let mut other = frame(9, 0);
         assert_eq!(tap.on_frame(1, &mut other), WireVerdict::Deliver);
         assert_eq!(clock.link_dead_from(1, 0), Some(3));
+        assert!(clock.has_fatal());
+    }
+
+    #[test]
+    fn stuck_link_corrupts_resends_too() {
+        let plan = FaultPlan::new(4).with_event(FaultEvent::stuck_link(0, 2, 1));
+        let clock = Arc::new(FaultClock::resolve(&plan, 2, 4));
+        let mut tap = NodeTap::new(Arc::clone(&clock), 0);
+        let mut early = frame(0, 10);
+        tap.on_frame(2, &mut early);
+        assert!(early.frame.decode().is_ok(), "below the cutoff: clean");
+        // Every transmission of seq 1 arrives corrupt — identically.
+        let mut first = frame(1, 11);
+        let mut resend = frame(1, 11);
+        tap.on_frame(2, &mut first);
+        tap.on_frame(2, &mut resend);
+        assert!(first.frame.decode().is_err());
+        assert_eq!(first.frame, resend.frame, "same word, same corruption");
+        assert_eq!(tap.injected()[2], 2, "stuck injections count per attempt");
+        // Other links unaffected; the fault is fatal for the run.
+        let mut other = frame(1, 11);
+        tap.on_frame(3, &mut other);
+        assert!(other.frame.decode().is_ok());
+        assert_eq!(clock.link_stuck_from(0, 2), Some(1));
         assert!(clock.has_fatal());
     }
 

@@ -46,6 +46,11 @@ pub struct LinkHealth {
     /// Verdict after pairing with the neighbour's opposite wire; `None`
     /// until [`HealthLedger::finalize`] runs or when the wire is unwired.
     pub checksum_ok: Option<bool>,
+    /// Pump rounds the send unit held the wire in retry backoff.
+    pub backoff_waits: u64,
+    /// Whether the send unit exhausted its retry budget and went silent —
+    /// the link-level escalation verdict (`LinkVerdict::Dead`).
+    pub retry_exhausted: bool,
 }
 
 /// End-of-run health of one node.
@@ -161,8 +166,9 @@ impl HealthLedger {
             .collect()
     }
 
-    /// Nodes that did not finish healthy: crashed, wedged, any dead wire,
-    /// a failed checksum pairing, or an injected memory error.
+    /// Nodes that did not finish healthy: crashed, wedged, any dead or
+    /// retry-exhausted wire, a failed checksum pairing, or an injected
+    /// memory error.
     pub fn unhealthy_nodes(&self) -> Vec<u32> {
         self.nodes
             .iter()
@@ -171,7 +177,28 @@ impl HealthLedger {
                     || n.mem_flips > 0
                     || n.links
                         .iter()
-                        .any(|l| l.dead || l.checksum_ok == Some(false))
+                        .any(|l| l.dead || l.retry_exhausted || l.checksum_ok == Some(false))
+            })
+            .map(|n| n.node)
+            .collect()
+    }
+
+    /// Nodes with *hardware evidence* of their own failure: a scheduled
+    /// crash, a dead or retry-exhausted wire, or an injected memory error.
+    ///
+    /// This is the quarantine set. [`HealthLedger::unhealthy_nodes`] also
+    /// flags collateral damage — in a tightly coupled calculation one dead
+    /// wire wedges *every* node at the next global sum and breaks checksum
+    /// pairings machine-wide, so quarantining all unhealthy nodes would
+    /// condemn the whole partition. Wedged liveness and checksum
+    /// mismatches alone are symptoms, not evidence of local fault.
+    pub fn culprit_nodes(&self) -> Vec<u32> {
+        self.nodes
+            .iter()
+            .filter(|n| {
+                matches!(n.liveness, Liveness::Crashed { .. })
+                    || n.mem_flips > 0
+                    || n.links.iter().any(|l| l.dead || l.retry_exhausted)
             })
             .map(|n| n.node)
             .collect()
@@ -213,7 +240,9 @@ impl HealthLedger {
                     || l.rejects > 0
                     || l.injected > 0
                     || l.stall_cycles > 0
-                    || l.dead;
+                    || l.dead
+                    || l.backoff_waits > 0
+                    || l.retry_exhausted;
                 if !active {
                     continue;
                 }
@@ -225,6 +254,12 @@ impl HealthLedger {
                 reg.gauge_set("scu_link_injected", &labels, l.injected as f64);
                 reg.gauge_set("scu_link_stall_cycles", &labels, l.stall_cycles as f64);
                 reg.gauge_set("scu_link_dead", &labels, u64::from(l.dead) as f64);
+                if l.backoff_waits > 0 {
+                    reg.gauge_set("scu_link_backoff_waits", &labels, l.backoff_waits as f64);
+                }
+                if l.retry_exhausted {
+                    reg.gauge_set("scu_link_retry_exhausted", &labels, 1.0);
+                }
                 if let Some(ok) = l.checksum_ok {
                     reg.gauge_set("scu_link_checksum_ok", &labels, u64::from(ok) as f64);
                 }
@@ -252,8 +287,10 @@ impl HealthLedger {
     /// and memory flips. Resend/reject counters are excluded — with a
     /// threaded execution engine they depend on scheduling (an ack that
     /// arrives a frame later causes an extra, harmless rewind) while
-    /// everything hashed here does not. Two same-seed runs must produce
-    /// equal fingerprints.
+    /// everything hashed here does not. Backoff waits and retry-budget
+    /// verdicts are excluded for the same reason: they are functions of
+    /// the resend count. Two same-seed runs must produce equal
+    /// fingerprints.
     pub fn fingerprint(&self) -> u64 {
         let mut h: u64 = 0xCBF2_9CE4_8422_2325;
         let mut eat = |v: u64| {
@@ -374,5 +411,40 @@ mod tests {
         assert_eq!(ledger.total_injected(), 9);
         assert_eq!(ledger.dead_links(), vec![(1, 3)]);
         assert_eq!(ledger.unhealthy_nodes(), vec![1, 2]);
+    }
+
+    #[test]
+    fn culprits_exclude_collateral_damage() {
+        // The dead-wire-in-a-collective picture: node 1 owns the broken
+        // hardware; every node wedged waiting on the stalled global sum
+        // and half the checksum pairings broke. Only node 1 is a culprit.
+        let mut ledger = HealthLedger::new(4);
+        for n in 0..4 {
+            ledger.node_mut(n).liveness = Liveness::Wedged;
+        }
+        ledger.node_mut(1).links[2].dead = true;
+        ledger.node_mut(3).links[0].checksum_ok = Some(false);
+        assert_eq!(ledger.unhealthy_nodes(), vec![0, 1, 2, 3]);
+        assert_eq!(ledger.culprit_nodes(), vec![1]);
+    }
+
+    #[test]
+    fn retry_exhaustion_is_hardware_evidence() {
+        let mut ledger = HealthLedger::new(3);
+        ledger.node_mut(2).links[4].retry_exhausted = true;
+        ledger.node_mut(2).links[4].backoff_waits = 77;
+        ledger.node_mut(0).liveness = Liveness::Crashed { iteration: 1 };
+        assert_eq!(ledger.unhealthy_nodes(), vec![0, 2]);
+        assert_eq!(ledger.culprit_nodes(), vec![0, 2]);
+        // Exported sparsely, and excluded from the fingerprint.
+        let mut reg = MetricsRegistry::new();
+        ledger.export_metrics(&mut reg);
+        let l = [("node", "2".to_string()), ("link", "4".to_string())];
+        assert_eq!(reg.gauge("scu_link_retry_exhausted", &l), Some(1.0));
+        assert_eq!(reg.gauge("scu_link_backoff_waits", &l), Some(77.0));
+        let mut bare = ledger.clone();
+        bare.node_mut(2).links[4].retry_exhausted = false;
+        bare.node_mut(2).links[4].backoff_waits = 0;
+        assert_eq!(ledger.fingerprint(), bare.fingerprint());
     }
 }

@@ -52,6 +52,15 @@ pub enum FaultKind {
         /// First dropped data sequence number (0 = dead from the start).
         from_seq: u64,
     },
+    /// A broken transmitter: every data frame leaving on this wire —
+    /// resends included — arrives corrupt, from data word `from_seq` on.
+    /// Unlike [`FaultKind::BitErrorRate`], the go-back-N resend cannot
+    /// heal this; only a bounded retry budget stops the storm.
+    StuckLink {
+        /// First corrupted data sequence number (0 = stuck from the
+        /// start).
+        from_seq: u64,
+    },
     /// The node computes for `cycles` extra — a memory refresh, an
     /// interrupt, a slow part (observed by the timing engine).
     NodePause {
@@ -147,6 +156,15 @@ impl FaultEvent {
             node: NodeSelect::Node(node),
             link: LinkSelect::Link(link),
             kind: FaultKind::DeadLink { from_seq },
+        }
+    }
+
+    /// A broken transmitter corrupting every frame from `from_seq` on.
+    pub fn stuck_link(node: u32, link: usize, from_seq: u64) -> FaultEvent {
+        FaultEvent {
+            node: NodeSelect::Node(node),
+            link: LinkSelect::Link(link),
+            kind: FaultKind::StuckLink { from_seq },
         }
     }
 

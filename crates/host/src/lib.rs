@@ -18,7 +18,10 @@
 //!   node status, allocates partitions, launches applications and returns
 //!   their output;
 //! * [`qcsh`] — the modified-tcsh command interface through which users
-//!   talk to the qdaemon.
+//!   talk to the qdaemon;
+//! * [`recovery`] — the quarantine-and-replan side of self-healing runs:
+//!   translate a dirty health ledger into quarantined hardware and a
+//!   replacement (possibly degraded) partition from the qdaemon.
 
 #![warn(missing_docs)]
 
@@ -29,6 +32,8 @@ pub mod kernel;
 pub mod nfs;
 pub mod qcsh;
 pub mod qdaemon;
+pub mod recovery;
 pub mod rpc;
 
 pub use qdaemon::{BootReport, NodeState, Qdaemon};
+pub use recovery::RecoveryPlanner;

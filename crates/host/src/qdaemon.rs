@@ -211,12 +211,17 @@ impl Qdaemon {
         self.allocations.get(&id).map(|a| a.job_output.as_slice())
     }
 
-    /// Release a partition; member nodes return to `Ready`.
+    /// Release a partition; member nodes return to `Ready`. A member that
+    /// was marked faulty while the job ran (health sweep, checksum report)
+    /// stays quarantined — releasing a job must never launder a broken
+    /// node back into the allocation pool.
     pub fn release(&mut self, id: u32) {
         if let Some(a) = self.allocations.remove(&id) {
             for i in 0..a.partition.node_count() {
                 let m = a.partition.physical_id(NodeId(i as u32));
-                self.states[m.index()] = NodeState::Ready;
+                if self.states[m.index()] == (NodeState::Busy { partition: id }) {
+                    self.states[m.index()] = NodeState::Ready;
+                }
             }
         }
     }
@@ -470,6 +475,25 @@ mod tests {
         assert_eq!((ready, busy), (0, 32));
         // No double allocation.
         assert!(q.allocate(mk_ok(0)).is_err());
+    }
+
+    #[test]
+    fn release_does_not_resurrect_nodes_marked_faulty_mid_job() {
+        let mut q = Qdaemon::new(small_machine());
+        q.boot(&[]);
+        let id = q.allocate(PartitionSpec::native(q.machine())).unwrap();
+        // Mid-job, the health sweep condemns a member node.
+        q.mark_faulty(NodeId(5));
+        q.release(id);
+        assert_eq!(
+            q.node_state(NodeId(5)),
+            NodeState::Faulty,
+            "release must not launder a quarantined node back to Ready"
+        );
+        let (ready, busy, faulty, _) = q.census();
+        assert_eq!((ready, busy, faulty), (31, 0, 1));
+        // And the quarantine holds against the next full-machine request.
+        assert!(q.allocate(PartitionSpec::native(q.machine())).is_err());
     }
 
     #[test]

@@ -148,6 +148,30 @@ impl KrylovVector for EoField {
             *s = Spinor::ZERO;
         }
     }
+    fn to_bits(&self) -> Vec<u64> {
+        let mut bits = Vec::with_capacity(self.data.len() * 24);
+        for sp in &self.data {
+            for cv in &sp.0 {
+                for z in &cv.0 {
+                    bits.push(z.re.to_bits());
+                    bits.push(z.im.to_bits());
+                }
+            }
+        }
+        bits
+    }
+    fn load_bits(&mut self, bits: &[u64]) {
+        assert_eq!(bits.len(), self.data.len() * 24, "half-field word count");
+        let mut it = bits.iter();
+        for sp in &mut self.data {
+            for cv in &mut sp.0 {
+                for z in &mut cv.0 {
+                    z.re = f64::from_bits(*it.next().expect("length checked"));
+                    z.im = f64::from_bits(*it.next().expect("length checked"));
+                }
+            }
+        }
+    }
 }
 
 /// The even/odd-preconditioned Wilson operator.

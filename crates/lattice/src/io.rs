@@ -98,7 +98,7 @@ pub fn write_config(gauge: &GaugeField) -> Vec<u8> {
     bytes
 }
 
-fn header_value<'a>(header: &'a str, key: &str) -> Result<&'a str, IoError> {
+pub(crate) fn header_value<'a>(header: &'a str, key: &str) -> Result<&'a str, IoError> {
     header
         .lines()
         .find_map(|l| {
@@ -129,6 +129,22 @@ pub fn read_config(bytes: &[u8]) -> Result<GaugeField, IoError> {
             .parse()
             .map_err(|_| IoError::BadHeader(format!("bad {name}")))?;
     }
+    // Reject absurd geometry before allocating anything: every extent
+    // must be positive and the implied volume bounded, so a corrupt
+    // header cannot drive a huge (or zero-sized) allocation.
+    dims.iter()
+        .try_fold(
+            1usize,
+            |acc, &d| {
+                if d == 0 {
+                    None
+                } else {
+                    acc.checked_mul(d)
+                }
+            },
+        )
+        .filter(|&v| v <= (1 << 28))
+        .ok_or_else(|| IoError::BadHeader("absurd DIMENSION".into()))?;
     let recorded_checksum = u32::from_str_radix(header_value(header, "CHECKSUM")?, 16)
         .map_err(|_| IoError::BadHeader("bad CHECKSUM".into()))?;
     let recorded_plaq: f64 = header_value(header, "PLAQUETTE")?
@@ -235,6 +251,83 @@ mod tests {
         let mut out = mangled.into_bytes();
         out.extend_from_slice(&bytes[200..]);
         assert!(matches!(read_config(&out), Err(IoError::BadHeader(_))));
+    }
+
+    fn with_header_edit(bytes: &[u8], from: &str, to: &str) -> Vec<u8> {
+        let end = bytes
+            .windows(11)
+            .position(|w| w == b"END_HEADER\n")
+            .unwrap()
+            + 11;
+        let text = String::from_utf8(bytes[..end].to_vec()).unwrap();
+        let mut out = text.replacen(from, to, 1).into_bytes();
+        out.extend_from_slice(&bytes[end..]);
+        out
+    }
+
+    #[test]
+    fn non_numeric_header_field_is_rejected() {
+        let bytes = write_config(&config());
+        let bad = with_header_edit(&bytes, "DIMENSION_2 = 2", "DIMENSION_2 = two");
+        assert!(matches!(read_config(&bad), Err(IoError::BadHeader(_))));
+    }
+
+    #[test]
+    fn non_hex_checksum_is_rejected() {
+        let bytes = write_config(&config());
+        // Prefixing a non-hex character corrupts the value whatever it was.
+        let bad = with_header_edit(&bytes, "CHECKSUM = ", "CHECKSUM = z");
+        assert!(matches!(read_config(&bad), Err(IoError::BadHeader(_))));
+    }
+
+    #[test]
+    fn absurd_dimension_is_rejected_before_allocation() {
+        let bytes = write_config(&config());
+        for bad_dim in ["0", "999999999", "18446744073709551616"] {
+            let bad = with_header_edit(
+                &bytes,
+                "DIMENSION_1 = 2",
+                &format!("DIMENSION_1 = {bad_dim}"),
+            );
+            assert!(
+                matches!(read_config(&bad), Err(IoError::BadHeader(_))),
+                "DIMENSION_1 = {bad_dim} should be a header error"
+            );
+        }
+    }
+
+    #[test]
+    fn header_only_input_is_rejected() {
+        let bytes = write_config(&config());
+        let end = bytes
+            .windows(11)
+            .position(|w| w == b"END_HEADER\n")
+            .unwrap()
+            + 11;
+        // A file that stops right after the header: geometry promises data.
+        assert_eq!(read_config(&bytes[..end]), Err(IoError::Truncated));
+        // A file that never finishes the header at all.
+        assert!(matches!(
+            read_config(&bytes[..end - 12]),
+            Err(IoError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn tampered_recorded_checksum_is_detected() {
+        let bytes = write_config(&config());
+        let end = bytes
+            .windows(11)
+            .position(|w| w == b"END_HEADER\n")
+            .unwrap()
+            + 11;
+        let computed = nersc_checksum(&bytes[end..]);
+        let bad = with_header_edit(
+            &bytes,
+            &format!("CHECKSUM = {computed:x}"),
+            &format!("CHECKSUM = {:x}", computed.wrapping_add(1)),
+        );
+        assert!(matches!(read_config(&bad), Err(IoError::Checksum { .. })));
     }
 
     #[test]

@@ -22,11 +22,14 @@
 //! * [`eo`] — even/odd preconditioning (the production solver trick);
 //! * [`solver`] — conjugate gradient on the normal equations, the kernel
 //!   that "dominates our calculations";
+//! * [`checkpoint`] — deterministic CG state checkpoints in the NERSC
+//!   idiom, the solver half of the machine's quarantine-and-resume story;
 //! * [`counts`] — closed-form per-site operation ledgers for each operator,
 //!   the input to the machine performance model.
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod clover;
 pub mod colorvec;
 pub mod complex;
@@ -46,6 +49,7 @@ pub mod staggered;
 pub mod su3;
 pub mod wilson;
 
+pub use checkpoint::CgCheckpoint;
 pub use complex::C64;
 pub use field::{FermionField, GaugeField, Lattice};
 pub use solver::{CgReport, DiracOperator};

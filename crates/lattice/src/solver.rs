@@ -7,6 +7,7 @@
 //! global reductions — the two inner products whose latency motivates the
 //! SCU's hardware global sums (§2.2).
 
+use crate::checkpoint::CgCheckpoint;
 use crate::complex::C64;
 use crate::dwf::{DwfDirac, DwfField};
 use crate::field::{FermionField, StaggeredField};
@@ -27,6 +28,12 @@ pub trait KrylovVector: Clone {
     fn xpay(&mut self, a: C64, rhs: &Self);
     /// Set to zero.
     fn fill_zero(&mut self);
+    /// The field's values as IEEE-754 bit patterns, in deterministic
+    /// (site, then component) order — the checkpoint serialization.
+    fn to_bits(&self) -> Vec<u64>;
+    /// Restore values previously captured by [`KrylovVector::to_bits`].
+    /// Panics if `bits` does not match the field's shape.
+    fn load_bits(&mut self, bits: &[u64]);
 }
 
 impl KrylovVector for FermionField {
@@ -44,6 +51,34 @@ impl KrylovVector for FermionField {
     }
     fn fill_zero(&mut self) {
         self.scale(C64::ZERO)
+    }
+    fn to_bits(&self) -> Vec<u64> {
+        let lat = self.lattice();
+        let mut out = Vec::with_capacity(lat.volume() * 24);
+        for i in lat.sites() {
+            let sp = self.site(i);
+            for cv in &sp.0 {
+                for z in &cv.0 {
+                    out.push(z.re.to_bits());
+                    out.push(z.im.to_bits());
+                }
+            }
+        }
+        out
+    }
+    fn load_bits(&mut self, bits: &[u64]) {
+        let lat = self.lattice();
+        assert_eq!(bits.len(), lat.volume() * 24, "checkpoint shape mismatch");
+        let mut it = bits.iter();
+        for i in lat.sites() {
+            let sp = self.site_mut(i);
+            for cv in &mut sp.0 {
+                for z in &mut cv.0 {
+                    z.re = f64::from_bits(*it.next().expect("length checked"));
+                    z.im = f64::from_bits(*it.next().expect("length checked"));
+                }
+            }
+        }
     }
 }
 
@@ -66,6 +101,28 @@ impl KrylovVector for StaggeredField {
             *self.site_mut(i) = self.site(i).scale(z);
         }
     }
+    fn to_bits(&self) -> Vec<u64> {
+        let lat = self.lattice();
+        let mut out = Vec::with_capacity(lat.volume() * 6);
+        for i in lat.sites() {
+            for z in &self.site(i).0 {
+                out.push(z.re.to_bits());
+                out.push(z.im.to_bits());
+            }
+        }
+        out
+    }
+    fn load_bits(&mut self, bits: &[u64]) {
+        let lat = self.lattice();
+        assert_eq!(bits.len(), lat.volume() * 6, "checkpoint shape mismatch");
+        let mut it = bits.iter();
+        for i in lat.sites() {
+            for z in &mut self.site_mut(i).0 {
+                z.re = f64::from_bits(*it.next().expect("length checked"));
+                z.im = f64::from_bits(*it.next().expect("length checked"));
+            }
+        }
+    }
 }
 
 impl KrylovVector for DwfField {
@@ -85,6 +142,23 @@ impl KrylovVector for DwfField {
         let lat = self.lattice();
         let ls = self.ls();
         *self = DwfField::zero(lat, ls);
+    }
+    fn to_bits(&self) -> Vec<u64> {
+        (0..self.ls())
+            .flat_map(|s| self.slice(s).to_bits())
+            .collect()
+    }
+    fn load_bits(&mut self, bits: &[u64]) {
+        let per_slice = self.lattice().volume() * 24;
+        assert_eq!(
+            bits.len(),
+            per_slice * self.ls(),
+            "checkpoint shape mismatch"
+        );
+        for s in 0..self.ls() {
+            self.slice_mut(s)
+                .load_bits(&bits[s * per_slice..(s + 1) * per_slice]);
+        }
     }
 }
 
@@ -277,6 +351,154 @@ pub fn solve_cgne_traced<Op: DiracOperator>(
     telem: &mut NodeTelemetry,
     costs: &SolverCosts,
 ) -> CgReport {
+    solve_cgne_instrumented(op, x, b, params, telem, costs, 0, &mut Vec::new())
+}
+
+/// The complete loop-carried state of the CG recurrence, excluding the
+/// solution vector `x` (which stays with the caller).
+struct CgLoopState<F> {
+    t: F,
+    r: F,
+    p: F,
+    rsq: f64,
+    bref: f64,
+    iterations: usize,
+    residuals: Vec<f64>,
+    converged: bool,
+    applications: usize,
+    reductions: usize,
+}
+
+/// Capture the loop-carried state as a [`CgCheckpoint`]. Called only at
+/// iteration boundaries, where `(x, r, p, rsq)` is exactly the state the
+/// next iteration starts from.
+fn snapshot<Op: DiracOperator>(
+    op: &Op,
+    x: &Op::Field,
+    st: &CgLoopState<Op::Field>,
+) -> CgCheckpoint {
+    CgCheckpoint {
+        operator: op.name().to_string(),
+        iterations: st.iterations,
+        converged: st.converged,
+        rsq: st.rsq,
+        bref: st.bref,
+        residuals: st.residuals.clone(),
+        applications: st.applications,
+        reductions: st.reductions,
+        x: x.to_bits(),
+        r: st.r.to_bits(),
+        p: st.p.to_bits(),
+    }
+}
+
+/// The CG iteration: identical arithmetic and span sequence whether
+/// entered fresh or from a restored checkpoint. The checkpoint hook fires
+/// at iteration boundaries and only *reads* state, so an enabled interval
+/// cannot perturb a single bit of the recurrence.
+#[allow(clippy::too_many_arguments)]
+fn cg_loop<Op: DiracOperator>(
+    op: &Op,
+    x: &mut Op::Field,
+    st: &mut CgLoopState<Op::Field>,
+    params: CgParams,
+    telem: &mut NodeTelemetry,
+    costs: &SolverCosts,
+    checkpoint_interval: usize,
+    sink: &mut Vec<CgCheckpoint>,
+) {
+    while !st.converged && st.iterations < params.max_iterations {
+        // q = M†M p.
+        let apply = telem.begin();
+        op.apply(&mut st.t, &st.p);
+        let mut q = st.p.clone();
+        op.apply_dagger(&mut q, &st.t);
+        st.applications += 2;
+        telem.advance(2 * costs.apply_cycles);
+        telem.end_with(apply, "solver.apply", Phase::Compute, 2);
+
+        let reduce = telem.begin();
+        let pq = st.p.dot(&q).re;
+        st.reductions += 1;
+        telem.advance(costs.reduction_cycles);
+        telem.end_with(reduce, "solver.reduce", Phase::GlobalSum, 1);
+        if pq <= 0.0 {
+            // Operator lost positivity (numerically singular system).
+            break;
+        }
+        let linalg = telem.begin();
+        let alpha = st.rsq / pq;
+        x.axpy(C64::real(alpha), &st.p);
+        st.r.axpy(C64::real(-alpha), &q);
+        telem.advance(2 * costs.linalg_cycles);
+        telem.end_with(linalg, "solver.linalg", Phase::Compute, 2);
+
+        let reduce = telem.begin();
+        let new_rsq = st.r.norm_sqr();
+        st.reductions += 1;
+        telem.advance(costs.reduction_cycles);
+        telem.end_with(reduce, "solver.reduce", Phase::GlobalSum, 1);
+
+        st.iterations += 1;
+        let rel = (new_rsq / st.bref).sqrt();
+        st.residuals.push(rel);
+        st.converged = rel <= params.tolerance;
+
+        let linalg = telem.begin();
+        let beta = new_rsq / st.rsq;
+        st.p.xpay(C64::real(beta), &st.r);
+        st.rsq = new_rsq;
+        telem.advance(costs.linalg_cycles);
+        telem.end_with(linalg, "solver.linalg", Phase::Compute, 1);
+        telem.counter_add("solver_iterations", 1);
+
+        if checkpoint_interval > 0 && st.iterations % checkpoint_interval == 0 {
+            sink.push(snapshot(op, x, st));
+            telem.counter_add("solver_checkpoint_writes", 1);
+        }
+    }
+}
+
+/// Close out a solve: publish the end-of-run counters and assemble the
+/// report.
+fn cg_report<Op: DiracOperator>(
+    op: &Op,
+    st: CgLoopState<Op::Field>,
+    telem: &mut NodeTelemetry,
+) -> CgReport {
+    let final_residual = st
+        .residuals
+        .last()
+        .copied()
+        .unwrap_or((st.rsq / st.bref).sqrt());
+    telem.counter_add("solver_operator_applications", st.applications as u64);
+    telem.counter_add("solver_global_reductions", st.reductions as u64);
+    telem.gauge_set("solver_final_residual", final_residual);
+    telem.gauge_set("solver_converged", if st.converged { 1.0 } else { 0.0 });
+    CgReport {
+        operator: op.name().to_string(),
+        iterations: st.iterations,
+        converged: st.converged,
+        final_residual,
+        residuals: st.residuals,
+        operator_applications: st.applications,
+        global_reductions: st.reductions,
+    }
+}
+
+/// The full solver: setup phase, iteration loop with an optional
+/// checkpoint hook, report. Every public CG entry point lands here.
+#[allow(clippy::too_many_arguments)]
+fn solve_cgne_instrumented<Op: DiracOperator>(
+    op: &Op,
+    x: &mut Op::Field,
+    b: &Op::Field,
+    params: CgParams,
+    telem: &mut NodeTelemetry,
+    costs: &SolverCosts,
+    checkpoint_interval: usize,
+    sink: &mut Vec<CgCheckpoint>,
+) -> CgReport {
     let mut applications = 0usize;
     let mut reductions = 0usize;
 
@@ -302,76 +524,127 @@ pub fn solve_cgne_traced<Op: DiracOperator>(
     let bref = mdag_b.norm_sqr().max(f64::MIN_POSITIVE);
     reductions += 1;
 
-    let mut p = r.clone();
-    let mut rsq = r.norm_sqr();
+    let p = r.clone();
+    let rsq = r.norm_sqr();
     reductions += 1;
     telem.advance(2 * costs.reduction_cycles);
     telem.end_with(reduce, "solver.reduce", Phase::GlobalSum, 2);
 
-    let mut residuals = Vec::new();
-    let mut converged = (rsq / bref).sqrt() <= params.tolerance;
-    let mut iterations = 0usize;
-
-    while !converged && iterations < params.max_iterations {
-        // q = M†M p.
-        let apply = telem.begin();
-        op.apply(&mut t, &p);
-        let mut q = p.clone();
-        op.apply_dagger(&mut q, &t);
-        applications += 2;
-        telem.advance(2 * costs.apply_cycles);
-        telem.end_with(apply, "solver.apply", Phase::Compute, 2);
-
-        let reduce = telem.begin();
-        let pq = p.dot(&q).re;
-        reductions += 1;
-        telem.advance(costs.reduction_cycles);
-        telem.end_with(reduce, "solver.reduce", Phase::GlobalSum, 1);
-        if pq <= 0.0 {
-            // Operator lost positivity (numerically singular system).
-            break;
-        }
-        let linalg = telem.begin();
-        let alpha = rsq / pq;
-        x.axpy(C64::real(alpha), &p);
-        r.axpy(C64::real(-alpha), &q);
-        telem.advance(2 * costs.linalg_cycles);
-        telem.end_with(linalg, "solver.linalg", Phase::Compute, 2);
-
-        let reduce = telem.begin();
-        let new_rsq = r.norm_sqr();
-        reductions += 1;
-        telem.advance(costs.reduction_cycles);
-        telem.end_with(reduce, "solver.reduce", Phase::GlobalSum, 1);
-
-        iterations += 1;
-        let rel = (new_rsq / bref).sqrt();
-        residuals.push(rel);
-        converged = rel <= params.tolerance;
-
-        let linalg = telem.begin();
-        let beta = new_rsq / rsq;
-        p.xpay(C64::real(beta), &r);
-        rsq = new_rsq;
-        telem.advance(costs.linalg_cycles);
-        telem.end_with(linalg, "solver.linalg", Phase::Compute, 1);
-        telem.counter_add("solver_iterations", 1);
-    }
-
-    let final_residual = residuals.last().copied().unwrap_or((rsq / bref).sqrt());
-    telem.counter_add("solver_operator_applications", applications as u64);
-    telem.counter_add("solver_global_reductions", reductions as u64);
-    telem.gauge_set("solver_final_residual", final_residual);
-    telem.gauge_set("solver_converged", if converged { 1.0 } else { 0.0 });
-    CgReport {
-        operator: op.name().to_string(),
-        iterations,
+    let converged = (rsq / bref).sqrt() <= params.tolerance;
+    let mut st = CgLoopState {
+        t,
+        r,
+        p,
+        rsq,
+        bref,
+        iterations: 0,
+        residuals: Vec::new(),
         converged,
-        final_residual,
-        residuals,
-        operator_applications: applications,
-        global_reductions: reductions,
-    }
+        applications,
+        reductions,
+    };
+    cg_loop(
+        op,
+        x,
+        &mut st,
+        params,
+        telem,
+        costs,
+        checkpoint_interval,
+        sink,
+    );
+    cg_report(op, st, telem)
+}
+
+/// [`solve_cgne`] with periodic checkpointing: every `interval`-th
+/// iteration boundary pushes a [`CgCheckpoint`] into `sink` (`interval =
+/// 0` disables the hook entirely). The hook only reads solver state, so
+/// the solution, residual history, and report are **bit-identical** to an
+/// uncheckpointed solve.
+pub fn solve_cgne_checkpointed<Op: DiracOperator>(
+    op: &Op,
+    x: &mut Op::Field,
+    b: &Op::Field,
+    params: CgParams,
+    interval: usize,
+    sink: &mut Vec<CgCheckpoint>,
+) -> CgReport {
+    let mut telem = NodeTelemetry::disabled(0);
+    solve_cgne_instrumented(
+        op,
+        x,
+        b,
+        params,
+        &mut telem,
+        &SolverCosts::unit(),
+        interval,
+        sink,
+    )
+}
+
+/// Resume a solve from a checkpoint. `template` supplies the field shape
+/// (any field on the right lattice — its values are overwritten); the
+/// returned solution and report are **bit-identical** to those of a solve
+/// that ran uninterrupted: same residual history (checkpointed prefix +
+/// freshly computed tail), same totals, same solution bits.
+pub fn resume_cgne<Op: DiracOperator>(
+    op: &Op,
+    template: &Op::Field,
+    ckpt: &CgCheckpoint,
+    params: CgParams,
+) -> (Op::Field, CgReport) {
+    let mut telem = NodeTelemetry::disabled(0);
+    resume_cgne_traced(op, template, ckpt, params, &mut telem, &SolverCosts::unit())
+}
+
+/// [`resume_cgne`] with cycle-stamped tracing (the same span sequence the
+/// live loop emits).
+pub fn resume_cgne_traced<Op: DiracOperator>(
+    op: &Op,
+    template: &Op::Field,
+    ckpt: &CgCheckpoint,
+    params: CgParams,
+    telem: &mut NodeTelemetry,
+    costs: &SolverCosts,
+) -> (Op::Field, CgReport) {
+    assert_eq!(
+        ckpt.operator,
+        op.name(),
+        "checkpoint was taken under a different operator"
+    );
+    let mut x = template.clone();
+    x.load_bits(&ckpt.x);
+    let mut r = template.clone();
+    r.load_bits(&ckpt.r);
+    let mut p = template.clone();
+    p.load_bits(&ckpt.p);
+    let mut st = CgLoopState {
+        // The scratch vector is fully overwritten by the first operator
+        // application, so any same-shape field restores it.
+        t: template.clone(),
+        r,
+        p,
+        rsq: ckpt.rsq,
+        bref: ckpt.bref,
+        iterations: ckpt.iterations,
+        residuals: ckpt.residuals.clone(),
+        converged: ckpt.converged,
+        applications: ckpt.applications,
+        reductions: ckpt.reductions,
+    };
+    telem.counter_add("solver_checkpoint_restores", 1);
+    cg_loop(
+        op,
+        &mut x,
+        &mut st,
+        params,
+        telem,
+        costs,
+        0,
+        &mut Vec::new(),
+    );
+    let report = cg_report(op, st, telem);
+    (x, report)
 }
 
 #[cfg(test)]
@@ -526,6 +799,110 @@ mod tests {
             clock = s.end;
         }
         assert!(clock > 0);
+    }
+
+    #[test]
+    fn disabled_checkpointing_is_bit_identical() {
+        let gauge = GaugeField::hot(lat(), 120);
+        let op = WilsonDirac::new(&gauge, 0.12);
+        let b = FermionField::gaussian(lat(), 121);
+        let mut x1 = FermionField::zero(lat());
+        let plain = solve_cgne(&op, &mut x1, &b, CgParams::default());
+        let mut x2 = FermionField::zero(lat());
+        let mut sink = Vec::new();
+        let ckpt = solve_cgne_checkpointed(&op, &mut x2, &b, CgParams::default(), 0, &mut sink);
+        assert_eq!(x1.fingerprint(), x2.fingerprint());
+        assert_eq!(plain, ckpt);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical() {
+        let gauge = GaugeField::hot(lat(), 122);
+        let op = WilsonDirac::new(&gauge, 0.12);
+        let b = FermionField::gaussian(lat(), 123);
+
+        // Uninterrupted reference run.
+        let mut x_ref = FermionField::zero(lat());
+        let reference = solve_cgne(&op, &mut x_ref, &b, CgParams::default());
+        assert!(reference.iterations > 10, "need a nontrivial solve");
+
+        // Checkpointed run: enabling the hook must not change a bit.
+        let mut x_ck = FermionField::zero(lat());
+        let mut sink = Vec::new();
+        let ck_report =
+            solve_cgne_checkpointed(&op, &mut x_ck, &b, CgParams::default(), 5, &mut sink);
+        assert_eq!(x_ref.fingerprint(), x_ck.fingerprint());
+        assert_eq!(reference, ck_report);
+        assert!(sink.len() >= 2);
+
+        // Resume from a mid-run checkpoint (simulated crash after it was
+        // written) and from the byte round-trip of that checkpoint.
+        let mid = &sink[sink.len() / 2];
+        assert_eq!(mid.iterations % 5, 0);
+        let bytes = crate::checkpoint::write_checkpoint(mid);
+        let restored = crate::checkpoint::read_checkpoint(&bytes).unwrap();
+        assert_eq!(restored.digest(), mid.digest());
+        let template = FermionField::zero(lat());
+        let (x_res, res_report) = resume_cgne(&op, &template, &restored, CgParams::default());
+        assert_eq!(
+            x_ref.fingerprint(),
+            x_res.fingerprint(),
+            "resumed solution differs from the uninterrupted one"
+        );
+        assert_eq!(reference, res_report, "resumed report differs");
+        for (a, c) in reference.residuals.iter().zip(res_report.residuals.iter()) {
+            assert_eq!(a.to_bits(), c.to_bits(), "residual history diverged");
+        }
+    }
+
+    #[test]
+    fn resume_from_converged_checkpoint_is_a_no_op() {
+        let gauge = GaugeField::hot(lat(), 124);
+        let op = WilsonDirac::new(&gauge, 0.12);
+        let b = FermionField::gaussian(lat(), 125);
+        let mut x = FermionField::zero(lat());
+        let mut sink = Vec::new();
+        let report = solve_cgne_checkpointed(&op, &mut x, &b, CgParams::default(), 1, &mut sink);
+        let last = sink.last().unwrap();
+        assert!(last.converged);
+        let template = FermionField::zero(lat());
+        let (x_res, res_report) = resume_cgne(&op, &template, last, CgParams::default());
+        assert_eq!(x.fingerprint(), x_res.fingerprint());
+        assert_eq!(report, res_report);
+    }
+
+    #[test]
+    #[should_panic(expected = "different operator")]
+    fn resume_rejects_operator_mismatch() {
+        let gauge = GaugeField::hot(lat(), 126);
+        let op = WilsonDirac::new(&gauge, 0.12);
+        let b = FermionField::gaussian(lat(), 127);
+        let mut x = FermionField::zero(lat());
+        let mut sink = Vec::new();
+        solve_cgne_checkpointed(&op, &mut x, &b, CgParams::default(), 1, &mut sink);
+        let mut ckpt = sink.pop().unwrap();
+        ckpt.operator = "clover".into();
+        let template = FermionField::zero(lat());
+        let _ = resume_cgne(&op, &template, &ckpt, CgParams::default());
+    }
+
+    #[test]
+    fn checkpointing_works_for_dwf_fields() {
+        let small = Lattice::new([2, 2, 2, 4]);
+        let gauge = GaugeField::hot(small, 128);
+        let op = crate::dwf::DwfDirac::new(&gauge, 1.8, 0.1, 4);
+        let b = crate::dwf::DwfField::gaussian(small, 4, 129);
+        let mut x_ref = crate::dwf::DwfField::zero(small, 4);
+        let reference = solve_cgne(&op, &mut x_ref, &b, CgParams::default());
+        let mut x_ck = crate::dwf::DwfField::zero(small, 4);
+        let mut sink = Vec::new();
+        solve_cgne_checkpointed(&op, &mut x_ck, &b, CgParams::default(), 3, &mut sink);
+        let mid = &sink[0];
+        let template = crate::dwf::DwfField::zero(small, 4);
+        let (x_res, res_report) = resume_cgne(&op, &template, mid, CgParams::default());
+        assert_eq!(x_ref.to_bits(), x_res.to_bits());
+        assert_eq!(reference, res_report);
     }
 
     #[test]

@@ -114,6 +114,52 @@ proptest! {
     }
 
     #[test]
+    fn config_io_roundtrip_is_bit_exact(seed in 0u64..10_000) {
+        let lat = Lattice::new([2, 2, 2, 2]);
+        let g = GaugeField::hot(lat, seed);
+        let bytes = qcdoc_lattice::io::write_config(&g);
+        let back = qcdoc_lattice::io::read_config(&bytes).unwrap();
+        prop_assert_eq!(back.fingerprint(), g.fingerprint());
+    }
+
+    #[test]
+    fn config_io_never_accepts_a_flipped_payload_bit(
+        seed in 0u64..1_000,
+        word in 0usize..2 * 2 * 2 * 2 * 4 * 18,
+        bit in 0usize..64,
+    ) {
+        let lat = Lattice::new([2, 2, 2, 2]);
+        let g = GaugeField::hot(lat, seed);
+        let mut bytes = qcdoc_lattice::io::write_config(&g);
+        let payload_start = bytes.len() - 2 * 2 * 2 * 2 * 4 * 18 * 8;
+        bytes[payload_start + word * 8 + bit / 8] ^= 1 << (bit % 8);
+        // Whichever validator fires first (checksum, or plaquette for
+        // sum-preserving flips), corruption must never read back as Ok.
+        prop_assert!(qcdoc_lattice::io::read_config(&bytes).is_err());
+    }
+
+    #[test]
+    fn checkpoint_io_roundtrip_is_bit_exact(seed in 0u64..10_000, iters in 0usize..40) {
+        let ckpt = qcdoc_lattice::CgCheckpoint {
+            operator: "wilson".into(),
+            iterations: iters,
+            converged: iters % 2 == 0,
+            rsq: (seed as f64) * 1e-3 + 0.125,
+            bref: (seed as f64 + 1.0) * 0.5,
+            residuals: (0..iters).map(|i| 1.0 / (i as f64 + 2.0)).collect(),
+            applications: 3 + 2 * iters,
+            reductions: 2 + 2 * iters,
+            x: (0..24).map(|i| seed.wrapping_add(i)).collect(),
+            r: (0..24).map(|i| seed.wrapping_mul(3).wrapping_add(i)).collect(),
+            p: (0..24).map(|i| seed.wrapping_mul(7).wrapping_add(i)).collect(),
+        };
+        let bytes = qcdoc_lattice::checkpoint::write_checkpoint(&ckpt);
+        let back = qcdoc_lattice::checkpoint::read_checkpoint(&bytes).unwrap();
+        prop_assert_eq!(back.digest(), ckpt.digest());
+        prop_assert_eq!(back, ckpt);
+    }
+
+    #[test]
     fn site_rng_streams_do_not_collide(s1 in 0u64..100_000, s2 in 0u64..100_000) {
         prop_assume!(s1 != s2);
         let mut a = SiteRng::new(7, s1);

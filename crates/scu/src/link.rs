@@ -71,6 +71,69 @@ impl LinkChecksum {
     }
 }
 
+/// Retry discipline of one send unit: how many consecutive go-back-N
+/// rewinds it tolerates without forward progress, and how hard it backs
+/// off between volleys.
+///
+/// The real hardware resends forever — §2.2 sizes the parity-resend for
+/// error rates where a handful of rewinds per run is already pessimistic.
+/// A *broken* transmitter, though, corrupts every frame and turns the
+/// automatic resend into an infinite storm that the wedge watchdog cannot
+/// see (frames keep moving, so the link never looks idle). The retry
+/// policy bounds that: each rewind without an intervening acknowledgement
+/// doubles a hold-off (counted in pump rounds), and once `budget`
+/// consecutive rewinds pass without progress the unit declares itself
+/// dead and stops transmitting — the diagnostics-network escalation path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Consecutive no-progress rewinds tolerated before the link is dead.
+    pub budget: u32,
+    /// Hold-off after the first rewind, in pump rounds; doubles per
+    /// consecutive rewind. Zero disables backoff (hardware behaviour).
+    pub backoff_base: u32,
+    /// Ceiling on the hold-off, in pump rounds.
+    pub backoff_cap: u32,
+}
+
+impl RetryPolicy {
+    /// The hardware discipline: resend forever, immediately.
+    pub fn unlimited() -> RetryPolicy {
+        RetryPolicy {
+            budget: u32::MAX,
+            backoff_base: 0,
+            backoff_cap: 0,
+        }
+    }
+
+    /// A bounded discipline for machines that must escalate instead of
+    /// livelock.
+    pub fn bounded(budget: u32, backoff_base: u32, backoff_cap: u32) -> RetryPolicy {
+        RetryPolicy {
+            budget,
+            backoff_base,
+            backoff_cap,
+        }
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::unlimited()
+    }
+}
+
+/// The health of one send unit as judged by its retry policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinkVerdict {
+    /// No rewinds observed; the link is clean.
+    Healthy,
+    /// Rewinds happened but the link is still making progress.
+    Degraded,
+    /// The retry budget is exhausted; the unit has stopped transmitting
+    /// and the node must be quarantined.
+    Dead,
+}
+
 /// A frame on the simulated wire, tagged with its data-sequence number.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WireFrame {
@@ -130,6 +193,13 @@ pub struct SendUnit {
     checksum: LinkChecksum,
     sent_words: u64,
     resends: u64,
+    policy: RetryPolicy,
+    /// Consecutive rewinds since the last acknowledged word.
+    rewinds_since_progress: u32,
+    /// Pump rounds the unit still holds off before retransmitting.
+    backoff_remaining: u64,
+    backoff_waits: u64,
+    dead: bool,
 }
 
 impl Default for SendUnit {
@@ -152,7 +222,22 @@ impl SendUnit {
             checksum: LinkChecksum::default(),
             sent_words: 0,
             resends: 0,
+            policy: RetryPolicy::unlimited(),
+            rewinds_since_progress: 0,
+            backoff_remaining: 0,
+            backoff_waits: 0,
+            dead: false,
         }
+    }
+
+    /// Install a retry discipline (default: [`RetryPolicy::unlimited`]).
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.policy = policy;
+    }
+
+    /// The installed retry discipline.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.policy
     }
 
     /// Complete HSSL training.
@@ -194,6 +279,18 @@ impl SendUnit {
                 seq: u64::MAX, // not part of the data sequence
                 frame: Frame::encode(Packet::PartitionIrq(bits)),
             }));
+        }
+        // A dead unit has given up: the wire goes quiet, the wedge
+        // watchdog fires, and the health ledger carries the verdict.
+        if self.dead {
+            return Ok(None);
+        }
+        // Exponential backoff after a rewind: hold the wire for a number
+        // of pump rounds before the next volley.
+        if self.backoff_remaining > 0 {
+            self.backoff_remaining -= 1;
+            self.backoff_waits += 1;
+            return Ok(None);
         }
         // Retransmission of a window entry not currently in flight
         // (rewound by a reject).
@@ -237,19 +334,67 @@ impl SendUnit {
     /// sequence number makes the repeats harmless no-ops instead of
     /// popping a later, still-unacknowledged word off the window.
     pub fn on_ack(&mut self, seq: u64) {
+        let mut popped = false;
         while self.window.front().is_some_and(|&(s, _)| s <= seq) {
             self.window.pop_front();
             self.in_flight = self.in_flight.saturating_sub(1);
+            popped = true;
+        }
+        if popped {
+            // Forward progress: the retry budget and backoff reset.
+            self.rewinds_since_progress = 0;
+            self.backoff_remaining = 0;
         }
     }
 
     /// The neighbour rejected the word with sequence `seq` (corrupt frame):
     /// rewind so everything from `seq` on is retransmitted (go-back-N).
     pub fn on_reject(&mut self, seq: u64) {
-        let pos = self.window.iter().position(|&(s, _)| s == seq);
-        if let Some(pos) = pos {
-            self.in_flight = pos;
+        if self.dead {
+            return;
         }
+        if let Some(pos) = self.window.iter().position(|&(s, _)| s == seq) {
+            // Only an actual rewind charges the retry budget: a stale
+            // duplicate reject that finds the cursor already at (or
+            // before) `pos` changes nothing and costs nothing.
+            if pos < self.in_flight {
+                self.in_flight = pos;
+                self.register_rewind();
+            }
+        }
+    }
+
+    fn register_rewind(&mut self) {
+        self.rewinds_since_progress += 1;
+        if self.rewinds_since_progress > self.policy.budget {
+            self.dead = true;
+            self.backoff_remaining = 0;
+        } else if self.policy.backoff_base > 0 {
+            let shift = (self.rewinds_since_progress - 1).min(20);
+            let wait = (self.policy.backoff_base as u64) << shift;
+            self.backoff_remaining = wait.min(self.policy.backoff_cap as u64);
+        }
+    }
+
+    /// The retry policy's judgement of this unit.
+    pub fn verdict(&self) -> LinkVerdict {
+        if self.dead {
+            LinkVerdict::Dead
+        } else if self.resends > 0 || self.rewinds_since_progress > 0 {
+            LinkVerdict::Degraded
+        } else {
+            LinkVerdict::Healthy
+        }
+    }
+
+    /// Whether the retry budget is exhausted (the unit stopped sending).
+    pub fn retry_exhausted(&self) -> bool {
+        self.dead
+    }
+
+    /// Pump rounds spent holding the wire in backoff.
+    pub fn backoff_waits(&self) -> u64 {
+        self.backoff_waits
     }
 
     /// Whether the normal-data staging queue is empty.
@@ -859,6 +1004,249 @@ mod tests {
         let before = wf.clone();
         assert_eq!(tap.on_frame(3, &mut wf), WireVerdict::Deliver);
         assert_eq!(wf, before, "NullTap must not touch the frame");
+    }
+
+    /// Window bookkeeping must stay internally consistent after any
+    /// ack/reject sequence: the in-flight cursor can never pass the
+    /// window, and the window can never exceed the protocol limit.
+    fn assert_window_consistent(s: &SendUnit) {
+        assert!(s.in_flight <= s.window.len());
+        assert!(s.window.len() <= WINDOW);
+    }
+
+    #[test]
+    fn stale_ack_below_window_is_a_no_op() {
+        let (mut s, mut r) = trained_pair();
+        let mut m = mem();
+        r.arm(DmaDescriptor::contiguous(0x7000, 4), &mut m).unwrap();
+        for w in [1, 2, 3, 4] {
+            s.enqueue_word(w);
+        }
+        // Deliver and ack the first two words.
+        for _ in 0..2 {
+            let wf = s.next_frame().unwrap().unwrap();
+            assert_eq!(r.on_frame(&wf, &mut m).unwrap(), RecvOutcome::Accepted);
+            s.on_ack(wf.seq);
+        }
+        let before = s.window_len();
+        // Acks for long-gone sequence numbers change nothing.
+        s.on_ack(0);
+        s.on_ack(1);
+        assert_eq!(s.window_len(), before);
+        assert_window_consistent(&s);
+        pump(&mut s, &mut r, &mut m);
+        assert!(s.drained());
+        assert_eq!(m.read_block(0x7000, 4).unwrap(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn ack_beyond_window_drains_it_and_stays_consistent() {
+        let (mut s, _r) = trained_pair();
+        for w in [1, 2, 3] {
+            s.enqueue_word(w);
+        }
+        while s.next_frame().unwrap().is_some() {}
+        assert_eq!(s.window_len(), WINDOW);
+        // A (corrupt or misrouted) cumulative ack far past anything sent
+        // can only drain the window, never wrap or underflow it.
+        s.on_ack(u64::MAX - 1);
+        assert_eq!(s.window_len(), 0);
+        assert_window_consistent(&s);
+        // And a fresh word still flows normally afterwards.
+        s.enqueue_word(9);
+        let wf = s.next_frame().unwrap().unwrap();
+        assert_eq!(wf.seq, 3);
+    }
+
+    #[test]
+    fn reject_for_unknown_seq_is_a_no_op() {
+        let (mut s, _r) = trained_pair();
+        for w in [1, 2, 3] {
+            s.enqueue_word(w);
+        }
+        while s.next_frame().unwrap().is_some() {}
+        // Rejects for sequence numbers not in the window (already acked,
+        // never sent, or garbage) must not move the in-flight cursor.
+        s.on_reject(99);
+        s.on_reject(u64::MAX - 7);
+        assert!(s.next_frame().unwrap().is_none(), "no spurious resend");
+        assert_window_consistent(&s);
+    }
+
+    #[test]
+    fn duplicate_rejects_with_cursor_at_zero_do_not_charge_the_budget() {
+        // Two stale rejects for the same seq arrive back to back; only the
+        // first actually rewinds. With a budget of 1, the second must not
+        // kill the link.
+        let (mut s, _r) = trained_pair();
+        s.set_retry_policy(RetryPolicy::bounded(1, 0, 0));
+        for w in [1, 2, 3] {
+            s.enqueue_word(w);
+        }
+        while s.next_frame().unwrap().is_some() {}
+        s.on_reject(0);
+        s.on_reject(0); // cursor already at 0: no rewind, no charge
+        s.on_reject(0);
+        assert_eq!(s.verdict(), LinkVerdict::Degraded);
+        assert!(!s.retry_exhausted());
+        // The resend volley still goes out in full.
+        let volley: Vec<WireFrame> = std::iter::from_fn(|| s.next_frame().unwrap()).collect();
+        assert_eq!(volley.len(), WINDOW);
+        assert_window_consistent(&s);
+    }
+
+    #[test]
+    fn ack_progress_resets_the_retry_budget() {
+        let (mut s, mut r) = trained_pair();
+        s.set_retry_policy(RetryPolicy::bounded(2, 0, 0));
+        let mut m = mem();
+        r.arm(DmaDescriptor::contiguous(0x7100, 6), &mut m).unwrap();
+        for w in [1, 2, 3, 4, 5, 6] {
+            s.enqueue_word(w);
+        }
+        // Three separate corrupt-then-heal cycles: each burns one rewind,
+        // but the ack in between resets the budget, so the link survives
+        // more total rewinds than its consecutive budget.
+        for round in 0..3 {
+            let mut wf = s.next_frame().unwrap().unwrap();
+            wf.frame.corrupt_bit(17);
+            match r.on_frame(&wf, &mut m).unwrap() {
+                RecvOutcome::Rejected { seq } => s.on_reject(seq),
+                other => panic!("round {round}: expected reject, got {other:?}"),
+            }
+            let wf = s.next_frame().unwrap().unwrap();
+            assert_eq!(r.on_frame(&wf, &mut m).unwrap(), RecvOutcome::Accepted);
+            s.on_ack(wf.seq);
+            assert!(!s.retry_exhausted(), "round {round} must not kill the link");
+        }
+        pump(&mut s, &mut r, &mut m);
+        assert_eq!(m.read_block(0x7100, 6).unwrap(), vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(s.checksum(), r.checksum());
+    }
+
+    #[test]
+    fn exhausted_budget_kills_the_link_deterministically() {
+        let (mut s, mut r) = trained_pair();
+        s.set_retry_policy(RetryPolicy::bounded(4, 0, 0));
+        let mut m = mem();
+        r.arm(DmaDescriptor::contiguous(0x7200, 3), &mut m).unwrap();
+        for w in [1, 2, 3] {
+            s.enqueue_word(w);
+        }
+        // A broken transmitter: every frame arrives corrupt, every volley
+        // is rejected. Count frames until the sender gives up.
+        let mut frames = 0u64;
+        loop {
+            match s.next_frame().unwrap() {
+                Some(mut wf) => {
+                    frames += 1;
+                    wf.frame.corrupt_bit(11);
+                    if let RecvOutcome::Rejected { seq } = r.on_frame(&wf, &mut m).unwrap() {
+                        s.on_reject(seq);
+                    }
+                }
+                None => {
+                    if s.retry_exhausted() {
+                        break;
+                    }
+                    // Backoff disabled and window non-empty: None without
+                    // death would be a livelock bug.
+                    panic!("sender idle without exhausting its budget");
+                }
+            }
+            assert!(frames < 100, "resend storm must be bounded");
+        }
+        assert_eq!(s.verdict(), LinkVerdict::Dead);
+        // Budget 4 with a full window: the initial volley (3 frames), then
+        // 4 tolerated rewinds. Each rewind happens after the first frame of
+        // a volley is rejected, and frames 2,3 of the volley are rejected
+        // as gaps against the already-rewound cursor (no extra charge), so
+        // each rewind costs at most a window of frames.
+        assert!(frames <= 3 + 5 * WINDOW as u64);
+        // Dead means silent: no more frames, ever.
+        for _ in 0..8 {
+            assert!(s.next_frame().unwrap().is_none());
+        }
+        assert!(!s.drained(), "undelivered words remain — the run is lost");
+        assert_window_consistent(&s);
+    }
+
+    #[test]
+    fn backoff_holds_the_wire_and_doubles_per_rewind() {
+        let (mut s, _r) = trained_pair();
+        s.set_retry_policy(RetryPolicy::bounded(u32::MAX, 2, 16));
+        for w in [1, 2, 3] {
+            s.enqueue_word(w);
+        }
+        while s.next_frame().unwrap().is_some() {}
+        // First rewind: hold-off of 2 pump rounds before the resend.
+        s.on_reject(0);
+        assert!(s.next_frame().unwrap().is_none());
+        assert!(s.next_frame().unwrap().is_none());
+        let wf = s.next_frame().unwrap().expect("backoff expired");
+        assert_eq!(wf.seq, 0);
+        while s.next_frame().unwrap().is_some() {}
+        // Second consecutive rewind: hold-off doubles to 4.
+        s.on_reject(0);
+        for i in 0..4 {
+            assert!(s.next_frame().unwrap().is_none(), "round {i} still held");
+        }
+        assert!(s.next_frame().unwrap().is_some());
+        assert_eq!(s.backoff_waits(), 6);
+        // Third: capped at 16, not 8*... unbounded growth.
+        while s.next_frame().unwrap().is_some() {}
+        for _ in 0..10 {
+            s.on_reject(0);
+            while s.next_frame().unwrap().is_none() && !s.retry_exhausted() {}
+        }
+        assert!(s.backoff_waits() <= 6 + 10 * 16);
+    }
+
+    #[test]
+    fn default_policy_is_the_hardware_discipline() {
+        let s = SendUnit::new();
+        assert_eq!(s.retry_policy(), RetryPolicy::unlimited());
+        assert_eq!(s.verdict(), LinkVerdict::Healthy);
+        assert_eq!(s.backoff_waits(), 0);
+    }
+
+    #[test]
+    fn bounded_policy_still_heals_a_one_shot_error_bit_identically() {
+        // The acceptance property in miniature: with a bounded policy, a
+        // transient corruption heals exactly as under the unlimited one —
+        // same landed data, agreeing checksums, bounded resends per word.
+        let (mut s, mut r) = trained_pair();
+        s.set_retry_policy(RetryPolicy::bounded(8, 1, 64));
+        let mut m = mem();
+        r.arm(DmaDescriptor::contiguous(0x7300, 5), &mut m).unwrap();
+        for w in [10, 20, 30, 40, 50] {
+            s.enqueue_word(w);
+        }
+        let mut corrupted = false;
+        let mut rounds = 0;
+        while !s.drained() {
+            rounds += 1;
+            assert!(rounds < 200, "must terminate");
+            let Some(mut wf) = s.next_frame().unwrap() else {
+                continue; // backing off
+            };
+            if !corrupted && wf.seq == 2 {
+                wf.frame.corrupt_bit(29);
+                corrupted = true;
+            }
+            match r.on_frame(&wf, &mut m).unwrap() {
+                RecvOutcome::Accepted | RecvOutcome::Duplicate => s.on_ack(wf.seq),
+                RecvOutcome::Held => {}
+                RecvOutcome::Rejected { seq } => s.on_reject(seq),
+                _ => unreachable!(),
+            }
+        }
+        assert!(corrupted);
+        assert_eq!(m.read_block(0x7300, 5).unwrap(), vec![10, 20, 30, 40, 50]);
+        assert_eq!(s.checksum(), r.checksum());
+        assert_eq!(s.verdict(), LinkVerdict::Degraded);
+        // Go-back-N bounds: one error rewinds at most a window's worth.
+        assert!(s.resends() <= WINDOW as u64);
     }
 
     #[test]

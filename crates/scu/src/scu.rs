@@ -8,7 +8,7 @@
 //! [`WireMsg`]s between paired SCUs; everything protocol-level lives here.
 
 use crate::dma::{DmaDescriptor, DmaEngine, StoredInstructions};
-use crate::link::{LinkError, RecvOutcome, RecvUnit, SendUnit, WireFrame};
+use crate::link::{LinkError, RecvOutcome, RecvUnit, RetryPolicy, SendUnit, WireFrame};
 use qcdoc_asic::memory::NodeMemory;
 use std::collections::VecDeque;
 
@@ -88,6 +88,19 @@ impl Scu {
     /// Access the send unit of a direction (for statistics/checksums).
     pub fn send_unit(&self, link: usize) -> &SendUnit {
         &self.send[link]
+    }
+
+    /// Mutable access to the send unit of a direction (retry policy,
+    /// diagnostics).
+    pub fn send_unit_mut(&mut self, link: usize) -> &mut SendUnit {
+        &mut self.send[link]
+    }
+
+    /// Install one retry discipline on every send unit.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        for s in &mut self.send {
+            s.set_retry_policy(policy);
+        }
     }
 
     /// Access the receive unit of a direction.

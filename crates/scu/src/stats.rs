@@ -24,6 +24,10 @@ pub struct LinkStats {
     pub send_checksum: u64,
     /// End-of-run checksum over words received on this direction.
     pub recv_checksum: u64,
+    /// Pump rounds the send unit spent holding the wire in retry backoff.
+    pub backoff_waits: u64,
+    /// Whether the send unit exhausted its retry budget and went silent.
+    pub retry_exhausted: bool,
 }
 
 /// Snapshot of all 12 link directions of one node's SCU.
@@ -47,6 +51,8 @@ impl Scu {
                 rejects: r.rejects(),
                 send_checksum: s.checksum().value(),
                 recv_checksum: r.checksum().value(),
+                backoff_waits: s.backoff_waits(),
+                retry_exhausted: s.retry_exhausted(),
             };
         }
         stats
@@ -80,6 +86,14 @@ impl ScuStats {
             reg.gauge_set("scu_link_received_words", &labels, l.received_words as f64);
             reg.gauge_set("scu_link_resends", &labels, l.resends as f64);
             reg.gauge_set("scu_link_rejects", &labels, l.rejects as f64);
+            // Recovery-path series stay out of the registry on healthy
+            // links so the common case remains four series per link.
+            if l.backoff_waits > 0 {
+                reg.gauge_set("scu_link_backoff_waits", &labels, l.backoff_waits as f64);
+            }
+            if l.retry_exhausted {
+                reg.gauge_set("scu_link_retry_exhausted", &labels, 1.0);
+            }
         }
     }
 }
@@ -139,5 +153,19 @@ mod tests {
         assert_eq!(reg.gauge("scu_link_resends", &labels), Some(2.0));
         // Only link 3 was active: 4 series for it, nothing else.
         assert_eq!(reg.len(), 4);
+    }
+
+    #[test]
+    fn recovery_series_export_only_when_active() {
+        let mut stats = ScuStats::default();
+        stats.links[2].sent_words = 1;
+        stats.links[2].backoff_waits = 9;
+        stats.links[2].retry_exhausted = true;
+        let mut reg = MetricsRegistry::new();
+        stats.export_metrics(1, &mut reg);
+        let labels = [("node", "1".to_string()), ("link", "2".to_string())];
+        assert_eq!(reg.gauge("scu_link_backoff_waits", &labels), Some(9.0));
+        assert_eq!(reg.gauge("scu_link_retry_exhausted", &labels), Some(1.0));
+        assert_eq!(reg.len(), 6);
     }
 }

@@ -19,9 +19,17 @@
 //! ```
 
 use qcdoc::core::des::{run_traced, DesConfig, DesTelemetry};
+use qcdoc::core::distributed::{
+    assemble_checkpoint, resume_blocks, wilson_cg_segment, BlockGeom, CgResume, CgSegmentOut,
+};
+use qcdoc::core::functional::{FunctionalMachine, NodeCtx};
 use qcdoc::core::perf::DiracPerf;
+use qcdoc::core::recovery::{RecoveryConfig, Replacement, SegmentVerdict};
 use qcdoc::fault::{FaultEvent, FaultPlan};
+use qcdoc::geometry::TorusShape;
+use qcdoc::lattice::checkpoint::CgCheckpoint;
 use qcdoc::lattice::counts::Action;
+use qcdoc::lattice::field::{FermionField, GaugeField, Lattice};
 use qcdoc::telemetry::{summary_json, MetricsRegistry, RingSink, TraceSink};
 
 fn main() {
@@ -94,6 +102,8 @@ fn main() {
         );
     }
 
+    recovery_demo(&mut sweep);
+
     let json = summary_json(&sweep, &clean_spans);
     std::fs::write("BENCH_telemetry.json", &json).expect("write BENCH_telemetry.json");
     println!(
@@ -106,5 +116,119 @@ fn main() {
         "\nEach error rewinds the three-in-the-air window, so even a 1e-2 per-word\n\
          error rate on one wire barely moves machine throughput — while the same\n\
          sweep's health ledger pins every corrupted word to the guilty link."
+    );
+}
+
+/// One recovery segment of the distributed Wilson CG (fresh or restored
+/// from the last checkpoint), shared by every severity below.
+fn cg_segment(
+    ctx: &mut NodeCtx,
+    gauge: &GaugeField,
+    b: &FermionField,
+    global: Lattice,
+    state: &Option<CgCheckpoint>,
+) -> CgSegmentOut {
+    let geom = BlockGeom::new(ctx, global);
+    let lg = geom.extract_gauge(gauge);
+    let lb = geom.extract_fermion(b);
+    let resume_state = state.as_ref().map(|ck| (resume_blocks(&geom, ck), ck));
+    let resume = resume_state.as_ref().map(|((x, r, p), ck)| CgResume {
+        x,
+        r,
+        p,
+        rsq: ck.rsq,
+        bref: ck.bref,
+        iterations: ck.iterations,
+    });
+    wilson_cg_segment(ctx, &geom, &lg, &lb, 0.12, 1e-7, 400, resume, 5)
+}
+
+/// Recovered-vs-unrecovered runs across fault severities: a healthy
+/// machine, link noise the protocol heals in place, and a dead wire that
+/// needs quarantine-and-resume — plus the same dead wire with recovery
+/// disabled, which simply loses the run.
+fn recovery_demo(sweep: &mut MetricsRegistry) {
+    let global = Lattice::new([4, 4, 2, 2]);
+    let gauge = GaugeField::hot(global, 71);
+    let b = FermionField::gaussian(global, 72);
+    let noise = || {
+        FaultPlan::new(5)
+            .with_event(FaultEvent::bit_flip(1, 0, 40, 9))
+            .with_event(FaultEvent::bit_flip(2, 1, 90, 17))
+    };
+    let dead = || FaultPlan::new(5).with_event(FaultEvent::dead_link(1, 0, 120));
+    println!(
+        "\nSelf-healing runs (distributed Wilson CG, 4-node partition, 5-iteration\n\
+         segments; 'wasted' = discarded segments per useful one):\n"
+    );
+    println!(
+        "{:>22}  {:>8}  {:>10}  {:>9}  {:>9}",
+        "severity", "segments", "recoveries", "wasted", "outcome"
+    );
+    let cases = [
+        ("none", FaultPlan::default(), 4usize),
+        ("link-noise", noise(), 4),
+        ("dead-link", dead(), 4),
+        ("dead-link-unrecovered", dead(), 0),
+    ];
+    for (severity, plan, max_recoveries) in cases {
+        let machine = FunctionalMachine::new(TorusShape::new(&[2, 2]))
+            .with_faults(plan)
+            .with_wedge_timeout(5_000);
+        let mut prior: Vec<f64> = Vec::new();
+        let outcome = machine.run_with_recovery(
+            RecoveryConfig { max_recoveries },
+            None,
+            |ctx, state: &Option<CgCheckpoint>| cg_segment(ctx, &gauge, &b, global, state),
+            |shape, outs: Vec<CgSegmentOut>| {
+                let ckpt = assemble_checkpoint(shape, global, &outs, &prior);
+                prior = ckpt.residuals.clone();
+                if ckpt.converged {
+                    SegmentVerdict::Done(ckpt)
+                } else {
+                    SegmentVerdict::Continue(Some(ckpt))
+                }
+            },
+            // The operator's repair: swap the broken daughterboard, keep
+            // the machine shape.
+            |_| {
+                Some(Replacement {
+                    shape: TorusShape::new(&[2, 2]),
+                    faults: FaultPlan::default(),
+                    degraded: false,
+                })
+            },
+        );
+        let labels = [("severity", severity.to_string())];
+        let (segments, recoveries, converged) = match &outcome {
+            Ok((ckpt, report)) => (report.segments, report.recoveries, ckpt.converged),
+            Err(_) => (0, 0, false),
+        };
+        let wasted = if segments > 0 {
+            100.0 * recoveries as f64 / segments as f64
+        } else {
+            0.0
+        };
+        sweep.gauge_set("recovery_run_segments", &labels, segments as f64);
+        sweep.gauge_set("recovery_run_recoveries", &labels, recoveries as f64);
+        sweep.gauge_set("recovery_run_wasted_pct", &labels, wasted);
+        sweep.gauge_set(
+            "recovery_run_converged",
+            &labels,
+            if converged { 1.0 } else { 0.0 },
+        );
+        println!(
+            "{:>22}  {:>8}  {:>10}  {:>8.1}%  {:>9}",
+            severity,
+            segments,
+            recoveries,
+            wasted,
+            if converged { "converged" } else { "lost" },
+        );
+    }
+    println!(
+        "\nLink noise heals inside the protocol (no segments lost); a dead wire\n\
+         costs exactly the segments in flight when it died, and with recovery\n\
+         disabled the same fault loses the whole run."
     );
 }

@@ -22,4 +22,10 @@ cargo test -q -p qcdoc-telemetry --test determinism
 echo "== telemetry: overhead smoke (NullSink path < 5% on the Dslash hot loop)"
 cargo bench -p qcdoc-bench --bench telemetry_overhead
 
+echo "== recovery: quarantine-and-resume acceptance (bit-identical recovered solve)"
+cargo test -q --test recovery
+
+echo "== recovery: checkpoint overhead smoke (interval-0 CG within 5% of raw CG)"
+cargo bench -p qcdoc-bench --bench recovery_overhead
+
 echo "verify: all green"

@@ -98,6 +98,65 @@ fn decomposition_does_not_change_dslash_bits() {
 }
 
 #[test]
+fn checkpointed_solve_is_bit_identical_to_uninterrupted_solve() {
+    // The self-healing story leans on this: interrupting a CG solve at a
+    // checkpoint and resuming from the archived bits must not change a
+    // single bit of the answer, or a recovered campaign would silently
+    // diverge from an unrecovered one.
+    use qcdoc::lattice::checkpoint::{read_checkpoint, write_checkpoint, CgCheckpoint};
+    use qcdoc::lattice::solver::{resume_cgne, solve_cgne, solve_cgne_checkpointed, CgParams};
+    use qcdoc::lattice::wilson::WilsonDirac;
+
+    let lat = Lattice::new([4, 4, 4, 4]);
+    let gauge = GaugeField::hot(lat, 2004);
+    let b = FermionField::gaussian(lat, 10);
+    let params = CgParams {
+        tolerance: 1e-8,
+        max_iterations: 500,
+    };
+    let op = WilsonDirac::new(&gauge, 0.11);
+
+    let mut x_ref = FermionField::zero(lat);
+    let ref_report = solve_cgne(&op, &mut x_ref, &b, params);
+    assert!(ref_report.converged);
+
+    let mut x_ck = FermionField::zero(lat);
+    let mut sink: Vec<CgCheckpoint> = Vec::new();
+    let ck_report = solve_cgne_checkpointed(&op, &mut x_ck, &b, params, 4, &mut sink);
+    assert_eq!(
+        x_ref.fingerprint(),
+        x_ck.fingerprint(),
+        "writing checkpoints must not perturb the solve"
+    );
+    assert_eq!(ref_report.residuals, ck_report.residuals);
+    assert!(!sink.is_empty());
+
+    // Resume from an archived mid-solve checkpoint (through bytes, as a
+    // restart after a crash would) and land on the same bits.
+    let restored = read_checkpoint(&write_checkpoint(&sink[sink.len() / 2])).unwrap();
+    let (x_res, res_report) = resume_cgne(&op, &b, &restored, params);
+    assert_eq!(
+        x_ref.fingerprint(),
+        x_res.fingerprint(),
+        "resumed solution bits diverged"
+    );
+    assert_eq!(ref_report.iterations, res_report.iterations);
+    assert_eq!(
+        ref_report
+            .residuals
+            .iter()
+            .map(|r| r.to_bits())
+            .collect::<Vec<_>>(),
+        res_report
+            .residuals
+            .iter()
+            .map(|r| r.to_bits())
+            .collect::<Vec<_>>(),
+        "residual history diverged after resume"
+    );
+}
+
+#[test]
 fn link_checksums_agree_after_a_noisy_run() {
     // §2.2: "checksums at each end of the link are kept, so at the
     // conclusion of a calculation, these checksums can be compared."
