@@ -40,6 +40,47 @@ pub const DDR_MAX_SIZE: u64 = 2 * 1024 * 1024 * 1024;
 /// Word size in bytes (64-bit words everywhere: FPU and mesh transfers).
 pub const WORD_BYTES: u64 = 8;
 
+/// Storage width of floating-point data resident in node memory. The FPU
+/// always computes in 64-bit registers; fields may be *stored* at 32 bits
+/// to halve their footprint and streaming traffic — the basis of §4's
+/// single-precision benchmark figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FloatWidth {
+    /// 32-bit IEEE storage.
+    Single,
+    /// 64-bit IEEE storage.
+    Double,
+}
+
+impl FloatWidth {
+    /// Bytes per real number at this width.
+    pub const fn bytes(self) -> u64 {
+        match self {
+            FloatWidth::Single => 4,
+            FloatWidth::Double => 8,
+        }
+    }
+
+    /// Bytes per complex number at this width.
+    pub const fn complex_bytes(self) -> u64 {
+        2 * self.bytes()
+    }
+}
+
+/// Bytes occupied by `complexes` complex numbers stored at `width`.
+pub const fn complex_footprint(complexes: u64, width: FloatWidth) -> u64 {
+    complexes * width.complex_bytes()
+}
+
+/// Whether a working set of `bytes` fits the 4 MB on-chip EDRAM — the
+/// cliff between the 16 B/cycle prefetched port and the ~3× slower DDR
+/// path (§4's drop to ~30% of peak for large local volumes). Storing
+/// fields at [`FloatWidth::Single`] halves the footprint, so working sets
+/// that spill in double precision can stay on chip.
+pub const fn fits_edram(bytes: u64) -> bool {
+    bytes <= EDRAM_SIZE
+}
+
 const DDR_CHUNK_WORDS: usize = 128 * 1024; // 1 MB of u64 words
 
 /// Running access statistics, split by region.
@@ -343,6 +384,29 @@ mod tests {
         let words = vec![1, 2, 3, 4, 5];
         m.write_block(0x1000, &words).unwrap();
         assert_eq!(m.read_block(0x1000, 5).unwrap(), words);
+    }
+
+    #[test]
+    fn single_width_halves_the_footprint() {
+        assert_eq!(FloatWidth::Single.complex_bytes(), 8);
+        assert_eq!(FloatWidth::Double.complex_bytes(), 16);
+        let n = 1000;
+        assert_eq!(
+            2 * complex_footprint(n, FloatWidth::Single),
+            complex_footprint(n, FloatWidth::Double)
+        );
+    }
+
+    #[test]
+    fn edram_fit_cliff_moves_with_width() {
+        // A working set that spills at double precision fits at single:
+        // 300k complex numbers = 4.8 MB double, 2.4 MB single.
+        let complexes = 300_000;
+        assert!(!fits_edram(complex_footprint(
+            complexes,
+            FloatWidth::Double
+        )));
+        assert!(fits_edram(complex_footprint(complexes, FloatWidth::Single)));
     }
 
     #[test]

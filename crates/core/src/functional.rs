@@ -214,7 +214,7 @@ impl NodeCtx {
     ///
     /// A wire that has gone permanently silent (dead link, crashed
     /// neighbour) would leave this loop spinning forever; after
-    /// [`WEDGE_IDLE_SPINS`] idle rounds the node gives up, marks itself
+    /// `WEDGE_IDLE_SPINS` idle rounds the node gives up, marks itself
     /// wedged, and returns so the run can finish and report the failure
     /// through the health ledger instead of hanging.
     pub fn complete(&mut self, sends: &[Direction], recvs: &[Direction]) {

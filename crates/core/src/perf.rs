@@ -27,8 +27,7 @@
 use crate::config::MachineConfig;
 use qcdoc_asic::clock::Cycles;
 use qcdoc_asic::edram::PORT_BYTES_PER_CYCLE;
-use qcdoc_asic::memory::EDRAM_SIZE;
-use qcdoc_lattice::counts::{cg_linear_algebra_counts, operator_counts, Action};
+use qcdoc_lattice::counts::{cg_linear_algebra_counts_in, operator_counts_in, Action, Prec};
 use serde::{Deserialize, Serialize};
 
 /// Arithmetic precision of the solve. §4: "performance for single
@@ -43,11 +42,17 @@ pub enum Precision {
 }
 
 impl Precision {
-    fn byte_scale(self) -> f64 {
+    /// The storage width the byte ledgers are computed at.
+    pub fn counts_width(self) -> Prec {
         match self {
-            Precision::Double => 1.0,
-            Precision::Single => 0.5,
+            Precision::Double => Prec::Double,
+            Precision::Single => Prec::Single,
         }
+    }
+
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        self.counts_width().name()
     }
 }
 
@@ -167,9 +172,9 @@ impl DiracPerf {
     pub fn evaluate(&self, action: Action) -> EfficiencyReport {
         let cal = self.calibration;
         let sites = self.local_sites() as f64;
-        let op = operator_counts(action);
-        let la = cg_linear_algebra_counts(action);
-        let bscale = self.precision.byte_scale();
+        let width = self.precision.counts_width();
+        let op = operator_counts_in(action, width);
+        let la = cg_linear_algebra_counts_in(action, width);
         let clock = self.machine.node.clock;
 
         // --- FPU issue time (2 operator applications + linear algebra).
@@ -180,9 +185,9 @@ impl DiracPerf {
         // --- Local memory time.
         let bytes_per_site =
             2.0 * (op.read_bytes + op.write_bytes) as f64 + (la.read_bytes + la.write_bytes) as f64;
-        let bytes = sites * bytes_per_site * bscale;
-        let resident = (sites * op.resident_bytes as f64 * bscale) as u64;
-        let fits_edram = resident <= EDRAM_SIZE;
+        let bytes = sites * bytes_per_site;
+        let resident = sites as u64 * op.resident_bytes;
+        let fits_edram = qcdoc_asic::memory::fits_edram(resident);
         let (mem_cycles, mem_overlap) = if fits_edram {
             (bytes / PORT_BYTES_PER_CYCLE as f64, cal.mem_overlap_edram)
         } else {
@@ -203,8 +208,7 @@ impl DiracPerf {
                 continue; // neighbour is self: no off-node traffic
             }
             let face_sites = self.local_sites() / self.local_dims[axis] as u64;
-            let bytes_dir =
-                face_sites as f64 * op.face_bytes as f64 * op.halo_depth as f64 * bscale;
+            let bytes_dir = face_sites as f64 * op.face_bytes as f64 * op.halo_depth as f64;
             let words = (bytes_dir / 8.0).ceil() as u64;
             let t = self.machine.link.transfer_cycles(words).count() as f64;
             comm_cycles = comm_cycles.max(2.0 * t);
@@ -257,12 +261,11 @@ impl DiracPerf {
         let local_ls = ls / s_nodes as u32;
         let mut report = self.evaluate(Action::Dwf { ls: local_ls });
         if s_nodes > 1 {
-            // Add the s-axis face exchange: HALF_SPINOR bytes per 4-D site
-            // per sense per operator application.
-            let bscale = self.precision.byte_scale();
-            let bytes = self.local_sites() as f64
-                * qcdoc_lattice::counts::HALF_SPINOR_BYTES as f64
-                * bscale;
+            // Add the s-axis face exchange: one half-spinor (6 complex) per
+            // 4-D site per sense per operator application, at the model's
+            // storage width.
+            let half_spinor = 6 * self.precision.counts_width().complex_bytes();
+            let bytes = self.local_sites() as f64 * half_spinor as f64;
             let words = (bytes / 8.0).ceil() as u64;
             let t = 2.0 * self.machine.link.transfer_cycles(words).count() as f64;
             let comm = (report.comm_cycles as f64).max(t);
@@ -303,6 +306,48 @@ impl DiracPerf {
         .collect()
     }
 
+    /// Evaluate one action at both storage widths — same machine, same
+    /// calibration, only the byte ledgers change. Returns
+    /// `(double, single)`.
+    pub fn evaluate_both_precisions(&self, action: Action) -> (EfficiencyReport, EfficiencyReport) {
+        let mut model = self.clone();
+        model.precision = Precision::Double;
+        let dp = model.evaluate(action);
+        model.precision = Precision::Single;
+        let sp = model.evaluate(action);
+        (dp, sp)
+    }
+
+    /// Render the single- vs double-precision sustained-performance table —
+    /// §4's "performance for single precision is slightly higher" made
+    /// quantitative. One row per suite action: efficiency and sustained
+    /// Mflops per node at each width, plus the uplift.
+    pub fn render_precision_table(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "{:<10} {:>10} {:>10} {:>12} {:>12} {:>9}\n",
+            "action", "dp eff %", "sp eff %", "dp MF/node", "sp MF/node", "uplift"
+        ));
+        for action in [
+            Action::Wilson,
+            Action::Asqtad,
+            Action::Clover,
+            Action::Dwf { ls: 8 },
+        ] {
+            let (dp, sp) = self.evaluate_both_precisions(action);
+            s.push_str(&format!(
+                "{:<10} {:>10.1} {:>10.1} {:>12.0} {:>12.0} {:>8.1}%\n",
+                action.name(),
+                100.0 * dp.efficiency,
+                100.0 * sp.efficiency,
+                1000.0 * dp.sustained_gflops_per_node,
+                1000.0 * sp.sustained_gflops_per_node,
+                100.0 * (sp.efficiency - dp.efficiency),
+            ));
+        }
+        s
+    }
+
     /// Render the §4 benchmark table.
     pub fn render_table(&self) -> String {
         let mut s = String::new();
@@ -331,6 +376,14 @@ pub const PAPER_EFFICIENCIES: [(Action, f64); 3] = [
     (Action::Asqtad, 0.38),
     (Action::Clover, 0.465),
 ];
+
+/// §4 quotes no single-precision table — only that sustained performance
+/// "is slightly higher due to the decreased bandwidth to local memory".
+/// The regression band asserted by the paper-numbers tests: at the 4⁴
+/// benchmark volume the single-precision sustained fraction must exceed
+/// the double-precision one, by at most this many absolute efficiency
+/// points ("slightly", not dramatically — the kernels stay issue-bound).
+pub const PAPER_SINGLE_PRECISION_MAX_UPLIFT: f64 = 0.15;
 
 #[cfg(test)]
 mod tests {
@@ -377,12 +430,35 @@ mod tests {
 
     #[test]
     fn single_precision_is_slightly_higher() {
-        let mut perf = DiracPerf::paper_bench();
-        let dp = perf.evaluate(Action::Wilson).efficiency;
-        perf.precision = Precision::Single;
-        let sp = perf.evaluate(Action::Wilson).efficiency;
-        assert!(sp > dp, "single {sp:.3} must beat double {dp:.3}");
-        assert!(sp - dp < 0.15, "only *slightly* higher: {sp:.3} vs {dp:.3}");
+        let perf = DiracPerf::paper_bench();
+        for action in [Action::Wilson, Action::Asqtad, Action::Clover] {
+            let (dp, sp) = perf.evaluate_both_precisions(action);
+            assert!(
+                sp.efficiency > dp.efficiency,
+                "{}: single {:.3} must beat double {:.3}",
+                action.name(),
+                sp.efficiency,
+                dp.efficiency
+            );
+            assert!(
+                sp.efficiency - dp.efficiency < PAPER_SINGLE_PRECISION_MAX_UPLIFT,
+                "{}: only *slightly* higher: {:.3} vs {:.3}",
+                action.name(),
+                sp.efficiency,
+                dp.efficiency
+            );
+        }
+    }
+
+    #[test]
+    fn precision_table_lists_both_widths() {
+        let t = DiracPerf::paper_bench().render_precision_table();
+        for col in ["dp eff %", "sp eff %", "uplift"] {
+            assert!(t.contains(col), "{t}");
+        }
+        for name in ["wilson", "asqtad", "clover", "dwf"] {
+            assert!(t.contains(name), "{t}");
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! A [`PartitionSpec`] selects a sub-box of the physical torus and groups its
 //! axes into logical dimensions. Each group is folded into a ring with a
-//! [`FoldCycle`](crate::fold::FoldCycle), so the logical machine is itself a
+//! [`FoldCycle`], so the logical machine is itself a
 //! torus of rank 1..=6 whose nearest-neighbour hops are all physical
 //! nearest-neighbour hops (unit dilation). This is the software realisation
 //! of §2.2's "lower-dimensional partitions of the machine … without moving

@@ -9,26 +9,27 @@
 //! Hermitian 6×6 (spin⊗color) blocks per site, which is also how real
 //! clover codes store and apply it.
 
-use crate::complex::C64;
+use crate::complex::{Complex, C64};
 use crate::field::{FermionField, GaugeField, Lattice};
 use crate::gamma::sigma;
+use crate::real::Real;
 use crate::su3::Su3;
 use crate::wilson::WilsonDirac;
 
 /// One site's clover term: Hermitian 6×6 blocks for the two chiralities.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct CloverSite {
+pub struct CloverSite<T: Real = f64> {
     /// Upper-chirality block (spins 0, 1).
-    pub upper: [[C64; 6]; 6],
+    pub upper: [[Complex<T>; 6]; 6],
     /// Lower-chirality block (spins 2, 3).
-    pub lower: [[C64; 6]; 6],
+    pub lower: [[Complex<T>; 6]; 6],
 }
 
-impl CloverSite {
-    fn identity() -> CloverSite {
-        let mut b = [[C64::ZERO; 6]; 6];
+impl<T: Real> CloverSite<T> {
+    fn identity() -> CloverSite<T> {
+        let mut b = [[Complex::ZERO; 6]; 6];
         for (i, row) in b.iter_mut().enumerate() {
-            row[i] = C64::ONE;
+            row[i] = Complex::ONE;
         }
         CloverSite { upper: b, lower: b }
     }
@@ -37,7 +38,12 @@ impl CloverSite {
 /// The field-strength tensor at `x` in the (μ,ν) plane from the four
 /// clover leaves: `F = (Q − Q†)/8` with the trace removed, where `Q` is
 /// the sum of the four plaquette loops around `x`.
-pub fn clover_field_strength(gauge: &GaugeField, x: usize, mu: usize, nu: usize) -> Su3 {
+pub fn clover_field_strength<T: Real>(
+    gauge: &GaugeField<T>,
+    x: usize,
+    mu: usize,
+    nu: usize,
+) -> Su3<T> {
     let lat = gauge.lattice();
     let xpm = lat.neighbour(x, mu, true);
     let xpn = lat.neighbour(x, nu, true);
@@ -61,28 +67,32 @@ pub fn clover_field_strength(gauge: &GaugeField, x: usize, mu: usize, nu: usize)
     let q = q1 + q2 + q3 + q4;
     let anti = q - q.adjoint();
     // Remove the trace and scale by 1/8.
-    let tr = anti.trace() * (1.0 / 3.0);
-    let mut f = anti.scale(C64::real(0.125));
+    let tr = anti.trace() * T::from_f64(1.0 / 3.0);
+    let mut f = anti.scale(Complex::real(T::from_f64(0.125)));
     for d in 0..3 {
-        f.0[d][d] -= tr * 0.125;
+        f.0[d][d] -= tr * T::from_f64(0.125);
     }
     f
 }
 
 /// The clover Dirac operator with precomputed per-site clover blocks.
+///
+/// Generic over the [`Real`] scalar: at `f32` the clover blocks are built
+/// from the single-precision gauge field with the same operation sequence,
+/// so the term is a deterministic function of the truncated links.
 #[derive(Debug, Clone)]
-pub struct CloverDirac<'a> {
-    wilson: WilsonDirac<'a>,
-    terms: Vec<CloverSite>,
+pub struct CloverDirac<'a, T: Real = f64> {
+    wilson: WilsonDirac<'a, T>,
+    terms: Vec<CloverSite<T>>,
     csw: f64,
 }
 
-impl<'a> CloverDirac<'a> {
+impl<'a, T: Real> CloverDirac<'a, T> {
     /// Build with hopping parameter `kappa` and clover coefficient `csw`
     /// (tree level: 1.0).
-    pub fn new(gauge: &'a GaugeField, kappa: f64, csw: f64) -> CloverDirac<'a> {
+    pub fn new(gauge: &'a GaugeField<T>, kappa: f64, csw: f64) -> CloverDirac<'a, T> {
         let lat = gauge.lattice();
-        let coeff = csw * kappa * 0.5;
+        let coeff = T::from_f64(csw * kappa * 0.5);
         let mut terms = Vec::with_capacity(lat.volume());
         for x in lat.sites() {
             let mut site = CloverSite::identity();
@@ -100,9 +110,12 @@ impl<'a> CloverDirac<'a> {
                                     // Hermitian combination is sigma ⊗ (i F)
                                     // since sigma is Hermitian and iF is
                                     // Hermitian.
-                                    let v = s[s1][s2] * f.0[c1][c2].mul_i() * coeff;
+                                    let v =
+                                        Complex::from_c64(s[s1][s2]) * f.0[c1][c2].mul_i() * coeff;
                                     site.upper[3 * s1 + c1][3 * s2 + c2] += v;
-                                    let vl = s[s1 + 2][s2 + 2] * f.0[c1][c2].mul_i() * coeff;
+                                    let vl = Complex::from_c64(s[s1 + 2][s2 + 2])
+                                        * f.0[c1][c2].mul_i()
+                                        * coeff;
                                     site.lower[3 * s1 + c1][3 * s2 + c2] += vl;
                                 }
                             }
@@ -130,12 +143,12 @@ impl<'a> CloverDirac<'a> {
     }
 
     /// The per-site clover blocks (exposed for tests and ledgers).
-    pub fn site_term(&self, x: usize) -> &CloverSite {
+    pub fn site_term(&self, x: usize) -> &CloverSite<T> {
         &self.terms[x]
     }
 
     /// Apply the clover term alone: `out = A inp`.
-    pub fn apply_clover_term(&self, out: &mut FermionField, inp: &FermionField) {
+    pub fn apply_clover_term(&self, out: &mut FermionField<T>, inp: &FermionField<T>) {
         let lat = self.lattice();
         for x in lat.sites() {
             let t = &self.terms[x];
@@ -143,8 +156,8 @@ impl<'a> CloverDirac<'a> {
             let mut o = crate::spinor::Spinor::ZERO;
             for row in 0..6 {
                 let (rs, rc) = (row / 3, row % 3);
-                let mut up = C64::ZERO;
-                let mut lo = C64::ZERO;
+                let mut up = Complex::ZERO;
+                let mut lo = Complex::ZERO;
                 for col in 0..6 {
                     let (cs, cc) = (col / 3, col % 3);
                     up = up.madd(t.upper[row][col], s.0[cs].0[cc]);
@@ -158,7 +171,7 @@ impl<'a> CloverDirac<'a> {
     }
 
     /// Apply the full operator: `out = A inp − κ D inp`.
-    pub fn apply(&self, out: &mut FermionField, inp: &FermionField) {
+    pub fn apply(&self, out: &mut FermionField<T>, inp: &FermionField<T>) {
         let lat = self.lattice();
         let mut hop = FermionField::zero(lat);
         self.wilson.dslash(&mut hop, inp);
@@ -168,16 +181,16 @@ impl<'a> CloverDirac<'a> {
     }
 
     /// `M† = γ₅ M γ₅` (the clover term commutes with γ₅).
-    pub fn apply_dagger(&self, out: &mut FermionField, inp: &FermionField) {
+    pub fn apply_dagger(&self, out: &mut FermionField<T>, inp: &FermionField<T>) {
         let lat = self.lattice();
         let mut tmp = FermionField::zero(lat);
         for x in lat.sites() {
             *tmp.site_mut(x) = inp.site(x).apply_gamma5();
         }
-        let mut mid = FermionField::zero(lat);
-        self.apply(&mut mid, &tmp);
+        self.apply(out, &tmp);
         for x in lat.sites() {
-            *out.site_mut(x) = mid.site(x).apply_gamma5();
+            let g = out.site(x).apply_gamma5();
+            *out.site_mut(x) = g;
         }
     }
 }
@@ -192,7 +205,7 @@ mod tests {
 
     #[test]
     fn field_strength_vanishes_on_unit_links() {
-        let gauge = GaugeField::unit(lat());
+        let gauge: GaugeField = GaugeField::unit(lat());
         for mu in 0..4 {
             for nu in (mu + 1)..4 {
                 let f = clover_field_strength(&gauge, 0, mu, nu);

@@ -1,28 +1,29 @@
 //! Three-component complex color vectors — the fundamental representation
 //! of SU(3), and the per-site degree of freedom of staggered fermions.
 
-use crate::complex::C64;
+use crate::complex::Complex;
+use crate::real::Real;
 use serde::{Deserialize, Serialize};
 use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
 
-/// A color-3 vector.
+/// A color-3 vector over a [`Real`] component type (default `f64`).
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
-pub struct ColorVec(pub [C64; 3]);
+pub struct ColorVec<T: Real = f64>(pub [Complex<T>; 3]);
 
-impl ColorVec {
+impl<T: Real> ColorVec<T> {
     /// The zero vector.
-    pub const ZERO: ColorVec = ColorVec([C64::ZERO; 3]);
+    pub const ZERO: ColorVec<T> = ColorVec([Complex::ZERO; 3]);
 
     /// Basis vector `e_i`.
-    pub fn basis(i: usize) -> ColorVec {
+    pub fn basis(i: usize) -> ColorVec<T> {
         let mut v = ColorVec::ZERO;
-        v.0[i] = C64::ONE;
+        v.0[i] = Complex::ONE;
         v
     }
 
     /// Hermitian inner product `⟨self, rhs⟩ = Σ conj(self_i) rhs_i`.
-    pub fn dot(&self, rhs: &ColorVec) -> C64 {
-        let mut acc = C64::ZERO;
+    pub fn dot(&self, rhs: &ColorVec<T>) -> Complex<T> {
+        let mut acc = Complex::ZERO;
         for c in 0..3 {
             acc += self.0[c].conj() * rhs.0[c];
         }
@@ -30,28 +31,47 @@ impl ColorVec {
     }
 
     /// Squared L2 norm.
-    pub fn norm_sqr(&self) -> f64 {
-        self.0.iter().map(|z| z.norm_sqr()).sum()
+    pub fn norm_sqr(&self) -> T {
+        let mut acc = T::ZERO;
+        for z in &self.0 {
+            acc += z.norm_sqr();
+        }
+        acc
     }
 
     /// Scale by a complex factor.
-    pub fn scale(&self, s: C64) -> ColorVec {
+    pub fn scale(&self, s: Complex<T>) -> ColorVec<T> {
         ColorVec([self.0[0] * s, self.0[1] * s, self.0[2] * s])
     }
 
     /// `self + s * rhs`.
-    pub fn axpy(&self, s: C64, rhs: &ColorVec) -> ColorVec {
+    pub fn axpy(&self, s: Complex<T>, rhs: &ColorVec<T>) -> ColorVec<T> {
         ColorVec([
             self.0[0].madd(s, rhs.0[0]),
             self.0[1].madd(s, rhs.0[1]),
             self.0[2].madd(s, rhs.0[2]),
         ])
     }
+
+    /// Convert (truncate for `f32`, identity for `f64`) from double
+    /// precision.
+    pub fn from_c64_vec(v: &ColorVec<f64>) -> ColorVec<T> {
+        ColorVec([
+            Complex::from_c64(v.0[0]),
+            Complex::from_c64(v.0[1]),
+            Complex::from_c64(v.0[2]),
+        ])
+    }
+
+    /// Widen to double precision (exact for both supported widths).
+    pub fn to_c64_vec(&self) -> ColorVec<f64> {
+        ColorVec([self.0[0].to_c64(), self.0[1].to_c64(), self.0[2].to_c64()])
+    }
 }
 
-impl Add for ColorVec {
-    type Output = ColorVec;
-    fn add(self, rhs: ColorVec) -> ColorVec {
+impl<T: Real> Add for ColorVec<T> {
+    type Output = ColorVec<T>;
+    fn add(self, rhs: ColorVec<T>) -> ColorVec<T> {
         ColorVec([
             self.0[0] + rhs.0[0],
             self.0[1] + rhs.0[1],
@@ -60,17 +80,17 @@ impl Add for ColorVec {
     }
 }
 
-impl AddAssign for ColorVec {
-    fn add_assign(&mut self, rhs: ColorVec) {
+impl<T: Real> AddAssign for ColorVec<T> {
+    fn add_assign(&mut self, rhs: ColorVec<T>) {
         for c in 0..3 {
             self.0[c] += rhs.0[c];
         }
     }
 }
 
-impl Sub for ColorVec {
-    type Output = ColorVec;
-    fn sub(self, rhs: ColorVec) -> ColorVec {
+impl<T: Real> Sub for ColorVec<T> {
+    type Output = ColorVec<T>;
+    fn sub(self, rhs: ColorVec<T>) -> ColorVec<T> {
         ColorVec([
             self.0[0] - rhs.0[0],
             self.0[1] - rhs.0[1],
@@ -79,24 +99,24 @@ impl Sub for ColorVec {
     }
 }
 
-impl SubAssign for ColorVec {
-    fn sub_assign(&mut self, rhs: ColorVec) {
+impl<T: Real> SubAssign for ColorVec<T> {
+    fn sub_assign(&mut self, rhs: ColorVec<T>) {
         for c in 0..3 {
             self.0[c] -= rhs.0[c];
         }
     }
 }
 
-impl Neg for ColorVec {
-    type Output = ColorVec;
-    fn neg(self) -> ColorVec {
+impl<T: Real> Neg for ColorVec<T> {
+    type Output = ColorVec<T>;
+    fn neg(self) -> ColorVec<T> {
         ColorVec([-self.0[0], -self.0[1], -self.0[2]])
     }
 }
 
-impl Mul<f64> for ColorVec {
-    type Output = ColorVec;
-    fn mul(self, rhs: f64) -> ColorVec {
+impl<T: Real> Mul<T> for ColorVec<T> {
+    type Output = ColorVec<T>;
+    fn mul(self, rhs: T) -> ColorVec<T> {
         ColorVec([self.0[0] * rhs, self.0[1] * rhs, self.0[2] * rhs])
     }
 }
@@ -104,6 +124,7 @@ impl Mul<f64> for ColorVec {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::complex::C64;
 
     #[test]
     fn basis_orthonormal() {
@@ -141,5 +162,12 @@ mod tests {
         let r = a.axpy(s, &b);
         assert_eq!(r.0[0], C64::ONE);
         assert_eq!(r.0[1], C64::new(0.0, 2.0));
+    }
+
+    #[test]
+    fn precision_roundtrip() {
+        let a = ColorVec([C64::new(1.0, 2.0), C64::new(-0.5, 0.25), C64::ZERO]);
+        let lo: ColorVec<f32> = ColorVec::from_c64_vec(&a);
+        assert_eq!(lo.to_c64_vec(), a);
     }
 }

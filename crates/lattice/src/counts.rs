@@ -11,6 +11,38 @@ use serde::{Deserialize, Serialize};
 
 /// Size of one double-precision complex number in bytes.
 const CPLX: u64 = 16;
+
+/// Storage width of the complex numbers a kernel streams. Flop counts are
+/// width-independent; every byte ledger scales linearly with the complex
+/// size, which is how §4's "performance for single precision is slightly
+/// higher" arises — half the bandwidth to local memory for the same
+/// arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Prec {
+    /// 32-bit IEEE components: 8-byte complex numbers.
+    Single,
+    /// 64-bit IEEE components: 16-byte complex numbers (the paper's
+    /// quoted benchmark width).
+    Double,
+}
+
+impl Prec {
+    /// Bytes of one complex number at this width.
+    pub const fn complex_bytes(self) -> u64 {
+        match self {
+            Prec::Single => 8,
+            Prec::Double => 16,
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Prec::Single => "single",
+            Prec::Double => "double",
+        }
+    }
+}
 /// Bytes of an SU(3) matrix (9 complex).
 pub const SU3_BYTES: u64 = 9 * CPLX;
 /// Bytes of a 4-spinor (12 complex).
@@ -86,8 +118,22 @@ pub struct SiteCounts {
 /// Number of solver vectors CGNE keeps live (x, b, r, p, t, q).
 pub const CG_VECTORS: u64 = 6;
 
-/// Counts for one application of the operator `M` of `action`.
+/// Counts for one application of the operator `M` of `action`, at the
+/// paper's double-precision benchmark width. Shorthand for
+/// [`operator_counts_in`] with [`Prec::Double`].
 pub fn operator_counts(action: Action) -> SiteCounts {
+    operator_counts_in(action, Prec::Double)
+}
+
+/// Counts for one application of the operator `M` of `action` with data
+/// stored at width `prec`. The flop ledger is identical at both widths;
+/// every byte ledger scales with [`Prec::complex_bytes`].
+pub fn operator_counts_in(action: Action, prec: Prec) -> SiteCounts {
+    let cplx = prec.complex_bytes();
+    let su3 = 9 * cplx;
+    let spinor = 12 * cplx;
+    let half_spinor = 6 * cplx;
+    let colorvec = 3 * cplx;
     match action {
         Action::Wilson => SiteCounts {
             // 8 hops x (project 12 + SU(3)*halfspinor 132) + accumulate
@@ -95,25 +141,25 @@ pub fn operator_counts(action: Action) -> SiteCounts {
             flops: 1368,
             fmadds: 8 * 54 + 24, // the matvec FMA chains + axpy
             fops_single: 1368 - 2 * (8 * 54 + 24),
-            read_bytes: 8 * SU3_BYTES + 8 * SPINOR_BYTES + SPINOR_BYTES,
-            write_bytes: SPINOR_BYTES,
-            face_bytes: HALF_SPINOR_BYTES,
+            read_bytes: 8 * su3 + 8 * spinor + spinor,
+            write_bytes: spinor,
+            face_bytes: half_spinor,
             halo_depth: 1,
-            resident_bytes: 4 * SU3_BYTES + CG_VECTORS * SPINOR_BYTES,
+            resident_bytes: 4 * su3 + CG_VECTORS * spinor,
         },
         Action::Clover => {
-            let w = operator_counts(Action::Wilson);
+            let w = operator_counts_in(Action::Wilson, prec);
             SiteCounts {
                 // + two Hermitian 6x6 blocks applied: 2 x (36 cmul + 30
                 // cadd) = 552 flops; blocks read: 2 x 36 complex.
                 flops: w.flops + 552,
                 fmadds: w.fmadds + 2 * 36,
                 fops_single: w.fops_single + 552 - 2 * 2 * 36,
-                read_bytes: w.read_bytes + 2 * 36 * CPLX,
+                read_bytes: w.read_bytes + 2 * 36 * cplx,
                 write_bytes: w.write_bytes,
-                face_bytes: HALF_SPINOR_BYTES,
+                face_bytes: half_spinor,
                 halo_depth: 1,
-                resident_bytes: w.resident_bytes + 2 * 36 * CPLX,
+                resident_bytes: w.resident_bytes + 2 * 36 * cplx,
             }
         }
         Action::Staggered => SiteCounts {
@@ -121,11 +167,11 @@ pub fn operator_counts(action: Action) -> SiteCounts {
             flops: 8 * 66 + 7 * 6 + 12,
             fmadds: 8 * 27,
             fops_single: (8 * 66 + 7 * 6 + 12) - 2 * 8 * 27,
-            read_bytes: 8 * SU3_BYTES + 8 * COLORVEC_BYTES + COLORVEC_BYTES,
-            write_bytes: COLORVEC_BYTES,
-            face_bytes: COLORVEC_BYTES,
+            read_bytes: 8 * su3 + 8 * colorvec + colorvec,
+            write_bytes: colorvec,
+            face_bytes: colorvec,
             halo_depth: 1,
-            resident_bytes: 4 * SU3_BYTES + CG_VECTORS * COLORVEC_BYTES,
+            resident_bytes: 4 * su3 + CG_VECTORS * colorvec,
         },
         Action::Asqtad => SiteCounts {
             // 16 matvecs (8 fat + 8 Naik) x 66 + 15 x 6 + mass 12 = 1158.
@@ -133,16 +179,16 @@ pub fn operator_counts(action: Action) -> SiteCounts {
             fmadds: 16 * 27,
             fops_single: (16 * 66 + 15 * 6 + 12) - 2 * 16 * 27,
             // Fat + long links are distinct precomputed fields.
-            read_bytes: 16 * SU3_BYTES + 16 * COLORVEC_BYTES + COLORVEC_BYTES,
-            write_bytes: COLORVEC_BYTES,
-            face_bytes: COLORVEC_BYTES,
+            read_bytes: 16 * su3 + 16 * colorvec + colorvec,
+            write_bytes: colorvec,
+            face_bytes: colorvec,
             // The Naik term reaches three sites deep.
             halo_depth: 3,
-            resident_bytes: 8 * SU3_BYTES + CG_VECTORS * COLORVEC_BYTES,
+            resident_bytes: 8 * su3 + CG_VECTORS * colorvec,
         },
         Action::Dwf { ls } => {
             let ls = ls as u64;
-            let w = operator_counts(Action::Wilson);
+            let w = operator_counts_in(Action::Wilson, prec);
             SiteCounts {
                 // Per 4-D site: Ls x (4-D Wilson work + 5-D hops: two
                 // chiral projections and adds, 2 x 24, plus diagonal 24).
@@ -151,24 +197,33 @@ pub fn operator_counts(action: Action) -> SiteCounts {
                 fops_single: ls * (w.flops + 72) - 2 * ls * (w.fmadds + 12),
                 // Gauge links are shared across s-slices: read once per
                 // 4-D site; spinor traffic scales with Ls.
-                read_bytes: 8 * SU3_BYTES + ls * (9 * SPINOR_BYTES + SPINOR_BYTES),
-                write_bytes: ls * SPINOR_BYTES,
-                face_bytes: ls * HALF_SPINOR_BYTES,
+                read_bytes: 8 * su3 + ls * (9 * spinor + spinor),
+                write_bytes: ls * spinor,
+                face_bytes: ls * half_spinor,
                 halo_depth: 1,
-                resident_bytes: 4 * SU3_BYTES + ls * CG_VECTORS * SPINOR_BYTES,
+                resident_bytes: 4 * su3 + ls * CG_VECTORS * spinor,
             }
         }
     }
 }
 
 /// Per-site counts of the CGNE linear algebra between the two operator
-/// applications of one iteration: three axpy-type updates and two
-/// reductions on the action's field type.
+/// applications of one iteration, at the paper's double-precision width.
+/// Shorthand for [`cg_linear_algebra_counts_in`] with [`Prec::Double`].
 pub fn cg_linear_algebra_counts(action: Action) -> SiteCounts {
+    cg_linear_algebra_counts_in(action, Prec::Double)
+}
+
+/// Per-site counts of the CGNE linear algebra between the two operator
+/// applications of one iteration — three axpy-type updates and two
+/// reductions on the action's field type — with data stored at width
+/// `prec`.
+pub fn cg_linear_algebra_counts_in(action: Action, prec: Prec) -> SiteCounts {
+    let cplx = prec.complex_bytes();
     let (cplx_per_site, face) = match action {
-        Action::Wilson | Action::Clover => (12u64, HALF_SPINOR_BYTES),
-        Action::Staggered | Action::Asqtad => (3u64, COLORVEC_BYTES),
-        Action::Dwf { ls } => (12 * ls as u64, HALF_SPINOR_BYTES),
+        Action::Wilson | Action::Clover => (12u64, 6 * cplx),
+        Action::Staggered | Action::Asqtad => (3u64, 3 * cplx),
+        Action::Dwf { ls } => (12 * ls as u64, 6 * cplx),
     };
     // 3 axpy (8 flops per complex: 1 cmul + 1 cadd as 4 fmadds... counted
     // as 2 fmadds per complex) + 2 dot products (4 flops per complex).
@@ -179,8 +234,8 @@ pub fn cg_linear_algebra_counts(action: Action) -> SiteCounts {
         fmadds,
         fops_single: flops - 2 * fmadds,
         // axpy: read 2 vectors write 1; dots: read 2.
-        read_bytes: (3 * 2 + 2 * 2) * cplx_per_site * CPLX,
-        write_bytes: 3 * cplx_per_site * CPLX,
+        read_bytes: (3 * 2 + 2 * 2) * cplx_per_site * cplx,
+        write_bytes: 3 * cplx_per_site * cplx,
         face_bytes: face,
         halo_depth: 0,
         resident_bytes: 0,
@@ -271,6 +326,43 @@ mod tests {
             assert!(256 * per_site < EDRAM, "{a:?} at 4^4");
             assert!(1296 * per_site < EDRAM, "{a:?} at 6^4");
             assert!(4096 * per_site > EDRAM, "{a:?} at 8^4 must spill");
+        }
+    }
+
+    #[test]
+    fn single_precision_halves_bytes_and_keeps_flops() {
+        for a in [
+            Action::Wilson,
+            Action::Clover,
+            Action::Staggered,
+            Action::Asqtad,
+            Action::Dwf { ls: 8 },
+        ] {
+            let dp = operator_counts_in(a, Prec::Double);
+            let sp = operator_counts_in(a, Prec::Single);
+            assert_eq!(sp.flops, dp.flops, "{a:?} flops are width-independent");
+            assert_eq!(sp.fmadds, dp.fmadds);
+            assert_eq!(2 * sp.read_bytes, dp.read_bytes, "{a:?}");
+            assert_eq!(2 * sp.write_bytes, dp.write_bytes, "{a:?}");
+            assert_eq!(2 * sp.face_bytes, dp.face_bytes, "{a:?}");
+            assert_eq!(2 * sp.resident_bytes, dp.resident_bytes, "{a:?}");
+            assert_eq!(sp.halo_depth, dp.halo_depth);
+            let dl = cg_linear_algebra_counts_in(a, Prec::Double);
+            let sl = cg_linear_algebra_counts_in(a, Prec::Single);
+            assert_eq!(sl.flops, dl.flops);
+            assert_eq!(2 * sl.read_bytes, dl.read_bytes);
+            assert_eq!(2 * sl.write_bytes, dl.write_bytes);
+        }
+    }
+
+    #[test]
+    fn double_variants_match_legacy_entry_points() {
+        for a in [Action::Wilson, Action::Asqtad, Action::Dwf { ls: 8 }] {
+            assert_eq!(operator_counts(a), operator_counts_in(a, Prec::Double));
+            assert_eq!(
+                cg_linear_algebra_counts(a),
+                cg_linear_algebra_counts_in(a, Prec::Double)
+            );
         }
     }
 

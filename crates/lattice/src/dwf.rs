@@ -20,33 +20,25 @@
 //!
 //! `D† = Γ₅ D Γ₅` with `Γ₅ ψ_s = γ₅ ψ_{Ls−1−s}` (the 5-D reflection).
 
-use crate::complex::C64;
+use crate::complex::{Complex, C64};
 use crate::field::{FermionField, GaugeField, Lattice};
+use crate::real::Real;
 use crate::spinor::Spinor;
 use crate::wilson::WilsonDirac;
 use serde::{Deserialize, Serialize};
 
 /// A 5-D fermion field: `Ls` four-dimensional spinor fields.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct DwfField {
-    slices: Vec<FermionField>,
+pub struct DwfField<T: Real = f64> {
+    slices: Vec<FermionField<T>>,
 }
 
-impl DwfField {
+impl<T: Real> DwfField<T> {
     /// The zero field with `ls` slices.
-    pub fn zero(lat: Lattice, ls: usize) -> DwfField {
+    pub fn zero(lat: Lattice, ls: usize) -> DwfField<T> {
         assert!(ls >= 2, "domain walls need Ls >= 2");
         DwfField {
             slices: (0..ls).map(|_| FermionField::zero(lat)).collect(),
-        }
-    }
-
-    /// Gaussian random field, deterministic per (slice, site).
-    pub fn gaussian(lat: Lattice, ls: usize, seed: u64) -> DwfField {
-        DwfField {
-            slices: (0..ls)
-                .map(|s| FermionField::gaussian(lat, seed.wrapping_add(s as u64 * 0x9E37)))
-                .collect(),
         }
     }
 
@@ -61,17 +53,18 @@ impl DwfField {
     }
 
     /// Slice accessor.
-    pub fn slice(&self, s: usize) -> &FermionField {
+    pub fn slice(&self, s: usize) -> &FermionField<T> {
         &self.slices[s]
     }
 
     /// Mutable slice accessor.
-    pub fn slice_mut(&mut self, s: usize) -> &mut FermionField {
+    pub fn slice_mut(&mut self, s: usize) -> &mut FermionField<T> {
         &mut self.slices[s]
     }
 
-    /// Hermitian inner product over all slices, in slice-then-site order.
-    pub fn dot(&self, rhs: &DwfField) -> C64 {
+    /// Hermitian inner product over all slices, in slice-then-site order,
+    /// accumulated in double precision.
+    pub fn dot(&self, rhs: &DwfField<T>) -> C64 {
         assert_eq!(self.ls(), rhs.ls());
         let mut acc = C64::ZERO;
         for s in 0..self.ls() {
@@ -80,29 +73,56 @@ impl DwfField {
         acc
     }
 
-    /// Squared norm.
+    /// Squared norm, accumulated in double precision.
     pub fn norm_sqr(&self) -> f64 {
         self.slices.iter().map(|f| f.norm_sqr()).sum()
     }
 
     /// `self += a * rhs`.
-    pub fn axpy(&mut self, a: C64, rhs: &DwfField) {
+    pub fn axpy(&mut self, a: C64, rhs: &DwfField<T>) {
         for s in 0..self.ls() {
             self.slices[s].axpy(a, &rhs.slices[s]);
         }
     }
 
     /// `self = a * self + rhs`.
-    pub fn xpay(&mut self, a: C64, rhs: &DwfField) {
+    pub fn xpay(&mut self, a: C64, rhs: &DwfField<T>) {
         for s in 0..self.ls() {
             self.slices[s].xpay(a, &rhs.slices[s]);
         }
     }
 }
 
+impl DwfField {
+    /// Gaussian random field, deterministic per (slice, site).
+    pub fn gaussian(lat: Lattice, ls: usize, seed: u64) -> DwfField {
+        DwfField {
+            slices: (0..ls)
+                .map(|s| FermionField::gaussian(lat, seed.wrapping_add(s as u64 * 0x9E37)))
+                .collect(),
+        }
+    }
+
+    /// Truncate every slice to single precision.
+    pub fn to_f32(&self) -> DwfField<f32> {
+        DwfField {
+            slices: self.slices.iter().map(FermionField::to_f32).collect(),
+        }
+    }
+}
+
+impl DwfField<f32> {
+    /// Widen every slice to double precision (exact).
+    pub fn to_f64(&self) -> DwfField {
+        DwfField {
+            slices: self.slices.iter().map(FermionField::to_f64).collect(),
+        }
+    }
+}
+
 /// Chiral projection `P_± ψ = (1 ± γ₅)/2 ψ` — diagonal in the chiral
 /// basis: `P_+` keeps spins (0,1), `P_−` keeps spins (2,3).
-fn chiral_project(s: &Spinor, plus: bool) -> Spinor {
+fn chiral_project<T: Real>(s: &Spinor<T>, plus: bool) -> Spinor<T> {
     let mut out = Spinor::ZERO;
     if plus {
         out.0[0] = s.0[0];
@@ -115,9 +135,15 @@ fn chiral_project(s: &Spinor, plus: bool) -> Spinor {
 }
 
 /// The Shamir domain-wall operator.
+///
+/// Generic over the [`Real`] scalar; `m5`/`mf` stay double precision and
+/// are truncated at application time.
 #[derive(Debug, Clone)]
-pub struct DwfDirac<'a> {
-    gauge: &'a GaugeField,
+pub struct DwfDirac<'a, T: Real = f64> {
+    gauge: &'a GaugeField<T>,
+    /// The 4-D hopping term, built once so its neighbour table is shared
+    /// by every slice of every application (kappa is unused; dslash only).
+    wilson: WilsonDirac<'a, T>,
     /// Domain-wall height (0 < M5 < 2 for one physical mode).
     pub m5: f64,
     /// Physical quark mass coupling the walls.
@@ -126,39 +152,47 @@ pub struct DwfDirac<'a> {
     pub ls: usize,
 }
 
-impl<'a> DwfDirac<'a> {
+impl<'a, T: Real> DwfDirac<'a, T> {
     /// Build the operator.
-    pub fn new(gauge: &'a GaugeField, m5: f64, mf: f64, ls: usize) -> DwfDirac<'a> {
+    pub fn new(gauge: &'a GaugeField<T>, m5: f64, mf: f64, ls: usize) -> DwfDirac<'a, T> {
         assert!(ls >= 2);
-        DwfDirac { gauge, m5, mf, ls }
+        let wilson = WilsonDirac::new(gauge, 0.0);
+        DwfDirac {
+            gauge,
+            wilson,
+            m5,
+            mf,
+            ls,
+        }
     }
 
     /// Apply `D` to a 5-D field.
-    pub fn apply(&self, out: &mut DwfField, inp: &DwfField) {
+    pub fn apply(&self, out: &mut DwfField<T>, inp: &DwfField<T>) {
         assert_eq!(inp.ls(), self.ls);
         let lat = self.gauge.lattice();
         // 4-D part per slice: (4 - M5) psi_s - (1/2) Dslash_W psi_s, i.e. a
         // Wilson operator at negative mass. Reuse the Wilson hopping term.
-        let w = WilsonDirac::new(self.gauge, 0.0); // kappa unused; dslash only
-        let diag = 4.0 - self.m5 + 1.0; // Wilson diagonal + the 5-D "+1"
+        let diag = Complex::from_c64(C64::real(4.0 - self.m5 + 1.0)); // Wilson diagonal + the 5-D "+1"
+        let half = Complex::from_c64(C64::real(-0.5));
+        let mmf = Complex::from_c64(C64::real(-self.mf));
         let mut hop = FermionField::zero(lat);
         for s in 0..self.ls {
-            w.dslash(&mut hop, inp.slice(s));
+            self.wilson.dslash(&mut hop, inp.slice(s));
             let o = out.slice_mut(s);
             for x in lat.sites() {
                 // 4-D Wilson at mass −M5 plus the 5-D diagonal unit.
-                let mut acc = inp.slice(s).site(x).scale(C64::real(diag));
-                acc = acc.axpy(C64::real(-0.5), hop.site(x));
+                let mut acc = inp.slice(s).site(x).scale(diag);
+                acc = acc.axpy(half, hop.site(x));
                 // Fifth-dimension hopping with wall boundary conditions.
                 let up = if s + 1 < self.ls {
                     chiral_project(inp.slice(s + 1).site(x), false)
                 } else {
-                    chiral_project(inp.slice(0).site(x), false).scale(C64::real(-self.mf))
+                    chiral_project(inp.slice(0).site(x), false).scale(mmf)
                 };
                 let down = if s > 0 {
                     chiral_project(inp.slice(s - 1).site(x), true)
                 } else {
-                    chiral_project(inp.slice(self.ls - 1).site(x), true).scale(C64::real(-self.mf))
+                    chiral_project(inp.slice(self.ls - 1).site(x), true).scale(mmf)
                 };
                 acc = acc - up - down;
                 *o.site_mut(x) = acc;
@@ -167,7 +201,7 @@ impl<'a> DwfDirac<'a> {
     }
 
     /// `D† = Γ₅ D Γ₅` with the 5-D reflection `Γ₅ ψ_s = γ₅ ψ_{Ls−1−s}`.
-    pub fn apply_dagger(&self, out: &mut DwfField, inp: &DwfField) {
+    pub fn apply_dagger(&self, out: &mut DwfField<T>, inp: &DwfField<T>) {
         let lat = self.gauge.lattice();
         let mut tmp = DwfField::zero(lat, self.ls);
         gamma5_reflect(&mut tmp, inp);
@@ -178,7 +212,7 @@ impl<'a> DwfDirac<'a> {
 }
 
 /// `out_s = γ₅ in_{Ls−1−s}`.
-fn gamma5_reflect(out: &mut DwfField, inp: &DwfField) {
+fn gamma5_reflect<T: Real>(out: &mut DwfField<T>, inp: &DwfField<T>) {
     let ls = inp.ls();
     let lat = inp.lattice();
     for s in 0..ls {

@@ -1,7 +1,19 @@
 //! Lattice layouts and field containers.
+//!
+//! Field containers are generic over the [`Real`] scalar (default `f64`).
+//! Randomized constructors ([`GaugeField::hot`], [`FermionField::gaussian`],
+//! …) and fingerprints are double-precision-only: single-precision fields
+//! are produced by *truncating* a double-precision field (`to_f32`), which
+//! keeps the f32 stack a deterministic function of the f64 one.
+//!
+//! Cross-site reductions (`dot`, `norm_sqr`) accumulate in double precision
+//! at every width, in site order — the same deterministic global-sum
+//! discipline the QCDOC hardware tree enforces, and the property that lets
+//! the mixed-precision solver keep bit-reproducible residuals.
 
 use crate::colorvec::ColorVec;
-use crate::complex::C64;
+use crate::complex::{Complex, C64};
+use crate::real::Real;
 use crate::rng::SiteRng;
 use crate::spinor::Spinor;
 use crate::su3::Su3;
@@ -77,22 +89,103 @@ impl Lattice {
     }
 }
 
-/// An SU(3) gauge field: four directed links per site.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct GaugeField {
-    lat: Lattice,
-    links: Vec<[Su3; 4]>,
+/// Precomputed nearest-neighbour indices for every site of a [`Lattice`].
+///
+/// [`Lattice::neighbour`] recomputes the full coordinate (four div/mods)
+/// on every call; a Dirac operator makes eight such calls per site per
+/// application, which dominates the scalar kernels. Operators build one
+/// table at construction time and look hops up instead. The table stores
+/// exactly the values `Lattice::neighbour` returns, so kernels using it
+/// are bit-identical to ones calling `neighbour` directly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NeighbourTable {
+    hops: Vec<[usize; 8]>,
 }
 
-impl GaugeField {
+impl NeighbourTable {
+    /// Tabulate all eight hops (`2*mu + {0: forward, 1: backward}`) of
+    /// every site.
+    pub fn new(lat: Lattice) -> NeighbourTable {
+        let hops = lat
+            .sites()
+            .map(|x| {
+                let mut h = [0usize; 8];
+                for mu in 0..4 {
+                    h[2 * mu] = lat.neighbour(x, mu, true);
+                    h[2 * mu + 1] = lat.neighbour(x, mu, false);
+                }
+                h
+            })
+            .collect();
+        NeighbourTable { hops }
+    }
+
+    /// Forward neighbour of `x` along `mu` (= `lat.neighbour(x, mu, true)`).
+    #[inline(always)]
+    pub fn fwd(&self, x: usize, mu: usize) -> usize {
+        self.hops[x][2 * mu]
+    }
+
+    /// Backward neighbour of `x` along `mu` (= `lat.neighbour(x, mu, false)`).
+    #[inline(always)]
+    pub fn bwd(&self, x: usize, mu: usize) -> usize {
+        self.hops[x][2 * mu + 1]
+    }
+}
+
+/// An SU(3) gauge field: four directed links per site.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeField<T: Real = f64> {
+    lat: Lattice,
+    links: Vec<[Su3<T>; 4]>,
+}
+
+impl<T: Real> GaugeField<T> {
     /// The free (unit-link) configuration.
-    pub fn unit(lat: Lattice) -> GaugeField {
+    pub fn unit(lat: Lattice) -> GaugeField<T> {
         GaugeField {
             lat,
             links: vec![[Su3::IDENTITY; 4]; lat.volume()],
         }
     }
 
+    /// The lattice this field lives on.
+    pub fn lattice(&self) -> Lattice {
+        self.lat
+    }
+
+    /// Link `U_μ(x)`.
+    #[inline]
+    pub fn link(&self, site: usize, mu: usize) -> &Su3<T> {
+        &self.links[site][mu]
+    }
+
+    /// Mutable link access.
+    #[inline]
+    pub fn link_mut(&mut self, site: usize, mu: usize) -> &mut Su3<T> {
+        &mut self.links[site][mu]
+    }
+
+    /// Worst unitarity violation over all links.
+    pub fn max_unitarity_error(&self) -> f64 {
+        self.links
+            .iter()
+            .flat_map(|ls| ls.iter())
+            .map(|u| u.unitarity_error().to_f64())
+            .fold(0.0, f64::max)
+    }
+
+    /// Reunitarize every link in place.
+    pub fn reunitarize(&mut self) {
+        for ls in &mut self.links {
+            for u in ls.iter_mut() {
+                *u = u.reunitarize();
+            }
+        }
+    }
+}
+
+impl GaugeField {
     /// A "hot" start: links drawn independently and site-deterministically,
     /// then reunitarized — reproducible for any node decomposition.
     pub fn hot(lat: Lattice, seed: u64) -> GaugeField {
@@ -112,38 +205,22 @@ impl GaugeField {
         g
     }
 
-    /// The lattice this field lives on.
-    pub fn lattice(&self) -> Lattice {
-        self.lat
-    }
-
-    /// Link `U_μ(x)`.
-    #[inline]
-    pub fn link(&self, site: usize, mu: usize) -> &Su3 {
-        &self.links[site][mu]
-    }
-
-    /// Mutable link access.
-    #[inline]
-    pub fn link_mut(&mut self, site: usize, mu: usize) -> &mut Su3 {
-        &mut self.links[site][mu]
-    }
-
-    /// Worst unitarity violation over all links.
-    pub fn max_unitarity_error(&self) -> f64 {
-        self.links
-            .iter()
-            .flat_map(|ls| ls.iter())
-            .map(|u| u.unitarity_error())
-            .fold(0.0, f64::max)
-    }
-
-    /// Reunitarize every link in place.
-    pub fn reunitarize(&mut self) {
-        for ls in &mut self.links {
-            for u in ls.iter_mut() {
-                *u = u.reunitarize();
-            }
+    /// Truncate every link to single precision.
+    pub fn to_f32(&self) -> GaugeField<f32> {
+        GaugeField {
+            lat: self.lat,
+            links: self
+                .links
+                .iter()
+                .map(|ls| {
+                    [
+                        Su3::from_c64_mat(&ls[0]),
+                        Su3::from_c64_mat(&ls[1]),
+                        Su3::from_c64_mat(&ls[2]),
+                        Su3::from_c64_mat(&ls[3]),
+                    ]
+                })
+                .collect(),
         }
     }
 
@@ -169,20 +246,81 @@ impl GaugeField {
 
 /// A Wilson-type fermion field: one 4-spinor per site.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct FermionField {
+pub struct FermionField<T: Real = f64> {
     lat: Lattice,
-    data: Vec<Spinor>,
+    data: Vec<Spinor<T>>,
 }
 
-impl FermionField {
+impl<T: Real> FermionField<T> {
     /// The zero field.
-    pub fn zero(lat: Lattice) -> FermionField {
+    pub fn zero(lat: Lattice) -> FermionField<T> {
         FermionField {
             lat,
             data: vec![Spinor::ZERO; lat.volume()],
         }
     }
 
+    /// The lattice this field lives on.
+    pub fn lattice(&self) -> Lattice {
+        self.lat
+    }
+
+    /// Site accessor.
+    #[inline]
+    pub fn site(&self, idx: usize) -> &Spinor<T> {
+        &self.data[idx]
+    }
+
+    /// Mutable site accessor.
+    #[inline]
+    pub fn site_mut(&mut self, idx: usize) -> &mut Spinor<T> {
+        &mut self.data[idx]
+    }
+
+    /// Hermitian inner product, accumulated in double precision in site
+    /// order (deterministic at both widths).
+    pub fn dot(&self, rhs: &FermionField<T>) -> C64 {
+        assert_eq!(self.lat, rhs.lat);
+        let mut acc = C64::ZERO;
+        for i in self.lat.sites() {
+            acc += self.data[i].dot(&rhs.data[i]).to_c64();
+        }
+        acc
+    }
+
+    /// Squared L2 norm, accumulated in double precision.
+    pub fn norm_sqr(&self) -> f64 {
+        self.data.iter().map(|s| s.norm_sqr().to_f64()).sum()
+    }
+
+    /// `self += a * rhs`.
+    pub fn axpy(&mut self, a: C64, rhs: &FermionField<T>) {
+        assert_eq!(self.lat, rhs.lat);
+        let a = Complex::from_c64(a);
+        for i in self.lat.sites() {
+            self.data[i] = self.data[i].axpy(a, &rhs.data[i]);
+        }
+    }
+
+    /// `self = a * self + rhs` (the CG `p`-update shape).
+    pub fn xpay(&mut self, a: C64, rhs: &FermionField<T>) {
+        assert_eq!(self.lat, rhs.lat);
+        let a = Complex::from_c64(a);
+        for i in self.lat.sites() {
+            self.data[i] = rhs.data[i].axpy(a, &self.data[i]);
+        }
+    }
+
+    /// Scale in place.
+    pub fn scale(&mut self, a: C64) {
+        let a = Complex::from_c64(a);
+        for s in &mut self.data {
+            *s = s.scale(a);
+        }
+    }
+}
+
+impl FermionField {
     /// A Gaussian random field, site-deterministic.
     pub fn gaussian(lat: Lattice, seed: u64) -> FermionField {
         let mut f = FermionField::zero(lat);
@@ -204,58 +342,11 @@ impl FermionField {
         f
     }
 
-    /// The lattice this field lives on.
-    pub fn lattice(&self) -> Lattice {
-        self.lat
-    }
-
-    /// Site accessor.
-    #[inline]
-    pub fn site(&self, idx: usize) -> &Spinor {
-        &self.data[idx]
-    }
-
-    /// Mutable site accessor.
-    #[inline]
-    pub fn site_mut(&mut self, idx: usize) -> &mut Spinor {
-        &mut self.data[idx]
-    }
-
-    /// Hermitian inner product, accumulated in site order (deterministic).
-    pub fn dot(&self, rhs: &FermionField) -> C64 {
-        assert_eq!(self.lat, rhs.lat);
-        let mut acc = C64::ZERO;
-        for i in self.lat.sites() {
-            acc += self.data[i].dot(&rhs.data[i]);
-        }
-        acc
-    }
-
-    /// Squared L2 norm.
-    pub fn norm_sqr(&self) -> f64 {
-        self.data.iter().map(|s| s.norm_sqr()).sum()
-    }
-
-    /// `self += a * rhs`.
-    pub fn axpy(&mut self, a: C64, rhs: &FermionField) {
-        assert_eq!(self.lat, rhs.lat);
-        for i in self.lat.sites() {
-            self.data[i] = self.data[i].axpy(a, &rhs.data[i]);
-        }
-    }
-
-    /// `self = a * self + rhs` (the CG `p`-update shape).
-    pub fn xpay(&mut self, a: C64, rhs: &FermionField) {
-        assert_eq!(self.lat, rhs.lat);
-        for i in self.lat.sites() {
-            self.data[i] = rhs.data[i].axpy(a, &self.data[i]);
-        }
-    }
-
-    /// Scale in place.
-    pub fn scale(&mut self, a: C64) {
-        for s in &mut self.data {
-            *s = s.scale(a);
+    /// Truncate every site to single precision.
+    pub fn to_f32(&self) -> FermionField<f32> {
+        FermionField {
+            lat: self.lat,
+            data: self.data.iter().map(Spinor::from_f64_spinor).collect(),
         }
     }
 
@@ -276,22 +367,85 @@ impl FermionField {
     }
 }
 
-/// A staggered fermion field: one color vector per site.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct StaggeredField {
-    lat: Lattice,
-    data: Vec<ColorVec>,
+impl FermionField<f32> {
+    /// Widen every site to double precision (exact).
+    pub fn to_f64(&self) -> FermionField {
+        FermionField {
+            lat: self.lat,
+            data: self.data.iter().map(Spinor::to_f64_spinor).collect(),
+        }
+    }
 }
 
-impl StaggeredField {
+/// A staggered fermion field: one color vector per site.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StaggeredField<T: Real = f64> {
+    lat: Lattice,
+    data: Vec<ColorVec<T>>,
+}
+
+impl<T: Real> StaggeredField<T> {
     /// The zero field.
-    pub fn zero(lat: Lattice) -> StaggeredField {
+    pub fn zero(lat: Lattice) -> StaggeredField<T> {
         StaggeredField {
             lat,
             data: vec![ColorVec::ZERO; lat.volume()],
         }
     }
 
+    /// The lattice this field lives on.
+    pub fn lattice(&self) -> Lattice {
+        self.lat
+    }
+
+    /// Site accessor.
+    #[inline]
+    pub fn site(&self, idx: usize) -> &ColorVec<T> {
+        &self.data[idx]
+    }
+
+    /// Mutable site accessor.
+    #[inline]
+    pub fn site_mut(&mut self, idx: usize) -> &mut ColorVec<T> {
+        &mut self.data[idx]
+    }
+
+    /// Hermitian inner product, accumulated in double precision in site
+    /// order.
+    pub fn dot(&self, rhs: &StaggeredField<T>) -> C64 {
+        assert_eq!(self.lat, rhs.lat);
+        let mut acc = C64::ZERO;
+        for i in self.lat.sites() {
+            acc += self.data[i].dot(&rhs.data[i]).to_c64();
+        }
+        acc
+    }
+
+    /// Squared L2 norm, accumulated in double precision.
+    pub fn norm_sqr(&self) -> f64 {
+        self.data.iter().map(|s| s.norm_sqr().to_f64()).sum()
+    }
+
+    /// `self += a * rhs`.
+    pub fn axpy(&mut self, a: C64, rhs: &StaggeredField<T>) {
+        assert_eq!(self.lat, rhs.lat);
+        let a = Complex::from_c64(a);
+        for i in self.lat.sites() {
+            self.data[i] = self.data[i].axpy(a, &rhs.data[i]);
+        }
+    }
+
+    /// `self = a * self + rhs`.
+    pub fn xpay(&mut self, a: C64, rhs: &StaggeredField<T>) {
+        assert_eq!(self.lat, rhs.lat);
+        let a = Complex::from_c64(a);
+        for i in self.lat.sites() {
+            self.data[i] = rhs.data[i].axpy(a, &self.data[i]);
+        }
+    }
+}
+
+impl StaggeredField {
     /// A Gaussian random field, site-deterministic.
     pub fn gaussian(lat: Lattice, seed: u64) -> StaggeredField {
         let mut f = StaggeredField::zero(lat);
@@ -304,51 +458,21 @@ impl StaggeredField {
         f
     }
 
-    /// The lattice this field lives on.
-    pub fn lattice(&self) -> Lattice {
-        self.lat
-    }
-
-    /// Site accessor.
-    #[inline]
-    pub fn site(&self, idx: usize) -> &ColorVec {
-        &self.data[idx]
-    }
-
-    /// Mutable site accessor.
-    #[inline]
-    pub fn site_mut(&mut self, idx: usize) -> &mut ColorVec {
-        &mut self.data[idx]
-    }
-
-    /// Hermitian inner product in site order.
-    pub fn dot(&self, rhs: &StaggeredField) -> C64 {
-        assert_eq!(self.lat, rhs.lat);
-        let mut acc = C64::ZERO;
-        for i in self.lat.sites() {
-            acc += self.data[i].dot(&rhs.data[i]);
-        }
-        acc
-    }
-
-    /// Squared L2 norm.
-    pub fn norm_sqr(&self) -> f64 {
-        self.data.iter().map(|s| s.norm_sqr()).sum()
-    }
-
-    /// `self += a * rhs`.
-    pub fn axpy(&mut self, a: C64, rhs: &StaggeredField) {
-        assert_eq!(self.lat, rhs.lat);
-        for i in self.lat.sites() {
-            self.data[i] = self.data[i].axpy(a, &rhs.data[i]);
+    /// Truncate every site to single precision.
+    pub fn to_f32(&self) -> StaggeredField<f32> {
+        StaggeredField {
+            lat: self.lat,
+            data: self.data.iter().map(ColorVec::from_c64_vec).collect(),
         }
     }
+}
 
-    /// `self = a * self + rhs`.
-    pub fn xpay(&mut self, a: C64, rhs: &StaggeredField) {
-        assert_eq!(self.lat, rhs.lat);
-        for i in self.lat.sites() {
-            self.data[i] = rhs.data[i].axpy(a, &self.data[i]);
+impl StaggeredField<f32> {
+    /// Widen every site to double precision (exact).
+    pub fn to_f64(&self) -> StaggeredField {
+        StaggeredField {
+            lat: self.lat,
+            data: self.data.iter().map(ColorVec::to_c64_vec).collect(),
         }
     }
 }
@@ -457,5 +581,26 @@ mod tests {
         let mut c = a.clone();
         c.axpy(C64::real(-1.0), &a);
         assert!(c.norm_sqr() < 1e-20);
+    }
+
+    #[test]
+    fn precision_truncation_roundtrip() {
+        let lat = Lattice::new([2, 2, 2, 2]);
+        let a = FermionField::gaussian(lat, 9);
+        let lo = a.to_f32();
+        // Truncation loses bits, but widening back is exact on what's left.
+        let hi = lo.to_f64();
+        for i in lat.sites() {
+            for s in 0..4 {
+                for c in 0..3 {
+                    let orig = a.site(i).0[s].0[c];
+                    let back = hi.site(i).0[s].0[c];
+                    assert!((orig - back).abs() < 1e-6 * orig.abs().max(1.0));
+                }
+            }
+        }
+        let g = GaugeField::hot(lat, 10);
+        let g32 = g.to_f32();
+        assert!(g32.max_unitarity_error() < 1e-5);
     }
 }

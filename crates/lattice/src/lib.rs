@@ -26,6 +26,14 @@
 //!   idiom, the solver half of the machine's quarantine-and-resume story;
 //! * [`counts`] — closed-form per-site operation ledgers for each operator,
 //!   the input to the machine performance model.
+//!
+//! The whole stack is generic over the [`Real`] scalar width (`f64` by
+//! default, `f32` via [`real`]): fields, all four operators and the CG
+//! solver instantiate at either precision, and
+//! [`solver::solve_cgne_mixed`] combines them into the reliable-update
+//! scheme that reaches full double-precision tolerance with the bulk of
+//! the work in single precision — the §4 single-precision story, where
+//! halved operands double the effective EDRAM bandwidth.
 
 #![warn(missing_docs)]
 
@@ -42,6 +50,7 @@ pub mod gauge;
 pub mod io;
 pub mod measure;
 pub mod multishift;
+pub mod real;
 pub mod rng;
 pub mod solver;
 pub mod spinor;
@@ -50,7 +59,8 @@ pub mod su3;
 pub mod wilson;
 
 pub use checkpoint::CgCheckpoint;
-pub use complex::C64;
+pub use complex::{Complex, C32, C64};
 pub use field::{FermionField, GaugeField, Lattice};
+pub use real::Real;
 pub use solver::{CgReport, DiracOperator};
 pub use su3::Su3;

@@ -1,0 +1,158 @@
+//! The scalar abstraction behind the precision-generic lattice stack.
+//!
+//! Every algebraic type in this crate — [`crate::complex::Complex`],
+//! [`crate::colorvec::ColorVec`], [`crate::su3::Su3`],
+//! [`crate::spinor::Spinor`], the fields and the four Dirac operators — is
+//! generic over a [`Real`] scalar, with `f64` as the default type
+//! parameter so all pre-existing double-precision code compiles unchanged.
+//! `f32` instantiations give the single-precision kernels the paper's §4
+//! headline numbers assume (half the memory traffic, twice the sites per
+//! EDRAM byte); the mixed-precision solver in [`crate::solver`] pairs the
+//! two.
+//!
+//! The contract that keeps the repo's bit-reproducibility guarantees
+//! intact: for `f64`, [`Real::from_f64`] and [`Real::to_f64`] are the
+//! identity, so the generic code paths execute the exact operation
+//! sequence the previous concrete `f64` code did — same bits out.
+
+use std::fmt::{Debug, Display};
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A real scalar type the lattice algebra can be instantiated over.
+///
+/// Implemented for `f32` and `f64` only; the trait is sealed in spirit
+/// (nothing stops a third impl, but the precision model in
+/// [`crate::counts`] only knows these two widths).
+pub trait Real:
+    Copy
+    + Default
+    + PartialEq
+    + PartialOrd
+    + Debug
+    + Display
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Width of the scalar in bytes (4 or 8) — the quantity the
+    /// performance model threads through its byte ledgers.
+    const BYTES: u64;
+
+    /// Truncate (or pass through) a double-precision value.
+    /// **Identity for `f64`** — the bit-reproducibility anchor.
+    fn from_f64(v: f64) -> Self;
+    /// Widen (or pass through) to double precision. Exact for both
+    /// supported widths.
+    fn to_f64(self) -> f64;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// The value as 64 IEEE-754 bits: `to_bits` for `f64`, the exact
+    /// `f64` widening's bits for `f32`. Used by checkpoint serialization
+    /// so both precisions share one wire format.
+    fn bits64(self) -> u64;
+    /// Inverse of [`Real::bits64`]. Exact round-trip for values produced
+    /// by `bits64`.
+    fn from_bits64(bits: u64) -> Self;
+}
+
+impl Real for f64 {
+    const ZERO: f64 = 0.0;
+    const ONE: f64 = 1.0;
+    const BYTES: u64 = 8;
+
+    #[inline]
+    fn from_f64(v: f64) -> f64 {
+        v
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn sqrt(self) -> f64 {
+        f64::sqrt(self)
+    }
+    #[inline]
+    fn abs(self) -> f64 {
+        f64::abs(self)
+    }
+    #[inline]
+    fn bits64(self) -> u64 {
+        self.to_bits()
+    }
+    #[inline]
+    fn from_bits64(bits: u64) -> f64 {
+        f64::from_bits(bits)
+    }
+}
+
+impl Real for f32 {
+    const ZERO: f32 = 0.0;
+    const ONE: f32 = 1.0;
+    const BYTES: u64 = 4;
+
+    #[inline]
+    fn from_f64(v: f64) -> f32 {
+        v as f32
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        f64::from(self)
+    }
+    #[inline]
+    fn sqrt(self) -> f32 {
+        f32::sqrt(self)
+    }
+    #[inline]
+    fn abs(self) -> f32 {
+        f32::abs(self)
+    }
+    #[inline]
+    fn bits64(self) -> u64 {
+        f64::from(self).to_bits()
+    }
+    #[inline]
+    fn from_bits64(bits: u64) -> f32 {
+        f64::from_bits(bits) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_conversions_are_identity() {
+        for v in [0.0, -1.5, 1e300, f64::MIN_POSITIVE] {
+            assert_eq!(<f64 as Real>::from_f64(v).to_bits(), v.to_bits());
+            assert_eq!(Real::to_f64(v).to_bits(), v.to_bits());
+            assert_eq!(f64::from_bits64(v.bits64()).to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn f32_bits64_roundtrip_is_exact() {
+        for v in [0.0f32, -1.5, 3.0e38, f32::MIN_POSITIVE, 0.1] {
+            let back = f32::from_bits64(v.bits64());
+            assert_eq!(back.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn widths_match_the_ieee_formats() {
+        assert_eq!(<f64 as Real>::BYTES, 8);
+        assert_eq!(<f32 as Real>::BYTES, 4);
+    }
+}

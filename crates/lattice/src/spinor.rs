@@ -7,20 +7,26 @@
 //! the machine — only the half-spinor crosses the mesh to the neighbouring
 //! node. The projection/reconstruction identities follow from the
 //! permutation-phase structure of the gamma basis (see [`crate::gamma`]).
+//!
+//! Both types are generic over the [`Real`] scalar. The gamma tables stay
+//! double precision (their phases are 0, ±1, ±i — exactly representable at
+//! any width) and are converted per use via [`Complex::from_c64`], which is
+//! the identity for `f64`.
 
 use crate::colorvec::ColorVec;
-use crate::complex::C64;
+use crate::complex::Complex;
 use crate::gamma::{Gamma, GAMMA, GAMMA5};
+use crate::real::Real;
 use serde::{Deserialize, Serialize};
 use std::ops::{Add, AddAssign, Mul, Neg, Sub};
 
 /// A full 4-spinor: spin × color.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
-pub struct Spinor(pub [ColorVec; 4]);
+pub struct Spinor<T: Real = f64>(pub [ColorVec<T>; 4]);
 
 /// The two independent spin components of a projected spinor.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
-pub struct HalfSpinor(pub [ColorVec; 2]);
+pub struct HalfSpinor<T: Real = f64>(pub [ColorVec<T>; 2]);
 
 /// Projection sign: `(1 − γ_μ)` for hops in the +μ direction, `(1 + γ_μ)`
 /// for hops in −μ (Wilson convention).
@@ -32,13 +38,13 @@ pub enum ProjSign {
     Plus,
 }
 
-impl Spinor {
+impl<T: Real> Spinor<T> {
     /// The zero spinor.
-    pub const ZERO: Spinor = Spinor([ColorVec::ZERO; 4]);
+    pub const ZERO: Spinor<T> = Spinor([ColorVec::ZERO; 4]);
 
     /// Hermitian inner product.
-    pub fn dot(&self, rhs: &Spinor) -> C64 {
-        let mut acc = C64::ZERO;
+    pub fn dot(&self, rhs: &Spinor<T>) -> Complex<T> {
+        let mut acc = Complex::ZERO;
         for s in 0..4 {
             acc += self.0[s].dot(&rhs.0[s]);
         }
@@ -46,12 +52,16 @@ impl Spinor {
     }
 
     /// Squared norm.
-    pub fn norm_sqr(&self) -> f64 {
-        self.0.iter().map(|c| c.norm_sqr()).sum()
+    pub fn norm_sqr(&self) -> T {
+        let mut acc = T::ZERO;
+        for c in &self.0 {
+            acc += c.norm_sqr();
+        }
+        acc
     }
 
     /// Scale by a complex factor.
-    pub fn scale(&self, s: C64) -> Spinor {
+    pub fn scale(&self, s: Complex<T>) -> Spinor<T> {
         Spinor([
             self.0[0].scale(s),
             self.0[1].scale(s),
@@ -61,7 +71,7 @@ impl Spinor {
     }
 
     /// `self + a * rhs`.
-    pub fn axpy(&self, a: C64, rhs: &Spinor) -> Spinor {
+    pub fn axpy(&self, a: Complex<T>, rhs: &Spinor<T>) -> Spinor<T> {
         Spinor([
             self.0[0].axpy(a, &rhs.0[0]),
             self.0[1].axpy(a, &rhs.0[1]),
@@ -71,25 +81,25 @@ impl Spinor {
     }
 
     /// Apply a gamma matrix (sparse table form).
-    pub fn apply_gamma(&self, g: &Gamma) -> Spinor {
+    pub fn apply_gamma(&self, g: &Gamma) -> Spinor<T> {
         let mut out = Spinor::ZERO;
         for r in 0..4 {
-            out.0[r] = self.0[g.col[r]].scale(g.phase[r]);
+            out.0[r] = self.0[g.col[r]].scale(Complex::from_c64(g.phase[r]));
         }
         out
     }
 
     /// Apply γ_5.
-    pub fn apply_gamma5(&self) -> Spinor {
+    pub fn apply_gamma5(&self) -> Spinor<T> {
         self.apply_gamma(&GAMMA5)
     }
 
     /// Project `(1 ∓ γ_μ) ψ` down to its two independent spin components.
-    pub fn project(&self, mu: usize, sign: ProjSign) -> HalfSpinor {
+    pub fn project(&self, mu: usize, sign: ProjSign) -> HalfSpinor<T> {
         let g = &GAMMA[mu];
         let mut h = HalfSpinor::default();
         for s in 0..2 {
-            let gpart = self.0[g.col[s]].scale(g.phase[s]);
+            let gpart = self.0[g.col[s]].scale(Complex::from_c64(g.phase[s]));
             h.0[s] = match sign {
                 ProjSign::Minus => self.0[s] - gpart,
                 ProjSign::Plus => self.0[s] + gpart,
@@ -100,7 +110,7 @@ impl Spinor {
 
     /// Multiply each spin component of a half-spinor by `u`, then rebuild
     /// the full `(1 ∓ γ_μ)`-projected spinor.
-    pub fn reconstruct(h: &HalfSpinor, mu: usize, sign: ProjSign) -> Spinor {
+    pub fn reconstruct(h: &HalfSpinor<T>, mu: usize, sign: ProjSign) -> Spinor<T> {
         let g = &GAMMA[mu];
         let mut out = Spinor::ZERO;
         out.0[0] = h.0[0];
@@ -108,7 +118,7 @@ impl Spinor {
         for r in 2..4 {
             // Row r of (1 ∓ γ_μ)ψ equals ∓ phase[r] · h[col[r]]
             // (see the derivation in crate::gamma's docs/tests).
-            let src = h.0[g.col[r]].scale(g.phase[r]);
+            let src = h.0[g.col[r]].scale(Complex::from_c64(g.phase[r]));
             out.0[r] = match sign {
                 ProjSign::Minus => -src,
                 ProjSign::Plus => src,
@@ -116,27 +126,52 @@ impl Spinor {
         }
         out
     }
+
+    /// Convert (truncate for `f32`, identity for `f64`) from double
+    /// precision.
+    pub fn from_f64_spinor(s: &Spinor<f64>) -> Spinor<T> {
+        Spinor([
+            ColorVec::from_c64_vec(&s.0[0]),
+            ColorVec::from_c64_vec(&s.0[1]),
+            ColorVec::from_c64_vec(&s.0[2]),
+            ColorVec::from_c64_vec(&s.0[3]),
+        ])
+    }
+
+    /// Widen to double precision (exact for both supported widths).
+    pub fn to_f64_spinor(&self) -> Spinor<f64> {
+        Spinor([
+            self.0[0].to_c64_vec(),
+            self.0[1].to_c64_vec(),
+            self.0[2].to_c64_vec(),
+            self.0[3].to_c64_vec(),
+        ])
+    }
 }
 
-impl HalfSpinor {
+impl<T: Real> HalfSpinor<T> {
     /// Apply an SU(3) matrix to both spin components.
-    pub fn mul_su3(&self, u: &crate::su3::Su3) -> HalfSpinor {
-        HalfSpinor([u.mul_vec(&self.0[0]), u.mul_vec(&self.0[1])])
+    pub fn mul_su3(&self, u: &crate::su3::Su3<T>) -> HalfSpinor<T> {
+        let (a, b) = u.mul_vec2(&self.0[0], &self.0[1]);
+        HalfSpinor([a, b])
     }
 
     /// Apply the adjoint of an SU(3) matrix to both spin components.
-    pub fn adj_mul_su3(&self, u: &crate::su3::Su3) -> HalfSpinor {
-        HalfSpinor([u.adj_mul_vec(&self.0[0]), u.adj_mul_vec(&self.0[1])])
+    pub fn adj_mul_su3(&self, u: &crate::su3::Su3<T>) -> HalfSpinor<T> {
+        let (a, b) = u.adj_mul_vec2(&self.0[0], &self.0[1]);
+        HalfSpinor([a, b])
     }
 
     /// Flatten to 12 complex numbers (the wire format of a face exchange).
+    /// Values are carried as 64-bit IEEE words at both precisions so the
+    /// exchange format is width-independent.
     pub fn to_words(&self) -> [u64; 24] {
         let mut out = [0u64; 24];
         let mut k = 0;
         for s in 0..2 {
             for c in 0..3 {
-                out[k] = self.0[s].0[c].re.to_bits();
-                out[k + 1] = self.0[s].0[c].im.to_bits();
+                out[k] = self.0[s].0[c].re.bits64();
+                out[k + 1] = self.0[s].0[c].im.bits64();
                 k += 2;
             }
         }
@@ -144,12 +179,12 @@ impl HalfSpinor {
     }
 
     /// Inverse of [`HalfSpinor::to_words`].
-    pub fn from_words(words: &[u64; 24]) -> HalfSpinor {
+    pub fn from_words(words: &[u64; 24]) -> HalfSpinor<T> {
         let mut h = HalfSpinor::default();
         let mut k = 0;
         for s in 0..2 {
             for c in 0..3 {
-                h.0[s].0[c] = C64::new(f64::from_bits(words[k]), f64::from_bits(words[k + 1]));
+                h.0[s].0[c] = Complex::new(T::from_bits64(words[k]), T::from_bits64(words[k + 1]));
                 k += 2;
             }
         }
@@ -157,9 +192,9 @@ impl HalfSpinor {
     }
 }
 
-impl Add for Spinor {
-    type Output = Spinor;
-    fn add(self, rhs: Spinor) -> Spinor {
+impl<T: Real> Add for Spinor<T> {
+    type Output = Spinor<T>;
+    fn add(self, rhs: Spinor<T>) -> Spinor<T> {
         Spinor([
             self.0[0] + rhs.0[0],
             self.0[1] + rhs.0[1],
@@ -169,17 +204,17 @@ impl Add for Spinor {
     }
 }
 
-impl AddAssign for Spinor {
-    fn add_assign(&mut self, rhs: Spinor) {
+impl<T: Real> AddAssign for Spinor<T> {
+    fn add_assign(&mut self, rhs: Spinor<T>) {
         for s in 0..4 {
             self.0[s] += rhs.0[s];
         }
     }
 }
 
-impl Sub for Spinor {
-    type Output = Spinor;
-    fn sub(self, rhs: Spinor) -> Spinor {
+impl<T: Real> Sub for Spinor<T> {
+    type Output = Spinor<T>;
+    fn sub(self, rhs: Spinor<T>) -> Spinor<T> {
         Spinor([
             self.0[0] - rhs.0[0],
             self.0[1] - rhs.0[1],
@@ -189,16 +224,16 @@ impl Sub for Spinor {
     }
 }
 
-impl Neg for Spinor {
-    type Output = Spinor;
-    fn neg(self) -> Spinor {
+impl<T: Real> Neg for Spinor<T> {
+    type Output = Spinor<T>;
+    fn neg(self) -> Spinor<T> {
         Spinor([-self.0[0], -self.0[1], -self.0[2], -self.0[3]])
     }
 }
 
-impl Mul<f64> for Spinor {
-    type Output = Spinor;
-    fn mul(self, rhs: f64) -> Spinor {
+impl<T: Real> Mul<T> for Spinor<T> {
+    type Output = Spinor<T>;
+    fn mul(self, rhs: T) -> Spinor<T> {
         Spinor([
             self.0[0] * rhs,
             self.0[1] * rhs,
@@ -211,6 +246,7 @@ impl Mul<f64> for Spinor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::complex::C64;
     use crate::rng::SiteRng;
     use crate::su3::Su3;
 
@@ -318,7 +354,20 @@ mod tests {
     fn words_roundtrip_is_bit_exact() {
         let psi = random_spinor(23);
         let h = psi.project(2, ProjSign::Plus);
-        let back = HalfSpinor::from_words(&h.to_words());
+        let back: HalfSpinor = HalfSpinor::from_words(&h.to_words());
+        for s in 0..2 {
+            for c in 0..3 {
+                assert_eq!(h.0[s].0[c].re.to_bits(), back.0[s].0[c].re.to_bits());
+                assert_eq!(h.0[s].0[c].im.to_bits(), back.0[s].0[c].im.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn words_roundtrip_is_bit_exact_single_precision() {
+        let psi: Spinor<f32> = Spinor::from_f64_spinor(&random_spinor(29));
+        let h = psi.project(1, ProjSign::Minus);
+        let back: HalfSpinor<f32> = HalfSpinor::from_words(&h.to_words());
         for s in 0..2 {
             for c in 0..3 {
                 assert_eq!(h.0[s].0[c].re.to_bits(), back.0[s].0[c].re.to_bits());

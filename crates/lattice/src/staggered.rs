@@ -20,8 +20,9 @@
 //! independently (see `crate::counts`). This substitution is recorded in
 //! DESIGN.md.
 
-use crate::complex::C64;
-use crate::field::{GaugeField, Lattice, StaggeredField};
+use crate::complex::{Complex, C64};
+use crate::field::{GaugeField, Lattice, NeighbourTable, StaggeredField};
+use crate::real::Real;
 use crate::su3::Su3;
 
 /// The Kawamoto–Smit staggered phase `η_μ(x)`.
@@ -35,29 +36,34 @@ pub fn eta(coord: [usize; 4], mu: usize) -> f64 {
 }
 
 /// The naive (thin-link) staggered operator `M = m + D`.
+///
+/// Generic over the [`Real`] scalar; the bare mass stays double precision
+/// and is truncated at application time.
 #[derive(Debug, Clone)]
-pub struct StaggeredDirac<'a> {
-    gauge: &'a GaugeField,
+pub struct StaggeredDirac<'a, T: Real = f64> {
+    gauge: &'a GaugeField<T>,
     mass: f64,
+    hops: NeighbourTable,
 }
 
-impl<'a> StaggeredDirac<'a> {
+impl<'a, T: Real> StaggeredDirac<'a, T> {
     /// Build with bare mass `m > 0`.
-    pub fn new(gauge: &'a GaugeField, mass: f64) -> StaggeredDirac<'a> {
-        StaggeredDirac { gauge, mass }
+    pub fn new(gauge: &'a GaugeField<T>, mass: f64) -> StaggeredDirac<'a, T> {
+        let hops = NeighbourTable::new(gauge.lattice());
+        StaggeredDirac { gauge, mass, hops }
     }
 
     /// The anti-Hermitian hopping term `D`.
-    pub fn dslash(&self, out: &mut StaggeredField, inp: &StaggeredField) {
+    pub fn dslash(&self, out: &mut StaggeredField<T>, inp: &StaggeredField<T>) {
         let lat = self.gauge.lattice();
         for x in lat.sites() {
             let cx = lat.coord(x);
             let mut acc = crate::colorvec::ColorVec::ZERO;
             for mu in 0..4 {
-                let phase = eta(cx, mu) * 0.5;
-                let xf = lat.neighbour(x, mu, true);
+                let phase = T::from_f64(eta(cx, mu) * 0.5);
+                let xf = self.hops.fwd(x, mu);
                 acc += self.gauge.link(x, mu).mul_vec(inp.site(xf)) * phase;
-                let xb = lat.neighbour(x, mu, false);
+                let xb = self.hops.bwd(x, mu);
                 acc -= self.gauge.link(xb, mu).adj_mul_vec(inp.site(xb)) * phase;
             }
             *out.site_mut(x) = acc;
@@ -65,21 +71,23 @@ impl<'a> StaggeredDirac<'a> {
     }
 
     /// `out = (m + D) inp`.
-    pub fn apply(&self, out: &mut StaggeredField, inp: &StaggeredField) {
+    pub fn apply(&self, out: &mut StaggeredField<T>, inp: &StaggeredField<T>) {
         self.dslash(out, inp);
         let lat = inp.lattice();
+        let m = Complex::from_c64(C64::real(self.mass));
         for x in lat.sites() {
-            *out.site_mut(x) = out.site(x).axpy(C64::real(self.mass), inp.site(x));
+            *out.site_mut(x) = out.site(x).axpy(m, inp.site(x));
         }
     }
 
     /// `M† = m − D` (D is anti-Hermitian).
-    pub fn apply_dagger(&self, out: &mut StaggeredField, inp: &StaggeredField) {
+    pub fn apply_dagger(&self, out: &mut StaggeredField<T>, inp: &StaggeredField<T>) {
         self.dslash(out, inp);
         let lat = inp.lattice();
+        let m = Complex::from_c64(C64::real(self.mass));
         for x in lat.sites() {
             let d = *out.site(x);
-            *out.site_mut(x) = (-d).axpy(C64::real(self.mass), inp.site(x));
+            *out.site_mut(x) = (-d).axpy(m, inp.site(x));
         }
     }
 }
@@ -111,23 +119,26 @@ impl Default for AsqtadCoeffs {
 
 /// Precomputed fat and Naik links for the ASQTAD operator.
 #[derive(Debug, Clone)]
-pub struct AsqtadLinks {
+pub struct AsqtadLinks<T: Real = f64> {
     lat: Lattice,
     /// Fattened one-hop links.
-    pub fat: Vec<[Su3; 4]>,
+    pub fat: Vec<[Su3<T>; 4]>,
     /// Three-hop (Naik) links: `U_μ(x) U_μ(x+μ̂) U_μ(x+2μ̂)`.
-    pub long: Vec<[Su3; 4]>,
+    pub long: Vec<[Su3<T>; 4]>,
 }
 
-impl AsqtadLinks {
+impl<T: Real> AsqtadLinks<T> {
     /// Fatten a gauge field.
-    pub fn new(gauge: &GaugeField, coeffs: AsqtadCoeffs) -> AsqtadLinks {
+    pub fn new(gauge: &GaugeField<T>, coeffs: AsqtadCoeffs) -> AsqtadLinks<T> {
         let lat = gauge.lattice();
         let mut fat = vec![[Su3::ZERO; 4]; lat.volume()];
         let mut long = vec![[Su3::ZERO; 4]; lat.volume()];
+        let one_link = Complex::from_c64(C64::real(coeffs.one_link));
+        let staple3 = Complex::from_c64(C64::real(coeffs.staple3));
+        let naik = Complex::from_c64(C64::real(coeffs.naik));
         for x in lat.sites() {
             for mu in 0..4 {
-                let mut f = gauge.link(x, mu).scale(C64::real(coeffs.one_link));
+                let mut f = gauge.link(x, mu).scale(one_link);
                 for nu in 0..4 {
                     if nu == mu {
                         continue;
@@ -143,14 +154,14 @@ impl AsqtadLinks {
                     let down = gauge.link(xmn, nu).adjoint()
                         * *gauge.link(xmn, mu)
                         * *gauge.link(xmn_pm, nu);
-                    f = f + (up + down).scale(C64::real(coeffs.staple3));
+                    f = f + (up + down).scale(staple3);
                 }
                 fat[x][mu] = f;
                 // Naik link.
                 let x1 = lat.neighbour(x, mu, true);
                 let x2 = lat.neighbour(x1, mu, true);
-                long[x][mu] = (*gauge.link(x, mu) * *gauge.link(x1, mu) * *gauge.link(x2, mu))
-                    .scale(C64::real(coeffs.naik));
+                long[x][mu] =
+                    (*gauge.link(x, mu) * *gauge.link(x1, mu) * *gauge.link(x2, mu)).scale(naik);
             }
         }
         AsqtadLinks { lat, fat, long }
@@ -164,35 +175,37 @@ impl AsqtadLinks {
 
 /// The ASQTAD staggered operator on precomputed fat/Naik links.
 #[derive(Debug, Clone)]
-pub struct AsqtadDirac<'a> {
-    links: &'a AsqtadLinks,
+pub struct AsqtadDirac<'a, T: Real = f64> {
+    links: &'a AsqtadLinks<T>,
     mass: f64,
+    hops: NeighbourTable,
 }
 
-impl<'a> AsqtadDirac<'a> {
+impl<'a, T: Real> AsqtadDirac<'a, T> {
     /// Build with bare mass `m > 0`.
-    pub fn new(links: &'a AsqtadLinks, mass: f64) -> AsqtadDirac<'a> {
-        AsqtadDirac { links, mass }
+    pub fn new(links: &'a AsqtadLinks<T>, mass: f64) -> AsqtadDirac<'a, T> {
+        let hops = NeighbourTable::new(links.lat);
+        AsqtadDirac { links, mass, hops }
     }
 
     /// The anti-Hermitian improved hopping term: fat one-hop plus Naik
     /// three-hop.
-    pub fn dslash(&self, out: &mut StaggeredField, inp: &StaggeredField) {
+    pub fn dslash(&self, out: &mut StaggeredField<T>, inp: &StaggeredField<T>) {
         let lat = self.links.lat;
         for x in lat.sites() {
             let cx = lat.coord(x);
             let mut acc = crate::colorvec::ColorVec::ZERO;
             for mu in 0..4 {
-                let phase = eta(cx, mu) * 0.5;
+                let phase = T::from_f64(eta(cx, mu) * 0.5);
                 // Fat one-hop.
-                let xf = lat.neighbour(x, mu, true);
+                let xf = self.hops.fwd(x, mu);
                 acc += self.links.fat[x][mu].mul_vec(inp.site(xf)) * phase;
-                let xb = lat.neighbour(x, mu, false);
+                let xb = self.hops.bwd(x, mu);
                 acc -= self.links.fat[xb][mu].adj_mul_vec(inp.site(xb)) * phase;
                 // Naik three-hop.
-                let x3f = lat.neighbour(lat.neighbour(xf, mu, true), mu, true);
+                let x3f = self.hops.fwd(self.hops.fwd(xf, mu), mu);
                 acc += self.links.long[x][mu].mul_vec(inp.site(x3f)) * phase;
-                let x3b = lat.neighbour(lat.neighbour(xb, mu, false), mu, false);
+                let x3b = self.hops.bwd(self.hops.bwd(xb, mu), mu);
                 acc -= self.links.long[x3b][mu].adj_mul_vec(inp.site(x3b)) * phase;
             }
             *out.site_mut(x) = acc;
@@ -200,21 +213,23 @@ impl<'a> AsqtadDirac<'a> {
     }
 
     /// `out = (m + D) inp`.
-    pub fn apply(&self, out: &mut StaggeredField, inp: &StaggeredField) {
+    pub fn apply(&self, out: &mut StaggeredField<T>, inp: &StaggeredField<T>) {
         self.dslash(out, inp);
         let lat = inp.lattice();
+        let m = Complex::from_c64(C64::real(self.mass));
         for x in lat.sites() {
-            *out.site_mut(x) = out.site(x).axpy(C64::real(self.mass), inp.site(x));
+            *out.site_mut(x) = out.site(x).axpy(m, inp.site(x));
         }
     }
 
     /// `M† = m − D`.
-    pub fn apply_dagger(&self, out: &mut StaggeredField, inp: &StaggeredField) {
+    pub fn apply_dagger(&self, out: &mut StaggeredField<T>, inp: &StaggeredField<T>) {
         self.dslash(out, inp);
         let lat = inp.lattice();
+        let m = Complex::from_c64(C64::real(self.mass));
         for x in lat.sites() {
             let d = *out.site(x);
-            *out.site_mut(x) = (-d).axpy(C64::real(self.mass), inp.site(x));
+            *out.site_mut(x) = (-d).axpy(m, inp.site(x));
         }
     }
 }
@@ -331,7 +346,7 @@ mod tests {
         let expect = c.one_link + 6.0 * c.staple3;
         for x in [0, 5] {
             for mu in 0..4 {
-                let f = &links.fat[x][mu];
+                let f: &Su3 = &links.fat[x][mu];
                 assert!((f.0[0][0].re - expect).abs() < 1e-12);
                 assert!(f.0[0][1].abs() < 1e-12);
             }

@@ -168,3 +168,120 @@ proptest! {
         prop_assert_ne!(a.next_u64(), b.next_u64());
     }
 }
+
+/// Relative L2 distance between a double-precision field and the promoted
+/// single-precision result, `‖hi − promote(lo)‖ / ‖hi‖`.
+fn rel_err(hi: &FermionField, lo: &FermionField<f32>) -> f64 {
+    let mut diff = hi.clone();
+    diff.axpy(C64::real(-1.0), &lo.to_f64());
+    (diff.norm_sqr() / hi.norm_sqr().max(f64::MIN_POSITIVE)).sqrt()
+}
+
+// The f32 instantiation of each Dirac operator must agree with the f64
+// one to single-precision rounding — ~1e-6 relative on random fields
+// (asserted at 1e-5 to leave margin for accumulation across the stencil).
+const PRECISION_AGREEMENT: f64 = 1e-5;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn wilson_f32_matches_f64(seed in 0u64..1000) {
+        let lat = Lattice::new([2, 2, 2, 4]);
+        let gauge = GaugeField::hot(lat, seed);
+        let inp = FermionField::gaussian(lat, seed.wrapping_add(1));
+        let op = WilsonDirac::new(&gauge, 0.12);
+        let mut out = FermionField::zero(lat);
+        op.apply(&mut out, &inp);
+        let gauge32 = gauge.to_f32();
+        let op32 = WilsonDirac::new(&gauge32, 0.12);
+        let mut out32 = FermionField::<f32>::zero(lat);
+        op32.apply(&mut out32, &inp.to_f32());
+        prop_assert!(rel_err(&out, &out32) < PRECISION_AGREEMENT);
+    }
+
+    #[test]
+    fn clover_f32_matches_f64(seed in 0u64..1000) {
+        let lat = Lattice::new([2, 2, 2, 4]);
+        let gauge = GaugeField::hot(lat, seed);
+        let inp = FermionField::gaussian(lat, seed.wrapping_add(1));
+        let op = qcdoc_lattice::clover::CloverDirac::new(&gauge, 0.12, 1.0);
+        let mut out = FermionField::zero(lat);
+        op.apply(&mut out, &inp);
+        let gauge32 = gauge.to_f32();
+        let op32 = qcdoc_lattice::clover::CloverDirac::new(&gauge32, 0.12, 1.0);
+        let mut out32 = FermionField::<f32>::zero(lat);
+        op32.apply(&mut out32, &inp.to_f32());
+        prop_assert!(rel_err(&out, &out32) < PRECISION_AGREEMENT);
+    }
+
+    #[test]
+    fn asqtad_f32_matches_f64(seed in 0u64..1000) {
+        use qcdoc_lattice::field::StaggeredField;
+        use qcdoc_lattice::staggered::{AsqtadCoeffs, AsqtadDirac, AsqtadLinks};
+        let lat = Lattice::new([4, 4, 4, 4]);
+        let gauge = GaugeField::hot(lat, seed);
+        let inp = StaggeredField::gaussian(lat, seed.wrapping_add(1));
+        let links = AsqtadLinks::new(&gauge, AsqtadCoeffs::default());
+        let op = AsqtadDirac::new(&links, 0.2);
+        let mut out = StaggeredField::zero(lat);
+        op.apply(&mut out, &inp);
+        let gauge32 = gauge.to_f32();
+        let links32 = AsqtadLinks::new(&gauge32, AsqtadCoeffs::default());
+        let op32 = AsqtadDirac::new(&links32, 0.2);
+        let mut out32 = StaggeredField::<f32>::zero(lat);
+        op32.apply(&mut out32, &inp.to_f32());
+        let mut diff = out.clone();
+        diff.axpy(C64::real(-1.0), &out32.to_f64());
+        let rel = (diff.norm_sqr() / out.norm_sqr().max(f64::MIN_POSITIVE)).sqrt();
+        prop_assert!(rel < PRECISION_AGREEMENT);
+    }
+
+    #[test]
+    fn dwf_f32_matches_f64(seed in 0u64..1000) {
+        use qcdoc_lattice::dwf::{DwfDirac, DwfField};
+        let lat = Lattice::new([2, 2, 2, 4]);
+        let gauge = GaugeField::hot(lat, seed);
+        let inp = DwfField::gaussian(lat, 4, seed.wrapping_add(1));
+        let op = DwfDirac::new(&gauge, 1.8, 0.1, 4);
+        let mut out = DwfField::zero(lat, 4);
+        op.apply(&mut out, &inp);
+        let gauge32 = gauge.to_f32();
+        let op32 = DwfDirac::new(&gauge32, 1.8, 0.1, 4);
+        let mut out32 = DwfField::<f32>::zero(lat, 4);
+        op32.apply(&mut out32, &inp.to_f32());
+        let mut diff = out.clone();
+        diff.axpy(C64::real(-1.0), &out32.to_f64());
+        let rel = (diff.norm_sqr() / out.norm_sqr().max(f64::MIN_POSITIVE)).sqrt();
+        prop_assert!(rel < PRECISION_AGREEMENT);
+    }
+
+    #[test]
+    fn mixed_cg_matches_f64_tolerance_deterministically(seed in 0u64..20) {
+        use qcdoc_lattice::solver::{solve_cgne_mixed, MixedCgParams};
+        let lat = Lattice::new([2, 2, 2, 4]);
+        let gauge = GaugeField::hot(lat, seed);
+        let gauge32 = gauge.to_f32();
+        let op = WilsonDirac::new(&gauge, 0.11);
+        let op32 = WilsonDirac::new(&gauge32, 0.11);
+        let b = FermionField::gaussian(lat, seed.wrapping_add(100));
+
+        // The mixed solve reaches the same f64 tolerance as plain CGNE.
+        let params = MixedCgParams::default();
+        let mut x = FermionField::zero(lat);
+        let mixed = solve_cgne_mixed(&op, &op32, &mut x, &b, params);
+        prop_assert!(mixed.converged);
+        let mut x_ref = FermionField::zero(lat);
+        let plain = solve_cgne(&op, &mut x_ref, &b, CgParams::default());
+        prop_assert!(plain.converged);
+        prop_assert!(mixed.final_residual <= CgParams::default().tolerance);
+
+        // Seeded rerun is bit-identical: same outer/inner iteration
+        // schedule, same solution bits.
+        let mut x2 = FermionField::zero(lat);
+        let mixed2 = solve_cgne_mixed(&op, &op32, &mut x2, &b, params);
+        prop_assert_eq!(&mixed.inner_iterations, &mixed2.inner_iterations);
+        prop_assert_eq!(mixed.outer_iterations, mixed2.outer_iterations);
+        prop_assert_eq!(x.fingerprint(), x2.fingerprint());
+    }
+}

@@ -4,7 +4,7 @@
 //! both nodes); 32 daughterboards on a 14.5"×27" motherboard wired as a
 //! 2⁶ hypercube; eight motherboards per crate; two crates per water-cooled
 //! rack — 1024 nodes, 1.0 Tflops peak, under 10 kW, stackable so "10,000
-//! nodes [have] a footprint of about 60 square feet".
+//! nodes \[have\] a footprint of about 60 square feet".
 
 use serde::{Deserialize, Serialize};
 

@@ -70,6 +70,20 @@ pub fn chrome_trace(spans: &[Span]) -> String {
 /// Series are emitted in the registry's deterministic order, with one
 /// `# TYPE` line per metric name. Histograms expand into `_bucket`
 /// (non-empty buckets only), `_sum` and `_count` series.
+///
+/// ```
+/// use qcdoc_telemetry::export::prometheus_text;
+/// use qcdoc_telemetry::metrics::MetricsRegistry;
+///
+/// let mut reg = MetricsRegistry::new();
+/// reg.counter_add("solver_iterations", &[("action", "wilson".into())], 36);
+/// reg.gauge_set("solver_residual", &[], 1e-8);
+/// let text = prometheus_text(&reg);
+/// assert!(text.contains("# TYPE solver_iterations counter"));
+/// assert!(text.contains("solver_iterations{action=\"wilson\"} 36"));
+/// // Identical registries render byte-identical text.
+/// assert_eq!(text, prometheus_text(&reg));
+/// ```
 pub fn prometheus_text(reg: &MetricsRegistry) -> String {
     let mut out = String::new();
     let mut last_name: Option<&str> = None;

@@ -120,6 +120,11 @@ fn main() {
                     - perf.evaluate(Action::Wilson).efficiency)
         ),
     );
+    println!("\n  single vs double precision (4^4, 450 MHz):");
+    for line in perf.render_precision_table().lines() {
+        println!("    {line}");
+    }
+    println!();
     let mut big = DiracPerf::paper_bench();
     big.local_dims = [8, 8, 8, 8];
     row(

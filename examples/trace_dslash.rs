@@ -63,9 +63,12 @@ fn main() {
     );
 
     let trace = telemetry.chrome_trace();
-    std::fs::write("trace_dslash.json", &trace).expect("write trace_dslash.json");
+    let path = std::path::Path::new("target").join("trace_dslash.json");
+    std::fs::create_dir_all("target").expect("create target/");
+    std::fs::write(&path, &trace).expect("write target/trace_dslash.json");
     println!(
-        "wrote trace_dslash.json ({} bytes, {} spans) — open in chrome://tracing",
+        "wrote {} ({} bytes, {} spans) — open in chrome://tracing",
+        path.display(),
         trace.len(),
         telemetry.spans.len()
     );

@@ -10,6 +10,9 @@ cargo fmt --check
 echo "== cargo clippy (workspace, all targets, warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo doc (no deps, rustdoc warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
 echo "== cargo test (tier-1: root package)"
 cargo test -q
 
@@ -27,5 +30,8 @@ cargo test -q --test recovery
 
 echo "== recovery: checkpoint overhead smoke (interval-0 CG within 5% of raw CG)"
 cargo bench -p qcdoc-bench --bench recovery_overhead
+
+echo "== mixed precision: reliable-update CG acceptance (f64 tolerance, bit-identical, cost envelope)"
+cargo bench -p qcdoc-bench --bench mixed_precision
 
 echo "verify: all green"

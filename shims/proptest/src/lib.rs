@@ -192,7 +192,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::{Range, RangeInclusive};
 
-    /// Length specifications accepted by [`vec`]: a fixed length, `lo..hi`,
+    /// Length specifications accepted by [`vec`](fn@vec): a fixed length, `lo..hi`,
     /// or `lo..=hi`.
     pub trait SizeRange {
         /// Inclusive `(lo, hi)` bounds on the length.

@@ -3,7 +3,9 @@
 //! reproduces; EXPERIMENTS.md records the same mapping.
 
 use qcdoc::asic::clock::Clock;
-use qcdoc::core::perf::{DiracPerf, Precision, PAPER_EFFICIENCIES};
+use qcdoc::core::perf::{
+    DiracPerf, Precision, PAPER_EFFICIENCIES, PAPER_SINGLE_PRECISION_MAX_UPLIFT,
+};
 use qcdoc::lattice::counts::Action;
 use qcdoc::machine::cost::{columbia_4096, CostModel, PricePerformance, PAPER_PRICE_PERF};
 use qcdoc::machine::packaging::MachineAssembly;
@@ -93,9 +95,45 @@ fn section_4_efficiencies() {
     }
     let dwf = perf.evaluate(Action::Dwf { ls: 8 }).efficiency;
     assert!(dwf >= perf.evaluate(Action::Clover).efficiency - 0.01);
-    let mut sp = DiracPerf::paper_bench();
-    sp.precision = Precision::Single;
-    assert!(sp.evaluate(Action::Wilson).efficiency > perf.evaluate(Action::Wilson).efficiency);
+}
+
+/// §4: "performance for single precision is slightly higher due to the
+/// decreased bandwidth to local memory that is needed in this case."
+/// For every benchmarked action, the single-precision sustained fraction
+/// must land in the paper's band: above the double-precision figure, but
+/// by less than `PAPER_SINGLE_PRECISION_MAX_UPLIFT` — higher, yet only
+/// *slightly* (the kernels stay issue-bound at 4⁴).
+#[test]
+fn section_4_single_precision_band() {
+    let perf = DiracPerf::paper_bench();
+    for (action, _) in PAPER_EFFICIENCIES {
+        let (dp, sp) = perf.evaluate_both_precisions(action);
+        assert!(
+            sp.efficiency > dp.efficiency,
+            "{}: single {:.3} <= double {:.3}",
+            action.name(),
+            sp.efficiency,
+            dp.efficiency
+        );
+        assert!(
+            sp.efficiency - dp.efficiency < PAPER_SINGLE_PRECISION_MAX_UPLIFT,
+            "{}: uplift {:.3} outside the 'slightly higher' band",
+            action.name(),
+            sp.efficiency - dp.efficiency
+        );
+        assert!(
+            sp.sustained_gflops_per_node > dp.sustained_gflops_per_node,
+            "{}: sustained Mflops must rise with halved traffic",
+            action.name()
+        );
+    }
+    // Single precision never changes the flop ledger, only the bytes.
+    let mut sp_model = DiracPerf::paper_bench();
+    sp_model.precision = Precision::Single;
+    assert_eq!(
+        sp_model.evaluate(Action::Wilson).flops_per_iteration,
+        perf.evaluate(Action::Wilson).flops_per_iteration
+    );
 }
 
 /// §4: 6⁴ fits the EDRAM, 8⁴ spills to DDR and lands near 30% of peak.
