@@ -15,6 +15,9 @@
 //!   operating points (500 MHz design target; 450/420/360 MHz measured);
 //! * [`memory`] — functional node memory (EDRAM + DDR address spaces) with
 //!   access statistics, the storage the SCU DMA engines operate on;
+//! * [`ecc`] — the SEC-DED (72,64) Hamming code guarding every stored word
+//!   (§2.1 "1024-bit rows + ECC"), with a deterministic scrubber in
+//!   [`memory`];
 //! * [`edram`] — the prefetching EDRAM controller's two-stream timing model;
 //! * [`ddr`] — the external DDR controller timing model;
 //! * [`cache`] — a set-associative cache simulator for the 32 kB L1s;
@@ -31,6 +34,7 @@ pub mod blocks;
 pub mod cache;
 pub mod clock;
 pub mod ddr;
+pub mod ecc;
 pub mod edram;
 pub mod ledger;
 pub mod memory;

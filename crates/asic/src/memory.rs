@@ -15,7 +15,19 @@
 //!
 //! DDR storage is allocated lazily in 1 MB chunks so thousands of functional
 //! nodes can coexist without reserving gigabytes.
+//!
+//! Every stored word carries a SEC-DED (72,64) check byte (§2.1: EDRAM
+//! rows "+ ECC"; the DDR DIMMs are the industry 72/64 parts). Reads decode
+//! through [`crate::ecc`]: a single flipped bit is corrected in place and
+//! counted, a double flip latches a *machine check* — the access still
+//! completes (the DMA engines stream; the exception is imprecise) but the
+//! node is condemned through [`MemStats::machine_checks`] and
+//! [`NodeMemory::machine_check`], which the health machinery treats like a
+//! node casualty. A deterministic [`NodeMemory::scrub`] pass walks the
+//! written footprint the way the hardware scrubber walks refresh rows, so
+//! soft errors parked in rarely-read words are still found and classified.
 
+use crate::ecc::{self, EccVerdict};
 use serde::{Deserialize, Serialize};
 
 /// Which physical memory an address falls in.
@@ -94,6 +106,12 @@ pub struct MemStats {
     pub ddr_reads: u64,
     /// 64-bit words written to DDR.
     pub ddr_writes: u64,
+    /// Single-bit soft errors the SEC-DED code corrected (on read or
+    /// during a scrub).
+    pub ecc_corrected: u64,
+    /// Uncorrectable (2+-bit) words encountered: each one latched a
+    /// machine check.
+    pub machine_checks: u64,
 }
 
 impl MemStats {
@@ -147,13 +165,34 @@ impl std::fmt::Display for MemError {
 
 impl std::error::Error for MemError {}
 
+/// Outcome of one [`NodeMemory::scrub`] pass over the written footprint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScrubReport {
+    /// Words the scrubber decoded (the written/corrupted footprint —
+    /// untouched all-zero rows are valid codewords by construction).
+    pub scanned_words: u64,
+    /// Single-bit errors corrected in place by this pass.
+    pub corrected: u64,
+    /// Uncorrectable words found by this pass (machine checks latched).
+    pub machine_checks: u64,
+    /// Modelled cost of the pass: one EDRAM port beat (16 bytes) per two
+    /// words plus an 11-cycle page miss per 128-byte row touched.
+    pub cycles: u64,
+}
+
 /// The functional memory of one node.
 #[derive(Debug)]
 pub struct NodeMemory {
     edram: Vec<u64>,
+    edram_check: Vec<u8>,
+    /// One bit per EDRAM word: set when the word has ever been written or
+    /// corrupted, the footprint the scrubber walks.
+    edram_touched: Vec<u64>,
     ddr_chunks: Vec<Option<Box<[u64]>>>,
+    ddr_check: Vec<Option<Box<[u8]>>>,
     ddr_size: u64,
     stats: MemStats,
+    machine_check: Option<u64>,
 }
 
 impl NodeMemory {
@@ -167,11 +206,16 @@ impl NodeMemory {
             "DDR size must be a multiple of 1 MB"
         );
         let chunks = (ddr_bytes / (DDR_CHUNK_WORDS as u64 * WORD_BYTES)) as usize;
+        let edram_words = (EDRAM_SIZE / WORD_BYTES) as usize;
         NodeMemory {
-            edram: vec![0; (EDRAM_SIZE / WORD_BYTES) as usize],
+            edram: vec![0; edram_words],
+            edram_check: vec![0; edram_words],
+            edram_touched: vec![0; edram_words / 64],
             ddr_chunks: (0..chunks).map(|_| None).collect(),
+            ddr_check: (0..chunks).map(|_| None).collect(),
             ddr_size: ddr_bytes,
             stats: MemStats::default(),
+            machine_check: None,
         }
     }
 
@@ -228,51 +272,187 @@ impl NodeMemory {
         }
     }
 
-    /// Read one 64-bit word.
+    /// Decode a stored `(data, check)` pair, correcting or latching a
+    /// machine check. Returns `(value, fixed)`: the value the access
+    /// observes and the `(data, check)` to store back, if any.
+    fn resolve(&mut self, addr: u64, data: u64, check: u8) -> (u64, Option<(u64, u8)>) {
+        match ecc::decode(data, check) {
+            EccVerdict::Clean => (data, None),
+            EccVerdict::CorrectedData(fixed) => {
+                self.stats.ecc_corrected += 1;
+                (fixed, Some((fixed, check)))
+            }
+            EccVerdict::CorrectedCheck(fixed) => {
+                self.stats.ecc_corrected += 1;
+                (data, Some((data, fixed)))
+            }
+            EccVerdict::DoubleError => {
+                // Imprecise machine check: the streaming access completes
+                // with the raw (corrupt) word while the fault is latched
+                // for the health readout — no software on this node can
+                // un-latch it.
+                self.stats.machine_checks += 1;
+                self.machine_check.get_or_insert(addr);
+                (data, None)
+            }
+        }
+    }
+
+    /// Read one 64-bit word through the ECC decoder.
     pub fn read_word(&mut self, addr: u64) -> Result<u64, MemError> {
         let (region, idx) = self.check(addr)?;
-        Ok(match region {
+        let (data, check) = match region {
             MemRegion::Edram => {
                 self.stats.edram_reads += 1;
-                self.edram[idx]
+                (self.edram[idx], self.edram_check[idx])
             }
             MemRegion::Ddr => {
                 self.stats.ddr_reads += 1;
                 let (chunk, within) = (idx / DDR_CHUNK_WORDS, idx % DDR_CHUNK_WORDS);
-                match &self.ddr_chunks[chunk] {
-                    Some(c) => c[within],
-                    None => 0,
+                match (&self.ddr_chunks[chunk], &self.ddr_check[chunk]) {
+                    (Some(c), Some(k)) => (c[within], k[within]),
+                    _ => (0, 0),
                 }
             }
-        })
+        };
+        let (value, fixed) = self.resolve(addr, data, check);
+        if let Some((d, k)) = fixed {
+            self.store_raw(region, idx, d, k);
+        }
+        Ok(value)
     }
 
-    /// Write one 64-bit word.
-    pub fn write_word(&mut self, addr: u64, value: u64) -> Result<(), MemError> {
-        let (region, idx) = self.check(addr)?;
+    /// Store `(data, check)` without touching statistics (the ECC
+    /// write-back and injection path).
+    fn store_raw(&mut self, region: MemRegion, idx: usize, data: u64, check: u8) {
         match region {
             MemRegion::Edram => {
-                self.stats.edram_writes += 1;
-                self.edram[idx] = value;
+                self.edram[idx] = data;
+                self.edram_check[idx] = check;
+                self.edram_touched[idx / 64] |= 1 << (idx % 64);
             }
             MemRegion::Ddr => {
-                self.stats.ddr_writes += 1;
                 let (chunk, within) = (idx / DDR_CHUNK_WORDS, idx % DDR_CHUNK_WORDS);
                 let c = self.ddr_chunks[chunk]
                     .get_or_insert_with(|| vec![0u64; DDR_CHUNK_WORDS].into_boxed_slice());
-                c[within] = value;
+                c[within] = data;
+                let k = self.ddr_check[chunk]
+                    .get_or_insert_with(|| vec![0u8; DDR_CHUNK_WORDS].into_boxed_slice());
+                k[within] = check;
             }
         }
+    }
+
+    /// Write one 64-bit word (check bits regenerated).
+    pub fn write_word(&mut self, addr: u64, value: u64) -> Result<(), MemError> {
+        let (region, idx) = self.check(addr)?;
+        match region {
+            MemRegion::Edram => self.stats.edram_writes += 1,
+            MemRegion::Ddr => self.stats.ddr_writes += 1,
+        }
+        self.store_raw(region, idx, value, ecc::encode(value));
         Ok(())
     }
 
-    /// Flip bit `bit` (0..64) of the word at `addr` — an injected EDRAM or
-    /// DDR soft error. Returns the word value after the flip.
+    /// Flip bit `bit` (0..64) of the *stored* word at `addr` — an injected
+    /// EDRAM or DDR soft error. The check byte is deliberately left alone
+    /// (a soft error upsets a cell, it does not re-encode the row), so the
+    /// next ECC-decoded read or scrub sees the corruption: one flipped bit
+    /// is corrected, two in the same word become a machine check. Returns
+    /// the raw stored word after the flip.
     pub fn flip_bit(&mut self, addr: u64, bit: u32) -> Result<u64, MemError> {
         assert!(bit < 64, "bit index {bit} outside a 64-bit word");
-        let flipped = self.read_word(addr)? ^ (1u64 << bit);
-        self.write_word(addr, flipped)?;
+        let (region, idx) = self.check(addr)?;
+        let (data, check) = match region {
+            MemRegion::Edram => (self.edram[idx], self.edram_check[idx]),
+            MemRegion::Ddr => {
+                let (chunk, within) = (idx / DDR_CHUNK_WORDS, idx % DDR_CHUNK_WORDS);
+                match (&self.ddr_chunks[chunk], &self.ddr_check[chunk]) {
+                    (Some(c), Some(k)) => (c[within], k[within]),
+                    _ => (0, 0),
+                }
+            }
+        };
+        let flipped = data ^ (1u64 << bit);
+        self.store_raw(region, idx, flipped, check);
         Ok(flipped)
+    }
+
+    /// The latched machine check, if any: the address of the first
+    /// uncorrectable word encountered. Sticky for the node's lifetime.
+    pub fn machine_check(&self) -> Option<u64> {
+        self.machine_check
+    }
+
+    /// One deterministic background-scrubber pass (§2.1's ECC made
+    /// proactive): decode every word of the written footprint, correcting
+    /// single-bit upsets in place and latching machine checks for
+    /// uncorrectable words. Untouched rows are all-zero codewords and are
+    /// skipped wholesale, so the pass prices out by data actually resident.
+    pub fn scrub(&mut self) -> ScrubReport {
+        let mut report = ScrubReport::default();
+        // EDRAM: walk the touch bitmap 64 words at a time.
+        for group in 0..self.edram_touched.len() {
+            let mask = self.edram_touched[group];
+            if mask == 0 {
+                continue;
+            }
+            for bit in 0..64 {
+                if mask & (1 << bit) == 0 {
+                    continue;
+                }
+                let idx = group * 64 + bit;
+                let addr = EDRAM_BASE + idx as u64 * WORD_BYTES;
+                self.scrub_word(MemRegion::Edram, idx, addr, &mut report);
+            }
+        }
+        // DDR: walk every allocated chunk in full.
+        for chunk in 0..self.ddr_chunks.len() {
+            if self.ddr_chunks[chunk].is_none() {
+                continue;
+            }
+            for within in 0..DDR_CHUNK_WORDS {
+                let idx = chunk * DDR_CHUNK_WORDS + within;
+                let addr = DDR_BASE + idx as u64 * WORD_BYTES;
+                self.scrub_word(MemRegion::Ddr, idx, addr, &mut report);
+            }
+        }
+        // EDRAM-port pricing: 16 bytes (two words) per cycle, plus an
+        // 11-cycle page miss per 128-byte (16-word) row.
+        report.cycles = report.scanned_words.div_ceil(2) + report.scanned_words.div_ceil(16) * 11;
+        report
+    }
+
+    fn scrub_word(&mut self, region: MemRegion, idx: usize, addr: u64, report: &mut ScrubReport) {
+        let (data, check) = match region {
+            MemRegion::Edram => (self.edram[idx], self.edram_check[idx]),
+            MemRegion::Ddr => {
+                let (chunk, within) = (idx / DDR_CHUNK_WORDS, idx % DDR_CHUNK_WORDS);
+                match (&self.ddr_chunks[chunk], &self.ddr_check[chunk]) {
+                    (Some(c), Some(k)) => (c[within], k[within]),
+                    _ => (0, 0),
+                }
+            }
+        };
+        report.scanned_words += 1;
+        match ecc::decode(data, check) {
+            EccVerdict::Clean => {}
+            EccVerdict::CorrectedData(fixed) => {
+                self.stats.ecc_corrected += 1;
+                report.corrected += 1;
+                self.store_raw(region, idx, fixed, check);
+            }
+            EccVerdict::CorrectedCheck(fixed) => {
+                self.stats.ecc_corrected += 1;
+                report.corrected += 1;
+                self.store_raw(region, idx, data, fixed);
+            }
+            EccVerdict::DoubleError => {
+                self.stats.machine_checks += 1;
+                report.machine_checks += 1;
+                self.machine_check.get_or_insert(addr);
+            }
+        }
     }
 
     /// Read a 64-bit float stored at `addr`.
@@ -407,6 +587,87 @@ mod tests {
             FloatWidth::Double
         )));
         assert!(fits_edram(complex_footprint(complexes, FloatWidth::Single)));
+    }
+
+    #[test]
+    fn single_bit_flip_is_corrected_on_read() {
+        let mut m = NodeMemory::with_128mb_dimm();
+        m.write_word(0x200, 0xDEAD_BEEF_CAFE_F00D).unwrap();
+        m.flip_bit(0x200, 17).unwrap();
+        // The read observes the *original* value and heals storage.
+        assert_eq!(m.read_word(0x200).unwrap(), 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(m.stats().ecc_corrected, 1);
+        assert_eq!(m.stats().machine_checks, 0);
+        assert_eq!(m.machine_check(), None);
+        // Healed in place: the next read corrects nothing.
+        assert_eq!(m.read_word(0x200).unwrap(), 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(m.stats().ecc_corrected, 1);
+    }
+
+    #[test]
+    fn double_bit_flip_latches_a_machine_check() {
+        let mut m = NodeMemory::with_128mb_dimm();
+        m.write_word(0x300, 0x0123_4567_89AB_CDEF).unwrap();
+        m.flip_bit(0x300, 3).unwrap();
+        m.flip_bit(0x300, 40).unwrap();
+        // Imprecise exception: the access completes (raw data), but the
+        // machine check is latched and sticky.
+        let corrupt = 0x0123_4567_89AB_CDEF ^ (1 << 3) ^ (1 << 40);
+        assert_eq!(m.read_word(0x300).unwrap(), corrupt);
+        assert_eq!(m.stats().machine_checks, 1);
+        assert_eq!(m.stats().ecc_corrected, 0);
+        assert_eq!(m.machine_check(), Some(0x300));
+    }
+
+    #[test]
+    fn ddr_soft_errors_are_covered_too() {
+        let mut m = NodeMemory::with_128mb_dimm();
+        let addr = DDR_BASE + 0x4_0000;
+        m.write_word(addr, 0x5555_5555_5555_5555).unwrap();
+        m.flip_bit(addr, 0).unwrap();
+        assert_eq!(m.read_word(addr).unwrap(), 0x5555_5555_5555_5555);
+        assert_eq!(m.stats().ecc_corrected, 1);
+        // A flip into a never-written (unallocated) DDR word corrupts an
+        // all-zero codeword — still corrected.
+        let cold = DDR_BASE + 0x30_0000;
+        m.flip_bit(cold, 9).unwrap();
+        assert_eq!(m.read_word(cold).unwrap(), 0);
+        assert_eq!(m.stats().ecc_corrected, 2);
+    }
+
+    #[test]
+    fn scrub_finds_parked_errors_without_reads() {
+        let mut m = NodeMemory::with_128mb_dimm();
+        m.write_word(0x400, 0xAAAA_AAAA_AAAA_AAAA).unwrap();
+        m.write_word(0x408, 7).unwrap();
+        m.flip_bit(0x400, 5).unwrap(); // correctable, never read
+        m.flip_bit(0x408, 1).unwrap();
+        m.flip_bit(0x408, 2).unwrap(); // uncorrectable, never read
+        let report = m.scrub();
+        assert_eq!(report.corrected, 1);
+        assert_eq!(report.machine_checks, 1);
+        assert_eq!(m.machine_check(), Some(0x408));
+        assert_eq!(m.read_word(0x400).unwrap(), 0xAAAA_AAAA_AAAA_AAAA);
+        // A second pass over healed storage finds nothing new (the
+        // uncorrectable word is still uncorrectable and recounted).
+        let again = m.scrub();
+        assert_eq!(again.corrected, 0);
+        assert_eq!(again.machine_checks, 1);
+    }
+
+    #[test]
+    fn scrub_skips_untouched_rows_and_prices_the_footprint() {
+        let mut m = NodeMemory::with_128mb_dimm();
+        let report = m.scrub();
+        assert_eq!(report, ScrubReport::default());
+        // Two touched EDRAM words: 1 port beat + one 11-cycle row miss.
+        m.write_word(0x0, 1).unwrap();
+        m.write_word(0x8, 2).unwrap();
+        let report = m.scrub();
+        assert_eq!(report.scanned_words, 2);
+        assert_eq!(report.cycles, 12);
+        // Scrubbing is not an access: read/write stats are untouched.
+        assert_eq!(m.stats().edram_reads, 0);
     }
 
     #[test]

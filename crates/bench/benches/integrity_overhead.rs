@@ -1,0 +1,179 @@
+//! Cost of the data-integrity layers when nothing is corrupted.
+//!
+//! Integrity must be near-free on the clean path, or nobody would run
+//! with it on: ECC rides every memory access anyway, the block checksum
+//! adds one trailer word per DMA block, and ABFT adds three running
+//! f64 sums per CG iteration plus a periodic audit. The smoke check
+//! gates the end of that list — ABFT-on clean CG within 5% of raw CG —
+//! because it is the only layer an application opts into per-solve. The
+//! criterion group then prices each layer, and the measured ratios land
+//! in `BENCH_integrity.json` for the dashboard.
+
+use criterion::{black_box, criterion_group, Criterion};
+use qcdoc_asic::memory::NodeMemory;
+use qcdoc_core::functional::FunctionalMachine;
+use qcdoc_geometry::{Axis, TorusShape};
+use qcdoc_lattice::field::{FermionField, GaugeField, Lattice};
+use qcdoc_lattice::solver::{solve_cgne, solve_cgne_abft, AbftParams, CgParams};
+use qcdoc_lattice::wilson::WilsonDirac;
+use qcdoc_scu::dma::DmaDescriptor;
+use qcdoc_telemetry::{summary_json, MetricsRegistry, NodeTelemetry};
+use std::time::Instant;
+
+fn workload() -> (GaugeField, FermionField) {
+    let lat = Lattice::new([4, 4, 4, 4]);
+    (GaugeField::hot(lat, 42), FermionField::gaussian(lat, 43))
+}
+
+fn params() -> CgParams {
+    CgParams {
+        tolerance: 1e-10,
+        max_iterations: 25,
+    }
+}
+
+fn cg_raw(op: &WilsonDirac<'_>, b: &FermionField) -> f64 {
+    let mut x = FermionField::zero(b.lattice());
+    let report = solve_cgne(op, &mut x, black_box(b), params());
+    report.final_residual
+}
+
+fn cg_abft(op: &WilsonDirac<'_>, b: &FermionField) -> f64 {
+    let mut x = FermionField::zero(b.lattice());
+    let mut telem = NodeTelemetry::disabled(0);
+    let (report, abft) = solve_cgne_abft(
+        op,
+        &mut x,
+        black_box(b),
+        params(),
+        AbftParams::default(),
+        None,
+        &mut telem,
+    );
+    assert_eq!(abft.detections, 0, "clean run must audit clean");
+    report.final_residual
+}
+
+/// A DMA-heavy functional-machine round: 8 × 256-word neighbour shifts
+/// on a 4-ring, with or without the end-to-end block checksums.
+fn shift_run(checked: bool) -> u64 {
+    let mut machine = FunctionalMachine::new(TorusShape::new(&[4]));
+    if checked {
+        machine = machine.with_block_checksums();
+    }
+    let out = machine.run(|ctx| {
+        for i in 0..256u64 {
+            ctx.mem.write_word(0x100 + i * 8, i).unwrap();
+        }
+        for _ in 0..8 {
+            ctx.shift(
+                Axis(0).plus(),
+                DmaDescriptor::contiguous(0x100, 256),
+                DmaDescriptor::contiguous(0x8000, 256),
+            );
+        }
+        ctx.mem.read_word(0x8000).unwrap()
+    });
+    out.iter().sum()
+}
+
+/// ECC write + deterministic scrub over a 4096-word footprint.
+fn scrub_run() -> u64 {
+    let mut mem = NodeMemory::with_128mb_dimm();
+    for i in 0..4096u64 {
+        mem.write_word(0x1000 + i * 8, i.wrapping_mul(0x9e3779b97f4a7c15))
+            .unwrap();
+    }
+    let report = mem.scrub();
+    assert_eq!(report.machine_checks, 0);
+    report.scanned_words
+}
+
+/// Minimum wall time of `f` over `reps` runs, in seconds.
+fn min_seconds<F: FnMut() -> f64>(mut f: F, reps: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// The acceptance gate: ABFT-on clean CG stays within 5% of raw CG, and
+/// the measured layer ratios are exported to `BENCH_integrity.json`.
+fn smoke_check() {
+    let (gauge, b) = workload();
+    let op = WilsonDirac::new(&gauge, 0.12);
+    black_box(cg_raw(&op, &b));
+    black_box(cg_abft(&op, &b));
+    let mut verdict = None;
+    let mut measured = (0.0, 0.0);
+    for attempt in 1..=3 {
+        let raw = min_seconds(|| cg_raw(&op, &b), 7);
+        let abft = min_seconds(|| cg_abft(&op, &b), 7);
+        let ratio = abft / raw;
+        println!(
+            "integrity_overhead smoke attempt {attempt}: raw {:.1} ms, abft {:.1} ms, ratio {ratio:.4}",
+            raw * 1e3,
+            abft * 1e3,
+        );
+        measured = (raw, ratio);
+        if ratio < 1.05 {
+            verdict = Some(ratio);
+            break;
+        }
+    }
+    let ratio = verdict.expect("ABFT-on clean CG exceeded 5% overhead in 3 attempts");
+    println!("integrity_overhead smoke PASS: abft ratio {ratio:.4} < 1.05");
+
+    // Price the DMA checksum layer the same way (informational — the
+    // trailer word plus receive-side verify rides the functional model's
+    // thread scheduling, so no hard gate).
+    let unchecked = min_seconds(|| shift_run(false) as f64, 5);
+    let checked = min_seconds(|| shift_run(true) as f64, 5);
+    let dma_ratio = checked / unchecked;
+    println!(
+        "integrity_overhead: unchecked shift {:.1} ms, checked {:.1} ms, ratio {dma_ratio:.4}",
+        unchecked * 1e3,
+        checked * 1e3,
+    );
+
+    let mut reg = MetricsRegistry::new();
+    reg.gauge_set("integrity_cg_raw_seconds", &[], measured.0);
+    reg.gauge_set("integrity_abft_overhead_ratio", &[], ratio);
+    reg.gauge_set("integrity_abft_gate", &[], 1.05);
+    reg.gauge_set("integrity_dma_checksum_ratio", &[], dma_ratio);
+    let json = summary_json(&reg, &[]);
+    // The bench runs with the package as CWD; put the artifact where the
+    // examples put theirs (the workspace root, gitignored).
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_integrity.json");
+    std::fs::write(path, &json).expect("write BENCH_integrity.json");
+    println!("Wrote BENCH_integrity.json ({} bytes)", json.len());
+}
+
+fn overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("integrity_overhead");
+    group.sample_size(10);
+    let (gauge, b) = workload();
+    let op = WilsonDirac::new(&gauge, 0.12);
+    group.bench_function("cg_4x4x4x4_raw", |bch| bch.iter(|| cg_raw(&op, &b)));
+    group.bench_function("cg_4x4x4x4_abft_interval_8", |bch| {
+        bch.iter(|| cg_abft(&op, &b))
+    });
+    group.bench_function("shift_4ring_2048_words_unchecked", |bch| {
+        bch.iter(|| shift_run(false))
+    });
+    group.bench_function("shift_4ring_2048_words_checked", |bch| {
+        bch.iter(|| shift_run(true))
+    });
+    group.bench_function("ecc_write_scrub_4096_words", |bch| bch.iter(scrub_run));
+    group.finish();
+}
+
+criterion_group!(benches, overhead);
+
+fn main() {
+    smoke_check();
+    benches();
+}

@@ -286,7 +286,24 @@ pub fn run_traced(
                 ledger.node_mut(r as u32).links[l].dead = true;
             }
         }
-        ledger.node_mut(r as u32).mem_flips = clock.mem_faults(r as u32).len() as u64;
+        // Analytic ECC verdict: the DES has no real memory, but SEC-DED's
+        // outcome is a pure function of how many bits struck each word —
+        // one flip is corrected by the scrub, two or more in the same
+        // word defeat the Hamming distance and latch a machine check.
+        let faults = clock.mem_faults(r as u32);
+        let nh = ledger.node_mut(r as u32);
+        nh.mem_flips = faults.len() as u64;
+        let mut by_addr: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+        for (addr, _) in faults {
+            *by_addr.entry(addr).or_insert(0) += 1;
+        }
+        for &flips in by_addr.values() {
+            if flips == 1 {
+                nh.ecc_corrected += 1;
+            } else {
+                nh.machine_checks += 1;
+            }
+        }
     }
 
     let mut ready = vec![0u64; n];
@@ -524,6 +541,23 @@ mod tests {
                 &FaultPlan::new(8).with_event(FaultEvent::bit_error_rate(5, 0, 0.02)),
             );
             assert_ne!(la.fingerprint(), lc.fingerprint());
+        }
+
+        #[test]
+        fn analytic_ecc_verdict_splits_flips_by_word() {
+            // One flip in one word is corrected; two flips in another word
+            // defeat SEC-DED and condemn the node — same verdicts the
+            // functional engine's real memory model reaches.
+            let cfg = base();
+            let plan = FaultPlan::new(0)
+                .with_event(FaultEvent::mem_bit_flip(3, 0x100, 7))
+                .with_event(FaultEvent::mem_double_flip(3, 0x200, 3, 41));
+            let (_, ledger) = run_with_faults(&cfg, 5, &plan);
+            assert_eq!(ledger.nodes[3].mem_flips, 3);
+            assert_eq!(ledger.nodes[3].ecc_corrected, 1);
+            assert_eq!(ledger.nodes[3].machine_checks, 1);
+            assert_eq!(ledger.unhealthy_nodes(), vec![3]);
+            assert_eq!(ledger.culprit_nodes(), vec![3]);
         }
 
         #[test]

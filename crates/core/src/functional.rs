@@ -84,6 +84,9 @@ pub struct NodeCtx {
     tap: NodeTap,
     wedged: bool,
     mem_flips: u64,
+    /// Whether DMA transfers carry end-to-end block checksums (machine
+    /// opt-in via [`FunctionalMachine::with_block_checksums`]).
+    block_checksums: bool,
     /// Words armed per link since the last accounted completion, used to
     /// charge the telemetry clock with modeled transfer cycles.
     armed_send_words: [u64; 12],
@@ -111,7 +114,11 @@ impl NodeCtx {
             return;
         }
         self.armed_send_words[dir.link_index()] += desc.total_words();
-        self.scu.start_send(dir.link_index(), desc);
+        if self.block_checksums {
+            self.scu.start_send_checked(dir.link_index(), desc);
+        } else {
+            self.scu.start_send(dir.link_index(), desc);
+        }
     }
 
     /// Arm a DMA receive for traffic arriving from `dir` (no-op once the
@@ -121,9 +128,15 @@ impl NodeCtx {
             return;
         }
         self.armed_recv_words[dir.link_index()] += desc.total_words();
-        self.scu
-            .start_recv(dir.link_index(), desc, &mut self.mem)
-            .expect("receive DMA arm failed");
+        if self.block_checksums {
+            self.scu
+                .start_recv_checked(dir.link_index(), desc, &mut self.mem)
+                .expect("receive DMA arm failed");
+        } else {
+            self.scu
+                .start_recv(dir.link_index(), desc, &mut self.mem)
+                .expect("receive DMA arm failed");
+        }
     }
 
     /// Send a supervisor word toward `dir`.
@@ -304,6 +317,7 @@ impl NodeCtx {
     /// the per-node readout the host's diagnostics sweep collects.
     fn health_snapshot(&self) -> NodeHealth {
         let clock = self.tap.clock();
+        let mem_stats = self.mem.stats();
         let mut health = NodeHealth {
             node: self.id.0,
             liveness: if self.wedged {
@@ -315,6 +329,8 @@ impl NodeCtx {
             },
             links: Vec::with_capacity(12),
             mem_flips: self.mem_flips,
+            ecc_corrected: mem_stats.ecc_corrected,
+            machine_checks: mem_stats.machine_checks,
         };
         let stats = self.scu.stats();
         for (link, ls) in stats.links.iter().enumerate() {
@@ -331,6 +347,8 @@ impl NodeCtx {
                 checksum_ok: None,
                 backoff_waits: ls.backoff_waits,
                 retry_exhausted: ls.retry_exhausted,
+                block_rejects: ls.block_rejects,
+                block_resends: ls.block_resends,
             });
         }
         health
@@ -345,6 +363,7 @@ pub struct FunctionalMachine {
     telemetry: Option<TelemetryConfig>,
     retry_policy: RetryPolicy,
     wedge_spins: u32,
+    block_checksums: bool,
 }
 
 impl FunctionalMachine {
@@ -357,7 +376,19 @@ impl FunctionalMachine {
             telemetry: None,
             retry_policy: RetryPolicy::default(),
             wedge_spins: WEDGE_IDLE_SPINS,
+            block_checksums: false,
         }
+    }
+
+    /// Turn on end-to-end DMA block checksums: every [`NodeCtx::start_send`]
+    /// appends a trailing checksum word verified at the receiving SCU
+    /// before the block is retired, so multi-bit bursts that evade the
+    /// per-frame parity are caught mid-run and healed by a whole-block
+    /// replay instead of surfacing only in the end-of-run checksum
+    /// comparison (or not at all).
+    pub fn with_block_checksums(mut self) -> FunctionalMachine {
+        self.block_checksums = true;
+        self
     }
 
     /// Install a fault plan (compiled against this machine when a run
@@ -507,6 +538,7 @@ impl FunctionalMachine {
                 let ddr = self.ddr_bytes;
                 let retry_policy = self.retry_policy;
                 let wedge_spins = self.wedge_spins;
+                let block_checksums = self.block_checksums;
                 scope.spawn(move || {
                     let done_guard = DoneGuard(done);
                     let mut scu = Scu::new();
@@ -528,6 +560,7 @@ impl FunctionalMachine {
                         tap: NodeTap::new(Arc::clone(&clock), node as u32),
                         wedged: false,
                         mem_flips: 0,
+                        block_checksums,
                         armed_send_words: [0; 12],
                         armed_recv_words: [0; 12],
                         link_timing: telemetry.map(|c| c.link).unwrap_or_default(),
@@ -542,6 +575,11 @@ impl FunctionalMachine {
                         }
                     }
                     let r = app(&mut ctx);
+                    // End-of-run ECC scrub: walk the touched footprint so
+                    // soft errors the application never read still get
+                    // corrected (1-bit) or latch a machine check (2-bit)
+                    // before the health snapshot is taken.
+                    let scrub = ctx.mem.scrub();
                     if ctx.telem.is_enabled() {
                         // EDRAM-vs-DDR hit gauges: the end-of-run memory
                         // profile the §4 model needs to locate data.
@@ -554,6 +592,12 @@ impl FunctionalMachine {
                             .gauge_set("node_mem_ddr_reads", ms.ddr_reads as f64);
                         ctx.telem
                             .gauge_set("node_mem_ddr_writes", ms.ddr_writes as f64);
+                        ctx.telem
+                            .gauge_set("node_mem_ecc_corrected", ms.ecc_corrected as f64);
+                        ctx.telem
+                            .gauge_set("node_mem_machine_checks", ms.machine_checks as f64);
+                        ctx.telem
+                            .gauge_set("node_mem_scrub_cycles", scrub.cycles as f64);
                     }
                     let snapshot = ctx.health_snapshot();
                     let parts = ctx.telem.take_parts();
@@ -886,6 +930,99 @@ mod tests {
         assert!(results.iter().any(|&w| w), "somebody must have wedged");
         assert_eq!(ledger.dead_links(), vec![(1, 0)]);
         assert!(ledger.culprit_nodes().contains(&1));
+    }
+
+    #[test]
+    fn parity_evading_burst_is_healed_by_block_checksums() {
+        // A paired burst inside one data frame flips each parity class an
+        // even number of times, so the frame-level code accepts the wrong
+        // word without a reject. Only the end-to-end block checksum
+        // catches it — and a whole-block replay heals it.
+        let plan = FaultPlan::new(0).with_event(FaultEvent::payload_burst(1, 0, 2, 10, 2));
+        let machine = FunctionalMachine::new(ring4())
+            .with_faults(plan)
+            .with_block_checksums();
+        let (results, ledger) = machine.run_with_health(|ctx| {
+            for i in 0..8u64 {
+                ctx.mem
+                    .write_word(0x100 + i * 8, ctx.id.0 as u64 * 100 + i)
+                    .unwrap();
+            }
+            ctx.shift(
+                Axis(0).plus(),
+                DmaDescriptor::contiguous(0x100, 8),
+                DmaDescriptor::contiguous(0x400, 8),
+            );
+            ctx.mem.read_block(0x400, 8).unwrap()
+        });
+        assert_eq!(results[2], (0..8).map(|i| 100 + i).collect::<Vec<_>>());
+        // The frame parity never fired; the block checksum did.
+        assert_eq!(ledger.nodes[2].links[1].rejects, 0);
+        assert!(ledger.nodes[2].links[1].block_rejects >= 1);
+        assert!(ledger.nodes[1].links[0].block_resends >= 1);
+        // After the replay the end-of-run checksum pairings agree again.
+        assert!(ledger.all_checksums_ok());
+        assert!(ledger.unhealthy_nodes().is_empty());
+    }
+
+    #[test]
+    fn without_block_checksums_the_burst_is_silent_until_run_end() {
+        // Same fault, protection off: the wrong word lands in memory and
+        // nothing complains until the end-of-run checksum pairing.
+        let plan = FaultPlan::new(0).with_event(FaultEvent::payload_burst(1, 0, 2, 10, 2));
+        let machine = FunctionalMachine::new(ring4()).with_faults(plan);
+        let (results, ledger) = machine.run_with_health(|ctx| {
+            for i in 0..8u64 {
+                ctx.mem
+                    .write_word(0x100 + i * 8, ctx.id.0 as u64 * 100 + i)
+                    .unwrap();
+            }
+            ctx.shift(
+                Axis(0).plus(),
+                DmaDescriptor::contiguous(0x100, 8),
+                DmaDescriptor::contiguous(0x400, 8),
+            );
+            ctx.mem.read_block(0x400, 8).unwrap()
+        });
+        assert_ne!(
+            results[2],
+            (0..8).map(|i| 100 + i).collect::<Vec<_>>(),
+            "the burst must corrupt node 2's payload silently"
+        );
+        assert_eq!(ledger.nodes[2].links[1].rejects, 0);
+        assert!(
+            !ledger.all_checksums_ok(),
+            "only the end-of-run pairing notices — after the damage is done"
+        );
+    }
+
+    #[test]
+    fn uncorrectable_memory_error_condemns_the_node() {
+        // Two flips of one word defeat SEC-DED correction. Even though
+        // the application never reads the word, the end-of-run scrub
+        // finds it and latches a machine check — casualty evidence.
+        let plan = FaultPlan::new(0).with_event(FaultEvent::mem_double_flip(1, 0x100, 3, 41));
+        let machine = FunctionalMachine::new(ring4()).with_faults(plan);
+        let (_, ledger) = machine.run_with_health(|_ctx| {});
+        assert_eq!(ledger.nodes[1].mem_flips, 2);
+        assert!(ledger.nodes[1].machine_checks >= 1);
+        assert_eq!(ledger.nodes[1].ecc_corrected, 0);
+        assert_eq!(ledger.unhealthy_nodes(), vec![1]);
+        assert_eq!(ledger.culprit_nodes(), vec![1]);
+    }
+
+    #[test]
+    fn correctable_soft_error_is_scrubbed_without_casualty() {
+        // A single flipped bit is corrected on read; the only evidence is
+        // the counter. The node stays healthy.
+        let plan = FaultPlan::new(0).with_event(FaultEvent::mem_bit_flip(1, 0x100, 17));
+        let machine = FunctionalMachine::new(ring4()).with_faults(plan);
+        let (values, ledger) = machine.run_with_health(|ctx| ctx.mem.read_word(0x100).unwrap());
+        assert_eq!(values[1], 0, "the read must return the corrected value");
+        assert_eq!(ledger.nodes[1].mem_flips, 1);
+        assert!(ledger.nodes[1].ecc_corrected >= 1);
+        assert_eq!(ledger.nodes[1].machine_checks, 0);
+        assert!(ledger.unhealthy_nodes().is_empty());
     }
 
     #[test]

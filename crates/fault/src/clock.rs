@@ -32,6 +32,7 @@ fn unit(bits: u64) -> f64 {
 pub struct FaultClock {
     seed: u64,
     bit_flips: Vec<(u32, usize, u64, usize, usize)>,
+    payload_bursts: Vec<(u32, usize, u64, usize, usize)>,
     error_rates: Vec<(u32, usize, f64)>,
     stalls: Vec<(u32, usize, usize, u64)>,
     dead_links: Vec<(u32, usize, u64)>,
@@ -51,6 +52,7 @@ impl FaultClock {
         let mut clock = FaultClock {
             seed: plan.seed,
             bit_flips: Vec::new(),
+            payload_bursts: Vec::new(),
             error_rates: Vec::new(),
             stalls: Vec::new(),
             dead_links: Vec::new(),
@@ -96,6 +98,23 @@ impl FaultClock {
                 }
                 FaultKind::NodeCrash { iteration } => clock.crashes.push((node, iteration)),
                 FaultKind::MemBitFlip { addr, bit } => clock.mem_flips.push((node, addr, bit)),
+                FaultKind::MemDoubleFlip { addr, bit, bit2 } => {
+                    assert_ne!(bit, bit2, "a double flip needs two distinct bits");
+                    // Two raw flips of the same word: the injection loop
+                    // stays a plain (addr, bit) stream, and SEC-DED sees
+                    // an uncorrectable word.
+                    clock.mem_flips.push((node, addr, bit));
+                    clock.mem_flips.push((node, addr, bit2));
+                }
+                FaultKind::PayloadBurst {
+                    seq,
+                    first_bit,
+                    pairs,
+                } => {
+                    clock
+                        .payload_bursts
+                        .push((node, link, seq, first_bit, pairs.clamp(1, 16)));
+                }
             }
         }
         clock
@@ -137,6 +156,18 @@ impl FaultClock {
             if n == node && l == link && seq == wf.seq {
                 for b in 0..burst {
                     wf.frame.corrupt_bit((first_bit + b) % bits);
+                }
+                hit = true;
+            }
+        }
+        for &(n, l, seq, first_bit, pairs) in &self.payload_bursts {
+            if n == node && l == link && seq == wf.seq && bits >= 72 {
+                // 2·pairs flips, all in the payload (frame bits 8..72) and
+                // all in the same even/odd parity class (spacing 2): both
+                // class parities flip an even number of times, so the
+                // frame still decodes — carrying a wrong word.
+                for k in 0..2 * pairs {
+                    wf.frame.corrupt_bit(8 + (first_bit + 2 * k) % 64);
                 }
                 hit = true;
             }
@@ -502,6 +533,47 @@ mod tests {
             (150..=700).contains(&total),
             "λ=1/iter over 400 iters, got {total}"
         );
+    }
+
+    #[test]
+    fn payload_burst_evades_frame_parity() {
+        let plan = FaultPlan::new(2).with_event(FaultEvent::payload_burst(0, 0, 3, 12, 2));
+        let clock = FaultClock::resolve(&plan, 1, 2);
+        let mut wf = frame(3, 0xDEAD_BEEF_CAFE_F00D);
+        assert!(clock.corrupt_fresh(0, 0, &mut wf));
+        // The defining property: the frame parity does NOT catch it …
+        let decoded = wf.frame.decode().expect("burst must evade frame parity");
+        // … and the carried word is silently wrong.
+        assert_ne!(decoded, Packet::Normal(0xDEAD_BEEF_CAFE_F00D));
+        assert!(matches!(decoded, Packet::Normal(_)));
+        // Other sequence numbers travel clean.
+        let mut miss = frame(4, 1);
+        assert!(!clock.corrupt_fresh(0, 0, &mut miss));
+    }
+
+    #[test]
+    fn payload_bursts_of_every_width_evade_parity() {
+        for pairs in 1..=16 {
+            for first_bit in 0..64 {
+                let plan = FaultPlan::new(0)
+                    .with_event(FaultEvent::payload_burst(0, 0, 0, first_bit, pairs));
+                let clock = FaultClock::resolve(&plan, 1, 2);
+                let mut wf = frame(0, 0x0123_4567_89AB_CDEF);
+                assert!(clock.corrupt_fresh(0, 0, &mut wf));
+                assert!(
+                    wf.frame.decode().is_ok(),
+                    "burst pairs={pairs} first_bit={first_bit} tripped frame parity"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mem_double_flip_yields_two_flips_of_one_word() {
+        let plan = FaultPlan::new(0).with_event(FaultEvent::mem_double_flip(1, 0x200, 3, 41));
+        let clock = FaultClock::resolve(&plan, 4, 2);
+        assert_eq!(clock.mem_faults(1), vec![(0x200, 3), (0x200, 41)]);
+        assert!(clock.mem_faults(0).is_empty());
     }
 
     #[test]

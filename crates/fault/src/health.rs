@@ -51,6 +51,11 @@ pub struct LinkHealth {
     /// Whether the send unit exhausted its retry budget and went silent —
     /// the link-level escalation verdict (`LinkVerdict::Dead`).
     pub retry_exhausted: bool,
+    /// Checked DMA blocks whose end-to-end checksum failed at the receive
+    /// unit (corruption that evaded the per-frame parity).
+    pub block_rejects: u64,
+    /// Whole-block replays the send unit performed after a block reject.
+    pub block_resends: u64,
 }
 
 /// End-of-run health of one node.
@@ -62,8 +67,17 @@ pub struct NodeHealth {
     pub liveness: Liveness,
     /// Per-wire health, indexed by `Direction::link_index` (0..12).
     pub links: Vec<LinkHealth>,
-    /// Memory soft errors injected into this node before the run.
+    /// Memory soft-error bits injected into this node (raw injection
+    /// count, before the ECC verdict splits them into corrected vs
+    /// machine-checked).
     pub mem_flips: u64,
+    /// Single-bit memory errors the SEC-DED code corrected (on read or
+    /// scrub). Corrected errors are *not* casualty evidence: the paper's
+    /// ECC exists precisely so these never take a node down.
+    pub ecc_corrected: u64,
+    /// Uncorrectable memory words the node latched machine checks for.
+    /// Any nonzero value condemns the node like a crash.
+    pub machine_checks: u64,
 }
 
 impl NodeHealth {
@@ -73,6 +87,8 @@ impl NodeHealth {
             liveness: Liveness::Alive,
             links: vec![LinkHealth::default(); LINKS],
             mem_flips: 0,
+            ecc_corrected: 0,
+            machine_checks: 0,
         }
     }
 }
@@ -167,14 +183,16 @@ impl HealthLedger {
     }
 
     /// Nodes that did not finish healthy: crashed, wedged, any dead or
-    /// retry-exhausted wire, a failed checksum pairing, or an injected
-    /// memory error.
+    /// retry-exhausted wire, a failed checksum pairing, or an
+    /// uncorrectable memory error (machine check). A soft error the ECC
+    /// *corrected* leaves the node healthy — that is the point of the
+    /// code.
     pub fn unhealthy_nodes(&self) -> Vec<u32> {
         self.nodes
             .iter()
             .filter(|n| {
                 n.liveness != Liveness::Alive
-                    || n.mem_flips > 0
+                    || n.machine_checks > 0
                     || n.links
                         .iter()
                         .any(|l| l.dead || l.retry_exhausted || l.checksum_ok == Some(false))
@@ -184,7 +202,8 @@ impl HealthLedger {
     }
 
     /// Nodes with *hardware evidence* of their own failure: a scheduled
-    /// crash, a dead or retry-exhausted wire, or an injected memory error.
+    /// crash, a dead or retry-exhausted wire, or a latched machine check
+    /// (uncorrectable memory error).
     ///
     /// This is the quarantine set. [`HealthLedger::unhealthy_nodes`] also
     /// flags collateral damage — in a tightly coupled calculation one dead
@@ -197,11 +216,31 @@ impl HealthLedger {
             .iter()
             .filter(|n| {
                 matches!(n.liveness, Liveness::Crashed { .. })
-                    || n.mem_flips > 0
+                    || n.machine_checks > 0
                     || n.links.iter().any(|l| l.dead || l.retry_exhausted)
             })
             .map(|n| n.node)
             .collect()
+    }
+
+    /// Total single-bit memory corrections across the machine — the
+    /// `ecc_corrections` figure of the host's hardware status readout.
+    pub fn total_ecc_corrected(&self) -> u64 {
+        self.nodes.iter().map(|n| n.ecc_corrected).sum()
+    }
+
+    /// Total latched machine checks across the machine.
+    pub fn total_machine_checks(&self) -> u64 {
+        self.nodes.iter().map(|n| n.machine_checks).sum()
+    }
+
+    /// Total checked-DMA block checksum failures across the machine.
+    pub fn total_block_rejects(&self) -> u64 {
+        self.nodes
+            .iter()
+            .flat_map(|n| &n.links)
+            .map(|l| l.block_rejects)
+            .sum()
     }
 
     /// Whether every finalized checksum pairing agreed.
@@ -233,6 +272,8 @@ impl HealthLedger {
                 },
             );
             reg.gauge_set("node_mem_flips", &node_labels, n.mem_flips as f64);
+            reg.gauge_set("node_ecc_corrected", &node_labels, n.ecc_corrected as f64);
+            reg.gauge_set("node_machine_checks", &node_labels, n.machine_checks as f64);
             for (link, l) in n.links.iter().enumerate() {
                 let active = l.sent_words > 0
                     || l.received_words > 0
@@ -242,7 +283,9 @@ impl HealthLedger {
                     || l.stall_cycles > 0
                     || l.dead
                     || l.backoff_waits > 0
-                    || l.retry_exhausted;
+                    || l.retry_exhausted
+                    || l.block_rejects > 0
+                    || l.block_resends > 0;
                 if !active {
                     continue;
                 }
@@ -260,6 +303,12 @@ impl HealthLedger {
                 if l.retry_exhausted {
                     reg.gauge_set("scu_link_retry_exhausted", &labels, 1.0);
                 }
+                if l.block_rejects > 0 {
+                    reg.gauge_set("scu_link_block_rejects", &labels, l.block_rejects as f64);
+                }
+                if l.block_resends > 0 {
+                    reg.gauge_set("scu_link_block_resends", &labels, l.block_resends as f64);
+                }
                 if let Some(ok) = l.checksum_ok {
                     reg.gauge_set("scu_link_checksum_ok", &labels, u64::from(ok) as f64);
                 }
@@ -276,6 +325,21 @@ impl HealthLedger {
         reg.gauge_set("machine_dead_links", &[], self.dead_links().len() as f64);
         reg.gauge_set("machine_checksum_mismatches", &[], mismatches as f64);
         reg.gauge_set(
+            "machine_ecc_corrected",
+            &[],
+            self.total_ecc_corrected() as f64,
+        );
+        reg.gauge_set(
+            "machine_machine_checks",
+            &[],
+            self.total_machine_checks() as f64,
+        );
+        reg.gauge_set(
+            "machine_block_rejects",
+            &[],
+            self.total_block_rejects() as f64,
+        );
+        reg.gauge_set(
             "machine_unhealthy_nodes",
             &[],
             self.unhealthy_nodes().len() as f64,
@@ -284,12 +348,15 @@ impl HealthLedger {
 
     /// FNV-1a digest of the ledger's *deterministic* fields: word counts,
     /// injected-fault counts, stall time, dead flags, checksums, liveness,
-    /// and memory flips. Resend/reject counters are excluded — with a
-    /// threaded execution engine they depend on scheduling (an ack that
-    /// arrives a frame later causes an extra, harmless rewind) while
-    /// everything hashed here does not. Backoff waits and retry-budget
-    /// verdicts are excluded for the same reason: they are functions of
-    /// the resend count. Two same-seed runs must produce equal
+    /// memory flips and their ECC verdicts, and checked-block rejects and
+    /// replays. Resend/reject counters are excluded — with a threaded
+    /// execution engine they depend on scheduling (an ack that arrives a
+    /// frame later causes an extra, harmless rewind) while everything
+    /// hashed here does not. Backoff waits and retry-budget verdicts are
+    /// excluded for the same reason: they are functions of the resend
+    /// count. Block rejects *are* hashed: the payload bursts that cause
+    /// them strike fresh transmissions only, so their count is a pure
+    /// function of the fault plan. Two same-seed runs must produce equal
     /// fingerprints.
     pub fn fingerprint(&self) -> u64 {
         let mut h: u64 = 0xCBF2_9CE4_8422_2325;
@@ -307,6 +374,8 @@ impl HealthLedger {
                 Liveness::Wedged => 2,
             });
             eat(n.mem_flips);
+            eat(n.ecc_corrected);
+            eat(n.machine_checks);
             for l in &n.links {
                 eat(l.sent_words);
                 eat(l.received_words);
@@ -315,6 +384,8 @@ impl HealthLedger {
                 eat(u64::from(l.dead));
                 eat(l.send_checksum);
                 eat(l.recv_checksum);
+                eat(l.block_rejects);
+                eat(l.block_resends);
             }
         }
         h
@@ -377,6 +448,7 @@ mod tests {
         ledger.node_mut(0).links[0].resends = 3;
         ledger.node_mut(1).liveness = Liveness::Wedged;
         ledger.node_mut(1).mem_flips = 2;
+        ledger.node_mut(1).ecc_corrected = 2;
         let mut reg = MetricsRegistry::new();
         ledger.export_metrics(&mut reg);
         let once = reg.clone();
@@ -392,6 +464,12 @@ mod tests {
             reg.gauge("node_mem_flips", &[("node", "1".to_string())]),
             Some(2.0)
         );
+        assert_eq!(
+            reg.gauge("node_ecc_corrected", &[("node", "1".to_string())]),
+            Some(2.0)
+        );
+        assert_eq!(reg.gauge("machine_ecc_corrected", &[]), Some(2.0));
+        assert_eq!(reg.gauge("machine_machine_checks", &[]), Some(0.0));
         assert_eq!(reg.gauge("machine_total_resends", &[]), Some(3.0));
         assert_eq!(reg.gauge("machine_unhealthy_nodes", &[]), Some(1.0));
         // Idle wires are skipped: only node 0 link 0 has scu_link_ series.
@@ -406,11 +484,51 @@ mod tests {
         ledger.node_mut(2).links[7].resends = 5;
         ledger.node_mut(1).links[3].dead = true;
         ledger.node_mut(2).links[7].injected = 9;
+        // A corrected soft error is NOT a casualty; a machine check is.
         ledger.node_mut(2).mem_flips = 1;
+        ledger.node_mut(2).ecc_corrected = 1;
         assert_eq!(ledger.total_resends(), 7);
         assert_eq!(ledger.total_injected(), 9);
+        assert_eq!(ledger.total_ecc_corrected(), 1);
         assert_eq!(ledger.dead_links(), vec![(1, 3)]);
+        assert_eq!(ledger.unhealthy_nodes(), vec![1]);
+        ledger.node_mut(2).machine_checks = 1;
         assert_eq!(ledger.unhealthy_nodes(), vec![1, 2]);
+        assert_eq!(ledger.total_machine_checks(), 1);
+    }
+
+    #[test]
+    fn corrected_errors_are_not_culprit_evidence_but_machine_checks_are() {
+        let mut ledger = HealthLedger::new(4);
+        ledger.node_mut(1).mem_flips = 3;
+        ledger.node_mut(1).ecc_corrected = 3;
+        assert!(ledger.culprit_nodes().is_empty());
+        assert!(ledger.unhealthy_nodes().is_empty());
+        ledger.node_mut(2).mem_flips = 2;
+        ledger.node_mut(2).machine_checks = 1;
+        assert_eq!(ledger.culprit_nodes(), vec![2]);
+        assert_eq!(ledger.unhealthy_nodes(), vec![2]);
+    }
+
+    #[test]
+    fn block_counters_export_and_fingerprint() {
+        let mut ledger = HealthLedger::new(2);
+        ledger.node_mut(0).links[2].block_rejects = 1;
+        ledger.node_mut(0).links[2].block_resends = 1;
+        // Block activity alone makes the wire active in the export …
+        let mut reg = MetricsRegistry::new();
+        ledger.export_metrics(&mut reg);
+        let l = [("node", "0".to_string()), ("link", "2".to_string())];
+        assert_eq!(reg.gauge("scu_link_block_rejects", &l), Some(1.0));
+        assert_eq!(reg.gauge("scu_link_block_resends", &l), Some(1.0));
+        assert_eq!(reg.gauge("machine_block_rejects", &[]), Some(1.0));
+        // … a caught-and-healed block does not condemn anyone …
+        assert!(ledger.unhealthy_nodes().is_empty());
+        // … and the counters are deterministic, so the fingerprint sees
+        // them.
+        let mut clean = ledger.clone();
+        clean.node_mut(0).links[2].block_rejects = 0;
+        assert_ne!(ledger.fingerprint(), clean.fingerprint());
     }
 
     #[test]

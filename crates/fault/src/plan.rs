@@ -76,12 +76,39 @@ pub enum FaultKind {
         iteration: usize,
     },
     /// Flip `bit` of the 64-bit word at byte address `addr` in the node's
-    /// EDRAM/DDR before the run starts — a memory soft error.
+    /// EDRAM/DDR before the run starts — a *correctable* memory soft
+    /// error: the SEC-DED code fixes it on the next read or scrub.
     MemBitFlip {
         /// Byte address of the afflicted word.
         addr: u64,
         /// Bit within the word (0..64).
         bit: u32,
+    },
+    /// Flip two distinct bits of the *same* word — an *uncorrectable*
+    /// memory soft error. SEC-DED detects it (nonzero syndrome, even
+    /// overall parity) but cannot fix it: the node latches a machine check
+    /// and the health machinery treats it like a casualty.
+    MemDoubleFlip {
+        /// Byte address of the afflicted word.
+        addr: u64,
+        /// First flipped bit (0..64).
+        bit: u32,
+        /// Second flipped bit (0..64, distinct from `bit`).
+        bit2: u32,
+    },
+    /// A multi-bit burst inside one data frame's *payload*, engineered to
+    /// evade the per-frame parity: `2 * pairs` flips all land in the same
+    /// even/odd parity class (positions spaced 2 apart), so both class
+    /// parities are flipped an even number of times and the frame decodes
+    /// clean — with a wrong word. Only the end-to-end DMA block checksum
+    /// catches it. Applied to the first transmission only.
+    PayloadBurst {
+        /// Data sequence number of the corrupted word.
+        seq: u64,
+        /// First flipped payload bit (taken modulo 64).
+        first_bit: usize,
+        /// Number of *pairs* of same-class flips (1..=16; 2·pairs bits).
+        pairs: usize,
     },
 }
 
@@ -186,12 +213,44 @@ impl FaultEvent {
         }
     }
 
-    /// A memory soft error in `node`'s address space.
+    /// A correctable (single-bit) memory soft error in `node`'s address
+    /// space.
     pub fn mem_bit_flip(node: u32, addr: u64, bit: u32) -> FaultEvent {
         FaultEvent {
             node: NodeSelect::Node(node),
             link: LinkSelect::Link(0),
             kind: FaultKind::MemBitFlip { addr, bit },
+        }
+    }
+
+    /// An uncorrectable (double-bit) memory soft error: both flips strike
+    /// the same word, defeating SEC-DED correction.
+    pub fn mem_double_flip(node: u32, addr: u64, bit: u32, bit2: u32) -> FaultEvent {
+        assert_ne!(bit, bit2, "a double flip needs two distinct bits");
+        FaultEvent {
+            node: NodeSelect::Node(node),
+            link: LinkSelect::Link(0),
+            kind: FaultKind::MemDoubleFlip { addr, bit, bit2 },
+        }
+    }
+
+    /// A parity-evading payload burst in the frame carrying data word
+    /// `seq` on `node`'s `link`.
+    pub fn payload_burst(
+        node: u32,
+        link: usize,
+        seq: u64,
+        first_bit: usize,
+        pairs: usize,
+    ) -> FaultEvent {
+        FaultEvent {
+            node: NodeSelect::Node(node),
+            link: LinkSelect::Link(link),
+            kind: FaultKind::PayloadBurst {
+                seq,
+                first_bit,
+                pairs,
+            },
         }
     }
 }

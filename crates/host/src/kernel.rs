@@ -160,6 +160,21 @@ impl RunKernel {
         self.status.checksums_ok &= ok;
     }
 
+    /// Record single-bit memory corrections the ECC hardware performed.
+    pub fn record_ecc_corrections(&mut self, count: u64) {
+        self.status.ecc_corrections += count;
+    }
+
+    /// Fold a machine-sweep snapshot of this node's hardware counters into
+    /// the kernel's status. Sweep counters are cumulative totals, so the
+    /// merge takes the maximum — re-ingesting the same sweep is idempotent
+    /// — while a checksum failure stays sticky.
+    pub fn merge_hardware(&mut self, snapshot: HardwareStatus) {
+        self.status.link_errors = self.status.link_errors.max(snapshot.link_errors);
+        self.status.ecc_corrections = self.status.ecc_corrections.max(snapshot.ecc_corrections);
+        self.status.checksums_ok &= snapshot.checksums_ok;
+    }
+
     /// Current phase.
     pub fn phase(&self) -> KernelPhase {
         self.phase

@@ -35,6 +35,12 @@ pub enum Command {
         /// Partition id.
         id: u32,
     },
+    /// `qhw <id>` — print the hardware report of a partition (link
+    /// errors, ECC corrections, checksum result across its nodes).
+    Hardware {
+        /// Partition id.
+        id: u32,
+    },
 }
 
 /// Parse a command line.
@@ -69,6 +75,14 @@ pub fn parse(line: &str) -> Result<Command, String> {
                 .parse()
                 .map_err(|e| format!("{e}"))?;
             Ok(Command::Cat { id })
+        }
+        Some("qhw") => {
+            let id = words
+                .next()
+                .ok_or("qhw needs an id")?
+                .parse()
+                .map_err(|e| format!("{e}"))?;
+            Ok(Command::Hardware { id })
         }
         Some(other) => Err(format!("unknown command: {other}")),
         None => Err("empty command".into()),
@@ -145,6 +159,15 @@ impl Qcsh {
                 Some(out) => String::from_utf8_lossy(out).into_owned(),
                 None => format!("error: no partition {id}"),
             },
+            Command::Hardware { id } => match q.hardware_report(*id) {
+                Some(hw) => format!(
+                    "link errors {} ecc corrections {} checksums {}",
+                    hw.link_errors,
+                    hw.ecc_corrections,
+                    if hw.checksums_ok { "ok" } else { "FAILED" }
+                ),
+                None => format!("error: no partition {id}"),
+            },
         }
     }
 
@@ -196,6 +219,8 @@ mod tests {
         assert_eq!(parse("qstat"), Ok(Command::Status));
         assert_eq!(parse("qfree 2"), Ok(Command::Free { id: 2 }));
         assert_eq!(parse("qcat 0"), Ok(Command::Cat { id: 0 }));
+        assert_eq!(parse("qhw 1"), Ok(Command::Hardware { id: 1 }));
+        assert!(parse("qhw").is_err());
         assert!(parse("qpartition 9").is_err());
         assert!(parse("rm -rf /").is_err());
         assert!(parse("").is_err());
@@ -225,6 +250,31 @@ mod tests {
         q.return_output(0, b"sweep 1: plaquette 0.5812\n");
         let out = sh.execute(&mut q, &Command::Cat { id: 0 });
         assert!(out.contains("plaquette"));
+    }
+
+    #[test]
+    fn hardware_report_through_qhw() {
+        use qcdoc_fault::HealthLedger;
+        let mut q = Qdaemon::new(machine());
+        let mut sh = Qcsh::new(1001, &[]);
+        sh.execute(&mut q, &Command::Boot);
+        sh.execute(&mut q, &Command::Partition { rank: 6 });
+        // A sweep saw three corrected memory errors on node 5 and two
+        // checksum-rejected DMA blocks on node 7; all healed in place.
+        let mut ledger = HealthLedger::new(32);
+        ledger.node_mut(5).ecc_corrected = 3;
+        ledger.node_mut(7).links[2].block_rejects = 2;
+        q.ingest_health(&ledger);
+        let out = sh.execute(&mut q, &Command::Hardware { id: 0 });
+        assert_eq!(out, "link errors 2 ecc corrections 3 checksums ok");
+        // An end-of-run checksum mismatch flips the verdict and sticks.
+        ledger.node_mut(2).links[0].checksum_ok = Some(false);
+        q.ingest_health(&ledger);
+        let out = sh.execute(&mut q, &Command::Hardware { id: 0 });
+        assert_eq!(out, "link errors 2 ecc corrections 3 checksums FAILED");
+        // Unknown partitions report an error, not a panic.
+        let out = sh.execute(&mut q, &Command::Hardware { id: 9 });
+        assert_eq!(out, "error: no partition 9");
     }
 
     #[test]

@@ -252,6 +252,25 @@ impl Qdaemon {
             .flat_map(|n| &n.links)
             .filter(|l| l.checksum_ok == Some(false))
             .count();
+        // Feed each node's kernel the hardware counters the sweep carried,
+        // so the RPC `HardwareReport` triple reflects what the machine
+        // actually saw. `merge_hardware` is a max-merge: re-ingesting the
+        // same sweep changes nothing.
+        if ledger.nodes.len() == self.machine.node_count() {
+            for (node, nh) in ledger.nodes.iter().enumerate() {
+                let link_errors = nh
+                    .links
+                    .iter()
+                    .map(|l| l.rejects + l.block_rejects)
+                    .sum::<u64>();
+                let checksums_ok = nh.links.iter().all(|l| l.checksum_ok != Some(false));
+                self.kernels[node].merge_hardware(crate::kernel::HardwareStatus {
+                    link_errors,
+                    ecc_corrections: nh.ecc_corrected,
+                    checksums_ok,
+                });
+            }
+        }
         // Each node reports 12 links × 9 counters/checksums (8 bytes each)
         // plus a small per-node header, collected over the same tree that
         // carried the boot kernels.
@@ -326,6 +345,31 @@ impl Qdaemon {
     /// Run kernel of a node (for job wiring in `qcdoc-core`).
     pub fn kernel_mut(&mut self, node: NodeId) -> &mut RunKernel {
         &mut self.kernels[node.index()]
+    }
+
+    /// Read-only view of a node's run kernel.
+    pub fn kernel(&self, node: NodeId) -> &RunKernel {
+        &self.kernels[node.index()]
+    }
+
+    /// Aggregate hardware status over an allocated partition — the §3.2
+    /// end-of-job report the user sees: summed link parity errors and ECC
+    /// corrections over the member nodes, checksums good only if every
+    /// member's pairings agreed. `None` for an unknown partition id.
+    pub fn hardware_report(&self, id: u32) -> Option<crate::kernel::HardwareStatus> {
+        let a = self.allocations.get(&id)?;
+        let mut total = crate::kernel::HardwareStatus {
+            checksums_ok: true,
+            ..Default::default()
+        };
+        for i in 0..a.partition.node_count() {
+            let m = a.partition.physical_id(NodeId(i as u32));
+            let s = self.kernels[m.index()].hardware_status();
+            total.link_errors += s.link_errors;
+            total.ecc_corrections += s.ecc_corrections;
+            total.checksums_ok &= s.checksums_ok;
+        }
+        Some(total)
     }
 
     /// Whether a node's kernel is idle and ready for a job.
@@ -547,6 +591,34 @@ mod tests {
         assert_eq!(report.total_injected, 2);
         let (ready, _, faulty, _) = q.census();
         assert_eq!((ready, faulty), (32, 0));
+    }
+
+    #[test]
+    fn sweep_counters_feed_the_kernels() {
+        use qcdoc_fault::HealthLedger;
+        let mut q = Qdaemon::new(small_machine());
+        q.boot(&[]);
+        let id = q.allocate(PartitionSpec::native(q.machine())).unwrap();
+        let mut ledger = HealthLedger::new(32);
+        ledger.node_mut(4).ecc_corrected = 5;
+        ledger.node_mut(4).links[1].rejects = 2;
+        ledger.node_mut(8).links[0].block_rejects = 1;
+        q.ingest_health(&ledger);
+        // Per-node kernels carry exactly what the sweep saw for them.
+        let s4 = q.kernel(NodeId(4)).hardware_status();
+        assert_eq!((s4.link_errors, s4.ecc_corrections), (2, 5));
+        assert!(s4.checksums_ok);
+        let s8 = q.kernel(NodeId(8)).hardware_status();
+        assert_eq!((s8.link_errors, s8.ecc_corrections), (1, 0));
+        // The partition aggregate sums counters over all members.
+        let hw = q.hardware_report(id).unwrap();
+        assert_eq!((hw.link_errors, hw.ecc_corrections), (3, 5));
+        assert!(hw.checksums_ok);
+        // Re-ingesting the same sweep is idempotent: cumulative totals
+        // max-merge instead of double-counting.
+        q.ingest_health(&ledger);
+        let hw2 = q.hardware_report(id).unwrap();
+        assert_eq!(hw, hw2);
     }
 
     #[test]

@@ -298,8 +298,30 @@ mod tests {
         let mut server = booted_server();
         server.kernel_mut().record_link_error();
         server.kernel_mut().record_checksum_result(true);
+        server.kernel_mut().record_ecc_corrections(3);
         let mut client = RpcClient::new();
         let reply = client.call(&mut server, RpcCall::HardwareReport, 0, |_| true);
-        assert_eq!(reply, Some(RpcReply::Hardware(1, 0, true)));
+        assert_eq!(reply, Some(RpcReply::Hardware(1, 3, true)));
+    }
+
+    #[test]
+    fn sweep_fed_counters_surface_in_the_rpc_reply() {
+        use crate::qdaemon::Qdaemon;
+        use qcdoc_fault::HealthLedger;
+        use qcdoc_geometry::{NodeId, TorusShape};
+        // The qdaemon ingests a machine sweep that saw corrected memory
+        // errors and a checksum-rejected DMA block; the node kernel's
+        // hardware triple — what `HardwareReport` returns to the user —
+        // must carry those real counters.
+        let mut q = Qdaemon::new(TorusShape::new(&[4, 2, 2, 2, 1, 1]));
+        q.boot(&[]);
+        let mut ledger = HealthLedger::new(32);
+        ledger.node_mut(6).ecc_corrected = 4;
+        ledger.node_mut(6).links[3].block_rejects = 1;
+        q.ingest_health(&ledger);
+        let mut server = RpcServer::new(q.kernel(NodeId(6)).clone());
+        let mut client = RpcClient::new();
+        let reply = client.call(&mut server, RpcCall::HardwareReport, 0, |_| true);
+        assert_eq!(reply, Some(RpcReply::Hardware(1, 4, true)));
     }
 }

@@ -35,6 +35,13 @@ pub trait KrylovVector: Clone {
     /// Restore values previously captured by [`KrylovVector::to_bits`].
     /// Panics if `bits` does not match the field's shape.
     fn load_bits(&mut self, bits: &[u64]);
+    /// Linear content checksum: the plain sum of every scalar component.
+    /// Linearity is what makes it ABFT-usable — the CG updates propagate
+    /// it exactly up to roundoff: `s(x + a·y) = s(x) + a·s(y)` — so a
+    /// cheaply-maintained running copy can audit the stored vector.
+    fn checksum(&self) -> f64 {
+        self.to_bits().iter().map(|&b| f64::from_bits(b)).sum()
+    }
 }
 
 impl<T: Real> KrylovVector for FermionField<T> {
@@ -52,6 +59,22 @@ impl<T: Real> KrylovVector for FermionField<T> {
     }
     fn fill_zero(&mut self) {
         self.scale(C64::ZERO)
+    }
+    fn checksum(&self) -> f64 {
+        // Same values in the same order as the default, without the
+        // `to_bits` allocation — this runs once per CG iteration when
+        // ABFT is on, so it must stay off the heap.
+        let mut s = 0.0;
+        for i in self.lattice().sites() {
+            let sp = self.site(i);
+            for cv in &sp.0 {
+                for z in &cv.0 {
+                    s += f64::from_bits(z.re.bits64());
+                    s += f64::from_bits(z.im.bits64());
+                }
+            }
+        }
+        s
     }
     fn to_bits(&self) -> Vec<u64> {
         let lat = self.lattice();
@@ -99,6 +122,16 @@ impl<T: Real> KrylovVector for StaggeredField<T> {
     fn fill_zero(&mut self) {
         *self = StaggeredField::zero(self.lattice());
     }
+    fn checksum(&self) -> f64 {
+        let mut s = 0.0;
+        for i in self.lattice().sites() {
+            for z in &self.site(i).0 {
+                s += f64::from_bits(z.re.bits64());
+                s += f64::from_bits(z.im.bits64());
+            }
+        }
+        s
+    }
     fn to_bits(&self) -> Vec<u64> {
         let lat = self.lattice();
         let mut out = Vec::with_capacity(lat.volume() * 6);
@@ -140,6 +173,9 @@ impl<T: Real> KrylovVector for DwfField<T> {
         let lat = self.lattice();
         let ls = self.ls();
         *self = DwfField::zero(lat, ls);
+    }
+    fn checksum(&self) -> f64 {
+        (0..self.ls()).map(|s| self.slice(s).checksum()).sum()
     }
     fn to_bits(&self) -> Vec<u64> {
         (0..self.ls())
@@ -447,10 +483,116 @@ fn snapshot<Op: DiracOperator>(
     }
 }
 
+/// Configuration for [`solve_cgne_abft`]'s checksum audit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AbftParams {
+    /// Verify the running checksums against the stored vectors every
+    /// this many iterations. The clean-run cost is three content sums
+    /// per verification; smaller intervals bound the replay distance.
+    pub interval: usize,
+    /// Mismatch threshold separating roundoff drift from corruption,
+    /// relative to `1 + |checksum| + ‖vector‖`.
+    pub tolerance: f64,
+    /// Rollbacks allowed before the solve gives up — a bound against
+    /// persistent (non-transient) corruption replaying forever.
+    pub max_rollbacks: u32,
+}
+
+impl Default for AbftParams {
+    fn default() -> Self {
+        AbftParams {
+            interval: 8,
+            tolerance: 1e-8,
+            max_rollbacks: 4,
+        }
+    }
+}
+
+/// What [`solve_cgne_abft`]'s audit observed during a solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct AbftReport {
+    /// Checksum verifications performed (periodic plus the exit audit).
+    pub verifications: u64,
+    /// Verifications that found a corrupted vector.
+    pub detections: u64,
+    /// Rollbacks to the last verified state.
+    pub rollbacks: u64,
+    /// Whether the rollback budget ran out with corruption still present.
+    pub exhausted: bool,
+}
+
+/// Which loop-carried vector a [`SolverTamper`] strikes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TamperTarget {
+    /// The accumulating solution.
+    X,
+    /// The recurrence residual.
+    R,
+    /// The search direction.
+    P,
+}
+
+/// A seeded silent-data-corruption strike against solver state — the
+/// solver-level analogue of `qcdoc-fault`'s memory flips. At the end of
+/// iteration `iteration`, `bits` is XORed into word `word` of the target
+/// vector's IEEE-754 image, after the running checksums were updated:
+/// exactly the store-side corruption the ABFT audit exists to catch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolverTamper {
+    /// One-based iteration count at which the strike lands.
+    pub iteration: usize,
+    /// The vector struck.
+    pub target: TamperTarget,
+    /// Word index into the vector's bit image (taken modulo its length).
+    pub word: usize,
+    /// Bit pattern XORed into that word.
+    pub bits: u64,
+}
+
+/// Running-checksum state threaded through [`cg_loop`] when ABFT is on.
+struct AbftTracker {
+    interval: usize,
+    tolerance: f64,
+    s_x: f64,
+    s_r: f64,
+    s_p: f64,
+    verifications: u64,
+    detected_at: Option<usize>,
+    tamper: Option<SolverTamper>,
+}
+
+impl AbftTracker {
+    /// Reset the running checksums to the stored vectors' actual sums —
+    /// done after every successful verification so roundoff drift never
+    /// accumulates past one audit window.
+    fn rebaseline<F: KrylovVector>(&mut self, x: &F, r: &F, p: &F) {
+        self.s_x = x.checksum();
+        self.s_r = r.checksum();
+        self.s_p = p.checksum();
+    }
+
+    /// Do the stored vectors still agree with the running checksums?
+    fn consistent<F: KrylovVector>(&self, x: &F, r: &F, p: &F) -> bool {
+        let close = |run: f64, v: &F| {
+            let fresh = v.checksum();
+            // The cap keeps the threshold finite when corruption blows a
+            // component up toward overflow — an infinite scale would make
+            // the very largest strikes pass the audit. A NaN difference
+            // (corruption propagated into the arithmetic) compares false.
+            let scale = (1.0 + fresh.abs() + v.norm_sqr().sqrt()).min(1e150);
+            (run - fresh).abs() <= self.tolerance * scale
+        };
+        close(self.s_x, x) && close(self.s_r, r) && close(self.s_p, p)
+    }
+}
+
 /// The CG iteration: identical arithmetic and span sequence whether
 /// entered fresh or from a restored checkpoint. The checkpoint hook fires
 /// at iteration boundaries and only *reads* state, so an enabled interval
-/// cannot perturb a single bit of the recurrence.
+/// cannot perturb a single bit of the recurrence. The same holds for the
+/// ABFT audit: the running checksums are carried *beside* the recurrence
+/// and never feed back into it, so a clean audited solve is bit-identical
+/// to a plain one.
 #[allow(clippy::too_many_arguments)]
 fn cg_loop<Op: DiracOperator>(
     op: &Op,
@@ -461,6 +603,7 @@ fn cg_loop<Op: DiracOperator>(
     costs: &SolverCosts,
     checkpoint_interval: usize,
     sink: &mut Vec<CgCheckpoint>,
+    abft: &mut Option<AbftTracker>,
 ) {
     while !st.converged && st.iterations < params.max_iterations {
         // q = M†M p.
@@ -507,6 +650,50 @@ fn cg_loop<Op: DiracOperator>(
         telem.end_with(linalg, "solver.linalg", Phase::Compute, 1);
         telem.counter_add("solver_iterations", 1);
 
+        if let Some(ab) = abft.as_mut() {
+            // Mirror this iteration's vector updates on the running
+            // checksums. `q` is regenerated from `p` every iteration, so
+            // its sum is taken fresh; the loop-carried vectors propagate
+            // theirs by the same `alpha`/`beta` the recurrence used.
+            let s_q = q.checksum();
+            ab.s_x += alpha * ab.s_p;
+            ab.s_r -= alpha * s_q;
+            ab.s_p = ab.s_r + beta * ab.s_p;
+
+            // Seeded SDC strike: corrupt the stored vector *after* the
+            // checksums were carried forward — the audit's whole job.
+            if let Some(t) = ab.tamper {
+                if t.iteration == st.iterations {
+                    ab.tamper = None;
+                    let target = match t.target {
+                        TamperTarget::X => &mut *x,
+                        TamperTarget::R => &mut st.r,
+                        TamperTarget::P => &mut st.p,
+                    };
+                    let mut bits = target.to_bits();
+                    let w = t.word % bits.len();
+                    bits[w] ^= t.bits;
+                    target.load_bits(&bits);
+                }
+            }
+
+            if st.iterations % ab.interval == 0 {
+                ab.verifications += 1;
+                telem.counter_add("solver_abft_verifications", 1);
+                if ab.consistent(x, &st.r, &st.p) {
+                    // Verified state becomes the rollback target; the
+                    // re-baseline absorbs one window's roundoff drift.
+                    ab.rebaseline(x, &st.r, &st.p);
+                    sink.clear();
+                    sink.push(snapshot(op, x, st));
+                } else {
+                    ab.detected_at = Some(st.iterations);
+                    telem.counter_add("solver_abft_detections", 1);
+                    return;
+                }
+            }
+        }
+
         if checkpoint_interval > 0 && st.iterations % checkpoint_interval == 0 {
             sink.push(snapshot(op, x, st));
             telem.counter_add("solver_checkpoint_writes", 1);
@@ -541,19 +728,17 @@ fn cg_report<Op: DiracOperator>(
     }
 }
 
-/// The full solver: setup phase, iteration loop with an optional
-/// checkpoint hook, report. Every public CG entry point lands here.
-#[allow(clippy::too_many_arguments)]
-fn solve_cgne_instrumented<Op: DiracOperator>(
+/// The CG setup phase: initial residual, reference scale and first
+/// search direction. Every entry point that starts a solve from scratch
+/// lands here; the returned state is exactly what [`cg_loop`] consumes.
+fn cg_setup<Op: DiracOperator>(
     op: &Op,
-    x: &mut Op::Field,
+    x: &Op::Field,
     b: &Op::Field,
     params: CgParams,
     telem: &mut NodeTelemetry,
     costs: &SolverCosts,
-    checkpoint_interval: usize,
-    sink: &mut Vec<CgCheckpoint>,
-) -> CgReport {
+) -> CgLoopState<Op::Field> {
     let mut applications = 0usize;
     let mut reductions = 0usize;
 
@@ -586,7 +771,7 @@ fn solve_cgne_instrumented<Op: DiracOperator>(
     telem.end_with(reduce, "solver.reduce", Phase::GlobalSum, 2);
 
     let converged = (rsq / bref).sqrt() <= params.tolerance;
-    let mut st = CgLoopState {
+    CgLoopState {
         t,
         r,
         p,
@@ -597,7 +782,23 @@ fn solve_cgne_instrumented<Op: DiracOperator>(
         converged,
         applications,
         reductions,
-    };
+    }
+}
+
+/// The full solver: setup phase, iteration loop with an optional
+/// checkpoint hook, report. Every public CG entry point lands here.
+#[allow(clippy::too_many_arguments)]
+fn solve_cgne_instrumented<Op: DiracOperator>(
+    op: &Op,
+    x: &mut Op::Field,
+    b: &Op::Field,
+    params: CgParams,
+    telem: &mut NodeTelemetry,
+    costs: &SolverCosts,
+    checkpoint_interval: usize,
+    sink: &mut Vec<CgCheckpoint>,
+) -> CgReport {
+    let mut st = cg_setup(op, x, b, params, telem, costs);
     cg_loop(
         op,
         x,
@@ -607,6 +808,7 @@ fn solve_cgne_instrumented<Op: DiracOperator>(
         costs,
         checkpoint_interval,
         sink,
+        &mut None,
     );
     cg_report(op, st, telem)
 }
@@ -662,6 +864,31 @@ pub fn resume_cgne_traced<Op: DiracOperator>(
     telem: &mut NodeTelemetry,
     costs: &SolverCosts,
 ) -> (Op::Field, CgReport) {
+    let (mut x, mut st) = restore_state(op, template, ckpt);
+    telem.counter_add("solver_checkpoint_restores", 1);
+    cg_loop(
+        op,
+        &mut x,
+        &mut st,
+        params,
+        telem,
+        costs,
+        0,
+        &mut Vec::new(),
+        &mut None,
+    );
+    let report = cg_report(op, st, telem);
+    (x, report)
+}
+
+/// Rebuild `(x, loop state)` from a checkpoint. `template` supplies the
+/// field shape — its values are overwritten. Shared by the resume entry
+/// points and the ABFT rollback path.
+fn restore_state<Op: DiracOperator>(
+    op: &Op,
+    template: &Op::Field,
+    ckpt: &CgCheckpoint,
+) -> (Op::Field, CgLoopState<Op::Field>) {
     assert_eq!(
         ckpt.operator,
         op.name(),
@@ -673,7 +900,7 @@ pub fn resume_cgne_traced<Op: DiracOperator>(
     r.load_bits(&ckpt.r);
     let mut p = template.clone();
     p.load_bits(&ckpt.p);
-    let mut st = CgLoopState {
+    let st = CgLoopState {
         // The scratch vector is fully overwritten by the first operator
         // application, so any same-shape field restores it.
         t: template.clone(),
@@ -687,19 +914,98 @@ pub fn resume_cgne_traced<Op: DiracOperator>(
         applications: ckpt.applications,
         reductions: ckpt.reductions,
     };
-    telem.counter_add("solver_checkpoint_restores", 1);
-    cg_loop(
-        op,
-        &mut x,
-        &mut st,
-        params,
-        telem,
-        costs,
-        0,
-        &mut Vec::new(),
-    );
-    let report = cg_report(op, st, telem);
-    (x, report)
+    (x, st)
+}
+
+/// [`solve_cgne`] hardened against silent data corruption by an
+/// algorithm-based (ABFT) checksum audit — the solver-level third layer
+/// of the machine's data-integrity defense, above the memory ECC and the
+/// links' end-to-end block checksums.
+///
+/// A running content checksum is carried for each loop-carried vector
+/// (`x`, `r`, `p`), propagated every iteration by the same `alpha`/`beta`
+/// the recurrence uses at O(1) cost, and compared against the stored
+/// vectors every [`AbftParams::interval`] iterations. Agreement makes the
+/// verified state the rollback target; a mismatch means some store was
+/// silently corrupted since the last audit, and the solve rolls back and
+/// replays from the target. A final audit guards the exit path, so
+/// corruption striking after the last periodic check cannot escape into
+/// the returned solution.
+///
+/// On a clean run the audit only *reads* solver state, so the solution
+/// and report are **bit-identical** to [`solve_cgne`]'s. A transient
+/// corruption (seeded here via `tamper`) is detected and healed: the
+/// replayed iterations are bit-identical to a never-corrupted solve.
+pub fn solve_cgne_abft<Op: DiracOperator>(
+    op: &Op,
+    x: &mut Op::Field,
+    b: &Op::Field,
+    params: CgParams,
+    abft: AbftParams,
+    tamper: Option<SolverTamper>,
+    telem: &mut NodeTelemetry,
+) -> (CgReport, AbftReport) {
+    let costs = SolverCosts::unit();
+    let mut st = cg_setup(op, x, b, params, telem, &costs);
+    let mut tracker = AbftTracker {
+        interval: abft.interval.max(1),
+        tolerance: abft.tolerance,
+        s_x: 0.0,
+        s_r: 0.0,
+        s_p: 0.0,
+        verifications: 0,
+        detected_at: None,
+        tamper,
+    };
+    tracker.rebaseline(x, &st.r, &st.p);
+    // The iteration-0 state is the initial rollback target; successful
+    // audits inside the loop replace it with fresher verified states.
+    let mut verified = vec![snapshot(op, x, &st)];
+    let mut report = AbftReport::default();
+    let mut audit = Some(tracker);
+    loop {
+        cg_loop(
+            op,
+            x,
+            &mut st,
+            params,
+            telem,
+            &costs,
+            0,
+            &mut verified,
+            &mut audit,
+        );
+        let ab = audit.as_mut().expect("the audit tracker persists");
+        let mut detected = ab.detected_at.take();
+        if detected.is_none() {
+            // Clean loop exit — one final audit covers the iterations
+            // since the last periodic verification.
+            ab.verifications += 1;
+            telem.counter_add("solver_abft_verifications", 1);
+            if !ab.consistent(x, &st.r, &st.p) {
+                detected = Some(st.iterations);
+                telem.counter_add("solver_abft_detections", 1);
+            }
+        }
+        let Some(_) = detected else {
+            break;
+        };
+        report.detections += 1;
+        if report.rollbacks >= abft.max_rollbacks as u64 {
+            report.exhausted = true;
+            break;
+        }
+        report.rollbacks += 1;
+        telem.counter_add("solver_abft_rollbacks", 1);
+        let target = verified.last().expect("the baseline is always present");
+        let (rx, rst) = restore_state(op, b, target);
+        *x = rx;
+        st = rst;
+        let ab = audit.as_mut().expect("the audit tracker persists");
+        ab.rebaseline(x, &st.r, &st.p);
+    }
+    report.verifications = audit.expect("the audit tracker persists").verifications;
+    (cg_report(op, st, telem), report)
 }
 
 /// Stopping criteria for the mixed-precision (defect-correction) solver.
@@ -990,6 +1296,171 @@ mod tests {
     }
 
     #[test]
+    fn abft_clean_run_is_bit_identical_to_plain_cg() {
+        // The audit only reads solver state: same bits, same report.
+        let gauge = GaugeField::hot(lat(), 112);
+        let op = WilsonDirac::new(&gauge, 0.12);
+        let b = FermionField::gaussian(lat(), 113);
+        let mut x1 = FermionField::zero(lat());
+        let plain = solve_cgne(&op, &mut x1, &b, CgParams::default());
+        let mut x2 = FermionField::zero(lat());
+        let mut telem = NodeTelemetry::disabled(0);
+        let (audited, abft) = solve_cgne_abft(
+            &op,
+            &mut x2,
+            &b,
+            CgParams::default(),
+            AbftParams::default(),
+            None,
+            &mut telem,
+        );
+        assert_eq!(x1.fingerprint(), x2.fingerprint(), "the audit changed bits");
+        assert_eq!(plain, audited);
+        assert!(abft.verifications >= 1);
+        assert_eq!(abft.detections, 0);
+        assert_eq!(abft.rollbacks, 0);
+        assert!(!abft.exhausted);
+    }
+
+    #[test]
+    fn abft_detects_tamper_and_recovers_bit_identically() {
+        let gauge = GaugeField::hot(lat(), 112);
+        let op = WilsonDirac::new(&gauge, 0.12);
+        let b = FermionField::gaussian(lat(), 113);
+        let mut clean = FermionField::zero(lat());
+        let plain = solve_cgne(&op, &mut clean, &b, CgParams::default());
+        assert!(plain.iterations > 12, "need room to strike mid-solve");
+        for target in [TamperTarget::X, TamperTarget::R, TamperTarget::P] {
+            // Flip the exponent's top bit of one stored word at iteration
+            // 11 — three periodic audits later catches it in every case.
+            let tamper = SolverTamper {
+                iteration: 11,
+                target,
+                word: 5,
+                bits: 1 << 62,
+            };
+            let mut x = FermionField::zero(lat());
+            let mut telem = NodeTelemetry::disabled(0);
+            let (report, abft) = solve_cgne_abft(
+                &op,
+                &mut x,
+                &b,
+                CgParams::default(),
+                AbftParams::default(),
+                Some(tamper),
+                &mut telem,
+            );
+            assert!(abft.detections >= 1, "{target:?}: corruption missed");
+            assert!(abft.rollbacks >= 1, "{target:?}: no rollback");
+            assert!(!abft.exhausted, "{target:?}");
+            assert!(report.converged, "{target:?}");
+            assert_eq!(
+                x.fingerprint(),
+                clean.fingerprint(),
+                "{target:?}: the replayed solve must be bit-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn abft_exit_audit_catches_corruption_past_the_last_interval() {
+        // Interval longer than the whole solve: no periodic audit ever
+        // fires, so only the exit audit stands between the tamper and the
+        // returned solution.
+        let gauge = GaugeField::hot(lat(), 112);
+        let op = WilsonDirac::new(&gauge, 0.12);
+        let b = FermionField::gaussian(lat(), 113);
+        let mut clean = FermionField::zero(lat());
+        let plain = solve_cgne(&op, &mut clean, &b, CgParams::default());
+        let tamper = SolverTamper {
+            iteration: plain.iterations - 1,
+            target: TamperTarget::X,
+            word: 0,
+            bits: 1 << 62,
+        };
+        let mut x = FermionField::zero(lat());
+        let mut telem = NodeTelemetry::disabled(0);
+        let (report, abft) = solve_cgne_abft(
+            &op,
+            &mut x,
+            &b,
+            CgParams::default(),
+            AbftParams {
+                interval: 10_000,
+                ..AbftParams::default()
+            },
+            Some(tamper),
+            &mut telem,
+        );
+        assert_eq!(abft.detections, 1);
+        assert_eq!(abft.rollbacks, 1, "rollback to the iteration-0 baseline");
+        assert!(report.converged);
+        assert_eq!(x.fingerprint(), clean.fingerprint());
+    }
+
+    #[test]
+    fn abft_zero_rollback_budget_reports_exhaustion() {
+        let gauge = GaugeField::hot(lat(), 112);
+        let op = WilsonDirac::new(&gauge, 0.12);
+        let b = FermionField::gaussian(lat(), 113);
+        let tamper = SolverTamper {
+            iteration: 11,
+            target: TamperTarget::R,
+            word: 2,
+            bits: 1 << 62,
+        };
+        let mut x = FermionField::zero(lat());
+        let mut telem = NodeTelemetry::disabled(0);
+        let (_, abft) = solve_cgne_abft(
+            &op,
+            &mut x,
+            &b,
+            CgParams::default(),
+            AbftParams {
+                max_rollbacks: 0,
+                ..AbftParams::default()
+            },
+            Some(tamper),
+            &mut telem,
+        );
+        assert_eq!(abft.detections, 1);
+        assert_eq!(abft.rollbacks, 0);
+        assert!(abft.exhausted, "the budget must be reported as spent");
+    }
+
+    #[test]
+    fn abft_counters_reach_telemetry() {
+        let gauge = GaugeField::hot(lat(), 112);
+        let op = WilsonDirac::new(&gauge, 0.12);
+        let b = FermionField::gaussian(lat(), 113);
+        let tamper = SolverTamper {
+            iteration: 11,
+            target: TamperTarget::P,
+            word: 9,
+            bits: 1 << 62,
+        };
+        let mut x = FermionField::zero(lat());
+        let mut telem = NodeTelemetry::with_ring(0, 1 << 12);
+        let (_, abft) = solve_cgne_abft(
+            &op,
+            &mut x,
+            &b,
+            CgParams::default(),
+            AbftParams::default(),
+            Some(tamper),
+            &mut telem,
+        );
+        let m = telem.metrics();
+        assert_eq!(
+            m.counter("solver_abft_verifications", &[]),
+            abft.verifications
+        );
+        assert_eq!(m.counter("solver_abft_detections", &[]), abft.detections);
+        assert_eq!(m.counter("solver_abft_rollbacks", &[]), abft.rollbacks);
+        assert!(abft.detections >= 1);
+    }
+
+    #[test]
     fn traced_solver_is_bit_identical_and_counts_phases() {
         let gauge = GaugeField::hot(lat(), 112);
         let op = WilsonDirac::new(&gauge, 0.12);
@@ -1273,5 +1744,53 @@ mod tests {
         );
         assert!(!report.converged);
         assert_eq!(report.iterations, 5);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(12))]
+
+            /// Wherever a single-word strike lands — any loop-carried
+            /// vector, any word, any iteration, any right-hand side — the
+            /// audited solve returns exactly the bits a never-corrupted
+            /// solve returns, and on strike-free runs the audit itself
+            /// perturbs nothing.
+            #[test]
+            fn abft_solution_is_bit_identical_for_any_single_word_strike(
+                seed in 0u64..1000,
+                target_sel in 0usize..3,
+                word in 0usize..384,
+                iteration in 1usize..24,
+            ) {
+                let gauge = GaugeField::hot(lat(), 200 + seed);
+                let op = WilsonDirac::new(&gauge, 0.12);
+                let b = FermionField::gaussian(lat(), 300 + seed);
+                let mut clean = FermionField::zero(lat());
+                let plain = solve_cgne(&op, &mut clean, &b, CgParams::default());
+                prop_assume!(plain.converged);
+                let target = [TamperTarget::X, TamperTarget::R, TamperTarget::P][target_sel];
+                // Flipping the exponent's top bit rescales the struck
+                // word by ~2^±1024: unmissable for any stored value.
+                let tamper = SolverTamper { iteration, target, word, bits: 1 << 62 };
+                let mut x = FermionField::zero(lat());
+                let mut telem = NodeTelemetry::disabled(0);
+                let (report, abft) = solve_cgne_abft(
+                    &op,
+                    &mut x,
+                    &b,
+                    CgParams::default(),
+                    AbftParams::default(),
+                    Some(tamper),
+                    &mut telem,
+                );
+                prop_assert!(!abft.exhausted);
+                prop_assert!(report.converged);
+                prop_assert_eq!(x.fingerprint(), clean.fingerprint());
+                prop_assert_eq!(&report, &plain);
+            }
+        }
     }
 }

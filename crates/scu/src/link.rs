@@ -196,6 +196,10 @@ pub struct SendUnit {
     policy: RetryPolicy,
     /// Consecutive rewinds since the last acknowledged word.
     rewinds_since_progress: u32,
+    /// Consecutive block-checksum replays since the last verified block.
+    block_retries_since_ok: u32,
+    /// Whole-block replays performed (sticky diagnostic counter).
+    block_replays: u64,
     /// Pump rounds the unit still holds off before retransmitting.
     backoff_remaining: u64,
     backoff_waits: u64,
@@ -224,6 +228,8 @@ impl SendUnit {
             resends: 0,
             policy: RetryPolicy::unlimited(),
             rewinds_since_progress: 0,
+            block_retries_since_ok: 0,
+            block_replays: 0,
             backoff_remaining: 0,
             backoff_waits: 0,
             dead: false,
@@ -380,7 +386,7 @@ impl SendUnit {
     pub fn verdict(&self) -> LinkVerdict {
         if self.dead {
             LinkVerdict::Dead
-        } else if self.resends > 0 || self.rewinds_since_progress > 0 {
+        } else if self.resends > 0 || self.rewinds_since_progress > 0 || self.block_replays > 0 {
             LinkVerdict::Degraded
         } else {
             LinkVerdict::Healthy
@@ -436,6 +442,52 @@ impl SendUnit {
     pub fn sent_words(&self) -> u64 {
         self.sent_words
     }
+
+    /// Restore the end-of-run checksum to a snapshot taken at a block
+    /// boundary. A checked-block replay re-enqueues every payload word
+    /// (plus a fresh trailer), so without the restore the failed attempt
+    /// would stay folded into the sender's checksum and the end-of-run
+    /// comparison would disagree even after a successful heal.
+    pub fn restore_checksum(&mut self, snapshot: LinkChecksum) {
+        self.checksum = snapshot;
+    }
+
+    /// Charge one block-level retry (a [`RecvOutcome::BlockCorrupt`]
+    /// replay) against the retry budget. Block retries keep their own
+    /// consecutive-failure count: a parity-evading burst is *accepted*
+    /// word by word, so the per-word acks keep resetting the go-back-N
+    /// budget — only a verified block ([`SendUnit::block_progress`])
+    /// counts as progress here. Once the budget is exceeded the unit goes
+    /// dead without performing the replay.
+    pub fn charge_block_retry(&mut self) {
+        if self.dead {
+            return;
+        }
+        self.block_retries_since_ok += 1;
+        if self.block_retries_since_ok > self.policy.budget {
+            self.dead = true;
+            self.backoff_remaining = 0;
+            return;
+        }
+        self.block_replays += 1;
+        if self.policy.backoff_base > 0 {
+            let shift = (self.block_retries_since_ok - 1).min(20);
+            let wait = (self.policy.backoff_base as u64) << shift;
+            self.backoff_remaining = wait.min(self.policy.backoff_cap as u64);
+        }
+    }
+
+    /// A block verified end to end: reset the consecutive block-retry
+    /// count (the block-level analogue of an ack resetting the go-back-N
+    /// budget).
+    pub fn block_progress(&mut self) {
+        self.block_retries_since_ok = 0;
+    }
+
+    /// Whole-block replays performed after block-checksum rejects.
+    pub fn block_replays(&self) -> u64 {
+        self.block_replays
+    }
 }
 
 /// What the receive unit did with an incoming frame.
@@ -455,11 +507,37 @@ pub enum RecvOutcome {
     /// Duplicate of an already-accepted word (late retransmission); re-ack
     /// without consuming.
     Duplicate,
+    /// The trailing block-checksum word of a checked receive matched the
+    /// payload that landed: acknowledge it *and* return a block
+    /// acknowledgement so the sender may retire the transfer.
+    BlockOk,
+    /// The trailing block-checksum word did **not** match: a multi-bit
+    /// burst evaded the per-frame parity and a wrong word is sitting in
+    /// memory. The unit has already rewound its DMA to the block start and
+    /// restored its end-of-run checksum; the sender must replay the whole
+    /// block (see [`crate::scu::WireMsg::BlockReject`]).
+    BlockCorrupt,
     /// A supervisor word: deliver to the SCU register and raise a CPU
     /// interrupt.
     Supervisor(u64),
     /// A partition-interrupt byte for the flood-forwarding logic.
     PartitionIrq(u8),
+}
+
+/// State of one end-to-end checked block receive (§2.2's "checksums" made
+/// per-transfer): the payload words are checksummed as they land and the
+/// sender's trailing checksum word must match before the block is retired.
+#[derive(Debug, Clone, Copy)]
+struct CheckedBlock {
+    /// Descriptor to re-arm on a mismatch — the whole block replays.
+    desc: DmaDescriptor,
+    /// End-of-run checksum at the block boundary, restored on a mismatch
+    /// so a healed replay leaves both link ends agreeing.
+    snapshot: LinkChecksum,
+    /// `received_words` at the block boundary, restored alongside.
+    received_snapshot: u64,
+    /// Running checksum over this attempt's landed payload words.
+    sum: LinkChecksum,
 }
 
 /// The receive unit of one direction.
@@ -475,6 +553,13 @@ pub struct RecvUnit {
     /// Sequence numbers of words accepted from the hold buffer when the
     /// DMA was armed late; their acks are owed to the sender.
     pending_acks: Vec<u64>,
+    /// Active checked-block state (`None` for plain receives).
+    checked: Option<CheckedBlock>,
+    /// Block-checksum mismatches observed (each forced a block replay).
+    block_rejects: u64,
+    /// Block verdict produced while draining the hold buffer in a late
+    /// [`RecvUnit::arm_checked`] (the trailer was already parked there).
+    pending_block: Option<(u64, bool)>,
 }
 
 impl Default for RecvUnit {
@@ -495,6 +580,9 @@ impl RecvUnit {
             received_words: 0,
             rejects: 0,
             pending_acks: Vec::new(),
+            checked: None,
+            block_rejects: 0,
+            pending_block: None,
         }
     }
 
@@ -519,15 +607,85 @@ impl RecvUnit {
                 .expect("descriptor shorter than idle-receive hold");
             mem.write_word(addr, word)
                 .map_err(|e| LinkError::Memory(e.to_string()))?;
+            self.received_words += 1;
+            self.checksum.update(word);
             self.pending_acks.push(seq);
         }
         self.dma = Some(engine);
         Ok(())
     }
 
-    /// Whether the armed receive descriptor has been fully written.
+    /// Arm a *checked* receive: like [`RecvUnit::arm`], but the sender is
+    /// expected to append a trailing checksum word after the `desc`
+    /// payload, and the block is only retired once it matches. Held words
+    /// past the payload length are the trailer of a block that arrived
+    /// entirely before the arm; its verdict is left in
+    /// [`RecvUnit::take_pending_block`].
+    pub fn arm_checked(
+        &mut self,
+        desc: DmaDescriptor,
+        mem: &mut NodeMemory,
+    ) -> Result<(), LinkError> {
+        self.checked = Some(CheckedBlock {
+            desc,
+            snapshot: self.checksum,
+            received_snapshot: self.received_words,
+            sum: LinkChecksum::default(),
+        });
+        let mut engine = DmaEngine::start(desc);
+        while let Some((seq, word)) = self.hold.pop_front() {
+            self.pending_acks.push(seq);
+            match engine.next_address() {
+                Some(addr) => {
+                    mem.write_word(addr, word)
+                        .map_err(|e| LinkError::Memory(e.to_string()))?;
+                    self.received_words += 1;
+                    self.checksum.update(word);
+                    if let Some(cb) = &mut self.checked {
+                        cb.sum.update(word);
+                    }
+                }
+                None => {
+                    // The held word past the payload is the block trailer.
+                    self.dma = Some(engine);
+                    let ok = matches!(self.verify_trailer(word), RecvOutcome::BlockOk);
+                    self.pending_block = Some((seq, ok));
+                    return Ok(());
+                }
+            }
+        }
+        self.dma = Some(engine);
+        Ok(())
+    }
+
+    /// Compare the just-arrived trailer word against the running block
+    /// checksum; on a mismatch rewind the DMA to the block start and
+    /// restore the end-of-run state so the replay heals cleanly.
+    fn verify_trailer(&mut self, word: u64) -> RecvOutcome {
+        let cb = self
+            .checked
+            .as_mut()
+            .expect("trailer without checked block");
+        if word == cb.sum.value() {
+            self.received_words += 1;
+            self.checksum.update(word);
+            self.checked = None;
+            RecvOutcome::BlockOk
+        } else {
+            self.checksum = cb.snapshot;
+            self.received_words = cb.received_snapshot;
+            cb.sum = LinkChecksum::default();
+            let desc = cb.desc;
+            self.block_rejects += 1;
+            self.dma = Some(DmaEngine::start(desc));
+            RecvOutcome::BlockCorrupt
+        }
+    }
+
+    /// Whether the armed receive descriptor has been fully written (and,
+    /// for a checked receive, the trailing block checksum verified).
     pub fn complete(&self) -> bool {
-        self.dma.as_ref().is_some_and(|d| d.done())
+        self.dma.as_ref().is_some_and(|d| d.done()) && self.checked.is_none()
     }
 
     /// Whether the unit is in idle-receive mode (no DMA armed).
@@ -589,15 +747,26 @@ impl RecvUnit {
                         self.expected_seq += 1;
                         self.received_words += 1;
                         self.checksum.update(word);
+                        if let Some(cb) = &mut self.checked {
+                            cb.sum.update(word);
+                        }
                         Ok(RecvOutcome::Accepted)
                     }
+                    Some(_) if self.checked.is_some() => {
+                        // Payload complete: this word is the block trailer.
+                        self.expected_seq += 1;
+                        Ok(self.verify_trailer(word))
+                    }
                     _ => {
-                        // Idle receive: hold without acknowledging.
+                        // Idle receive: hold without acknowledging. The
+                        // checksum and word count are deferred to the drain
+                        // in [`RecvUnit::arm`]/[`RecvUnit::arm_checked`] —
+                        // the holding register has not *accepted* anything
+                        // yet, and a checked block must be able to restore
+                        // to its boundary state.
                         if self.hold.len() < IDLE_HOLD {
                             self.hold.push_back((wf.seq, word));
                             self.expected_seq += 1;
-                            self.received_words += 1;
-                            self.checksum.update(word);
                             Ok(RecvOutcome::Held)
                         } else {
                             // The window should have stalled the sender
@@ -626,6 +795,18 @@ impl RecvUnit {
     /// Number of frames rejected (each one forced a hardware resend).
     pub fn rejects(&self) -> u64 {
         self.rejects
+    }
+
+    /// Number of block-checksum mismatches (each forced a block replay).
+    pub fn block_rejects(&self) -> u64 {
+        self.block_rejects
+    }
+
+    /// Block verdict `(trailer_seq, ok)` produced by a late
+    /// [`RecvUnit::arm_checked`] that found the trailer already parked in
+    /// the idle-receive hold.
+    pub fn take_pending_block(&mut self) -> Option<(u64, bool)> {
+        self.pending_block.take()
     }
 }
 
@@ -720,6 +901,9 @@ mod tests {
                 RecvOutcome::Supervisor(_) | RecvOutcome::PartitionIrq(_) => {
                     acks += 1;
                     s.on_ack(wf.seq);
+                }
+                RecvOutcome::BlockOk | RecvOutcome::BlockCorrupt => {
+                    unreachable!("plain pump never arms a checked receive")
                 }
             }
         }

@@ -8,7 +8,9 @@
 //! [`WireMsg`]s between paired SCUs; everything protocol-level lives here.
 
 use crate::dma::{DmaDescriptor, DmaEngine, StoredInstructions};
-use crate::link::{LinkError, RecvOutcome, RecvUnit, RetryPolicy, SendUnit, WireFrame};
+use crate::link::{
+    LinkChecksum, LinkError, RecvOutcome, RecvUnit, RetryPolicy, SendUnit, WireFrame,
+};
 use qcdoc_asic::memory::NodeMemory;
 use std::collections::VecDeque;
 
@@ -25,6 +27,13 @@ pub enum WireMsg {
     Ack(u64),
     /// Reject: ask the sender to rewind to sequence `seq`.
     Reject(u64),
+    /// The checked block whose trailing checksum word carried sequence
+    /// `seq` verified end to end; the sender may retire the transfer.
+    BlockAck(u64),
+    /// The checked block whose trailer carried sequence `seq` failed its
+    /// end-to-end checksum (a burst evaded the per-frame parity): the
+    /// sender must replay the whole block with fresh sequence numbers.
+    BlockReject(u64),
 }
 
 /// Events the SCU raises to the node's CPU.
@@ -37,12 +46,32 @@ pub enum ScuEvent {
     PartitionInterrupt(u8),
 }
 
+/// Sender-side state of one end-to-end checked block transfer.
+#[derive(Debug, Clone, Copy)]
+struct BlockSend {
+    /// Descriptor to replay from on a [`WireMsg::BlockReject`].
+    desc: DmaDescriptor,
+    /// Send-unit end-of-run checksum at the block boundary, restored on a
+    /// replay so the healed run's checksums agree with the receiver's.
+    snapshot: LinkChecksum,
+    /// Running checksum over the payload words fed so far this attempt.
+    sum: LinkChecksum,
+    /// Whether the trailing checksum word has been enqueued.
+    trailer_fed: bool,
+    /// Whether the receiver's block acknowledgement arrived.
+    acked: bool,
+}
+
 /// The SCU of one node.
 #[derive(Debug)]
 pub struct Scu {
     send: Vec<SendUnit>,
     recv: Vec<RecvUnit>,
     send_dma: Vec<Option<DmaEngine>>,
+    /// Checked-block state per direction (`None` = plain send).
+    block_send: Vec<Option<BlockSend>>,
+    /// Block verdict `(trailer_seq, ok)` owed to the reverse wire.
+    outgoing_block: [Option<(u64, bool)>; LINKS],
     stored: StoredInstructions,
     supervisor_inbox: VecDeque<u64>,
     /// Bits of partition interrupts already seen (forwarded once each,
@@ -67,6 +96,8 @@ impl Scu {
             send: (0..LINKS).map(|_| SendUnit::new()).collect(),
             recv: (0..LINKS).map(|_| RecvUnit::new()).collect(),
             send_dma: (0..LINKS).map(|_| None).collect(),
+            block_send: (0..LINKS).map(|_| None).collect(),
+            outgoing_block: [None; LINKS],
             stored: StoredInstructions::default(),
             supervisor_inbox: VecDeque::new(),
             irq_seen: 0,
@@ -121,7 +152,26 @@ impl Scu {
             self.send_dma[link].as_ref().is_none_or(|d| d.done()),
             "send DMA busy"
         );
+        self.block_send[link] = None;
         self.send_dma[link] = Some(DmaEngine::start(desc));
+    }
+
+    /// Begin an end-to-end *checked* send: after the descriptor's payload
+    /// the DMA feeds one trailing checksum word, and the transfer is only
+    /// complete once the receiver's [`WireMsg::BlockAck`] confirms the
+    /// whole block landed intact. A [`WireMsg::BlockReject`] replays the
+    /// block with fresh sequence numbers, charged against the send unit's
+    /// retry budget. The receive side must be armed with
+    /// [`Scu::start_recv_checked`].
+    pub fn start_send_checked(&mut self, link: usize, desc: DmaDescriptor) {
+        self.start_send(link, desc);
+        self.block_send[link] = Some(BlockSend {
+            desc,
+            snapshot: self.send[link].checksum(),
+            sum: LinkChecksum::default(),
+            trailer_fed: false,
+            acked: false,
+        });
     }
 
     /// Restart the stored send descriptor for `link` — the single-write
@@ -141,6 +191,25 @@ impl Scu {
     ) -> Result<(), LinkError> {
         self.recv[link].arm(desc, mem)?;
         self.outgoing_acks[link].extend(self.recv[link].take_pending_acks());
+        Ok(())
+    }
+
+    /// Arm a *checked* receive matching a [`Scu::start_send_checked`] on
+    /// the neighbour: the payload is checksummed as it lands and verified
+    /// against the sender's trailing checksum word before the block is
+    /// retired. If the whole block (trailer included) was already parked
+    /// in the idle-receive hold, the verdict is queued immediately.
+    pub fn start_recv_checked(
+        &mut self,
+        link: usize,
+        desc: DmaDescriptor,
+        mem: &mut NodeMemory,
+    ) -> Result<(), LinkError> {
+        self.recv[link].arm_checked(desc, mem)?;
+        self.outgoing_acks[link].extend(self.recv[link].take_pending_acks());
+        if let Some(verdict) = self.recv[link].take_pending_block() {
+            self.outgoing_block[link] = Some(verdict);
+        }
         Ok(())
     }
 
@@ -196,6 +265,15 @@ impl Scu {
         if let Some(seq) = self.outgoing_acks[link].pop_front() {
             return Ok(Some(WireMsg::Ack(seq)));
         }
+        // Block verdicts go out after the trailer's own ack so the sender
+        // drains its window before deciding to retire or replay the block.
+        if let Some((seq, ok)) = self.outgoing_block[link].take() {
+            return Ok(Some(if ok {
+                WireMsg::BlockAck(seq)
+            } else {
+                WireMsg::BlockReject(seq)
+            }));
+        }
         // Feed the send unit from its DMA engine: stage exactly one word,
         // and only when it can go straight onto the wire (queue empty and
         // window not full) — the DMA fetches lazily as the link drains.
@@ -206,7 +284,18 @@ impl Scu {
                         .read_word(addr)
                         .map_err(|e| LinkError::Memory(e.to_string()))?;
                     engine.next_address();
+                    if let Some(bs) = &mut self.block_send[link] {
+                        bs.sum.update(word);
+                    }
                     self.send[link].enqueue_word(word);
+                } else if let Some(bs) = &mut self.block_send[link] {
+                    // Payload exhausted: a checked send appends its
+                    // trailing checksum word exactly once per attempt.
+                    if !bs.trailer_fed && !bs.acked {
+                        bs.trailer_fed = true;
+                        let trailer = bs.sum.value();
+                        self.send[link].enqueue_word(trailer);
+                    }
                 }
             }
         }
@@ -217,8 +306,12 @@ impl Scu {
     pub fn tx_pending(&self, link: usize) -> bool {
         self.outgoing_rejects[link].is_some()
             || !self.outgoing_acks[link].is_empty()
+            || self.outgoing_block[link].is_some()
             || !self.send[link].drained()
             || self.send_dma[link].as_ref().is_some_and(|d| !d.done())
+            || self.block_send[link]
+                .as_ref()
+                .is_some_and(|b| !b.trailer_fed)
     }
 
     /// Handle a message arriving *from* direction `link`.
@@ -237,6 +330,31 @@ impl Scu {
                 self.send[link].on_reject(seq);
                 Ok(None)
             }
+            WireMsg::BlockAck(_) => {
+                if let Some(bs) = &mut self.block_send[link] {
+                    bs.acked = true;
+                    self.send[link].block_progress();
+                }
+                Ok(None)
+            }
+            WireMsg::BlockReject(_) => {
+                if let Some(bs) = &mut self.block_send[link] {
+                    if !bs.acked {
+                        // Whole-block replay: restore the end-of-run
+                        // checksum to the block boundary, charge the retry
+                        // budget, and (budget permitting) walk the
+                        // descriptor again with fresh sequence numbers.
+                        self.send[link].restore_checksum(bs.snapshot);
+                        self.send[link].charge_block_retry();
+                        if !self.send[link].retry_exhausted() {
+                            bs.sum = LinkChecksum::default();
+                            bs.trailer_fed = false;
+                            self.send_dma[link] = Some(DmaEngine::start(bs.desc));
+                        }
+                    }
+                }
+                Ok(None)
+            }
             WireMsg::Data(wf) => match self.recv[link].on_frame(&wf, mem)? {
                 RecvOutcome::Accepted | RecvOutcome::Duplicate => {
                     // Out-of-band frames (partition irqs ride seq u64::MAX)
@@ -247,6 +365,16 @@ impl Scu {
                     Ok(None)
                 }
                 RecvOutcome::Held => Ok(None),
+                RecvOutcome::BlockOk => {
+                    self.outgoing_acks[link].push_back(wf.seq);
+                    self.outgoing_block[link] = Some((wf.seq, true));
+                    Ok(None)
+                }
+                RecvOutcome::BlockCorrupt => {
+                    self.outgoing_acks[link].push_back(wf.seq);
+                    self.outgoing_block[link] = Some((wf.seq, false));
+                    Ok(None)
+                }
                 RecvOutcome::Rejected { seq } => {
                     self.outgoing_rejects[link] = Some(seq);
                     Ok(None)
@@ -274,9 +402,17 @@ impl Scu {
         }
     }
 
-    /// Whether the send side of `link` has delivered and acked everything.
+    /// Whether the send side of `link` has delivered and acked everything
+    /// (and, for a checked send, the block acknowledgement arrived).
     pub fn send_complete(&self, link: usize) -> bool {
-        self.send[link].drained() && self.send_dma[link].as_ref().is_none_or(|d| d.done())
+        self.send[link].drained()
+            && self.send_dma[link].as_ref().is_none_or(|d| d.done())
+            && self.block_send[link].as_ref().is_none_or(|b| b.acked)
+    }
+
+    /// Whole-block replays performed on `link` (checked sends only).
+    pub fn block_resends(&self, link: usize) -> u64 {
+        self.send[link].block_replays()
     }
 
     /// Whether the armed receive of `link` has fully landed in memory.
@@ -478,6 +614,143 @@ mod tests {
     }
 
     #[test]
+    fn checked_transfer_clean_path_delivers_and_retires() {
+        let (mut a, mut am) = trained();
+        let (mut b, mut bm) = trained();
+        am.write_block(0x1000, &[11, 22, 33, 44]).unwrap();
+        a.start_send_checked(0, DmaDescriptor::contiguous(0x1000, 4));
+        b.start_recv_checked(1, DmaDescriptor::contiguous(0x2000, 4), &mut bm)
+            .unwrap();
+        pump_pair(&mut a, &mut am, &mut b, &mut bm, 0, 1);
+        assert!(a.send_complete(0));
+        assert!(b.recv_complete(1));
+        assert_eq!(bm.read_block(0x2000, 4).unwrap(), vec![11, 22, 33, 44]);
+        assert_eq!(a.send_unit(0).checksum(), b.recv_unit(1).checksum());
+        // Exactly one extra word on the wire: the trailing checksum.
+        assert_eq!(a.send_unit(0).sent_words(), 5);
+        assert_eq!(b.recv_unit(1).received_words(), 5);
+        assert_eq!(b.recv_unit(1).block_rejects(), 0);
+        assert_eq!(a.block_resends(0), 0);
+    }
+
+    #[test]
+    fn parity_evading_burst_is_caught_and_healed_by_block_checksum() {
+        // The "after" counterpart of the link-level
+        // `undetected_double_flip_is_caught_only_by_end_of_run_checksums`
+        // test: the same two same-parity-class payload flips now trip the
+        // end-to-end block checksum mid-run, the block replays, and the
+        // right data lands — nothing silently wrong survives.
+        let (mut a, mut am) = trained();
+        let (mut b, mut bm) = trained();
+        am.write_block(0x1000, &[1000, 2000, 3000, 4000]).unwrap();
+        a.start_send_checked(0, DmaDescriptor::contiguous(0x1000, 4));
+        b.start_recv_checked(1, DmaDescriptor::contiguous(0x2000, 4), &mut bm)
+            .unwrap();
+        let mut corrupted = false;
+        loop {
+            let mut progressed = false;
+            if let Some(mut msg) = a.tx_next(0, &mut am).unwrap() {
+                if let WireMsg::Data(wf) = &mut msg {
+                    if !corrupted && wf.seq == 1 {
+                        wf.frame.corrupt_bit(8);
+                        wf.frame.corrupt_bit(10);
+                        assert!(wf.frame.decode().is_ok(), "flips must evade parity");
+                        corrupted = true;
+                    }
+                }
+                b.rx(1, msg, &mut bm).unwrap();
+                progressed = true;
+            }
+            if let Some(msg) = b.tx_next(1, &mut bm).unwrap() {
+                a.rx(0, msg, &mut am).unwrap();
+                progressed = true;
+            }
+            if !progressed {
+                break;
+            }
+        }
+        assert!(corrupted);
+        assert!(a.send_complete(0));
+        assert!(b.recv_complete(1));
+        assert_eq!(
+            bm.read_block(0x2000, 4).unwrap(),
+            vec![1000, 2000, 3000, 4000]
+        );
+        assert_eq!(b.recv_unit(1).rejects(), 0, "frame parity never fired");
+        assert_eq!(b.recv_unit(1).block_rejects(), 1);
+        assert_eq!(a.block_resends(0), 1);
+        assert_eq!(
+            a.send_unit(0).checksum(),
+            b.recv_unit(1).checksum(),
+            "healed replay must leave end-of-run checksums agreeing"
+        );
+    }
+
+    #[test]
+    fn checked_block_smaller_than_hold_verifies_on_late_arm() {
+        // A two-word block plus its trailer fits in the idle-receive hold,
+        // so the whole checked block can arrive before the receive is
+        // armed; the late arm must drain, verify, and retire it.
+        let (mut a, mut am) = trained();
+        let (mut b, mut bm) = trained();
+        am.write_block(0x40, &[5, 6]).unwrap();
+        a.start_send_checked(0, DmaDescriptor::contiguous(0x40, 2));
+        pump_pair(&mut a, &mut am, &mut b, &mut bm, 0, 1);
+        assert!(!a.send_complete(0), "no acks before the arm");
+        b.start_recv_checked(1, DmaDescriptor::contiguous(0x80, 2), &mut bm)
+            .unwrap();
+        pump_pair(&mut a, &mut am, &mut b, &mut bm, 0, 1);
+        assert!(a.send_complete(0));
+        assert!(b.recv_complete(1));
+        assert_eq!(bm.read_block(0x80, 2).unwrap(), vec![5, 6]);
+        assert_eq!(a.send_unit(0).checksum(), b.recv_unit(1).checksum());
+        assert_eq!(b.recv_unit(1).block_rejects(), 0);
+    }
+
+    #[test]
+    fn persistent_block_corruption_exhausts_the_retry_budget() {
+        // A wire that corrupts every data frame with a parity-evading flip
+        // pair defeats the frame-level defence entirely (every word is
+        // individually acked, so the go-back-N budget keeps resetting).
+        // The block-level retry count must bound the replay storm and kill
+        // the link deterministically.
+        let (mut a, mut am) = trained();
+        let (mut b, mut bm) = trained();
+        a.set_retry_policy(RetryPolicy::bounded(2, 0, 0));
+        am.write_block(0x0, &[7, 8, 9]).unwrap();
+        a.start_send_checked(0, DmaDescriptor::contiguous(0x0, 3));
+        b.start_recv_checked(1, DmaDescriptor::contiguous(0x100, 3), &mut bm)
+            .unwrap();
+        let mut rounds = 0;
+        loop {
+            rounds += 1;
+            assert!(rounds < 1000, "replay storm must be bounded");
+            let mut progressed = false;
+            if let Some(mut msg) = a.tx_next(0, &mut am).unwrap() {
+                if let WireMsg::Data(wf) = &mut msg {
+                    wf.frame.corrupt_bit(8);
+                    wf.frame.corrupt_bit(10);
+                }
+                b.rx(1, msg, &mut bm).unwrap();
+                progressed = true;
+            }
+            if let Some(msg) = b.tx_next(1, &mut bm).unwrap() {
+                a.rx(0, msg, &mut am).unwrap();
+                progressed = true;
+            }
+            if !progressed {
+                break;
+            }
+        }
+        assert!(a.send_unit(0).retry_exhausted());
+        assert_eq!(a.send_unit(0).verdict(), crate::link::LinkVerdict::Dead);
+        assert!(!a.send_complete(0), "the block was never delivered intact");
+        // Budget 2: two replays were allowed, the third reject kills.
+        assert_eq!(a.block_resends(0), 2);
+        assert_eq!(b.recv_unit(1).block_rejects(), 3);
+    }
+
+    #[test]
     fn bidirectional_concurrent_transfers() {
         // QCDOC supports concurrent sends and receives to each neighbour
         // (§2.2): run both directions of the same axis at once.
@@ -494,5 +767,75 @@ mod tests {
         pump_pair(&mut a, &mut am, &mut b, &mut bm, 0, 1);
         assert_eq!(am.read_block(0x500, 3).unwrap(), vec![9, 8, 7]);
         assert_eq!(bm.read_block(0x500, 3).unwrap(), vec![1, 2, 3]);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Any even-count burst confined to one parity class — the
+            /// exact family of errors the Hamming-distance-3 frame code
+            /// cannot see — is caught by the end-to-end block checksum and
+            /// healed by a whole-block replay, for every burst width and
+            /// position and any payload.
+            #[test]
+            fn any_parity_evading_burst_is_healed_by_the_block_checksum(
+                words in prop::collection::vec(any::<u64>(), 4..=4),
+                seq in 0u64..4,
+                first_bit in 0usize..64,
+                pairs in 1usize..=16,
+            ) {
+                let (mut a, mut am) = trained();
+                let (mut b, mut bm) = trained();
+                am.write_block(0x1000, &words).unwrap();
+                a.start_send_checked(0, DmaDescriptor::contiguous(0x1000, 4));
+                b.start_recv_checked(1, DmaDescriptor::contiguous(0x2000, 4), &mut bm)
+                    .unwrap();
+                let mut corrupted = false;
+                loop {
+                    let mut progressed = false;
+                    if let Some(mut msg) = a.tx_next(0, &mut am).unwrap() {
+                        if let WireMsg::Data(wf) = &mut msg {
+                            if !corrupted && wf.seq == seq {
+                                // 2·pairs flips spaced two apart: same
+                                // parity class, even count — invisible to
+                                // the frame parity.
+                                for k in 0..2 * pairs {
+                                    wf.frame.corrupt_bit(8 + (first_bit + 2 * k) % 64);
+                                }
+                                prop_assert!(
+                                    wf.frame.decode().is_ok(),
+                                    "burst must evade the frame parity"
+                                );
+                                corrupted = true;
+                            }
+                        }
+                        b.rx(1, msg, &mut bm).unwrap();
+                        progressed = true;
+                    }
+                    if let Some(msg) = b.tx_next(1, &mut bm).unwrap() {
+                        a.rx(0, msg, &mut am).unwrap();
+                        progressed = true;
+                    }
+                    if !progressed {
+                        break;
+                    }
+                }
+                prop_assert!(corrupted);
+                prop_assert!(a.send_complete(0));
+                prop_assert!(b.recv_complete(1));
+                prop_assert_eq!(bm.read_block(0x2000, 4).unwrap(), words);
+                prop_assert_eq!(b.recv_unit(1).rejects(), 0);
+                prop_assert_eq!(b.recv_unit(1).block_rejects(), 1);
+                prop_assert_eq!(a.block_resends(0), 1);
+                prop_assert_eq!(
+                    a.send_unit(0).checksum(),
+                    b.recv_unit(1).checksum()
+                );
+            }
+        }
     }
 }

@@ -28,6 +28,12 @@ pub struct LinkStats {
     pub backoff_waits: u64,
     /// Whether the send unit exhausted its retry budget and went silent.
     pub retry_exhausted: bool,
+    /// End-to-end block-checksum mismatches at the receive unit (each one
+    /// forced a whole-block replay — a burst evaded the frame parity).
+    pub block_rejects: u64,
+    /// Whole-block replays performed by the send side after a
+    /// block-checksum reject.
+    pub block_resends: u64,
 }
 
 /// Snapshot of all 12 link directions of one node's SCU.
@@ -53,6 +59,8 @@ impl Scu {
                 recv_checksum: r.checksum().value(),
                 backoff_waits: s.backoff_waits(),
                 retry_exhausted: s.retry_exhausted(),
+                block_rejects: r.block_rejects(),
+                block_resends: self.block_resends(link),
             };
         }
         stats
@@ -93,6 +101,12 @@ impl ScuStats {
             }
             if l.retry_exhausted {
                 reg.gauge_set("scu_link_retry_exhausted", &labels, 1.0);
+            }
+            if l.block_rejects > 0 {
+                reg.gauge_set("scu_link_block_rejects", &labels, l.block_rejects as f64);
+            }
+            if l.block_resends > 0 {
+                reg.gauge_set("scu_link_block_resends", &labels, l.block_resends as f64);
             }
         }
     }
@@ -161,11 +175,15 @@ mod tests {
         stats.links[2].sent_words = 1;
         stats.links[2].backoff_waits = 9;
         stats.links[2].retry_exhausted = true;
+        stats.links[2].block_rejects = 2;
+        stats.links[2].block_resends = 2;
         let mut reg = MetricsRegistry::new();
         stats.export_metrics(1, &mut reg);
         let labels = [("node", "1".to_string()), ("link", "2".to_string())];
         assert_eq!(reg.gauge("scu_link_backoff_waits", &labels), Some(9.0));
         assert_eq!(reg.gauge("scu_link_retry_exhausted", &labels), Some(1.0));
-        assert_eq!(reg.len(), 6);
+        assert_eq!(reg.gauge("scu_link_block_rejects", &labels), Some(2.0));
+        assert_eq!(reg.gauge("scu_link_block_resends", &labels), Some(2.0));
+        assert_eq!(reg.len(), 8);
     }
 }

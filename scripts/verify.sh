@@ -34,4 +34,10 @@ cargo bench -p qcdoc-bench --bench recovery_overhead
 echo "== mixed precision: reliable-update CG acceptance (f64 tolerance, bit-identical, cost envelope)"
 cargo bench -p qcdoc-bench --bench mixed_precision
 
+echo "== integrity: ECC + block-checksum + ABFT acceptance (corruption healed, bit-identical)"
+cargo test -q --test integrity
+
+echo "== integrity: clean-path overhead smoke (ABFT-on CG within 5% of raw CG)"
+cargo bench -p qcdoc-bench --bench integrity_overhead
+
 echo "verify: all green"
