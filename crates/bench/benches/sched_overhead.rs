@@ -1,0 +1,314 @@
+//! Cost of running a job through the scheduler instead of by hand.
+//!
+//! The scheduler earns its keep only if its bookkeeping is invisible
+//! next to the physics: one placement decision when a job starts, one
+//! tick of accounting per CG iteration, one vacate when it finishes.
+//! The smoke check gates exactly that — a single CG solve driven
+//! through submit → place-on-qdaemon → per-iteration ticks → complete
+//! must stay within 5% of the bare solve. The criterion group then
+//! prices the placement decision itself on the full 12,288-node mesh
+//! (empty and half-loaded) and runs a seeded mini-soak whose achieved
+//! occupancy is compared against the work-conserving oracle bound.
+//! The measured numbers land in `BENCH_sched.json` for the dashboard.
+
+use criterion::{black_box, criterion_group, Criterion};
+use qcdoc_geometry::TorusShape;
+use qcdoc_host::Qdaemon;
+use qcdoc_lattice::field::{FermionField, GaugeField, Lattice};
+use qcdoc_lattice::solver::{solve_cgne, CgParams};
+use qcdoc_lattice::wilson::WilsonDirac;
+use qcdoc_sched::{JobSpec, Priority, SchedConfig, Scheduler, ShapeRequest, SimMesh, TenantConfig};
+use qcdoc_telemetry::{summary_json, MetricsRegistry};
+use std::time::Instant;
+
+fn workload() -> (GaugeField, FermionField) {
+    let lat = Lattice::new([4, 4, 4, 4]);
+    (GaugeField::hot(lat, 42), FermionField::gaussian(lat, 43))
+}
+
+fn params() -> CgParams {
+    CgParams {
+        tolerance: 1e-10,
+        max_iterations: 25,
+    }
+}
+
+fn shape(extents: &[usize], groups: &[&[usize]]) -> ShapeRequest {
+    ShapeRequest {
+        extents: extents.to_vec(),
+        groups: groups.iter().map(|g| g.to_vec()).collect(),
+    }
+}
+
+fn tenant() -> TenantConfig {
+    TenantConfig {
+        weight: 1.0,
+        node_quota: usize::MAX,
+        max_queued: usize::MAX,
+    }
+}
+
+/// The bare solve: what a user would run with the partition in hand.
+fn cg_direct(op: &WilsonDirac<'_>, b: &FermionField) -> f64 {
+    let mut x = FermionField::zero(b.lattice());
+    let report = solve_cgne(op, &mut x, black_box(b), params());
+    report.final_residual
+}
+
+/// The same solve driven through the scheduler: submit one job against
+/// a quiet booted qdaemon, let the scheduler place it, charge one tick
+/// of accounting per CG iteration, and complete/vacate at the end.
+fn cg_managed(op: &WilsonDirac<'_>, b: &FermionField, q: &mut Qdaemon, iters: u64) -> f64 {
+    let mut sched = Scheduler::new(q.machine().clone(), SchedConfig::default());
+    sched.add_tenant("bench", tenant());
+    let id = sched
+        .submit(JobSpec {
+            tenant: "bench".into(),
+            priority: Priority::Standard,
+            shapes: vec![shape(&[4, 2, 2], &[&[0], &[1], &[2]])],
+            work: iters,
+            preemptible: false,
+        })
+        .expect("quiet machine admits the job");
+    sched.schedule(q);
+    assert!(sched.job(id).expect("submitted").placement.is_some());
+
+    let mut x = FermionField::zero(b.lattice());
+    let report = solve_cgne(op, &mut x, black_box(b), params());
+    // One scheduler tick per CG iteration, as the qdaemon run loop does.
+    for _ in 0..iters {
+        sched.advance(1, q);
+    }
+    assert_eq!(sched.running_count(), 0, "job must complete on schedule");
+    report.final_residual
+}
+
+/// Minimum wall time of `f` over `reps` runs, in seconds.
+fn min_seconds<F: FnMut() -> f64>(mut f: F, reps: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// The full machine of the paper and a shape menu whose multi-axis
+/// groups all end on an extent-2 axis (unit-dilation rings).
+fn big_machine() -> TorusShape {
+    TorusShape::new(&[8, 8, 6, 4, 4, 2])
+}
+
+fn menu() -> Vec<ShapeRequest> {
+    vec![
+        shape(&[8, 8, 6, 4, 4, 2], &[&[0], &[1], &[2], &[3], &[4], &[5]]),
+        shape(&[8, 8, 6, 4, 4, 1], &[&[0], &[1], &[2], &[3], &[4]]),
+        shape(&[8, 8, 6, 4, 2, 1], &[&[0], &[1], &[2], &[3, 4]]),
+        shape(&[8, 8, 6, 2, 2, 1], &[&[0], &[1], &[2], &[3, 4]]),
+        shape(&[8, 8, 6, 2, 1, 1], &[&[0], &[1], &[2, 3]]),
+        shape(&[8, 8, 2, 2, 1, 1], &[&[0], &[1], &[2, 3]]),
+        shape(&[8, 2, 2, 1, 1, 1], &[&[0], &[1, 2]]),
+        shape(&[2, 2, 1, 1, 1, 1], &[&[0, 1]]),
+    ]
+}
+
+/// A scheduler + mesh with `held` background jobs pinned on the full
+/// machine (work is effectively infinite, so they never complete while
+/// the decision latency is being probed).
+fn loaded_mesh(held: &[ShapeRequest]) -> (Scheduler, SimMesh) {
+    let mut sched = Scheduler::new(big_machine(), SchedConfig::default());
+    sched.add_tenant("bench", tenant());
+    let mut mesh = SimMesh::new(big_machine());
+    for s in held {
+        sched
+            .submit(JobSpec {
+                tenant: "bench".into(),
+                priority: Priority::Standard,
+                shapes: vec![s.clone()],
+                work: u64::MAX / 2,
+                preemptible: false,
+            })
+            .expect("background job admits");
+    }
+    sched.schedule(&mut mesh);
+    assert_eq!(sched.running_count(), held.len(), "background load placed");
+    (sched, mesh)
+}
+
+/// One placement decision on the 12,288-node mesh: submit a 32-node
+/// job, schedule it onto the machine, then cancel it (vacating the
+/// nodes) so the next probe sees identical state.
+fn decision_cycle(sched: &mut Scheduler, mesh: &mut SimMesh) {
+    let id = sched
+        .submit(JobSpec {
+            tenant: "bench".into(),
+            priority: Priority::Standard,
+            shapes: vec![shape(&[8, 2, 2, 1, 1, 1], &[&[0], &[1, 2]])],
+            work: 8,
+            preemptible: true,
+        })
+        .expect("probe job admits");
+    sched.schedule(mesh);
+    assert!(sched.cancel(id, mesh), "probe job cancels");
+}
+
+/// Seeded mini-soak on the full machine; returns (achieved occupancy,
+/// oracle occupancy) where the oracle is the work-conserving bound
+/// `total node-ticks / (nodes * ideal makespan)`.
+fn soak_occupancy(jobs: usize, seed: u64) -> (f64, f64) {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let machine = big_machine();
+    let nodes = machine.node_count() as u64;
+    let mut sched = Scheduler::new(
+        machine.clone(),
+        SchedConfig {
+            aging_ticks: 48,
+            window: 8,
+        },
+    );
+    sched.add_tenant("bench", tenant());
+    let mut mesh = SimMesh::new(machine);
+    let menu = menu();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut total_node_ticks = 0u64;
+    for _ in 0..jobs {
+        let first = rng.gen_range(0..menu.len());
+        let shapes: Vec<ShapeRequest> = menu[first..].iter().take(2).map(Clone::clone).collect();
+        let work = rng.gen_range(2..=24u64);
+        // The oracle charges the smallest shape the job would accept.
+        let min_nodes = shapes.iter().map(ShapeRequest::node_count).min().unwrap();
+        total_node_ticks += work * min_nodes as u64;
+        sched
+            .submit(JobSpec {
+                tenant: "bench".into(),
+                priority: Priority::Standard,
+                shapes,
+                work,
+                preemptible: true,
+            })
+            .expect("soak job admits");
+    }
+    assert!(sched.drain(&mut mesh, 1_000_000), "soak queue drains");
+    let ideal_makespan = total_node_ticks.div_ceil(nodes).max(1);
+    let oracle = total_node_ticks as f64 / (nodes * ideal_makespan) as f64;
+    (sched.occupancy_ratio(), oracle)
+}
+
+/// The acceptance gate: a scheduler-managed CG solve stays within 5%
+/// of the bare solve, and the measured numbers are exported to
+/// `BENCH_sched.json`.
+fn smoke_check() {
+    let (gauge, b) = workload();
+    let op = WilsonDirac::new(&gauge, 0.12);
+    let mut q = Qdaemon::new(TorusShape::new(&[4, 2, 2]));
+    q.boot(&[]);
+    let mut probe = FermionField::zero(b.lattice());
+    let iters = solve_cgne(&op, &mut probe, &b, params()).iterations as u64;
+
+    black_box(cg_direct(&op, &b));
+    black_box(cg_managed(&op, &b, &mut q, iters));
+    let mut verdict = None;
+    let mut measured = (0.0, 0.0);
+    for attempt in 1..=3 {
+        let direct = min_seconds(|| cg_direct(&op, &b), 7);
+        let managed = min_seconds(|| cg_managed(&op, &b, &mut q, iters), 7);
+        let ratio = managed / direct;
+        println!(
+            "sched_overhead smoke attempt {attempt}: direct {:.1} ms, managed {:.1} ms, ratio {ratio:.4}",
+            direct * 1e3,
+            managed * 1e3,
+        );
+        measured = (direct, ratio);
+        if ratio < 1.05 {
+            verdict = Some(ratio);
+            break;
+        }
+    }
+    let ratio = verdict.expect("scheduler-managed CG exceeded 5% overhead in 3 attempts");
+    println!("sched_overhead smoke PASS: managed ratio {ratio:.4} < 1.05");
+
+    // Price one placement decision on the full 12,288-node mesh, empty
+    // and with half the machine pinned by background jobs.
+    let (mut s0, mut m0) = loaded_mesh(&[]);
+    let empty_us = min_seconds(
+        || {
+            decision_cycle(&mut s0, &mut m0);
+            0.0
+        },
+        64,
+    ) * 1e6;
+    let half = menu()[1].clone();
+    let (mut s1, mut m1) = loaded_mesh(std::slice::from_ref(&half));
+    let loaded_us = min_seconds(
+        || {
+            decision_cycle(&mut s1, &mut m1);
+            0.0
+        },
+        64,
+    ) * 1e6;
+    println!(
+        "sched_overhead: decision latency {empty_us:.1} us empty, {loaded_us:.1} us half-loaded"
+    );
+
+    // Occupancy against the work-conserving oracle (informational — the
+    // oracle ignores shape granularity, so < 1.0 is expected).
+    let (achieved, oracle) = soak_occupancy(160, 2004);
+    let vs_oracle = achieved / oracle;
+    println!(
+        "sched_overhead: soak occupancy {:.1}% vs oracle {:.1}% (ratio {vs_oracle:.3})",
+        achieved * 1e2,
+        oracle * 1e2,
+    );
+
+    let mut reg = MetricsRegistry::new();
+    reg.gauge_set("sched_cg_direct_seconds", &[], measured.0);
+    reg.gauge_set("sched_managed_overhead_ratio", &[], measured.1);
+    reg.gauge_set("sched_overhead_gate", &[], 1.05);
+    reg.gauge_set("sched_decision_latency_empty_us", &[], empty_us);
+    reg.gauge_set("sched_decision_latency_half_load_us", &[], loaded_us);
+    reg.gauge_set("sched_soak_occupancy", &[], achieved);
+    reg.gauge_set("sched_soak_occupancy_oracle", &[], oracle);
+    reg.gauge_set("sched_occupancy_vs_oracle", &[], vs_oracle);
+    let json = summary_json(&reg, &[]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sched.json");
+    std::fs::write(path, &json).expect("write BENCH_sched.json");
+    println!("Wrote BENCH_sched.json ({} bytes)", json.len());
+}
+
+fn overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sched_overhead");
+    group.sample_size(10);
+    let (gauge, b) = workload();
+    let op = WilsonDirac::new(&gauge, 0.12);
+    let mut q = Qdaemon::new(TorusShape::new(&[4, 2, 2]));
+    q.boot(&[]);
+    let mut probe = FermionField::zero(b.lattice());
+    let iters = solve_cgne(&op, &mut probe, &b, params()).iterations as u64;
+    group.bench_function("cg_4x4x4x4_direct", |bch| bch.iter(|| cg_direct(&op, &b)));
+    group.bench_function("cg_4x4x4x4_managed", |bch| {
+        bch.iter(|| cg_managed(&op, &b, &mut q, iters))
+    });
+    let (mut s0, mut m0) = loaded_mesh(&[]);
+    group.bench_function("decision_12288_nodes_empty", |bch| {
+        bch.iter(|| decision_cycle(&mut s0, &mut m0))
+    });
+    let half = menu()[1].clone();
+    let (mut s1, mut m1) = loaded_mesh(std::slice::from_ref(&half));
+    group.bench_function("decision_12288_nodes_half_load", |bch| {
+        bch.iter(|| decision_cycle(&mut s1, &mut m1))
+    });
+    group.bench_function("soak_80_jobs_full_machine", |bch| {
+        bch.iter(|| soak_occupancy(80, 7))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, overhead);
+
+fn main() {
+    smoke_check();
+    benches();
+}

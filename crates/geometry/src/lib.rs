@@ -31,12 +31,14 @@ pub mod coord;
 pub mod direction;
 pub mod fold;
 pub mod mapping;
+pub mod packing;
 pub mod partition;
 pub mod torus;
 
 pub use coord::{NodeCoord, NodeId};
 pub use direction::{Axis, Direction};
 pub use mapping::{LatticeMapping, LocalVolume};
+pub use packing::OccupancyMap;
 pub use partition::{Partition, PartitionError, PartitionSpec};
 pub use torus::TorusShape;
 

@@ -250,6 +250,25 @@ impl Partition {
         self.logical.neighbour(lc, d)
     }
 
+    /// Whether this partition's physical sub-box intersects `other`'s.
+    /// Placement never wraps a sub-box around the torus (origins are
+    /// bounds-checked against the extents), so this is a plain interval
+    /// intersection per axis. Two partitions that overlap cannot be
+    /// concurrently allocated — the qdaemon refuses the second.
+    pub fn overlaps(&self, other: &Partition) -> bool {
+        debug_assert_eq!(
+            self.machine, other.machine,
+            "overlap is only meaningful within one machine"
+        );
+        (0..self.machine.rank()).all(|axis| {
+            let a_lo = self.spec.origin.get(axis);
+            let a_hi = a_lo + self.spec.extents[axis];
+            let b_lo = other.spec.origin.get(axis);
+            let b_hi = b_lo + other.spec.extents[axis];
+            a_lo < b_hi && b_lo < a_hi
+        })
+    }
+
     /// Maximum physical hop distance between any pair of logical
     /// nearest-neighbours — the *dilation* of the embedding. A valid QCDOC
     /// partition always has dilation 1.

@@ -111,6 +111,99 @@ proptest! {
         prop_assert_eq!(phys.len(), shape.node_count());
     }
 
+    /// Packing edge: a sub-box partition (multi-axis folds close without
+    /// wrap links) keeps unit dilation wherever it is placed, and its
+    /// `physical_of`/`logical_of` maps stay exact inverses.
+    #[test]
+    fn sub_box_partition_round_trips_with_unit_dilation(
+        ox in 0usize..=2, ot in 0usize..=2, seed in 0usize..10_000
+    ) {
+        let shape = TorusShape::new(&[4, 4, 2, 2]);
+        let mut origin = NodeCoord::ORIGIN;
+        origin.set(0, ox);
+        origin.set(1, ot);
+        let spec = PartitionSpec {
+            origin,
+            extents: vec![2, 2, 2, 2],
+            groups: vec![vec![0, 2], vec![1, 3]],
+        };
+        let p = Partition::new(&shape, spec).unwrap();
+        prop_assert_eq!(p.node_count(), 16);
+        // Dilation is bounded below by 1 (some neighbour pair is distinct)
+        // and above by 1 (every fold hop is a physical hop).
+        prop_assert_eq!(p.dilation(), 1);
+        let lc = p.logical_shape().coord_of(NodeId((seed % 16) as u32));
+        let pc = p.physical_of(lc);
+        prop_assert_eq!(p.logical_of(pc), Some(lc));
+        // A physical node outside the sub-box is not in the partition.
+        let mut outside = origin;
+        outside.set(2, 1);
+        outside.set(0, (ox + 2) % 4);
+        if outside.get(0) < ox || outside.get(0) >= ox + 2 {
+            prop_assert_eq!(p.logical_of(outside), None);
+        }
+    }
+
+    /// Packing edge: two concurrently placed sub-boxes either overlap —
+    /// and then an occupancy map refuses the second — or are disjoint,
+    /// and both place. `Partition::overlaps` must agree exactly with the
+    /// mask arithmetic.
+    #[test]
+    fn overlapping_concurrent_specs_are_rejected(
+        a0 in 0usize..=2, a1 in 0usize..=2, b0 in 0usize..=2, b1 in 0usize..=2
+    ) {
+        let shape = TorusShape::new(&[4, 4, 2, 2]);
+        let mk = |x: usize, y: usize| {
+            let mut origin = NodeCoord::ORIGIN;
+            origin.set(0, x);
+            origin.set(1, y);
+            PartitionSpec {
+                origin,
+                extents: vec![2, 2, 2, 2],
+                groups: vec![vec![0, 2], vec![1, 3]],
+            }
+        };
+        let pa = Partition::new(&shape, mk(a0, a1)).unwrap();
+        let pb = Partition::new(&shape, mk(b0, b1)).unwrap();
+        let boxes_overlap = a0.abs_diff(b0) < 2 && a1.abs_diff(b1) < 2;
+        prop_assert_eq!(pa.overlaps(&pb), boxes_overlap);
+        prop_assert!(pa.overlaps(&pa));
+        let mut map = qcdoc_geometry::OccupancyMap::new(shape);
+        prop_assert!(map.spec_free(pa.spec()));
+        map.occupy_spec(pa.spec());
+        prop_assert_eq!(map.spec_free(pb.spec()), !boxes_overlap);
+        // Vacating restores the map exactly.
+        map.vacate_spec(pa.spec());
+        prop_assert!(map.spec_free(pb.spec()));
+        prop_assert_eq!(map.free_count(), 64);
+    }
+
+    /// Packing edge: `fit_origins` returns exactly the origins whose box
+    /// is free, in rank order, and `best_fit` returns one of them.
+    #[test]
+    fn fit_origins_agree_with_box_free(taken_seed in 0u64..1_000) {
+        let shape = TorusShape::new(&[4, 2, 2]);
+        let n = shape.node_count();
+        let mask: Vec<bool> = (0..n)
+            .map(|i| (taken_seed >> (i % 10)) & 1 == 1 && i % 3 == 0)
+            .collect();
+        let map = qcdoc_geometry::OccupancyMap::from_mask(shape.clone(), mask);
+        let extents = [2usize, 2, 1];
+        let fits = map.fit_origins(&extents, usize::MAX);
+        let mut expected = Vec::new();
+        for id in 0..n {
+            let c = shape.coord_of(NodeId(id as u32));
+            if map.box_in_bounds(c, &extents) && map.box_free(c, &extents) {
+                expected.push(c);
+            }
+        }
+        prop_assert_eq!(&fits, &expected);
+        match map.best_fit(&extents) {
+            Some(origin) => prop_assert!(fits.contains(&origin)),
+            None => prop_assert!(fits.is_empty()),
+        }
+    }
+
     #[test]
     fn mapping_owner_consistent(lx in 1usize..4, lt in 1usize..4, mx in 1usize..4, mt in 1usize..4) {
         let machine = TorusShape::new(&[mx, mt]);

@@ -35,5 +35,5 @@ pub mod qdaemon;
 pub mod recovery;
 pub mod rpc;
 
-pub use qdaemon::{BootReport, NodeState, Qdaemon};
+pub use qdaemon::{BootReport, NodeCensus, NodeState, Qdaemon};
 pub use recovery::RecoveryPlanner;

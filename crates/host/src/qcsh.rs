@@ -9,6 +9,7 @@
 
 use crate::qdaemon::Qdaemon;
 use qcdoc_geometry::PartitionSpec;
+use qcdoc_sched::{JobId, JobSpec, JobStatus, Priority, Scheduler, ShapeRequest};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -41,6 +42,55 @@ pub enum Command {
         /// Partition id.
         id: u32,
     },
+    /// `qsub <tenant> <class> <work> <shape>...` — submit a batch job to
+    /// the scheduler. Each shape is `EXTENTSxEXTENTS.../GROUP-GROUP...`
+    /// with groups as digit strings of physical axes, e.g.
+    /// `4x2x1/01` (axes 0 and 1 folded into one logical axis) or
+    /// `4x2x2/0-1-2` (three logical axes).
+    Submit {
+        /// Owning tenant.
+        tenant: String,
+        /// Priority class.
+        priority: Priority,
+        /// Service demand in scheduler ticks.
+        work: u64,
+        /// Acceptable shapes in preference order.
+        shapes: Vec<ShapeRequest>,
+    },
+    /// `qjobs` — list the scheduler's jobs.
+    Jobs,
+    /// `qdel <job>` — cancel a batch job.
+    Delete {
+        /// The job number (as printed by `qsub`/`qjobs`).
+        job: u64,
+    },
+}
+
+/// Parse a `qsub` shape argument: `4x2x1/01` or `4x2x2/0-1-2`.
+fn parse_shape(word: &str) -> Result<ShapeRequest, String> {
+    let (extents_part, groups_part) = word
+        .split_once('/')
+        .ok_or_else(|| format!("shape {word} needs EXTENTS/GROUPS"))?;
+    let extents = extents_part
+        .split('x')
+        .map(|e| {
+            e.parse::<usize>()
+                .map_err(|err| format!("bad extent: {err}"))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let groups = groups_part
+        .split('-')
+        .map(|g| {
+            g.chars()
+                .map(|c| {
+                    c.to_digit(10)
+                        .map(|d| d as usize)
+                        .ok_or_else(|| format!("bad axis digit {c:?} in shape {word}"))
+                })
+                .collect::<Result<Vec<_>, _>>()
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(ShapeRequest { extents, groups })
 }
 
 /// Parse a command line.
@@ -84,8 +134,52 @@ pub fn parse(line: &str) -> Result<Command, String> {
                 .map_err(|e| format!("{e}"))?;
             Ok(Command::Hardware { id })
         }
+        Some("qsub") => {
+            let tenant = words.next().ok_or("qsub needs a tenant")?.to_string();
+            let priority = match words.next().ok_or("qsub needs a class")? {
+                "scavenger" => Priority::Scavenger,
+                "standard" => Priority::Standard,
+                "production" => Priority::Production,
+                other => return Err(format!("unknown class {other}")),
+            };
+            let work: u64 = words
+                .next()
+                .ok_or("qsub needs a work amount")?
+                .parse()
+                .map_err(|e| format!("bad work: {e}"))?;
+            let shapes = words.map(parse_shape).collect::<Result<Vec<_>, _>>()?;
+            if shapes.is_empty() {
+                return Err("qsub needs at least one shape".into());
+            }
+            Ok(Command::Submit {
+                tenant,
+                priority,
+                work,
+                shapes,
+            })
+        }
+        Some("qjobs") => Ok(Command::Jobs),
+        Some("qdel") => {
+            let job = words
+                .next()
+                .ok_or("qdel needs a job number")?
+                .parse()
+                .map_err(|e| format!("{e}"))?;
+            Ok(Command::Delete { job })
+        }
         Some(other) => Err(format!("unknown command: {other}")),
         None => Err("empty command".into()),
+    }
+}
+
+/// Stable lowercase word for a job status in qcsh output.
+fn status_word(status: JobStatus) -> &'static str {
+    match status {
+        JobStatus::Queued => "queued",
+        JobStatus::Running => "running",
+        JobStatus::Preempted => "preempted",
+        JobStatus::Completed => "completed",
+        JobStatus::Canceled => "canceled",
     }
 }
 
@@ -148,8 +242,14 @@ impl Qcsh {
                 }
             }
             Command::Status => {
-                let (ready, busy, faulty, unbooted) = q.census();
-                format!("ready {ready} busy {busy} faulty {faulty} unbooted {unbooted}")
+                let census = q.census();
+                format!(
+                    "ready {} busy {} faulty {} unbooted {}",
+                    census.ready, census.busy, census.faulty, census.unbooted
+                )
+            }
+            Command::Submit { .. } | Command::Jobs | Command::Delete { .. } => {
+                "error: batch commands need a scheduler (use execute_batch)".into()
             }
             Command::Free { id } => {
                 q.release(*id);
@@ -168,6 +268,76 @@ impl Qcsh {
                 ),
                 None => format!("error: no partition {id}"),
             },
+        }
+    }
+
+    /// Execute a command in a batch session: the scheduler handles
+    /// `qsub`/`qjobs`/`qdel` (submissions trigger an immediate
+    /// scheduling pass against the daemon), everything else falls
+    /// through to [`Qcsh::execute`].
+    pub fn execute_batch(
+        &mut self,
+        q: &mut Qdaemon,
+        sched: &mut Scheduler,
+        cmd: &Command,
+    ) -> String {
+        match cmd {
+            Command::Submit {
+                tenant,
+                priority,
+                work,
+                shapes,
+            } => {
+                let spec = JobSpec {
+                    tenant: tenant.clone(),
+                    priority: *priority,
+                    shapes: shapes.clone(),
+                    work: *work,
+                    preemptible: true,
+                };
+                match sched.submit(spec) {
+                    Ok(id) => {
+                        sched.schedule(q);
+                        let status = sched.job(id).expect("just submitted").status;
+                        format!("{id} {}", status_word(status))
+                    }
+                    Err(e) => format!("error: {e}"),
+                }
+            }
+            Command::Jobs => {
+                let mut lines: Vec<String> = sched
+                    .jobs()
+                    .map(|j| {
+                        let shape = j
+                            .placement
+                            .as_ref()
+                            .map(|p| p.logical.to_string())
+                            .unwrap_or_else(|| "-".into());
+                        format!(
+                            "{} tenant={} class={} {} shape={} wait={} preempted={}",
+                            j.id,
+                            j.spec.tenant,
+                            j.spec.priority.label(),
+                            status_word(j.status),
+                            shape,
+                            j.wait_ticks,
+                            j.preemptions
+                        )
+                    })
+                    .collect();
+                if lines.is_empty() {
+                    lines.push("no jobs".into());
+                }
+                lines.join("\n")
+            }
+            Command::Delete { job } => {
+                if sched.cancel(JobId(*job), q) {
+                    format!("job{job} canceled")
+                } else {
+                    format!("error: no cancellable job{job}")
+                }
+            }
+            other => self.execute(q, other),
         }
     }
 
@@ -275,6 +445,94 @@ mod tests {
         // Unknown partitions report an error, not a panic.
         let out = sh.execute(&mut q, &Command::Hardware { id: 9 });
         assert_eq!(out, "error: no partition 9");
+    }
+
+    #[test]
+    fn parse_batch_commands() {
+        assert_eq!(
+            parse("qsub phys production 100 4x2x1/01"),
+            Ok(Command::Submit {
+                tenant: "phys".into(),
+                priority: Priority::Production,
+                work: 100,
+                shapes: vec![ShapeRequest {
+                    extents: vec![4, 2, 1],
+                    groups: vec![vec![0, 1]],
+                }],
+            })
+        );
+        // Alternate shapes and multi-group folds.
+        assert_eq!(
+            parse("qsub phys scavenger 5 4x2x2/01-2 4x2x1/01"),
+            Ok(Command::Submit {
+                tenant: "phys".into(),
+                priority: Priority::Scavenger,
+                work: 5,
+                shapes: vec![
+                    ShapeRequest {
+                        extents: vec![4, 2, 2],
+                        groups: vec![vec![0, 1], vec![2]],
+                    },
+                    ShapeRequest {
+                        extents: vec![4, 2, 1],
+                        groups: vec![vec![0, 1]],
+                    },
+                ],
+            })
+        );
+        assert_eq!(parse("qjobs"), Ok(Command::Jobs));
+        assert_eq!(parse("qdel 3"), Ok(Command::Delete { job: 3 }));
+        assert!(parse("qsub phys production 100").is_err(), "no shapes");
+        assert!(parse("qsub phys urgent 1 4x2x1/01").is_err(), "bad class");
+        assert!(parse("qsub phys standard 1 4x2x1").is_err(), "no groups");
+        assert!(parse("qdel").is_err());
+    }
+
+    #[test]
+    fn batch_session_submits_lists_and_cancels() {
+        use qcdoc_sched::{SchedConfig, TenantConfig};
+        let mut q = Qdaemon::new(machine());
+        let mut sched = Scheduler::new(machine(), SchedConfig::default());
+        sched.add_tenant("phys", TenantConfig::default());
+        let mut sh = Qcsh::new(1001, &[]);
+        sh.execute(&mut q, &Command::Boot);
+        // Whole machine folded to 3-D: runs immediately.
+        let reply = sh.execute_batch(
+            &mut q,
+            &mut sched,
+            &parse("qsub phys standard 50 4x2x2x2x1x1/0-1-23").unwrap(),
+        );
+        assert_eq!(reply, "job0 running");
+        // Second identical job queues behind it.
+        let reply = sh.execute_batch(
+            &mut q,
+            &mut sched,
+            &parse("qsub phys standard 50 4x2x2x2x1x1/0-1-23").unwrap(),
+        );
+        assert_eq!(reply, "job1 queued");
+        let listing = sh.execute_batch(&mut q, &mut sched, &Command::Jobs);
+        assert!(listing.contains("job0 tenant=phys class=standard running"));
+        assert!(listing.contains("job1 tenant=phys class=standard queued"));
+        // Unknown tenants are refused at the prompt.
+        let reply = sh.execute_batch(
+            &mut q,
+            &mut sched,
+            &parse("qsub ghost standard 1 4x2x2x2x1x1/0-1-23").unwrap(),
+        );
+        assert!(reply.starts_with("error: unknown tenant"));
+        // qdel frees the machine; the queued job takes over.
+        let reply = sh.execute_batch(&mut q, &mut sched, &parse("qdel 0").unwrap());
+        assert_eq!(reply, "job0 canceled");
+        assert_eq!(
+            sh.execute_batch(&mut q, &mut sched, &parse("qdel 0").unwrap()),
+            "error: no cancellable job0"
+        );
+        let listing = sh.execute_batch(&mut q, &mut sched, &Command::Jobs);
+        assert!(listing.contains("job1 tenant=phys class=standard running"));
+        // Batch commands without a scheduler answer with an error.
+        assert!(sh
+            .execute(&mut q, &Command::Jobs)
+            .starts_with("error: batch commands need a scheduler"));
     }
 
     #[test]

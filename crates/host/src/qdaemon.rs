@@ -67,6 +67,40 @@ struct Allocation {
     job_output: Vec<u8>,
 }
 
+/// Node-state census: how many nodes sit in each lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct NodeCensus {
+    /// Booted, idle, allocatable.
+    pub ready: usize,
+    /// Assigned to a partition.
+    pub busy: usize,
+    /// Quarantined by a hardware test or health sweep.
+    pub faulty: usize,
+    /// Powered on but not yet through the boot sequence.
+    pub unbooted: usize,
+}
+
+impl NodeCensus {
+    /// All nodes the daemon tracks.
+    pub fn total(&self) -> usize {
+        self.ready + self.busy + self.faulty + self.unbooted
+    }
+}
+
+impl std::fmt::Display for NodeCensus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ready, {} busy, {} faulty, {} unbooted",
+            self.ready, self.busy, self.faulty, self.unbooted
+        )
+    }
+}
+
+/// Most recently released outputs kept readable after `release` — bounded
+/// so thousands of unread soak jobs cannot leak the host's memory.
+pub const RETAINED_OUTPUT_CAP: usize = 64;
+
 /// The host daemon.
 #[derive(Debug)]
 pub struct Qdaemon {
@@ -75,6 +109,10 @@ pub struct Qdaemon {
     kernels: Vec<RunKernel>,
     states: Vec<NodeState>,
     allocations: HashMap<u32, Allocation>,
+    /// Outputs of released partitions, awaiting a read. Keyed by
+    /// partition id (monotonic, so the smallest key is the oldest entry
+    /// and eviction under [`RETAINED_OUTPUT_CAP`] is deterministic).
+    retained_output: std::collections::BTreeMap<u32, Vec<u8>>,
     next_partition_id: u32,
     ethernet: EthernetTree,
     packets_sent: u64,
@@ -92,6 +130,7 @@ impl Qdaemon {
             kernels: (0..n).map(|_| RunKernel::new()).collect(),
             states: vec![NodeState::PoweredOn; n],
             allocations: HashMap::new(),
+            retained_output: std::collections::BTreeMap::new(),
             next_partition_id: 0,
             machine,
             packets_sent: 0,
@@ -206,21 +245,52 @@ impl Qdaemon {
         }
     }
 
-    /// The output stream of a partition's job.
+    /// The output stream of a partition's job — live or retained after
+    /// release. Does not consume the buffer; see
+    /// [`Qdaemon::take_output`].
     pub fn job_output(&self, id: u32) -> Option<&[u8]> {
-        self.allocations.get(&id).map(|a| a.job_output.as_slice())
+        self.allocations
+            .get(&id)
+            .map(|a| a.job_output.as_slice())
+            .or_else(|| self.retained_output.get(&id).map(Vec::as_slice))
+    }
+
+    /// Consume a job's output: the buffer is handed to the caller and the
+    /// daemon forgets it. This is how batch output leaves the host —
+    /// reading frees the memory, so a soak of thousands of jobs holds at
+    /// most [`RETAINED_OUTPUT_CAP`] unread buffers at any moment.
+    pub fn take_output(&mut self, id: u32) -> Option<Vec<u8>> {
+        if let Some(a) = self.allocations.get_mut(&id) {
+            return Some(std::mem::take(&mut a.job_output));
+        }
+        self.retained_output.remove(&id)
     }
 
     /// Release a partition; member nodes return to `Ready`. A member that
     /// was marked faulty while the job ran (health sweep, checksum report)
     /// stays quarantined — releasing a job must never launder a broken
     /// node back into the allocation pool.
+    ///
+    /// Any unread job output is retained for a later [`Qdaemon::job_output`]
+    /// or [`Qdaemon::take_output`], bounded by [`RETAINED_OUTPUT_CAP`]:
+    /// when a release would exceed the cap, the oldest retained buffer is
+    /// dropped. (Earlier versions dropped the output *with* the
+    /// allocation, which lost batch output; naive retention without the
+    /// cap leaks a buffer per job under soak load.)
     pub fn release(&mut self, id: u32) {
         if let Some(a) = self.allocations.remove(&id) {
             for i in 0..a.partition.node_count() {
                 let m = a.partition.physical_id(NodeId(i as u32));
                 if self.states[m.index()] == (NodeState::Busy { partition: id }) {
                     self.states[m.index()] = NodeState::Ready;
+                }
+            }
+            if !a.job_output.is_empty() {
+                self.retained_output.insert(id, a.job_output);
+                while self.retained_output.len() > RETAINED_OUTPUT_CAP {
+                    let oldest = *self.retained_output.keys().next().expect("nonempty");
+                    self.retained_output.remove(&oldest);
+                    self.metrics.counter_add("qdaemon_output_evictions", &[], 1);
                 }
             }
         }
@@ -290,21 +360,18 @@ impl Qdaemon {
         }
     }
 
-    /// Count of nodes in each state: (ready, busy, faulty, unbooted).
-    pub fn census(&self) -> (usize, usize, usize, usize) {
-        let mut ready = 0;
-        let mut busy = 0;
-        let mut faulty = 0;
-        let mut unbooted = 0;
+    /// Count of nodes in each state.
+    pub fn census(&self) -> NodeCensus {
+        let mut census = NodeCensus::default();
         for s in &self.states {
             match s {
-                NodeState::Ready => ready += 1,
-                NodeState::Busy { .. } => busy += 1,
-                NodeState::Faulty => faulty += 1,
-                _ => unbooted += 1,
+                NodeState::Ready => census.ready += 1,
+                NodeState::Busy { .. } => census.busy += 1,
+                NodeState::Faulty => census.faulty += 1,
+                _ => census.unbooted += 1,
             }
         }
-        (ready, busy, faulty, unbooted)
+        census
     }
 
     /// Merge an application-side telemetry snapshot (e.g. the registry a
@@ -321,12 +388,12 @@ impl Qdaemon {
     /// gauge and every ingested application metric (§3.1 — "keeping track
     /// of the status of the nodes (including hardware problems)").
     pub fn scrape(&mut self) -> String {
-        let (ready, busy, faulty, unbooted) = self.census();
+        let census = self.census();
         for (state, count) in [
-            ("ready", ready),
-            ("busy", busy),
-            ("faulty", faulty),
-            ("unbooted", unbooted),
+            ("ready", census.ready),
+            ("busy", census.busy),
+            ("faulty", census.faulty),
+            ("unbooted", census.unbooted),
         ] {
             self.metrics.gauge_set(
                 "qdaemon_nodes",
@@ -375,6 +442,41 @@ impl Qdaemon {
     /// Whether a node's kernel is idle and ready for a job.
     pub fn node_idle(&self, node: NodeId) -> bool {
         self.kernels[node.index()].phase() == KernelPhase::Idle
+    }
+}
+
+/// The daemon as the scheduler's machine: scheduled placements become
+/// real qdaemon partitions, and everything not `Ready` — busy, faulty,
+/// unbooted — is opaque occupied territory to the packer. This is the
+/// production [`qcdoc_sched::MeshHost`]; `SimMesh` stands in for it in
+/// scheduler unit tests.
+impl qcdoc_sched::MeshHost for Qdaemon {
+    fn shape(&self) -> &TorusShape {
+        &self.machine
+    }
+
+    fn occupancy(&self) -> qcdoc_geometry::OccupancyMap {
+        let mut map = qcdoc_geometry::OccupancyMap::new(self.machine.clone());
+        for (i, s) in self.states.iter().enumerate() {
+            if *s != NodeState::Ready {
+                map.set_taken(NodeId(i as u32), true);
+            }
+        }
+        map
+    }
+
+    fn place(&mut self, spec: &PartitionSpec) -> Result<qcdoc_sched::Placement, String> {
+        let id = self.allocate(spec.clone()).map_err(|e| e.to_string())?;
+        let logical = self
+            .partition(id)
+            .expect("freshly allocated partition exists")
+            .logical_shape()
+            .clone();
+        Ok(qcdoc_sched::Placement { id, logical })
+    }
+
+    fn vacate(&mut self, id: u32) {
+        self.release(id);
     }
 }
 
@@ -449,8 +551,17 @@ mod tests {
             32 * (BOOT_KERNEL_PACKETS + 1 + RUN_KERNEL_PACKETS)
         );
         assert!(report.boot_seconds > 0.0);
-        let (ready, busy, faulty, unbooted) = q.census();
-        assert_eq!((ready, busy, faulty, unbooted), (32, 0, 0, 0));
+        let census = q.census();
+        assert_eq!(
+            census,
+            NodeCensus {
+                ready: 32,
+                busy: 0,
+                faulty: 0,
+                unbooted: 0
+            }
+        );
+        assert_eq!(census.total(), 32);
     }
 
     #[test]
@@ -477,11 +588,11 @@ mod tests {
             q.partition(id).unwrap().logical_shape().dims(),
             &[4, 2, 2, 2]
         );
-        let (ready, busy, _, _) = q.census();
-        assert_eq!((ready, busy), (0, 32));
+        let census = q.census();
+        assert_eq!((census.ready, census.busy), (0, 32));
         q.release(id);
-        let (ready, busy, _, _) = q.census();
-        assert_eq!((ready, busy), (32, 0));
+        let census = q.census();
+        assert_eq!((census.ready, census.busy), (32, 0));
     }
 
     #[test]
@@ -515,8 +626,8 @@ mod tests {
         let a = q.allocate(mk_ok(0)).unwrap();
         let b = q.allocate(mk_ok(2)).unwrap();
         assert_ne!(a, b);
-        let (ready, busy, _, _) = q.census();
-        assert_eq!((ready, busy), (0, 32));
+        let census = q.census();
+        assert_eq!((census.ready, census.busy), (0, 32));
         // No double allocation.
         assert!(q.allocate(mk_ok(0)).is_err());
     }
@@ -534,8 +645,8 @@ mod tests {
             NodeState::Faulty,
             "release must not launder a quarantined node back to Ready"
         );
-        let (ready, busy, faulty, _) = q.census();
-        assert_eq!((ready, busy, faulty), (31, 0, 1));
+        let census = q.census();
+        assert_eq!((census.ready, census.busy, census.faulty), (31, 0, 1));
         // And the quarantine holds against the next full-machine request.
         assert!(q.allocate(PartitionSpec::native(q.machine())).is_err());
     }
@@ -550,6 +661,48 @@ mod tests {
             q.job_output(id).unwrap(),
             b"CG converged in 213 iterations\n"
         );
+    }
+
+    #[test]
+    fn output_survives_release_and_is_dropped_once_read() {
+        let mut q = Qdaemon::new(small_machine());
+        q.boot(&[]);
+        let id = q.allocate(PartitionSpec::native(q.machine())).unwrap();
+        q.return_output(id, b"batch output\n");
+        q.release(id);
+        // Batch semantics: the output outlives the allocation...
+        assert_eq!(q.job_output(id).unwrap(), b"batch output\n");
+        // ...until it is read, after which the daemon forgets it.
+        assert_eq!(q.take_output(id).unwrap(), b"batch output\n");
+        assert_eq!(q.job_output(id), None);
+        assert_eq!(q.take_output(id), None);
+    }
+
+    #[test]
+    fn retained_outputs_are_capped_under_soak_load() {
+        let mut q = Qdaemon::new(small_machine());
+        q.boot(&[]);
+        let spec = PartitionSpec::whole_machine(q.machine(), &[&[0], &[1], &[2], &[3, 4, 5]]);
+        let mut ids = Vec::new();
+        for i in 0..(RETAINED_OUTPUT_CAP + 10) {
+            let id = q.allocate(spec.clone()).unwrap();
+            q.return_output(id, format!("job {i}\n").as_bytes());
+            q.release(id);
+            ids.push(id);
+        }
+        // The ten oldest unread buffers were evicted; the rest remain.
+        for (i, &id) in ids.iter().enumerate() {
+            if i < 10 {
+                assert_eq!(q.job_output(id), None, "old buffer {i} must be evicted");
+            } else {
+                assert!(q.job_output(id).is_some(), "recent buffer {i} must remain");
+            }
+        }
+        assert_eq!(q.metrics().counter("qdaemon_output_evictions", &[]), 10);
+        // Jobs with no output retain nothing.
+        let quiet = q.allocate(spec.clone()).unwrap();
+        q.release(quiet);
+        assert_eq!(q.job_output(quiet), None);
     }
 
     #[test]
@@ -572,8 +725,8 @@ mod tests {
         // A full-machine allocation now routes into the failure, so it is
         // refused; the census shows the quarantine.
         assert!(q.allocate(PartitionSpec::native(q.machine())).is_err());
-        let (ready, _, faulty, _) = q.census();
-        assert_eq!((ready, faulty), (30, 2));
+        let census = q.census();
+        assert_eq!((census.ready, census.faulty), (30, 2));
         // Re-ingesting the same ledger quarantines nothing new.
         assert!(q.ingest_health(&ledger).quarantined.is_empty());
     }
@@ -589,8 +742,8 @@ mod tests {
         let report = q.ingest_health(&ledger);
         assert!(report.clean());
         assert_eq!(report.total_injected, 2);
-        let (ready, _, faulty, _) = q.census();
-        assert_eq!((ready, faulty), (32, 0));
+        let census = q.census();
+        assert_eq!((census.ready, census.faulty), (32, 0));
     }
 
     #[test]

@@ -228,8 +228,8 @@ mod tests {
         // the translated plan is empty.
         assert_eq!(part.spec().origin.get(3), 1);
         assert!(local.events.is_empty());
-        let (_, busy, faulty, _) = q.census();
-        assert_eq!((busy, faulty), (8, 1));
+        let census = q.census();
+        assert_eq!((census.busy, census.faulty), (8, 1));
     }
 
     #[test]

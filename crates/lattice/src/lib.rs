@@ -62,5 +62,5 @@ pub use checkpoint::CgCheckpoint;
 pub use complex::{Complex, C32, C64};
 pub use field::{FermionField, GaugeField, Lattice};
 pub use real::Real;
-pub use solver::{CgReport, DiracOperator};
+pub use solver::{CgReport, DiracOperator, ResumeError};
 pub use su3::Su3;

@@ -881,6 +881,74 @@ pub fn resume_cgne_traced<Op: DiracOperator>(
     (x, report)
 }
 
+/// Why a checkpoint cannot be resumed against a given operator and
+/// field template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResumeError {
+    /// The checkpoint was taken under a different Dirac operator.
+    OperatorMismatch {
+        /// Operator name recorded in the checkpoint.
+        expected: String,
+        /// Operator offered for the resume.
+        found: String,
+    },
+    /// The template field's global degrees of freedom do not match the
+    /// checkpointed vectors — the checkpoint belongs to a different
+    /// problem, not merely a different partition shape.
+    ShapeMismatch {
+        /// Bit-pattern words per vector in the checkpoint.
+        expected: usize,
+        /// Bit-pattern words of the offered template field.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResumeError::OperatorMismatch { expected, found } => write!(
+                f,
+                "checkpoint was taken under operator {expected}, cannot resume under {found}"
+            ),
+            ResumeError::ShapeMismatch { expected, found } => write!(
+                f,
+                "checkpoint vectors hold {expected} words but the template field holds {found}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ResumeError {}
+
+/// [`resume_cgne`] with the panics turned into errors — the entry point
+/// the scheduler's preemption protocol uses. A preempted job's
+/// checkpoint may legitimately resume on a partition of a *different
+/// shape* (the checkpoint serialises the global lattice in a
+/// machine-independent order), so the only hard requirements are the
+/// operator identity and the global problem size; both are validated
+/// here instead of asserted deep in the restore path.
+pub fn resume_cgne_on<Op: DiracOperator>(
+    op: &Op,
+    template: &Op::Field,
+    ckpt: &CgCheckpoint,
+    params: CgParams,
+) -> Result<(Op::Field, CgReport), ResumeError> {
+    if ckpt.operator != op.name() {
+        return Err(ResumeError::OperatorMismatch {
+            expected: ckpt.operator.clone(),
+            found: op.name().to_string(),
+        });
+    }
+    let found = template.to_bits().len();
+    if ckpt.x.len() != found {
+        return Err(ResumeError::ShapeMismatch {
+            expected: ckpt.x.len(),
+            found,
+        });
+    }
+    Ok(resume_cgne(op, template, ckpt, params))
+}
+
 /// Rebuild `(x, loop state)` from a checkpoint. `template` supplies the
 /// field shape — its values are overwritten. Shared by the resume entry
 /// points and the ABFT rollback path.
@@ -1587,6 +1655,39 @@ mod tests {
         ckpt.operator = "clover".into();
         let template = FermionField::zero(lat());
         let _ = resume_cgne(&op, &template, &ckpt, CgParams::default());
+    }
+
+    #[test]
+    fn resume_cgne_on_validates_before_restoring() {
+        let gauge = GaugeField::hot(lat(), 126);
+        let op = WilsonDirac::new(&gauge, 0.12);
+        let b = FermionField::gaussian(lat(), 127);
+        let mut x = FermionField::zero(lat());
+        let mut sink = Vec::new();
+        let report = solve_cgne_checkpointed(&op, &mut x, &b, CgParams::default(), 1, &mut sink);
+        let ckpt = &sink[sink.len() / 2];
+        let template = FermionField::zero(lat());
+
+        // Valid resume matches the uninterrupted run.
+        let (x_res, res_report) =
+            resume_cgne_on(&op, &template, ckpt, CgParams::default()).unwrap();
+        assert_eq!(x.fingerprint(), x_res.fingerprint());
+        assert_eq!(report, res_report);
+
+        // Wrong operator is an error, not a panic.
+        let mut wrong_op = ckpt.clone();
+        wrong_op.operator = "clover".into();
+        assert!(matches!(
+            resume_cgne_on(&op, &template, &wrong_op, CgParams::default()),
+            Err(ResumeError::OperatorMismatch { .. })
+        ));
+
+        // Wrong problem size is an error, not a shape panic downstream.
+        let small = FermionField::zero(Lattice::new([2, 2, 2, 2]));
+        assert!(matches!(
+            resume_cgne_on(&op, &small, ckpt, CgParams::default()),
+            Err(ResumeError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,1173 @@
+//! The deterministic multi-tenant scheduler.
+//!
+//! One [`Scheduler`] owns the job queue and tenant ledger for one
+//! machine; every placement decision is a pure function of the
+//! submission history and the mesh state, so a seeded soak replays
+//! bit-identically. The policy, in the order the code applies it:
+//!
+//! 1. **Admission control** — unknown tenants, malformed shapes,
+//!    over-quota requests and over-deep queues are refused at submit
+//!    time ([`AdmitError`]), never left to rot in the queue.
+//! 2. **Ordering** — pending jobs sort by: starving first (waited
+//!    longer than [`SchedConfig::aging_ticks`]), then priority class,
+//!    then fair-share charge (node·ticks consumed per unit weight,
+//!    ascending — the deficit rule), then submission order.
+//! 3. **Packing** — the first acceptable shape with a feasible
+//!    placement wins; placements come from
+//!    [`qcdoc_geometry::OccupancyMap::best_fit`], the snug-corner
+//!    heuristic that keeps the free mesh compact.
+//! 4. **Preemption** — a job that cannot fit may evict *strictly
+//!    lower* priority, preemptible jobs, fewest victims first. An
+//!    evicted job keeps its place in the accounting, its remaining
+//!    work, and its checkpoint blob; the resume placement may use a
+//!    different shape from its list, and the exact-bits checkpoint
+//!    protocol makes the result identical either way.
+//! 5. **No starvation** — once a job has aged past the threshold it
+//!    sorts ahead of everything and becomes a *barrier*: no younger
+//!    job may grab nodes while it waits, so the nodes completions
+//!    release inevitably reach it.
+
+use crate::job::{GrantedPlacement, JobId, JobRecord, JobSpec, JobStatus, Priority, ShapeRequest};
+use crate::mesh::MeshHost;
+use crate::tenant::{TenantConfig, TenantStats};
+use qcdoc_geometry::{OccupancyMap, Partition, PartitionSpec, TorusShape};
+use qcdoc_telemetry::MetricsRegistry;
+use std::collections::BTreeMap;
+
+/// Tunables of the scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedConfig {
+    /// Queue wait (in ticks) past which a job is *starving*: it sorts
+    /// ahead of every class and blocks backfill until it places.
+    pub aging_ticks: u64,
+    /// Maximum placement attempts per scheduling pass — bounds the
+    /// work of one pass on a deep queue; the next pass continues.
+    pub window: usize,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        SchedConfig {
+            aging_ticks: 512,
+            window: 16,
+        }
+    }
+}
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The tenant was never registered.
+    UnknownTenant(String),
+    /// The job listed no acceptable shapes.
+    NoShapes,
+    /// The job asked for zero work.
+    NoWork,
+    /// A shape is not a valid partition of this machine.
+    BadShape {
+        /// Index into the job's shape list.
+        index: usize,
+        /// The partition validation failure, as text.
+        reason: String,
+    },
+    /// Even the job's largest shape exceeds the tenant's node quota —
+    /// it could never run.
+    QuotaExceeded {
+        /// Nodes the largest shape needs.
+        needed: usize,
+        /// The tenant's concurrent-node quota.
+        quota: usize,
+    },
+    /// The tenant already has `max_queued` jobs waiting.
+    QueueFull {
+        /// The tenant's queue-depth limit.
+        limit: usize,
+    },
+}
+
+impl std::fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmitError::UnknownTenant(t) => write!(f, "unknown tenant {t}"),
+            AdmitError::NoShapes => write!(f, "job lists no acceptable shapes"),
+            AdmitError::NoWork => write!(f, "job asks for zero work"),
+            AdmitError::BadShape { index, reason } => {
+                write!(f, "shape {index} is not a valid partition: {reason}")
+            }
+            AdmitError::QuotaExceeded { needed, quota } => {
+                write!(f, "needs {needed} nodes but tenant quota is {quota}")
+            }
+            AdmitError::QueueFull { limit } => {
+                write!(f, "tenant queue is full ({limit} jobs)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdmitError {}
+
+/// One entry of the scheduler's decision log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedEvent {
+    /// A job passed admission.
+    Submitted {
+        /// The job.
+        job: JobId,
+        /// Clock tick.
+        at: u64,
+    },
+    /// First placement of a job.
+    Started {
+        /// The job.
+        job: JobId,
+        /// Clock tick.
+        at: u64,
+        /// Mesh partition id granted.
+        partition: u32,
+        /// Logical shape granted.
+        logical: TorusShape,
+    },
+    /// A running job was evicted to make room for a higher class.
+    Preempted {
+        /// The evicted job.
+        job: JobId,
+        /// Clock tick.
+        at: u64,
+        /// The job it made room for.
+        by: JobId,
+    },
+    /// A preempted job got a new placement.
+    Resumed {
+        /// The job.
+        job: JobId,
+        /// Clock tick.
+        at: u64,
+        /// Mesh partition id granted.
+        partition: u32,
+        /// Logical shape granted — possibly different from the shape
+        /// the job was preempted on.
+        logical: TorusShape,
+    },
+    /// A job delivered all its work.
+    Completed {
+        /// The job.
+        job: JobId,
+        /// Clock tick.
+        at: u64,
+    },
+    /// A job was removed by the user.
+    Canceled {
+        /// The job.
+        job: JobId,
+        /// Clock tick.
+        at: u64,
+    },
+}
+
+/// Result of one [`Scheduler::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// Work remains and time advanced.
+    Progressed,
+    /// Queue and machine are both empty.
+    Done,
+    /// Jobs are pending but nothing runs and nothing places — the
+    /// machine cannot serve them (e.g. quarantined down to less than
+    /// the smallest acceptable shape).
+    Stuck,
+}
+
+/// The multi-tenant job scheduler for one machine.
+#[derive(Debug)]
+pub struct Scheduler {
+    machine: TorusShape,
+    config: SchedConfig,
+    tenants: BTreeMap<String, (TenantConfig, TenantStats)>,
+    jobs: BTreeMap<u64, JobRecord>,
+    /// Queued + preempted jobs, in submission order.
+    pending: Vec<u64>,
+    /// Running jobs, in placement order.
+    running: Vec<u64>,
+    clock: u64,
+    next_id: u64,
+    decisions: u64,
+    preemptions: u64,
+    busy_node_ticks: u64,
+    events: Vec<SchedEvent>,
+    metrics: MetricsRegistry,
+}
+
+impl Scheduler {
+    /// A scheduler for a machine of the given shape, no tenants yet.
+    pub fn new(machine: TorusShape, config: SchedConfig) -> Scheduler {
+        Scheduler {
+            machine,
+            config,
+            tenants: BTreeMap::new(),
+            jobs: BTreeMap::new(),
+            pending: Vec::new(),
+            running: Vec::new(),
+            clock: 0,
+            next_id: 0,
+            decisions: 0,
+            preemptions: 0,
+            busy_node_ticks: 0,
+            events: Vec::new(),
+            metrics: MetricsRegistry::new(),
+        }
+    }
+
+    /// Register a tenant. Re-registering replaces the configuration
+    /// but keeps the accounting.
+    pub fn add_tenant(&mut self, name: &str, config: TenantConfig) {
+        self.tenants
+            .entry(name.to_string())
+            .and_modify(|(c, _)| *c = config)
+            .or_insert((config, TenantStats::default()));
+    }
+
+    /// The machine shape this scheduler packs onto.
+    pub fn machine(&self) -> &TorusShape {
+        &self.machine
+    }
+
+    /// The virtual clock, in ticks.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Jobs waiting for nodes (queued or preempted).
+    pub fn queue_depth(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Jobs currently holding partitions.
+    pub fn running_count(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Placement attempts made so far.
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    /// Preemptions performed so far.
+    pub fn preemptions(&self) -> u64 {
+        self.preemptions
+    }
+
+    /// The decision log, oldest first.
+    pub fn events(&self) -> &[SchedEvent] {
+        &self.events
+    }
+
+    /// One job's record.
+    pub fn job(&self, id: JobId) -> Option<&JobRecord> {
+        self.jobs.get(&id.0)
+    }
+
+    /// All job records in id order.
+    pub fn jobs(&self) -> impl Iterator<Item = &JobRecord> {
+        self.jobs.values()
+    }
+
+    /// One tenant's accounting.
+    pub fn tenant_stats(&self, name: &str) -> Option<&TenantStats> {
+        self.tenants.get(name).map(|(_, s)| s)
+    }
+
+    /// Machine-wide delivered utilisation so far: busy node·ticks over
+    /// capacity node·ticks. 0.0 before the clock first advances.
+    pub fn occupancy_ratio(&self) -> f64 {
+        let capacity = self.machine.node_count() as u64 * self.clock;
+        if capacity == 0 {
+            0.0
+        } else {
+            self.busy_node_ticks as f64 / capacity as f64
+        }
+    }
+
+    /// Store a checkpoint blob with a job (the driver calls this when
+    /// it sees the job's `Preempted` event). The blob is opaque here.
+    pub fn store_checkpoint(&mut self, id: JobId, blob: Vec<u8>) {
+        if let Some(job) = self.jobs.get_mut(&id.0) {
+            job.checkpoint = Some(blob);
+        }
+    }
+
+    /// Take a job's checkpoint blob (the driver calls this when the
+    /// job's `Resumed` event arrives, to rebuild solver state).
+    pub fn take_checkpoint(&mut self, id: JobId) -> Option<Vec<u8>> {
+        self.jobs.get_mut(&id.0).and_then(|j| j.checkpoint.take())
+    }
+
+    /// Normalise a shape's extents to the machine rank (pad with 1s).
+    fn normalise(&self, shape: &ShapeRequest) -> ShapeRequest {
+        let mut extents = shape.extents.clone();
+        extents.resize(self.machine.rank().max(extents.len()), 1);
+        ShapeRequest {
+            extents,
+            groups: shape.groups.clone(),
+        }
+    }
+
+    /// Admission control: validate and enqueue a job.
+    pub fn submit(&mut self, spec: JobSpec) -> Result<JobId, AdmitError> {
+        let Some((tcfg, _)) = self.tenants.get(&spec.tenant) else {
+            return Err(AdmitError::UnknownTenant(spec.tenant));
+        };
+        let tcfg = *tcfg;
+        let reject = |tenants: &mut BTreeMap<String, (TenantConfig, TenantStats)>, t: &str| {
+            tenants.get_mut(t).expect("checked").1.rejected += 1;
+        };
+        if spec.shapes.is_empty() {
+            reject(&mut self.tenants, &spec.tenant);
+            return Err(AdmitError::NoShapes);
+        }
+        if spec.work == 0 {
+            reject(&mut self.tenants, &spec.tenant);
+            return Err(AdmitError::NoWork);
+        }
+        let shapes: Vec<ShapeRequest> = spec.shapes.iter().map(|s| self.normalise(s)).collect();
+        for (index, shape) in shapes.iter().enumerate() {
+            let probe = PartitionSpec {
+                origin: qcdoc_geometry::NodeCoord::ORIGIN,
+                extents: shape.extents.clone(),
+                groups: shape.groups.clone(),
+            };
+            if let Err(e) = Partition::new(&self.machine, probe) {
+                reject(&mut self.tenants, &spec.tenant);
+                return Err(AdmitError::BadShape {
+                    index,
+                    reason: e.to_string(),
+                });
+            }
+        }
+        let needed = shapes.iter().map(ShapeRequest::node_count).max().unwrap();
+        if needed > tcfg.node_quota {
+            reject(&mut self.tenants, &spec.tenant);
+            return Err(AdmitError::QuotaExceeded {
+                needed,
+                quota: tcfg.node_quota,
+            });
+        }
+        let queued = self
+            .pending
+            .iter()
+            .filter(|id| self.jobs[id].spec.tenant == spec.tenant)
+            .count();
+        if queued >= tcfg.max_queued {
+            reject(&mut self.tenants, &spec.tenant);
+            return Err(AdmitError::QueueFull {
+                limit: tcfg.max_queued,
+            });
+        }
+
+        let id = JobId(self.next_id);
+        self.next_id += 1;
+        let record = JobRecord {
+            id,
+            spec: JobSpec { shapes, ..spec },
+            status: JobStatus::Queued,
+            submitted_at: self.clock,
+            queued_since: self.clock,
+            first_started_at: None,
+            finished_at: None,
+            remaining: 0,
+            placement: None,
+            shape_history: Vec::new(),
+            preemptions: 0,
+            wait_ticks: 0,
+            checkpoint: None,
+        };
+        let mut record = record;
+        record.remaining = record.spec.work;
+        let tenant = record.spec.tenant.clone();
+        self.jobs.insert(id.0, record);
+        self.pending.push(id.0);
+        self.tenants.get_mut(&tenant).expect("checked").1.submitted += 1;
+        self.events.push(SchedEvent::Submitted {
+            job: id,
+            at: self.clock,
+        });
+        Ok(id)
+    }
+
+    /// Whether a pending job has aged into the starving class.
+    fn is_starving(&self, id: u64) -> bool {
+        let job = &self.jobs[&id];
+        self.clock.saturating_sub(job.queued_since) >= self.config.aging_ticks
+    }
+
+    /// Pending ids in dispatch order (see the module docs for the key).
+    fn dispatch_order(&self) -> Vec<u64> {
+        let mut shares: BTreeMap<&str, f64> = BTreeMap::new();
+        for (name, (cfg, stats)) in &self.tenants {
+            shares.insert(name.as_str(), stats.share(cfg));
+        }
+        let mut order = self.pending.clone();
+        order.sort_by(|a, b| {
+            let ja = &self.jobs[a];
+            let jb = &self.jobs[b];
+            let key = |j: &JobRecord, id: u64| {
+                (
+                    std::cmp::Reverse(self.is_starving(id)),
+                    std::cmp::Reverse(j.spec.priority),
+                )
+            };
+            key(ja, *a)
+                .cmp(&key(jb, *b))
+                .then_with(|| {
+                    let sa = shares.get(ja.spec.tenant.as_str()).copied().unwrap_or(0.0);
+                    let sb = shares.get(jb.spec.tenant.as_str()).copied().unwrap_or(0.0);
+                    sa.total_cmp(&sb)
+                })
+                .then_with(|| ja.submitted_at.cmp(&jb.submitted_at))
+                .then_with(|| a.cmp(b))
+        });
+        order
+    }
+
+    /// Nodes the tenant holds right now.
+    fn tenant_running_nodes(&self, tenant: &str) -> usize {
+        self.tenants
+            .get(tenant)
+            .map(|(_, s)| s.running_nodes)
+            .unwrap_or(0)
+    }
+
+    /// Find the first acceptable shape with a feasible origin under the
+    /// tenant's quota. Returns `(shape index, origin)`.
+    fn find_fit(&self, occ: &OccupancyMap, job: &JobRecord) -> Option<(usize, PartitionSpec)> {
+        let (tcfg, _) = self.tenants.get(&job.spec.tenant)?;
+        let headroom = tcfg
+            .node_quota
+            .saturating_sub(self.tenant_running_nodes(&job.spec.tenant));
+        for (index, shape) in job.spec.shapes.iter().enumerate() {
+            if shape.node_count() > headroom {
+                continue;
+            }
+            if let Some(origin) = occ.best_fit(&shape.extents) {
+                return Some((
+                    index,
+                    PartitionSpec {
+                        origin,
+                        extents: shape.extents.clone(),
+                        groups: shape.groups.clone(),
+                    },
+                ));
+            }
+        }
+        None
+    }
+
+    /// Commit a placement: mesh allocation, occupancy update, job and
+    /// tenant bookkeeping, event log.
+    fn commit_placement(
+        &mut self,
+        mesh: &mut dyn MeshHost,
+        occ: &mut OccupancyMap,
+        id: u64,
+        shape_index: usize,
+        spec: PartitionSpec,
+    ) -> bool {
+        let placement = match mesh.place(&spec) {
+            Ok(p) => p,
+            Err(_) => return false,
+        };
+        occ.occupy_spec(&spec);
+        let job = self.jobs.get_mut(&id).expect("pending job exists");
+        let resumed = job.preemptions > 0;
+        let nodes = placement.logical.node_count();
+        job.status = JobStatus::Running;
+        if job.first_started_at.is_none() {
+            job.first_started_at = Some(self.clock);
+        }
+        job.placement = Some(GrantedPlacement {
+            partition: placement.id,
+            origin: spec.origin,
+            shape_index,
+            logical: placement.logical.clone(),
+        });
+        job.shape_history.push(placement.logical.clone());
+        let tenant = job.spec.tenant.clone();
+        let jid = job.id;
+        let stats = &mut self.tenants.get_mut(&tenant).expect("tenant exists").1;
+        stats.running_nodes += nodes;
+        stats.max_running_nodes = stats.max_running_nodes.max(stats.running_nodes);
+        self.pending.retain(|&p| p != id);
+        self.running.push(id);
+        self.events.push(if resumed {
+            SchedEvent::Resumed {
+                job: jid,
+                at: self.clock,
+                partition: placement.id,
+                logical: placement.logical,
+            }
+        } else {
+            SchedEvent::Started {
+                job: jid,
+                at: self.clock,
+                partition: placement.id,
+                logical: placement.logical,
+            }
+        });
+        true
+    }
+
+    /// Evict `victim` in favour of `by`: release its partition, retain
+    /// its remaining work, and requeue it behind the clock.
+    fn evict(&mut self, mesh: &mut dyn MeshHost, occ: &mut OccupancyMap, victim: u64, by: JobId) {
+        let job = self.jobs.get_mut(&victim).expect("running job exists");
+        let placement = job.placement.take().expect("running jobs are placed");
+        let extents = job.spec.shapes[placement.shape_index].extents.clone();
+        let nodes = placement.logical.node_count();
+        job.status = JobStatus::Preempted;
+        job.queued_since = self.clock;
+        job.preemptions += 1;
+        let tenant = job.spec.tenant.clone();
+        let jid = job.id;
+        mesh.vacate(placement.partition);
+        occ.vacate_box(placement.origin, &extents);
+        let stats = &mut self.tenants.get_mut(&tenant).expect("tenant exists").1;
+        stats.running_nodes -= nodes;
+        stats.preemptions += 1;
+        self.preemptions += 1;
+        self.running.retain(|&r| r != victim);
+        self.pending.push(victim);
+        self.events.push(SchedEvent::Preempted {
+            job: jid,
+            at: self.clock,
+            by,
+        });
+    }
+
+    /// Try to make room for `id` by evicting strictly-lower-priority
+    /// preemptible jobs, fewest victims first. Returns true if the job
+    /// was placed.
+    fn try_preempt(&mut self, mesh: &mut dyn MeshHost, occ: &mut OccupancyMap, id: u64) -> bool {
+        let priority = self.jobs[&id].spec.priority;
+        // Victim candidates: lowest class first, then youngest placement
+        // first — evicting the most recently started job wastes the
+        // least delivered service.
+        let mut victims: Vec<u64> = self
+            .running
+            .iter()
+            .copied()
+            .filter(|v| {
+                let j = &self.jobs[v];
+                j.spec.preemptible && j.spec.priority < priority
+            })
+            .collect();
+        victims.sort_by_key(|v| {
+            let j = &self.jobs[v];
+            (
+                j.spec.priority,
+                std::cmp::Reverse(j.first_started_at.unwrap_or(0)),
+                std::cmp::Reverse(j.id.0),
+            )
+        });
+        // Tentatively free victim boxes until the job fits.
+        let mut trial = occ.clone();
+        let mut chosen = Vec::new();
+        for victim in victims {
+            let j = &self.jobs[&victim];
+            let placement = j.placement.as_ref().expect("running jobs are placed");
+            let extents = &j.spec.shapes[placement.shape_index].extents;
+            trial.vacate_box(placement.origin, extents);
+            chosen.push(victim);
+            if let Some((shape_index, spec)) = self.find_fit(&trial, &self.jobs[&id]) {
+                // Commit: evict exactly the chosen victims, then place.
+                let by = self.jobs[&id].id;
+                for v in chosen {
+                    self.evict(mesh, occ, v, by);
+                }
+                return self.commit_placement(mesh, occ, id, shape_index, spec);
+            }
+        }
+        false
+    }
+
+    /// One scheduling pass: place what fits, preempt where policy
+    /// allows, respect the starvation barrier.
+    pub fn schedule(&mut self, mesh: &mut dyn MeshHost) {
+        let mut occ = mesh.occupancy();
+        let order = self.dispatch_order();
+        let mut attempts = 0usize;
+        let mut barrier = false;
+        for id in order {
+            if attempts >= self.config.window {
+                break;
+            }
+            let starving = self.is_starving(id);
+            // No backfill past a starving job that could not place: the
+            // nodes completions free up must reach it first. Starving
+            // jobs ahead of the barrier already tried and failed.
+            if barrier && !starving {
+                continue;
+            }
+            // Quota-blocked jobs wait on their own tenant, not on the
+            // machine: skip without burning an attempt or a barrier.
+            let job = &self.jobs[&id];
+            let headroom = self
+                .tenants
+                .get(&job.spec.tenant)
+                .map(|(c, s)| c.node_quota.saturating_sub(s.running_nodes))
+                .unwrap_or(0);
+            let min_nodes = job
+                .spec
+                .shapes
+                .iter()
+                .map(ShapeRequest::node_count)
+                .min()
+                .unwrap_or(usize::MAX);
+            if min_nodes > headroom {
+                continue;
+            }
+            attempts += 1;
+            self.decisions += 1;
+            if let Some((shape_index, spec)) = self.find_fit(&occ, &self.jobs[&id]) {
+                if self.commit_placement(mesh, &mut occ, id, shape_index, spec) {
+                    continue;
+                }
+            }
+            // Production may always preempt its way in; anything else
+            // earns the right only by starving.
+            let may_preempt = {
+                let j = &self.jobs[&id];
+                j.spec.priority == Priority::Production || starving
+            };
+            if may_preempt && self.try_preempt(mesh, &mut occ, id) {
+                continue;
+            }
+            if starving {
+                barrier = true;
+            }
+        }
+    }
+
+    /// Ticks until the earliest running job completes.
+    pub fn next_completion_in(&self) -> Option<u64> {
+        self.running.iter().map(|id| self.jobs[id].remaining).min()
+    }
+
+    /// Advance the virtual clock by `ticks`: running jobs accrue
+    /// service (jobs reaching zero complete and release their
+    /// partitions), waiting jobs accrue wait, then a scheduling pass
+    /// fills the freed nodes. Callers should keep `ticks` at or below
+    /// [`Scheduler::next_completion_in`] so completions land on their
+    /// exact tick; [`Scheduler::step`] does this automatically.
+    pub fn advance(&mut self, ticks: u64, mesh: &mut dyn MeshHost) {
+        self.clock += ticks;
+        // Service and wait accounting.
+        let mut completed = Vec::new();
+        for &id in &self.running {
+            let job = self.jobs.get_mut(&id).expect("running job exists");
+            let delivered = ticks.min(job.remaining);
+            job.remaining -= delivered;
+            let nodes = job.held_nodes() as u64;
+            self.busy_node_ticks += nodes * delivered;
+            self.tenants
+                .get_mut(&job.spec.tenant)
+                .expect("tenant exists")
+                .1
+                .node_ticks += nodes * delivered;
+            if job.remaining == 0 {
+                completed.push(id);
+            }
+        }
+        for &id in &self.pending {
+            let job = self.jobs.get_mut(&id).expect("pending job exists");
+            job.wait_ticks += ticks;
+            self.tenants
+                .get_mut(&job.spec.tenant)
+                .expect("tenant exists")
+                .1
+                .wait_ticks += ticks;
+        }
+        for id in completed {
+            let job = self.jobs.get_mut(&id).expect("completing job exists");
+            let placement = job.placement.take().expect("running jobs are placed");
+            let nodes = placement.logical.node_count();
+            job.status = JobStatus::Completed;
+            job.finished_at = Some(self.clock);
+            job.checkpoint = None;
+            let tenant = job.spec.tenant.clone();
+            let jid = job.id;
+            mesh.vacate(placement.partition);
+            let stats = &mut self.tenants.get_mut(&tenant).expect("tenant exists").1;
+            stats.running_nodes -= nodes;
+            stats.completed += 1;
+            self.running.retain(|&r| r != id);
+            self.events.push(SchedEvent::Completed {
+                job: jid,
+                at: self.clock,
+            });
+        }
+        self.schedule(mesh);
+    }
+
+    /// Remove a job: dequeue it if waiting, evict-and-discard if
+    /// running. Returns false for unknown or already-finished jobs.
+    pub fn cancel(&mut self, id: JobId, mesh: &mut dyn MeshHost) -> bool {
+        let Some(job) = self.jobs.get_mut(&id.0) else {
+            return false;
+        };
+        match job.status {
+            JobStatus::Queued | JobStatus::Preempted => {
+                job.status = JobStatus::Canceled;
+                job.finished_at = Some(self.clock);
+                job.checkpoint = None;
+                let tenant = job.spec.tenant.clone();
+                self.pending.retain(|&p| p != id.0);
+                self.tenants
+                    .get_mut(&tenant)
+                    .expect("tenant exists")
+                    .1
+                    .canceled += 1;
+            }
+            JobStatus::Running => {
+                let placement = job.placement.take().expect("running jobs are placed");
+                let nodes = placement.logical.node_count();
+                job.status = JobStatus::Canceled;
+                job.finished_at = Some(self.clock);
+                job.checkpoint = None;
+                let tenant = job.spec.tenant.clone();
+                mesh.vacate(placement.partition);
+                let stats = &mut self.tenants.get_mut(&tenant).expect("tenant exists").1;
+                stats.running_nodes -= nodes;
+                stats.canceled += 1;
+                self.running.retain(|&r| r != id.0);
+            }
+            JobStatus::Completed | JobStatus::Canceled => return false,
+        }
+        self.events.push(SchedEvent::Canceled {
+            job: id,
+            at: self.clock,
+        });
+        self.schedule(mesh);
+        true
+    }
+
+    /// Run the machine to its next event: schedule, then advance to the
+    /// earliest completion.
+    pub fn step(&mut self, mesh: &mut dyn MeshHost) -> StepOutcome {
+        self.schedule(mesh);
+        match self.next_completion_in() {
+            Some(dt) => {
+                self.advance(dt, mesh);
+                StepOutcome::Progressed
+            }
+            None if self.pending.is_empty() => StepOutcome::Done,
+            None => StepOutcome::Stuck,
+        }
+    }
+
+    /// Step until the queue and machine drain. Returns true when done,
+    /// false when stuck or the step budget ran out.
+    pub fn drain(&mut self, mesh: &mut dyn MeshHost, max_steps: usize) -> bool {
+        for _ in 0..max_steps {
+            match self.step(mesh) {
+                StepOutcome::Done => return true,
+                StepOutcome::Stuck => return false,
+                StepOutcome::Progressed => {}
+            }
+        }
+        false
+    }
+
+    /// Refresh and expose the scheduler's metrics registry: per-tenant
+    /// wait, usage, occupancy and preemption gauges (the telemetry the
+    /// qdaemon merges into its machine-wide scrape).
+    pub fn export_metrics(&mut self) -> &MetricsRegistry {
+        for (name, (_, stats)) in &self.tenants {
+            let label = [("tenant", name.clone())];
+            self.metrics
+                .gauge_set("sched_tenant_wait_ticks", &label, stats.wait_ticks as f64);
+            self.metrics
+                .gauge_set("sched_tenant_node_ticks", &label, stats.node_ticks as f64);
+            self.metrics
+                .gauge_set("sched_tenant_preemptions", &label, stats.preemptions as f64);
+            self.metrics.gauge_set(
+                "sched_tenant_running_nodes",
+                &label,
+                stats.running_nodes as f64,
+            );
+            self.metrics
+                .gauge_set("sched_tenant_completed", &label, stats.completed as f64);
+        }
+        self.metrics
+            .gauge_set("sched_clock_ticks", &[], self.clock as f64);
+        self.metrics
+            .gauge_set("sched_queue_depth", &[], self.pending.len() as f64);
+        self.metrics
+            .gauge_set("sched_running_jobs", &[], self.running.len() as f64);
+        self.metrics
+            .gauge_set("sched_decisions", &[], self.decisions as f64);
+        self.metrics
+            .gauge_set("sched_preemptions", &[], self.preemptions as f64);
+        self.metrics
+            .gauge_set("sched_occupancy_ratio", &[], self.occupancy_ratio());
+        &self.metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mesh::SimMesh;
+
+    fn machine() -> TorusShape {
+        // 4 x 2 x 2 = 16 nodes.
+        TorusShape::new(&[4, 2, 2])
+    }
+
+    fn half_shape() -> ShapeRequest {
+        // 8 nodes: full axes 0 and 1, one x2 layer.
+        ShapeRequest {
+            extents: vec![4, 2, 1],
+            groups: vec![vec![0], vec![1]],
+        }
+    }
+
+    fn whole_shape() -> ShapeRequest {
+        ShapeRequest {
+            extents: vec![4, 2, 2],
+            groups: vec![vec![0], vec![1], vec![2]],
+        }
+    }
+
+    fn job(tenant: &str, priority: Priority, shape: ShapeRequest, work: u64) -> JobSpec {
+        JobSpec {
+            tenant: tenant.into(),
+            priority,
+            shapes: vec![shape],
+            work,
+            preemptible: true,
+        }
+    }
+
+    fn setup() -> (Scheduler, SimMesh) {
+        let mut s = Scheduler::new(machine(), SchedConfig::default());
+        s.add_tenant("a", TenantConfig::default());
+        s.add_tenant("b", TenantConfig::default());
+        (s, SimMesh::new(machine()))
+    }
+
+    #[test]
+    fn admission_control_rejects_bad_requests() {
+        let (mut s, _) = setup();
+        assert!(matches!(
+            s.submit(job("ghost", Priority::Standard, half_shape(), 1)),
+            Err(AdmitError::UnknownTenant(_))
+        ));
+        assert!(matches!(
+            s.submit(JobSpec {
+                shapes: vec![],
+                ..job("a", Priority::Standard, half_shape(), 1)
+            }),
+            Err(AdmitError::NoShapes)
+        ));
+        assert!(matches!(
+            s.submit(job("a", Priority::Standard, half_shape(), 0)),
+            Err(AdmitError::NoWork)
+        ));
+        // Partial single axis cannot close its ring.
+        let bad = ShapeRequest {
+            extents: vec![2, 2, 1],
+            groups: vec![vec![0], vec![1]],
+        };
+        assert!(matches!(
+            s.submit(job("a", Priority::Standard, bad, 1)),
+            Err(AdmitError::BadShape { index: 0, .. })
+        ));
+        s.add_tenant(
+            "tiny",
+            TenantConfig {
+                node_quota: 4,
+                ..TenantConfig::default()
+            },
+        );
+        assert!(matches!(
+            s.submit(job("tiny", Priority::Standard, half_shape(), 1)),
+            Err(AdmitError::QuotaExceeded {
+                needed: 8,
+                quota: 4
+            })
+        ));
+        s.add_tenant(
+            "shallow",
+            TenantConfig {
+                max_queued: 1,
+                ..TenantConfig::default()
+            },
+        );
+        s.submit(job("shallow", Priority::Standard, half_shape(), 1))
+            .unwrap();
+        assert!(matches!(
+            s.submit(job("shallow", Priority::Standard, half_shape(), 1)),
+            Err(AdmitError::QueueFull { limit: 1 })
+        ));
+        assert_eq!(s.tenant_stats("shallow").unwrap().rejected, 1);
+    }
+
+    #[test]
+    fn jobs_place_and_complete() {
+        let (mut s, mut mesh) = setup();
+        let a = s
+            .submit(job("a", Priority::Standard, half_shape(), 5))
+            .unwrap();
+        let b = s
+            .submit(job("b", Priority::Standard, half_shape(), 3))
+            .unwrap();
+        s.schedule(&mut mesh);
+        assert_eq!(s.running_count(), 2);
+        assert_eq!(s.next_completion_in(), Some(3));
+        assert!(s.drain(&mut mesh, 100));
+        assert_eq!(s.job(a).unwrap().status, JobStatus::Completed);
+        assert_eq!(s.job(b).unwrap().status, JobStatus::Completed);
+        assert_eq!(s.job(a).unwrap().finished_at, Some(5));
+        assert_eq!(s.job(b).unwrap().finished_at, Some(3));
+        assert_eq!(mesh.free_count(), 16);
+        // Occupancy: (8*5 + 8*3) node·ticks over 16*5 capacity.
+        assert!((s.occupancy_ratio() - 64.0 / 80.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn production_preempts_scavenger_but_not_vice_versa() {
+        let (mut s, mut mesh) = setup();
+        let scav = s
+            .submit(job("a", Priority::Scavenger, whole_shape(), 100))
+            .unwrap();
+        s.schedule(&mut mesh);
+        assert_eq!(s.job(scav).unwrap().status, JobStatus::Running);
+        let prod = s
+            .submit(job("b", Priority::Production, half_shape(), 4))
+            .unwrap();
+        s.schedule(&mut mesh);
+        assert_eq!(s.job(scav).unwrap().status, JobStatus::Preempted);
+        assert_eq!(s.job(prod).unwrap().status, JobStatus::Running);
+        assert_eq!(s.preemptions(), 1);
+        // The scavenger resumes once production finishes — on the same
+        // or another half — and total service still adds up.
+        assert!(s.drain(&mut mesh, 1000));
+        let rec = s.job(scav).unwrap();
+        assert_eq!(rec.status, JobStatus::Completed);
+        assert_eq!(rec.preemptions, 1);
+        assert!(rec.shape_history.len() >= 2);
+        // A scavenger never preempts production.
+        let p2 = s
+            .submit(job("b", Priority::Production, whole_shape(), 50))
+            .unwrap();
+        s.schedule(&mut mesh);
+        assert_eq!(s.job(p2).unwrap().status, JobStatus::Running);
+        let s2 = s
+            .submit(job("a", Priority::Scavenger, half_shape(), 1))
+            .unwrap();
+        s.schedule(&mut mesh);
+        assert_eq!(s.job(s2).unwrap().status, JobStatus::Queued);
+        assert_eq!(s.job(p2).unwrap().status, JobStatus::Running);
+    }
+
+    #[test]
+    fn non_preemptible_jobs_are_never_evicted() {
+        let (mut s, mut mesh) = setup();
+        let pinned = s
+            .submit(JobSpec {
+                preemptible: false,
+                ..job("a", Priority::Scavenger, whole_shape(), 10)
+            })
+            .unwrap();
+        s.schedule(&mut mesh);
+        let prod = s
+            .submit(job("b", Priority::Production, half_shape(), 2))
+            .unwrap();
+        s.schedule(&mut mesh);
+        assert_eq!(s.job(pinned).unwrap().status, JobStatus::Running);
+        assert_eq!(s.job(prod).unwrap().status, JobStatus::Queued);
+        // Production waits for the pinned job instead of evicting it.
+        assert!(s.drain(&mut mesh, 100));
+        assert_eq!(s.job(prod).unwrap().first_started_at, Some(10));
+    }
+
+    #[test]
+    fn fair_share_favours_the_underserved_tenant() {
+        let mut s = Scheduler::new(machine(), SchedConfig::default());
+        s.add_tenant(
+            "heavy",
+            TenantConfig {
+                weight: 1.0,
+                ..TenantConfig::default()
+            },
+        );
+        s.add_tenant(
+            "light",
+            TenantConfig {
+                weight: 1.0,
+                ..TenantConfig::default()
+            },
+        );
+        let mut mesh = SimMesh::new(machine());
+        // Give "heavy" a lot of delivered service first.
+        let warm = s
+            .submit(job("heavy", Priority::Standard, whole_shape(), 10))
+            .unwrap();
+        s.schedule(&mut mesh);
+        s.advance(10, &mut mesh);
+        assert_eq!(s.job(warm).unwrap().status, JobStatus::Completed);
+        // Now both tenants queue one whole-machine job; the underserved
+        // tenant goes first despite submitting second.
+        let h = s
+            .submit(job("heavy", Priority::Standard, whole_shape(), 5))
+            .unwrap();
+        let l = s
+            .submit(job("light", Priority::Standard, whole_shape(), 5))
+            .unwrap();
+        s.schedule(&mut mesh);
+        assert_eq!(s.job(l).unwrap().status, JobStatus::Running);
+        assert_eq!(s.job(h).unwrap().status, JobStatus::Queued);
+    }
+
+    #[test]
+    fn quota_holds_under_load() {
+        let mut s = Scheduler::new(machine(), SchedConfig::default());
+        s.add_tenant(
+            "capped",
+            TenantConfig {
+                node_quota: 8,
+                ..TenantConfig::default()
+            },
+        );
+        let mut mesh = SimMesh::new(machine());
+        for _ in 0..4 {
+            s.submit(job("capped", Priority::Standard, half_shape(), 3))
+                .unwrap();
+        }
+        s.schedule(&mut mesh);
+        // Only one half-machine job may run at a time under the quota.
+        assert_eq!(s.running_count(), 1);
+        assert!(s.drain(&mut mesh, 100));
+        assert_eq!(s.tenant_stats("capped").unwrap().max_running_nodes, 8);
+        assert_eq!(s.tenant_stats("capped").unwrap().completed, 4);
+    }
+
+    #[test]
+    fn aging_stops_backfill_and_starving_job_eventually_runs() {
+        let mut s = Scheduler::new(
+            machine(),
+            SchedConfig {
+                aging_ticks: 6,
+                ..SchedConfig::default()
+            },
+        );
+        s.add_tenant("a", TenantConfig::default());
+        s.add_tenant("b", TenantConfig::default());
+        let mut mesh = SimMesh::new(machine());
+        // Half the machine is already busy, so the whole-machine job
+        // cannot start; a stream of small jobs would happily backfill
+        // the other half forever.
+        let filler = s
+            .submit(job("b", Priority::Standard, half_shape(), 4))
+            .unwrap();
+        s.schedule(&mut mesh);
+        let big = s
+            .submit(job("a", Priority::Standard, whole_shape(), 4))
+            .unwrap();
+        s.schedule(&mut mesh);
+        assert_eq!(s.job(filler).unwrap().status, JobStatus::Running);
+        assert_eq!(s.job(big).unwrap().status, JobStatus::Queued);
+        for _ in 0..12 {
+            s.submit(job("b", Priority::Standard, half_shape(), 4))
+                .unwrap();
+            s.advance(2, &mut mesh);
+        }
+        assert!(s.drain(&mut mesh, 1000));
+        let rec = s.job(big).unwrap();
+        assert_eq!(rec.status, JobStatus::Completed);
+        // Once starving (wait ≥ 6 ticks) the barrier stops backfill, so
+        // the big job ran long before the small-job stream drained.
+        let big_done = rec.finished_at.unwrap();
+        let last_done = s
+            .jobs()
+            .filter(|j| j.id != big)
+            .filter_map(|j| j.finished_at)
+            .max()
+            .unwrap();
+        assert!(
+            big_done < last_done,
+            "whole-machine job must not run last (finished {big_done} vs {last_done})"
+        );
+    }
+
+    #[test]
+    fn cancel_dequeues_or_evicts() {
+        let (mut s, mut mesh) = setup();
+        let a = s
+            .submit(job("a", Priority::Standard, whole_shape(), 10))
+            .unwrap();
+        let b = s
+            .submit(job("b", Priority::Standard, whole_shape(), 10))
+            .unwrap();
+        s.schedule(&mut mesh);
+        assert!(s.cancel(b, &mut mesh));
+        assert_eq!(s.job(b).unwrap().status, JobStatus::Canceled);
+        assert!(s.cancel(a, &mut mesh));
+        assert_eq!(mesh.free_count(), 16);
+        assert!(!s.cancel(a, &mut mesh), "double cancel is refused");
+    }
+
+    #[test]
+    fn identical_runs_produce_identical_event_logs() {
+        let run = || {
+            let (mut s, mut mesh) = setup();
+            for i in 0..6 {
+                let (tenant, prio) = match i % 3 {
+                    0 => ("a", Priority::Scavenger),
+                    1 => ("b", Priority::Standard),
+                    _ => ("a", Priority::Production),
+                };
+                let shape = if i % 2 == 0 {
+                    half_shape()
+                } else {
+                    whole_shape()
+                };
+                s.submit(job(tenant, prio, shape, 3 + i)).unwrap();
+                s.advance(1, &mut mesh);
+            }
+            assert!(s.drain(&mut mesh, 1000));
+            format!("{:?}", s.events())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn checkpoint_blobs_travel_with_the_job() {
+        let (mut s, mut mesh) = setup();
+        let scav = s
+            .submit(job("a", Priority::Scavenger, whole_shape(), 100))
+            .unwrap();
+        s.schedule(&mut mesh);
+        s.submit(job("b", Priority::Production, whole_shape(), 5))
+            .unwrap();
+        s.schedule(&mut mesh);
+        assert_eq!(s.job(scav).unwrap().status, JobStatus::Preempted);
+        s.store_checkpoint(scav, vec![1, 2, 3]);
+        assert_eq!(
+            s.job(scav).unwrap().checkpoint.as_deref(),
+            Some(&[1u8, 2, 3][..])
+        );
+        assert_eq!(s.take_checkpoint(scav), Some(vec![1, 2, 3]));
+        assert_eq!(s.take_checkpoint(scav), None);
+    }
+
+    #[test]
+    fn stuck_machine_is_reported() {
+        let mut s = Scheduler::new(machine(), SchedConfig::default());
+        s.add_tenant("a", TenantConfig::default());
+        let mut mesh = SimMesh::new(machine());
+        mesh.quarantine(qcdoc_geometry::NodeId(0));
+        s.submit(job("a", Priority::Standard, whole_shape(), 1))
+            .unwrap();
+        assert_eq!(s.step(&mut mesh), StepOutcome::Stuck);
+    }
+}

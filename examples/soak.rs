@@ -1,0 +1,185 @@
+//! Soak: a week of multi-tenant operations on the 12,288-node machine,
+//! compressed into seconds.
+//!
+//! §3.1's partitioning — independent user partitions carved from one 6-D
+//! mesh "without moving cables" — pays off operationally only when many
+//! physics groups share the installation. This example generates a
+//! seeded stream of mixed-tenant batch jobs (production solves, standard
+//! runs, scavenger filler, sizes from 4 nodes to the full machine),
+//! feeds them to the `qcdoc-sched` scheduler against a simulated mesh,
+//! and prints the operations report: per-tenant service, waits,
+//! preemptions and quota high-water marks, plus machine-wide occupancy
+//! and fragmentation.
+//!
+//! ```text
+//! cargo run --release --example soak [jobs] [seed]
+//! ```
+
+use qcdoc::geometry::TorusShape;
+use qcdoc::sched::{
+    JobSpec, JobStatus, Priority, SchedConfig, Scheduler, ShapeRequest, SimMesh, TenantConfig,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn shape(extents: &[usize], groups: &[&[usize]]) -> ShapeRequest {
+    ShapeRequest {
+        extents: extents.to_vec(),
+        groups: groups.iter().map(|g| g.to_vec()).collect(),
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let jobs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(500);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(2004);
+
+    // The full installation of the paper: 8 x 8 x 6 x 4 x 4 x 2.
+    let machine = TorusShape::new(&[8, 8, 6, 4, 4, 2]);
+    println!(
+        "soak: {} jobs, seed {}, machine {} ({} nodes)\n",
+        jobs,
+        seed,
+        machine,
+        machine.node_count()
+    );
+
+    let mut sched = Scheduler::new(
+        machine.clone(),
+        SchedConfig {
+            aging_ticks: 48,
+            window: 8,
+        },
+    );
+    let tenants: [(&str, TenantConfig); 4] = [
+        (
+            "alpha",
+            TenantConfig {
+                weight: 2.0,
+                node_quota: 12_288,
+                max_queued: usize::MAX,
+            },
+        ),
+        (
+            "beta",
+            TenantConfig {
+                weight: 1.0,
+                node_quota: 6_144,
+                max_queued: usize::MAX,
+            },
+        ),
+        (
+            "gamma",
+            TenantConfig {
+                weight: 1.0,
+                node_quota: 3_072,
+                max_queued: usize::MAX,
+            },
+        ),
+        (
+            "scav",
+            TenantConfig {
+                weight: 0.25,
+                node_quota: 12_288,
+                max_queued: usize::MAX,
+            },
+        ),
+    ];
+    for (name, cfg) in &tenants {
+        sched.add_tenant(name, *cfg);
+    }
+    let mut mesh = SimMesh::new(machine.clone());
+
+    // Valid partition shapes, largest first (each multi-axis group ends
+    // on an extent-2 axis so its ring closes with unit dilation).
+    let menu = [
+        shape(&[8, 8, 6, 4, 4, 2], &[&[0], &[1], &[2], &[3], &[4], &[5]]),
+        shape(&[8, 8, 6, 4, 4, 1], &[&[0], &[1], &[2], &[3], &[4]]),
+        shape(&[8, 8, 6, 4, 2, 1], &[&[0], &[1], &[2], &[3, 4]]),
+        shape(&[8, 8, 6, 2, 2, 1], &[&[0], &[1], &[2], &[3, 4]]),
+        shape(&[8, 8, 6, 2, 1, 1], &[&[0], &[1], &[2, 3]]),
+        shape(&[8, 8, 2, 2, 1, 1], &[&[0], &[1], &[2, 3]]),
+        shape(&[8, 2, 2, 1, 1, 1], &[&[0], &[1, 2]]),
+        shape(&[2, 2, 1, 1, 1, 1], &[&[0, 1]]),
+    ];
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..jobs {
+        let t = rng.gen_range(0..tenants.len());
+        let (tenant, cfg) = &tenants[t];
+        let priority = match rng.gen_range(0..10) {
+            0 => Priority::Production,
+            1..=6 => Priority::Standard,
+            _ => Priority::Scavenger,
+        };
+        let affordable: Vec<&ShapeRequest> = menu
+            .iter()
+            .filter(|s| s.node_count() <= cfg.node_quota)
+            .collect();
+        let first = rng.gen_range(0..affordable.len());
+        let shapes: Vec<ShapeRequest> = affordable[first..]
+            .iter()
+            .take(2)
+            .map(|&s| s.clone())
+            .collect();
+        let work = rng.gen_range(2..=24u64);
+        sched
+            .submit(JobSpec {
+                tenant: (*tenant).into(),
+                priority,
+                shapes,
+                work,
+                preemptible: true,
+            })
+            .expect("generated jobs are admissible");
+        let lull = rng.gen_range(0..=2u64);
+        if lull > 0 {
+            let dt = lull.min(sched.next_completion_in().unwrap_or(lull));
+            sched.advance(dt, &mut mesh);
+        }
+    }
+    let drained = sched.drain(&mut mesh, 1_000_000);
+    assert!(drained, "queue failed to drain");
+
+    println!(
+        "{:<8} {:>5} {:>5} {:>7} {:>12} {:>10} {:>9} {:>11}",
+        "tenant", "jobs", "done", "preempt", "node-ticks", "wait-ticks", "max-wait", "peak-nodes"
+    );
+    for (name, _) in &tenants {
+        let s = sched.tenant_stats(name).unwrap();
+        let max_wait = sched
+            .jobs()
+            .filter(|j| j.spec.tenant == *name)
+            .map(|j| j.wait_ticks)
+            .max()
+            .unwrap_or(0);
+        println!(
+            "{:<8} {:>5} {:>5} {:>7} {:>12} {:>10} {:>9} {:>11}",
+            name,
+            s.submitted,
+            s.completed,
+            s.preemptions,
+            s.node_ticks,
+            s.wait_ticks,
+            max_wait,
+            s.max_running_nodes
+        );
+    }
+    let unfinished = sched
+        .jobs()
+        .filter(|j| j.status != JobStatus::Completed)
+        .count();
+    println!(
+        "\nmakespan {} ticks, occupancy {:.1}%, {} placement decisions, {} preemptions, {} unfinished",
+        sched.clock(),
+        100.0 * sched.occupancy_ratio(),
+        sched.decisions(),
+        sched.preemptions(),
+        unfinished
+    );
+    println!("\n--- scheduler metrics (Prometheus) ---");
+    print!(
+        "{}",
+        qcdoc::telemetry::prometheus_text(sched.export_metrics())
+    );
+}

@@ -40,4 +40,10 @@ cargo test -q --test integrity
 echo "== integrity: clean-path overhead smoke (ABFT-on CG within 5% of raw CG)"
 cargo bench -p qcdoc-bench --bench integrity_overhead
 
+echo "== scheduler: multi-tenant soak + preemption bit-identity acceptance"
+cargo test -q --test scheduler
+
+echo "== scheduler: overhead smoke (managed CG within 5% of the bare solve)"
+cargo bench -p qcdoc-bench --bench sched_overhead
+
 echo "verify: all green"

@@ -17,6 +17,10 @@
 //!   tracing, a metrics registry, and Chrome-trace / Prometheus / JSON
 //!   exporters (the software face of §2.2's diagnostics network);
 //! * [`host`] — qdaemon host software, Ethernet/JTAG boot, run kernel;
+//! * [`sched`] — the multi-tenant batch scheduler behind the qdaemon:
+//!   admission control and quotas, torus-aware partition packing,
+//!   fair-share priorities with strict aging, and preemption via
+//!   exact-bits CG checkpoints;
 //! * [`machine`] — packaging hierarchy, power, footprint, and cost model;
 //! * [`core`] — the integrated machine: functional (threads-as-nodes) and
 //!   timing (discrete-event) engines, the communications API, and the
@@ -42,5 +46,6 @@ pub use qcdoc_geometry as geometry;
 pub use qcdoc_host as host;
 pub use qcdoc_lattice as lattice;
 pub use qcdoc_machine as machine;
+pub use qcdoc_sched as sched;
 pub use qcdoc_scu as scu;
 pub use qcdoc_telemetry as telemetry;

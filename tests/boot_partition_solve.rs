@@ -59,8 +59,8 @@ fn boot_partition_run_return_output() {
     );
     assert!(String::from_utf8_lossy(qdaemon.job_output(id).unwrap()).contains("converged"));
     qdaemon.release(id);
-    let (ready, busy, _, _) = qdaemon.census();
-    assert_eq!((ready, busy), (32, 0));
+    let census = qdaemon.census();
+    assert_eq!((census.ready, census.busy), (32, 0));
 }
 
 #[test]

@@ -166,8 +166,8 @@ fn uncorrectable_memory_error_quarantines_and_recovers_bit_identically() {
     assert_eq!(recovered.digest(), ref_ckpt.digest());
 
     // Host-side: the culprit daughterboard is out of the pool.
-    let (_, busy, faulty, _) = qdaemon.census();
-    assert_eq!((busy, faulty), (8, 1));
+    let census = qdaemon.census();
+    assert_eq!((census.busy, census.faulty), (8, 1));
     assert_eq!(planner.partition().spec().origin.get(3), 1);
 }
 

@@ -182,8 +182,8 @@ fn faulted_run_recovers_bit_identically_on_the_spare_partition() {
     }
 
     // Host-side: the culprit is quarantined, the spare half is busy.
-    let (_, busy, faulty, _) = qdaemon.census();
-    assert_eq!((busy, faulty), (8, 1));
+    let census = qdaemon.census();
+    assert_eq!((census.busy, census.faulty), (8, 1));
     assert_eq!(planner.partition().spec().origin.get(3), 1);
 }
 
@@ -243,8 +243,8 @@ fn run_degrades_to_a_smaller_partition_when_no_spare_exists() {
     assert_eq!(report.recoveries, 1);
     assert!(result.converged);
     assert_eq!(planner.partition().node_count(), 4);
-    let (_, busy, faulty, _) = qdaemon.census();
-    assert_eq!((busy, faulty), (4, 1));
+    let census = qdaemon.census();
+    assert_eq!((census.busy, census.faulty), (4, 1));
 }
 
 #[test]
