@@ -5,8 +5,11 @@
 //! These benches price (a) the per-frame tap with and without scheduled
 //! faults, (b) the per-iteration keyed Poisson draw the timing engine
 //! uses, and (c) a whole functional-machine shift clean versus faulted.
+//! The smoke check exports the idle-tap cost plus the fully deterministic
+//! DES cycle counts to `BENCH_fault.json` for the judge.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, Criterion};
+use qcdoc_bench::{min_seconds, BenchRun};
 use qcdoc_core::des::{run_with_faults, DesConfig};
 use qcdoc_core::functional::FunctionalMachine;
 use qcdoc_fault::{FaultClock, FaultEvent, FaultPlan, NodeTap};
@@ -89,5 +92,66 @@ fn functional_shift(c: &mut Criterion) {
     group.finish();
 }
 
+/// Run `frames` frames through a tap built on `clock`; returns the
+/// injected-fault count on link 0.
+fn tap_run(clock: &Arc<FaultClock>, frames: u64) -> u64 {
+    let mut tap = NodeTap::new(Arc::clone(clock), 3);
+    for seq in 0..frames {
+        let mut wf = WireFrame {
+            seq,
+            frame: Frame::encode(Packet::Normal(seq)),
+        };
+        black_box(tap.on_frame(0, &mut wf));
+    }
+    tap.injected()[0]
+}
+
+/// Export the idle-tap price and the deterministic DES cycle counts.
+/// The cycle counts are logical — identical on every host — so the
+/// judge gates them at 1%: any drift is a real model change.
+fn smoke_check() {
+    let empty = Arc::new(FaultClock::resolve(&FaultPlan::new(0), 16, 8));
+    let noisy = Arc::new(FaultClock::resolve(
+        &FaultPlan::new(7).with_event(FaultEvent::bit_error_rate(3, 0, 0.01)),
+        16,
+        8,
+    ));
+    black_box(tap_run(&empty, 1_000));
+    let empty_s = min_seconds(
+        || {
+            black_box(tap_run(&empty, 10_000));
+        },
+        7,
+    );
+    let noisy_s = min_seconds(
+        || {
+            black_box(tap_run(&noisy, 10_000));
+        },
+        7,
+    );
+    let tap_ratio = noisy_s / empty_s;
+    println!(
+        "fault_overhead: idle tap {:.1} ns/frame, ber-plan ratio {tap_ratio:.4}",
+        empty_s / 10_000.0 * 1e9,
+    );
+
+    let cfg = DesConfig::homogeneous([2, 2, 2, 2], 800_000, 1_536, 3_000);
+    let clean_cycles = run_with_faults(&cfg, 20, &FaultPlan::new(1)).0.total_cycles;
+    let ber_plan = FaultPlan::new(1).with_event(FaultEvent::bit_error_rate(5, 0, 0.001));
+    let ber_cycles = run_with_faults(&cfg, 20, &ber_plan).0.total_cycles;
+    println!("fault_overhead: DES 16n/20it cycles clean {clean_cycles}, ber {ber_cycles}");
+
+    let mut run = BenchRun::new("fault");
+    run.gauge("fault_tap_empty_ns_per_frame", empty_s / 10_000.0 * 1e9);
+    run.gauge("fault_tap_ber_ratio", tap_ratio);
+    run.gauge("fault_des_clean_total_cycles", clean_cycles as f64);
+    run.gauge("fault_des_ber_total_cycles", ber_cycles as f64);
+    run.export();
+}
+
 criterion_group!(benches, tap_per_frame, des_draws, functional_shift);
-criterion_main!(benches);
+
+fn main() {
+    smoke_check();
+    benches();
+}

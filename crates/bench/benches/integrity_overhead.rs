@@ -11,14 +11,14 @@
 
 use criterion::{black_box, criterion_group, Criterion};
 use qcdoc_asic::memory::NodeMemory;
+use qcdoc_bench::{min_seconds, BenchRun};
 use qcdoc_core::functional::FunctionalMachine;
 use qcdoc_geometry::{Axis, TorusShape};
 use qcdoc_lattice::field::{FermionField, GaugeField, Lattice};
 use qcdoc_lattice::solver::{solve_cgne, solve_cgne_abft, AbftParams, CgParams};
 use qcdoc_lattice::wilson::WilsonDirac;
 use qcdoc_scu::dma::DmaDescriptor;
-use qcdoc_telemetry::{summary_json, MetricsRegistry, NodeTelemetry};
-use std::time::Instant;
+use qcdoc_telemetry::NodeTelemetry;
 
 fn workload() -> (GaugeField, FermionField) {
     let lat = Lattice::new([4, 4, 4, 4]);
@@ -89,17 +89,6 @@ fn scrub_run() -> u64 {
     report.scanned_words
 }
 
-/// Minimum wall time of `f` over `reps` runs, in seconds.
-fn min_seconds<F: FnMut() -> f64>(mut f: F, reps: usize) -> f64 {
-    let mut best = f64::INFINITY;
-    for _ in 0..reps {
-        let start = Instant::now();
-        black_box(f());
-        best = best.min(start.elapsed().as_secs_f64());
-    }
-    best
-}
-
 /// The acceptance gate: ABFT-on clean CG stays within 5% of raw CG, and
 /// the measured layer ratios are exported to `BENCH_integrity.json`.
 fn smoke_check() {
@@ -110,8 +99,18 @@ fn smoke_check() {
     let mut verdict = None;
     let mut measured = (0.0, 0.0);
     for attempt in 1..=3 {
-        let raw = min_seconds(|| cg_raw(&op, &b), 7);
-        let abft = min_seconds(|| cg_abft(&op, &b), 7);
+        let raw = min_seconds(
+            || {
+                black_box(cg_raw(&op, &b));
+            },
+            7,
+        );
+        let abft = min_seconds(
+            || {
+                black_box(cg_abft(&op, &b));
+            },
+            7,
+        );
         let ratio = abft / raw;
         println!(
             "integrity_overhead smoke attempt {attempt}: raw {:.1} ms, abft {:.1} ms, ratio {ratio:.4}",
@@ -130,8 +129,18 @@ fn smoke_check() {
     // Price the DMA checksum layer the same way (informational — the
     // trailer word plus receive-side verify rides the functional model's
     // thread scheduling, so no hard gate).
-    let unchecked = min_seconds(|| shift_run(false) as f64, 5);
-    let checked = min_seconds(|| shift_run(true) as f64, 5);
+    let unchecked = min_seconds(
+        || {
+            black_box(shift_run(false));
+        },
+        5,
+    );
+    let checked = min_seconds(
+        || {
+            black_box(shift_run(true));
+        },
+        5,
+    );
     let dma_ratio = checked / unchecked;
     println!(
         "integrity_overhead: unchecked shift {:.1} ms, checked {:.1} ms, ratio {dma_ratio:.4}",
@@ -139,17 +148,31 @@ fn smoke_check() {
         checked * 1e3,
     );
 
-    let mut reg = MetricsRegistry::new();
-    reg.gauge_set("integrity_cg_raw_seconds", &[], measured.0);
-    reg.gauge_set("integrity_abft_overhead_ratio", &[], ratio);
-    reg.gauge_set("integrity_abft_gate", &[], 1.05);
-    reg.gauge_set("integrity_dma_checksum_ratio", &[], dma_ratio);
-    let json = summary_json(&reg, &[]);
-    // The bench runs with the package as CWD; put the artifact where the
-    // examples put theirs (the workspace root, gitignored).
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_integrity.json");
-    std::fs::write(path, &json).expect("write BENCH_integrity.json");
-    println!("Wrote BENCH_integrity.json ({} bytes)", json.len());
+    // One traced ABFT solve fills the phase table (solver.apply /
+    // solver.reduce / solver.linalg spans) and the deterministic
+    // per-iteration cycle histogram the judge gates at 1%.
+    let mut telem = NodeTelemetry::with_ring(0, 4096);
+    let mut x = FermionField::zero(b.lattice());
+    let (_, abft) = solve_cgne_abft(
+        &op,
+        &mut x,
+        &b,
+        params(),
+        AbftParams::default(),
+        None,
+        &mut telem,
+    );
+    assert_eq!(abft.detections, 0, "traced clean run must audit clean");
+    let (solver_metrics, spans) = telem.take_parts();
+
+    let mut run = BenchRun::new("integrity");
+    run.gauge("integrity_cg_raw_seconds", measured.0);
+    run.gauge("integrity_abft_overhead_ratio", ratio);
+    run.gauge("integrity_abft_gate", 1.05);
+    run.gauge("integrity_dma_checksum_ratio", dma_ratio);
+    run.reg.merge(&solver_metrics);
+    run.spans(spans);
+    run.export();
 }
 
 fn overhead(c: &mut Criterion) {

@@ -18,10 +18,10 @@
 //! kernel-level instruction histograms behind them.
 
 use criterion::{black_box, criterion_group, Criterion};
+use qcdoc_bench::{min_seconds, BenchRun};
 use qcdoc_lattice::field::{FermionField, GaugeField, Lattice};
 use qcdoc_lattice::solver::{solve_cgne, solve_cgne_mixed, CgParams, MixedCgParams};
 use qcdoc_lattice::wilson::WilsonDirac;
-use std::time::Instant;
 
 /// The seeded Wilson problem every claim below is measured on.
 fn workload() -> (GaugeField, FermionField) {
@@ -52,17 +52,6 @@ fn solve_mixed(
     let report = solve_cgne_mixed(op, op32, &mut x, black_box(b), MixedCgParams::default());
     assert!(report.converged, "mixed CG failed to converge");
     x
-}
-
-/// Minimum wall time of `f` over `reps` runs, in seconds.
-fn min_seconds<F: FnMut()>(mut f: F, reps: usize) -> f64 {
-    let mut best = f64::INFINITY;
-    for _ in 0..reps {
-        let start = Instant::now();
-        f();
-        best = best.min(start.elapsed().as_secs_f64());
-    }
-    best
 }
 
 /// Mixed CG must never cost more than this multiple of the double solver:
@@ -129,6 +118,26 @@ fn smoke_check() {
         "mixed_precision smoke PASS: speedup {speedup:.2}x (double-precision-FPU host; \
          QCDOC's single-precision gain is bandwidth-bound — see EXPERIMENTS.md)"
     );
+
+    // The application counts are deterministic (bit-identical reruns were
+    // asserted above), so the judge gates them at 1%; the wall-clock
+    // speedup is host noise and stays report-only.
+    let mut run = BenchRun::new("mixed_precision");
+    run.gauge("mixed_speedup_vs_double", speedup);
+    run.gauge("mixed_max_slowdown_envelope", MAX_SLOWDOWN);
+    run.gauge(
+        "mixed_inner_iterations",
+        r1.inner_iterations.iter().sum::<usize>() as f64,
+    );
+    run.gauge(
+        "mixed_low_precision_applications",
+        r1.low_precision_applications as f64,
+    );
+    run.gauge(
+        "mixed_high_precision_applications",
+        r1.high_precision_applications as f64,
+    );
+    run.export();
 }
 
 fn solvers(c: &mut Criterion) {

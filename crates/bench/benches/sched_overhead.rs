@@ -12,14 +12,13 @@
 //! The measured numbers land in `BENCH_sched.json` for the dashboard.
 
 use criterion::{black_box, criterion_group, Criterion};
+use qcdoc_bench::{min_seconds, time_histogram_us, BenchRun};
 use qcdoc_geometry::TorusShape;
 use qcdoc_host::Qdaemon;
 use qcdoc_lattice::field::{FermionField, GaugeField, Lattice};
 use qcdoc_lattice::solver::{solve_cgne, CgParams};
 use qcdoc_lattice::wilson::WilsonDirac;
 use qcdoc_sched::{JobSpec, Priority, SchedConfig, Scheduler, ShapeRequest, SimMesh, TenantConfig};
-use qcdoc_telemetry::{summary_json, MetricsRegistry};
-use std::time::Instant;
 
 fn workload() -> (GaugeField, FermionField) {
     let lat = Lattice::new([4, 4, 4, 4]);
@@ -81,17 +80,6 @@ fn cg_managed(op: &WilsonDirac<'_>, b: &FermionField, q: &mut Qdaemon, iters: u6
     }
     assert_eq!(sched.running_count(), 0, "job must complete on schedule");
     report.final_residual
-}
-
-/// Minimum wall time of `f` over `reps` runs, in seconds.
-fn min_seconds<F: FnMut() -> f64>(mut f: F, reps: usize) -> f64 {
-    let mut best = f64::INFINITY;
-    for _ in 0..reps {
-        let start = Instant::now();
-        black_box(f());
-        best = best.min(start.elapsed().as_secs_f64());
-    }
-    best
 }
 
 /// The full machine of the paper and a shape menu whose multi-axis
@@ -213,8 +201,18 @@ fn smoke_check() {
     let mut verdict = None;
     let mut measured = (0.0, 0.0);
     for attempt in 1..=3 {
-        let direct = min_seconds(|| cg_direct(&op, &b), 7);
-        let managed = min_seconds(|| cg_managed(&op, &b, &mut q, iters), 7);
+        let direct = min_seconds(
+            || {
+                black_box(cg_direct(&op, &b));
+            },
+            7,
+        );
+        let managed = min_seconds(
+            || {
+                black_box(cg_managed(&op, &b, &mut q, iters));
+            },
+            7,
+        );
         let ratio = managed / direct;
         println!(
             "sched_overhead smoke attempt {attempt}: direct {:.1} ms, managed {:.1} ms, ratio {ratio:.4}",
@@ -231,26 +229,20 @@ fn smoke_check() {
     println!("sched_overhead smoke PASS: managed ratio {ratio:.4} < 1.05");
 
     // Price one placement decision on the full 12,288-node mesh, empty
-    // and with half the machine pinned by background jobs.
+    // and with half the machine pinned by background jobs. A histogram
+    // over all 64 cycles — not just the minimum — so the judge can gate
+    // the tail (p99) as well as the floor.
     let (mut s0, mut m0) = loaded_mesh(&[]);
-    let empty_us = min_seconds(
-        || {
-            decision_cycle(&mut s0, &mut m0);
-            0.0
-        },
-        64,
-    ) * 1e6;
+    let empty_h = time_histogram_us(|| decision_cycle(&mut s0, &mut m0), 64);
     let half = menu()[1].clone();
     let (mut s1, mut m1) = loaded_mesh(std::slice::from_ref(&half));
-    let loaded_us = min_seconds(
-        || {
-            decision_cycle(&mut s1, &mut m1);
-            0.0
-        },
-        64,
-    ) * 1e6;
+    let half_h = time_histogram_us(|| decision_cycle(&mut s1, &mut m1), 64);
     println!(
-        "sched_overhead: decision latency {empty_us:.1} us empty, {loaded_us:.1} us half-loaded"
+        "sched_overhead: decision latency p50/p99 {}/{} us empty, {}/{} us half-loaded",
+        empty_h.p50(),
+        empty_h.p99(),
+        half_h.p50(),
+        half_h.p99(),
     );
 
     // Occupancy against the work-conserving oracle (informational — the
@@ -263,19 +255,16 @@ fn smoke_check() {
         oracle * 1e2,
     );
 
-    let mut reg = MetricsRegistry::new();
-    reg.gauge_set("sched_cg_direct_seconds", &[], measured.0);
-    reg.gauge_set("sched_managed_overhead_ratio", &[], measured.1);
-    reg.gauge_set("sched_overhead_gate", &[], 1.05);
-    reg.gauge_set("sched_decision_latency_empty_us", &[], empty_us);
-    reg.gauge_set("sched_decision_latency_half_load_us", &[], loaded_us);
-    reg.gauge_set("sched_soak_occupancy", &[], achieved);
-    reg.gauge_set("sched_soak_occupancy_oracle", &[], oracle);
-    reg.gauge_set("sched_occupancy_vs_oracle", &[], vs_oracle);
-    let json = summary_json(&reg, &[]);
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sched.json");
-    std::fs::write(path, &json).expect("write BENCH_sched.json");
-    println!("Wrote BENCH_sched.json ({} bytes)", json.len());
+    let mut run = BenchRun::new("sched");
+    run.gauge("sched_cg_direct_seconds", measured.0);
+    run.gauge("sched_managed_overhead_ratio", measured.1);
+    run.gauge("sched_overhead_gate", 1.05);
+    run.histogram("sched_decision_latency_us", "empty", &empty_h);
+    run.histogram("sched_decision_latency_us", "half", &half_h);
+    run.gauge("sched_soak_occupancy", achieved);
+    run.gauge("sched_soak_occupancy_oracle", oracle);
+    run.gauge("sched_occupancy_vs_oracle", vs_oracle);
+    run.export();
 }
 
 fn overhead(c: &mut Criterion) {

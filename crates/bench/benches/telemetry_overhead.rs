@@ -11,10 +11,10 @@
 //! disabled hooks, and live spans into a ring sink.
 
 use criterion::{black_box, criterion_group, Criterion};
+use qcdoc_bench::{min_seconds, BenchRun};
 use qcdoc_lattice::field::{FermionField, GaugeField, Lattice};
 use qcdoc_lattice::wilson::WilsonDirac;
 use qcdoc_telemetry::{NodeTelemetry, Phase};
-use std::time::Instant;
 
 const ITERS: usize = 30;
 
@@ -52,18 +52,9 @@ fn dslash_hooked(op: &WilsonDirac<'_>, p: &FermionField, telem: &mut NodeTelemet
     q.norm_sqr()
 }
 
-/// Minimum wall time of `f` over `reps` runs, in seconds.
-fn min_seconds<F: FnMut() -> f64>(mut f: F, reps: usize) -> f64 {
-    let mut best = f64::INFINITY;
-    for _ in 0..reps {
-        let start = Instant::now();
-        black_box(f());
-        best = best.min(start.elapsed().as_secs_f64());
-    }
-    best
-}
-
-/// The acceptance gate: disabled telemetry adds < 5% to the hot loop.
+/// The acceptance gate: disabled telemetry adds < 5% to the hot loop,
+/// and both ratios (disabled hooks, live ring spans) are exported to
+/// `BENCH_telemetry.json`.
 fn smoke_check() {
     let (gauge, p) = workload();
     let op = WilsonDirac::new(&gauge, 0.12);
@@ -71,12 +62,18 @@ fn smoke_check() {
     black_box(dslash_raw(&op, &p));
     black_box(dslash_hooked(&op, &p, &mut NodeTelemetry::disabled(0)));
     let mut verdict = None;
+    let mut raw_s = 0.0;
     for attempt in 1..=3 {
-        let raw = min_seconds(|| dslash_raw(&op, &p), 7);
+        let raw = min_seconds(
+            || {
+                black_box(dslash_raw(&op, &p));
+            },
+            7,
+        );
         let disabled = min_seconds(
             || {
                 let mut telem = NodeTelemetry::disabled(0);
-                dslash_hooked(&op, &p, &mut telem)
+                black_box(dslash_hooked(&op, &p, &mut telem));
             },
             7,
         );
@@ -86,6 +83,7 @@ fn smoke_check() {
             raw * 1e3,
             disabled * 1e3,
         );
+        raw_s = raw;
         if ratio < 1.05 {
             verdict = Some(ratio);
             break;
@@ -93,6 +91,24 @@ fn smoke_check() {
     }
     let ratio = verdict.expect("disabled telemetry exceeded 5% overhead in 3 attempts");
     println!("telemetry_overhead smoke PASS: NullSink path ratio {ratio:.4} < 1.05");
+
+    // Price the live path too (report-only — ring spans are opt-in).
+    let ring = min_seconds(
+        || {
+            let mut telem = NodeTelemetry::with_ring(0, 1 << 12);
+            black_box(dslash_hooked(&op, &p, &mut telem));
+        },
+        7,
+    );
+    let ring_ratio = ring / raw_s;
+    println!("telemetry_overhead: ring-span path ratio {ring_ratio:.4}");
+
+    let mut run = BenchRun::new("telemetry");
+    run.gauge("telemetry_dslash_raw_seconds", raw_s);
+    run.gauge("telemetry_disabled_overhead_ratio", ratio);
+    run.gauge("telemetry_disabled_gate", 1.05);
+    run.gauge("telemetry_ring_overhead_ratio", ring_ratio);
+    run.export();
 }
 
 fn overhead(c: &mut Criterion) {

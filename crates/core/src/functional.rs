@@ -23,7 +23,9 @@ use qcdoc_scu::link::WireTap;
 use qcdoc_scu::scu::{Scu, ScuEvent, WireMsg};
 use qcdoc_scu::timing::LinkTimingConfig;
 use qcdoc_scu::{RetryPolicy, WireVerdict};
-use qcdoc_telemetry::{MachineTelemetry, MetricsRegistry, NodeTelemetry, Phase, Span};
+use qcdoc_telemetry::{
+    FlightEvent, FlightKind, MachineTelemetry, MetricsRegistry, NodeTelemetry, Phase, Span,
+};
 use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -93,6 +95,10 @@ pub struct NodeCtx {
     armed_recv_words: [u64; 12],
     link_timing: LinkTimingConfig,
     wedge_spins: u32,
+    /// SCU counter totals at the last flight check, so each
+    /// [`NodeCtx::complete`] logs only the retries it caused.
+    flight_resends_seen: u64,
+    flight_block_rejects_seen: u64,
 }
 
 impl NodeCtx {
@@ -185,7 +191,19 @@ impl NodeCtx {
                 .expect("send DMA memory fault")
             {
                 let verdict = match &mut msg {
-                    WireMsg::Data(wf) => self.tap.on_frame(link, wf),
+                    WireMsg::Data(wf) => {
+                        let injected_before = self.tap.injected()[link];
+                        let v = self.tap.on_frame(link, wf);
+                        if self.tap.injected()[link] > injected_before {
+                            self.telem.flight(
+                                FlightKind::FaultInjected,
+                                "frame_corrupt",
+                                link as u64,
+                                wf.seq,
+                            );
+                        }
+                        v
+                    }
                     // Acks and rejects have no frame, but a dead wire
                     // swallows them all the same.
                     _ => {
@@ -196,6 +214,10 @@ impl NodeCtx {
                         }
                     }
                 };
+                if verdict == WireVerdict::Drop {
+                    self.telem
+                        .flight(FlightKind::FaultInjected, "frame_drop", link as u64, 0);
+                }
                 if verdict == WireVerdict::Deliver {
                     // Unbounded channel: never blocks the thread
                     // (backpressure is the protocol's ack window, not the
@@ -233,10 +255,12 @@ impl NodeCtx {
     pub fn complete(&mut self, sends: &[Direction], recvs: &[Direction]) {
         if !self.telem.is_enabled() {
             self.complete_inner(sends, recvs);
+            self.record_scu_flight();
             return;
         }
         let token = self.telem.begin();
         self.complete_inner(sends, recvs);
+        self.record_scu_flight();
         // Charge the logical clock with the modeled wire time: parallel
         // links overlap, so the slowest one sets the pace (§4's comms
         // term), while counters see every word moved.
@@ -262,6 +286,33 @@ impl NodeCtx {
             .end_with(token, "scu.complete", Phase::Comms, send_words + recv_words);
     }
 
+    /// Log go-back-N retries and block-checksum replays that happened
+    /// since the last check into the flight ring. Exceptional paths only:
+    /// a clean transfer leaves no trace.
+    fn record_scu_flight(&mut self) {
+        let stats = self.scu.stats();
+        let resends = stats.total_resends();
+        if resends > self.flight_resends_seen {
+            self.telem.flight(
+                FlightKind::Retry,
+                "go_back_n",
+                resends - self.flight_resends_seen,
+                resends,
+            );
+            self.flight_resends_seen = resends;
+        }
+        let block_rejects: u64 = stats.links.iter().map(|l| l.block_rejects).sum();
+        if block_rejects > self.flight_block_rejects_seen {
+            self.telem.flight(
+                FlightKind::BlockReject,
+                "block_checksum",
+                block_rejects - self.flight_block_rejects_seen,
+                block_rejects,
+            );
+            self.flight_block_rejects_seen = block_rejects;
+        }
+    }
+
     fn complete_inner(&mut self, sends: &[Direction], recvs: &[Direction]) {
         if self.wedged {
             return;
@@ -280,6 +331,12 @@ impl NodeCtx {
                 idle_spins += 1;
                 if idle_spins >= self.wedge_spins {
                     self.wedged = true;
+                    self.telem.flight(
+                        FlightKind::Wedge,
+                        "silent_wire",
+                        idle_spins as u64,
+                        (sends.len() + recvs.len()) as u64,
+                    );
                     return;
                 }
             }
@@ -442,7 +499,10 @@ impl FunctionalMachine {
         F: Fn(&mut NodeCtx) -> R + Sync,
         R: Send,
     {
-        self.run_inner(app).into_iter().map(|(r, _, _)| r).collect()
+        self.run_inner(app)
+            .into_iter()
+            .map(|(r, _, _, _)| r)
+            .collect()
     }
 
     /// Like [`FunctionalMachine::run`], but also collect every node's SCU
@@ -456,7 +516,7 @@ impl FunctionalMachine {
     {
         let mut ledger = HealthLedger::new(self.shape.node_count());
         let mut results = Vec::with_capacity(self.shape.node_count());
-        for (node, (r, health, _)) in self.run_inner(app).into_iter().enumerate() {
+        for (node, (r, health, _, _)) in self.run_inner(app).into_iter().enumerate() {
             results.push(r);
             *ledger.node_mut(node as u32) = health;
         }
@@ -476,17 +536,29 @@ impl FunctionalMachine {
         let mut ledger = HealthLedger::new(self.shape.node_count());
         let mut telemetry = MachineTelemetry::new();
         let mut results = Vec::with_capacity(self.shape.node_count());
-        for (node, (r, health, (metrics, spans))) in self.run_inner(app).into_iter().enumerate() {
+        for (node, (r, health, (metrics, spans), flight)) in
+            self.run_inner(app).into_iter().enumerate()
+        {
             results.push(r);
             *ledger.node_mut(node as u32) = health;
             telemetry.absorb_node(node as u32, metrics, spans);
+            telemetry.absorb_flight(flight);
         }
         ledger.finalize(&self.shape);
         ledger.export_metrics(&mut telemetry.metrics);
         (results, ledger, telemetry)
     }
 
-    fn run_inner<F, R>(&self, app: F) -> Vec<(R, NodeHealth, (MetricsRegistry, Vec<Span>))>
+    #[allow(clippy::type_complexity)]
+    fn run_inner<F, R>(
+        &self,
+        app: F,
+    ) -> Vec<(
+        R,
+        NodeHealth,
+        (MetricsRegistry, Vec<Span>),
+        Vec<FlightEvent>,
+    )>
     where
         F: Fn(&mut NodeCtx) -> R + Sync,
         R: Send,
@@ -512,7 +584,12 @@ impl FunctionalMachine {
             n as u32,
             2 * self.shape.rank(),
         ));
-        type NodeOutput<R> = (R, NodeHealth, (MetricsRegistry, Vec<Span>));
+        type NodeOutput<R> = (
+            R,
+            NodeHealth,
+            (MetricsRegistry, Vec<Span>),
+            Vec<FlightEvent>,
+        );
         let results: Vec<Mutex<Option<NodeOutput<R>>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let telemetry = self.telemetry;
         // Nodes that finish keep pumping the wires until *everyone* has
@@ -565,6 +642,8 @@ impl FunctionalMachine {
                         armed_recv_words: [0; 12],
                         link_timing: telemetry.map(|c| c.link).unwrap_or_default(),
                         wedge_spins,
+                        flight_resends_seen: 0,
+                        flight_block_rejects_seen: 0,
                     };
                     // Memory soft errors strike before the application
                     // touches its data (flips outside the address map are
@@ -572,14 +651,41 @@ impl FunctionalMachine {
                     for (addr, bit) in clock.mem_faults(node as u32) {
                         if ctx.mem.flip_bit(addr, bit).is_ok() {
                             ctx.mem_flips += 1;
+                            ctx.telem.flight(
+                                FlightKind::FaultInjected,
+                                "mem_flip",
+                                addr,
+                                bit as u64,
+                            );
                         }
                     }
                     let r = app(&mut ctx);
+                    ctx.record_scu_flight();
+                    if let Some(iteration) = clock.crash_iteration(node as u32) {
+                        ctx.telem
+                            .flight(FlightKind::Crash, "scheduled", iteration as u64, 0);
+                    }
                     // End-of-run ECC scrub: walk the touched footprint so
                     // soft errors the application never read still get
                     // corrected (1-bit) or latch a machine check (2-bit)
                     // before the health snapshot is taken.
                     let scrub = ctx.mem.scrub();
+                    {
+                        let ms = ctx.mem.stats();
+                        if ms.machine_checks > 0 {
+                            ctx.telem.flight(
+                                FlightKind::MachineCheck,
+                                "uncorrectable_ecc",
+                                ms.machine_checks,
+                                ms.ecc_corrected,
+                            );
+                        }
+                    }
+                    let backoff = ctx.scu.backoff_delay_histogram();
+                    if backoff.count() > 0 {
+                        ctx.telem
+                            .merge_histogram("scu_backoff_delay_rounds", &backoff);
+                    }
                     if ctx.telem.is_enabled() {
                         // EDRAM-vs-DDR hit gauges: the end-of-run memory
                         // profile the §4 model needs to locate data.
@@ -600,8 +706,9 @@ impl FunctionalMachine {
                             .gauge_set("node_mem_scrub_cycles", scrub.cycles as f64);
                     }
                     let snapshot = ctx.health_snapshot();
+                    let flight = ctx.telem.take_flight();
                     let parts = ctx.telem.take_parts();
-                    *results[node].lock() = Some((r, snapshot, parts));
+                    *results[node].lock() = Some((r, snapshot, parts, flight));
                     drop(done_guard);
                     let mut spins = 0u32;
                     while done.load(std::sync::atomic::Ordering::SeqCst) < n {

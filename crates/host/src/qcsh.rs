@@ -57,6 +57,13 @@ pub enum Command {
         /// Acceptable shapes in preference order.
         shapes: Vec<ShapeRequest>,
     },
+    /// `qflight [<node>]` — dump the host's flight recorder (the black
+    /// box of quarantines and ingested node events), optionally filtered
+    /// to one node's events.
+    Flight {
+        /// Restrict the dump to this node's events.
+        node: Option<u32>,
+    },
     /// `qjobs` — list the scheduler's jobs.
     Jobs,
     /// `qdel <job>` — cancel a batch job.
@@ -157,6 +164,13 @@ pub fn parse(line: &str) -> Result<Command, String> {
                 work,
                 shapes,
             })
+        }
+        Some("qflight") => {
+            let node = match words.next() {
+                Some(w) => Some(w.parse().map_err(|e| format!("bad node: {e}"))?),
+                None => None,
+            };
+            Ok(Command::Flight { node })
         }
         Some("qjobs") => Ok(Command::Jobs),
         Some("qdel") => {
@@ -259,6 +273,7 @@ impl Qcsh {
                 Some(out) => String::from_utf8_lossy(out).into_owned(),
                 None => format!("error: no partition {id}"),
             },
+            Command::Flight { node } => q.flight_dump(*node),
             Command::Hardware { id } => match q.hardware_report(*id) {
                 Some(hw) => format!(
                     "link errors {} ecc corrections {} checksums {}",
@@ -445,6 +460,30 @@ mod tests {
         // Unknown partitions report an error, not a panic.
         let out = sh.execute(&mut q, &Command::Hardware { id: 9 });
         assert_eq!(out, "error: no partition 9");
+    }
+
+    #[test]
+    fn flight_dump_through_qflight() {
+        use qcdoc_fault::{HealthLedger, Liveness};
+        let mut q = Qdaemon::new(machine());
+        let mut sh = Qcsh::new(1001, &[]);
+        sh.execute(&mut q, &Command::Boot);
+        // Nothing has gone wrong yet: the black box is empty.
+        assert_eq!(parse("qflight"), Ok(Command::Flight { node: None }));
+        assert_eq!(parse("qflight 9"), Ok(Command::Flight { node: Some(9) }));
+        assert!(parse("qflight nine").is_err());
+        let out = sh.execute(&mut q, &Command::Flight { node: None });
+        assert_eq!(out, "(no flight events)\n");
+        // A sweep condemns node 9; the quarantine lands in the ring.
+        let mut ledger = HealthLedger::new(32);
+        ledger.node_mut(9).liveness = Liveness::Wedged;
+        q.ingest_health(&ledger);
+        let out = sh.execute(&mut q, &Command::Flight { node: None });
+        assert!(out.contains("quarantine"), "{out}");
+        assert!(out.contains("a=9"), "{out}");
+        // Filtering to an uninvolved node shows nothing.
+        let out = sh.execute(&mut q, &Command::Flight { node: Some(3) });
+        assert_eq!(out, "(no flight events)\n");
     }
 
     #[test]

@@ -18,7 +18,7 @@ use crate::ethernet::{EthernetTree, BOOT_PACKET_BYTES};
 use crate::jtag::{JtagCommand, JtagController};
 use crate::kernel::{KernelPhase, RunKernel};
 use qcdoc_geometry::{NodeId, Partition, PartitionError, PartitionSpec, TorusShape};
-use qcdoc_telemetry::MetricsRegistry;
+use qcdoc_telemetry::{FlightEvent, FlightKind, FlightRecorder, MetricsRegistry, HOST_NODE};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -117,6 +117,10 @@ pub struct Qdaemon {
     ethernet: EthernetTree,
     packets_sent: u64,
     metrics: MetricsRegistry,
+    /// The host's own black box: quarantines and ingested node events,
+    /// cycle-free (the daemon stamps host events with its sweep count).
+    flight: FlightRecorder,
+    sweeps: u64,
 }
 
 impl Qdaemon {
@@ -135,6 +139,8 @@ impl Qdaemon {
             machine,
             packets_sent: 0,
             metrics: MetricsRegistry::new(),
+            flight: FlightRecorder::default(),
+            sweeps: 0,
         }
     }
 
@@ -296,8 +302,20 @@ impl Qdaemon {
         }
     }
 
-    /// Mark a node faulty (e.g. after a checksum mismatch report).
+    /// Mark a node faulty (e.g. after a checksum mismatch report). The
+    /// quarantine is logged in the host's flight ring so a post-mortem
+    /// can see *when* the daemon condemned the node, not just that it did.
     pub fn mark_faulty(&mut self, node: NodeId) {
+        if self.states[node.index()] != NodeState::Faulty {
+            self.flight.record(
+                HOST_NODE,
+                self.sweeps,
+                FlightKind::Quarantine,
+                "mark_faulty",
+                node.0 as u64,
+                0,
+            );
+        }
         self.states[node.index()] = NodeState::Faulty;
     }
 
@@ -308,6 +326,7 @@ impl Qdaemon {
     /// allocations route around it, and prices the sweep itself on the
     /// Ethernet capacity model.
     pub fn ingest_health(&mut self, ledger: &qcdoc_fault::HealthLedger) -> HealthReport {
+        self.sweeps += 1;
         let unhealthy = ledger.unhealthy_nodes();
         let mut quarantined = Vec::new();
         for &node in &unhealthy {
@@ -407,6 +426,24 @@ impl Qdaemon {
     /// Read-only view of the daemon's metrics registry.
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
+    }
+
+    /// Ingest node flight-recorder events (e.g. the
+    /// [`qcdoc_telemetry::MachineTelemetry::flight`] stream a run
+    /// produced) into the host's black box, re-stamped in arrival order.
+    pub fn ingest_flight(&mut self, events: &[FlightEvent]) {
+        self.flight.ingest(events);
+    }
+
+    /// Deterministic dump of the host's flight ring, optionally filtered
+    /// to one node's events — the `qflight` verb's payload.
+    pub fn flight_dump(&self, node: Option<u32>) -> String {
+        self.flight.dump(node)
+    }
+
+    /// Read-only view of the host's flight recorder.
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.flight
     }
 
     /// Run kernel of a node (for job wiring in `qcdoc-core`).

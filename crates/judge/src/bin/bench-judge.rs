@@ -1,0 +1,161 @@
+//! CLI front-end for the benchmark judge.
+//!
+//! ```text
+//! bench-judge [--baselines DIR] [--current DIR] [--manifest FILE]
+//!             [--report FILE] [--bless]
+//! ```
+//!
+//! Reads every `BENCH_*.json` under the baselines directory, pairs each
+//! with the same-named export under the current directory (the workspace
+//! root, where the benches write), judges them under the manifest policy,
+//! writes the markdown report, and exits 0 (clean), 1 (gated regression),
+//! or 2 (usage / IO / parse error). `--bless` instead copies the current
+//! exports over the baselines byte-for-byte and exits 0.
+
+use qcdoc_judge::{judge, parse_bench_doc, parse_manifest, BenchDoc};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Options {
+    baselines: PathBuf,
+    current: PathBuf,
+    manifest: PathBuf,
+    report: PathBuf,
+    bless: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        baselines: PathBuf::from("bench/baselines"),
+        current: PathBuf::from("."),
+        manifest: PathBuf::from("bench/judge.manifest"),
+        report: PathBuf::from("target/judge_report.md"),
+        bless: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut path_arg = |dest: &mut PathBuf| {
+            it.next()
+                .map(|v| *dest = PathBuf::from(v))
+                .ok_or_else(|| format!("{arg} needs a value"))
+        };
+        match arg.as_str() {
+            "--baselines" => path_arg(&mut opts.baselines)?,
+            "--current" => path_arg(&mut opts.current)?,
+            "--manifest" => path_arg(&mut opts.manifest)?,
+            "--report" => path_arg(&mut opts.report)?,
+            "--bless" => opts.bless = true,
+            "--help" | "-h" => {
+                return Err("usage: bench-judge [--baselines DIR] [--current DIR] \
+                     [--manifest FILE] [--report FILE] [--bless]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    Ok(opts)
+}
+
+/// `BENCH_*.json` files in `dir`, sorted by file name for determinism.
+fn bench_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    let mut files: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    files.sort();
+    Ok(files)
+}
+
+fn load_docs(files: &[PathBuf]) -> Result<Vec<BenchDoc>, String> {
+    files
+        .iter()
+        .map(|path| {
+            let text = fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            parse_bench_doc(&text).map_err(|e| format!("{}: {e}", path.display()))
+        })
+        .collect()
+}
+
+fn run(opts: &Options) -> Result<bool, String> {
+    if opts.bless {
+        let files = bench_files(&opts.current)?;
+        if files.is_empty() {
+            return Err(format!(
+                "no BENCH_*.json under {} — run the benches first",
+                opts.current.display()
+            ));
+        }
+        fs::create_dir_all(&opts.baselines)
+            .map_err(|e| format!("cannot create {}: {e}", opts.baselines.display()))?;
+        for path in &files {
+            // Parse before copying so a malformed export can't be blessed.
+            let text = fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            parse_bench_doc(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+            let dest = opts.baselines.join(path.file_name().unwrap());
+            fs::write(&dest, &text).map_err(|e| format!("cannot write {}: {e}", dest.display()))?;
+            println!("blessed {}", dest.display());
+        }
+        return Ok(true);
+    }
+
+    let manifest_text = fs::read_to_string(&opts.manifest)
+        .map_err(|e| format!("cannot read {}: {e}", opts.manifest.display()))?;
+    let manifest = parse_manifest(&manifest_text)?;
+    let baselines = load_docs(&bench_files(&opts.baselines)?)?;
+    if baselines.is_empty() {
+        return Err(format!(
+            "no baselines under {} — run benches then `bench-judge --bless`",
+            opts.baselines.display()
+        ));
+    }
+    // Only currents that have a baseline or a manifest policy matter;
+    // load them all anyway so brand-new benches surface as `new`.
+    let currents = load_docs(&bench_files(&opts.current)?)?;
+
+    let judgement = judge(&baselines, &currents, &manifest);
+    let report = judgement.render_markdown(&opts.baselines.display().to_string());
+    if let Some(parent) = opts.report.parent() {
+        let _ = fs::create_dir_all(parent);
+    }
+    fs::write(&opts.report, &report)
+        .map_err(|e| format!("cannot write {}: {e}", opts.report.display()))?;
+    print!("{report}");
+    if judgement.failed() {
+        eprintln!(
+            "bench-judge: FAILED — gated regression(s); see {}",
+            opts.report.display()
+        );
+        Ok(false)
+    } else {
+        println!("bench-judge: ok");
+        Ok(true)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&opts) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(msg) => {
+            eprintln!("bench-judge: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

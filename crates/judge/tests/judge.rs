@@ -1,0 +1,161 @@
+//! End-to-end tests for the `bench-judge` binary: bless adoption,
+//! clean-pass, synthetic regression, and bless determinism.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_bench-judge")
+}
+
+/// A fresh scratch directory per test, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!("bench-judge-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        Scratch(dir)
+    }
+
+    fn path(&self, rel: &str) -> PathBuf {
+        self.0.join(rel)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+fn export(bench: &str, ratio: f64, p99: u64) -> String {
+    format!(
+        r#"{{
+  "schema": "qcdoc-telemetry-v2",
+  "bench": "{bench}",
+  "metrics": [
+    {{"name": "overhead_ratio", "labels": {{}}, "type": "gauge", "value": {ratio}}},
+    {{"name": "latency_us", "labels": {{"load": "empty"}}, "type": "histogram", "count": 10, "sum": 100, "p50": 7, "p95": {p99}, "p99": {p99}, "buckets": [[7, 9], [{p99}, 1]]}}
+  ],
+  "phases": [],
+  "spans_total": 0
+}}
+"#
+    )
+}
+
+const MANIFEST: &str = "\
+default_tolerance 0.05
+demo overhead_ratio lower 0.10 gate
+demo latency_us{load=empty}:p99 lower 3.0 gate
+";
+
+fn run(scratch: &Scratch, current: &Path, extra: &[&str]) -> Output {
+    Command::new(bin())
+        .args([
+            "--baselines",
+            scratch.path("baselines").to_str().unwrap(),
+            "--current",
+            current.to_str().unwrap(),
+            "--manifest",
+            scratch.path("judge.manifest").to_str().unwrap(),
+            "--report",
+            scratch.path("report.md").to_str().unwrap(),
+        ])
+        .args(extra)
+        .output()
+        .unwrap()
+}
+
+fn setup(scratch: &Scratch) -> PathBuf {
+    let current = scratch.path("current");
+    fs::create_dir_all(&current).unwrap();
+    fs::write(current.join("BENCH_demo.json"), export("demo", 1.02, 15)).unwrap();
+    fs::write(scratch.path("judge.manifest"), MANIFEST).unwrap();
+    current
+}
+
+#[test]
+fn bless_then_clean_pass_then_synthetic_regression() {
+    let scratch = Scratch::new("e2e");
+    let current = setup(&scratch);
+
+    // Judging with no baselines is a hard error (exit 2).
+    fs::create_dir_all(scratch.path("baselines")).unwrap();
+    let out = run(&scratch, &current, &[]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+
+    // Bless adopts the current exports byte-for-byte.
+    let out = run(&scratch, &current, &["--bless"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert_eq!(
+        fs::read(scratch.path("baselines/BENCH_demo.json")).unwrap(),
+        fs::read(current.join("BENCH_demo.json")).unwrap(),
+    );
+
+    // Clean HEAD: identical exports pass and the report says so.
+    let out = run(&scratch, &current, &[]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let report = fs::read_to_string(scratch.path("report.md")).unwrap();
+    assert!(report.contains("0 regressions"), "{report}");
+
+    // Degrade the gated ratio 20% past its 10% tolerance: exit 1 with a
+    // REGRESSION row naming the metric.
+    fs::write(current.join("BENCH_demo.json"), export("demo", 1.25, 15)).unwrap();
+    let out = run(&scratch, &current, &[]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let report = fs::read_to_string(scratch.path("report.md")).unwrap();
+    assert!(report.contains("| `overhead_ratio` |"), "{report}");
+    assert!(report.contains("REGRESSION"), "{report}");
+
+    // One log2 bucket hop on the p99 (15 -> 31) stays inside its 3.0
+    // tolerance; two hops (15 -> 127) fail.
+    fs::write(current.join("BENCH_demo.json"), export("demo", 1.02, 31)).unwrap();
+    assert_eq!(run(&scratch, &current, &[]).status.code(), Some(0));
+    fs::write(current.join("BENCH_demo.json"), export("demo", 1.02, 127)).unwrap();
+    let out = run(&scratch, &current, &[]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let report = fs::read_to_string(scratch.path("report.md")).unwrap();
+    assert!(report.contains("latency_us{load=empty}:p99"), "{report}");
+}
+
+#[test]
+fn bless_is_byte_deterministic() {
+    let scratch = Scratch::new("bless");
+    let current = setup(&scratch);
+    assert_eq!(run(&scratch, &current, &["--bless"]).status.code(), Some(0));
+    let first = fs::read(scratch.path("baselines/BENCH_demo.json")).unwrap();
+    assert_eq!(run(&scratch, &current, &["--bless"]).status.code(), Some(0));
+    let second = fs::read(scratch.path("baselines/BENCH_demo.json")).unwrap();
+    assert_eq!(
+        first, second,
+        "re-blessing identical exports must be a no-op"
+    );
+}
+
+#[test]
+fn bless_refuses_malformed_exports() {
+    let scratch = Scratch::new("malformed");
+    let current = scratch.path("current");
+    fs::create_dir_all(&current).unwrap();
+    fs::write(current.join("BENCH_bad.json"), "{not json").unwrap();
+    let out = run(&scratch, &current, &["--bless"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(!scratch.path("baselines/BENCH_bad.json").exists());
+}
+
+#[test]
+fn missing_bench_export_fails_the_gate() {
+    let scratch = Scratch::new("missing");
+    let current = setup(&scratch);
+    assert_eq!(run(&scratch, &current, &["--bless"]).status.code(), Some(0));
+    // The bench stops exporting: gated failure, not a silent pass.
+    fs::remove_file(current.join("BENCH_demo.json")).unwrap();
+    let out = run(&scratch, &current, &[]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let report = fs::read_to_string(scratch.path("report.md")).unwrap();
+    assert!(report.contains("<bench export>"), "{report}");
+}

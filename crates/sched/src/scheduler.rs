@@ -31,7 +31,7 @@ use crate::job::{GrantedPlacement, JobId, JobRecord, JobSpec, JobStatus, Priorit
 use crate::mesh::MeshHost;
 use crate::tenant::{TenantConfig, TenantStats};
 use qcdoc_geometry::{OccupancyMap, Partition, PartitionSpec, TorusShape};
-use qcdoc_telemetry::MetricsRegistry;
+use qcdoc_telemetry::{FlightKind, FlightRecorder, MetricsRegistry, HOST_NODE};
 use std::collections::BTreeMap;
 
 /// Tunables of the scheduling policy.
@@ -195,6 +195,9 @@ pub struct Scheduler {
     busy_node_ticks: u64,
     events: Vec<SchedEvent>,
     metrics: MetricsRegistry,
+    /// Black box of preemptions, checkpoints, and resumes, stamped with
+    /// the virtual clock — dumped when a soak or acceptance run fails.
+    flight: FlightRecorder,
 }
 
 impl Scheduler {
@@ -214,6 +217,7 @@ impl Scheduler {
             busy_node_ticks: 0,
             events: Vec::new(),
             metrics: MetricsRegistry::new(),
+            flight: FlightRecorder::default(),
         }
     }
 
@@ -261,6 +265,18 @@ impl Scheduler {
         &self.events
     }
 
+    /// Read-only view of the scheduler's flight recorder (preemptions,
+    /// checkpoint stores, resumes, clock-stamped).
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Deterministic dump of the scheduler's flight ring — the artifact a
+    /// failed soak run attaches via [`qcdoc_telemetry::FlightDumpGuard`].
+    pub fn flight_dump(&self) -> String {
+        self.flight.dump(None)
+    }
+
     /// One job's record.
     pub fn job(&self, id: JobId) -> Option<&JobRecord> {
         self.jobs.get(&id.0)
@@ -291,6 +307,14 @@ impl Scheduler {
     /// it sees the job's `Preempted` event). The blob is opaque here.
     pub fn store_checkpoint(&mut self, id: JobId, blob: Vec<u8>) {
         if let Some(job) = self.jobs.get_mut(&id.0) {
+            self.flight.record(
+                HOST_NODE,
+                self.clock,
+                FlightKind::Checkpoint,
+                "sched_store",
+                id.0,
+                blob.len() as u64,
+            );
             job.checkpoint = Some(blob);
         }
     }
@@ -497,6 +521,16 @@ impl Scheduler {
         stats.max_running_nodes = stats.max_running_nodes.max(stats.running_nodes);
         self.pending.retain(|&p| p != id);
         self.running.push(id);
+        if resumed {
+            self.flight.record(
+                HOST_NODE,
+                self.clock,
+                FlightKind::Resume,
+                "sched_replace",
+                jid.0,
+                placement.id as u64,
+            );
+        }
         self.events.push(if resumed {
             SchedEvent::Resumed {
                 job: jid,
@@ -535,6 +569,14 @@ impl Scheduler {
         self.preemptions += 1;
         self.running.retain(|&r| r != victim);
         self.pending.push(victim);
+        self.flight.record(
+            HOST_NODE,
+            self.clock,
+            FlightKind::Preemption,
+            "evict",
+            jid.0,
+            by.0,
+        );
         self.events.push(SchedEvent::Preempted {
             job: jid,
             at: self.clock,

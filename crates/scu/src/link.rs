@@ -25,6 +25,7 @@
 use crate::dma::{DmaDescriptor, DmaEngine};
 use crate::packet::{Frame, Packet};
 use qcdoc_asic::memory::NodeMemory;
+use qcdoc_telemetry::Histogram;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -203,6 +204,9 @@ pub struct SendUnit {
     /// Pump rounds the unit still holds off before retransmitting.
     backoff_remaining: u64,
     backoff_waits: u64,
+    /// Distribution of backoff delays granted (pump rounds per rewind) —
+    /// the tail of this histogram is what a flaky wire actually costs.
+    backoff_delays: Histogram,
     dead: bool,
 }
 
@@ -232,6 +236,7 @@ impl SendUnit {
             block_replays: 0,
             backoff_remaining: 0,
             backoff_waits: 0,
+            backoff_delays: Histogram::default(),
             dead: false,
         }
     }
@@ -379,6 +384,7 @@ impl SendUnit {
             let shift = (self.rewinds_since_progress - 1).min(20);
             let wait = (self.policy.backoff_base as u64) << shift;
             self.backoff_remaining = wait.min(self.policy.backoff_cap as u64);
+            self.backoff_delays.observe(self.backoff_remaining);
         }
     }
 
@@ -401,6 +407,12 @@ impl SendUnit {
     /// Pump rounds spent holding the wire in backoff.
     pub fn backoff_waits(&self) -> u64 {
         self.backoff_waits
+    }
+
+    /// Distribution of backoff delays granted by [`RetryPolicy`], one
+    /// observation per rewind that earned a hold-off.
+    pub fn backoff_delays(&self) -> &Histogram {
+        &self.backoff_delays
     }
 
     /// Whether the normal-data staging queue is empty.

@@ -415,6 +415,17 @@ impl Scu {
         self.send[link].block_replays()
     }
 
+    /// Distribution of retry backoff delays across all 12 send units —
+    /// the per-node series the flight/judge pipeline gates tail latency
+    /// on. Empty on a clean wire.
+    pub fn backoff_delay_histogram(&self) -> qcdoc_telemetry::Histogram {
+        let mut merged = qcdoc_telemetry::Histogram::default();
+        for unit in &self.send {
+            merged.merge(unit.backoff_delays());
+        }
+        merged
+    }
+
     /// Whether the armed receive of `link` has fully landed in memory.
     pub fn recv_complete(&self, link: usize) -> bool {
         self.recv[link].complete()

@@ -157,9 +157,32 @@ pub fn phase_summary(spans: &[Span]) -> Vec<(Phase, u64, u64)> {
 }
 
 /// Serialize metrics plus a phase breakdown as one JSON document — the
-/// schema behind `BENCH_telemetry.json`.
+/// original (v1) schema behind ad-hoc telemetry artifacts.
+///
+/// Benchmark exports that feed the judge should use
+/// [`bench_summary_json`] instead: it stamps the schema version and bench
+/// name the judge refuses to diff without, and expands histograms.
 pub fn summary_json(reg: &MetricsRegistry, spans: &[Span]) -> String {
-    let mut out = String::from("{\n  \"schema\": \"qcdoc-telemetry-v1\",\n  \"metrics\": [\n");
+    render_summary(None, reg, spans)
+}
+
+/// Serialize a benchmark export in the v2 schema the judge consumes:
+/// stamped with the schema version and the bench's name (so mismatched
+/// baselines are refused rather than silently diffed), histograms
+/// expanded with deterministic p50/p95/p99 and their non-empty buckets,
+/// and the phase table populated from the spans actually recorded.
+pub fn bench_summary_json(bench: &str, reg: &MetricsRegistry, spans: &[Span]) -> String {
+    render_summary(Some(bench), reg, spans)
+}
+
+fn render_summary(bench: Option<&str>, reg: &MetricsRegistry, spans: &[Span]) -> String {
+    let mut out = match bench {
+        Some(name) => format!(
+            "{{\n  \"schema\": \"qcdoc-telemetry-v2\",\n  \"bench\": \"{}\",\n  \"metrics\": [\n",
+            json_escape(name)
+        ),
+        None => String::from("{\n  \"schema\": \"qcdoc-telemetry-v1\",\n  \"metrics\": [\n"),
+    };
     let entries: Vec<String> = reg
         .iter()
         .map(|(key, value)| {
@@ -172,6 +195,23 @@ pub fn summary_json(reg: &MetricsRegistry, spans: &[Span]) -> String {
                 MetricValue::Counter(c) => format!("\"type\": \"counter\", \"value\": {c}"),
                 MetricValue::Gauge(g) => {
                     format!("\"type\": \"gauge\", \"value\": {}", json_f64(*g))
+                }
+                MetricValue::Histogram(h) if bench.is_some() => {
+                    let buckets: Vec<String> = h
+                        .nonzero_buckets()
+                        .into_iter()
+                        .map(|(bound, count)| format!("[{bound}, {count}]"))
+                        .collect();
+                    format!(
+                        "\"type\": \"histogram\", \"count\": {}, \"sum\": {}, \
+                         \"p50\": {}, \"p95\": {}, \"p99\": {}, \"buckets\": [{}]",
+                        h.count(),
+                        h.sum(),
+                        h.p50(),
+                        h.p95(),
+                        h.p99(),
+                        buckets.join(", ")
+                    )
                 }
                 MetricValue::Histogram(h) => format!(
                     "\"type\": \"histogram\", \"count\": {}, \"sum\": {}",
@@ -297,6 +337,36 @@ mod tests {
         assert!(json.contains("\"phase\": \"comms\", \"spans\": 1, \"cycles\": 50"));
         assert!(json.contains("\"spans_total\": 1"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn bench_summary_json_stamps_schema_bench_and_quantiles() {
+        let mut reg = MetricsRegistry::new();
+        reg.gauge_set("ratio", &[], 1.04);
+        for v in [2u64, 2, 2, 100] {
+            reg.observe("decision_us", &[("load", "empty".to_string())], v);
+        }
+        let spans = [span("s", Phase::Compute, 0, 9, 0)];
+        let json = bench_summary_json("sched", &reg, &spans);
+        assert!(json.contains("\"schema\": \"qcdoc-telemetry-v2\""));
+        assert!(json.contains("\"bench\": \"sched\""));
+        assert!(json.contains("\"p50\": 3, \"p95\": 127, \"p99\": 127"));
+        assert!(json.contains("\"buckets\": [[3, 3], [127, 1]]"));
+        assert!(json.contains("\"phase\": \"compute\", \"spans\": 1, \"cycles\": 9"));
+        assert!(json.contains("\"spans_total\": 1"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // Byte-determinism: same inputs, same bytes.
+        assert_eq!(json, bench_summary_json("sched", &reg, &spans));
+    }
+
+    #[test]
+    fn prometheus_escapes_label_values() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add("odd", &[("msg", "say \"hi\"\\path\nnext".to_string())], 1);
+        let text = prometheus_text(&reg);
+        assert!(text.contains("odd{msg=\"say \\\"hi\\\"\\\\path\\nnext\"} 1\n"));
+        // The raw specials must never appear unescaped inside the quotes.
+        assert!(!text.contains("say \"hi\""));
     }
 
     #[test]

@@ -25,24 +25,30 @@
 #![warn(missing_docs)]
 
 pub mod export;
+pub mod flight;
 pub mod metrics;
 pub mod node;
 pub mod trace;
 
-pub use export::{chrome_trace, phase_summary, prometheus_text, summary_json};
+pub use export::{bench_summary_json, chrome_trace, phase_summary, prometheus_text, summary_json};
+pub use flight::{
+    dump_events, FlightDumpGuard, FlightEvent, FlightKind, FlightRecorder, HOST_NODE,
+};
 pub use metrics::{Histogram, MetricKey, MetricValue, MetricsRegistry};
 pub use node::{NodeTelemetry, SpanToken};
 pub use trace::{NullSink, Phase, RingSink, Span, TraceSink};
 
 /// Machine-level telemetry: the merge of every node's metrics (stamped
-/// with `node="N"` labels) and spans, as returned by the execution
-/// engines' `*_with_telemetry` entry points.
+/// with `node="N"` labels), spans, and flight-recorder events, as
+/// returned by the execution engines' `*_with_telemetry` entry points.
 #[derive(Debug, Default)]
 pub struct MachineTelemetry {
     /// Aggregated metrics across all nodes (plus machine-level series).
     pub metrics: MetricsRegistry,
     /// All recorded spans, ordered by node then record order.
     pub spans: Vec<Span>,
+    /// All flight-recorder events, ordered by node then record order.
+    pub flight: Vec<FlightEvent>,
 }
 
 impl MachineTelemetry {
@@ -57,6 +63,17 @@ impl MachineTelemetry {
         self.metrics
             .merge_labeled(&metrics, "node", &node.to_string());
         self.spans.extend(spans);
+    }
+
+    /// Append one node's flight-recorder events to the machine black box.
+    pub fn absorb_flight(&mut self, events: Vec<FlightEvent>) {
+        self.flight.extend(events);
+    }
+
+    /// Deterministic flight dump, optionally filtered to one node — the
+    /// artifact a failed run leaves behind.
+    pub fn flight_dump(&self, node: Option<u32>) -> String {
+        dump_events(&self.flight, node)
     }
 
     /// Chrome-trace JSON of all spans.

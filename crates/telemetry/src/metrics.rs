@@ -78,20 +78,58 @@ impl Histogram {
             .iter()
             .enumerate()
             .filter(|(_, &c)| c > 0)
-            .map(|(i, &c)| {
-                let bound = if i == 0 {
-                    0
-                } else if i == 64 {
-                    u64::MAX
-                } else {
-                    (1u64 << i) - 1
-                };
-                (bound, c)
-            })
+            .map(|(i, &c)| (Histogram::bucket_bound(i), c))
             .collect()
     }
 
-    fn merge(&mut self, other: &Histogram) {
+    /// Inclusive upper bound of bucket `i` (0, 1, 3, 7, …, `u64::MAX`).
+    fn bucket_bound(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i == 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// The upper bound of the bucket containing the `q`-quantile
+    /// observation (0 for an empty histogram). Quantiles are
+    /// bucket-resolution — exact to within the power-of-two bucketing —
+    /// and fully deterministic, so they can be diffed and gated.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Histogram::bucket_bound(i);
+            }
+        }
+        u64::MAX
+    }
+
+    /// Median observation (bucket upper bound).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile observation (bucket upper bound).
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile observation (bucket upper bound) — the tail the
+    /// benchmark judge gates.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Fold another histogram's observations into this one.
+    pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
             *a += b;
         }
@@ -181,6 +219,19 @@ impl MetricsRegistry {
             .or_insert_with(|| MetricValue::Histogram(Box::default()))
         {
             MetricValue::Histogram(h) => h.observe(v),
+            other => panic!("metric {name} is a {}, not a histogram", other.type_name()),
+        }
+    }
+
+    /// Fold a whole pre-built histogram into a histogram series (how the
+    /// SCU's per-link backoff distributions reach the registry).
+    pub fn histogram_merge(&mut self, name: &str, labels: &[(&str, String)], h: &Histogram) {
+        match self
+            .entries
+            .entry(MetricKey::new(name, labels))
+            .or_insert_with(|| MetricValue::Histogram(Box::default()))
+        {
+            MetricValue::Histogram(mine) => mine.merge(h),
             other => panic!("metric {name} is a {}, not a histogram", other.type_name()),
         }
     }
@@ -295,6 +346,37 @@ mod tests {
             h.nonzero_buckets(),
             vec![(0, 1), (1, 1), (3, 2), (7, 1), (1023, 1)]
         );
+    }
+
+    #[test]
+    fn histogram_quantiles_hit_bucket_bounds() {
+        let mut h = Histogram::default();
+        assert_eq!(h.p50(), 0);
+        for _ in 0..90 {
+            h.observe(3); // bucket bound 3
+        }
+        for _ in 0..9 {
+            h.observe(100); // bucket bound 127
+        }
+        h.observe(5000); // bucket bound 8191
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.p50(), 3);
+        assert_eq!(h.p95(), 127);
+        assert_eq!(h.p99(), 127);
+        assert_eq!(h.quantile(1.0), 8191);
+    }
+
+    #[test]
+    fn histogram_merge_via_registry() {
+        let mut pre = Histogram::default();
+        pre.observe(10);
+        pre.observe(20);
+        let mut reg = MetricsRegistry::new();
+        reg.observe("lat", &[], 1);
+        reg.histogram_merge("lat", &[], &pre);
+        let h = reg.histogram("lat", &[]).unwrap();
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 31);
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //! local metrics registry, bundled so instrumented code pays a single
 //! branch when telemetry is disabled.
 
-use crate::metrics::MetricsRegistry;
+use crate::flight::{FlightEvent, FlightKind, FlightRecorder};
+use crate::metrics::{Histogram, MetricsRegistry};
 use crate::trace::{NullSink, Phase, RingSink, Span, TraceSink};
 
 /// Opaque marker returned by [`NodeTelemetry::begin`]; pass it back to
@@ -26,6 +27,10 @@ pub struct NodeTelemetry {
     phase_override: Option<Phase>,
     sink: Box<dyn TraceSink>,
     metrics: MetricsRegistry,
+    /// The black box: always on, even on a disabled handle — flight
+    /// events live on exceptional paths only, so the ring costs nothing
+    /// on a clean run and is there the day a run fails.
+    flight: FlightRecorder,
 }
 
 impl NodeTelemetry {
@@ -40,6 +45,7 @@ impl NodeTelemetry {
             phase_override: None,
             sink: Box::new(NullSink),
             metrics: MetricsRegistry::new(),
+            flight: FlightRecorder::default(),
         }
     }
 
@@ -58,6 +64,7 @@ impl NodeTelemetry {
             phase_override: None,
             sink,
             metrics: MetricsRegistry::new(),
+            flight: FlightRecorder::default(),
         }
     }
 
@@ -162,6 +169,32 @@ impl NodeTelemetry {
         &self.metrics
     }
 
+    /// Fold a pre-built histogram into a node-local histogram series
+    /// (no-op when disabled).
+    pub fn merge_histogram(&mut self, name: &str, h: &Histogram) {
+        if self.enabled {
+            self.metrics.histogram_merge(name, &[], h);
+        }
+    }
+
+    /// Record a flight-recorder event (black box; works even when the
+    /// handle is disabled — the flight ring is the part of observability
+    /// that must be on when nobody thought to enable it).
+    pub fn flight(&mut self, kind: FlightKind, detail: &'static str, a: u64, b: u64) {
+        self.flight
+            .record(self.node, self.clock, kind, detail, a, b);
+    }
+
+    /// Read-only view of the node's flight ring.
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Drain the flight ring, oldest first.
+    pub fn take_flight(&mut self) -> Vec<FlightEvent> {
+        self.flight.drain()
+    }
+
     /// Tear the handle down into its recorded metrics and spans, leaving
     /// it empty (and still enabled/disabled as before).
     pub fn take_parts(&mut self) -> (MetricsRegistry, Vec<Span>) {
@@ -242,6 +275,20 @@ mod tests {
         let (_, spans) = t.take_parts();
         assert_eq!(spans[0].phase, Phase::GlobalSum);
         assert_eq!(spans[1].phase, Phase::Comms);
+    }
+
+    #[test]
+    fn flight_ring_records_even_when_disabled() {
+        let mut t = NodeTelemetry::disabled(9);
+        t.flight(FlightKind::Retry, "link_rewind", 4, 1);
+        t.flight(FlightKind::Wedge, "silent_wire", 0, 0);
+        assert_eq!(t.flight_recorder().len(), 2);
+        let events = t.take_flight();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].node, 9);
+        assert_eq!(events[0].kind, FlightKind::Retry);
+        assert_eq!(events[1].detail, "silent_wire");
+        assert!(t.flight_recorder().is_empty());
     }
 
     #[test]

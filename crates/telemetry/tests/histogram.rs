@@ -1,0 +1,76 @@
+//! Property tests for the histogram type the exporters and the benchmark
+//! judge depend on: bucket monotonicity, quantile ordering, and
+//! merge/observe equivalence.
+
+use proptest::prelude::*;
+use qcdoc_telemetry::Histogram;
+
+fn filled(values: &[u64]) -> Histogram {
+    let mut h = Histogram::default();
+    for &v in values {
+        h.observe(v);
+    }
+    h
+}
+
+proptest! {
+    /// Cumulative bucket counts are non-decreasing in bound order and end
+    /// at the observation count — the invariant Prometheus `_bucket`
+    /// consumers and the judge's quantile reader both assume.
+    #[test]
+    fn buckets_are_monotone_and_total(values in prop::collection::vec(0u64..1u64 << 48, 0..200)) {
+        let h = filled(&values);
+        let buckets = h.nonzero_buckets();
+        let mut last_bound = None;
+        let mut cumulative = 0u64;
+        for (bound, count) in &buckets {
+            prop_assert!(*count > 0, "nonzero_buckets must skip empty buckets");
+            if let Some(prev) = last_bound {
+                prop_assert!(*bound > prev, "bounds must strictly ascend");
+            }
+            last_bound = Some(*bound);
+            cumulative += count;
+        }
+        prop_assert_eq!(cumulative, h.count());
+        prop_assert_eq!(h.count(), values.len() as u64);
+    }
+
+    /// Every observation is <= the bound of its bucket's reported upper
+    /// bound; quantiles respect ordering (p50 <= p95 <= p99 <= max bound).
+    #[test]
+    fn quantiles_are_ordered_and_bounded(values in prop::collection::vec(0u64..1u64 << 48, 1..200)) {
+        let h = filled(&values);
+        let p50 = h.p50();
+        let p95 = h.p95();
+        let p99 = h.p99();
+        let max_bound = h.nonzero_buckets().last().unwrap().0;
+        prop_assert!(p50 <= p95 && p95 <= p99 && p99 <= max_bound);
+        // The top bucket bound dominates the true maximum.
+        let max_obs = *values.iter().max().unwrap();
+        prop_assert!(max_bound >= max_obs);
+    }
+
+    /// Merging two histograms equals observing the concatenation.
+    #[test]
+    fn merge_equals_concatenated_observe(
+        a in prop::collection::vec(0u64..1u64 << 32, 0..100),
+        b in prop::collection::vec(0u64..1u64 << 32, 0..100),
+    ) {
+        let mut merged = filled(&a);
+        merged.merge(&filled(&b));
+        let mut both = a.clone();
+        both.extend_from_slice(&b);
+        prop_assert_eq!(merged, filled(&both));
+    }
+}
+
+#[test]
+fn quantile_of_uniform_ramp_is_exact_to_bucket() {
+    // 1..=1000: the true p50 is 500 (bucket bound 511), p99 is 990
+    // (bucket bound 1023).
+    let values: Vec<u64> = (1..=1000).collect();
+    let h = filled(&values);
+    assert_eq!(h.p50(), 511);
+    assert_eq!(h.p95(), 1023);
+    assert_eq!(h.p99(), 1023);
+}

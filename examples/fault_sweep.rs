@@ -11,8 +11,9 @@
 //!
 //! Every sweep point runs through the traced engine, so the whole
 //! BER-vs-throughput curve lands in one telemetry registry (gauges
-//! labelled by `ber`) and is written to `BENCH_telemetry.json` via the
-//! standard summary exporter — the file a host-side dashboard would scrape.
+//! labelled by `ber`) and is written to `BENCH_fault_sweep.json` via the
+//! stamped v2 exporter — the file a host-side dashboard would scrape,
+//! and one `bench-judge` can diff once a baseline is blessed for it.
 //!
 //! ```text
 //! cargo run --release --example fault_sweep
@@ -30,7 +31,7 @@ use qcdoc::geometry::TorusShape;
 use qcdoc::lattice::checkpoint::CgCheckpoint;
 use qcdoc::lattice::counts::Action;
 use qcdoc::lattice::field::{FermionField, GaugeField, Lattice};
-use qcdoc::telemetry::{summary_json, MetricsRegistry, RingSink, TraceSink};
+use qcdoc::telemetry::{bench_summary_json, MetricsRegistry, RingSink, TraceSink};
 
 fn main() {
     // Price one CG iteration with the paper-benchmark machine, then hand
@@ -105,10 +106,10 @@ fn main() {
     recovery_demo(&mut sweep);
     integrity_demo(&mut sweep);
 
-    let json = summary_json(&sweep, &clean_spans);
-    std::fs::write("BENCH_telemetry.json", &json).expect("write BENCH_telemetry.json");
+    let json = bench_summary_json("fault_sweep", &sweep, &clean_spans);
+    std::fs::write("BENCH_fault_sweep.json", &json).expect("write BENCH_fault_sweep.json");
     println!(
-        "\nWrote BENCH_telemetry.json ({} bytes): the BER-vs-throughput curve as\n\
+        "\nWrote BENCH_fault_sweep.json ({} bytes): the BER-vs-throughput curve as\n\
          `ber`-labelled gauges plus the clean run's compute/comms/global-sum\n\
          phase decomposition.",
         json.len()

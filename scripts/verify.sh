@@ -46,4 +46,13 @@ cargo test -q --test scheduler
 echo "== scheduler: overhead smoke (managed CG within 5% of the bare solve)"
 cargo bench -p qcdoc-bench --bench sched_overhead
 
+echo "== fault: injection machinery smoke (idle tap price + deterministic DES cycles)"
+cargo bench -p qcdoc-bench --bench fault_overhead
+
+echo "== flight recorder: black-box acceptance (schedule match, determinism, host ring)"
+cargo test -q --test flight
+
+echo "== bench judge: current exports vs committed baselines (bless with bench-judge --bless)"
+cargo run -q --release -p qcdoc-judge --bin bench-judge
+
 echo "verify: all green"

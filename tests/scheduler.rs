@@ -26,6 +26,7 @@ use qcdoc::sched::{
     JobSpec, JobStatus, Priority, SchedConfig, SchedEvent, Scheduler, ShapeRequest, SimMesh,
     TenantConfig,
 };
+use qcdoc::telemetry::FlightDumpGuard;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -164,6 +165,13 @@ fn run_soak(machine: TorusShape, jobs: usize, seed: u64, aging_ticks: u64) -> Sc
 fn soak_240_jobs_on_the_full_machine_no_starvation_no_quota_breach() {
     let aging = 48;
     let sched = run_soak(big_machine(), 240, 2004, aging);
+
+    // If any assertion below fails, the scheduler's flight ring
+    // (checkpoints, preemptions, resumes) lands in target/ as a black
+    // box instead of leaving only a backtrace.
+    let mut flight_guard = FlightDumpGuard::new("target/flight_sched_soak.txt");
+    let flight: Vec<_> = sched.flight_recorder().events().copied().collect();
+    flight_guard.extend(&flight);
 
     // Zero starvation: every admitted job started and completed.
     let mut max_wait = 0;
