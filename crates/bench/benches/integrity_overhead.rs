@@ -98,19 +98,26 @@ fn smoke_check() {
     black_box(cg_abft(&op, &b));
     let mut verdict = None;
     let mut measured = (0.0, 0.0);
-    for attempt in 1..=3 {
-        let raw = min_seconds(
-            || {
-                black_box(cg_raw(&op, &b));
-            },
-            7,
-        );
-        let abft = min_seconds(
-            || {
-                black_box(cg_abft(&op, &b));
-            },
-            7,
-        );
+    // Raw and ABFT timings interleave so clock drift and cache-placement
+    // luck tax both sides of the ratio equally (the durability smoke
+    // learned this the hard way).
+    for attempt in 1..=5 {
+        let mut raw = f64::INFINITY;
+        let mut abft = f64::INFINITY;
+        for _ in 0..7 {
+            raw = raw.min(min_seconds(
+                || {
+                    black_box(cg_raw(&op, &b));
+                },
+                1,
+            ));
+            abft = abft.min(min_seconds(
+                || {
+                    black_box(cg_abft(&op, &b));
+                },
+                1,
+            ));
+        }
         let ratio = abft / raw;
         println!(
             "integrity_overhead smoke attempt {attempt}: raw {:.1} ms, abft {:.1} ms, ratio {ratio:.4}",
@@ -123,7 +130,7 @@ fn smoke_check() {
             break;
         }
     }
-    let ratio = verdict.expect("ABFT-on clean CG exceeded 5% overhead in 3 attempts");
+    let ratio = verdict.expect("ABFT-on clean CG exceeded 5% overhead in 5 attempts");
     println!("integrity_overhead smoke PASS: abft ratio {ratio:.4} < 1.05");
 
     // Price the DMA checksum layer the same way (informational — the

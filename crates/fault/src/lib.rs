@@ -24,14 +24,20 @@
 //!   engines install on the simulated wires;
 //! * [`HealthLedger`] — the machine-wide aggregation of per-link resend
 //!   counts, checksum verdicts, stall time, and node liveness that the
-//!   host's Ethernet/JTAG diagnostics path reads out.
+//!   host's Ethernet/JTAG diagnostics path reads out;
+//! * [`StorageFaultPlan`] / [`StorageClock`] — the same seeded idiom for
+//!   the *host-disk* half of reliability (hep-lat/0306023 §4): torn
+//!   writes, bit rot at rest, stale handles, transient I/O errors, and
+//!   disk-full, injected into the host's NFS server.
 
 #![warn(missing_docs)]
 
 pub mod clock;
 pub mod health;
 pub mod plan;
+pub mod storage;
 
 pub use clock::{FaultClock, NodeTap};
 pub use health::{HealthLedger, LinkHealth, Liveness, NodeHealth};
 pub use plan::{FaultEvent, FaultKind, FaultPlan, LinkSelect, NodeSelect};
+pub use storage::{StorageClock, StorageFault, StorageFaultPlan};

@@ -25,6 +25,7 @@
 
 #![warn(missing_docs)]
 
+pub mod ckstore;
 pub mod debug;
 pub mod ethernet;
 pub mod jtag;

@@ -575,6 +575,62 @@ mod tests {
     }
 
     #[test]
+    fn error_paths_answer_in_prose_never_panic() {
+        use qcdoc_sched::SchedConfig;
+        let mut q = Qdaemon::new(machine());
+        let mut sched = Scheduler::new(machine(), SchedConfig::default());
+        let mut sh = Qcsh::new(1001, &[]);
+
+        // Before anything runs: every dump verb has an "empty" answer.
+        assert_eq!(
+            sh.execute(&mut q, &parse("qflight").unwrap()),
+            "(no flight events)\n"
+        );
+        assert_eq!(
+            sh.execute_batch(&mut q, &mut sched, &parse("qjobs").unwrap()),
+            "no jobs"
+        );
+
+        // Unknown / out-of-range targets come back as errors in prose.
+        // A node number beyond the 32-node machine is simply a filter
+        // that matches nothing, like an uninvolved node.
+        assert_eq!(
+            sh.execute(&mut q, &parse("qflight 999").unwrap()),
+            "(no flight events)\n"
+        );
+        assert_eq!(
+            sh.execute(&mut q, &parse("qhw 7").unwrap()),
+            "error: no partition 7"
+        );
+        assert_eq!(
+            sh.execute(&mut q, &parse("qcat 7").unwrap()),
+            "error: no partition 7"
+        );
+        assert_eq!(
+            sh.execute_batch(&mut q, &mut sched, &parse("qdel 42").unwrap()),
+            "error: no cancellable job42"
+        );
+
+        // The same verbs still answer before boot AND after a boot with
+        // real traffic — the unknown-target replies are stable.
+        sh.execute(&mut q, &Command::Boot);
+        sh.execute(&mut q, &Command::Partition { rank: 6 });
+        assert_eq!(
+            sh.execute(&mut q, &parse("qhw 9").unwrap()),
+            "error: no partition 9"
+        );
+        assert_eq!(
+            sh.execute(&mut q, &parse("qflight 999").unwrap()),
+            "(no flight events)\n"
+        );
+
+        // Malformed arguments are parse errors, not daemon traffic.
+        for bad in ["qhw seven", "qcat -1", "qdel job0", "qflight x1"] {
+            assert!(parse(bad).is_err(), "{bad} should fail to parse");
+        }
+    }
+
+    #[test]
     fn daemon_file_access_uses_user_permissions() {
         let mut sh = Qcsh::new(1001, &["/home/physics"]);
         assert!(sh.open_for_daemon("/home/physics/configs/lat.0").is_ok());

@@ -9,9 +9,11 @@
 //! with the same-named export under the current directory (the workspace
 //! root, where the benches write), judges them under the manifest policy,
 //! writes the markdown report, and exits 0 (clean), 1 (gated regression),
-//! or 2 (usage / IO / parse error). `--bless` instead copies the current
-//! exports over the baselines byte-for-byte and exits 0.
+//! or 2 (usage / IO / parse error). `--bless` instead archives the
+//! outgoing baselines into the next `bench/history/NNNN/` slot, copies
+//! the current exports over the baselines byte-for-byte, and exits 0.
 
+use qcdoc_judge::history::archive_baselines;
 use qcdoc_judge::{judge, parse_bench_doc, parse_manifest, BenchDoc};
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -92,6 +94,16 @@ fn run(opts: &Options) -> Result<bool, String> {
                 "no BENCH_*.json under {} — run the benches first",
                 opts.current.display()
             ));
+        }
+        // Snapshot the outgoing baselines into bench/history/NNNN/ so
+        // the old trajectory anchor survives the overwrite.
+        let history = opts
+            .baselines
+            .parent()
+            .map(|p| p.join("history"))
+            .unwrap_or_else(|| PathBuf::from("history"));
+        if let Some(slot) = archive_baselines(&opts.baselines, &history)? {
+            println!("archived outgoing baselines to {}", slot.display());
         }
         fs::create_dir_all(&opts.baselines)
             .map_err(|e| format!("cannot create {}: {e}", opts.baselines.display()))?;

@@ -10,10 +10,12 @@
 //! regressed. The `bench-judge` binary wires it into `scripts/verify.sh`
 //! so the perf story of the repo is a gated trajectory, not an anecdote;
 //! `--bless` moves the baseline intentionally (a byte-for-byte copy, so
-//! blessing is deterministic).
+//! blessing is deterministic), archiving the outgoing baseline set into
+//! a numbered slot under `bench/history/` first (see [`history`]).
 
 #![warn(missing_docs)]
 
+pub mod history;
 pub mod json;
 
 use json::Json;

@@ -35,12 +35,36 @@ pub trait KrylovVector: Clone {
     /// Restore values previously captured by [`KrylovVector::to_bits`].
     /// Panics if `bits` does not match the field's shape.
     fn load_bits(&mut self, bits: &[u64]);
+    /// [`KrylovVector::to_bits`] into a caller-owned buffer — same
+    /// contents and order, but the allocation is reused. The ABFT audit
+    /// re-snapshots its rollback target every few iterations, so this
+    /// keeps the clean path free of allocator traffic (whose cost is
+    /// wildly machine-mood-dependent) after the first capture.
+    fn store_bits(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend(self.to_bits());
+    }
     /// Linear content checksum: the plain sum of every scalar component.
     /// Linearity is what makes it ABFT-usable — the CG updates propagate
     /// it exactly up to roundoff: `s(x + a·y) = s(x) + a·s(y)` — so a
     /// cheaply-maintained running copy can audit the stored vector.
     fn checksum(&self) -> f64 {
         self.to_bits().iter().map(|&b| f64::from_bits(b)).sum()
+    }
+    /// Fused `self · rhs` and `rhs` content checksum in one traversal —
+    /// bit-identical to [`KrylovVector::dot`] followed by
+    /// [`KrylovVector::checksum`], because the two accumulators are
+    /// independent and visit components in the same order. The ABFT
+    /// audit calls this once per iteration, so an optimized single-pass
+    /// implementation turns its extra sweep over the operator output
+    /// into a ride-along on the dot product.
+    fn dot_with_rhs_checksum(&self, rhs: &Self) -> (C64, f64) {
+        (self.dot(rhs), rhs.checksum())
+    }
+    /// Fused content checksum and squared L2 norm in one traversal —
+    /// bit-identical to the separate calls, for the same reason.
+    fn checksum_norm_sqr(&self) -> (f64, f64) {
+        (self.checksum(), self.norm_sqr())
     }
 }
 
@@ -76,9 +100,50 @@ impl<T: Real> KrylovVector for FermionField<T> {
         }
         s
     }
+    fn dot_with_rhs_checksum(&self, rhs: &Self) -> (C64, f64) {
+        // One traversal, two independent accumulators: `acc` mirrors
+        // `FermionField::dot` and `s` mirrors `checksum`, each in the
+        // same component order as the standalone method, so both results
+        // are bit-identical to the unfused calls.
+        assert_eq!(self.lattice(), rhs.lattice());
+        let mut acc = C64::ZERO;
+        let mut s = 0.0;
+        for i in self.lattice().sites() {
+            let sp = rhs.site(i);
+            acc += self.site(i).dot(sp).to_c64();
+            for cv in &sp.0 {
+                for z in &cv.0 {
+                    s += f64::from_bits(z.re.bits64());
+                    s += f64::from_bits(z.im.bits64());
+                }
+            }
+        }
+        (acc, s)
+    }
+    fn checksum_norm_sqr(&self) -> (f64, f64) {
+        let mut s = 0.0;
+        let mut n = 0.0;
+        for i in self.lattice().sites() {
+            let sp = self.site(i);
+            n += sp.norm_sqr().to_f64();
+            for cv in &sp.0 {
+                for z in &cv.0 {
+                    s += f64::from_bits(z.re.bits64());
+                    s += f64::from_bits(z.im.bits64());
+                }
+            }
+        }
+        (s, n)
+    }
     fn to_bits(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.store_bits(&mut out);
+        out
+    }
+    fn store_bits(&self, out: &mut Vec<u64>) {
         let lat = self.lattice();
-        let mut out = Vec::with_capacity(lat.volume() * 24);
+        out.clear();
+        out.reserve(lat.volume() * 24);
         for i in lat.sites() {
             let sp = self.site(i);
             for cv in &sp.0 {
@@ -88,7 +153,6 @@ impl<T: Real> KrylovVector for FermionField<T> {
                 }
             }
         }
-        out
     }
     fn load_bits(&mut self, bits: &[u64]) {
         let lat = self.lattice();
@@ -483,6 +547,31 @@ fn snapshot<Op: DiracOperator>(
     }
 }
 
+/// Refresh an existing checkpoint in place with the current loop-carried
+/// state — field-for-field identical to a fresh [`snapshot`], but the
+/// vector and residual buffers are reused. The ABFT audit replaces its
+/// rollback target on every clean verification, so reuse keeps the
+/// audit's cost a pure sweep with no allocator round trips.
+fn snapshot_reuse<Op: DiracOperator>(
+    op: &Op,
+    x: &Op::Field,
+    st: &CgLoopState<Op::Field>,
+    ck: &mut CgCheckpoint,
+) {
+    op.name().clone_into(&mut ck.operator);
+    ck.iterations = st.iterations;
+    ck.converged = st.converged;
+    ck.rsq = st.rsq;
+    ck.bref = st.bref;
+    ck.residuals.clear();
+    ck.residuals.extend_from_slice(&st.residuals);
+    ck.applications = st.applications;
+    ck.reductions = st.reductions;
+    x.store_bits(&mut ck.x);
+    st.r.store_bits(&mut ck.r);
+    st.p.store_bits(&mut ck.p);
+}
+
 /// Configuration for [`solve_cgne_abft`]'s checksum audit.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AbftParams {
@@ -571,18 +660,32 @@ impl AbftTracker {
         self.s_p = p.checksum();
     }
 
-    /// Do the stored vectors still agree with the running checksums?
-    fn consistent<F: KrylovVector>(&self, x: &F, r: &F, p: &F) -> bool {
-        let close = |run: f64, v: &F| {
-            let fresh = v.checksum();
+    /// Audit the stored vectors against the carried checksums. Each
+    /// vector's fresh checksum and norm come from one fused traversal;
+    /// on a passing audit with `adopt` set, those same freshly measured
+    /// sums become the new baseline (the periodic audit re-baselines to
+    /// absorb a window's roundoff drift; the exit audit does not).
+    fn audit<F: KrylovVector>(&mut self, x: &F, r: &F, p: &F, adopt: bool) -> bool {
+        let close = |run: f64, (fresh, nrm_sqr): (f64, f64)| {
             // The cap keeps the threshold finite when corruption blows a
             // component up toward overflow — an infinite scale would make
             // the very largest strikes pass the audit. A NaN difference
             // (corruption propagated into the arithmetic) compares false.
-            let scale = (1.0 + fresh.abs() + v.norm_sqr().sqrt()).min(1e150);
+            let scale = (1.0 + fresh.abs() + nrm_sqr.sqrt()).min(1e150);
             (run - fresh).abs() <= self.tolerance * scale
         };
-        close(self.s_x, x) && close(self.s_r, r) && close(self.s_p, p)
+        let (mx, mr, mp) = (
+            x.checksum_norm_sqr(),
+            r.checksum_norm_sqr(),
+            p.checksum_norm_sqr(),
+        );
+        let ok = close(self.s_x, mx) && close(self.s_r, mr) && close(self.s_p, mp);
+        if ok && adopt {
+            self.s_x = mx.0;
+            self.s_r = mr.0;
+            self.s_p = mp.0;
+        }
+        ok
     }
 }
 
@@ -617,7 +720,17 @@ fn cg_loop<Op: DiracOperator>(
         telem.end_with(apply, "solver.apply", Phase::Compute, 2);
 
         let reduce = telem.begin();
-        let pq = st.p.dot(&q).re;
+        // With the audit on, `q`'s content checksum rides along on the
+        // dot product's traversal — same components, same order, so `pq`
+        // is bit-identical either way and the audit's per-iteration
+        // extra pass over `q` disappears.
+        let (pq, s_q) = match abft {
+            Some(_) => {
+                let (d, s) = st.p.dot_with_rhs_checksum(&q);
+                (d.re, Some(s))
+            }
+            None => (st.p.dot(&q).re, None),
+        };
         st.reductions += 1;
         telem.advance(costs.reduction_cycles);
         telem.end_with(reduce, "solver.reduce", Phase::GlobalSum, 1);
@@ -658,9 +771,10 @@ fn cg_loop<Op: DiracOperator>(
         if let Some(ab) = abft.as_mut() {
             // Mirror this iteration's vector updates on the running
             // checksums. `q` is regenerated from `p` every iteration, so
-            // its sum is taken fresh; the loop-carried vectors propagate
-            // theirs by the same `alpha`/`beta` the recurrence used.
-            let s_q = q.checksum();
+            // its sum was taken fresh alongside the dot product; the
+            // loop-carried vectors propagate theirs by the same
+            // `alpha`/`beta` the recurrence used.
+            let s_q = s_q.expect("checksum computed whenever the audit is on");
             ab.s_x += alpha * ab.s_p;
             ab.s_r -= alpha * s_q;
             ab.s_p = ab.s_r + beta * ab.s_p;
@@ -685,12 +799,15 @@ fn cg_loop<Op: DiracOperator>(
             if st.iterations % ab.interval == 0 {
                 ab.verifications += 1;
                 telem.counter_add("solver_abft_verifications", 1);
-                if ab.consistent(x, &st.r, &st.p) {
+                if ab.audit(x, &st.r, &st.p, true) {
                     // Verified state becomes the rollback target; the
-                    // re-baseline absorbs one window's roundoff drift.
-                    ab.rebaseline(x, &st.r, &st.p);
-                    sink.clear();
-                    sink.push(snapshot(op, x, st));
+                    // passing audit adopted its measured sums as the new
+                    // baseline, absorbing one window's roundoff drift.
+                    sink.truncate(1);
+                    match sink.first_mut() {
+                        Some(ck) => snapshot_reuse(op, x, st, ck),
+                        None => sink.push(snapshot(op, x, st)),
+                    }
                 } else {
                     ab.detected_at = Some(st.iterations);
                     telem.counter_add("solver_abft_detections", 1);
@@ -1073,7 +1190,7 @@ pub fn solve_cgne_abft<Op: DiracOperator>(
             // since the last periodic verification.
             ab.verifications += 1;
             telem.counter_add("solver_abft_verifications", 1);
-            if !ab.consistent(x, &st.r, &st.p) {
+            if !ab.audit(x, &st.r, &st.p, false) {
                 detected = Some(st.iterations);
                 telem.counter_add("solver_abft_detections", 1);
             }

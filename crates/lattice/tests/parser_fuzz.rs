@@ -1,0 +1,188 @@
+//! Storage-facing parser fuzz: the NERSC-archive readers meet hostile
+//! bytes.
+//!
+//! The durable checkpoint store (PR 8) deliberately feeds these parsers
+//! damaged input — torn prefixes from a mid-write server crash, single
+//! rotted bits from the disk — and routes on the typed [`IoError`] that
+//! comes back (`Truncated`/`BadHeader` → torn, `Checksum` → rot). That
+//! only works if the parsers *never panic* and *never silently accept*
+//! damaged payload, whatever the damage. These properties drive random
+//! truncation points, random bit flips, and raw byte soup through
+//! [`read_checkpoint`] and [`read_config`] and assert exactly that.
+
+use proptest::prelude::*;
+use qcdoc_lattice::checkpoint::{read_checkpoint, write_checkpoint, CgCheckpoint};
+use qcdoc_lattice::field::{GaugeField, Lattice};
+use qcdoc_lattice::io::{read_config, write_config, IoError};
+
+/// A small but fully populated checkpoint, varied by seed.
+fn sample_checkpoint(seed: u64, iters: usize) -> CgCheckpoint {
+    CgCheckpoint {
+        operator: "wilson".into(),
+        iterations: iters,
+        converged: iters.is_multiple_of(3),
+        rsq: (seed as f64) * 1e-4 + 0.5,
+        bref: (seed as f64) + 2.0,
+        residuals: (0..iters).map(|i| 1.0 / (i as f64 + 2.0)).collect(),
+        applications: 3 + 2 * iters,
+        reductions: 2 + 2 * iters,
+        x: (0..24)
+            .map(|i| seed.wrapping_mul(11).wrapping_add(i))
+            .collect(),
+        r: (0..24)
+            .map(|i| seed.wrapping_mul(13).wrapping_add(i))
+            .collect(),
+        p: (0..24)
+            .map(|i| seed.wrapping_mul(17).wrapping_add(i))
+            .collect(),
+    }
+}
+
+fn header_end(bytes: &[u8], marker: &[u8]) -> usize {
+    bytes
+        .windows(marker.len())
+        .position(|w| w == marker)
+        .expect("writer emits the marker")
+        + marker.len()
+}
+
+proptest! {
+    /// Any truncation of a checkpoint archive is rejected with a typed
+    /// error — a torn header reads as `BadHeader`, a torn payload as
+    /// `Truncated` — and never panics, never parses.
+    #[test]
+    fn checkpoint_truncation_is_always_a_typed_error(
+        seed in 0u64..10_000,
+        iters in 1usize..20,
+        cut in 0usize..100_000,
+    ) {
+        let bytes = write_checkpoint(&sample_checkpoint(seed, iters));
+        let cut = cut % bytes.len(); // strictly shorter than the archive
+        let hdr = header_end(&bytes, b"END_CKPT_HEADER\n");
+        match read_checkpoint(&bytes[..cut]) {
+            Err(IoError::BadHeader(_)) => prop_assert!(cut < hdr),
+            Err(IoError::Truncated) => prop_assert!(cut >= hdr),
+            other => prop_assert!(false, "truncation at {cut} parsed as {other:?}"),
+        }
+    }
+
+    /// Every single-bit flip in the checkpoint *payload* is caught by
+    /// the additive checksum — the flip perturbs exactly one 32-bit
+    /// word by ±2^k, so the wrapping sum can never collide.
+    #[test]
+    fn checkpoint_payload_bit_flip_is_always_detected(
+        seed in 0u64..10_000,
+        iters in 0usize..20,
+        pos in 0usize..100_000,
+        bit in 0u8..8,
+    ) {
+        let mut bytes = write_checkpoint(&sample_checkpoint(seed, iters));
+        let hdr = header_end(&bytes, b"END_CKPT_HEADER\n");
+        let pos = hdr + pos % (bytes.len() - hdr);
+        bytes[pos] ^= 1 << bit;
+        prop_assert!(
+            matches!(read_checkpoint(&bytes), Err(IoError::Checksum { .. })),
+            "payload flip at byte {pos} bit {bit} not caught"
+        );
+    }
+
+    /// A single-bit flip in the ASCII *header* may legitimately still
+    /// parse (the checksum does not cover header scalars — the store
+    /// closes that hole with the digest in the generation filename), but
+    /// it must never panic, and whatever parses must re-serialize into
+    /// an archive that round-trips bit-exactly. Rejections must carry a
+    /// typed reason.
+    #[test]
+    fn checkpoint_header_bit_flip_never_panics_or_lies(
+        seed in 0u64..10_000,
+        iters in 1usize..20,
+        pos in 0usize..10_000,
+        bit in 0u8..8,
+    ) {
+        let mut bytes = write_checkpoint(&sample_checkpoint(seed, iters));
+        let hdr = header_end(&bytes, b"END_CKPT_HEADER\n");
+        let pos = pos % hdr;
+        bytes[pos] ^= 1 << bit;
+        if let Ok(parsed) = read_checkpoint(&bytes) {
+            let rewritten = write_checkpoint(&parsed);
+            let back = read_checkpoint(&rewritten);
+            prop_assert_eq!(back.as_ref(), Ok(&parsed), "accepted parse must round-trip");
+            prop_assert_eq!(back.unwrap().digest(), parsed.digest());
+        }
+    }
+
+    /// Raw byte soup — no structure at all — never panics either parser.
+    #[test]
+    fn byte_soup_never_panics_any_parser(
+        soup in proptest::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        prop_assert!(read_checkpoint(&soup).is_err());
+        prop_assert!(read_config(&soup).is_err());
+    }
+
+    /// Byte soup appended after a *valid* header end-marker exercises
+    /// the payload-sizing paths with attacker-controlled lengths: still
+    /// no panic, still a typed error (the soup cannot carry the right
+    /// checksum except vanishingly rarely, and then the plaquette or
+    /// digest layer above catches it).
+    #[test]
+    fn soup_behind_a_real_header_is_handled(
+        seed in 0u64..1_000,
+        soup in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let bytes = write_checkpoint(&sample_checkpoint(seed, 4));
+        let hdr = header_end(&bytes, b"END_CKPT_HEADER\n");
+        let mut patched = bytes[..hdr].to_vec();
+        patched.extend_from_slice(&soup);
+        match read_checkpoint(&patched) {
+            Err(IoError::Truncated) | Err(IoError::Checksum { .. }) => {}
+            other => prop_assert!(false, "expected Truncated/Checksum, got {other:?}"),
+        }
+    }
+}
+
+proptest! {
+    // Gauge configs are bigger; fewer cases keep the suite fast.
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any truncation of a gauge-config archive is a typed error.
+    #[test]
+    fn config_truncation_is_always_a_typed_error(
+        seed in 0u64..1_000,
+        cut in 0usize..1_000_000,
+    ) {
+        let lat = Lattice::new([2, 2, 2, 2]);
+        let bytes = write_config(&GaugeField::hot(lat, seed));
+        let cut = cut % bytes.len();
+        let hdr = header_end(&bytes, b"END_HEADER\n");
+        match read_config(&bytes[..cut]) {
+            Err(IoError::BadHeader(_)) => prop_assert!(cut < hdr),
+            Err(IoError::Truncated) => prop_assert!(cut >= hdr),
+            other => prop_assert!(false, "truncation at {cut} parsed as {other:?}"),
+        }
+    }
+
+    /// A bit flip anywhere in a gauge-config archive — header *or*
+    /// payload — never panics and never reads back as the original
+    /// field. (Unlike checkpoints, every header scalar here is
+    /// cross-checked: geometry sizes the payload, the checksum covers
+    /// the bytes, the plaquette re-derives from the data.)
+    #[test]
+    fn config_bit_flip_never_returns_the_wrong_field(
+        seed in 0u64..1_000,
+        pos in 0usize..1_000_000,
+        bit in 0u8..8,
+    ) {
+        let lat = Lattice::new([2, 2, 2, 2]);
+        let gauge = GaugeField::hot(lat, seed);
+        let mut bytes = write_config(&gauge);
+        let pos = pos % bytes.len();
+        bytes[pos] ^= 1 << bit;
+        if let Ok(parsed) = read_config(&bytes) {
+            // Only cosmetic header damage (e.g. a flipped bit inside an
+            // ignored key's name or trailing zeros of the plaquette) can
+            // parse; the field itself must be untouched.
+            prop_assert_eq!(parsed.fingerprint(), gauge.fingerprint());
+        }
+    }
+}

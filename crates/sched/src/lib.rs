@@ -18,7 +18,10 @@
 //!   [`qcdoc_geometry::OccupancyMap`], fair-share ordering with strict
 //!   aging (zero starvation), and preemption of lower-priority work via
 //!   exact-bits checkpoints (the blob protocol of
-//!   `qcdoc_lattice::checkpoint` — opaque bytes at this layer).
+//!   `qcdoc_lattice::checkpoint` — opaque bytes at this layer);
+//! * [`vault`] — the [`CheckpointVault`] boundary for *durable* parking
+//!   of preempted jobs' blobs (the host implements it over its NFS
+//!   checkpoint store, so parked jobs survive a qdaemon restart).
 //!
 //! Everything is deterministic: virtual time is an explicit tick clock,
 //! orderings use total comparisons with stable tie-breaks, and the same
@@ -32,8 +35,10 @@ pub mod job;
 pub mod mesh;
 pub mod scheduler;
 pub mod tenant;
+pub mod vault;
 
 pub use job::{JobId, JobRecord, JobSpec, JobStatus, Priority, ShapeRequest};
 pub use mesh::{MeshHost, Placement, SimMesh};
 pub use scheduler::{AdmitError, SchedConfig, SchedEvent, Scheduler};
 pub use tenant::{TenantConfig, TenantStats};
+pub use vault::{CheckpointVault, MemoryVault};

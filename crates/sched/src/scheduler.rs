@@ -30,6 +30,7 @@
 use crate::job::{GrantedPlacement, JobId, JobRecord, JobSpec, JobStatus, Priority, ShapeRequest};
 use crate::mesh::MeshHost;
 use crate::tenant::{TenantConfig, TenantStats};
+use crate::vault::CheckpointVault;
 use qcdoc_geometry::{OccupancyMap, Partition, PartitionSpec, TorusShape};
 use qcdoc_telemetry::{FlightKind, FlightRecorder, MetricsRegistry, HOST_NODE};
 use std::collections::BTreeMap;
@@ -323,6 +324,67 @@ impl Scheduler {
     /// job's `Resumed` event arrives, to rebuild solver state).
     pub fn take_checkpoint(&mut self, id: JobId) -> Option<Vec<u8>> {
         self.jobs.get_mut(&id.0).and_then(|j| j.checkpoint.take())
+    }
+
+    /// Store a checkpoint blob with a job *and* park it in a durable
+    /// vault, so the blob outlives this scheduler process (the paper's
+    /// host-RAID operating model). The in-memory copy stays as the fast
+    /// path; the vault copy is what a restarted qdaemon recovers from.
+    pub fn store_checkpoint_durable(
+        &mut self,
+        id: JobId,
+        blob: Vec<u8>,
+        vault: &mut dyn CheckpointVault,
+    ) -> Result<u64, String> {
+        let gen = vault.store(id, &blob)?;
+        self.flight.record(
+            HOST_NODE,
+            self.clock,
+            FlightKind::Checkpoint,
+            "sched_store_durable",
+            id.0,
+            gen,
+        );
+        self.store_checkpoint(id, blob);
+        Ok(gen)
+    }
+
+    /// Take a job's checkpoint, falling back to the durable vault when
+    /// the in-memory copy is gone (e.g. this scheduler was restarted
+    /// after the blob was parked).
+    pub fn take_checkpoint_durable(
+        &mut self,
+        id: JobId,
+        vault: &mut dyn CheckpointVault,
+    ) -> Option<Vec<u8>> {
+        if let Some(blob) = self.take_checkpoint(id) {
+            return Some(blob);
+        }
+        match vault.load(id) {
+            Ok(Some(blob)) => {
+                self.flight.record(
+                    HOST_NODE,
+                    self.clock,
+                    FlightKind::Resume,
+                    "sched_vault_restore",
+                    id.0,
+                    blob.len() as u64,
+                );
+                Some(blob)
+            }
+            Ok(None) => None,
+            Err(reason) => {
+                self.flight.record(
+                    HOST_NODE,
+                    self.clock,
+                    FlightKind::Info,
+                    "sched_vault_error",
+                    id.0,
+                    reason.len() as u64,
+                );
+                None
+            }
+        }
     }
 
     /// Normalise a shape's extents to the machine rank (pad with 1s).
@@ -1200,6 +1262,40 @@ mod tests {
         );
         assert_eq!(s.take_checkpoint(scav), Some(vec![1, 2, 3]));
         assert_eq!(s.take_checkpoint(scav), None);
+    }
+
+    #[test]
+    fn durable_checkpoints_survive_a_scheduler_restart() {
+        use crate::vault::MemoryVault;
+        let mut vault = MemoryVault::new();
+        let (mut s, mut mesh) = setup();
+        let scav = s
+            .submit(job("a", Priority::Scavenger, whole_shape(), 100))
+            .unwrap();
+        s.schedule(&mut mesh);
+        s.submit(job("b", Priority::Production, whole_shape(), 5))
+            .unwrap();
+        s.schedule(&mut mesh);
+        assert_eq!(s.job(scav).unwrap().status, JobStatus::Preempted);
+        s.store_checkpoint_durable(scav, vec![4, 5, 6], &mut vault)
+            .unwrap();
+        // Fast path: the in-memory copy answers first.
+        assert_eq!(
+            s.take_checkpoint_durable(scav, &mut vault),
+            Some(vec![4, 5, 6])
+        );
+        // "qdaemon restart": a fresh scheduler has no in-memory blob,
+        // but the vault copy survives and the recovery is flight-logged.
+        let (mut restarted, _) = setup();
+        assert_eq!(
+            restarted.take_checkpoint_durable(scav, &mut vault),
+            Some(vec![4, 5, 6])
+        );
+        assert!(restarted.flight_dump().contains("sched_vault_restore"));
+        assert_eq!(
+            restarted.take_checkpoint_durable(JobId(99), &mut vault),
+            None
+        );
     }
 
     #[test]

@@ -52,6 +52,15 @@ cargo bench -p qcdoc-bench --bench fault_overhead
 echo "== flight recorder: black-box acceptance (schedule match, determinism, host ring)"
 cargo test -q --test flight
 
+echo "== durability: crash-mid-write + rotted-generation acceptance (fallback restore, bit-identical)"
+cargo test -q --test durability
+
+echo "== durability: archive parser fuzz (truncation/bit flips never panic, typed errors only)"
+cargo test -q -p qcdoc-lattice --test parser_fuzz
+
+echo "== durability: clean-path overhead smoke (durable checkpointing within 5% of archive-and-drop)"
+cargo bench -p qcdoc-bench --bench durability_overhead
+
 echo "== bench judge: current exports vs committed baselines (bless with bench-judge --bless)"
 cargo run -q --release -p qcdoc-judge --bin bench-judge
 

@@ -1,0 +1,335 @@
+//! Durable-storage acceptance: the host crashes mid-checkpoint-write AND
+//! the newest committed generation bit-rots on the RAID — and the
+//! campaign still resumes, from generation N−1, to a final CG state
+//! **bit-identical** to a run that never stopped.
+//!
+//! This is the host-system half of the paper's reliability story (§3.2,
+//! §4 and hep-lat/0306023): nodes stream checkpoints to NFS-mounted
+//! disks, and the storage layer — not just the SCU links — must be
+//! survivable. The `CheckpointStore`'s atomic generation protocol means
+//! a torn write can only ever cost the *in-flight* save; verified
+//! restore with generational fallback means silent rot costs one
+//! generation of replay, never the campaign.
+
+use qcdoc::core::distributed::{
+    assemble_checkpoint, resume_blocks, wilson_cg_segment, BlockGeom, CgResume, CgSegmentOut,
+};
+use qcdoc::core::functional::{FaultEvent, FaultPlan, FunctionalMachine, NodeCtx};
+use qcdoc::core::recovery::{RecoveryConfig, Replacement, SegmentVerdict};
+use qcdoc::fault::{StorageFault, StorageFaultPlan};
+use qcdoc::geometry::{NodeCoord, PartitionSpec, TorusShape};
+use qcdoc::host::ckstore::{CheckpointStore, StoreConfig, VerifyMode};
+use qcdoc::host::nfs::{NfsError, NfsServer};
+use qcdoc::host::{Qdaemon, RecoveryPlanner};
+use qcdoc::lattice::checkpoint::{write_checkpoint, CgCheckpoint};
+use qcdoc::lattice::field::{FermionField, GaugeField, Lattice};
+use qcdoc::scu::RetryPolicy;
+use qcdoc::telemetry::MetricsRegistry;
+
+const KAPPA: f64 = 0.12;
+const TOL: f64 = 1e-7;
+const MAX_ITERS: usize = 400;
+const SEG_ITERS: usize = 6;
+
+fn global() -> Lattice {
+    Lattice::new([4, 4, 2, 2])
+}
+
+/// One recovery-segment of the distributed Wilson solve (the idiom of
+/// `tests/recovery.rs`): fresh when no checkpoint exists, restored from
+/// exact bits otherwise.
+fn cg_segment_app(
+    ctx: &mut NodeCtx,
+    gauge: &GaugeField,
+    b: &FermionField,
+    state: &Option<CgCheckpoint>,
+    segment_iters: usize,
+) -> CgSegmentOut {
+    let geom = BlockGeom::new(ctx, global());
+    let lg = geom.extract_gauge(gauge);
+    let lb = geom.extract_fermion(b);
+    match state {
+        None => wilson_cg_segment(
+            ctx,
+            &geom,
+            &lg,
+            &lb,
+            KAPPA,
+            TOL,
+            MAX_ITERS,
+            None,
+            segment_iters,
+        ),
+        Some(ckpt) => {
+            let (x, r, p) = resume_blocks(&geom, ckpt);
+            let resume = CgResume {
+                x: &x,
+                r: &r,
+                p: &p,
+                rsq: ckpt.rsq,
+                bref: ckpt.bref,
+                iterations: ckpt.iterations,
+            };
+            wilson_cg_segment(
+                ctx,
+                &geom,
+                &lg,
+                &lb,
+                KAPPA,
+                TOL,
+                MAX_ITERS,
+                Some(resume),
+                segment_iters,
+            )
+        }
+    }
+}
+
+fn campaign_cfg() -> StoreConfig {
+    StoreConfig {
+        root: "/data/ck/campaign".into(),
+        retain: 3,
+        verify: VerifyMode::CgArchive,
+        retry: RetryPolicy::bounded(4, 2, 16),
+    }
+}
+
+#[test]
+fn host_crash_plus_rotted_newest_generation_resumes_bit_identically() {
+    let gauge = GaugeField::hot(global(), 21);
+    let b = FermionField::gaussian(global(), 22);
+    let logical = TorusShape::new(&[2, 2, 2]);
+
+    // Reference: the uninterrupted run.
+    let ref_outs = FunctionalMachine::new(logical.clone())
+        .run(|ctx| cg_segment_app(ctx, &gauge, &b, &None, usize::MAX));
+    assert!(ref_outs.iter().all(|o| o.converged && !o.wedged));
+    let ref_ckpt = assemble_checkpoint(&logical, global(), &ref_outs, &[]);
+
+    // --- The campaign, checkpointing durably every SEG_ITERS. ---------
+    let mut nfs = NfsServer::new(&["/data"], 1 << 24);
+    let mut store = CheckpointStore::open(campaign_cfg(), &mut nfs);
+    let mut state: Option<CgCheckpoint> = None;
+    let mut prior_residuals: Vec<f64> = Vec::new();
+    for seg in 0..3u64 {
+        if seg == 1 {
+            // An NFS server crash tears this save's temp write; the
+            // store's bounded retry re-drives it — no generation harmed.
+            nfs.inject(
+                &StorageFaultPlan::new(5).with_event(StorageFault::TornWrite {
+                    write_op: nfs.write_ops(),
+                    keep: None,
+                }),
+            );
+        }
+        let outs = FunctionalMachine::new(logical.clone())
+            .run(|ctx| cg_segment_app(ctx, &gauge, &b, &state, SEG_ITERS));
+        let ckpt = assemble_checkpoint(&logical, global(), &outs, &prior_residuals);
+        prior_residuals = ckpt.residuals.clone();
+        assert!(!ckpt.converged, "campaign must outlive three segments");
+        assert_eq!(store.save(&mut nfs, &write_checkpoint(&ckpt)).unwrap(), seg);
+        state = Some(ckpt);
+    }
+    assert!(
+        store.torn_detected() >= 1 && store.retries() >= 1,
+        "the mid-campaign torn write must be detected and retried"
+    );
+    assert_eq!(store.generations(&nfs), vec![0, 1, 2]);
+
+    // --- The disaster. ------------------------------------------------
+    // (1) The host dies mid-way through writing generation 3: the temp
+    // write tears and no one retries, because the writer is gone.
+    nfs.inject(
+        &StorageFaultPlan::new(7).with_event(StorageFault::TornWrite {
+            write_op: nfs.write_ops(),
+            keep: None,
+        }),
+    );
+    let outs = FunctionalMachine::new(logical.clone())
+        .run(|ctx| cg_segment_app(ctx, &gauge, &b, &state, SEG_ITERS));
+    let ckpt3 = assemble_checkpoint(
+        &logical,
+        global(),
+        &outs,
+        &state.as_ref().unwrap().residuals,
+    );
+    let h = nfs.open("/data/ck/campaign/tmp.ckpt").unwrap();
+    assert_eq!(
+        nfs.write(h, &write_checkpoint(&ckpt3)),
+        Err(NfsError::ServerCrash)
+    );
+    drop(store); // the host process is gone; only the disks survive
+
+    // (2) While the machine is down, the newest committed generation
+    // rots on the platter: one flipped bit deep in the payload.
+    let newest = nfs.list("/data/ck/campaign/gen-").pop().unwrap();
+    let len = nfs.stat(&newest).unwrap();
+    nfs.inject(&StorageFaultPlan::new(9).with_event(StorageFault::BitRot {
+        path: newest,
+        from_op: 0,
+        byte: len - 5,
+        bit: 4,
+    }));
+
+    // --- Recovery. ----------------------------------------------------
+    let mut store = CheckpointStore::open(campaign_cfg(), &mut nfs);
+    assert!(
+        store.torn_detected() >= 1,
+        "the leftover torn temp must be recognised on open"
+    );
+    let (resumed, restored) = store.restore_cg(&mut nfs).unwrap();
+    assert_eq!(restored.generation, 1, "fallback to generation N-1");
+    assert_eq!(restored.skipped.len(), 1);
+    assert_eq!(restored.skipped[0].0, 2, "generation N was the rotted one");
+    assert!(
+        restored.skipped[0].1.contains("checksum"),
+        "rot is detected as a checksum failure: {:?}",
+        restored.skipped
+    );
+    assert_eq!(resumed.iterations, 2 * SEG_ITERS);
+    assert_eq!(store.fallbacks(), 1);
+    assert_eq!(store.rot_detected(), 1);
+
+    // Replay the delta iterations to convergence, still saving durably.
+    let mut state = Some(resumed);
+    let mut prior_residuals = state.as_ref().unwrap().residuals.clone();
+    let recovered = loop {
+        let outs = FunctionalMachine::new(logical.clone())
+            .run(|ctx| cg_segment_app(ctx, &gauge, &b, &state, SEG_ITERS));
+        let ckpt = assemble_checkpoint(&logical, global(), &outs, &prior_residuals);
+        prior_residuals = ckpt.residuals.clone();
+        if ckpt.converged {
+            break ckpt;
+        }
+        store.save(&mut nfs, &write_checkpoint(&ckpt)).unwrap();
+        state = Some(ckpt);
+    };
+
+    // Bit-identical to never having crashed: same solution bits, same
+    // residual history, same digest.
+    assert_eq!(recovered.iterations, ref_ckpt.iterations);
+    assert_eq!(recovered.x, ref_ckpt.x);
+    assert_eq!(
+        recovered
+            .residuals
+            .iter()
+            .map(|r| r.to_bits())
+            .collect::<Vec<_>>(),
+        ref_ckpt
+            .residuals
+            .iter()
+            .map(|r| r.to_bits())
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(recovered.digest(), ref_ckpt.digest());
+
+    // The whole story is visible to the host: flight events flow into
+    // the qdaemon's recorder, counters into the metrics scrape.
+    let mut qdaemon = Qdaemon::new(TorusShape::new(&[2, 2, 2]));
+    qdaemon.ingest_flight(&store.drain_flight());
+    let dump = qdaemon.flight_dump(None);
+    for needle in [
+        "ckstore_torn_leftover",
+        "ckstore_rot",
+        "ckstore_fallback",
+        "ckstore_restore",
+        "ckstore_commit",
+    ] {
+        assert!(
+            dump.contains(needle),
+            "flight dump missing {needle}:\n{dump}"
+        );
+    }
+    let mut reg = MetricsRegistry::new();
+    store.export_metrics(&mut reg);
+    let text = qcdoc::telemetry::prometheus_text(&reg);
+    assert!(text.contains("ckstore_fallbacks 1"), "{text}");
+    assert!(text.contains("ckstore_rot_detected 1"), "{text}");
+}
+
+/// Half-machine spec on a [2,2,2,2] box (the `tests/recovery.rs` idiom).
+fn half_spec() -> PartitionSpec {
+    PartitionSpec {
+        origin: NodeCoord::ORIGIN,
+        extents: vec![2, 2, 2, 1],
+        groups: vec![vec![0], vec![1], vec![2]],
+    }
+}
+
+#[test]
+fn hardware_recovery_and_flaky_storage_compose_bit_identically() {
+    // The full stack at once: a dead SCU link kills the partition
+    // mid-solve (PR 3's recovery path) while the NFS server throws
+    // transient I/O errors at the checkpoint traffic — every segment's
+    // state round-trips through the durable store, and the quarantined,
+    // re-planned, storage-retried run still lands on the reference bits.
+    let gauge = GaugeField::hot(global(), 21);
+    let b = FermionField::gaussian(global(), 22);
+
+    let logical = TorusShape::new(&[2, 2, 2]);
+    let ref_outs = FunctionalMachine::new(logical.clone())
+        .run(|ctx| cg_segment_app(ctx, &gauge, &b, &None, usize::MAX));
+    let ref_ckpt = assemble_checkpoint(&logical, global(), &ref_outs, &[]);
+
+    let mut nfs = NfsServer::new(&["/data"], 1 << 24);
+    // Sprinkle transient failures over the campaign's early NFS ops.
+    nfs.inject(
+        &StorageFaultPlan::new(13)
+            .with_event(StorageFault::Transient { op: 2, count: 1 })
+            .with_event(StorageFault::Transient { op: 11, count: 2 }),
+    );
+    let mut store = CheckpointStore::open(campaign_cfg(), &mut nfs);
+
+    let mut qdaemon = Qdaemon::new(TorusShape::new(&[2, 2, 2, 2]));
+    qdaemon.boot(&[]);
+    let machine_faults = FaultPlan::new(7).with_event(FaultEvent::dead_link(3, 0, 300));
+    let mut planner =
+        RecoveryPlanner::new(&mut qdaemon, half_spec(), machine_faults, false).unwrap();
+
+    let machine = FunctionalMachine::new(planner.partition().logical_shape().clone())
+        .with_faults(planner.local_faults())
+        .with_wedge_timeout(5_000);
+
+    let mut prior_residuals: Vec<f64> = Vec::new();
+    let (recovered, report) = machine
+        .run_with_recovery(
+            RecoveryConfig::default(),
+            None,
+            |ctx, state: &Option<CgCheckpoint>| cg_segment_app(ctx, &gauge, &b, state, SEG_ITERS),
+            |shape, outs: Vec<CgSegmentOut>| {
+                let ckpt = assemble_checkpoint(shape, global(), &outs, &prior_residuals);
+                prior_residuals = ckpt.residuals.clone();
+                if ckpt.converged {
+                    SegmentVerdict::Done(ckpt)
+                } else {
+                    // Persist durably and resume from the store's
+                    // verified read-back — the real campaign loop.
+                    store
+                        .save(&mut nfs, &write_checkpoint(&ckpt))
+                        .expect("durable save");
+                    let (restored, _) = store.restore_cg(&mut nfs).expect("verified restore");
+                    SegmentVerdict::Continue(Some(restored))
+                }
+            },
+            |ledger| {
+                planner.quarantine_and_replan(&mut qdaemon, ledger).map(
+                    |(part, faults, degraded)| Replacement {
+                        shape: part.logical_shape().clone(),
+                        faults,
+                        degraded,
+                    },
+                )
+            },
+        )
+        .expect("the spare half must carry the job home");
+
+    assert_eq!(report.recoveries, 1);
+    assert!(recovered.converged);
+    assert!(
+        store.retries() >= 2,
+        "the scheduled transients must have been retried, got {}",
+        store.retries()
+    );
+    assert_eq!(recovered.digest(), ref_ckpt.digest());
+    assert_eq!(recovered.x, ref_ckpt.x);
+}
