@@ -13,8 +13,10 @@
 //! | EDRAM  | `0x0000_0000` | 4 MB (on-chip)          |
 //! | DDR    | `0x1000_0000` | configurable, ≤ 2 GB    |
 //!
-//! DDR storage is allocated lazily in 1 MB chunks so thousands of functional
-//! nodes can coexist without reserving gigabytes.
+//! Both regions are allocated lazily — EDRAM in 64 kB chunks, DDR in 1 MB
+//! chunks — so the sharded engine can hold all 12,288 functional nodes of
+//! the full machine in host memory at once: a node pays only for the
+//! footprint it actually touches, not for its 4 MB EDRAM address space.
 //!
 //! Every stored word carries a SEC-DED (72,64) check byte (§2.1: EDRAM
 //! rows "+ ECC"; the DDR DIMMs are the industry 72/64 parts). Reads decode
@@ -94,6 +96,27 @@ pub const fn fits_edram(bytes: u64) -> bool {
 }
 
 const DDR_CHUNK_WORDS: usize = 128 * 1024; // 1 MB of u64 words
+const EDRAM_CHUNK_WORDS: usize = 8 * 1024; // 64 kB of u64 words
+
+/// One lazily-allocated 64 kB slab of EDRAM: data words, ECC check bytes,
+/// and the touched bitmap the scrubber walks (one bit per word, set when a
+/// word has ever been written or corrupted).
+#[derive(Debug)]
+struct EdramChunk {
+    data: Box<[u64]>,
+    check: Box<[u8]>,
+    touched: Box<[u64]>,
+}
+
+impl EdramChunk {
+    fn new() -> EdramChunk {
+        EdramChunk {
+            data: vec![0; EDRAM_CHUNK_WORDS].into_boxed_slice(),
+            check: vec![0; EDRAM_CHUNK_WORDS].into_boxed_slice(),
+            touched: vec![0; EDRAM_CHUNK_WORDS / 64].into_boxed_slice(),
+        }
+    }
+}
 
 /// Running access statistics, split by region.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -183,11 +206,7 @@ pub struct ScrubReport {
 /// The functional memory of one node.
 #[derive(Debug)]
 pub struct NodeMemory {
-    edram: Vec<u64>,
-    edram_check: Vec<u8>,
-    /// One bit per EDRAM word: set when the word has ever been written or
-    /// corrupted, the footprint the scrubber walks.
-    edram_touched: Vec<u64>,
+    edram_chunks: Vec<Option<EdramChunk>>,
     ddr_chunks: Vec<Option<Box<[u64]>>>,
     ddr_check: Vec<Option<Box<[u8]>>>,
     ddr_size: u64,
@@ -206,11 +225,9 @@ impl NodeMemory {
             "DDR size must be a multiple of 1 MB"
         );
         let chunks = (ddr_bytes / (DDR_CHUNK_WORDS as u64 * WORD_BYTES)) as usize;
-        let edram_words = (EDRAM_SIZE / WORD_BYTES) as usize;
+        let edram_chunks = (EDRAM_SIZE / WORD_BYTES) as usize / EDRAM_CHUNK_WORDS;
         NodeMemory {
-            edram: vec![0; edram_words],
-            edram_check: vec![0; edram_words],
-            edram_touched: vec![0; edram_words / 64],
+            edram_chunks: (0..edram_chunks).map(|_| None).collect(),
             ddr_chunks: (0..chunks).map(|_| None).collect(),
             ddr_check: (0..chunks).map(|_| None).collect(),
             ddr_size: ddr_bytes,
@@ -301,20 +318,11 @@ impl NodeMemory {
     /// Read one 64-bit word through the ECC decoder.
     pub fn read_word(&mut self, addr: u64) -> Result<u64, MemError> {
         let (region, idx) = self.check(addr)?;
-        let (data, check) = match region {
-            MemRegion::Edram => {
-                self.stats.edram_reads += 1;
-                (self.edram[idx], self.edram_check[idx])
-            }
-            MemRegion::Ddr => {
-                self.stats.ddr_reads += 1;
-                let (chunk, within) = (idx / DDR_CHUNK_WORDS, idx % DDR_CHUNK_WORDS);
-                match (&self.ddr_chunks[chunk], &self.ddr_check[chunk]) {
-                    (Some(c), Some(k)) => (c[within], k[within]),
-                    _ => (0, 0),
-                }
-            }
-        };
+        match region {
+            MemRegion::Edram => self.stats.edram_reads += 1,
+            MemRegion::Ddr => self.stats.ddr_reads += 1,
+        }
+        let (data, check) = self.peek_raw(region, idx);
         let (value, fixed) = self.resolve(addr, data, check);
         if let Some((d, k)) = fixed {
             self.store_raw(region, idx, d, k);
@@ -322,14 +330,38 @@ impl NodeMemory {
         Ok(value)
     }
 
+    /// Read the stored `(data, check)` pair without decoding or statistics
+    /// (never-written words of unallocated chunks read as the all-zero
+    /// codeword).
+    fn peek_raw(&self, region: MemRegion, idx: usize) -> (u64, u8) {
+        match region {
+            MemRegion::Edram => {
+                let (chunk, within) = (idx / EDRAM_CHUNK_WORDS, idx % EDRAM_CHUNK_WORDS);
+                match &self.edram_chunks[chunk] {
+                    Some(c) => (c.data[within], c.check[within]),
+                    None => (0, 0),
+                }
+            }
+            MemRegion::Ddr => {
+                let (chunk, within) = (idx / DDR_CHUNK_WORDS, idx % DDR_CHUNK_WORDS);
+                match (&self.ddr_chunks[chunk], &self.ddr_check[chunk]) {
+                    (Some(c), Some(k)) => (c[within], k[within]),
+                    _ => (0, 0),
+                }
+            }
+        }
+    }
+
     /// Store `(data, check)` without touching statistics (the ECC
     /// write-back and injection path).
     fn store_raw(&mut self, region: MemRegion, idx: usize, data: u64, check: u8) {
         match region {
             MemRegion::Edram => {
-                self.edram[idx] = data;
-                self.edram_check[idx] = check;
-                self.edram_touched[idx / 64] |= 1 << (idx % 64);
+                let (chunk, within) = (idx / EDRAM_CHUNK_WORDS, idx % EDRAM_CHUNK_WORDS);
+                let c = self.edram_chunks[chunk].get_or_insert_with(EdramChunk::new);
+                c.data[within] = data;
+                c.check[within] = check;
+                c.touched[within / 64] |= 1 << (within % 64);
             }
             MemRegion::Ddr => {
                 let (chunk, within) = (idx / DDR_CHUNK_WORDS, idx % DDR_CHUNK_WORDS);
@@ -363,16 +395,7 @@ impl NodeMemory {
     pub fn flip_bit(&mut self, addr: u64, bit: u32) -> Result<u64, MemError> {
         assert!(bit < 64, "bit index {bit} outside a 64-bit word");
         let (region, idx) = self.check(addr)?;
-        let (data, check) = match region {
-            MemRegion::Edram => (self.edram[idx], self.edram_check[idx]),
-            MemRegion::Ddr => {
-                let (chunk, within) = (idx / DDR_CHUNK_WORDS, idx % DDR_CHUNK_WORDS);
-                match (&self.ddr_chunks[chunk], &self.ddr_check[chunk]) {
-                    (Some(c), Some(k)) => (c[within], k[within]),
-                    _ => (0, 0),
-                }
-            }
-        };
+        let (data, check) = self.peek_raw(region, idx);
         let flipped = data ^ (1u64 << bit);
         self.store_raw(region, idx, flipped, check);
         Ok(flipped)
@@ -391,19 +414,29 @@ impl NodeMemory {
     /// skipped wholesale, so the pass prices out by data actually resident.
     pub fn scrub(&mut self) -> ScrubReport {
         let mut report = ScrubReport::default();
-        // EDRAM: walk the touch bitmap 64 words at a time.
-        for group in 0..self.edram_touched.len() {
-            let mask = self.edram_touched[group];
-            if mask == 0 {
-                continue;
-            }
-            for bit in 0..64 {
-                if mask & (1 << bit) == 0 {
+        // EDRAM: walk each allocated chunk's touch bitmap 64 words at a
+        // time (unallocated chunks were never written or corrupted).
+        for chunk in 0..self.edram_chunks.len() {
+            let groups = match &self.edram_chunks[chunk] {
+                Some(c) => c.touched.len(),
+                None => continue,
+            };
+            for group in 0..groups {
+                let mask = match &self.edram_chunks[chunk] {
+                    Some(c) => c.touched[group],
+                    None => unreachable!("scrub never deallocates a chunk"),
+                };
+                if mask == 0 {
                     continue;
                 }
-                let idx = group * 64 + bit;
-                let addr = EDRAM_BASE + idx as u64 * WORD_BYTES;
-                self.scrub_word(MemRegion::Edram, idx, addr, &mut report);
+                for bit in 0..64 {
+                    if mask & (1 << bit) == 0 {
+                        continue;
+                    }
+                    let idx = chunk * EDRAM_CHUNK_WORDS + group * 64 + bit;
+                    let addr = EDRAM_BASE + idx as u64 * WORD_BYTES;
+                    self.scrub_word(MemRegion::Edram, idx, addr, &mut report);
+                }
             }
         }
         // DDR: walk every allocated chunk in full.
@@ -424,16 +457,7 @@ impl NodeMemory {
     }
 
     fn scrub_word(&mut self, region: MemRegion, idx: usize, addr: u64, report: &mut ScrubReport) {
-        let (data, check) = match region {
-            MemRegion::Edram => (self.edram[idx], self.edram_check[idx]),
-            MemRegion::Ddr => {
-                let (chunk, within) = (idx / DDR_CHUNK_WORDS, idx % DDR_CHUNK_WORDS);
-                match (&self.ddr_chunks[chunk], &self.ddr_check[chunk]) {
-                    (Some(c), Some(k)) => (c[within], k[within]),
-                    _ => (0, 0),
-                }
-            }
-        };
+        let (data, check) = self.peek_raw(region, idx);
         report.scanned_words += 1;
         match ecc::decode(data, check) {
             EccVerdict::Clean => {}

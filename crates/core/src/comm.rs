@@ -43,6 +43,25 @@ pub fn global_sum_f64(ctx: &mut NodeCtx, value: f64) -> f64 {
     result
 }
 
+/// Cooperative form of [`global_sum_f64`] for the sharded engine: same
+/// ring algorithm, same accumulation order, same bits — only the wait
+/// inside each shift yields instead of blocking.
+pub async fn global_sum_f64_async(ctx: &mut NodeCtx, value: f64) -> f64 {
+    if !ctx.telem.is_enabled() {
+        return global_sum_inner_async(ctx, value).await;
+    }
+    let token = ctx.telem.begin();
+    let prev = ctx.telem.set_phase_override(Some(Phase::GlobalSum));
+    let result = global_sum_inner_async(ctx, value).await;
+    ctx.telem.set_phase_override(prev);
+    let cycles = ctx
+        .telem
+        .end_with(token, "comm.global_sum", Phase::GlobalSum, 0);
+    ctx.telem.counter_add("comm_global_sums", 1);
+    ctx.telem.observe("comm_global_sum_cycles", cycles);
+    result
+}
+
 fn global_sum_inner(ctx: &mut NodeCtx, value: f64) -> f64 {
     let mut acc = value;
     let rank = ctx.shape.rank();
@@ -68,6 +87,40 @@ fn global_sum_inner(ctx: &mut NodeCtx, value: f64) -> f64 {
             ring[(my_x + n - step) % n] = carry;
         }
         // Canonical (node-independent) accumulation order.
+        acc = 0.0;
+        for &v in &ring {
+            acc += v;
+        }
+    }
+    acc
+}
+
+/// The same recurrence as [`global_sum_inner`], awaiting each shift. The
+/// two bodies must stay line-for-line parallel: the bit-reproducibility
+/// guarantee across engines rests on identical accumulation order.
+async fn global_sum_inner_async(ctx: &mut NodeCtx, value: f64) -> f64 {
+    let mut acc = value;
+    let rank = ctx.shape.rank();
+    for axis in 0..rank {
+        let n = ctx.shape.extent(axis);
+        if n <= 1 {
+            continue;
+        }
+        let my_x = ctx.coord.get(axis);
+        let mut ring = vec![0.0f64; n];
+        ring[my_x] = acc;
+        let mut carry = acc;
+        for step in 1..n {
+            ctx.mem.write_f64(GSUM_SEND, carry).unwrap();
+            ctx.shift_async(
+                Axis(axis as u8).plus(),
+                DmaDescriptor::contiguous(GSUM_SEND, 1),
+                DmaDescriptor::contiguous(GSUM_RECV, 1),
+            )
+            .await;
+            carry = ctx.mem.read_f64(GSUM_RECV).unwrap();
+            ring[(my_x + n - step) % n] = carry;
+        }
         acc = 0.0;
         for &v in &ring {
             acc += v;
@@ -111,10 +164,41 @@ pub fn broadcast_u64(ctx: &mut NodeCtx, root_value: u64, root: u32) -> u64 {
     value
 }
 
+/// Cooperative form of [`broadcast_u64`] for the sharded engine.
+pub async fn broadcast_u64_async(ctx: &mut NodeCtx, root_value: u64, root: u32) -> u64 {
+    let mut value = if ctx.id.0 == root { root_value } else { 0 };
+    for axis in 0..ctx.shape.rank() {
+        let n = ctx.shape.extent(axis);
+        if n <= 1 {
+            continue;
+        }
+        let mut carry = value;
+        for _ in 1..n {
+            ctx.mem.write_word(GSUM_SEND, carry).unwrap();
+            ctx.shift_async(
+                Axis(axis as u8).plus(),
+                DmaDescriptor::contiguous(GSUM_SEND, 1),
+                DmaDescriptor::contiguous(GSUM_RECV, 1),
+            )
+            .await;
+            carry = ctx.mem.read_word(GSUM_RECV).unwrap();
+            if carry != 0 {
+                value = carry;
+            }
+        }
+    }
+    value
+}
+
 /// Barrier: a throwaway global sum (every node must contribute before any
 /// node can finish).
 pub fn barrier(ctx: &mut NodeCtx) {
     let _ = global_sum_f64(ctx, 0.0);
+}
+
+/// Cooperative form of [`barrier`] for the sharded engine.
+pub async fn barrier_async(ctx: &mut NodeCtx) {
+    let _ = global_sum_f64_async(ctx, 0.0).await;
 }
 
 #[cfg(test)]
@@ -178,6 +262,37 @@ mod tests {
             results.iter().all(|&r| r == 0xABCD_EF01),
             "broadcast failed: {results:x?}"
         );
+    }
+
+    #[test]
+    fn sharded_global_sum_matches_thread_engine_bitwise() {
+        // The same awkward (rounding-sensitive) values through both
+        // engines: every node of both runs must produce the same bits,
+        // and they must equal the closed form.
+        let shape = TorusShape::new(&[4, 2, 2]);
+        let value = |i: usize| 1.0e15 / (i as f64 + 1.0) + 1e-3 * i as f64;
+        let values: Vec<f64> = (0..16).map(value).collect();
+        let expected = dimension_ordered_sum(&shape, &values);
+        let sharded = crate::ShardedMachine::new(shape.clone()).with_workers(3);
+        let s_results =
+            sharded.run(async |ctx| global_sum_f64_async(ctx, value(ctx.id.0 as usize)).await);
+        let threaded = FunctionalMachine::new(shape);
+        let t_results = threaded.run(|ctx| global_sum_f64(ctx, value(ctx.id.0 as usize)));
+        assert!(all_nodes_agree(&s_results));
+        for ((s, t), want) in s_results.iter().zip(&t_results).zip(&expected) {
+            assert_eq!(s.to_bits(), t.to_bits(), "sharded vs threaded");
+            assert_eq!(s.to_bits(), want.to_bits(), "sharded vs closed form");
+        }
+    }
+
+    #[test]
+    fn sharded_broadcast_and_barrier() {
+        let machine = crate::ShardedMachine::new(TorusShape::new(&[4, 2])).with_workers(2);
+        let results = machine.run(async |ctx| {
+            barrier_async(ctx).await;
+            broadcast_u64_async(ctx, 0xABCD_EF01, 5).await
+        });
+        assert!(results.iter().all(|&r| r == 0xABCD_EF01), "{results:x?}");
     }
 
     #[test]

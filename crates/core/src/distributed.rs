@@ -15,7 +15,7 @@
 //! tests assert it — including under injected link faults, where the
 //! hardware resend makes corruption invisible to the physics.
 
-use crate::comm::{global_sum_f64, COMM_SCRATCH_BASE};
+use crate::comm::{global_sum_f64, global_sum_f64_async, COMM_SCRATCH_BASE};
 use crate::functional::NodeCtx;
 use qcdoc_geometry::{Axis, NodeId, TorusShape};
 use qcdoc_lattice::checkpoint::CgCheckpoint;
@@ -174,16 +174,18 @@ fn staging(geom: &BlockGeom, slot: usize) -> u64 {
     base + slot as u64 * slot_bytes
 }
 
-/// Exchange all faces of `psi`: returns, per axis, the half-spinors
-/// arriving from the +μ neighbour (their projected low face) and from the
-/// −μ neighbour (their `U†(1+γ)ψ` high face). Axes the machine does not
-/// span return empty vectors.
-pub fn exchange_faces(
+/// Pack both faces of every spanned axis into the staging slots and arm
+/// all sends/receives; returns the direction lists a completion wait
+/// needs. The wait itself (blocking or cooperative) is the caller's.
+fn arm_face_exchange(
     ctx: &mut NodeCtx,
     geom: &BlockGeom,
     gauge: &[[Su3; 4]],
     psi: &[Spinor],
-) -> ([Vec<HalfSpinor>; 4], [Vec<HalfSpinor>; 4]) {
+) -> (
+    Vec<qcdoc_geometry::Direction>,
+    Vec<qcdoc_geometry::Direction>,
+) {
     let ld = geom.local.dims();
     let mut sends = Vec::new();
     let mut recvs = Vec::new();
@@ -237,8 +239,16 @@ pub fn exchange_faces(
         recvs.push(axis.plus());
         recvs.push(axis.minus());
     }
-    ctx.complete(&sends, &recvs);
-    // Unpack.
+    (sends, recvs)
+}
+
+/// Unpack the received half-spinor faces out of the staging slots — the
+/// read-side counterpart of [`arm_face_exchange`], run after completion.
+#[allow(clippy::type_complexity)]
+fn unpack_faces(
+    ctx: &mut NodeCtx,
+    geom: &BlockGeom,
+) -> ([Vec<HalfSpinor>; 4], [Vec<HalfSpinor>; 4]) {
     let mut from_plus: [Vec<HalfSpinor>; 4] = Default::default();
     let mut from_minus: [Vec<HalfSpinor>; 4] = Default::default();
     for mu in 0..4 {
@@ -264,14 +274,47 @@ pub fn exchange_faces(
     (from_plus, from_minus)
 }
 
-/// Distributed Wilson hopping term on this node's block.
-pub fn dslash_local(
+/// Exchange all faces of `psi`: returns, per axis, the half-spinors
+/// arriving from the +μ neighbour (their projected low face) and from the
+/// −μ neighbour (their `U†(1+γ)ψ` high face). Axes the machine does not
+/// span return empty vectors.
+pub fn exchange_faces(
     ctx: &mut NodeCtx,
     geom: &BlockGeom,
     gauge: &[[Su3; 4]],
     psi: &[Spinor],
+) -> ([Vec<HalfSpinor>; 4], [Vec<HalfSpinor>; 4]) {
+    let (sends, recvs) = arm_face_exchange(ctx, geom, gauge, psi);
+    ctx.complete(&sends, &recvs);
+    unpack_faces(ctx, geom)
+}
+
+/// Cooperative form of [`exchange_faces`] for the sharded engine: the same
+/// packing, arming and unpacking code, only the wait yields.
+pub async fn exchange_faces_async(
+    ctx: &mut NodeCtx,
+    geom: &BlockGeom,
+    gauge: &[[Su3; 4]],
+    psi: &[Spinor],
+) -> ([Vec<HalfSpinor>; 4], [Vec<HalfSpinor>; 4]) {
+    let (sends, recvs) = arm_face_exchange(ctx, geom, gauge, psi);
+    ctx.complete_async(&sends, &recvs).await;
+    unpack_faces(ctx, geom)
+}
+
+/// The site loop of the Wilson hopping term, shared verbatim by the
+/// blocking and cooperative entry points: per site, for each μ, forward
+/// project → SU(3) multiply → reconstruct, then backward — the exact
+/// order the single-node reference uses, so both engines stay bitwise
+/// identical to it.
+fn dslash_compute(
+    ctx: &mut NodeCtx,
+    geom: &BlockGeom,
+    gauge: &[[Su3; 4]],
+    psi: &[Spinor],
+    from_plus: &[Vec<HalfSpinor>; 4],
+    from_minus: &[Vec<HalfSpinor>; 4],
 ) -> Vec<Spinor> {
-    let (from_plus, from_minus) = exchange_faces(ctx, geom, gauge, psi);
     let token = ctx.telem.begin();
     let local = geom.local;
     let ld = local.dims();
@@ -313,6 +356,39 @@ pub fn dslash_local(
     out
 }
 
+/// Distributed Wilson hopping term on this node's block.
+pub fn dslash_local(
+    ctx: &mut NodeCtx,
+    geom: &BlockGeom,
+    gauge: &[[Su3; 4]],
+    psi: &[Spinor],
+) -> Vec<Spinor> {
+    let (from_plus, from_minus) = exchange_faces(ctx, geom, gauge, psi);
+    dslash_compute(ctx, geom, gauge, psi, &from_plus, &from_minus)
+}
+
+/// Cooperative form of [`dslash_local`] for the sharded engine.
+pub async fn dslash_local_async(
+    ctx: &mut NodeCtx,
+    geom: &BlockGeom,
+    gauge: &[[Su3; 4]],
+    psi: &[Spinor],
+) -> Vec<Spinor> {
+    let (from_plus, from_minus) = exchange_faces_async(ctx, geom, gauge, psi).await;
+    dslash_compute(ctx, geom, gauge, psi, &from_plus, &from_minus)
+}
+
+/// `M ψ` from an already-exchanged hopping term: the κ recurrence shared
+/// by the blocking and cooperative operator entry points.
+fn wilson_combine(hop: Vec<Spinor>, psi: &[Spinor], kappa: f64) -> Vec<Spinor> {
+    let mut out = hop;
+    let mk = C64::real(-kappa);
+    for (o, p) in out.iter_mut().zip(psi) {
+        *o = p.axpy(mk, o);
+    }
+    out
+}
+
 /// Distributed Wilson operator `M = 1 − κ D`.
 pub fn wilson_apply(
     ctx: &mut NodeCtx,
@@ -321,12 +397,18 @@ pub fn wilson_apply(
     psi: &[Spinor],
     kappa: f64,
 ) -> Vec<Spinor> {
-    let mut out = dslash_local(ctx, geom, gauge, psi);
-    let mk = C64::real(-kappa);
-    for (o, p) in out.iter_mut().zip(psi) {
-        *o = p.axpy(mk, o);
-    }
-    out
+    wilson_combine(dslash_local(ctx, geom, gauge, psi), psi, kappa)
+}
+
+/// Cooperative form of [`wilson_apply`] for the sharded engine.
+pub async fn wilson_apply_async(
+    ctx: &mut NodeCtx,
+    geom: &BlockGeom,
+    gauge: &[[Su3; 4]],
+    psi: &[Spinor],
+    kappa: f64,
+) -> Vec<Spinor> {
+    wilson_combine(dslash_local_async(ctx, geom, gauge, psi).await, psi, kappa)
 }
 
 /// Distributed `M† = γ₅ M γ₅`.
@@ -339,6 +421,19 @@ pub fn wilson_apply_dagger(
 ) -> Vec<Spinor> {
     let g5: Vec<Spinor> = psi.iter().map(|s| s.apply_gamma5()).collect();
     let mid = wilson_apply(ctx, geom, gauge, &g5, kappa);
+    mid.iter().map(|s| s.apply_gamma5()).collect()
+}
+
+/// Cooperative form of [`wilson_apply_dagger`] for the sharded engine.
+pub async fn wilson_apply_dagger_async(
+    ctx: &mut NodeCtx,
+    geom: &BlockGeom,
+    gauge: &[[Su3; 4]],
+    psi: &[Spinor],
+    kappa: f64,
+) -> Vec<Spinor> {
+    let g5: Vec<Spinor> = psi.iter().map(|s| s.apply_gamma5()).collect();
+    let mid = wilson_apply_async(ctx, geom, gauge, &g5, kappa).await;
     mid.iter().map(|s| s.apply_gamma5()).collect()
 }
 
@@ -411,6 +506,60 @@ pub fn wilson_solve_cg(
         axpy(&mut x, alpha, &p);
         axpy(&mut r, -alpha, &q);
         let new_rsq = global_sum_f64(ctx, local_norm_sqr(&r));
+        iterations += 1;
+        converged = (new_rsq / bref).sqrt() <= tolerance;
+        let beta = new_rsq / rsq;
+        xpay(&mut p, beta, &r);
+        rsq = new_rsq;
+        ctx.telem.counter_add("cg_iterations", 1);
+    }
+    ctx.telem
+        .gauge_set("cg_final_residual", (rsq / bref).sqrt());
+    ctx.telem
+        .gauge_set("cg_converged", if converged { 1.0 } else { 0.0 });
+    let report = DistCgReport {
+        iterations,
+        final_residual: (rsq / bref).sqrt(),
+        converged,
+        link_errors: ctx.link_errors(),
+    };
+    (x, report)
+}
+
+/// Cooperative form of [`wilson_solve_cg`] for the sharded engine. The
+/// recurrence is line-for-line the blocking solver's — same operator
+/// applications, same dimension-ordered reductions in the same order — so
+/// the two engines produce bit-identical solutions.
+pub async fn wilson_solve_cg_async(
+    ctx: &mut NodeCtx,
+    geom: &BlockGeom,
+    gauge: &[[Su3; 4]],
+    b: &[Spinor],
+    kappa: f64,
+    tolerance: f64,
+    max_iterations: usize,
+) -> (Vec<Spinor>, DistCgReport) {
+    let n = b.len();
+    let mut x = vec![Spinor::ZERO; n];
+    let mut r = wilson_apply_dagger_async(ctx, geom, gauge, b, kappa).await;
+    let bref = global_sum_f64_async(ctx, local_norm_sqr(&r))
+        .await
+        .max(f64::MIN_POSITIVE);
+    let mut p = r.clone();
+    let mut rsq = global_sum_f64_async(ctx, local_norm_sqr(&r)).await;
+    let mut iterations = 0;
+    let mut converged = (rsq / bref).sqrt() <= tolerance;
+    while !converged && iterations < max_iterations {
+        let t = wilson_apply_async(ctx, geom, gauge, &p, kappa).await;
+        let q = wilson_apply_dagger_async(ctx, geom, gauge, &t, kappa).await;
+        let pq = global_sum_f64_async(ctx, local_dot_re(&p, &q)).await;
+        if pq <= 0.0 {
+            break;
+        }
+        let alpha = rsq / pq;
+        axpy(&mut x, alpha, &p);
+        axpy(&mut r, -alpha, &q);
+        let new_rsq = global_sum_f64_async(ctx, local_norm_sqr(&r)).await;
         iterations += 1;
         converged = (new_rsq / bref).sqrt() <= tolerance;
         let beta = new_rsq / rsq;
@@ -532,6 +681,88 @@ pub fn wilson_cg_segment(
         axpy(&mut x, alpha, &p);
         axpy(&mut r, -alpha, &q);
         let new_rsq = global_sum_f64(ctx, local_norm_sqr(&r));
+        if ctx.wedged() {
+            break;
+        }
+        iterations += 1;
+        done_here += 1;
+        let rel = (new_rsq / bref).sqrt();
+        new_residuals.push(rel);
+        converged = rel <= tolerance;
+        let beta = new_rsq / rsq;
+        xpay(&mut p, beta, &r);
+        rsq = new_rsq;
+        ctx.telem.counter_add("cg_iterations", 1);
+    }
+    CgSegmentOut {
+        x,
+        r,
+        p,
+        rsq,
+        bref,
+        iterations,
+        new_residuals,
+        converged,
+        wedged: ctx.wedged(),
+    }
+}
+
+/// Cooperative form of [`wilson_cg_segment`] for the sharded engine —
+/// same recurrence, same wedge short-circuits, bit-identical chaining.
+#[allow(clippy::too_many_arguments)]
+pub async fn wilson_cg_segment_async(
+    ctx: &mut NodeCtx,
+    geom: &BlockGeom,
+    gauge: &[[Su3; 4]],
+    b: &[Spinor],
+    kappa: f64,
+    tolerance: f64,
+    max_iterations: usize,
+    resume: Option<CgResume<'_>>,
+    segment_iters: usize,
+) -> CgSegmentOut {
+    let n = b.len();
+    let mut iterations;
+    let (mut x, mut r, mut p, mut rsq, bref) = match resume {
+        None => {
+            iterations = 0;
+            let x = vec![Spinor::ZERO; n];
+            let r = wilson_apply_dagger_async(ctx, geom, gauge, b, kappa).await;
+            let bref = global_sum_f64_async(ctx, local_norm_sqr(&r))
+                .await
+                .max(f64::MIN_POSITIVE);
+            let p = r.clone();
+            let rsq = global_sum_f64_async(ctx, local_norm_sqr(&r)).await;
+            (x, r, p, rsq, bref)
+        }
+        Some(res) => {
+            iterations = res.iterations;
+            (
+                res.x.to_vec(),
+                res.r.to_vec(),
+                res.p.to_vec(),
+                res.rsq,
+                res.bref,
+            )
+        }
+    };
+    let mut new_residuals = Vec::new();
+    let mut converged = (rsq / bref).sqrt() <= tolerance;
+    let mut done_here = 0usize;
+    while !ctx.wedged() && !converged && iterations < max_iterations && done_here < segment_iters {
+        let t = wilson_apply_async(ctx, geom, gauge, &p, kappa).await;
+        let q = wilson_apply_dagger_async(ctx, geom, gauge, &t, kappa).await;
+        let pq = global_sum_f64_async(ctx, local_dot_re(&p, &q)).await;
+        if ctx.wedged() {
+            break;
+        }
+        if pq <= 0.0 {
+            break;
+        }
+        let alpha = rsq / pq;
+        axpy(&mut x, alpha, &p);
+        axpy(&mut r, -alpha, &q);
+        let new_rsq = global_sum_f64_async(ctx, local_norm_sqr(&r)).await;
         if ctx.wedged() {
             break;
         }
@@ -1053,6 +1284,61 @@ mod tests {
         let a = run();
         let c = run();
         assert_eq!(a, c, "the same solve must be bit-identical across runs");
+    }
+
+    #[test]
+    fn sharded_dslash_matches_thread_engine_bitwise() {
+        let global = Lattice::new([4, 4, 2, 2]);
+        let gauge = GaugeField::hot(global, 314);
+        let psi = FermionField::gaussian(global, 315);
+        let shape = TorusShape::new(&[2, 2]);
+        let threaded = FunctionalMachine::new(shape.clone());
+        let reference = threaded.run(|ctx| {
+            let geom = BlockGeom::new(ctx, global);
+            let lg = geom.extract_gauge(&gauge);
+            let lp = geom.extract_fermion(&psi);
+            block_fingerprint(&dslash_local(ctx, &geom, &lg, &lp))
+        });
+        let sharded = crate::ShardedMachine::new(shape).with_workers(2);
+        let results = sharded.run(async |ctx| {
+            let geom = BlockGeom::new(ctx, global);
+            let lg = geom.extract_gauge(&gauge);
+            let lp = geom.extract_fermion(&psi);
+            block_fingerprint(&dslash_local_async(ctx, &geom, &lg, &lp).await)
+        });
+        assert_eq!(results, reference, "sharded dslash diverged from threaded");
+    }
+
+    #[test]
+    fn sharded_cg_matches_thread_engine_bitwise() {
+        // The full solve through both engines on one worker thread: same
+        // iterations, same solution bits. This is the acceptance property
+        // the sharded engine exists to preserve.
+        let global = Lattice::new([4, 2, 2, 2]);
+        let gauge = GaugeField::hot(global, 70);
+        let b = FermionField::gaussian(global, 71);
+        let shape = TorusShape::new(&[2, 2]);
+        let threaded = FunctionalMachine::new(shape.clone());
+        let reference = threaded.run(|ctx| {
+            let geom = BlockGeom::new(ctx, global);
+            let lg = geom.extract_gauge(&gauge);
+            let lb = geom.extract_fermion(&b);
+            let (x, r) = wilson_solve_cg(ctx, &geom, &lg, &lb, KAPPA, 1e-8, 2000);
+            (block_fingerprint(&x), r.iterations, r.converged)
+        });
+        let sharded = crate::ShardedMachine::new(shape).with_workers(1);
+        let results = sharded.run(async |ctx| {
+            let geom = BlockGeom::new(ctx, global);
+            let lg = geom.extract_gauge(&gauge);
+            let lb = geom.extract_fermion(&b);
+            let (x, r) = wilson_solve_cg_async(ctx, &geom, &lg, &lb, KAPPA, 1e-8, 2000).await;
+            (block_fingerprint(&x), r.iterations, r.converged)
+        });
+        assert!(
+            results.iter().all(|&(_, _, c)| c),
+            "sharded CG must converge"
+        );
+        assert_eq!(results, reference, "sharded CG diverged from threaded");
     }
 
     #[test]

@@ -25,7 +25,9 @@ use qcdoc_scu::timing::LinkTimingConfig;
 use qcdoc_scu::{RetryPolicy, WireVerdict};
 use qcdoc_telemetry::{
     FlightEvent, FlightKind, MachineTelemetry, MetricsRegistry, NodeTelemetry, Phase, Span,
+    SpanToken,
 };
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -99,6 +101,32 @@ pub struct NodeCtx {
     /// [`NodeCtx::complete`] logs only the retries it caused.
     flight_resends_seen: u64,
     flight_block_rejects_seen: u64,
+    /// Shared wire-activity flag: set whenever [`NodeCtx::progress`] moves
+    /// anything. The sharded engine's workers read-and-clear it to decide
+    /// when a whole shard has gone idle and should back off; the
+    /// thread-per-node engine leaves it `None`.
+    pulse: Option<Arc<AtomicBool>>,
+}
+
+/// Everything both execution engines need to stamp out one node, minus the
+/// wires (which depend on how the engine builds its fabric).
+pub(crate) struct NodeCtxConfig {
+    pub shape: TorusShape,
+    pub ddr_bytes: u64,
+    pub telemetry: Option<TelemetryConfig>,
+    pub retry_policy: RetryPolicy,
+    pub wedge_spins: u32,
+    pub block_checksums: bool,
+}
+
+/// Outcome of one non-blocking completion attempt ([`NodeCtx::pump_step`]).
+enum PumpStep {
+    /// Every tracked send and receive has retired.
+    Done,
+    /// Not done, but at least one wire moved this round.
+    Moved,
+    /// Not done and nothing moved — a candidate wedge round.
+    Idle,
 }
 
 impl NodeCtx {
@@ -240,6 +268,11 @@ impl NodeCtx {
                 moved = true;
             }
         }
+        if moved {
+            if let Some(pulse) = &self.pulse {
+                pulse.store(true, Ordering::Relaxed);
+            }
+        }
         moved
     }
 
@@ -261,9 +294,45 @@ impl NodeCtx {
         let token = self.telem.begin();
         self.complete_inner(sends, recvs);
         self.record_scu_flight();
-        // Charge the logical clock with the modeled wire time: parallel
-        // links overlap, so the slowest one sets the pace (§4's comms
-        // term), while counters see every word moved.
+        self.account_complete(token, sends, recvs);
+    }
+
+    /// Cooperative twin of [`NodeCtx::complete`] for the sharded engine:
+    /// identical protocol behaviour, telemetry accounting and wedge
+    /// watchdog, but instead of spinning the OS thread it yields back to
+    /// the shard worker between pump rounds so the other virtual nodes of
+    /// the shard keep running.
+    ///
+    /// ```no_run
+    /// # use qcdoc_core::sharded::ShardedMachine;
+    /// # use qcdoc_geometry::{Axis, TorusShape};
+    /// # use qcdoc_scu::dma::DmaDescriptor;
+    /// let machine = ShardedMachine::new(TorusShape::new(&[4]));
+    /// let ranks = machine.run(async |ctx| {
+    ///     ctx.mem.write_word(0x100, ctx.id.0 as u64).unwrap();
+    ///     ctx.start_recv(Axis(0).minus(), DmaDescriptor::contiguous(0x200, 1));
+    ///     ctx.start_send(Axis(0).plus(), DmaDescriptor::contiguous(0x100, 1));
+    ///     ctx.complete_async(&[Axis(0).plus()], &[Axis(0).minus()]).await;
+    ///     ctx.mem.read_word(0x200).unwrap()
+    /// });
+    /// assert_eq!(ranks, vec![3, 0, 1, 2]);
+    /// ```
+    pub async fn complete_async(&mut self, sends: &[Direction], recvs: &[Direction]) {
+        if !self.telem.is_enabled() {
+            self.complete_inner_async(sends, recvs).await;
+            self.record_scu_flight();
+            return;
+        }
+        let token = self.telem.begin();
+        self.complete_inner_async(sends, recvs).await;
+        self.record_scu_flight();
+        self.account_complete(token, sends, recvs);
+    }
+
+    /// Charge the logical clock with the modeled wire time: parallel
+    /// links overlap, so the slowest one sets the pace (§4's comms
+    /// term), while counters see every word moved.
+    fn account_complete(&mut self, token: SpanToken, sends: &[Direction], recvs: &[Direction]) {
         let mut send_words = 0u64;
         let mut recv_words = 0u64;
         let mut wire_cycles = 0u64;
@@ -313,31 +382,53 @@ impl NodeCtx {
         }
     }
 
+    /// One non-blocking completion attempt: pump the wires once, then
+    /// check whether every tracked transfer has retired. Both engines'
+    /// wait loops are built from this single primitive, so the protocol
+    /// behaviour cannot drift between them.
+    fn pump_step(&mut self, sends: &[Direction], recvs: &[Direction]) -> PumpStep {
+        let moved = self.progress();
+        let sends_done = sends.iter().all(|d| self.scu.send_complete(d.link_index()));
+        let recvs_done = recvs.iter().all(|d| self.scu.recv_complete(d.link_index()));
+        if sends_done && recvs_done {
+            PumpStep::Done
+        } else if moved {
+            PumpStep::Moved
+        } else {
+            PumpStep::Idle
+        }
+    }
+
+    /// Wedge-watchdog bookkeeping shared by both wait loops: called after
+    /// an idle pump round, returns whether the node just gave up.
+    fn wedge_after_idle(&mut self, idle_spins: u32, pending: usize) -> bool {
+        if idle_spins < self.wedge_spins {
+            return false;
+        }
+        self.wedged = true;
+        self.telem.flight(
+            FlightKind::Wedge,
+            "silent_wire",
+            idle_spins as u64,
+            pending as u64,
+        );
+        true
+    }
+
     fn complete_inner(&mut self, sends: &[Direction], recvs: &[Direction]) {
         if self.wedged {
             return;
         }
         let mut idle_spins = 0u32;
         loop {
-            let moved = self.progress();
-            let sends_done = sends.iter().all(|d| self.scu.send_complete(d.link_index()));
-            let recvs_done = recvs.iter().all(|d| self.scu.recv_complete(d.link_index()));
-            if sends_done && recvs_done {
-                return;
-            }
-            if moved {
-                idle_spins = 0;
-            } else {
-                idle_spins += 1;
-                if idle_spins >= self.wedge_spins {
-                    self.wedged = true;
-                    self.telem.flight(
-                        FlightKind::Wedge,
-                        "silent_wire",
-                        idle_spins as u64,
-                        (sends.len() + recvs.len()) as u64,
-                    );
-                    return;
+            match self.pump_step(sends, recvs) {
+                PumpStep::Done => return,
+                PumpStep::Moved => idle_spins = 0,
+                PumpStep::Idle => {
+                    idle_spins += 1;
+                    if self.wedge_after_idle(idle_spins, sends.len() + recvs.len()) {
+                        return;
+                    }
                 }
             }
             if idle_spins < 256 {
@@ -345,6 +436,44 @@ impl NodeCtx {
             } else {
                 std::thread::sleep(std::time::Duration::from_micros(20));
             }
+        }
+    }
+
+    /// The cooperative wait loop: the same pump/wedge recurrence as
+    /// [`NodeCtx::complete_inner`], but idle rounds yield control back to
+    /// the shard worker (which backs off on our behalf once every virtual
+    /// node of the shard reports idle) instead of sleeping the thread.
+    async fn complete_inner_async(&mut self, sends: &[Direction], recvs: &[Direction]) {
+        if self.wedged {
+            return;
+        }
+        let mut idle_spins = 0u32;
+        let mut idle_since: Option<std::time::Instant> = None;
+        // The thread engine's watchdog implies ~20 µs of real time per idle
+        // round once it backs off; a shard whose other virtual nodes are
+        // still active sweeps much faster than that, so the cooperative
+        // loop additionally requires the same *wall-clock* silence before
+        // giving up on a wire.
+        let quiet_needed = std::time::Duration::from_micros(20) * self.wedge_spins;
+        loop {
+            match self.pump_step(sends, recvs) {
+                PumpStep::Done => return,
+                PumpStep::Moved => {
+                    idle_spins = 0;
+                    idle_since = None;
+                }
+                PumpStep::Idle => {
+                    idle_spins += 1;
+                    let since = *idle_since.get_or_insert_with(std::time::Instant::now);
+                    if idle_spins >= self.wedge_spins
+                        && since.elapsed() >= quiet_needed
+                        && self.wedge_after_idle(idle_spins, sends.len() + recvs.len())
+                    {
+                        return;
+                    }
+                }
+            }
+            yield_once().await;
         }
     }
 
@@ -358,6 +487,14 @@ impl NodeCtx {
         self.start_recv(from, recv);
         self.start_send(dir, send);
         self.complete(&[dir], &[from]);
+    }
+
+    /// Cooperative twin of [`NodeCtx::shift`] for the sharded engine.
+    pub async fn shift_async(&mut self, dir: Direction, send: DmaDescriptor, recv: DmaDescriptor) {
+        let from = dir.opposite();
+        self.start_recv(from, recv);
+        self.start_send(dir, send);
+        self.complete_async(&[dir], &[from]).await;
     }
 
     /// End-of-run checksum of the send side of a link.
@@ -410,6 +547,173 @@ impl NodeCtx {
         }
         health
     }
+
+    /// Stamp out one node. Used by both engines so the per-node state
+    /// (SCU training, retry policy, tap, telemetry wiring) cannot differ
+    /// between the thread-per-node and sharded run loops.
+    pub(crate) fn build(
+        node: u32,
+        cfg: &NodeCtxConfig,
+        tx: Vec<Option<Sender<WireMsg>>>,
+        rx: Vec<Option<Receiver<WireMsg>>>,
+        clock: Arc<FaultClock>,
+        pulse: Option<Arc<AtomicBool>>,
+    ) -> NodeCtx {
+        let mut scu = Scu::new();
+        scu.train_all();
+        scu.set_retry_policy(cfg.retry_policy);
+        NodeCtx {
+            id: NodeId(node),
+            coord: cfg.shape.coord_of(NodeId(node)),
+            shape: cfg.shape.clone(),
+            mem: NodeMemory::new(cfg.ddr_bytes),
+            telem: match cfg.telemetry {
+                Some(t) => NodeTelemetry::with_ring(node, t.ring_capacity),
+                None => NodeTelemetry::disabled(node),
+            },
+            scu,
+            tx,
+            rx,
+            events: Vec::new(),
+            tap: NodeTap::new(clock, node),
+            wedged: false,
+            mem_flips: 0,
+            block_checksums: cfg.block_checksums,
+            armed_send_words: [0; 12],
+            armed_recv_words: [0; 12],
+            link_timing: cfg.telemetry.map(|c| c.link).unwrap_or_default(),
+            wedge_spins: cfg.wedge_spins,
+            flight_resends_seen: 0,
+            flight_block_rejects_seen: 0,
+            pulse,
+        }
+    }
+
+    /// Strike this node's scheduled memory soft errors before the
+    /// application touches its data (flips outside the address map are
+    /// silently out of range, like a flip in unused DRAM).
+    pub(crate) fn apply_mem_faults(&mut self) {
+        let faults = self.tap.clock().mem_faults(self.id.0);
+        for (addr, bit) in faults {
+            if self.mem.flip_bit(addr, bit).is_ok() {
+                self.mem_flips += 1;
+                self.telem
+                    .flight(FlightKind::FaultInjected, "mem_flip", addr, bit as u64);
+            }
+        }
+    }
+
+    /// End-of-run epilogue shared by both engines: flight bookkeeping, the
+    /// ECC scrub over the touched footprint, memory-profile gauges, and
+    /// the health snapshot the host's diagnostics sweep collects.
+    pub(crate) fn finish_run(
+        &mut self,
+    ) -> (NodeHealth, (MetricsRegistry, Vec<Span>), Vec<FlightEvent>) {
+        self.record_scu_flight();
+        if let Some(iteration) = self.tap.clock().crash_iteration(self.id.0) {
+            self.telem
+                .flight(FlightKind::Crash, "scheduled", iteration as u64, 0);
+        }
+        // End-of-run ECC scrub: walk the touched footprint so soft errors
+        // the application never read still get corrected (1-bit) or latch
+        // a machine check (2-bit) before the health snapshot is taken.
+        let scrub = self.mem.scrub();
+        {
+            let ms = self.mem.stats();
+            if ms.machine_checks > 0 {
+                self.telem.flight(
+                    FlightKind::MachineCheck,
+                    "uncorrectable_ecc",
+                    ms.machine_checks,
+                    ms.ecc_corrected,
+                );
+            }
+        }
+        let backoff = self.scu.backoff_delay_histogram();
+        if backoff.count() > 0 {
+            self.telem
+                .merge_histogram("scu_backoff_delay_rounds", &backoff);
+        }
+        if self.telem.is_enabled() {
+            // EDRAM-vs-DDR hit gauges: the end-of-run memory profile the
+            // §4 model needs to locate data.
+            let ms = self.mem.stats();
+            self.telem
+                .gauge_set("node_mem_edram_reads", ms.edram_reads as f64);
+            self.telem
+                .gauge_set("node_mem_edram_writes", ms.edram_writes as f64);
+            self.telem
+                .gauge_set("node_mem_ddr_reads", ms.ddr_reads as f64);
+            self.telem
+                .gauge_set("node_mem_ddr_writes", ms.ddr_writes as f64);
+            self.telem
+                .gauge_set("node_mem_ecc_corrected", ms.ecc_corrected as f64);
+            self.telem
+                .gauge_set("node_mem_machine_checks", ms.machine_checks as f64);
+            self.telem
+                .gauge_set("node_mem_scrub_cycles", scrub.cycles as f64);
+        }
+        let snapshot = self.health_snapshot();
+        let flight = self.telem.take_flight();
+        let parts = self.telem.take_parts();
+        (snapshot, parts, flight)
+    }
+}
+
+/// A future that returns control to the executor exactly once — the
+/// cooperative analogue of [`std::thread::yield_now`]. Shard workers poll
+/// every virtual node round-robin, so one yield is one trip through the
+/// rest of the shard.
+pub(crate) fn yield_once() -> YieldOnce {
+    YieldOnce { yielded: false }
+}
+
+/// See [`yield_once`].
+pub(crate) struct YieldOnce {
+    yielded: bool,
+}
+
+impl std::future::Future for YieldOnce {
+    type Output = ();
+
+    fn poll(
+        mut self: std::pin::Pin<&mut Self>,
+        _cx: &mut std::task::Context<'_>,
+    ) -> std::task::Poll<()> {
+        if self.yielded {
+            std::task::Poll::Ready(())
+        } else {
+            self.yielded = true;
+            std::task::Poll::Pending
+        }
+    }
+}
+
+/// Build the wire fabric for a logical shape: one unbounded channel per
+/// (node, outgoing direction); the receiver half goes to the neighbour's
+/// opposite-direction slot. Shared by both execution engines.
+#[allow(clippy::type_complexity)]
+pub(crate) fn build_fabric(
+    shape: &TorusShape,
+) -> (
+    Vec<Vec<Option<Sender<WireMsg>>>>,
+    Vec<Vec<Option<Receiver<WireMsg>>>>,
+) {
+    let n = shape.node_count();
+    let mut txs: Vec<Vec<Option<Sender<WireMsg>>>> = (0..n).map(|_| vec![None; 12]).collect();
+    let mut rxs: Vec<Vec<Option<Receiver<WireMsg>>>> = (0..n).map(|_| vec![None; 12]).collect();
+    for (node, tx_row) in txs.iter_mut().enumerate() {
+        let coord = shape.coord_of(NodeId(node as u32));
+        for axis in 0..shape.rank() {
+            for dir in [Axis(axis as u8).plus(), Axis(axis as u8).minus()] {
+                let (s, r) = unbounded();
+                let nb = shape.rank_of(shape.neighbour(coord, dir));
+                tx_row[dir.link_index()] = Some(s);
+                rxs[nb.index()][dir.opposite().link_index()] = Some(r);
+            }
+        }
+    }
+    (txs, rxs)
 }
 
 /// The functional machine.
@@ -564,21 +868,7 @@ impl FunctionalMachine {
         R: Send,
     {
         let n = self.shape.node_count();
-        // Build one channel per (node, outgoing direction); the receiver
-        // half goes to the neighbour's opposite-direction slot.
-        let mut txs: Vec<Vec<Option<Sender<WireMsg>>>> = (0..n).map(|_| vec![None; 12]).collect();
-        let mut rxs: Vec<Vec<Option<Receiver<WireMsg>>>> = (0..n).map(|_| vec![None; 12]).collect();
-        for (node, tx_row) in txs.iter_mut().enumerate() {
-            let coord = self.shape.coord_of(NodeId(node as u32));
-            for axis in 0..self.shape.rank() {
-                for dir in [Axis(axis as u8).plus(), Axis(axis as u8).minus()] {
-                    let (s, r) = unbounded();
-                    let nb = self.shape.rank_of(self.shape.neighbour(coord, dir));
-                    tx_row[dir.link_index()] = Some(s);
-                    rxs[nb.index()][dir.opposite().link_index()] = Some(r);
-                }
-            }
-        }
+        let (mut txs, mut rxs) = build_fabric(&self.shape);
         let clock = Arc::new(FaultClock::resolve(
             &self.faults,
             n as u32,
@@ -604,110 +894,28 @@ impl FunctionalMachine {
                 self.0.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
             }
         }
+        let cfg = NodeCtxConfig {
+            shape: self.shape.clone(),
+            ddr_bytes: self.ddr_bytes,
+            telemetry,
+            retry_policy: self.retry_policy,
+            wedge_spins: self.wedge_spins,
+            block_checksums: self.block_checksums,
+        };
         std::thread::scope(|scope| {
             let mut pairs: Vec<NodeWires> = txs.drain(..).zip(rxs.drain(..)).collect();
             for (node, (tx, rx)) in pairs.drain(..).enumerate().rev() {
                 let app = &app;
                 let results = &results;
                 let done = &done;
+                let cfg = &cfg;
                 let clock = Arc::clone(&clock);
-                let shape = self.shape.clone();
-                let ddr = self.ddr_bytes;
-                let retry_policy = self.retry_policy;
-                let wedge_spins = self.wedge_spins;
-                let block_checksums = self.block_checksums;
                 scope.spawn(move || {
                     let done_guard = DoneGuard(done);
-                    let mut scu = Scu::new();
-                    scu.train_all();
-                    scu.set_retry_policy(retry_policy);
-                    let mut ctx = NodeCtx {
-                        id: NodeId(node as u32),
-                        coord: shape.coord_of(NodeId(node as u32)),
-                        shape,
-                        mem: NodeMemory::new(ddr),
-                        telem: match telemetry {
-                            Some(cfg) => NodeTelemetry::with_ring(node as u32, cfg.ring_capacity),
-                            None => NodeTelemetry::disabled(node as u32),
-                        },
-                        scu,
-                        tx,
-                        rx,
-                        events: Vec::new(),
-                        tap: NodeTap::new(Arc::clone(&clock), node as u32),
-                        wedged: false,
-                        mem_flips: 0,
-                        block_checksums,
-                        armed_send_words: [0; 12],
-                        armed_recv_words: [0; 12],
-                        link_timing: telemetry.map(|c| c.link).unwrap_or_default(),
-                        wedge_spins,
-                        flight_resends_seen: 0,
-                        flight_block_rejects_seen: 0,
-                    };
-                    // Memory soft errors strike before the application
-                    // touches its data (flips outside the address map are
-                    // silently out of range, like a flip in unused DRAM).
-                    for (addr, bit) in clock.mem_faults(node as u32) {
-                        if ctx.mem.flip_bit(addr, bit).is_ok() {
-                            ctx.mem_flips += 1;
-                            ctx.telem.flight(
-                                FlightKind::FaultInjected,
-                                "mem_flip",
-                                addr,
-                                bit as u64,
-                            );
-                        }
-                    }
+                    let mut ctx = NodeCtx::build(node as u32, cfg, tx, rx, clock, None);
+                    ctx.apply_mem_faults();
                     let r = app(&mut ctx);
-                    ctx.record_scu_flight();
-                    if let Some(iteration) = clock.crash_iteration(node as u32) {
-                        ctx.telem
-                            .flight(FlightKind::Crash, "scheduled", iteration as u64, 0);
-                    }
-                    // End-of-run ECC scrub: walk the touched footprint so
-                    // soft errors the application never read still get
-                    // corrected (1-bit) or latch a machine check (2-bit)
-                    // before the health snapshot is taken.
-                    let scrub = ctx.mem.scrub();
-                    {
-                        let ms = ctx.mem.stats();
-                        if ms.machine_checks > 0 {
-                            ctx.telem.flight(
-                                FlightKind::MachineCheck,
-                                "uncorrectable_ecc",
-                                ms.machine_checks,
-                                ms.ecc_corrected,
-                            );
-                        }
-                    }
-                    let backoff = ctx.scu.backoff_delay_histogram();
-                    if backoff.count() > 0 {
-                        ctx.telem
-                            .merge_histogram("scu_backoff_delay_rounds", &backoff);
-                    }
-                    if ctx.telem.is_enabled() {
-                        // EDRAM-vs-DDR hit gauges: the end-of-run memory
-                        // profile the §4 model needs to locate data.
-                        let ms = ctx.mem.stats();
-                        ctx.telem
-                            .gauge_set("node_mem_edram_reads", ms.edram_reads as f64);
-                        ctx.telem
-                            .gauge_set("node_mem_edram_writes", ms.edram_writes as f64);
-                        ctx.telem
-                            .gauge_set("node_mem_ddr_reads", ms.ddr_reads as f64);
-                        ctx.telem
-                            .gauge_set("node_mem_ddr_writes", ms.ddr_writes as f64);
-                        ctx.telem
-                            .gauge_set("node_mem_ecc_corrected", ms.ecc_corrected as f64);
-                        ctx.telem
-                            .gauge_set("node_mem_machine_checks", ms.machine_checks as f64);
-                        ctx.telem
-                            .gauge_set("node_mem_scrub_cycles", scrub.cycles as f64);
-                    }
-                    let snapshot = ctx.health_snapshot();
-                    let flight = ctx.telem.take_flight();
-                    let parts = ctx.telem.take_parts();
+                    let (snapshot, parts, flight) = ctx.finish_run();
                     *results[node].lock() = Some((r, snapshot, parts, flight));
                     drop(done_guard);
                     let mut spins = 0u32;

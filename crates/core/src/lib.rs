@@ -3,9 +3,14 @@
 //!
 //! * [`config`] — machine configuration: 6-D shape, node parameters, link
 //!   timing;
-//! * [`functional`] — the threads-as-nodes engine: every node is an OS
+//! * [`functional`] — the thread-per-node engine: every node is an OS
 //!   thread running the real SCU link protocol over channels; used for
-//!   correctness, bit-reproducibility and fault-injection experiments;
+//!   correctness, bit-reproducibility and fault-injection experiments at
+//!   small machine sizes;
+//! * [`sharded`] — the sharded engine: the same per-node state driven as
+//!   cooperative futures multiplexed onto a few worker threads, lifting
+//!   the thread-per-node ceiling so the functional protocol stack runs at
+//!   the paper's full 12,288-node scale;
 //! * [`comm`] — the node-side communications API (the §3.3 "message
 //!   passing API that directly reflects the underlying hardware"),
 //!   including dimension-ordered global sums built from link transfers;
@@ -33,8 +38,10 @@ pub mod distributed;
 pub mod functional;
 pub mod perf;
 pub mod recovery;
+pub mod sharded;
 
 pub use config::MachineConfig;
 pub use functional::FunctionalMachine;
 pub use perf::{DiracPerf, EfficiencyReport, Precision};
 pub use recovery::{RecoveryConfig, RecoveryError, RecoveryReport, Replacement, SegmentVerdict};
+pub use sharded::ShardedMachine;

@@ -17,6 +17,7 @@
 //! end.
 
 use crate::functional::{FaultPlan, FunctionalMachine, HealthLedger, NodeCtx};
+use crate::sharded::ShardedMachine;
 use qcdoc_geometry::TorusShape;
 use qcdoc_telemetry::{MetricsRegistry, NodeTelemetry, Phase, Span};
 
@@ -100,6 +101,107 @@ pub struct RecoveryReport {
     pub spans: Vec<Span>,
 }
 
+/// What the recovery controller needs from an execution engine: run one
+/// segment under health surveillance, expose the current shape, and swap
+/// the fabric for a replacement. Both engines implement it, so a single
+/// controller body serves thread-per-node and sharded runs — they cannot
+/// drift apart.
+trait RecoverableMachine {
+    fn current_shape(&self) -> &TorusShape;
+    fn swap_fabric(&mut self, shape: TorusShape, faults: FaultPlan);
+}
+
+impl RecoverableMachine for FunctionalMachine {
+    fn current_shape(&self) -> &TorusShape {
+        self.shape()
+    }
+    fn swap_fabric(&mut self, shape: TorusShape, faults: FaultPlan) {
+        self.replace_fabric(shape, faults);
+    }
+}
+
+impl RecoverableMachine for ShardedMachine {
+    fn current_shape(&self) -> &TorusShape {
+        self.shape()
+    }
+    fn swap_fabric(&mut self, shape: TorusShape, faults: FaultPlan) {
+        self.replace_fabric(shape, faults);
+    }
+}
+
+/// The engine-agnostic quarantine-and-resume loop behind both
+/// `run_with_recovery` entry points.
+fn recovery_loop<M, S, T, R, G, H>(
+    machine: &mut M,
+    cfg: RecoveryConfig,
+    initial: S,
+    run_segment: impl Fn(&M, &S) -> (Vec<R>, HealthLedger),
+    mut reduce: G,
+    mut replan: H,
+) -> Result<(T, RecoveryReport), RecoveryError>
+where
+    M: RecoverableMachine,
+    G: FnMut(&TorusShape, Vec<R>) -> SegmentVerdict<S, T>,
+    H: FnMut(&HealthLedger) -> Option<Replacement>,
+{
+    let mut telem = NodeTelemetry::with_ring(0, 4096);
+    let mut state = initial;
+    let mut segments = 0usize;
+    let mut recoveries = 0usize;
+    let mut degraded = false;
+    loop {
+        let token = telem.begin();
+        let (results, ledger) = run_segment(machine, &state);
+        telem.advance(1);
+        telem.end_with(token, "recovery.segment", Phase::Host, 1);
+        if ledger.unhealthy_nodes().is_empty() {
+            segments += 1;
+            telem.counter_add("recovery_segments", 1);
+            match reduce(machine.current_shape(), results) {
+                SegmentVerdict::Done(result) => {
+                    telem.gauge_set("recovery_degraded", if degraded { 1.0 } else { 0.0 });
+                    let (metrics, spans) = telem.take_parts();
+                    return Ok((
+                        result,
+                        RecoveryReport {
+                            segments,
+                            recoveries,
+                            degraded,
+                            metrics,
+                            spans,
+                        },
+                    ));
+                }
+                SegmentVerdict::Continue(next) => {
+                    state = next;
+                    telem.counter_add("recovery_checkpoint_writes", 1);
+                }
+            }
+        } else {
+            // Tainted segment: drop the results on the floor.
+            drop(results);
+            if recoveries >= cfg.max_recoveries {
+                return Err(RecoveryError::Exhausted { recoveries });
+            }
+            let token = telem.begin();
+            telem.counter_add(
+                "recovery_quarantines",
+                ledger.culprit_nodes().len().max(1) as u64,
+            );
+            let Some(replacement) = replan(&ledger) else {
+                return Err(RecoveryError::Unreplaceable);
+            };
+            recoveries += 1;
+            degraded |= replacement.degraded;
+            machine.swap_fabric(replacement.shape, replacement.faults);
+            telem.counter_add("recovery_repartitions", 1);
+            telem.counter_add("recovery_checkpoint_restores", 1);
+            telem.advance(1);
+            telem.end_with(token, "recovery.repartition", Phase::Host, 1);
+        }
+    }
+}
+
 impl FunctionalMachine {
     /// Run `app` in bounded segments with quarantine-and-resume recovery.
     ///
@@ -118,8 +220,8 @@ impl FunctionalMachine {
         cfg: RecoveryConfig,
         initial: S,
         app: F,
-        mut reduce: G,
-        mut replan: H,
+        reduce: G,
+        replan: H,
     ) -> Result<(T, RecoveryReport), RecoveryError>
     where
         S: Sync,
@@ -128,62 +230,45 @@ impl FunctionalMachine {
         G: FnMut(&TorusShape, Vec<R>) -> SegmentVerdict<S, T>,
         H: FnMut(&HealthLedger) -> Option<Replacement>,
     {
-        let mut telem = NodeTelemetry::with_ring(0, 4096);
-        let mut state = initial;
-        let mut segments = 0usize;
-        let mut recoveries = 0usize;
-        let mut degraded = false;
-        loop {
-            let token = telem.begin();
-            let (results, ledger) = self.run_with_health(|ctx| app(ctx, &state));
-            telem.advance(1);
-            telem.end_with(token, "recovery.segment", Phase::Host, 1);
-            if ledger.unhealthy_nodes().is_empty() {
-                segments += 1;
-                telem.counter_add("recovery_segments", 1);
-                match reduce(self.shape(), results) {
-                    SegmentVerdict::Done(result) => {
-                        telem.gauge_set("recovery_degraded", if degraded { 1.0 } else { 0.0 });
-                        let (metrics, spans) = telem.take_parts();
-                        return Ok((
-                            result,
-                            RecoveryReport {
-                                segments,
-                                recoveries,
-                                degraded,
-                                metrics,
-                                spans,
-                            },
-                        ));
-                    }
-                    SegmentVerdict::Continue(next) => {
-                        state = next;
-                        telem.counter_add("recovery_checkpoint_writes", 1);
-                    }
-                }
-            } else {
-                // Tainted segment: drop the results on the floor.
-                drop(results);
-                if recoveries >= cfg.max_recoveries {
-                    return Err(RecoveryError::Exhausted { recoveries });
-                }
-                let token = telem.begin();
-                telem.counter_add(
-                    "recovery_quarantines",
-                    ledger.culprit_nodes().len().max(1) as u64,
-                );
-                let Some(replacement) = replan(&ledger) else {
-                    return Err(RecoveryError::Unreplaceable);
-                };
-                recoveries += 1;
-                degraded |= replacement.degraded;
-                self.replace_fabric(replacement.shape, replacement.faults);
-                telem.counter_add("recovery_repartitions", 1);
-                telem.counter_add("recovery_checkpoint_restores", 1);
-                telem.advance(1);
-                telem.end_with(token, "recovery.repartition", Phase::Host, 1);
-            }
-        }
+        recovery_loop(
+            &mut self,
+            cfg,
+            initial,
+            |machine, state| machine.run_with_health(|ctx| app(ctx, state)),
+            reduce,
+            replan,
+        )
+    }
+}
+
+impl ShardedMachine {
+    /// Quarantine-and-resume recovery on the sharded engine — the same
+    /// controller as [`FunctionalMachine::run_with_recovery`] (identical
+    /// segment/ledger/repartition semantics and telemetry), driving an
+    /// async node program.
+    pub fn run_with_recovery<S, T, R, F, G, H>(
+        mut self,
+        cfg: RecoveryConfig,
+        initial: S,
+        app: F,
+        reduce: G,
+        replan: H,
+    ) -> Result<(T, RecoveryReport), RecoveryError>
+    where
+        S: Sync,
+        R: Send,
+        F: AsyncFn(&mut NodeCtx, &S) -> R + Sync,
+        G: FnMut(&TorusShape, Vec<R>) -> SegmentVerdict<S, T>,
+        H: FnMut(&HealthLedger) -> Option<Replacement>,
+    {
+        recovery_loop(
+            &mut self,
+            cfg,
+            initial,
+            |machine, state| machine.run_with_health(async |ctx| app(ctx, state).await),
+            reduce,
+            replan,
+        )
     }
 }
 

@@ -1,0 +1,581 @@
+//! The sharded execution engine: worker threads multiplex virtual nodes.
+//!
+//! The thread-per-node [`FunctionalMachine`](crate::FunctionalMachine)
+//! tops out around a few hundred nodes — each OS thread costs a stack and
+//! a scheduler slot, and the paper's full machine is 12,288 nodes. This
+//! engine keeps the *exact same* per-node state ([`NodeCtx`]: real SCU
+//! state machine, node memory, fault tap, telemetry) but runs each node as
+//! a cooperative state machine — a compiler-generated future — and
+//! round-robins a contiguous shard of them on each worker thread.
+//!
+//! Node programs are `async` and must use the non-blocking waits
+//! ([`NodeCtx::complete_async`], [`NodeCtx::shift_async`], and the
+//! `*_async` collectives/solvers layered on them); the blocking forms
+//! would stall the whole shard. Everything below the wait loop — DMA
+//! descriptors, the three-in-the-air window, parity rejects and resends,
+//! block checksums, fault injection, flight recording — is byte-for-byte
+//! the same code both engines share, so a program produces bit-identical
+//! memory and telemetry on either engine.
+//!
+//! Scheduling is polling-based: a worker sweeps its shard, polling every
+//! live future once, then checks the shard's shared *pulse* flag (set by
+//! any wire movement inside [`NodeCtx::progress`]). A sweeping shard whose
+//! wires are all silent backs off exactly like an idle node thread does —
+//! yields first, then 20 µs sleeps — so a wedged machine converges to
+//! sleeping workers instead of a spinning core.
+
+use parking_lot::Mutex;
+use qcdoc_fault::{FaultClock, FaultPlan, HealthLedger, NodeHealth};
+use qcdoc_geometry::TorusShape;
+use qcdoc_scu::RetryPolicy;
+use qcdoc_telemetry::{FlightEvent, MachineTelemetry, MetricsRegistry, Span};
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
+
+use crate::functional::{build_fabric, yield_once, NodeCtx, NodeCtxConfig, TelemetryConfig};
+
+/// Idle pump rounds before a wedge, mirrored from the thread engine.
+const WEDGE_IDLE_SPINS: u32 = 50_000;
+
+/// The sharded machine: same builder surface as
+/// [`FunctionalMachine`](crate::FunctionalMachine), plus a worker count.
+///
+/// A tiny machine runs in a doctest — two workers multiplexing four
+/// virtual nodes, summing their ranks machine-wide over the real SCU
+/// link protocol:
+///
+/// ```
+/// use qcdoc_core::comm::global_sum_f64_async;
+/// use qcdoc_core::sharded::ShardedMachine;
+/// use qcdoc_geometry::TorusShape;
+///
+/// let machine = ShardedMachine::new(TorusShape::new(&[4, 1, 1, 1])).with_workers(2);
+/// let sums = machine.run(async |ctx| global_sum_f64_async(ctx, ctx.id.0 as f64).await);
+/// // Every node holds the same dimension-ordered sum 0 + 1 + 2 + 3.
+/// assert_eq!(sums, vec![6.0; 4]);
+/// ```
+///
+/// The full 12,288-node machine uses the same two lines — just the
+/// paper's shape:
+///
+/// ```no_run
+/// # use qcdoc_core::sharded::ShardedMachine;
+/// # use qcdoc_geometry::TorusShape;
+/// let ranks = ShardedMachine::new(TorusShape::new(&[8, 8, 8, 24])).run(async |ctx| ctx.id.0);
+/// assert_eq!(ranks.len(), 12_288);
+/// ```
+pub struct ShardedMachine {
+    shape: TorusShape,
+    faults: FaultPlan,
+    ddr_bytes: u64,
+    telemetry: Option<TelemetryConfig>,
+    retry_policy: RetryPolicy,
+    wedge_spins: u32,
+    block_checksums: bool,
+    workers: usize,
+}
+
+impl ShardedMachine {
+    /// A machine with the given logical shape, 128 MB DIMMs, and one
+    /// worker per available host core.
+    pub fn new(shape: TorusShape) -> ShardedMachine {
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        ShardedMachine {
+            shape,
+            faults: FaultPlan::default(),
+            ddr_bytes: 128 * 1024 * 1024,
+            telemetry: None,
+            retry_policy: RetryPolicy::default(),
+            wedge_spins: WEDGE_IDLE_SPINS,
+            block_checksums: false,
+            workers,
+        }
+    }
+
+    /// Turn on end-to-end DMA block checksums (see
+    /// [`FunctionalMachine::with_block_checksums`](crate::FunctionalMachine::with_block_checksums)).
+    pub fn with_block_checksums(mut self) -> ShardedMachine {
+        self.block_checksums = true;
+        self
+    }
+
+    /// Install a fault plan (compiled against this machine when a run
+    /// starts).
+    pub fn with_faults(mut self, plan: FaultPlan) -> ShardedMachine {
+        self.faults = plan;
+        self
+    }
+
+    /// Install a link retry policy on every send unit.
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> ShardedMachine {
+        self.retry_policy = policy;
+        self
+    }
+
+    /// Override the wedge watchdog (idle pump rounds on a silent wire
+    /// before a node gives up). The cooperative wait loop additionally
+    /// requires the equivalent wall-clock silence, so the effective
+    /// timeout matches the thread engine's.
+    pub fn with_wedge_timeout(mut self, spins: u32) -> ShardedMachine {
+        self.wedge_spins = spins.max(1);
+        self
+    }
+
+    /// Enable per-node telemetry, collected by
+    /// [`ShardedMachine::run_with_telemetry`].
+    pub fn with_telemetry(mut self, cfg: TelemetryConfig) -> ShardedMachine {
+        self.telemetry = Some(cfg);
+        self
+    }
+
+    /// Override the worker-thread count (default: available parallelism).
+    /// Nodes are partitioned contiguously: worker `w` of `W` drives ranks
+    /// `[w·n/W, (w+1)·n/W)`.
+    pub fn with_workers(mut self, workers: usize) -> ShardedMachine {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// The logical shape.
+    pub fn shape(&self) -> &TorusShape {
+        &self.shape
+    }
+
+    /// Swap the fabric under the machine — a recovery repartition, same
+    /// contract as the thread engine's.
+    pub(crate) fn replace_fabric(&mut self, shape: TorusShape, faults: FaultPlan) {
+        self.shape = shape;
+        self.faults = faults;
+    }
+
+    /// Run the async node program on every node; returns per-node results
+    /// in rank order.
+    pub fn run<F, R>(&self, app: F) -> Vec<R>
+    where
+        F: AsyncFn(&mut NodeCtx) -> R + Sync,
+        R: Send,
+    {
+        self.run_inner(app)
+            .into_iter()
+            .map(|(r, _, _, _)| r)
+            .collect()
+    }
+
+    /// Like [`ShardedMachine::run`], but also collect every node's SCU
+    /// counters and checksums into a finalized [`HealthLedger`].
+    pub fn run_with_health<F, R>(&self, app: F) -> (Vec<R>, HealthLedger)
+    where
+        F: AsyncFn(&mut NodeCtx) -> R + Sync,
+        R: Send,
+    {
+        let mut ledger = HealthLedger::new(self.shape.node_count());
+        let mut results = Vec::with_capacity(self.shape.node_count());
+        for (node, (r, health, _, _)) in self.run_inner(app).into_iter().enumerate() {
+            results.push(r);
+            *ledger.node_mut(node as u32) = health;
+        }
+        ledger.finalize(&self.shape);
+        (results, ledger)
+    }
+
+    /// Like [`ShardedMachine::run_with_health`], but additionally collect
+    /// every node's metrics and cycle-stamped spans.
+    pub fn run_with_telemetry<F, R>(&self, app: F) -> (Vec<R>, HealthLedger, MachineTelemetry)
+    where
+        F: AsyncFn(&mut NodeCtx) -> R + Sync,
+        R: Send,
+    {
+        let mut ledger = HealthLedger::new(self.shape.node_count());
+        let mut telemetry = MachineTelemetry::new();
+        let mut results = Vec::with_capacity(self.shape.node_count());
+        for (node, (r, health, (metrics, spans), flight)) in
+            self.run_inner(app).into_iter().enumerate()
+        {
+            results.push(r);
+            *ledger.node_mut(node as u32) = health;
+            telemetry.absorb_node(node as u32, metrics, spans);
+            telemetry.absorb_flight(flight);
+        }
+        ledger.finalize(&self.shape);
+        ledger.export_metrics(&mut telemetry.metrics);
+        (results, ledger, telemetry)
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn run_inner<F, R>(
+        &self,
+        app: F,
+    ) -> Vec<(
+        R,
+        NodeHealth,
+        (MetricsRegistry, Vec<Span>),
+        Vec<FlightEvent>,
+    )>
+    where
+        F: AsyncFn(&mut NodeCtx) -> R + Sync,
+        R: Send,
+    {
+        let n = self.shape.node_count();
+        let workers = self.workers.min(n).max(1);
+        let (mut txs, mut rxs) = build_fabric(&self.shape);
+        let clock = Arc::new(FaultClock::resolve(
+            &self.faults,
+            n as u32,
+            2 * self.shape.rank(),
+        ));
+        type NodeOutput<R> = (
+            R,
+            NodeHealth,
+            (MetricsRegistry, Vec<Span>),
+            Vec<FlightEvent>,
+        );
+        let results: Vec<Mutex<Option<NodeOutput<R>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let cfg = NodeCtxConfig {
+            shape: self.shape.clone(),
+            ddr_bytes: self.ddr_bytes,
+            telemetry: self.telemetry,
+            retry_policy: self.retry_policy,
+            wedge_spins: self.wedge_spins,
+            block_checksums: self.block_checksums,
+        };
+        // Global completion count: a node's driver keeps pumping its wires
+        // after its program finishes until *everyone* has finished, so no
+        // neighbour stalls waiting for an ack from a retired node. Panics
+        // count too (the worker bumps it when it catches one), or the
+        // survivors would pump forever and the panic never surface.
+        let done = AtomicUsize::new(0);
+        // First caught panic payload, re-raised from the calling thread
+        // after the scope so the caller sees the original panic (letting
+        // the worker itself unwind would reach `thread::scope`'s generic
+        // "a scoped thread panicked" and lose the payload).
+        let panic_slot: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+        // Contiguous shard boundaries: worker w drives [w*n/W, (w+1)*n/W).
+        let mut shards: Vec<Vec<(usize, NodeWires)>> = (0..workers).map(|_| Vec::new()).collect();
+        for (node, pair) in txs.drain(..).zip(rxs.drain(..)).enumerate() {
+            shards[node * workers / n].push((node, pair));
+        }
+        std::thread::scope(|scope| {
+            for shard in shards.drain(..) {
+                let app = &app;
+                let results = &results;
+                let done = &done;
+                let cfg = &cfg;
+                let clock = &clock;
+                let panic_slot = &panic_slot;
+                scope.spawn(move || {
+                    if let Some(payload) = drive_shard(shard, app, results, done, cfg, clock, n) {
+                        panic_slot.lock().get_or_insert(payload);
+                    }
+                });
+            }
+        });
+        if let Some(payload) = panic_slot.into_inner() {
+            std::panic::resume_unwind(payload);
+        }
+        results
+            .into_iter()
+            .map(|m| m.into_inner().expect("node produced no result"))
+            .collect()
+    }
+}
+
+/// One node's channel ends, as produced by `build_fabric`.
+type NodeWires = (
+    Vec<Option<crossbeam::channel::Sender<qcdoc_scu::scu::WireMsg>>>,
+    Vec<Option<crossbeam::channel::Receiver<qcdoc_scu::scu::WireMsg>>>,
+);
+
+/// Worker body: build one driver future per assigned node and poll them
+/// round-robin until every driver has retired. Returns the first caught
+/// node-program panic, if any, for the caller to re-raise.
+///
+/// Driver futures are constructed *inside* the worker thread from `Send`
+/// seeds (rank + channel ends), so the futures themselves — which hold a
+/// `&mut NodeCtx` across await points — never need to be `Send`.
+#[allow(clippy::type_complexity)]
+fn drive_shard<F, R>(
+    shard: Vec<(usize, NodeWires)>,
+    app: &F,
+    results: &[Mutex<
+        Option<(
+            R,
+            NodeHealth,
+            (MetricsRegistry, Vec<Span>),
+            Vec<FlightEvent>,
+        )>,
+    >],
+    done: &AtomicUsize,
+    cfg: &NodeCtxConfig,
+    clock: &Arc<FaultClock>,
+    n: usize,
+) -> Option<Box<dyn std::any::Any + Send>>
+where
+    F: AsyncFn(&mut NodeCtx) -> R + Sync,
+    R: Send,
+{
+    // Shared wire-activity flag for this shard: any `progress()` that
+    // moves a message sets it; the worker reads-and-clears it once per
+    // sweep to decide whether the whole shard has gone silent.
+    let pulse = Arc::new(AtomicBool::new(false));
+    let mut drivers: Vec<Option<Pin<Box<dyn Future<Output = ()> + '_>>>> = shard
+        .into_iter()
+        .map(|(node, (tx, rx))| {
+            let pulse = Arc::clone(&pulse);
+            let clock = Arc::clone(clock);
+            let fut = async move {
+                let mut ctx = NodeCtx::build(node as u32, cfg, tx, rx, clock, Some(pulse));
+                ctx.apply_mem_faults();
+                let r = app(&mut ctx).await;
+                let (snapshot, parts, flight) = ctx.finish_run();
+                *results[node].lock() = Some((r, snapshot, parts, flight));
+                done.fetch_add(1, Ordering::SeqCst);
+                // Keep pumping until the whole machine has finished, like
+                // the thread engine's post-run pump loop.
+                while done.load(Ordering::SeqCst) < n {
+                    ctx.progress();
+                    yield_once().await;
+                }
+            };
+            Some(Box::pin(fut) as Pin<Box<dyn Future<Output = ()> + '_>>)
+        })
+        .collect();
+    let mut cx = Context::from_waker(Waker::noop());
+    let mut live = drivers.len();
+    let mut idle_sweeps = 0u32;
+    // A panicked node program must not take its shard-mates down with it:
+    // catch the unwind, retire that driver (its NodeCtx drops, closing its
+    // wires, so neighbours wedge rather than hang), let the rest of the
+    // machine drain, and hand the payload back for a post-scope re-raise.
+    let mut panic_payload: Option<Box<dyn std::any::Any + Send>> = None;
+    while live > 0 {
+        for slot in drivers.iter_mut() {
+            let Some(fut) = slot else { continue };
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                fut.as_mut().poll(&mut cx)
+            })) {
+                Ok(Poll::Ready(())) => {
+                    *slot = None;
+                    live -= 1;
+                }
+                Ok(Poll::Pending) => {}
+                Err(payload) => {
+                    *slot = None;
+                    live -= 1;
+                    done.fetch_add(1, Ordering::SeqCst);
+                    panic_payload.get_or_insert(payload);
+                }
+            }
+        }
+        // Same idle backoff a node thread uses, but for the whole shard:
+        // only when no wire anywhere in the shard moved during the sweep.
+        if pulse.swap(false, Ordering::Relaxed) {
+            idle_sweeps = 0;
+        } else {
+            idle_sweeps += 1;
+            if idle_sweeps < 256 {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(std::time::Duration::from_micros(20));
+            }
+        }
+    }
+    panic_payload
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcdoc_fault::FaultEvent;
+    use qcdoc_geometry::{Axis, NodeId};
+    use qcdoc_scu::dma::DmaDescriptor;
+
+    fn ring4() -> TorusShape {
+        TorusShape::new(&[4])
+    }
+
+    #[test]
+    fn ring_shift_matches_thread_engine() {
+        for workers in [1, 2, 3, 4] {
+            let machine = ShardedMachine::new(ring4()).with_workers(workers);
+            let results = machine.run(async |ctx| {
+                ctx.mem.write_word(0x100, 1000 + ctx.id.0 as u64).unwrap();
+                ctx.shift_async(
+                    Axis(0).plus(),
+                    DmaDescriptor::contiguous(0x100, 1),
+                    DmaDescriptor::contiguous(0x200, 1),
+                )
+                .await;
+                ctx.mem.read_word(0x200).unwrap()
+            });
+            assert_eq!(results, vec![1003, 1000, 1001, 1002], "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn bidirectional_shift_2d_multiplexed() {
+        // Four nodes on one worker: every rendezvous is between futures
+        // multiplexed on the same thread, so nothing may block.
+        let machine = ShardedMachine::new(TorusShape::new(&[2, 2])).with_workers(1);
+        let results = machine.run(async |ctx| {
+            ctx.mem.write_word(0x0, ctx.id.0 as u64).unwrap();
+            ctx.start_recv(Axis(0).minus(), DmaDescriptor::contiguous(0x300, 1));
+            ctx.start_recv(Axis(1).minus(), DmaDescriptor::contiguous(0x308, 1));
+            ctx.start_send(Axis(0).plus(), DmaDescriptor::contiguous(0x0, 1));
+            ctx.start_send(Axis(1).plus(), DmaDescriptor::contiguous(0x0, 1));
+            ctx.complete_async(
+                &[Axis(0).plus(), Axis(1).plus()],
+                &[Axis(0).minus(), Axis(1).minus()],
+            )
+            .await;
+            (
+                ctx.mem.read_word(0x300).unwrap(),
+                ctx.mem.read_word(0x308).unwrap(),
+            )
+        });
+        let shape = TorusShape::new(&[2, 2]);
+        for (i, &(fx, fy)) in results.iter().enumerate() {
+            let c = shape.coord_of(NodeId(i as u32));
+            let xm = shape.rank_of(shape.neighbour(c, Axis(0).minus())).0 as u64;
+            let ym = shape.rank_of(shape.neighbour(c, Axis(1).minus())).0 as u64;
+            assert_eq!((fx, fy), (xm, ym), "node {i}");
+        }
+    }
+
+    #[test]
+    fn injected_fault_heals_and_ledger_matches_thread_engine() {
+        // Same plan, same program, both engines: the health ledgers must
+        // agree bit for bit (checksums included) — the sharding is pure
+        // scheduling, invisible to the protocol.
+        let app_body = |ctx: &mut NodeCtx| {
+            for i in 0..8u64 {
+                ctx.mem
+                    .write_word(0x100 + i * 8, ctx.id.0 as u64 * 100 + i)
+                    .unwrap();
+            }
+        };
+        let plan = || FaultPlan::new(42).with_event(FaultEvent::bit_flip(1, 0, 2, 30));
+        let sharded = ShardedMachine::new(ring4())
+            .with_faults(plan())
+            .with_workers(2);
+        let (s_results, s_ledger) = sharded.run_with_health(async |ctx| {
+            app_body(ctx);
+            ctx.shift_async(
+                Axis(0).plus(),
+                DmaDescriptor::contiguous(0x100, 8),
+                DmaDescriptor::contiguous(0x400, 8),
+            )
+            .await;
+            ctx.mem.read_block(0x400, 8).unwrap()
+        });
+        let threaded = crate::FunctionalMachine::new(ring4()).with_faults(plan());
+        let (t_results, t_ledger) = threaded.run_with_health(|ctx| {
+            app_body(ctx);
+            ctx.shift(
+                Axis(0).plus(),
+                DmaDescriptor::contiguous(0x100, 8),
+                DmaDescriptor::contiguous(0x400, 8),
+            );
+            ctx.mem.read_block(0x400, 8).unwrap()
+        });
+        assert_eq!(s_results, t_results);
+        assert_eq!(s_ledger.total_injected(), t_ledger.total_injected());
+        assert_eq!(s_ledger.total_resends(), t_ledger.total_resends());
+        assert!(s_ledger.all_checksums_ok());
+        for (s, t) in s_ledger.nodes.iter().zip(t_ledger.nodes.iter()) {
+            for (sl, tl) in s.links.iter().zip(t.links.iter()) {
+                assert_eq!(sl.sent_words, tl.sent_words);
+                assert_eq!(sl.send_checksum, tl.send_checksum);
+                assert_eq!(sl.recv_checksum, tl.recv_checksum);
+            }
+        }
+    }
+
+    #[test]
+    fn dead_link_wedges_the_shard_without_hanging() {
+        let plan = FaultPlan::new(0).with_event(FaultEvent::dead_link(1, 0, 0));
+        let machine = ShardedMachine::new(ring4())
+            .with_faults(plan)
+            .with_wedge_timeout(2_000)
+            .with_workers(1);
+        let (_, ledger) = machine.run_with_health(async |ctx| {
+            ctx.mem.write_word(0x100, ctx.id.0 as u64).unwrap();
+            ctx.shift_async(
+                Axis(0).plus(),
+                DmaDescriptor::contiguous(0x100, 1),
+                DmaDescriptor::contiguous(0x200, 1),
+            )
+            .await;
+        });
+        assert_eq!(ledger.dead_links(), vec![(1, 0)]);
+        assert_eq!(ledger.nodes[1].liveness, qcdoc_fault::Liveness::Wedged);
+        assert!(!ledger.all_checksums_ok());
+    }
+
+    #[test]
+    fn panicked_node_surfaces_after_the_machine_drains() {
+        let machine = ShardedMachine::new(ring4()).with_workers(2);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            machine.run(async |ctx| {
+                if ctx.id.0 == 2 {
+                    panic!("node 2 dies");
+                }
+                ctx.id.0
+            })
+        }));
+        let err = outcome.expect_err("the node panic must propagate");
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "node 2 dies");
+    }
+
+    #[test]
+    fn sixty_four_nodes_on_two_workers() {
+        // 4x4x4 torus, 32 virtual nodes per worker: a six-direction
+        // neighbour exchange where each node checks all incoming ranks.
+        let shape = TorusShape::new(&[4, 4, 4]);
+        let machine = ShardedMachine::new(shape.clone()).with_workers(2);
+        let results = machine.run(async |ctx| {
+            ctx.mem.write_word(0x0, ctx.id.0 as u64).unwrap();
+            let mut sends = Vec::new();
+            let mut recvs = Vec::new();
+            for axis in 0..3u8 {
+                for dir in [Axis(axis).plus(), Axis(axis).minus()] {
+                    ctx.start_recv(
+                        dir,
+                        DmaDescriptor::contiguous(0x100 + dir.link_index() as u64 * 8, 1),
+                    );
+                    recvs.push(dir);
+                    ctx.start_send(dir, DmaDescriptor::contiguous(0x0, 1));
+                    sends.push(dir);
+                }
+            }
+            ctx.complete_async(&sends, &recvs).await;
+            let mut got = Vec::new();
+            for axis in 0..3u8 {
+                for dir in [Axis(axis).plus(), Axis(axis).minus()] {
+                    got.push((
+                        dir,
+                        ctx.mem
+                            .read_word(0x100 + dir.link_index() as u64 * 8)
+                            .unwrap(),
+                    ));
+                }
+            }
+            got
+        });
+        for (i, got) in results.iter().enumerate() {
+            let c = shape.coord_of(NodeId(i as u32));
+            for &(dir, val) in got {
+                // A word armed toward `dir` lands at the neighbour's
+                // opposite-direction receive slot, so the value received
+                // "from" dir is the rank of the neighbour in `dir`.
+                let expect = shape.rank_of(shape.neighbour(c, dir)).0 as u64;
+                assert_eq!(val, expect, "node {i} dir {dir:?}");
+            }
+        }
+    }
+}

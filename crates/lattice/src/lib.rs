@@ -22,6 +22,8 @@
 //! * [`eo`] — even/odd preconditioning (the production solver trick);
 //! * [`solver`] — conjugate gradient on the normal equations, the kernel
 //!   that "dominates our calculations";
+//! * [`aosoa`] — lane-blocked AoSoA field layouts and the SIMD Wilson hot
+//!   path, bit-identical per precision to the scalar kernels;
 //! * [`checkpoint`] — deterministic CG state checkpoints in the NERSC
 //!   idiom, the solver half of the machine's quarantine-and-resume story;
 //! * [`counts`] — closed-form per-site operation ledgers for each operator,
@@ -37,6 +39,7 @@
 
 #![warn(missing_docs)]
 
+pub mod aosoa;
 pub mod checkpoint;
 pub mod clover;
 pub mod colorvec;

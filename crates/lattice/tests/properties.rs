@@ -285,3 +285,68 @@ proptest! {
         prop_assert_eq!(x.fingerprint(), x2.fingerprint());
     }
 }
+
+// The AoSoA layout (`aosoa`) is a pure re-arrangement: converting a field
+// into lane blocks and back must reproduce every byte, and the blocked
+// Dslash must produce the scalar kernel's bits — at both precisions, on
+// any lattice whose volume divides into lanes.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn aosoa_roundtrip_is_bit_exact_both_precisions(
+        seed in 0u64..1000,
+        which in 0usize..5,
+    ) {
+        use qcdoc_lattice::aosoa::{FermionBlocks, GaugeBlocks};
+        const SHAPES: [[usize; 4]; 5] =
+            [[2, 2, 2, 2], [4, 2, 2, 2], [2, 2, 2, 4], [4, 4, 2, 2], [8, 2, 2, 2]];
+        let lat = Lattice::new(SHAPES[which]);
+        let psi = FermionField::gaussian(lat, seed);
+        prop_assert_eq!(FermionBlocks::from_field(&psi).to_field(), psi.clone());
+        let psi32 = psi.to_f32();
+        prop_assert_eq!(FermionBlocks::from_field(&psi32).to_field(), psi32);
+        let gauge = GaugeField::hot(lat, seed.wrapping_add(7));
+        prop_assert_eq!(
+            GaugeBlocks::from_field(&gauge).to_field().fingerprint(),
+            gauge.fingerprint()
+        );
+        let gauge32 = gauge.to_f32();
+        prop_assert_eq!(GaugeBlocks::from_field(&gauge32).to_field(), gauge32);
+    }
+
+    #[test]
+    fn aosoa_dslash_reproduces_scalar_bits(seed in 0u64..1000) {
+        use qcdoc_lattice::aosoa::{dslash_aosoa, FermionBlocks, GaugeBlocks};
+        use qcdoc_lattice::field::NeighbourTable;
+        let lat = Lattice::new([2, 2, 2, 4]);
+        let hops = NeighbourTable::new(lat);
+        let gauge = GaugeField::hot(lat, seed);
+        let psi = FermionField::gaussian(lat, seed.wrapping_add(1));
+        let op = WilsonDirac::new(&gauge, 0.12);
+        let mut scalar = FermionField::zero(lat);
+        op.dslash(&mut scalar, &psi);
+        let mut blocked = FermionBlocks::zero(lat);
+        dslash_aosoa(
+            &mut blocked,
+            &GaugeBlocks::from_field(&gauge),
+            &FermionBlocks::from_field(&psi),
+            &hops,
+        );
+        prop_assert_eq!(blocked.to_field().fingerprint(), scalar.fingerprint());
+
+        let gauge32 = gauge.to_f32();
+        let psi32 = psi.to_f32();
+        let op32 = WilsonDirac::new(&gauge32, 0.12);
+        let mut scalar32 = FermionField::<f32>::zero(lat);
+        op32.dslash(&mut scalar32, &psi32);
+        let mut blocked32 = FermionBlocks::<f32>::zero(lat);
+        dslash_aosoa(
+            &mut blocked32,
+            &GaugeBlocks::from_field(&gauge32),
+            &FermionBlocks::from_field(&psi32),
+            &hops,
+        );
+        prop_assert_eq!(blocked32.to_field(), scalar32);
+    }
+}

@@ -34,7 +34,7 @@ fn main() {
     println!("partition {id}: logical machine {logical} (dilation 1, no cables moved)");
 
     // --- 3. Run a distributed Wilson solve on a small functional machine
-    //        (threads as nodes, real SCU link protocol). 16 nodes keeps the
+    //        (thread-per-node engine, real SCU link protocol). 16 nodes keeps the
     //        demo quick; the protocol path is identical at any size.
     let demo_shape = TorusShape::new(&[2, 2, 2, 2]);
     let global = Lattice::new([4, 4, 4, 4]);

@@ -4,8 +4,9 @@
 //! the host — the full §3 software stack in one flow.
 
 use qcdoc::core::comm::global_sum_f64;
-use qcdoc::core::distributed::{wilson_solve_cg, BlockGeom};
+use qcdoc::core::distributed::{wilson_solve_cg, wilson_solve_cg_async, BlockGeom};
 use qcdoc::core::functional::FunctionalMachine;
+use qcdoc::core::ShardedMachine;
 use qcdoc::geometry::{NodeCoord, PartitionSpec, TorusShape};
 use qcdoc::host::qcsh::{parse, Qcsh};
 use qcdoc::host::qdaemon::{NodeState, Qdaemon};
@@ -61,6 +62,53 @@ fn boot_partition_run_return_output() {
     qdaemon.release(id);
     let census = qdaemon.census();
     assert_eq!((census.ready, census.busy), (32, 0));
+}
+
+#[test]
+fn sharded_engine_boots_partitions_and_solves() {
+    // Same pipeline, but the partition runs on the sharded virtual-node
+    // engine: a couple of workers multiplex all 32 cooperative node
+    // programs instead of one OS thread per node. The async solver is
+    // line-for-line the blocking one, so the two engines must agree on
+    // the converged solution bit-for-bit.
+    let machine_shape = TorusShape::new(&[2, 2, 2, 2, 2, 1]);
+    let mut qdaemon = Qdaemon::new(machine_shape.clone());
+    assert_eq!(qdaemon.boot(&[]).booted, 32);
+    let spec = PartitionSpec::whole_machine(&machine_shape, &[&[0], &[1], &[2], &[3, 4, 5]]);
+    let id = qdaemon.allocate(spec).expect("allocation");
+    let logical = qdaemon.partition(id).unwrap().logical_shape().clone();
+
+    let global = Lattice::new([4, 4, 4, 8]);
+    let gauge = GaugeField::hot(global, 11);
+    let b = FermionField::gaussian(global, 12);
+    let solve = |ctx: &mut qcdoc::core::functional::NodeCtx| {
+        let geom = BlockGeom::new(ctx, global);
+        let lg = geom.extract_gauge(&gauge);
+        let lb = geom.extract_fermion(&b);
+        wilson_solve_cg(ctx, &geom, &lg, &lb, 0.11, 1e-7, 2000)
+    };
+    let reference = FunctionalMachine::new(logical.clone()).run(solve);
+    let sharded = ShardedMachine::new(logical)
+        .with_workers(2)
+        .run(async |ctx| {
+            let geom = BlockGeom::new(ctx, global);
+            let lg = geom.extract_gauge(&gauge);
+            let lb = geom.extract_fermion(&b);
+            wilson_solve_cg_async(ctx, &geom, &lg, &lb, 0.11, 1e-7, 2000).await
+        });
+    qdaemon.release(id);
+
+    assert_eq!(reference.len(), sharded.len());
+    for ((rx, rr), (sx, sr)) in reference.iter().zip(&sharded) {
+        assert!(sr.converged, "sharded solve must converge");
+        assert_eq!(rr.iterations, sr.iterations);
+        assert_eq!(
+            rr.final_residual.to_bits(),
+            sr.final_residual.to_bits(),
+            "engines must agree on the residual bits"
+        );
+        assert_eq!(rx, sx, "engines must agree on the solution exactly");
+    }
 }
 
 #[test]

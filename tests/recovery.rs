@@ -10,10 +10,12 @@
 //! unaffected.
 
 use qcdoc::core::distributed::{
-    assemble_checkpoint, resume_blocks, wilson_cg_segment, BlockGeom, CgResume, CgSegmentOut,
+    assemble_checkpoint, resume_blocks, wilson_cg_segment, wilson_cg_segment_async, BlockGeom,
+    CgResume, CgSegmentOut,
 };
 use qcdoc::core::functional::{FaultEvent, FaultPlan, FunctionalMachine, NodeCtx};
-use qcdoc::core::recovery::{RecoveryConfig, Replacement, SegmentVerdict};
+use qcdoc::core::recovery::{RecoveryConfig, RecoveryReport, Replacement, SegmentVerdict};
+use qcdoc::core::ShardedMachine;
 use qcdoc::geometry::{NodeCoord, PartitionSpec, TorusShape};
 use qcdoc::host::{Qdaemon, RecoveryPlanner};
 use qcdoc::lattice::checkpoint::{read_checkpoint, write_checkpoint, CgCheckpoint};
@@ -74,6 +76,60 @@ fn cg_segment_app(
                 Some(resume),
                 segment_iters,
             )
+        }
+    }
+}
+
+/// Async twin of [`cg_segment_app`] for the sharded engine. Restoration
+/// and segmenting logic are identical; only the solver entry point is the
+/// cooperative one.
+async fn cg_segment_app_async(
+    ctx: &mut NodeCtx,
+    gauge: &GaugeField,
+    b: &FermionField,
+    state: &Option<CgCheckpoint>,
+    segment_iters: usize,
+) -> CgSegmentOut {
+    let geom = BlockGeom::new(ctx, global());
+    let lg = geom.extract_gauge(gauge);
+    let lb = geom.extract_fermion(b);
+    match state {
+        None => {
+            wilson_cg_segment_async(
+                ctx,
+                &geom,
+                &lg,
+                &lb,
+                KAPPA,
+                TOL,
+                MAX_ITERS,
+                None,
+                segment_iters,
+            )
+            .await
+        }
+        Some(ckpt) => {
+            let (x, r, p) = resume_blocks(&geom, ckpt);
+            let resume = CgResume {
+                x: &x,
+                r: &r,
+                p: &p,
+                rsq: ckpt.rsq,
+                bref: ckpt.bref,
+                iterations: ckpt.iterations,
+            };
+            wilson_cg_segment_async(
+                ctx,
+                &geom,
+                &lg,
+                &lb,
+                KAPPA,
+                TOL,
+                MAX_ITERS,
+                Some(resume),
+                segment_iters,
+            )
+            .await
         }
     }
 }
@@ -185,6 +241,108 @@ fn faulted_run_recovers_bit_identically_on_the_spare_partition() {
     let census = qdaemon.census();
     assert_eq!((census.busy, census.faulty), (8, 1));
     assert_eq!(planner.partition().spec().origin.get(3), 1);
+}
+
+/// Run the standard faulted campaign — node 3's +x transmitter dies at
+/// cycle 300, the planner swaps in the spare half — on either engine:
+/// the thread-per-node engine when `sharded_workers` is `None`, the
+/// sharded virtual-node engine with that many workers otherwise.
+fn faulted_recovery_on(
+    gauge: &GaugeField,
+    b: &FermionField,
+    sharded_workers: Option<usize>,
+) -> (CgCheckpoint, RecoveryReport) {
+    let mut qdaemon = Qdaemon::new(TorusShape::new(&[2, 2, 2, 2]));
+    qdaemon.boot(&[]);
+    let machine_faults = FaultPlan::new(7).with_event(FaultEvent::dead_link(3, 0, 300));
+    let mut planner =
+        RecoveryPlanner::new(&mut qdaemon, half_spec(), machine_faults, false).unwrap();
+    let shape = planner.partition().logical_shape().clone();
+    let faults = planner.local_faults();
+
+    let mut prior_residuals: Vec<f64> = Vec::new();
+    let mut reduce = |shape: &TorusShape, outs: Vec<CgSegmentOut>| {
+        let ckpt = assemble_checkpoint(shape, global(), &outs, &prior_residuals);
+        prior_residuals = ckpt.residuals.clone();
+        if ckpt.converged {
+            SegmentVerdict::Done(ckpt)
+        } else {
+            let bytes = write_checkpoint(&ckpt);
+            SegmentVerdict::Continue(Some(read_checkpoint(&bytes).unwrap()))
+        }
+    };
+    let mut replan = |ledger: &qcdoc::core::functional::HealthLedger| {
+        planner
+            .quarantine_and_replan(&mut qdaemon, ledger)
+            .map(|(part, faults, degraded)| Replacement {
+                shape: part.logical_shape().clone(),
+                faults,
+                degraded,
+            })
+    };
+
+    let out = match sharded_workers {
+        None => FunctionalMachine::new(shape)
+            .with_faults(faults)
+            .with_wedge_timeout(5_000)
+            .run_with_recovery(
+                RecoveryConfig::default(),
+                None,
+                |ctx, state: &Option<CgCheckpoint>| cg_segment_app(ctx, gauge, b, state, SEG_ITERS),
+                &mut reduce,
+                &mut replan,
+            ),
+        Some(workers) => ShardedMachine::new(shape)
+            .with_faults(faults)
+            .with_wedge_timeout(5_000)
+            .with_workers(workers)
+            .run_with_recovery(
+                RecoveryConfig::default(),
+                None,
+                async |ctx, state: &Option<CgCheckpoint>| {
+                    cg_segment_app_async(ctx, gauge, b, state, SEG_ITERS).await
+                },
+                &mut reduce,
+                &mut replan,
+            ),
+    };
+    out.expect("the spare half must carry the job home")
+}
+
+#[test]
+fn sharded_recovery_reproduces_thread_engine_residual_bits() {
+    // Same fault, same planner, same checkpoints — one run on the
+    // thread-per-node engine, one multiplexed onto 3 worker threads.
+    // The whole point of the shared pump/controller plumbing is that the
+    // execution strategy is invisible to the physics: recovered solution
+    // bits, residual history, and archive digest must all agree.
+    let gauge = GaugeField::hot(global(), 21);
+    let b = FermionField::gaussian(global(), 22);
+
+    let (thread_ckpt, thread_report) = faulted_recovery_on(&gauge, &b, None);
+    let (sharded_ckpt, sharded_report) = faulted_recovery_on(&gauge, &b, Some(3));
+
+    assert_eq!(sharded_report.recoveries, 1);
+    assert!(!sharded_report.degraded);
+    assert_eq!(sharded_report.segments, thread_report.segments);
+    assert!(sharded_ckpt.converged);
+
+    assert_eq!(sharded_ckpt.iterations, thread_ckpt.iterations);
+    assert_eq!(sharded_ckpt.x, thread_ckpt.x);
+    assert_eq!(
+        sharded_ckpt
+            .residuals
+            .iter()
+            .map(|r| r.to_bits())
+            .collect::<Vec<_>>(),
+        thread_ckpt
+            .residuals
+            .iter()
+            .map(|r| r.to_bits())
+            .collect::<Vec<_>>(),
+        "recovered residual history must match the thread engine bit-for-bit"
+    );
+    assert_eq!(sharded_ckpt.digest(), thread_ckpt.digest());
 }
 
 #[test]
