@@ -1,0 +1,89 @@
+//! The chaos soak as a gated benchmark: machine-level SLOs under fire.
+//!
+//! The smoke check runs the default seeded soak — multi-tenant job mix,
+//! continuous link/node/memory/storage fault schedule, checkpoint-requeue
+//! and repair-and-return all active — and hard-fails unless the SLOs
+//! hold: zero lost jobs, every tracked CG solve bit-identical to its
+//! fault-free reference, the scheduler drained. The measured numbers
+//! land in `BENCH_chaos.json`; the judge gates the deterministic ones
+//! (lost jobs at zero, goodput, requeue latency p99, end capacity) so
+//! the autonomic loop cannot silently erode. The criterion group then
+//! times one full soak for the dashboard.
+
+use criterion::{black_box, criterion_group, Criterion};
+use qcdoc_bench::BenchRun;
+use qcdoc_host::{run_chaos, ChaosConfig};
+use std::time::Instant;
+
+fn smoke_check() {
+    let cfg = ChaosConfig::default();
+    let started = Instant::now();
+    let report = run_chaos(cfg.clone());
+    let wall = started.elapsed().as_secs_f64();
+
+    assert!(report.drained, "soak must drain: {report:?}");
+    assert_eq!(report.lost, 0, "no job may be lost: {report:?}");
+    assert_eq!(
+        report.completed,
+        (cfg.jobs + cfg.tracked_solves) as u64,
+        "every submission completes: {report:?}"
+    );
+    assert_eq!(
+        report.tracked_matches, report.tracked_total,
+        "tracked solves must be bit-identical: {report:?}"
+    );
+    assert!(report.repaired >= 1, "repair must return nodes: {report:?}");
+    println!(
+        "chaos smoke PASS: {} strikes, {} requeues, 0 lost, {}/{} solves exact, \
+         goodput {:.3}, capacity {}/{}, {:.2}s wall",
+        report.failures_injected + report.storage_faults_injected,
+        report.requeues,
+        report.tracked_matches,
+        report.tracked_total,
+        report.goodput,
+        report.capacity_end,
+        report.node_count,
+        wall,
+    );
+
+    let mut run = BenchRun::new("chaos");
+    run.gauge("chaos_lost_jobs", report.lost as f64);
+    run.gauge(
+        "chaos_tracked_mismatches",
+        (report.tracked_total - report.tracked_matches) as f64,
+    );
+    run.gauge("chaos_jobs_completed", report.completed as f64);
+    run.gauge("chaos_goodput_ratio", report.goodput);
+    run.gauge("chaos_capacity_end_ratio", report.capacity_ratio());
+    run.gauge("chaos_requeues", report.requeues as f64);
+    run.gauge("chaos_failures_injected", report.failures_injected as f64);
+    run.gauge(
+        "chaos_storage_faults_injected",
+        report.storage_faults_injected as f64,
+    );
+    run.gauge("chaos_repaired_nodes", report.repaired as f64);
+    run.gauge("chaos_blacklisted_nodes", report.blacklisted as f64);
+    run.histogram(
+        "chaos_requeue_latency_ticks",
+        "soak",
+        &report.requeue_latency,
+    );
+    run.gauge("chaos_soak_seconds", wall);
+    run.export();
+}
+
+fn soak(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chaos");
+    group.sample_size(10);
+    group.bench_function("default_soak_32_nodes", |b| {
+        b.iter(|| black_box(run_chaos(ChaosConfig::default())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, soak);
+
+fn main() {
+    smoke_check();
+    benches();
+}

@@ -155,6 +155,7 @@ fn soak_occupancy(jobs: usize, seed: u64) -> (f64, f64) {
         SchedConfig {
             aging_ticks: 48,
             window: 8,
+            ..SchedConfig::default()
         },
     );
     sched.add_tenant("bench", tenant());

@@ -32,11 +32,13 @@
 
 #![warn(missing_docs)]
 
+pub mod classify;
 pub mod clock;
 pub mod health;
 pub mod plan;
 pub mod storage;
 
+pub use classify::{classify_ledger, convicted_nodes, FailureClass};
 pub use clock::{FaultClock, NodeTap};
 pub use health::{HealthLedger, LinkHealth, Liveness, NodeHealth};
 pub use plan::{FaultEvent, FaultKind, FaultPlan, LinkSelect, NodeSelect};

@@ -21,10 +21,17 @@
 //!   talk to the qdaemon;
 //! * [`recovery`] — the quarantine-and-replan side of self-healing runs:
 //!   translate a dirty health ledger into quarantined hardware and a
-//!   replacement (possibly degraded) partition from the qdaemon.
+//!   replacement (possibly degraded) partition from the qdaemon;
+//! * [`repair`] — the return-to-service side: scrub + isolated link
+//!   burn-in for quarantined nodes, sticky blacklisting for repeat
+//!   offenders, spares back into the allocatable pool;
+//! * [`chaos`] — the seeded chaos soak harness that drives scheduler,
+//!   qdaemon, vault and fault plans together and checks machine-level
+//!   SLOs (zero lost jobs, bit-identical solves, capacity recovery).
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod ckstore;
 pub mod debug;
 pub mod ethernet;
@@ -34,7 +41,10 @@ pub mod nfs;
 pub mod qcsh;
 pub mod qdaemon;
 pub mod recovery;
+pub mod repair;
 pub mod rpc;
 
+pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
 pub use qdaemon::{BootReport, NodeCensus, NodeState, Qdaemon};
 pub use recovery::RecoveryPlanner;
+pub use repair::{RepairConfig, RepairPipeline, RepairStage, RepairTickReport};

@@ -71,6 +71,16 @@ pub enum Command {
         /// The job number (as printed by `qsub`/`qjobs`).
         job: u64,
     },
+    /// `qretry <job>` — manually requeue a held or terminally-failed
+    /// job (releases its hold-off immediately, or revives a job whose
+    /// retry budget ran out).
+    Retry {
+        /// The job number (as printed by `qsub`/`qjobs`).
+        job: u64,
+    },
+    /// `qrepair` — dump the repair pipeline's state (nodes under
+    /// scrub/burn-in, convictions, spares, blacklist).
+    Repair,
 }
 
 /// Parse a `qsub` shape argument: `4x2x1/01` or `4x2x2/0-1-2`.
@@ -181,6 +191,15 @@ pub fn parse(line: &str) -> Result<Command, String> {
                 .map_err(|e| format!("{e}"))?;
             Ok(Command::Delete { job })
         }
+        Some("qretry") => {
+            let job = words
+                .next()
+                .ok_or("qretry needs a job number")?
+                .parse()
+                .map_err(|e| format!("{e}"))?;
+            Ok(Command::Retry { job })
+        }
+        Some("qrepair") => Ok(Command::Repair),
         Some(other) => Err(format!("unknown command: {other}")),
         None => Err("empty command".into()),
     }
@@ -192,6 +211,8 @@ fn status_word(status: JobStatus) -> &'static str {
         JobStatus::Queued => "queued",
         JobStatus::Running => "running",
         JobStatus::Preempted => "preempted",
+        JobStatus::Held => "held",
+        JobStatus::Failed => "failed",
         JobStatus::Completed => "completed",
         JobStatus::Canceled => "canceled",
     }
@@ -258,13 +279,22 @@ impl Qcsh {
             Command::Status => {
                 let census = q.census();
                 format!(
-                    "ready {} busy {} faulty {} unbooted {}",
-                    census.ready, census.busy, census.faulty, census.unbooted
+                    "ready {} busy {} faulty {} unbooted {} spare {} blacklisted {}",
+                    census.ready,
+                    census.busy,
+                    census.faulty,
+                    census.unbooted,
+                    census.spare,
+                    census.blacklisted
                 )
             }
-            Command::Submit { .. } | Command::Jobs | Command::Delete { .. } => {
+            Command::Submit { .. }
+            | Command::Jobs
+            | Command::Delete { .. }
+            | Command::Retry { .. } => {
                 "error: batch commands need a scheduler (use execute_batch)".into()
             }
+            Command::Repair => q.repair_state(),
             Command::Free { id } => {
                 q.release(*id);
                 format!("partition {id} released")
@@ -328,15 +358,21 @@ impl Qcsh {
                             .as_ref()
                             .map(|p| p.logical.to_string())
                             .unwrap_or_else(|| "-".into());
+                        let failure = j
+                            .last_failure
+                            .map(|c| c.label())
+                            .unwrap_or("-");
                         format!(
-                            "{} tenant={} class={} {} shape={} wait={} preempted={}",
+                            "{} tenant={} class={} {} shape={} wait={} preempted={} retries={} failure={}",
                             j.id,
                             j.spec.tenant,
                             j.spec.priority.label(),
                             status_word(j.status),
                             shape,
                             j.wait_ticks,
-                            j.preemptions
+                            j.preemptions,
+                            j.retries,
+                            failure
                         )
                     })
                     .collect();
@@ -350,6 +386,14 @@ impl Qcsh {
                     format!("job{job} canceled")
                 } else {
                     format!("error: no cancellable job{job}")
+                }
+            }
+            Command::Retry { job } => {
+                if sched.retry(JobId(*job), q) {
+                    let status = sched.job(JobId(*job)).expect("retried job").status;
+                    format!("job{job} {}", status_word(status))
+                } else {
+                    format!("error: no retryable job{job}")
                 }
             }
             other => self.execute(q, other),
@@ -420,10 +464,16 @@ mod tests {
         let part_reply = sh.execute(&mut q, &Command::Partition { rank: 4 });
         assert!(part_reply.starts_with("partition 0:"), "{part_reply}");
         let stat = sh.execute(&mut q, &Command::Status);
-        assert_eq!(stat, "ready 0 busy 32 faulty 0 unbooted 0");
+        assert_eq!(
+            stat,
+            "ready 0 busy 32 faulty 0 unbooted 0 spare 0 blacklisted 0"
+        );
         sh.execute(&mut q, &Command::Free { id: 0 });
         let stat = sh.execute(&mut q, &Command::Status);
-        assert_eq!(stat, "ready 32 busy 0 faulty 0 unbooted 0");
+        assert_eq!(
+            stat,
+            "ready 32 busy 0 faulty 0 unbooted 0 spare 0 blacklisted 0"
+        );
     }
 
     #[test]
@@ -521,10 +571,13 @@ mod tests {
         );
         assert_eq!(parse("qjobs"), Ok(Command::Jobs));
         assert_eq!(parse("qdel 3"), Ok(Command::Delete { job: 3 }));
+        assert_eq!(parse("qretry 3"), Ok(Command::Retry { job: 3 }));
+        assert_eq!(parse("qrepair"), Ok(Command::Repair));
         assert!(parse("qsub phys production 100").is_err(), "no shapes");
         assert!(parse("qsub phys urgent 1 4x2x1/01").is_err(), "bad class");
         assert!(parse("qsub phys standard 1 4x2x1").is_err(), "no groups");
         assert!(parse("qdel").is_err());
+        assert!(parse("qretry").is_err());
     }
 
     #[test]
@@ -572,6 +625,50 @@ mod tests {
         assert!(sh
             .execute(&mut q, &Command::Jobs)
             .starts_with("error: batch commands need a scheduler"));
+    }
+
+    #[test]
+    fn retry_and_repair_verbs_drive_the_autonomic_loop() {
+        use qcdoc_fault::FailureClass;
+        use qcdoc_sched::{SchedConfig, TenantConfig};
+        let mut q = Qdaemon::new(machine());
+        let mut sched = Scheduler::new(machine(), SchedConfig::default());
+        sched.add_tenant("phys", TenantConfig::default());
+        let mut sh = Qcsh::new(1001, &[]);
+        sh.execute(&mut q, &Command::Boot);
+        let reply = sh.execute_batch(
+            &mut q,
+            &mut sched,
+            &parse("qsub phys standard 50 4x2x2x2x1x1/0-1-23").unwrap(),
+        );
+        assert_eq!(reply, "job0 running");
+        // The run dies; qjobs shows the hold-off and the failure class.
+        sched.fail_job(JobId(0), FailureClass::NodeCrash, &[], &mut q);
+        let listing = sh.execute_batch(&mut q, &mut sched, &Command::Jobs);
+        assert!(
+            listing.contains("job0 tenant=phys class=standard held"),
+            "{listing}"
+        );
+        assert!(
+            listing.contains("retries=1 failure=node_crash"),
+            "{listing}"
+        );
+        // qretry releases the hold-off immediately: the job runs again.
+        let reply = sh.execute_batch(&mut q, &mut sched, &parse("qretry 0").unwrap());
+        assert_eq!(reply, "job0 running");
+        assert_eq!(
+            sh.execute_batch(&mut q, &mut sched, &parse("qretry 7").unwrap()),
+            "error: no retryable job7"
+        );
+        // qrepair reports the pipeline; a quarantined node shows up.
+        q.release(1); // free the partition job0 re-acquired
+        let before = sh.execute(&mut q, &Command::Repair);
+        assert!(before.starts_with("repair: 0 in pipeline"), "{before}");
+        q.mark_faulty(qcdoc_geometry::NodeId(4));
+        q.repair_admit();
+        let during = sh.execute(&mut q, &Command::Repair);
+        assert!(during.contains("1 in pipeline"), "{during}");
+        assert!(during.contains("node 4 stage=scrub"), "{during}");
     }
 
     #[test]

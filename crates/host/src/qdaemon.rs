@@ -41,8 +41,14 @@ pub enum NodeState {
         /// The owning partition.
         partition: u32,
     },
-    /// Hardware fault detected (kept out of allocations).
+    /// Hardware fault detected (kept out of allocations). Candidates for
+    /// the repair pipeline, which either returns them to service or
+    /// escalates them to [`NodeState::Blacklisted`].
     Faulty,
+    /// Convicted too many times: permanently out of the allocation pool
+    /// until a human intervenes. The repair pipeline never re-admits a
+    /// blacklisted node.
+    Blacklisted,
 }
 
 /// The result of booting the machine.
@@ -67,15 +73,25 @@ struct Allocation {
     job_output: Vec<u8>,
 }
 
-/// Node-state census: how many nodes sit in each lifecycle state.
+/// Node-state census: how many nodes sit in each lifecycle state. The
+/// quarantine ledger distinguishes *quarantined* (faulty, repairable),
+/// *blacklisted* (convicted for good), and *spare* (repaired and
+/// returned to the pool) so capacity accounting after a chaos soak is
+/// honest.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct NodeCensus {
-    /// Booted, idle, allocatable.
+    /// Booted, idle, allocatable, never condemned.
     pub ready: usize,
+    /// Allocatable nodes that went through quarantine and repair — the
+    /// spare pool. Counted separately from `ready` so a soak can assert
+    /// that capacity *recovered* rather than merely never degrading.
+    pub spare: usize,
     /// Assigned to a partition.
     pub busy: usize,
-    /// Quarantined by a hardware test or health sweep.
+    /// Quarantined by a hardware test or health sweep; repairable.
     pub faulty: usize,
+    /// Permanently removed after repeated convictions.
+    pub blacklisted: usize,
     /// Powered on but not yet through the boot sequence.
     pub unbooted: usize,
 }
@@ -83,7 +99,12 @@ pub struct NodeCensus {
 impl NodeCensus {
     /// All nodes the daemon tracks.
     pub fn total(&self) -> usize {
-        self.ready + self.busy + self.faulty + self.unbooted
+        self.ready + self.spare + self.busy + self.faulty + self.blacklisted + self.unbooted
+    }
+
+    /// Nodes the scheduler can actually place on right now.
+    pub fn allocatable(&self) -> usize {
+        self.ready + self.spare
     }
 }
 
@@ -91,8 +112,8 @@ impl std::fmt::Display for NodeCensus {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} ready, {} busy, {} faulty, {} unbooted",
-            self.ready, self.busy, self.faulty, self.unbooted
+            "{} ready, {} busy, {} faulty, {} unbooted, {} spare, {} blacklisted",
+            self.ready, self.busy, self.faulty, self.unbooted, self.spare, self.blacklisted
         )
     }
 }
@@ -107,7 +128,15 @@ pub struct Qdaemon {
     machine: TorusShape,
     jtag: Vec<JtagController>,
     kernels: Vec<RunKernel>,
-    states: Vec<NodeState>,
+    pub(crate) states: Vec<NodeState>,
+    /// Times each node has been condemned (entered `Faulty`) — the
+    /// repair pipeline's sticky-blacklist evidence.
+    pub(crate) convictions: Vec<u32>,
+    /// Nodes that went through quarantine and returned to service: the
+    /// spare pool the census reports.
+    pub(crate) repaired: Vec<bool>,
+    /// The autonomic repair pipeline (scrub + burn-in stages).
+    pub(crate) repair: crate::repair::RepairPipeline,
     allocations: HashMap<u32, Allocation>,
     /// Outputs of released partitions, awaiting a read. Keyed by
     /// partition id (monotonic, so the smallest key is the oldest entry
@@ -116,11 +145,11 @@ pub struct Qdaemon {
     next_partition_id: u32,
     ethernet: EthernetTree,
     packets_sent: u64,
-    metrics: MetricsRegistry,
+    pub(crate) metrics: MetricsRegistry,
     /// The host's own black box: quarantines and ingested node events,
     /// cycle-free (the daemon stamps host events with its sweep count).
-    flight: FlightRecorder,
-    sweeps: u64,
+    pub(crate) flight: FlightRecorder,
+    pub(crate) sweeps: u64,
 }
 
 impl Qdaemon {
@@ -133,6 +162,9 @@ impl Qdaemon {
             jtag: (0..n).map(|_| JtagController::new()).collect(),
             kernels: (0..n).map(|_| RunKernel::new()).collect(),
             states: vec![NodeState::PoweredOn; n],
+            convictions: vec![0; n],
+            repaired: vec![false; n],
+            repair: crate::repair::RepairPipeline::default(),
             allocations: HashMap::new(),
             retained_output: std::collections::BTreeMap::new(),
             next_partition_id: 0,
@@ -305,18 +337,91 @@ impl Qdaemon {
     /// Mark a node faulty (e.g. after a checksum mismatch report). The
     /// quarantine is logged in the host's flight ring so a post-mortem
     /// can see *when* the daemon condemned the node, not just that it did.
+    /// Each fresh condemnation counts as a *conviction*; the repair
+    /// pipeline blacklists nodes convicted too often. A blacklisted node
+    /// stays blacklisted.
     pub fn mark_faulty(&mut self, node: NodeId) {
-        if self.states[node.index()] != NodeState::Faulty {
+        match self.states[node.index()] {
+            NodeState::Faulty | NodeState::Blacklisted => {}
+            _ => {
+                self.convictions[node.index()] += 1;
+                self.repaired[node.index()] = false;
+                self.flight.record(
+                    HOST_NODE,
+                    self.sweeps,
+                    FlightKind::Quarantine,
+                    "mark_faulty",
+                    node.0 as u64,
+                    self.convictions[node.index()] as u64,
+                );
+                self.states[node.index()] = NodeState::Faulty;
+            }
+        }
+    }
+
+    /// Return a quarantined node to the allocation pool, flagging it as
+    /// a repaired spare in the census. Only the repair pipeline (or an
+    /// operator who knows better) should call this; it refuses to touch
+    /// blacklisted nodes or nodes that were never quarantined.
+    ///
+    /// A clean return **clears the conviction counter**: the node just
+    /// proved itself on an isolated burn-in, so its earlier convictions
+    /// were collateral or transient. Blacklisting therefore means
+    /// "repeatedly convicted *without* a clean burn-in in between" — a
+    /// genuine lemon — not "unlucky enough to sit near several faults".
+    pub fn return_to_service(&mut self, node: NodeId) -> Result<(), String> {
+        match self.states[node.index()] {
+            NodeState::Faulty => {
+                let cleared = self.convictions[node.index()];
+                self.states[node.index()] = NodeState::Ready;
+                self.repaired[node.index()] = true;
+                self.convictions[node.index()] = 0;
+                self.repair.forget(node.0);
+                self.flight.record(
+                    HOST_NODE,
+                    self.sweeps,
+                    FlightKind::Repair,
+                    "return_to_service",
+                    node.0 as u64,
+                    cleared as u64,
+                );
+                self.metrics.counter_add("autorepair_returned", &[], 1);
+                Ok(())
+            }
+            NodeState::Blacklisted => Err(format!(
+                "node {} is blacklisted ({} convictions); not eligible for service",
+                node.0,
+                self.convictions[node.index()]
+            )),
+            other => Err(format!(
+                "node {} is not quarantined (state {other:?})",
+                node.0
+            )),
+        }
+    }
+
+    /// Permanently remove a node from the allocation pool (sticky: the
+    /// repair pipeline never re-admits it). Idempotent.
+    pub fn blacklist(&mut self, node: NodeId) {
+        if self.states[node.index()] != NodeState::Blacklisted {
+            self.states[node.index()] = NodeState::Blacklisted;
+            self.repaired[node.index()] = false;
+            self.repair.forget(node.0);
             self.flight.record(
                 HOST_NODE,
                 self.sweeps,
-                FlightKind::Quarantine,
-                "mark_faulty",
+                FlightKind::Repair,
+                "blacklist",
                 node.0 as u64,
-                0,
+                self.convictions[node.index()] as u64,
             );
+            self.metrics.counter_add("autorepair_blacklisted", &[], 1);
         }
-        self.states[node.index()] = NodeState::Faulty;
+    }
+
+    /// Times a node has been condemned to quarantine.
+    pub fn convictions(&self, node: NodeId) -> u32 {
+        self.convictions[node.index()]
     }
 
     /// Ingest an end-of-run machine-health sweep (§2.2 / §3.1): the
@@ -379,14 +484,17 @@ impl Qdaemon {
         }
     }
 
-    /// Count of nodes in each state.
+    /// Count of nodes in each state. Repaired nodes sitting idle count
+    /// as `spare`, not `ready`, so capacity recovery is visible.
     pub fn census(&self) -> NodeCensus {
         let mut census = NodeCensus::default();
-        for s in &self.states {
+        for (i, s) in self.states.iter().enumerate() {
             match s {
+                NodeState::Ready if self.repaired[i] => census.spare += 1,
                 NodeState::Ready => census.ready += 1,
                 NodeState::Busy { .. } => census.busy += 1,
                 NodeState::Faulty => census.faulty += 1,
+                NodeState::Blacklisted => census.blacklisted += 1,
                 _ => census.unbooted += 1,
             }
         }
@@ -410,8 +518,10 @@ impl Qdaemon {
         let census = self.census();
         for (state, count) in [
             ("ready", census.ready),
+            ("spare", census.spare),
             ("busy", census.busy),
             ("faulty", census.faulty),
+            ("blacklisted", census.blacklisted),
             ("unbooted", census.unbooted),
         ] {
             self.metrics.gauge_set(
@@ -593,9 +703,7 @@ mod tests {
             census,
             NodeCensus {
                 ready: 32,
-                busy: 0,
-                faulty: 0,
-                unbooted: 0
+                ..NodeCensus::default()
             }
         );
         assert_eq!(census.total(), 32);

@@ -1,0 +1,355 @@
+//! The repair pipeline: quarantine is a waiting room, not a grave.
+//!
+//! The QCDOC operating model (hep-lat/0309096 §4) assumes week-long
+//! campaigns on 12,288 nodes with inevitable hardware attrition. A
+//! machine whose quarantine only ever *grows* drains monotonically to
+//! uselessness; the real machine's operators pulled daughterboards,
+//! reseated cables, and returned racks to service. This module is that
+//! loop, made deterministic:
+//!
+//! 1. **Admit** ([`Qdaemon::repair_admit`]) — quarantined nodes enter
+//!    the pipeline, unless their conviction count already exceeds the
+//!    sticky-blacklist threshold, in which case they are blacklisted on
+//!    the spot.
+//! 2. **Scrub** — a full memory scrub pass (modelled as a fixed number
+//!    of repair ticks) clears soft errors: the dominant real-world
+//!    failure the paper's EDAC scrubbing was built for.
+//! 3. **Burn-in** — a link self-test on an isolated partition (the node
+//!    exchanges test frames with itself over its 12 wires; no healthy
+//!    neighbour is put at risk). More ticks, then a verdict.
+//! 4. **Verdict** ([`Qdaemon::repair_tick`]'s callback) — pass returns
+//!    the node to the spare pool via [`Qdaemon::return_to_service`];
+//!    fail is a fresh conviction, and enough convictions blacklist the
+//!    node for good.
+//!
+//! The pipeline never touches `Busy` or `Ready` nodes, and a node under
+//! repair stays `Faulty` — isolation from the allocator is what makes
+//! the burn-in safe.
+
+use crate::qdaemon::{NodeState, Qdaemon};
+use qcdoc_geometry::NodeId;
+use qcdoc_telemetry::{FlightKind, HOST_NODE};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Tunables of the repair pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RepairConfig {
+    /// Repair ticks a full memory scrub takes.
+    pub scrub_ticks: u32,
+    /// Repair ticks the isolated link burn-in takes.
+    pub burnin_ticks: u32,
+    /// Convictions after which a node is blacklisted instead of
+    /// re-admitted (sticky: blacklisting is permanent).
+    pub max_convictions: u32,
+}
+
+impl Default for RepairConfig {
+    fn default() -> Self {
+        RepairConfig {
+            scrub_ticks: 4,
+            burnin_ticks: 8,
+            max_convictions: 3,
+        }
+    }
+}
+
+/// Where one node sits in the repair pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RepairStage {
+    /// Memory scrub in progress; `remaining` ticks to go.
+    Scrub {
+        /// Repair ticks left in this stage.
+        remaining: u32,
+    },
+    /// Isolated link burn-in in progress; `remaining` ticks to go.
+    BurnIn {
+        /// Repair ticks left in this stage.
+        remaining: u32,
+    },
+}
+
+impl RepairStage {
+    /// Stable label for reports and the `qrepair` verb.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RepairStage::Scrub { .. } => "scrub",
+            RepairStage::BurnIn { .. } => "burnin",
+        }
+    }
+}
+
+/// The in-flight repair work, keyed by node id (BTreeMap so iteration —
+/// and therefore every verdict order and flight event — is
+/// deterministic).
+#[derive(Debug, Clone, Default)]
+pub struct RepairPipeline {
+    /// Pipeline tunables.
+    pub config: RepairConfig,
+    stages: BTreeMap<u32, RepairStage>,
+}
+
+impl RepairPipeline {
+    /// Nodes currently in the pipeline, with their stage, in node order.
+    pub fn stages(&self) -> impl Iterator<Item = (u32, RepairStage)> + '_ {
+        self.stages.iter().map(|(&n, &s)| (n, s))
+    }
+
+    /// Whether a node is currently under repair.
+    pub fn contains(&self, node: u32) -> bool {
+        self.stages.contains_key(&node)
+    }
+
+    /// Number of nodes under repair.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Whether the pipeline is empty.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Drop a node from the pipeline (on return-to-service/blacklist).
+    pub(crate) fn forget(&mut self, node: u32) {
+        self.stages.remove(&node);
+    }
+}
+
+/// What one [`Qdaemon::repair_tick`] did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RepairTickReport {
+    /// Nodes that passed burn-in and returned to the spare pool.
+    pub returned: Vec<u32>,
+    /// Nodes that failed burn-in this tick (fresh conviction).
+    pub failed: Vec<u32>,
+    /// Nodes blacklisted this tick (by a failed burn-in that exhausted
+    /// their convictions).
+    pub blacklisted: Vec<u32>,
+}
+
+impl Qdaemon {
+    /// Replace the repair pipeline's tunables (only sensible while the
+    /// pipeline is empty; in-flight stages keep their old countdowns).
+    pub fn set_repair_config(&mut self, config: RepairConfig) {
+        self.repair.config = config;
+    }
+
+    /// Read-only view of the repair pipeline.
+    pub fn repair_pipeline(&self) -> &RepairPipeline {
+        &self.repair
+    }
+
+    /// Admit every quarantined node into the repair pipeline. Nodes
+    /// whose conviction count already reached the blacklist threshold
+    /// are blacklisted instead. Returns the newly admitted node ids.
+    pub fn repair_admit(&mut self) -> Vec<u32> {
+        let threshold = self.repair.config.max_convictions;
+        let scrub = self.repair.config.scrub_ticks;
+        let mut admitted = Vec::new();
+        for i in 0..self.states.len() {
+            if self.states[i] != NodeState::Faulty || self.repair.contains(i as u32) {
+                continue;
+            }
+            if self.convictions[i] >= threshold {
+                self.blacklist(NodeId(i as u32));
+                continue;
+            }
+            self.repair
+                .stages
+                .insert(i as u32, RepairStage::Scrub { remaining: scrub });
+            self.flight.record(
+                HOST_NODE,
+                self.sweeps,
+                FlightKind::Repair,
+                "repair_admit",
+                i as u64,
+                self.convictions[i] as u64,
+            );
+            self.metrics.counter_add("autorepair_admitted", &[], 1);
+            admitted.push(i as u32);
+        }
+        admitted
+    }
+
+    /// Advance every in-flight repair by one tick. A finished scrub
+    /// moves to burn-in; a finished burn-in asks `verdict(node)` whether
+    /// the isolated link self-test passed. Pass → the node returns to
+    /// the spare pool; fail → a fresh conviction, and past the threshold
+    /// the node is blacklisted (otherwise it leaves the pipeline still
+    /// quarantined, eligible for re-admission).
+    pub fn repair_tick(&mut self, verdict: &mut dyn FnMut(u32) -> bool) -> RepairTickReport {
+        let burnin = self.repair.config.burnin_ticks;
+        let threshold = self.repair.config.max_convictions;
+        let mut report = RepairTickReport::default();
+        let nodes: Vec<u32> = self.repair.stages.keys().copied().collect();
+        for node in nodes {
+            let stage = self.repair.stages.get_mut(&node).expect("in pipeline");
+            match stage {
+                RepairStage::Scrub { remaining } => {
+                    *remaining -= 1;
+                    if *remaining == 0 {
+                        *stage = RepairStage::BurnIn { remaining: burnin };
+                    }
+                }
+                RepairStage::BurnIn { remaining } => {
+                    *remaining -= 1;
+                    if *remaining > 0 {
+                        continue;
+                    }
+                    self.repair.stages.remove(&node);
+                    if verdict(node) {
+                        self.return_to_service(NodeId(node))
+                            .expect("burn-in node is quarantined");
+                        report.returned.push(node);
+                    } else {
+                        // A failed burn-in is hardware evidence, exactly
+                        // like a failed health sweep: convict again.
+                        self.convictions[node as usize] += 1;
+                        self.metrics.counter_add("autorepair_convictions", &[], 1);
+                        self.flight.record(
+                            HOST_NODE,
+                            self.sweeps,
+                            FlightKind::Repair,
+                            "repair_fail",
+                            node as u64,
+                            self.convictions[node as usize] as u64,
+                        );
+                        report.failed.push(node);
+                        if self.convictions[node as usize] >= threshold {
+                            self.blacklist(NodeId(node));
+                            report.blacklisted.push(node);
+                        }
+                    }
+                }
+            }
+        }
+        report
+    }
+
+    /// Human-readable pipeline state — the `qrepair` verb's payload.
+    pub fn repair_state(&self) -> String {
+        let census = self.census();
+        let mut out = format!(
+            "repair: {} in pipeline, {} faulty, {} spare, {} blacklisted\n",
+            self.repair.len(),
+            census.faulty,
+            census.spare,
+            census.blacklisted
+        );
+        for (node, stage) in self.repair.stages() {
+            let remaining = match stage {
+                RepairStage::Scrub { remaining } | RepairStage::BurnIn { remaining } => remaining,
+            };
+            out.push_str(&format!(
+                "node {} stage={} remaining={} convictions={}\n",
+                node,
+                stage.label(),
+                remaining,
+                self.convictions[node as usize]
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcdoc_geometry::TorusShape;
+
+    fn booted() -> Qdaemon {
+        let mut q = Qdaemon::new(TorusShape::new(&[4, 2, 2, 2, 1, 1]));
+        q.boot(&[]);
+        q
+    }
+
+    #[test]
+    fn repair_returns_a_healthy_node_to_the_spare_pool() {
+        let mut q = booted();
+        q.mark_faulty(NodeId(5));
+        assert_eq!(q.census().faulty, 1);
+        assert_eq!(q.repair_admit(), vec![5]);
+        assert!(q.repair_pipeline().contains(5));
+        // Node stays quarantined (isolated) through scrub + burn-in.
+        let cfg = q.repair_pipeline().config;
+        let total = cfg.scrub_ticks + cfg.burnin_ticks;
+        for tick in 0..total {
+            assert_eq!(q.census().faulty, 1, "still isolated at tick {tick}");
+            let report = q.repair_tick(&mut |_| true);
+            if tick + 1 == total {
+                assert_eq!(report.returned, vec![5]);
+            } else {
+                assert_eq!(report, RepairTickReport::default());
+            }
+        }
+        let census = q.census();
+        assert_eq!((census.ready, census.spare, census.faulty), (31, 1, 0));
+        assert_eq!(census.allocatable(), 32);
+        assert!(q.repair_pipeline().is_empty());
+        assert!(q.flight_dump(None).contains("return_to_service"));
+        // The spare is genuinely allocatable again.
+        use qcdoc_geometry::PartitionSpec;
+        assert!(q.allocate(PartitionSpec::native(q.machine())).is_ok());
+    }
+
+    #[test]
+    fn repeated_convictions_blacklist_stickily() {
+        let mut q = booted();
+        q.set_repair_config(RepairConfig {
+            scrub_ticks: 1,
+            burnin_ticks: 1,
+            max_convictions: 2,
+        });
+        q.mark_faulty(NodeId(7)); // conviction 1
+        assert_eq!(q.repair_admit(), vec![7]);
+        q.repair_tick(&mut |_| true); // scrub done
+        let report = q.repair_tick(&mut |_| false); // burn-in fails: conviction 2
+        assert_eq!(report.failed, vec![7]);
+        assert_eq!(report.blacklisted, vec![7], "threshold reached");
+        assert_eq!(q.node_state(NodeId(7)), NodeState::Blacklisted);
+        assert_eq!(q.census().blacklisted, 1);
+        // Sticky: never re-admitted, never returnable.
+        assert!(q.repair_admit().is_empty());
+        assert!(q.return_to_service(NodeId(7)).is_err());
+        // And a node already over the threshold is blacklisted at
+        // admission rather than wasting a repair slot.
+        q.mark_faulty(NodeId(3));
+        q.mark_faulty(NodeId(3)); // idempotent: still 1 conviction
+        assert_eq!(q.convictions(NodeId(3)), 1);
+        q.repair_admit();
+        q.repair_tick(&mut |_| true);
+        let r = q.repair_tick(&mut |_| false); // conviction 2
+        assert_eq!(r.blacklisted, vec![3]);
+    }
+
+    #[test]
+    fn return_to_service_guards_its_inputs() {
+        let mut q = booted();
+        assert!(q.return_to_service(NodeId(0)).is_err(), "ready node");
+        q.mark_faulty(NodeId(0));
+        assert!(q.return_to_service(NodeId(0)).is_ok());
+        assert_eq!(q.census().spare, 1);
+        // A spare that fails again loses its spare status, and the clean
+        // return cleared its old conviction: only the fresh one counts.
+        q.mark_faulty(NodeId(0));
+        let census = q.census();
+        assert_eq!((census.spare, census.faulty), (0, 1));
+        assert_eq!(q.convictions(NodeId(0)), 1);
+    }
+
+    #[test]
+    fn repair_state_is_reportable() {
+        let mut q = booted();
+        q.mark_faulty(NodeId(2));
+        q.repair_admit();
+        let s = q.repair_state();
+        assert!(s.contains("1 in pipeline"));
+        assert!(s.contains("node 2 stage=scrub"));
+        q.repair_tick(&mut |_| true);
+        q.repair_tick(&mut |_| true);
+        q.repair_tick(&mut |_| true);
+        q.repair_tick(&mut |_| true);
+        assert!(q.repair_state().contains("stage=burnin"));
+    }
+}

@@ -1,5 +1,6 @@
 //! Batch jobs: what a tenant asks the machine to do.
 
+use qcdoc_fault::FailureClass;
 use qcdoc_geometry::{NodeCoord, TorusShape};
 use serde::{Deserialize, Serialize};
 
@@ -89,6 +90,13 @@ pub enum JobStatus {
     /// Evicted mid-run; its checkpoint blob is retained and it waits in
     /// the queue for a new placement.
     Preempted,
+    /// Died mid-run and is serving its exponential hold-off before the
+    /// scheduler requeues it — the `Held(backoff)` state of the autonomic
+    /// loop. Flips back to [`JobStatus::Queued`] when the hold expires.
+    Held,
+    /// Exhausted its retry budget; terminal unless an operator revives
+    /// it with a manual `qretry`.
+    Failed,
     /// All requested work delivered.
     Completed,
     /// Removed by the user before completion.
@@ -144,6 +152,21 @@ pub struct JobRecord {
     /// scheduler never interprets it; it travels with the job to its
     /// next placement.
     pub checkpoint: Option<Vec<u8>>,
+    /// Times this job was requeued after a failure (distinct from
+    /// voluntary preemptions) — charged against
+    /// [`crate::SchedConfig::retry_budget`].
+    pub retries: u32,
+    /// Classification of the most recent failure, if any.
+    pub last_failure: Option<FailureClass>,
+    /// While [`JobStatus::Held`]: the clock tick the hold-off expires.
+    pub held_until: u64,
+    /// The convicted failure domain of the last failure: node ids the
+    /// next placement must not include.
+    pub avoid: Vec<u32>,
+    /// `remaining` as of the newest stored checkpoint — the service
+    /// level a failure rolls the job back to. `None` means no checkpoint
+    /// exists and a failure restarts the job from scratch.
+    pub checkpoint_remaining: Option<u64>,
 }
 
 impl JobRecord {

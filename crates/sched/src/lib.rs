@@ -21,7 +21,18 @@
 //!   `qcdoc_lattice::checkpoint` — opaque bytes at this layer);
 //! * [`vault`] — the [`CheckpointVault`] boundary for *durable* parking
 //!   of preempted jobs' blobs (the host implements it over its NFS
-//!   checkpoint store, so parked jobs survive a qdaemon restart).
+//!   checkpoint store, so parked jobs survive a qdaemon restart);
+//! * [`state`] — the scheduler's own durable snapshot
+//!   ([`Scheduler::save_state`] / [`Scheduler::restore_state`]) plus
+//!   [`Scheduler::recover_after_restart`], which turns a host crash
+//!   into a round of checkpoint-requeues instead of lost jobs.
+//!
+//! Failure is part of the schedule: [`Scheduler::fail_job`] classifies a
+//! dead run (via [`qcdoc_fault::FailureClass`]), rolls the job back to
+//! its newest checkpoint, serves an exponential hold-off, and requeues
+//! it away from the convicted failure domain under a bounded retry
+//! budget — the detect-and-requeue half of the autonomic loop the chaos
+//! soak proves out.
 //!
 //! Everything is deterministic: virtual time is an explicit tick clock,
 //! orderings use total comparisons with stable tie-breaks, and the same
@@ -34,11 +45,14 @@
 pub mod job;
 pub mod mesh;
 pub mod scheduler;
+pub mod state;
 pub mod tenant;
 pub mod vault;
 
 pub use job::{JobId, JobRecord, JobSpec, JobStatus, Priority, ShapeRequest};
 pub use mesh::{MeshHost, Placement, SimMesh};
-pub use scheduler::{AdmitError, SchedConfig, SchedEvent, Scheduler};
+pub use qcdoc_fault::FailureClass;
+pub use scheduler::{AdmitError, SchedConfig, SchedEvent, Scheduler, StepOutcome};
+pub use state::STATE_JOB;
 pub use tenant::{TenantConfig, TenantStats};
 pub use vault::{CheckpointVault, MemoryVault};

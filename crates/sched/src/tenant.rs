@@ -38,6 +38,10 @@ pub struct TenantStats {
     pub canceled: u64,
     /// Times one of this tenant's jobs was preempted.
     pub preemptions: u64,
+    /// Times one of this tenant's jobs was requeued after a failure.
+    pub requeues: u64,
+    /// Jobs that exhausted their retry budget and failed terminally.
+    pub failed: u64,
     /// Total ticks the tenant's jobs spent waiting in the queue
     /// (submission → first start, plus preemption → resume).
     pub wait_ticks: u64,

@@ -48,6 +48,9 @@ pub enum FlightKind {
     Rollback,
     /// A preempted or interrupted computation resumed.
     Resume,
+    /// A quarantined node moved through the repair pipeline (scrub,
+    /// burn-in, return-to-service, blacklist).
+    Repair,
     /// Anything else worth a line in the black box.
     Info,
 }
@@ -67,6 +70,7 @@ impl FlightKind {
             FlightKind::Checkpoint => "checkpoint",
             FlightKind::Rollback => "rollback",
             FlightKind::Resume => "resume",
+            FlightKind::Repair => "repair",
             FlightKind::Info => "info",
         }
     }

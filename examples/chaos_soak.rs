@@ -1,0 +1,106 @@
+//! Chaos soak: the autonomic failure-management loop under sustained fire.
+//!
+//! Runs the seeded chaos harness — a multi-tenant job mix with dead
+//! links, node crashes, wedges, machine checks, link corruption and
+//! storage faults all striking on schedule while the scheduler
+//! checkpoints, requeues and the repair pipeline returns nodes to
+//! service — and prints the machine-level report: losses (must be zero),
+//! bit-identity of the tracked CG solves, goodput, requeue latency and
+//! end-of-soak capacity.
+//!
+//! ```text
+//! cargo run --release --example chaos_soak [seed] [fault_period] [soak_ticks]
+//! cargo run --release --example chaos_soak --curve   # E17 goodput curve
+//! ```
+
+use qcdoc::host::{run_chaos, ChaosConfig};
+
+fn print_report(cfg: &ChaosConfig, report: &qcdoc::host::ChaosReport) {
+    println!(
+        "chaos soak: seed {}, machine {} ({} nodes), {} jobs + {} tracked solves",
+        cfg.seed, cfg.machine, report.node_count, cfg.jobs, cfg.tracked_solves
+    );
+    println!(
+        "fire:      {} machine strikes, {} storage strikes ({} checkpoint writes failed)",
+        report.failures_injected, report.storage_faults_injected, report.storage_failures
+    );
+    println!(
+        "requeue:   {} requeues, latency p50/p99 {}/{} ticks",
+        report.requeues,
+        report.requeue_latency.quantile(0.50),
+        report.requeue_latency.p99()
+    );
+    println!(
+        "repair:    {} nodes returned to service, {} blacklisted lemons",
+        report.repaired, report.blacklisted
+    );
+    println!(
+        "outcome:   {} completed, {} lost, drained={}, {} ticks",
+        report.completed, report.lost, report.drained, report.clock
+    );
+    println!(
+        "solves:    {}/{} tracked CG solves bit-identical to the fault-free reference",
+        report.tracked_matches, report.tracked_total
+    );
+    println!(
+        "machine:   goodput {:.1}%, end capacity {}/{} nodes ({:.1}%)",
+        100.0 * report.goodput,
+        report.capacity_end,
+        report.node_count,
+        100.0 * report.capacity_ratio()
+    );
+    if let Some(resumed) = report.restart_log_resumed {
+        println!("restart:   qdaemon killed mid-soak, event log resumed = {resumed}");
+    }
+    println!(
+        "history:   {} events, digest {:#018x}",
+        report.event_count, report.event_digest
+    );
+}
+
+/// E17's measured curve: goodput and losses as the strike rate rises.
+fn curve() {
+    println!(
+        "{:>12} {:>8} {:>9} {:>5} {:>9} {:>10} {:>9}",
+        "fault_period", "strikes", "requeues", "lost", "goodput", "blacklisted", "capacity"
+    );
+    for fault_period in [29, 23, 17, 11, 7] {
+        let cfg = ChaosConfig {
+            fault_period,
+            ..ChaosConfig::default()
+        };
+        let report = run_chaos(cfg);
+        println!(
+            "{:>12} {:>8} {:>9} {:>5} {:>8.1}% {:>10} {:>8.1}%",
+            fault_period,
+            report.failures_injected + report.storage_faults_injected,
+            report.requeues,
+            report.lost,
+            100.0 * report.goodput,
+            report.blacklisted,
+            100.0 * report.capacity_ratio()
+        );
+        assert_eq!(report.lost, 0, "a lost job is a failed experiment");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--curve") {
+        curve();
+        return;
+    }
+    let mut cfg = ChaosConfig::default();
+    if let Some(seed) = args.first().and_then(|a| a.parse().ok()) {
+        cfg.seed = seed;
+    }
+    if let Some(period) = args.get(1).and_then(|a| a.parse().ok()) {
+        cfg.fault_period = period;
+    }
+    if let Some(ticks) = args.get(2).and_then(|a| a.parse().ok()) {
+        cfg.soak_ticks = ticks;
+    }
+    let report = run_chaos(cfg.clone());
+    print_report(&cfg, &report);
+    assert_eq!(report.lost, 0, "a lost job is a failed soak");
+}

@@ -49,6 +49,7 @@ fn main() {
         SchedConfig {
             aging_ticks: 48,
             window: 8,
+            ..SchedConfig::default()
         },
     );
     let tenants: [(&str, TenantConfig); 4] = [

@@ -64,6 +64,15 @@ cargo test -q -p qcdoc-lattice --test parser_fuzz
 echo "== durability: clean-path overhead smoke (durable checkpointing within 5% of archive-and-drop)"
 cargo bench -p qcdoc-bench --bench durability_overhead
 
+echo "== autonomic: failure classification + convicted-domain placement properties"
+cargo test -q --test failure_class
+
+echo "== autonomic: chaos-soak acceptance (zero lost jobs, bit-identical solves, capacity recovery)"
+cargo test -q --test chaos
+
+echo "== autonomic: chaos-soak SLO export (goodput, requeue p99, losses gated at zero)"
+cargo bench -p qcdoc-bench --bench chaos
+
 echo "== kernels: AoSoA layout acceptance (bit-identical to scalar, f32 must beat f64)"
 cargo bench -p qcdoc-bench --bench kernels
 

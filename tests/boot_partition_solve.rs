@@ -127,7 +127,7 @@ fn qcsh_session_drives_the_stack() {
     sh.execute(&mut qdaemon, &parse("qfree 0").unwrap());
     assert_eq!(
         sh.execute(&mut qdaemon, &parse("qstat").unwrap()),
-        "ready 16 busy 0 faulty 0 unbooted 0"
+        "ready 16 busy 0 faulty 0 unbooted 0 spare 0 blacklisted 0"
     );
 }
 

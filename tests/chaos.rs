@@ -1,0 +1,128 @@
+//! Chaos-soak acceptance: the autonomic failure-management loop —
+//! detect → checkpoint-requeue → repair-and-return — proven under
+//! sustained, mixed fire.
+//!
+//! This is the machine-level counterpart of the paper's §4 operating
+//! experience: campaigns on QCDOC survived real hardware attrition
+//! because failure handling was part of normal operations, not an
+//! exception path. The soak runs a multi-tenant job mix while dead
+//! links, node crashes, wedges, uncorrectable machine checks, link
+//! corruption and storage faults all strike on a seeded schedule, and
+//! gates the outcome on machine-level SLOs:
+//!
+//! * **zero lost jobs** — every submission completes;
+//! * **bit-identical solves** — tracked CG jobs resumed from their
+//!   durable checkpoints land on the fault-free fingerprint;
+//! * **goodput** — delivered-minus-wasted service stays above a floor
+//!   despite the rollbacks;
+//! * **capacity recovery** — the repair pipeline returns every
+//!   non-lemon node to service; lemons are stickily blacklisted;
+//! * **restart survival** — killing the qdaemon mid-soak resumes the
+//!   same scheduler event log from the vault snapshot.
+
+use qcdoc::host::{run_chaos, ChaosConfig};
+
+#[test]
+fn sustained_chaos_soak_meets_the_machine_slos() {
+    let report = run_chaos(ChaosConfig::default());
+    let cfg = ChaosConfig::default();
+
+    // The soak must actually have been a soak: faults of both halves
+    // (machine and storage) landed, requeues happened, repairs ran.
+    assert!(report.drained, "scheduler must drain: {report:?}");
+    assert!(report.failures_injected >= 10, "{report:?}");
+    assert!(report.storage_faults_injected >= 3, "{report:?}");
+    assert!(report.requeues >= 5, "{report:?}");
+    assert!(report.repaired >= 1, "repair must return nodes: {report:?}");
+
+    // SLO 1: zero lost jobs.
+    assert_eq!(report.lost, 0, "no job may be lost: {report:?}");
+    assert_eq!(
+        report.completed,
+        (cfg.jobs + cfg.tracked_solves) as u64,
+        "every submission completes: {report:?}"
+    );
+
+    // SLO 2: bit-identical tracked solves.
+    assert_eq!(
+        report.tracked_matches, report.tracked_total,
+        "every tracked CG solve must match the fault-free fingerprint: {report:?}"
+    );
+
+    // SLO 3: goodput under fault load.
+    assert!(
+        report.goodput > 0.10,
+        "goodput collapsed under faults: {report:?}"
+    );
+
+    // SLO 4: capacity recovered — everything allocatable again except
+    // the stickily-blacklisted lemons.
+    assert_eq!(
+        report.capacity_end + report.blacklisted as usize,
+        report.node_count,
+        "capacity must recover up to the blacklist: {report:?}"
+    );
+    assert!(
+        report.blacklisted as usize <= cfg.lemons,
+        "only lemons may be blacklisted: {report:?}"
+    );
+}
+
+#[test]
+fn chaos_soak_is_deterministic_per_seed() {
+    let a = run_chaos(ChaosConfig::default());
+    let b = run_chaos(ChaosConfig::default());
+    assert_eq!(a.event_digest, b.event_digest, "same seed, same history");
+    assert_eq!(a.event_count, b.event_count);
+    assert_eq!(a.clock, b.clock);
+    assert_eq!(a.requeues, b.requeues);
+    assert_eq!(a.goodput.to_bits(), b.goodput.to_bits());
+
+    let c = run_chaos(ChaosConfig {
+        seed: 99,
+        ..ChaosConfig::default()
+    });
+    assert_ne!(
+        a.event_digest, c.event_digest,
+        "a different seed must tell a different story"
+    );
+}
+
+#[test]
+fn killing_the_qdaemon_mid_soak_resumes_the_same_event_log() {
+    let report = run_chaos(ChaosConfig {
+        restart_at: Some(150),
+        ..ChaosConfig::default()
+    });
+    assert_eq!(
+        report.restart_log_resumed,
+        Some(true),
+        "the restored scheduler must carry the pre-kill event log: {report:?}"
+    );
+    // The restart must not weaken any SLO: nothing lost, solves exact,
+    // capacity recovered.
+    assert!(report.drained, "{report:?}");
+    assert_eq!(report.lost, 0, "{report:?}");
+    assert_eq!(report.tracked_matches, report.tracked_total, "{report:?}");
+    assert_eq!(
+        report.capacity_end + report.blacklisted as usize,
+        report.node_count,
+        "{report:?}"
+    );
+}
+
+#[test]
+fn heavier_fire_still_loses_nothing() {
+    // Double the strike rate and add a lemon: the budgeted retries and
+    // degradable shape menu must still carry every job home.
+    let report = run_chaos(ChaosConfig {
+        seed: 7,
+        fault_period: 7,
+        lemons: 3,
+        ..ChaosConfig::default()
+    });
+    assert!(report.drained, "{report:?}");
+    assert_eq!(report.lost, 0, "{report:?}");
+    assert_eq!(report.tracked_matches, report.tracked_total, "{report:?}");
+    assert!(report.failures_injected > 15, "{report:?}");
+}

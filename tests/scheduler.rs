@@ -103,6 +103,7 @@ fn run_soak(machine: TorusShape, jobs: usize, seed: u64, aging_ticks: u64) -> Sc
         SchedConfig {
             aging_ticks,
             window: 8,
+            ..SchedConfig::default()
         },
     );
     add_tenants(&mut sched);
